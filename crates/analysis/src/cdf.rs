@@ -1,0 +1,154 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `u64` samples (typically reuse distances in
+/// blocks or bytes).
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::Cdf;
+/// let cdf = Cdf::from_values([1u64, 2, 2, 8]);
+/// assert!((cdf.fraction_at_or_below(2) - 0.75).abs() < 1e-12);
+/// assert_eq!(cdf.quantile(0.5), Some(2));
+/// assert_eq!(cdf.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from an iterator of samples.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut sorted: Vec<u64> = values.into_iter().collect();
+        sorted.sort_unstable();
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`; 0 for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest sample value `v` such that at least `q` (in `[0, 1]`) of the
+    /// samples are `<= v`; `None` for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// Samples the CDF at each `x` in `points`, returning `(x, fraction)`
+    /// pairs ready for plotting or tabulation.
+    pub fn sample_at(&self, points: &[u64]) -> Vec<(u64, f64)> {
+        points.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+    }
+
+    /// Merges another CDF's samples into this one.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.sorted.extend_from_slice(&other.sorted);
+        self.sorted.sort_unstable();
+    }
+}
+
+impl FromIterator<u64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+impl Extend<u64> for Cdf {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.sorted.extend(iter);
+        self.sorted.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let cdf = Cdf::from_values([10u64, 20, 30, 40]);
+        assert_eq!(cdf.fraction_at_or_below(9), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(10), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(35), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(100), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Cdf::from_values([1u64, 2, 3, 4, 5]);
+        assert_eq!(cdf.quantile(0.0), Some(1));
+        assert_eq!(cdf.quantile(0.2), Some(1));
+        assert_eq!(cdf.quantile(0.5), Some(3));
+        assert_eq!(cdf.quantile(1.0), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_out_of_range_panics() {
+        Cdf::from_values([1u64]).quantile(1.5);
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let cdf = Cdf::default();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(5), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.max(), None);
+    }
+
+    #[test]
+    fn merge_and_extend() {
+        let mut a = Cdf::from_values([1u64, 5]);
+        let b = Cdf::from_values([3u64]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.quantile(0.5), Some(3));
+        a.extend([0u64, 10]);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(10));
+    }
+
+    #[test]
+    fn sample_points() {
+        let cdf = Cdf::from_values([1u64, 2, 4]);
+        let pts = cdf.sample_at(&[1, 3, 4]);
+        assert_eq!(pts.len(), 3);
+        assert!((pts[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's four-way bimodal reuse-distance classification (Figure 4).
+
+use std::fmt;
+
+/// Reuse-distance classes from Section IV-D: (i) up to 128 blocks (8 KB),
+/// (ii) 128–256 blocks (8–16 KB), (iii) 256–512 blocks (16–32 KB), and
+/// (iv) more than 512 blocks (32 KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReuseClass {
+    /// Distance ≤ 128 blocks (≤ 8 KB).
+    UpTo128,
+    /// 128 < distance ≤ 256 blocks (8–16 KB).
+    To256,
+    /// 256 < distance ≤ 512 blocks (16–32 KB).
+    To512,
+    /// Distance > 512 blocks (> 32 KB).
+    Over512,
+}
+
+impl ReuseClass {
+    /// All classes in ascending distance order.
+    pub const ALL: [ReuseClass; 4] =
+        [ReuseClass::UpTo128, ReuseClass::To256, ReuseClass::To512, ReuseClass::Over512];
+
+    /// Classifies a reuse distance measured in 64 B blocks.
+    pub const fn of_blocks(distance_blocks: u64) -> Self {
+        if distance_blocks <= 128 {
+            ReuseClass::UpTo128
+        } else if distance_blocks <= 256 {
+            ReuseClass::To256
+        } else if distance_blocks <= 512 {
+            ReuseClass::To512
+        } else {
+            ReuseClass::Over512
+        }
+    }
+
+    /// Stable index (0..4) for array-indexed counting.
+    pub const fn index(self) -> usize {
+        match self {
+            ReuseClass::UpTo128 => 0,
+            ReuseClass::To256 => 1,
+            ReuseClass::To512 => 2,
+            ReuseClass::Over512 => 3,
+        }
+    }
+
+    /// Label matching the paper's legend.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ReuseClass::UpTo128 => "<=128blk(8KB)",
+            ReuseClass::To256 => "128-256blk",
+            ReuseClass::To512 => "256-512blk",
+            ReuseClass::Over512 => ">512blk(32KB)",
+        }
+    }
+}
+
+impl fmt::Display for ReuseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counts of accesses per reuse class, plus cold misses.
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::{ClassCounts, ReuseClass};
+/// let mut c = ClassCounts::default();
+/// c.add_distance(100);
+/// c.add_distance(1000);
+/// c.add_cold(1);
+/// assert_eq!(c.count(ReuseClass::UpTo128), 1);
+/// assert!((c.fraction(ReuseClass::Over512) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    counts: [u64; 4],
+    cold: u64,
+}
+
+impl ClassCounts {
+    /// Creates zeroed counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one warm access with the given distance in blocks.
+    pub fn add_distance(&mut self, distance_blocks: u64) {
+        self.counts[ReuseClass::of_blocks(distance_blocks).index()] += 1;
+    }
+
+    /// Records `n` cold (first-touch) accesses.
+    pub fn add_cold(&mut self, n: u64) {
+        self.cold += n;
+    }
+
+    /// Count in one class.
+    pub fn count(&self, class: ReuseClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Cold-miss count.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total warm accesses.
+    pub fn warm_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of *warm* accesses in one class; 0 when no warm accesses.
+    pub fn fraction(&self, class: ReuseClass) -> f64 {
+        let total = self.warm_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64
+        }
+    }
+
+    /// Returns `true` when the distribution is bimodal in the paper's sense:
+    /// the two extreme classes together dominate the two middle classes.
+    pub fn is_bimodal(&self) -> bool {
+        let extremes = self.count(ReuseClass::UpTo128) + self.count(ReuseClass::Over512);
+        let middles = self.count(ReuseClass::To256) + self.count(ReuseClass::To512);
+        extremes > middles
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+        }
+        self.cold += other.cold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(ReuseClass::of_blocks(0), ReuseClass::UpTo128);
+        assert_eq!(ReuseClass::of_blocks(128), ReuseClass::UpTo128);
+        assert_eq!(ReuseClass::of_blocks(129), ReuseClass::To256);
+        assert_eq!(ReuseClass::of_blocks(256), ReuseClass::To256);
+        assert_eq!(ReuseClass::of_blocks(257), ReuseClass::To512);
+        assert_eq!(ReuseClass::of_blocks(512), ReuseClass::To512);
+        assert_eq!(ReuseClass::of_blocks(513), ReuseClass::Over512);
+    }
+
+    #[test]
+    fn counting_and_fractions() {
+        let mut c = ClassCounts::new();
+        for d in [1u64, 2, 3, 200, 400, 10_000] {
+            c.add_distance(d);
+        }
+        assert_eq!(c.warm_total(), 6);
+        assert_eq!(c.count(ReuseClass::UpTo128), 3);
+        assert_eq!(c.count(ReuseClass::To256), 1);
+        assert_eq!(c.count(ReuseClass::To512), 1);
+        assert_eq!(c.count(ReuseClass::Over512), 1);
+        assert!((c.fraction(ReuseClass::UpTo128) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodality() {
+        let mut c = ClassCounts::new();
+        for _ in 0..10 {
+            c.add_distance(1);
+        }
+        for _ in 0..10 {
+            c.add_distance(100_000);
+        }
+        c.add_distance(200);
+        assert!(c.is_bimodal());
+
+        let mut flat = ClassCounts::new();
+        for _ in 0..10 {
+            flat.add_distance(200);
+            flat.add_distance(400);
+        }
+        flat.add_distance(1);
+        assert!(!flat.is_bimodal());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ClassCounts::new();
+        a.add_distance(1);
+        a.add_cold(2);
+        let mut b = ClassCounts::new();
+        b.add_distance(600);
+        b.add_cold(3);
+        a.merge(&b);
+        assert_eq!(a.warm_total(), 2);
+        assert_eq!(a.cold(), 5);
+    }
+}

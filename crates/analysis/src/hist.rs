@@ -1,0 +1,177 @@
+//! Logarithmically-bucketed histograms with plain-text rendering.
+
+use std::fmt;
+
+/// A power-of-two-bucketed histogram over `u64` samples, with an ASCII
+/// bar rendering for terminal reports (used by the examples to sketch the
+/// reuse-distance CDF shapes from Figures 3–5).
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` for `i > 0`; bucket 0 holds zeros.
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// h.record(0);
+/// h.record(5);
+/// h.record(1000);
+/// assert_eq!(h.total(), 3);
+/// assert!(h.render(20).contains('#'));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_floor(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count in one bucket (0 when out of range).
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.buckets.get(bucket).copied().unwrap_or(0)
+    }
+
+    /// Number of trailing non-empty buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Renders an ASCII bar chart, one bucket per line, bars scaled to
+    /// `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let bar_len = ((count as f64 / max as f64) * width as f64).round() as usize;
+            let floor = Self::bucket_floor(i);
+            out.push_str(&format!(
+                "{:>12} | {:<width$} {}\n",
+                floor,
+                "#".repeat(bar_len),
+                count,
+                width = width
+            ));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl Extend<u64> for LogHistogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Self::new();
+        h.extend(iter);
+        h
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+    }
+
+    #[test]
+    fn floors_invert_buckets() {
+        for b in 0..20 {
+            let floor = LogHistogram::bucket_floor(b);
+            assert_eq!(LogHistogram::bucket_of(floor), b.max(LogHistogram::bucket_of(0)));
+        }
+    }
+
+    #[test]
+    fn counting_and_total() {
+        let h: LogHistogram = [0u64, 1, 1, 3, 100].into_iter().collect();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(50), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a: LogHistogram = [1u64].into_iter().collect();
+        let b: LogHistogram = [1u64, 1024].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(1), 2);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bucket() {
+        let h: LogHistogram = [0u64, 7, 9].into_iter().collect();
+        let lines: Vec<_> = h.render(10).lines().map(String::from).collect();
+        assert_eq!(lines.len(), h.buckets());
+        assert!(lines.iter().any(|l| l.contains('#')));
+    }
+}

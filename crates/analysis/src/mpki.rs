@@ -1,0 +1,84 @@
+//! Misses-per-kilo-instruction accounting.
+
+use std::fmt;
+
+/// A misses-per-thousand-instructions (MPKI) measurement.
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::Mpki;
+/// let m = Mpki::new(500, 100_000);
+/// assert!((m.value() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mpki {
+    misses: u64,
+    instructions: u64,
+}
+
+impl Mpki {
+    /// Creates an MPKI measurement from raw counts.
+    pub const fn new(misses: u64, instructions: u64) -> Self {
+        Self { misses, instructions }
+    }
+
+    /// Raw miss count.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Raw instruction count.
+    pub const fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Misses per thousand instructions (0 when no instructions).
+    pub fn value(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Adds more misses over the same instruction window.
+    pub fn add_misses(&mut self, misses: u64) {
+        self.misses += misses;
+    }
+
+    /// Combines two measurements over disjoint windows.
+    pub fn combine(&self, other: &Mpki) -> Mpki {
+        Mpki::new(self.misses + other.misses, self.instructions + other.instructions)
+    }
+}
+
+impl fmt::Display for Mpki {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MPKI", self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_value() {
+        assert!((Mpki::new(10, 1000).value() - 10.0).abs() < 1e-12);
+        assert_eq!(Mpki::new(10, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn combine_windows() {
+        let a = Mpki::new(5, 1000);
+        let b = Mpki::new(15, 1000);
+        let c = a.combine(&b);
+        assert!((c.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mpki::new(1234, 100_000).to_string(), "12.34 MPKI");
+    }
+}

@@ -1,0 +1,87 @@
+//! Small statistical helpers used across figure harnesses.
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(maps_analysis::mean(&[1.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// The paper reports geometric averages across benchmarks (Section III).
+/// Non-positive samples are clamped to a tiny epsilon so that a single
+/// zero measurement (e.g. an MPKI of exactly zero) does not collapse the
+/// whole mean to zero.
+///
+/// # Examples
+///
+/// ```
+/// let g = maps_analysis::geometric_mean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    const EPS: f64 = 1e-9;
+    let log_sum: f64 = values.iter().map(|&v| v.max(EPS).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Divides each value by `baseline`, the normalization used throughout
+/// Figures 2 and 7 (overhead relative to an insecure-memory system).
+///
+/// # Panics
+///
+/// Panics if `baseline` is not finite and positive.
+pub fn normalize_to(values: &[f64], baseline: f64) -> Vec<f64> {
+    assert!(
+        baseline.is_finite() && baseline > 0.0,
+        "normalization baseline must be finite and positive, got {baseline}"
+    );
+    values.iter().map(|v| v / baseline).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_handles_zero_without_collapse() {
+        let g = geometric_mean(&[0.0, 100.0]);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_closed_form() {
+        let g = geometric_mean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        let n = normalize_to(&[2.0, 4.0], 2.0);
+        assert_eq!(n, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        normalize_to(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text table output for figure/table regeneration harnesses.
+//!
+//! Every `figN` binary in `maps-bench` prints its results through
+//! [`Table`], in both aligned human-readable form and machine-readable TSV.
+
+use std::fmt;
+
+/// A simple column-aligned table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::Table;
+/// let mut t = Table::new(["bench", "mpki"]);
+/// t.row(["canneal", "73.1"]);
+/// let text = t.to_string();
+/// assert!(text.contains("canneal"));
+/// assert!(t.to_tsv().starts_with("bench\tmpki"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Tab-separated representation (header + rows), for scripting.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&row.join("\t"));
+        }
+        out
+    }
+
+    /// Cell accessor for tests: `(row, col)`.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count compactly (e.g. `64KB`, `2MB`), matching the axis
+/// labels used in the paper's figures.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = KB * KB;
+    const GB: u64 = MB * KB;
+    if bytes >= GB && bytes.is_multiple_of(GB) {
+        format!("{}GB", bytes / GB)
+    } else if bytes >= MB && bytes.is_multiple_of(MB) {
+        format!("{}MB", bytes / MB)
+    } else if bytes >= KB && bytes.is_multiple_of(KB) {
+        format!("{}KB", bytes / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_output() {
+        let mut t = Table::new(["a", "longheader"]);
+        t.row(["xxxx", "1"]);
+        let s = t.to_string();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["x", "1"]).row(["y", "2"]);
+        assert_eq!(t.to_tsv(), "k\tv\nx\t1\ny\t2");
+        assert_eq!(t.cell(1, 1), Some("2"));
+        assert_eq!(t.cell(2, 0), None);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(16 * 1024), "16KB");
+        assert_eq!(fmt_bytes(2 * 1024 * 1024), "2MB");
+        assert_eq!(fmt_bytes(4 * 1024 * 1024 * 1024), "4GB");
+        assert_eq!(fmt_bytes(1536), "1536B");
+    }
+}

@@ -1,0 +1,110 @@
+//! Request-type transitions (read/write after read/write), used to split
+//! reuse-distance CDFs in Figure 5.
+
+use std::fmt;
+
+use maps_trace::AccessKind;
+
+/// A `(previous, current)` request-kind pair for one metadata block.
+///
+/// The paper observes that X-after-X transitions (read-after-read,
+/// write-after-write) have markedly shorter reuse distances than mixed
+/// transitions, making request type a strong reuse predictor.
+///
+/// # Examples
+///
+/// ```
+/// use maps_analysis::Transition;
+/// use maps_trace::AccessKind;
+/// let t = Transition::new(AccessKind::Write, AccessKind::Write);
+/// assert_eq!(t, Transition::WRITE_AFTER_WRITE);
+/// assert!(t.is_same_kind());
+/// assert_eq!(t.label(), "WaW");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Transition {
+    /// Kind of the previous access to the block.
+    pub prev: AccessKind,
+    /// Kind of the current access to the block.
+    pub cur: AccessKind,
+}
+
+impl Transition {
+    /// Read after read.
+    pub const READ_AFTER_READ: Transition =
+        Transition { prev: AccessKind::Read, cur: AccessKind::Read };
+    /// Read after write.
+    pub const READ_AFTER_WRITE: Transition =
+        Transition { prev: AccessKind::Write, cur: AccessKind::Read };
+    /// Write after read.
+    pub const WRITE_AFTER_READ: Transition =
+        Transition { prev: AccessKind::Read, cur: AccessKind::Write };
+    /// Write after write.
+    pub const WRITE_AFTER_WRITE: Transition =
+        Transition { prev: AccessKind::Write, cur: AccessKind::Write };
+
+    /// All four transitions in figure order.
+    pub const ALL: [Transition; 4] = [
+        Transition::READ_AFTER_READ,
+        Transition::READ_AFTER_WRITE,
+        Transition::WRITE_AFTER_READ,
+        Transition::WRITE_AFTER_WRITE,
+    ];
+
+    /// Creates a transition from the previous and current access kinds.
+    pub const fn new(prev: AccessKind, cur: AccessKind) -> Self {
+        Self { prev, cur }
+    }
+
+    /// Returns `true` for read-after-read and write-after-write.
+    pub const fn is_same_kind(self) -> bool {
+        matches!(
+            (self.prev, self.cur),
+            (AccessKind::Read, AccessKind::Read) | (AccessKind::Write, AccessKind::Write)
+        )
+    }
+
+    /// Compact label, e.g. `RaR` for read-after-read.
+    pub const fn label(self) -> &'static str {
+        match (self.cur, self.prev) {
+            (AccessKind::Read, AccessKind::Read) => "RaR",
+            (AccessKind::Read, AccessKind::Write) => "RaW",
+            (AccessKind::Write, AccessKind::Read) => "WaR",
+            (AccessKind::Write, AccessKind::Write) => "WaW",
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_follow_current_after_previous() {
+        assert_eq!(Transition::READ_AFTER_WRITE.label(), "RaW");
+        assert_eq!(Transition::WRITE_AFTER_READ.label(), "WaR");
+    }
+
+    #[test]
+    fn same_kind_detection() {
+        assert!(Transition::READ_AFTER_READ.is_same_kind());
+        assert!(Transition::WRITE_AFTER_WRITE.is_same_kind());
+        assert!(!Transition::READ_AFTER_WRITE.is_same_kind());
+        assert!(!Transition::WRITE_AFTER_READ.is_same_kind());
+    }
+
+    #[test]
+    fn all_transitions_distinct() {
+        for (i, a) in Transition::ALL.iter().enumerate() {
+            for b in &Transition::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

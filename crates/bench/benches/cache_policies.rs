@@ -1,0 +1,59 @@
+//! Criterion bench: access throughput of each replacement policy on the
+//! 64 KB metadata-cache geometry (Figure 6's configuration), over a mixed
+//! metadata-like key stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maps_cache::policy::AnyPolicy;
+use maps_cache::{CacheConfig, SetAssocCache};
+use maps_trace::BlockKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn mixed_keys(n: usize) -> Vec<(u64, BlockKind)> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=3 => (rng.gen_range(0..4096u64), BlockKind::Hash),
+            4..=6 => (10_000 + rng.gen_range(0..512u64), BlockKind::Counter),
+            _ => (20_000 + rng.gen_range(0..64u64), BlockKind::Tree(0)),
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let keys = mixed_keys(20_000);
+    let trace: Vec<u64> = keys.iter().map(|&(k, _)| k).collect();
+    let mut group = c.benchmark_group("policy_access_throughput");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    type PolicyFactory<'a> = Box<dyn Fn() -> AnyPolicy + 'a>;
+    let policies: Vec<(&str, PolicyFactory<'_>)> = vec![
+        ("pseudo-lru", Box::new(AnyPolicy::pseudo_lru)),
+        ("true-lru", Box::new(AnyPolicy::true_lru)),
+        ("fifo", Box::new(AnyPolicy::fifo)),
+        ("random", Box::new(|| AnyPolicy::random(7))),
+        ("srrip", Box::new(AnyPolicy::srrip)),
+        ("eva", Box::new(AnyPolicy::eva)),
+        ("min", Box::new(|| AnyPolicy::min_from_trace(&trace))),
+        ("trace-min", Box::new(|| AnyPolicy::trace_min_from_trace(&trace))),
+        ("drrip", Box::new(AnyPolicy::drrip)),
+        ("eva-per-type", Box::new(AnyPolicy::eva_per_type)),
+        ("cost-aware", Box::new(|| AnyPolicy::cost_aware(5))),
+    ];
+    for (name, make) in policies {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut cache =
+                    SetAssocCache::new(CacheConfig::from_bytes(64 << 10, 8), make());
+                let mut hits = 0u64;
+                for &(k, kind) in &keys {
+                    hits += u64::from(cache.access(k, kind, false).hit);
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: CSOPT's exponential search cost versus trace length
+//! and associativity (Section V-B's tractability discussion), plus the
+//! linear-time Belady reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maps_cache::{belady_misses, csopt_min_cost, CostedAccess};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn trace(n: usize) -> Vec<CostedAccess> {
+    let mut rng = SmallRng::seed_from_u64(5);
+    (0..n)
+        .map(|_| {
+            let key = rng.gen_range(0..12u64);
+            let cost = if key < 3 { 4 } else { 1 };
+            CostedAccess::new(key, cost)
+        })
+        .collect()
+}
+
+fn bench_csopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csopt_search");
+    group.sample_size(10);
+    for window in [64usize, 128, 256] {
+        let t = trace(window);
+        group.bench_function(BenchmarkId::new("exact_cap4", window), |b| {
+            b.iter(|| csopt_min_cost(&t, 4, None).min_cost);
+        });
+        group.bench_function(BenchmarkId::new("beam64_cap4", window), |b| {
+            b.iter(|| csopt_min_cost(&t, 4, Some(64)).min_cost);
+        });
+        let keys: Vec<u64> = t.iter().map(|a| a.key).collect();
+        group.bench_function(BenchmarkId::new("belady", window), |b| {
+            b.iter(|| belady_misses(&keys, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csopt);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: miniature versions of the figure pipelines, so
+//! `cargo bench` exercises every experiment's code path end to end.
+//! The full-scale tables come from the `fig1`…`fig7` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maps_analysis::GroupedReuseProfiler;
+use maps_sim::itermin::run_iter_min;
+use maps_sim::{CacheContents, MdcConfig, SecureSim, SimConfig};
+use maps_workloads::Benchmark;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_pipelines");
+    group.sample_size(10);
+    let n = 8_000u64;
+
+    group.bench_function("fig1_contents_sweep", |b| {
+        b.iter(|| {
+            let base = SimConfig::paper_default();
+            let mut total = 0.0;
+            for contents in
+                [CacheContents::COUNTERS_ONLY, CacheContents::COUNTERS_AND_HASHES, CacheContents::ALL]
+            {
+                let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(16 << 10));
+                let mut sim = SecureSim::new(cfg, Benchmark::Libquantum.build(1));
+                total += sim.run(n).metadata_mpki();
+            }
+            total
+        });
+    });
+
+    group.bench_function("fig3_reuse_profile", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+            let mut sim = SecureSim::new(cfg, Benchmark::Fft.build(1));
+            let mut profiler = GroupedReuseProfiler::new();
+            sim.run_observed(n, &mut profiler);
+            profiler.combined().distances().len()
+        });
+    });
+
+    group.bench_function("fig6_itermin_two_rounds", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_default();
+            cfg.mdc = MdcConfig::paper_default().with_size(16 << 10);
+            run_iter_min(&cfg, Benchmark::Libquantum, 1, n, 2)
+                .misses_per_iteration
+                .len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: reuse-distance profiler throughput (the O(log n)
+//! Fenwick algorithm behind Figures 3–5) on streaming and random key
+//! patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maps_analysis::ReuseProfiler;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_profiler(c: &mut Criterion) {
+    let n = 50_000usize;
+    let streaming: Vec<u64> = (0..n as u64).map(|i| i % 4096).collect();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let random: Vec<u64> = (0..n).map(|_| rng.gen_range(0..65_536u64)).collect();
+
+    let mut group = c.benchmark_group("reuse_profiler");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, keys) in [("streaming", &streaming), ("random", &random)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut p = ReuseProfiler::new();
+                for &k in keys {
+                    p.observe(k);
+                }
+                p.distances().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: end-to-end simulator throughput (core accesses per
+//! second through L1/L2/LLC plus the metadata engine), with and without a
+//! metadata cache, and with secure memory off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maps_sim::{MdcConfig, SecureSim, SimConfig};
+use maps_workloads::Benchmark;
+
+fn bench_sim(c: &mut Criterion) {
+    let n = 20_000u64;
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("secure+mdc", SimConfig::paper_default()),
+        (
+            "secure-no-mdc",
+            SimConfig::paper_default().with_mdc(MdcConfig::disabled()),
+        ),
+        ("insecure", SimConfig::insecure_baseline()),
+    ];
+    for (name, cfg) in configs {
+        for bench in [Benchmark::Libquantum, Benchmark::Canneal] {
+            group.bench_function(
+                BenchmarkId::new(name, bench.name()),
+                |b| {
+                    b.iter(|| {
+                        let mut sim = SecureSim::new(cfg.clone(), bench.build(3));
+                        sim.run(n).cycles
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

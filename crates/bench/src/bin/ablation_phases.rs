@@ -1,0 +1,109 @@
+//! Ablation: phase behaviour and static partitioning.
+//!
+//! Section V-C's argument against static partitions: "Applications
+//! requirements evolve throughout its execution and a static partition
+//! serves only to limit the cache capacity for each type." This ablation
+//! constructs a workload whose requirements *provably* evolve — phases
+//! alternating between a counter-friendly streaming pattern (libquantum)
+//! and a tree-reliant random pattern (canneal) — and shows that each
+//! phase's best static split differs, so any single static split must
+//! sacrifice one phase.
+//!
+//! Run: `cargo run --release -p maps-bench --bin ablation_phases [--check]`
+
+use maps_analysis::Table;
+use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_cache::Partition;
+use maps_sim::{MdcConfig, PartitionMode, SecureSim, SimConfig};
+use maps_workloads::{Benchmark, PhasedWorkload, Workload};
+
+fn phased(seed: u64) -> Box<dyn Workload> {
+    Box::new(PhasedWorkload::new(
+        Benchmark::Libquantum.build(seed),
+        Benchmark::Canneal.build(seed + 1),
+        25_000,
+    ))
+}
+
+fn run_with(
+    partition: PartitionMode,
+    make: &(dyn Fn() -> Box<dyn Workload> + Sync),
+    n: u64,
+) -> f64 {
+    let mut cfg = SimConfig::paper_default();
+    cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    cfg.mdc.partition = partition;
+    let mut sim = SecureSim::new(cfg, make());
+    sim.run(n).metadata_mpki()
+}
+
+fn main() {
+    let accesses = n_accesses(200_000);
+    let splits: Vec<PartitionMode> = std::iter::once(PartitionMode::None)
+        .chain(Partition::all_splits(8).map(PartitionMode::Static))
+        .collect();
+
+    // Per-phase bests: run each phase's workload alone under every split.
+    type Factory = Box<dyn Fn() -> Box<dyn Workload> + Sync>;
+    let phase_workloads: Vec<(&str, Factory)> = vec![
+        ("libquantum", Box::new(|| Benchmark::Libquantum.build(SEED))),
+        ("canneal", Box::new(|| Benchmark::Canneal.build(SEED + 1))),
+        ("phased", Box::new(|| phased(SEED))),
+    ];
+
+    let split_label = |idx: usize| match splits[idx] {
+        PartitionMode::Static(p) => {
+            format!("{}:{}", p.counter_way_count(), 8 - p.counter_way_count())
+        }
+        _ => "none".to_string(),
+    };
+
+    // Full per-workload, per-split MPKI matrix.
+    let mut matrix: Vec<Vec<f64>> = Vec::new();
+    let mut table = Table::new(["workload", "no_partition", "best_split", "best_mpki", "worst_mpki"]);
+    let mut best_idx = Vec::new();
+    for (name, make) in &phase_workloads {
+        let results = parallel_map(splits.clone(), |p| run_with(p, make.as_ref(), accesses));
+        let none_mpki = results[0];
+        let (bi, best) = results
+            .iter()
+            .enumerate()
+            .skip(1)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite MPKI"))
+            .map(|(i, &v)| (i, v))
+            .expect("splits exist");
+        let worst = results.iter().skip(1).cloned().fold(f64::NEG_INFINITY, f64::max);
+        table.row([
+            name.to_string(),
+            format!("{none_mpki:.2}"),
+            split_label(bi),
+            format!("{best:.2}"),
+            format!("{worst:.2}"),
+        ]);
+        best_idx.push(bi);
+        matrix.push(results);
+    }
+    println!("# Ablation: phase behaviour vs. static partitioning (64KB MDC)\n");
+    emit(&table);
+
+    // The two phases want different splits.
+    let (libq_best, canneal_best, phased_best) = (best_idx[0], best_idx[1], best_idx[2]);
+    claim(libq_best != canneal_best, "the two phases prefer different static splits");
+
+    // The compromise: whichever split the phased workload settles on, at
+    // least one phase pays versus its own best — "a static partition
+    // serves only to limit the cache capacity for each type".
+    let libq_pays = matrix[0][phased_best] > matrix[0][libq_best] * 1.005;
+    let canneal_pays = matrix[1][phased_best] > matrix[1][canneal_best] * 1.005;
+    claim(
+        libq_pays || canneal_pays,
+        &format!(
+            "the phased-best split ({}) sacrifices a phase: libquantum {:.2} vs {:.2}, canneal {:.2} vs {:.2}",
+            split_label(phased_best),
+            matrix[0][phased_best],
+            matrix[0][libq_best],
+            matrix[1][phased_best],
+            matrix[1][canneal_best],
+        ),
+    );
+}

@@ -1,0 +1,85 @@
+//! Figure 5: reuse-distance CDFs split by request-type transition
+//! (read/write after read/write) and metadata type, for the two
+//! memory-intensive benchmarks with the most writes: `fft` (20 %) and
+//! `leslie3d` (5 %).
+//!
+//! Run: `cargo run --release -p maps-bench --bin fig5 [--check] [--tsv]`
+
+use maps_analysis::{fmt_bytes, GroupedReuseProfiler, Table, Transition};
+use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_sim::{MdcConfig, SecureSim, SimConfig};
+use maps_trace::{MetaGroup, BLOCK_BYTES};
+use maps_workloads::Benchmark;
+
+fn main() {
+    let accesses = n_accesses(400_000);
+    let benches = [Benchmark::Fft, Benchmark::Leslie3d];
+
+    let profiles = parallel_map(benches.to_vec(), |bench| {
+        let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+        let mut sim = SecureSim::new(cfg, bench.build(SEED));
+        let mut profiler = GroupedReuseProfiler::new();
+        sim.run_observed(accesses, &mut profiler);
+        profiler
+    });
+
+    let mut table =
+        Table::new(["benchmark", "type", "transition", "samples", "median", "p90"]);
+    for (bench, profiler) in benches.iter().zip(&profiles) {
+        for group in MetaGroup::ALL {
+            for transition in Transition::ALL {
+                let cdf = profiler.transition_cdf(group, transition);
+                let fmt_q = |q: f64| {
+                    cdf.quantile(q)
+                        .map(|blocks| fmt_bytes(blocks * BLOCK_BYTES))
+                        .unwrap_or_else(|| "-".to_string())
+                };
+                table.row([
+                    bench.name().to_string(),
+                    group.label().to_string(),
+                    transition.label().to_string(),
+                    profiler.transition_samples(group, transition).to_string(),
+                    fmt_q(0.5),
+                    fmt_q(0.9),
+                ]);
+            }
+        }
+    }
+    println!("# Figure 5: reuse distance by request-type transition\n");
+    emit(&table);
+
+    // Section IV-E claim: same-kind transitions (RaR, WaW) have shorter
+    // reuse distances than mixed ones, per metadata type.
+    let median = |bi: usize, g: MetaGroup, t: Transition| -> Option<u64> {
+        profiles[bi].transition_cdf(g, t).quantile(0.5)
+    };
+    for (bi, bench) in benches.iter().enumerate() {
+        for group in [MetaGroup::Counter, MetaGroup::Hash] {
+            let waw = median(bi, group, Transition::WRITE_AFTER_WRITE);
+            let war = median(bi, group, Transition::WRITE_AFTER_READ);
+            if let (Some(waw), Some(war)) = (waw, war) {
+                claim(
+                    waw <= war,
+                    &format!(
+                        "{bench}/{group}: write-after-write median ({waw}) <= write-after-read ({war})"
+                    ),
+                );
+            }
+            let rar = median(bi, group, Transition::READ_AFTER_READ);
+            let raw = median(bi, group, Transition::READ_AFTER_WRITE);
+            if let (Some(rar), Some(raw)) = (rar, raw) {
+                claim(
+                    rar <= raw,
+                    &format!(
+                        "{bench}/{group}: read-after-read median ({rar}) <= read-after-write ({raw})"
+                    ),
+                );
+            }
+        }
+    }
+    claim(
+        profiles[0].transition_samples(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE)
+            > profiles[1].transition_samples(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE),
+        "fft (20% writes) produces more hash write-after-write pairs than leslie3d (5%)",
+    );
+}

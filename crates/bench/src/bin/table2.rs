@@ -1,0 +1,82 @@
+//! Table II: metadata organization and the amount of data protected by one
+//! 64 B block of each metadata type, for the PoisonIvy (split counter) and
+//! Intel SGX (monolithic counter) organizations.
+//!
+//! Run: `cargo run --release -p maps-bench --bin table2 [--check] [--tsv]`
+
+use maps_analysis::{fmt_bytes, Table};
+use maps_bench::{claim, emit};
+use maps_secure::{Layout, SecureConfig};
+use maps_trace::BlockKind;
+
+fn main() {
+    let pi = Layout::new(SecureConfig::poison_ivy(4 << 30));
+    let sgx = Layout::new(SecureConfig::sgx(4 << 30));
+
+    let mut table = Table::new(["metadata type", "organization (PI)", "organization (SGX)", "protected (PI)", "protected (SGX)"]);
+    table.row([
+        "counters".to_string(),
+        "1x8B/page + 64x7b/blk".to_string(),
+        "8x8B/blk".to_string(),
+        fmt_bytes(pi.data_protected_by(BlockKind::Counter)),
+        fmt_bytes(sgx.data_protected_by(BlockKind::Counter)),
+    ]);
+    for level in 0..3u8 {
+        table.row([
+            format!("tree level {level}"),
+            "8x8B hashes".to_string(),
+            "8x8B hashes".to_string(),
+            fmt_bytes(pi.data_protected_by(BlockKind::Tree(level))),
+            fmt_bytes(sgx.data_protected_by(BlockKind::Tree(level))),
+        ]);
+    }
+    table.row([
+        "hashes".to_string(),
+        "8x8B hashes".to_string(),
+        "8x8B hashes".to_string(),
+        fmt_bytes(pi.data_protected_by(BlockKind::Hash)),
+        fmt_bytes(sgx.data_protected_by(BlockKind::Hash)),
+    ]);
+    println!("# Table II: metadata organization and data protected per 64B block\n");
+    emit(&table);
+
+    println!();
+    let mut geometry = Table::new(["quantity", "PI", "SGX"]);
+    geometry.row([
+        "counter blocks".to_string(),
+        pi.counter_blocks().to_string(),
+        sgx.counter_blocks().to_string(),
+    ]);
+    geometry.row([
+        "hash blocks".to_string(),
+        pi.hash_blocks().to_string(),
+        sgx.hash_blocks().to_string(),
+    ]);
+    geometry.row([
+        "tree levels (in memory)".to_string(),
+        pi.tree_levels().to_string(),
+        sgx.tree_levels().to_string(),
+    ]);
+    geometry.row([
+        "metadata overhead".to_string(),
+        format!("{:.1}%", pi.metadata_overhead() * 100.0),
+        format!("{:.1}%", sgx.metadata_overhead() * 100.0),
+    ]);
+    emit(&geometry);
+
+    claim(pi.data_protected_by(BlockKind::Counter) == 4096, "PI counter block covers 4KB");
+    claim(sgx.data_protected_by(BlockKind::Counter) == 512, "SGX counter block covers 512B");
+    claim(pi.data_protected_by(BlockKind::Hash) == 512, "hash block covers 0.5KB");
+    claim(
+        pi.data_protected_by(BlockKind::Tree(0)) == 32 << 10,
+        "PI tree leaf covers 32KB (4 * 8^1 KB)",
+    );
+    claim(
+        sgx.data_protected_by(BlockKind::Tree(0)) == 4 << 10,
+        "SGX tree leaf covers 4KB (512 * 8^1 B)",
+    );
+    claim(
+        pi.data_protected_by(BlockKind::Tree(1)) == 8 * pi.data_protected_by(BlockKind::Tree(0)),
+        "each tree level covers 8x its child",
+    );
+}

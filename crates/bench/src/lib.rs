@@ -1,0 +1,124 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary (`fig1` … `fig7`, `table2`, `csopt_demo`) prints the rows
+//! of the corresponding paper figure/table and supports:
+//!
+//! * `MAPS_ACCESSES=<n>` — core accesses per simulation run (default is
+//!   figure-specific; larger values sharpen the statistics).
+//! * `--check` — instead of only printing, assert the qualitative claims
+//!   the paper makes about the figure and exit non-zero on violation
+//!   (integration tests drive this mode).
+//! * `--tsv` — machine-readable tab-separated output.
+
+use std::sync::Mutex;
+
+use maps_sim::{SecureSim, SimConfig, SimReport};
+use maps_workloads::Benchmark;
+
+/// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
+pub fn n_accesses(default: u64) -> u64 {
+    std::env::var("MAPS_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Whether `--check` was passed.
+pub fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Whether `--tsv` was passed.
+pub fn tsv_mode() -> bool {
+    std::env::args().any(|a| a == "--tsv")
+}
+
+/// Prints a table in the selected format.
+pub fn emit(table: &maps_analysis::Table) {
+    if tsv_mode() {
+        println!("{}", table.to_tsv());
+    } else {
+        println!("{table}");
+    }
+}
+
+/// Asserts a qualitative claim in `--check` mode; always logs it.
+///
+/// # Panics
+///
+/// Panics when the claim fails under `--check`.
+pub fn claim(ok: bool, description: &str) {
+    let mark = if ok { "ok " } else { "VIOLATED" };
+    eprintln!("[claim {mark}] {description}");
+    if check_mode() {
+        assert!(ok, "claim violated: {description}");
+    }
+}
+
+/// Runs one simulation.
+pub fn run_sim(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> SimReport {
+    SecureSim::new(cfg.clone(), bench.build(seed)).run(accesses)
+}
+
+/// Maps `f` over `items` on all available cores, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        results.lock().expect("result store poisoned")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|r| r.expect("worker produced no result"))
+        .collect()
+}
+
+/// The metadata-cache size sweep used by Figures 1 and 2.
+pub const MDC_SIZES: [u64; 6] =
+    [16 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
+
+/// The LLC size sweep used by Figure 2.
+pub const LLC_SIZES: [u64; 4] = [512 << 10, 1 << 20, 2 << 20, 4 << 20];
+
+/// Deterministic seed base for all figure harnesses.
+pub const SEED: u64 = 0x4D415053; // "MAPS"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: u64| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_is_fine() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn accesses_default_when_env_missing() {
+        std::env::remove_var("MAPS_ACCESSES");
+        assert_eq!(n_accesses(123), 123);
+    }
+}

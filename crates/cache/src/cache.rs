@@ -1,0 +1,373 @@
+//! The set-associative cache core.
+
+use maps_trace::BlockKind;
+
+use crate::{CacheConfig, CacheStats, Line, Partition, Policy};
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line evicted to make room, if any.
+    pub evicted: Option<Line>,
+}
+
+impl AccessResult {
+    const HIT: AccessResult = AccessResult { hit: true, evicted: None };
+}
+
+/// A set-associative, write-back, write-allocate cache over block keys.
+///
+/// Keys are block-granular addresses; the set index is `key % sets` and the
+/// full key is stored as the tag. The cache allocates on miss and returns
+/// the evicted line (if any) so the caller can propagate writebacks.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::{CacheConfig, SetAssocCache};
+/// use maps_cache::policy::TrueLru;
+/// use maps_trace::BlockKind;
+///
+/// let mut c = SetAssocCache::new(CacheConfig::from_bytes(1024, 4), TrueLru::new());
+/// c.access(7, BlockKind::Data, true); // write miss: allocate dirty
+/// let stats = c.stats().kind(BlockKind::Data);
+/// assert_eq!((stats.misses, stats.hits), (1, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<P> {
+    cfg: CacheConfig,
+    lines: Vec<Option<Line>>,
+    policy: P,
+    partition: Option<Partition>,
+    stats: CacheStats,
+    time: u64,
+}
+
+impl<P: Policy> SetAssocCache<P> {
+    /// Creates a cache with the given geometry and replacement policy.
+    pub fn new(cfg: CacheConfig, mut policy: P) -> Self {
+        policy.init(cfg.sets(), cfg.ways());
+        Self {
+            cfg,
+            lines: vec![None; cfg.blocks()],
+            policy,
+            partition: None,
+            stats: CacheStats::default(),
+            time: 0,
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears statistics (e.g. after cache warm-up) without touching
+    /// contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Installs a static way partition used for every subsequent access.
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        if let Some(p) = &partition {
+            p.validate(self.cfg.ways());
+        }
+        self.partition = partition;
+    }
+
+    /// Number of accesses performed (the policy time base).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Returns `true` if `key` is resident (no state change).
+    pub fn contains(&self, key: u64) -> bool {
+        self.find_way(self.cfg.set_of(key), key).is_some()
+    }
+
+    /// The resident line for `key`, if any (no state change).
+    pub fn line(&self, key: u64) -> Option<&Line> {
+        let set = self.cfg.set_of(key);
+        let way = self.find_way(set, key)?;
+        self.lines[set * self.cfg.ways() + way].as_ref()
+    }
+
+    /// Accesses `key`, allocating on miss; uses the static partition.
+    pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> AccessResult {
+        self.access_with(key, kind, write, None)
+    }
+
+    /// Accesses `key` with an optional per-access partition override (used
+    /// by the set-dueling controller, which varies the partition between
+    /// leader and follower sets).
+    pub fn access_with(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        partition_override: Option<&Partition>,
+    ) -> AccessResult {
+        let t = self.time;
+        self.time += 1;
+        self.policy.begin_access(t, key);
+        let set = self.cfg.set_of(key);
+
+        if let Some(way) = self.find_way(set, key) {
+            let idx = set * self.cfg.ways() + way;
+            {
+                let line = self.lines[idx].as_mut().expect("found way must hold a line");
+                line.last_at = t;
+                if write {
+                    // Dirty only: sub-block validity is managed by the
+                    // partial-write callers via `mark_valid`.
+                    line.dirty = true;
+                }
+            }
+            let line = self.lines[idx].expect("line just updated");
+            self.policy.on_hit(set, way, &line);
+            self.stats.record_access(kind, true);
+            return AccessResult::HIT;
+        }
+
+        self.stats.record_access(kind, false);
+        let mut new_line = Line::filled(key, kind, t);
+        new_line.dirty = write;
+        let evicted = self.fill(set, new_line, partition_override, write);
+        AccessResult { hit: false, evicted }
+    }
+
+    /// Probes without allocating: records a hit/miss and refreshes recency
+    /// on hit, but never fills. Used for access streams whose kind is not
+    /// cacheable under the current contents configuration.
+    pub fn probe(&mut self, key: u64, kind: BlockKind) -> bool {
+        let set = self.cfg.set_of(key);
+        let hit = self.find_way(set, key).is_some();
+        self.stats.record_access(kind, hit);
+        hit
+    }
+
+    /// Inserts a partial-write placeholder holding only sub-entry `slot`.
+    /// Misses only; the caller must have established non-residency (e.g.
+    /// via a missed [`SetAssocCache::access`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already resident or `slot >= 8`.
+    pub fn insert_placeholder(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        partition_override: Option<&Partition>,
+    ) -> Option<Line> {
+        let set = self.cfg.set_of(key);
+        assert!(self.find_way(set, key).is_none(), "placeholder insert for resident key {key}");
+        let t = self.time;
+        self.fill(set, Line::placeholder(key, kind, t, slot), partition_override, true)
+    }
+
+    /// Marks additional valid sub-entries on a resident line (partial-write
+    /// coalescing); returns the updated mask, or `None` if not resident.
+    pub fn mark_valid(&mut self, key: u64, slot: u8) -> Option<u8> {
+        assert!(slot < 8, "sub-block slot {slot} out of range");
+        let set = self.cfg.set_of(key);
+        let way = self.find_way(set, key)?;
+        let line = self.lines[set * self.cfg.ways() + way].as_mut()?;
+        line.valid_mask |= 1 << slot;
+        line.dirty = true;
+        Some(line.valid_mask)
+    }
+
+    /// Removes `key` if resident, returning the line.
+    pub fn invalidate(&mut self, key: u64) -> Option<Line> {
+        let set = self.cfg.set_of(key);
+        let way = self.find_way(set, key)?;
+        let idx = set * self.cfg.ways() + way;
+        let line = self.lines[idx].take();
+        if let Some(l) = &line {
+            self.policy.on_evict(set, way, l, self.time);
+        }
+        line
+    }
+
+    /// Drains every resident line (e.g. to account for final writebacks).
+    pub fn drain(&mut self) -> Vec<Line> {
+        let mut out = Vec::new();
+        for slot in &mut self.lines {
+            if let Some(line) = slot.take() {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Iterates over resident lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+        self.lines.iter().filter_map(Option::as_ref)
+    }
+
+    fn find_way(&self, set: usize, key: u64) -> Option<usize> {
+        let base = set * self.cfg.ways();
+        self.lines[base..base + self.cfg.ways()]
+            .iter()
+            .position(|l| l.as_ref().is_some_and(|l| l.key == key))
+    }
+
+    fn allowed_ways(
+        &self,
+        kind: BlockKind,
+        partition_override: Option<&Partition>,
+    ) -> (usize, usize) {
+        let p = partition_override.or(self.partition.as_ref());
+        match p {
+            Some(p) => p.ways_for(kind, self.cfg.ways()),
+            None => (0, self.cfg.ways()),
+        }
+    }
+
+    fn fill(
+        &mut self,
+        set: usize,
+        new_line: Line,
+        partition_override: Option<&Partition>,
+        _write: bool,
+    ) -> Option<Line> {
+        let (lo, hi) = self.allowed_ways(new_line.kind, partition_override);
+        let base = set * self.cfg.ways();
+
+        // Prefer an invalid frame within the allowed ways.
+        if let Some(way) = (lo..hi).find(|&w| self.lines[base + w].is_none()) {
+            self.lines[base + way] = Some(new_line);
+            self.policy.on_fill(set, way, &new_line);
+            return None;
+        }
+
+        let candidates: Vec<usize> = (lo..hi).collect();
+        let way = self.policy.choose_victim(set, &candidates, &self.lines[base..base + self.cfg.ways()], self.time);
+        debug_assert!(candidates.contains(&way), "policy chose non-candidate way {way}");
+        let victim = self.lines[base + way].take().expect("victim way must hold a line");
+        self.policy.on_evict(set, way, &victim, self.time);
+        self.stats.record_eviction(victim.kind, victim.dirty);
+        self.lines[base + way] = Some(new_line);
+        self.policy.on_fill(set, way, &new_line);
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TrueLru;
+
+    fn small() -> SetAssocCache<TrueLru> {
+        SetAssocCache::new(CacheConfig::from_bytes(512, 4), TrueLru::new()) // 2 sets
+    }
+
+    #[test]
+    fn write_allocates_dirty() {
+        let mut c = small();
+        let r = c.access(1, BlockKind::Data, true);
+        assert!(!r.hit);
+        let line = c.resident_lines().next().unwrap();
+        assert!(line.dirty);
+        assert!(line.is_complete());
+    }
+
+    #[test]
+    fn read_hit_preserves_dirty() {
+        let mut c = small();
+        c.access(1, BlockKind::Data, true);
+        c.access(1, BlockKind::Data, false);
+        assert!(c.resident_lines().next().unwrap().dirty);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small(); // 2 sets: even keys -> set 0, odd -> set 1
+        for k in [0u64, 2, 4, 6] {
+            c.access(k, BlockKind::Data, false);
+        }
+        // Set 0 is full; an odd key must not evict.
+        let r = c.access(1, BlockKind::Data, false);
+        assert!(r.evicted.is_none());
+        // Another even key must evict from set 0.
+        let r = c.access(8, BlockKind::Data, false);
+        assert_eq!(r.evicted.unwrap().key, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(64, 1), TrueLru::new());
+        c.access(1, BlockKind::Data, true);
+        let r = c.access(2, BlockKind::Data, false);
+        let ev = r.evicted.unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().kind(BlockKind::Data).writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = small();
+        assert!(!c.probe(5, BlockKind::Hash));
+        assert!(!c.contains(5));
+        assert_eq!(c.stats().kind(BlockKind::Hash).misses, 1);
+    }
+
+    #[test]
+    fn placeholder_and_mark_valid() {
+        let mut c = small();
+        c.insert_placeholder(3, BlockKind::Hash, 2, None);
+        assert!(c.contains(3));
+        let mask = c.mark_valid(3, 5).unwrap();
+        assert_eq!(mask, 0b0010_0100);
+        assert_eq!(c.mark_valid(99, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident key")]
+    fn placeholder_for_resident_key_panics() {
+        let mut c = small();
+        c.access(3, BlockKind::Hash, false);
+        c.insert_placeholder(3, BlockKind::Hash, 0, None);
+    }
+
+    #[test]
+    fn invalidate_and_drain() {
+        let mut c = small();
+        c.access(1, BlockKind::Data, true);
+        c.access(2, BlockKind::Data, false);
+        let inv = c.invalidate(1).unwrap();
+        assert!(inv.dirty);
+        assert_eq!(c.occupancy(), 1);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_capped_by_capacity() {
+        let mut c = small();
+        for k in 0..100u64 {
+            c.access(k, BlockKind::Data, false);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cache geometry configuration.
+
+use maps_trace::BLOCK_BYTES;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::CacheConfig;
+/// let cfg = CacheConfig::from_bytes(64 * 1024, 8);
+/// assert_eq!(cfg.sets(), 128);
+/// assert_eq!(cfg.blocks(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    ways: usize,
+    block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration from a total capacity in bytes and an
+    /// associativity, with the standard 64 B block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of `ways * 64` or if
+    /// the resulting set count is not a power of two (required for the
+    /// bit-sliced set indexing used by real caches and by tree-PLRU).
+    pub fn from_bytes(size_bytes: u64, ways: usize) -> Self {
+        Self::with_block_bytes(size_bytes, ways, BLOCK_BYTES)
+    }
+
+    /// Creates a configuration with an explicit block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CacheConfig::from_bytes`].
+    pub fn with_block_bytes(size_bytes: u64, ways: usize, block_bytes: u64) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        assert!(block_bytes > 0, "block size must be positive");
+        assert_eq!(
+            size_bytes % (ways as u64 * block_bytes),
+            0,
+            "capacity {size_bytes} is not a multiple of ways*block ({ways}*{block_bytes})"
+        );
+        let sets = size_bytes / (ways as u64 * block_bytes);
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count {sets} is not a power of two");
+        Self { size_bytes, ways, block_bytes }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Block size in bytes.
+    pub const fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * self.block_bytes)) as usize
+    }
+
+    /// Total number of block frames.
+    pub const fn blocks(&self) -> usize {
+        self.sets() * self.ways
+    }
+
+    /// Set index for a block key (block-granular address).
+    pub const fn set_of(&self, key: u64) -> usize {
+        (key % self.sets() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_llc_geometry() {
+        // Table I: 2MB 8-way LLC.
+        let cfg = CacheConfig::from_bytes(2 * 1024 * 1024, 8);
+        assert_eq!(cfg.sets(), 4096);
+        assert_eq!(cfg.blocks(), 32768);
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let cfg = CacheConfig::from_bytes(4096, 4); // 16 sets
+        assert_eq!(cfg.sets(), 16);
+        assert_eq!(cfg.set_of(0), 0);
+        assert_eq!(cfg.set_of(16), 0);
+        assert_eq!(cfg.set_of(17), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        CacheConfig::from_bytes(3 * 64 * 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn unaligned_capacity_panics() {
+        CacheConfig::from_bytes(1000, 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline optimal replacement: Belady's MIN and the Jeong–Dubois
+//! cost-sensitive optimal (CSOPT) search.
+//!
+//! Section V-B of the paper evaluates CSOPT — a breadth-first search over
+//! all eviction choices with cost-based pruning — to find cost-aware
+//! optimal replacement for a fixed trace, and reports that it is
+//! prohibitively expensive for memory-intensive workloads (minutes to days
+//! per trace). This module implements the search with the same dominance
+//! pruning (identical cache states keep only the cheapest path) plus an
+//! optional beam width for tractable approximation, and a uniform-cost
+//! Belady reference for validation.
+
+use std::collections::HashMap;
+
+/// One access in a costed trace: the block key and the cost incurred if
+/// this access misses.
+///
+/// Costs are expressed in abstract units (e.g. number of DRAM transfers);
+/// for metadata traces the cost of a counter miss depends on how much of
+/// the tree must be walked, which the trace producer bakes into each
+/// record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostedAccess {
+    /// Block key.
+    pub key: u64,
+    /// Cost charged when this access misses.
+    pub miss_cost: u64,
+}
+
+impl CostedAccess {
+    /// Creates a costed access.
+    pub const fn new(key: u64, miss_cost: u64) -> Self {
+        Self { key, miss_cost }
+    }
+
+    /// Uniform-cost convenience constructor.
+    pub const fn unit(key: u64) -> Self {
+        Self { key, miss_cost: 1 }
+    }
+}
+
+/// Result of a CSOPT search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsoptOutcome {
+    /// Minimum total miss cost over the trace.
+    pub min_cost: u64,
+    /// Number of misses along the cheapest path.
+    pub misses: u64,
+    /// Peak number of simultaneously-tracked states (search effort).
+    pub peak_states: usize,
+    /// Whether the beam width truncated the search (result may be
+    /// suboptimal when `true`).
+    pub truncated: bool,
+}
+
+/// Exact misses for Belady's MIN on a fully-associative cache of
+/// `capacity` blocks over a fixed, uniform-cost trace.
+///
+/// Used as the validation reference: with uniform costs, CSOPT and MIN
+/// must agree.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::belady_misses;
+/// let trace = [1u64, 2, 3, 1, 2, 3];
+/// assert_eq!(belady_misses(&trace, 2), 4);
+/// ```
+pub fn belady_misses(trace: &[u64], capacity: usize) -> u64 {
+    assert!(capacity > 0, "capacity must be positive");
+    // Precompute next-use indices.
+    let mut next_use = vec![usize::MAX; trace.len()];
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    for (i, &k) in trace.iter().enumerate() {
+        if let Some(&p) = last_pos.get(&k) {
+            next_use[p] = i;
+        }
+        last_pos.insert(k, i);
+    }
+    let mut cache: Vec<(u64, usize)> = Vec::with_capacity(capacity); // (key, next_use)
+    let mut misses = 0;
+    for (i, &k) in trace.iter().enumerate() {
+        if let Some(pos) = cache.iter().position(|&(ck, _)| ck == k) {
+            cache[pos].1 = next_use[i];
+            continue;
+        }
+        misses += 1;
+        if cache.len() < capacity {
+            cache.push((k, next_use[i]));
+        } else {
+            let victim = cache
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &(_, nu))| nu)
+                .map(|(idx, _)| idx)
+                .expect("cache is non-empty");
+            cache[victim] = (k, next_use[i]);
+        }
+    }
+    misses
+}
+
+/// Cost-sensitive optimal replacement for a fully-associative cache of
+/// `capacity` blocks over a fixed trace with per-access miss costs.
+///
+/// The search explores every eviction decision breadth-first, one trace
+/// position at a time, merging paths that reach the same cache state and
+/// keeping the cheaper (the paper's "eliminating the ones that have higher
+/// costs to reach the same state"). `beam` bounds the number of surviving
+/// states per step: `None` for the exact search, `Some(k)` to keep only
+/// the `k` cheapest (a tractable approximation for long traces; the
+/// outcome reports `truncated = true` if the bound ever bit).
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn csopt_min_cost(trace: &[CostedAccess], capacity: usize, beam: Option<usize>) -> CsoptOutcome {
+    assert!(capacity > 0, "capacity must be positive");
+    // State: sorted vector of resident keys -> (cost, misses).
+    let mut states: HashMap<Vec<u64>, (u64, u64)> = HashMap::new();
+    states.insert(Vec::new(), (0, 0));
+    let mut peak = 1usize;
+    let mut truncated = false;
+
+    for access in trace {
+        let mut next: HashMap<Vec<u64>, (u64, u64)> = HashMap::with_capacity(states.len() * 2);
+        let consider = |state: Vec<u64>, cost: (u64, u64), map: &mut HashMap<Vec<u64>, (u64, u64)>| {
+            map.entry(state)
+                .and_modify(|c| {
+                    if cost.0 < c.0 {
+                        *c = cost;
+                    }
+                })
+                .or_insert(cost);
+        };
+        for (state, (cost, misses)) in &states {
+            if state.binary_search(&access.key).is_ok() {
+                // Hit: state unchanged.
+                consider(state.clone(), (*cost, *misses), &mut next);
+                continue;
+            }
+            let new_cost = (cost + access.miss_cost, misses + 1);
+            if state.len() < capacity {
+                let mut s = state.clone();
+                let pos = s.binary_search(&access.key).unwrap_err();
+                s.insert(pos, access.key);
+                consider(s, new_cost, &mut next);
+            } else {
+                for victim_idx in 0..state.len() {
+                    let mut s = state.clone();
+                    s.remove(victim_idx);
+                    let pos = s.binary_search(&access.key).unwrap_err();
+                    s.insert(pos, access.key);
+                    consider(s, new_cost, &mut next);
+                }
+            }
+        }
+        if let Some(width) = beam {
+            if next.len() > width {
+                truncated = true;
+                let mut entries: Vec<_> = next.into_iter().collect();
+                entries.sort_by_key(|(_, (c, _))| *c);
+                entries.truncate(width);
+                next = entries.into_iter().collect();
+            }
+        }
+        peak = peak.max(next.len());
+        states = next;
+    }
+
+    let (min_cost, misses) = states
+        .values()
+        .copied()
+        .min_by_key(|&(c, _)| c)
+        .expect("at least one state survives");
+    CsoptOutcome { min_cost, misses, peak_states: peak, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn belady_on_cyclic_scan() {
+        // 0 1 2 0 1 2 ... with capacity 2: Belady misses 0,1,2 cold then
+        // keeps one of the loop resident.
+        let trace: Vec<u64> = (0..12).map(|i| i % 3).collect();
+        // Optimal: 3 cold misses, then 2 misses per 3-access lap (hits at
+        // positions 3, 5, 7, 9, 11) — 7 misses over 12 accesses.
+        assert_eq!(belady_misses(&trace, 2), 7);
+    }
+
+    #[test]
+    fn belady_with_enough_capacity_only_cold_misses() {
+        let trace: Vec<u64> = (0..30).map(|i| i % 5).collect();
+        assert_eq!(belady_misses(&trace, 5), 5);
+    }
+
+    #[test]
+    fn csopt_uniform_matches_belady() {
+        let traces: Vec<Vec<u64>> = vec![
+            (0..12).map(|i| i % 3).collect(),
+            vec![1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5],
+            (0..20).map(|i| (i * 7) % 6).collect(),
+        ];
+        for trace in traces {
+            let costed: Vec<_> = trace.iter().map(|&k| CostedAccess::unit(k)).collect();
+            for cap in 1..=3 {
+                let csopt = csopt_min_cost(&costed, cap, None);
+                let belady = belady_misses(&trace, cap);
+                assert_eq!(
+                    csopt.min_cost, belady,
+                    "capacity {cap}, trace {trace:?}"
+                );
+                assert!(!csopt.truncated);
+            }
+        }
+    }
+
+    #[test]
+    fn csopt_prefers_keeping_expensive_blocks() {
+        // Block 9 costs 10 per miss, blocks 1..=2 cost 1. Capacity 2.
+        // Trace: 9 1 2 9 1 2 9 — cost-aware optimum keeps 9 resident and
+        // pays cheap misses; Belady-by-distance treats all equally.
+        let trace = [
+            CostedAccess::new(9, 10),
+            CostedAccess::new(1, 1),
+            CostedAccess::new(2, 1),
+            CostedAccess::new(9, 10),
+            CostedAccess::new(1, 1),
+            CostedAccess::new(2, 1),
+            CostedAccess::new(9, 10),
+        ];
+        let out = csopt_min_cost(&trace, 2, None);
+        // Cold: 9 (10) + 1 (1) + 2 (1) = 12; then keeping 9 pinned costs
+        // one cheap miss per lap: +1 (1 or 2) +1 = 14.
+        assert_eq!(out.min_cost, 14);
+        // A cost-blind Belady could evict 9 and pay 10 twice more.
+        let keys: Vec<u64> = trace.iter().map(|a| a.key).collect();
+        assert!(belady_misses(&keys, 2) <= out.misses + 1);
+    }
+
+    #[test]
+    fn beam_truncation_reports_itself() {
+        let trace: Vec<CostedAccess> =
+            (0..16).map(|i| CostedAccess::unit(i % 7)).collect();
+        let exact = csopt_min_cost(&trace, 3, None);
+        let beamed = csopt_min_cost(&trace, 3, Some(2));
+        assert!(beamed.min_cost >= exact.min_cost);
+        assert!(beamed.peak_states <= 2 * 3 + 1);
+    }
+
+    #[test]
+    fn peak_states_grow_with_associativity() {
+        let trace: Vec<CostedAccess> =
+            (0..14).map(|i| CostedAccess::unit((i * 5) % 9)).collect();
+        let small = csopt_min_cost(&trace, 2, None);
+        let large = csopt_min_cost(&trace, 4, None);
+        assert!(large.peak_states >= small.peak_states);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        csopt_min_cost(&[CostedAccess::unit(1)], 0, None);
+    }
+
+    #[test]
+    fn empty_trace_costs_nothing() {
+        let out = csopt_min_cost(&[], 2, None);
+        assert_eq!(out.min_cost, 0);
+        assert_eq!(out.misses, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Set-associative cache simulation with pluggable replacement policies,
+//! way partitioning, set dueling, and offline optimal-replacement searches.
+//!
+//! This crate provides the cache substrate for the MAPS study:
+//!
+//! * [`SetAssocCache`] — a generic set-associative cache over 64 B block
+//!   keys, parameterized by a [`Policy`]. It powers both the L1/L2/LLC data
+//!   hierarchy and the unified metadata cache.
+//! * [`policy`] — replacement policies evaluated in the paper: true LRU,
+//!   tree pseudo-LRU, FIFO, random, SRRIP, EVA, and a Belady MIN oracle fed
+//!   with future knowledge from a recorded trace.
+//! * [`partition`] — static way-partitioning between counters and hashes
+//!   plus the set-dueling machinery from Section V-C.
+//! * [`csopt`] — the Jeong–Dubois cost-sensitive optimal replacement search
+//!   (breadth-first over eviction choices with dominance pruning) discussed
+//!   in Section V-B.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_cache::{CacheConfig, SetAssocCache};
+//! use maps_cache::policy::TrueLru;
+//! use maps_trace::BlockKind;
+//!
+//! let cfg = CacheConfig::from_bytes(4096, 4); // 4 KB, 4-way, 64 B blocks
+//! let mut cache = SetAssocCache::new(cfg, TrueLru::new());
+//! assert!(!cache.access(0x10, BlockKind::Data, false).hit);
+//! assert!(cache.access(0x10, BlockKind::Data, false).hit);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod csopt;
+pub mod line;
+pub mod partition;
+pub mod policy;
+pub mod stats;
+
+pub use cache::{AccessResult, SetAssocCache};
+pub use config::CacheConfig;
+pub use csopt::{belady_misses, csopt_min_cost, CostedAccess, CsoptOutcome};
+pub use line::Line;
+pub use partition::{DuelingController, Partition, SetRole};
+pub use policy::Policy;
+pub use stats::{CacheStats, KindStats};

@@ -1,0 +1,85 @@
+//! Cache line bookkeeping.
+
+use maps_trace::BlockKind;
+
+/// Mask value meaning every 8 B sub-entry of a 64 B block is present.
+pub const FULL_MASK: u8 = 0xFF;
+
+/// One resident cache line.
+///
+/// `valid_mask` tracks per-8 B validity for the partial-write mechanism of
+/// Section IV-E: a hash block inserted as a placeholder for a single updated
+/// hash starts with one bit set and accumulates bits as neighbouring hashes
+/// are written. A line evicted dirty with an incomplete mask requires a
+/// fill read from memory before it can be written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Block-granular address (global key).
+    pub key: u64,
+    /// Block classification (data or metadata type).
+    pub kind: BlockKind,
+    /// Whether the line has been written since fill.
+    pub dirty: bool,
+    /// Per-8 B validity bits; [`FULL_MASK`] for ordinary fills.
+    pub valid_mask: u8,
+    /// Cache access-counter value when the line was filled.
+    pub insert_at: u64,
+    /// Cache access-counter value of the most recent touch.
+    pub last_at: u64,
+}
+
+impl Line {
+    /// Creates a fully-valid clean line filled at `time`.
+    pub const fn filled(key: u64, kind: BlockKind, time: u64) -> Self {
+        Self { key, kind, dirty: false, valid_mask: FULL_MASK, insert_at: time, last_at: time }
+    }
+
+    /// Creates a partial-write placeholder containing only the sub-entry
+    /// at `slot` (0..8). The line is born dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn placeholder(key: u64, kind: BlockKind, time: u64, slot: u8) -> Self {
+        assert!(slot < 8, "sub-block slot {slot} out of range");
+        Self { key, kind, dirty: true, valid_mask: 1 << slot, insert_at: time, last_at: time }
+    }
+
+    /// Whether all eight sub-entries are valid.
+    pub const fn is_complete(&self) -> bool {
+        self.valid_mask == FULL_MASK
+    }
+
+    /// Age of the line in cache accesses at time `now`.
+    pub const fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.insert_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_lines_are_complete_and_clean() {
+        let l = Line::filled(42, BlockKind::Counter, 7);
+        assert!(l.is_complete());
+        assert!(!l.dirty);
+        assert_eq!(l.age(10), 3);
+        assert_eq!(l.age(5), 0);
+    }
+
+    #[test]
+    fn placeholders_start_dirty_with_one_bit() {
+        let l = Line::placeholder(42, BlockKind::Hash, 0, 3);
+        assert!(l.dirty);
+        assert_eq!(l.valid_mask, 0b1000);
+        assert!(!l.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placeholder_slot_bounds() {
+        Line::placeholder(0, BlockKind::Hash, 0, 8);
+    }
+}

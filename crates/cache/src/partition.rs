@@ -1,0 +1,255 @@
+//! Way partitioning between counters and hashes, and the set-dueling
+//! dynamic partition controller (Section V-C).
+
+use maps_trace::BlockKind;
+
+/// A static way partition for the metadata cache.
+///
+/// Counters are restricted to the first `counter_ways` ways and hashes to
+/// the rest. Tree nodes (and data, in mixed caches) may use any way — the
+/// paper explicitly excludes tree nodes from partitioning because their
+/// reuse distances are either too short to be evicted or too long to cache.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::Partition;
+/// use maps_trace::BlockKind;
+/// let p = Partition::counter_ways(3);
+/// assert_eq!(p.ways_for(BlockKind::Counter, 8), (0, 3));
+/// assert_eq!(p.ways_for(BlockKind::Hash, 8), (3, 8));
+/// assert_eq!(p.ways_for(BlockKind::Tree(0), 8), (0, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Partition {
+    counter_ways: usize,
+}
+
+impl Partition {
+    /// Creates a partition granting `counter_ways` ways to counters; the
+    /// remainder go to hashes.
+    pub const fn counter_ways(counter_ways: usize) -> Self {
+        Self { counter_ways }
+    }
+
+    /// Number of ways granted to counters.
+    pub const fn counter_way_count(&self) -> usize {
+        self.counter_ways
+    }
+
+    /// Validates the partition against an associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split leaves either side without at least one way.
+    pub fn validate(&self, ways: usize) {
+        assert!(
+            self.counter_ways >= 1 && self.counter_ways < ways,
+            "partition {}:{} must leave at least one way per side",
+            self.counter_ways,
+            ways.saturating_sub(self.counter_ways)
+        );
+    }
+
+    /// Half-open way range `[lo, hi)` allowed for `kind` at associativity
+    /// `ways`.
+    pub fn ways_for(&self, kind: BlockKind, ways: usize) -> (usize, usize) {
+        match kind {
+            BlockKind::Counter => (0, self.counter_ways.min(ways)),
+            BlockKind::Hash => (self.counter_ways.min(ways), ways),
+            BlockKind::Data | BlockKind::Tree(_) => (0, ways),
+        }
+    }
+
+    /// All valid splits for an associativity, for best-static sweeps.
+    pub fn all_splits(ways: usize) -> impl Iterator<Item = Partition> {
+        (1..ways).map(Partition::counter_ways)
+    }
+}
+
+/// Role a set plays under set dueling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRole {
+    /// Always uses partition A; its misses vote for B.
+    LeaderA,
+    /// Always uses partition B; its misses vote for A.
+    LeaderB,
+    /// Uses whichever partition is currently winning.
+    Follower,
+}
+
+/// Set-dueling controller choosing between two partitions at run time
+/// (Qureshi et al.-style dynamic insertion adapted to partitioning, as the
+/// paper's Section V-C describes).
+///
+/// Two small collections of leader sets are distributed uniformly across
+/// the index space; a saturating counter (`psel`) accumulates miss votes
+/// and follower sets adopt the partition of the currently-winning leader.
+#[derive(Debug, Clone)]
+pub struct DuelingController {
+    partition_a: Partition,
+    partition_b: Partition,
+    roles: Vec<SetRole>,
+    psel: i32,
+    psel_max: i32,
+}
+
+impl DuelingController {
+    /// Creates a controller over `sets` cache sets with `leaders_per_side`
+    /// leader sets for each competing partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are not enough sets for the requested leaders.
+    pub fn new(
+        sets: usize,
+        leaders_per_side: usize,
+        partition_a: Partition,
+        partition_b: Partition,
+    ) -> Self {
+        assert!(
+            2 * leaders_per_side <= sets,
+            "cannot place {leaders_per_side} leader sets per side in {sets} sets"
+        );
+        let mut roles = vec![SetRole::Follower; sets];
+        if leaders_per_side > 0 {
+            // Distribute leaders uniformly: interleave A and B leaders at a
+            // fixed stride so both samples span the whole index space.
+            let stride = sets / (2 * leaders_per_side);
+            for i in 0..leaders_per_side {
+                roles[2 * i * stride] = SetRole::LeaderA;
+                roles[(2 * i + 1) * stride] = SetRole::LeaderB;
+            }
+        }
+        Self { partition_a, partition_b, roles, psel: 0, psel_max: 1024 }
+    }
+
+    /// Role of a set.
+    pub fn role(&self, set: usize) -> SetRole {
+        self.roles[set]
+    }
+
+    /// Partition a given set should use right now.
+    pub fn partition_for(&self, set: usize) -> Partition {
+        match self.roles[set] {
+            SetRole::LeaderA => self.partition_a,
+            SetRole::LeaderB => self.partition_b,
+            SetRole::Follower => {
+                if self.psel <= 0 {
+                    self.partition_a
+                } else {
+                    self.partition_b
+                }
+            }
+        }
+    }
+
+    /// Records a miss in `set`; leader misses move the selector toward the
+    /// other leader's partition.
+    pub fn record_miss(&mut self, set: usize) {
+        match self.roles[set] {
+            SetRole::LeaderA => self.psel = (self.psel + 1).min(self.psel_max),
+            SetRole::LeaderB => self.psel = (self.psel - 1).max(-self.psel_max),
+            SetRole::Follower => {}
+        }
+    }
+
+    /// Current selector value (negative favours partition A).
+    pub fn selector(&self) -> i32 {
+        self.psel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_ranges() {
+        let p = Partition::counter_ways(2);
+        p.validate(8);
+        assert_eq!(p.ways_for(BlockKind::Counter, 8), (0, 2));
+        assert_eq!(p.ways_for(BlockKind::Hash, 8), (2, 8));
+        assert_eq!(p.ways_for(BlockKind::Data, 8), (0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn degenerate_partition_rejected() {
+        Partition::counter_ways(8).validate(8);
+    }
+
+    #[test]
+    fn all_splits_enumerates() {
+        let splits: Vec<_> = Partition::all_splits(4).collect();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].counter_way_count(), 1);
+        assert_eq!(splits[2].counter_way_count(), 3);
+    }
+
+    #[test]
+    fn leaders_distributed_and_balanced() {
+        let d = DuelingController::new(
+            64,
+            4,
+            Partition::counter_ways(2),
+            Partition::counter_ways(6),
+        );
+        let a = (0..64).filter(|&s| d.role(s) == SetRole::LeaderA).count();
+        let b = (0..64).filter(|&s| d.role(s) == SetRole::LeaderB).count();
+        assert_eq!((a, b), (4, 4));
+    }
+
+    #[test]
+    fn follower_tracks_winning_leader() {
+        let mut d = DuelingController::new(
+            64,
+            2,
+            Partition::counter_ways(2),
+            Partition::counter_ways(6),
+        );
+        let follower = (0..64).find(|&s| d.role(s) == SetRole::Follower).unwrap();
+        // Misses in A's leaders vote for B.
+        let leader_a = (0..64).find(|&s| d.role(s) == SetRole::LeaderA).unwrap();
+        for _ in 0..10 {
+            d.record_miss(leader_a);
+        }
+        assert_eq!(d.partition_for(follower), Partition::counter_ways(6));
+        // Misses in B's leaders vote back toward A.
+        let leader_b = (0..64).find(|&s| d.role(s) == SetRole::LeaderB).unwrap();
+        for _ in 0..20 {
+            d.record_miss(leader_b);
+        }
+        assert_eq!(d.partition_for(follower), Partition::counter_ways(2));
+    }
+
+    #[test]
+    fn leaders_keep_their_partition_regardless_of_psel() {
+        let mut d = DuelingController::new(
+            32,
+            1,
+            Partition::counter_ways(1),
+            Partition::counter_ways(7),
+        );
+        let leader_a = (0..32).find(|&s| d.role(s) == SetRole::LeaderA).unwrap();
+        for _ in 0..100 {
+            d.record_miss(leader_a);
+        }
+        assert_eq!(d.partition_for(leader_a), Partition::counter_ways(1));
+    }
+
+    #[test]
+    fn selector_saturates() {
+        let mut d = DuelingController::new(
+            16,
+            1,
+            Partition::counter_ways(1),
+            Partition::counter_ways(7),
+        );
+        let leader_a = (0..16).find(|&s| d.role(s) == SetRole::LeaderA).unwrap();
+        for _ in 0..5000 {
+            d.record_miss(leader_a);
+        }
+        assert_eq!(d.selector(), 1024);
+    }
+}

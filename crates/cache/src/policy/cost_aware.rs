@@ -1,0 +1,178 @@
+//! Cost-aware, type-aware replacement — the research direction Section VI
+//! calls for ("the metadata cache should have an eviction policy that
+//! accounts for multiple miss costs").
+
+use super::Policy;
+use crate::Line;
+use maps_trace::BlockKind;
+
+/// A cost-benefit eviction policy for metadata caches.
+///
+/// Traditional policies assume uniform miss costs; metadata does not: a
+/// counter miss can trigger a whole integrity-tree walk while a hash miss
+/// costs one memory transfer. This policy scores each candidate by the
+/// expected cost of evicting it:
+///
+/// ```text
+/// score(line) = miss_cost(kind) * recency_weight(age)
+/// ```
+///
+/// where `recency_weight` decays geometrically with age (an LRU-like reuse
+/// probability proxy), and evicts the candidate with the *lowest* score —
+/// stale, cheap-to-refetch lines go first; recently-used or
+/// expensive-to-refetch lines are protected. With uniform costs the policy
+/// degenerates to (approximate) LRU.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::policy::CostAware;
+/// use maps_cache::{CacheConfig, SetAssocCache};
+/// use maps_trace::BlockKind;
+///
+/// let mut c = SetAssocCache::new(
+///     CacheConfig::from_bytes(128, 2),
+///     CostAware::new(4), // counter misses cost 4 transfers
+/// );
+/// c.access(1, BlockKind::Counter, false);
+/// c.access(2, BlockKind::Hash, false);
+/// // Both lines are equally recent-ish; the cheap hash is evicted first.
+/// let evicted = c.access(3, BlockKind::Hash, false).evicted.unwrap();
+/// assert_eq!(evicted.kind, BlockKind::Hash);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CostAware {
+    counter_cost: u64,
+    /// Age (in cache accesses) over which the recency weight halves.
+    half_life: u64,
+}
+
+impl CostAware {
+    /// Creates the policy; `counter_cost` is the relative miss cost of a
+    /// counter block (≈ 1 + expected tree-walk length), hashes and tree
+    /// nodes cost 1 and 2 respectively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_cost` is zero.
+    pub fn new(counter_cost: u64) -> Self {
+        Self::with_half_life(counter_cost, 64)
+    }
+
+    /// Creates the policy with an explicit recency half-life in accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn with_half_life(counter_cost: u64, half_life: u64) -> Self {
+        assert!(counter_cost > 0, "counter cost must be positive");
+        assert!(half_life > 0, "half-life must be positive");
+        Self { counter_cost, half_life }
+    }
+
+    fn miss_cost(&self, kind: BlockKind) -> f64 {
+        match kind {
+            // Re-fetching a counter re-triggers tree verification.
+            BlockKind::Counter => self.counter_cost as f64,
+            // A lost tree node lengthens the next walk by one level; it
+            // also protects many counters, so weight it above hashes.
+            BlockKind::Tree(_) => 2.0,
+            BlockKind::Hash | BlockKind::Data => 1.0,
+        }
+    }
+
+    fn score(&self, line: &Line, now: u64) -> f64 {
+        let age = now.saturating_sub(line.last_at) as f64;
+        let recency = 0.5f64.powf(age / self.half_life as f64);
+        self.miss_cost(line.kind) * recency
+    }
+}
+
+impl Default for CostAware {
+    fn default() -> Self {
+        // A 4 GB split-counter system has five-ish tree levels; a counter
+        // miss in a cold tree costs about that many extra transfers.
+        Self::new(5)
+    }
+}
+
+impl Policy for CostAware {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn init(&mut self, _sets: usize, _ways: usize) {}
+
+    fn choose_victim(
+        &mut self,
+        _set: usize,
+        candidates: &[usize],
+        lines: &[Option<Line>],
+        now: u64,
+    ) -> usize {
+        let mut best = candidates[0];
+        let mut best_score = f64::INFINITY;
+        for &w in candidates {
+            let line = lines[w].as_ref().expect("candidate way must hold a line");
+            let s = self.score(line, now);
+            if s < best_score {
+                best_score = s;
+                best = w;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, SetAssocCache};
+
+    #[test]
+    fn protects_counters_over_hashes_at_equal_recency() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(256, 4), CostAware::new(8));
+        c.access(1, BlockKind::Counter, false);
+        c.access(2, BlockKind::Hash, false);
+        c.access(3, BlockKind::Hash, false);
+        c.access(4, BlockKind::Hash, false);
+        let evicted = c.access(5, BlockKind::Hash, false).evicted.unwrap();
+        assert_ne!(evicted.kind, BlockKind::Counter, "counter should be protected");
+    }
+
+    #[test]
+    fn very_stale_counters_still_age_out() {
+        let mut c = SetAssocCache::new(
+            CacheConfig::from_bytes(128, 2),
+            CostAware::with_half_life(8, 4),
+        );
+        c.access(1, BlockKind::Counter, false);
+        // Keep the hash line hot while the counter goes stale.
+        for _ in 0..64 {
+            c.access(2, BlockKind::Hash, false);
+        }
+        let evicted = c.access(3, BlockKind::Hash, false).evicted.unwrap();
+        assert_eq!(evicted.kind, BlockKind::Counter, "stale counter must eventually yield");
+    }
+
+    #[test]
+    fn degenerates_to_lru_with_uniform_costs() {
+        let mut cost = SetAssocCache::new(CacheConfig::from_bytes(256, 4), CostAware::new(1));
+        let mut lru =
+            SetAssocCache::new(CacheConfig::from_bytes(256, 4), crate::policy::TrueLru::new());
+        let keys: Vec<u64> = (0..400).map(|i| (i * 13) % 23).collect();
+        let mut same = 0;
+        for &k in &keys {
+            let a = cost.access(k, BlockKind::Hash, false).hit;
+            let b = lru.access(k, BlockKind::Hash, false).hit;
+            same += usize::from(a == b);
+        }
+        assert!(same as f64 > 0.95 * keys.len() as f64, "agreed on {same}/{}", keys.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter cost")]
+    fn zero_cost_rejected() {
+        CostAware::new(0);
+    }
+}

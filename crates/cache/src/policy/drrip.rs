@@ -1,0 +1,183 @@
+//! Dynamic re-reference interval prediction (DRRIP).
+
+use super::Policy;
+use crate::Line;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// DRRIP (Jaleel et al., ISCA 2010): set-dueling between SRRIP insertion
+/// (RRPV = max-1) and bimodal BRRIP insertion (usually RRPV = max,
+/// occasionally max-1), with follower sets tracking the winning leader.
+///
+/// Completes the reuse-prediction policy family the paper points to in
+/// Section IV-D; like EVA, its global duel cannot distinguish metadata
+/// *types*, which is exactly the gap the paper identifies.
+#[derive(Debug, Clone)]
+pub struct Drrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+    /// Per-set role: 0 = SRRIP leader, 1 = BRRIP leader, 2 = follower.
+    roles: Vec<u8>,
+    /// Positive favours BRRIP (SRRIP leaders missing), negative SRRIP.
+    psel: i32,
+    rng: SmallRng,
+}
+
+const MAX_RRPV: u8 = 3;
+/// BRRIP inserts at max-1 once every this many fills.
+const BRRIP_LONG_PERIOD: u32 = 32;
+/// Leader sets per policy side (spread uniformly).
+const LEADERS_PER_SIDE: usize = 4;
+
+impl Drrip {
+    /// Creates the policy with a fixed duel seed.
+    pub fn new() -> Self {
+        Self::with_seed(0xD881)
+    }
+
+    /// Creates the policy with an explicit seed for the bimodal choice.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            ways: 0,
+            rrpv: Vec::new(),
+            roles: Vec::new(),
+            psel: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn uses_brrip(&self, set: usize) -> bool {
+        match self.roles[set] {
+            0 => false,
+            1 => true,
+            _ => self.psel > 0,
+        }
+    }
+}
+
+impl Default for Drrip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Drrip {
+    fn name(&self) -> &'static str {
+        "drrip"
+    }
+
+    fn init(&mut self, sets: usize, ways: usize) {
+        self.ways = ways;
+        self.rrpv = vec![MAX_RRPV; sets * ways];
+        self.roles = vec![2; sets];
+        if sets >= 2 * LEADERS_PER_SIDE {
+            let stride = sets / (2 * LEADERS_PER_SIDE);
+            for i in 0..LEADERS_PER_SIDE {
+                self.roles[2 * i * stride] = 0;
+                self.roles[(2 * i + 1) * stride] = 1;
+            }
+        } else if sets >= 2 {
+            self.roles[0] = 0;
+            self.roles[1] = 1;
+        }
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+        let s = self.slot(set, way);
+        self.rrpv[s] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _line: &Line) {
+        // A fill means the access missed: leaders vote.
+        match self.roles[set] {
+            0 => self.psel = (self.psel + 1).min(1024),
+            1 => self.psel = (self.psel - 1).max(-1024),
+            _ => {}
+        }
+        let s = self.slot(set, way);
+        self.rrpv[s] = if self.uses_brrip(set) {
+            if self.rng.gen_ratio(1, BRRIP_LONG_PERIOD) {
+                MAX_RRPV - 1
+            } else {
+                MAX_RRPV
+            }
+        } else {
+            MAX_RRPV - 1
+        };
+    }
+
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[usize],
+        _lines: &[Option<Line>],
+        _now: u64,
+    ) -> usize {
+        loop {
+            if let Some(&way) =
+                candidates.iter().find(|&&w| self.rrpv[set * self.ways + w] == MAX_RRPV)
+            {
+                return way;
+            }
+            for &w in candidates {
+                let s = set * self.ways + w;
+                self.rrpv[s] = (self.rrpv[s] + 1).min(MAX_RRPV);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, SetAssocCache};
+    use maps_trace::BlockKind;
+
+    #[test]
+    fn roles_are_assigned_per_side() {
+        let mut d = Drrip::new();
+        d.init(64, 8);
+        let srrip = d.roles.iter().filter(|&&r| r == 0).count();
+        let brrip = d.roles.iter().filter(|&&r| r == 1).count();
+        assert_eq!((srrip, brrip), (LEADERS_PER_SIDE, LEADERS_PER_SIDE));
+    }
+
+    #[test]
+    fn tiny_caches_still_get_both_leaders() {
+        let mut d = Drrip::new();
+        d.init(2, 4);
+        assert_eq!(d.roles[0], 0);
+        assert_eq!(d.roles[1], 1);
+    }
+
+    #[test]
+    fn thrash_resistant_on_scanning_pattern() {
+        // A cyclic scan larger than the cache: BRRIP keeps a fraction of
+        // the working set resident, so DRRIP should beat plain SRRIP.
+        let scan: Vec<u64> = (0..4000).map(|i| i % 48).collect();
+        let mut drrip = SetAssocCache::new(CacheConfig::from_bytes(2048, 8), Drrip::new());
+        let mut srrip =
+            SetAssocCache::new(CacheConfig::from_bytes(2048, 8), crate::policy::Srrip::new());
+        let (mut hd, mut hs) = (0u64, 0u64);
+        for &k in &scan {
+            hd += u64::from(drrip.access(k, BlockKind::Data, false).hit);
+            hs += u64::from(srrip.access(k, BlockKind::Data, false).hit);
+        }
+        assert!(hd + 50 >= hs, "DRRIP ({hd}) should not lose badly to SRRIP ({hs})");
+    }
+
+    #[test]
+    fn behaves_sanely_under_mixed_traffic() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(4096, 8), Drrip::new());
+        for i in 0..5000u64 {
+            c.access(i % 200, BlockKind::Data, i % 7 == 0);
+        }
+        let t = c.stats().total();
+        assert_eq!(t.accesses, 5000);
+        assert!(t.hits > 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! EVA with per-metadata-type histograms — testing the paper's diagnosis.
+//!
+//! Section V-A attributes EVA's disappointing metadata results to its
+//! single age histogram: "EVA uses one histogram … The bimodal
+//! characteristic of metadata reuse distances makes the one histogram
+//! approach ineffective." The fix the analysis implies is *classified*
+//! EVA: per-type hit/eviction histograms and per-type rank curves —
+//! coupled through a **shared** opportunity-cost term, because all types
+//! compete for the same frames. (Giving each type its own opportunity
+//! cost over-protects low-hit-rate types; see `ablation_eva_types`.)
+
+use super::Policy;
+use crate::Line;
+use maps_trace::BlockKind;
+
+/// Number of age buckets per class histogram.
+const BUCKETS: usize = 256;
+/// History decay applied at each rebuild.
+const DECAY: f64 = 0.5;
+/// Block classes: data, counter, hash, tree.
+const CLASSES: usize = 4;
+
+fn class_index(kind: BlockKind) -> usize {
+    match kind {
+        BlockKind::Data => 0,
+        BlockKind::Counter => 1,
+        BlockKind::Hash => 2,
+        BlockKind::Tree(_) => 3,
+    }
+}
+
+/// Classified EVA: one age histogram and rank curve per block class, with
+/// the opportunity cost `C` shared across classes.
+#[derive(Debug, Clone)]
+pub struct EvaPerType {
+    granularity: u64,
+    update_period: u64,
+    ways: usize,
+    /// Per-frame start of the current lifetime.
+    birth: Vec<u64>,
+    /// Per-class histograms.
+    hits: [Vec<f64>; CLASSES],
+    evictions: [Vec<f64>; CLASSES],
+    /// Per-class EVA rank tables.
+    rank: [Vec<f64>; CLASSES],
+    events: u64,
+}
+
+impl EvaPerType {
+    /// Creates the policy with the same default parameters as
+    /// [`super::Eva`].
+    pub fn new() -> Self {
+        Self::with_params(16, 4096)
+    }
+
+    /// Creates the policy with explicit age granularity and update period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn with_params(granularity: u64, update_period: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        assert!(update_period > 0, "update period must be positive");
+        let zero = || vec![0.0; BUCKETS];
+        // Cold-start ranks fall with age so the policy starts LRU-like.
+        let cold = || (0..BUCKETS).map(|b| -(b as f64)).collect::<Vec<_>>();
+        Self {
+            granularity,
+            update_period,
+            ways: 0,
+            birth: Vec::new(),
+            hits: [zero(), zero(), zero(), zero()],
+            evictions: [zero(), zero(), zero(), zero()],
+            rank: [cold(), cold(), cold(), cold()],
+            events: 0,
+        }
+    }
+
+    fn bucket(&self, age: u64) -> usize {
+        ((age / self.granularity) as usize).min(BUCKETS - 1)
+    }
+
+    fn lifetime_age(&self, set: usize, way: usize, now: u64) -> u64 {
+        now.saturating_sub(self.birth[set * self.ways + way])
+    }
+
+    fn tick(&mut self) {
+        self.events += 1;
+        if self.events.is_multiple_of(self.update_period) {
+            self.rebuild();
+        }
+    }
+
+    /// Rebuilds every class's rank table with a shared opportunity cost.
+    fn rebuild(&mut self) {
+        let mut total_hits = 0.0;
+        let mut total_lifetime = 0.0;
+        let mut per_class: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::with_capacity(CLASSES);
+        for c in 0..CLASSES {
+            let mut lines_reaching = vec![0.0; BUCKETS + 1];
+            let mut hits_above = vec![0.0; BUCKETS + 1];
+            let mut lifetime_above = vec![0.0; BUCKETS + 1];
+            for a in (0..BUCKETS).rev() {
+                let ev = self.hits[c][a] + self.evictions[c][a];
+                lines_reaching[a] = lines_reaching[a + 1] + ev;
+                hits_above[a] = hits_above[a + 1] + self.hits[c][a];
+                lifetime_above[a] = lifetime_above[a + 1] + lines_reaching[a];
+            }
+            total_hits += hits_above[0];
+            total_lifetime += lifetime_above[0];
+            per_class.push((lines_reaching, hits_above, lifetime_above));
+        }
+        if total_lifetime <= 0.0 || total_hits + total_lifetime < 1.0 {
+            return; // not enough history yet
+        }
+        // Shared opportunity cost: hits per frame-cycle across all types.
+        let c_shared = total_hits / total_lifetime;
+        for (c, (lines_reaching, hits_above, lifetime_above)) in per_class.iter().enumerate() {
+            for a in 0..BUCKETS {
+                self.rank[c][a] = if lines_reaching[a] > 0.0 {
+                    let p = hits_above[a] / lines_reaching[a];
+                    let l = lifetime_above[a] / lines_reaching[a];
+                    p - c_shared * l
+                } else {
+                    f64::NEG_INFINITY
+                };
+            }
+        }
+        for c in 0..CLASSES {
+            for v in &mut self.hits[c] {
+                *v *= DECAY;
+            }
+            for v in &mut self.evictions[c] {
+                *v *= DECAY;
+            }
+        }
+    }
+
+    /// Rank of a line of class `kind` at (uncoarsened) age; for tests.
+    pub fn rank_of(&self, kind: BlockKind, age: u64) -> f64 {
+        self.rank[class_index(kind)][self.bucket(age)]
+    }
+}
+
+impl Default for EvaPerType {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for EvaPerType {
+    fn name(&self) -> &'static str {
+        "eva-per-type"
+    }
+
+    fn init(&mut self, sets: usize, ways: usize) {
+        self.ways = ways;
+        self.birth = vec![0; sets * ways];
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, line: &Line) {
+        let now = line.last_at;
+        let age = self.lifetime_age(set, way, now);
+        let b = self.bucket(age);
+        self.hits[class_index(line.kind)][b] += 1.0;
+        self.birth[set * self.ways + way] = now;
+        self.tick();
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, line: &Line) {
+        self.birth[set * self.ways + way] = line.insert_at;
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, line: &Line, now: u64) {
+        let age = self.lifetime_age(set, way, now);
+        let b = self.bucket(age);
+        self.evictions[class_index(line.kind)][b] += 1.0;
+        self.tick();
+    }
+
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[usize],
+        lines: &[Option<Line>],
+        now: u64,
+    ) -> usize {
+        let mut best = candidates[0];
+        let mut best_rank = f64::INFINITY;
+        for &w in candidates {
+            let line = lines[w].as_ref().expect("candidate way must hold a line");
+            let rank = self.rank_of(line.kind, self.lifetime_age(set, w, now));
+            if rank < best_rank {
+                best_rank = rank;
+                best = w;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Eva;
+    use crate::{CacheConfig, SetAssocCache};
+
+    #[test]
+    fn separates_types_with_different_reuse() {
+        // Counters rereferenced every 4 accesses; hashes stream cold.
+        let mut c = SetAssocCache::new(
+            CacheConfig::from_bytes(512, 8),
+            EvaPerType::with_params(4, 256),
+        );
+        let mut ctr_hits = 0u64;
+        let mut ctr_total = 0u64;
+        for round in 0..4000u64 {
+            for hot in 0..3u64 {
+                let r = c.access(hot, BlockKind::Counter, false);
+                if round > 3000 {
+                    ctr_total += 1;
+                    ctr_hits += u64::from(r.hit);
+                }
+            }
+            c.access(1000 + round, BlockKind::Hash, false);
+        }
+        assert!(
+            ctr_hits as f64 > 0.85 * ctr_total as f64,
+            "counters not protected: {ctr_hits}/{ctr_total}"
+        );
+    }
+
+    #[test]
+    fn behaves_like_eva_for_a_single_type() {
+        let keys: Vec<u64> = (0..2000).map(|i| (i * 7) % 64).collect();
+        let mut per_type = SetAssocCache::new(
+            CacheConfig::from_bytes(1024, 8),
+            EvaPerType::with_params(8, 512),
+        );
+        let mut vanilla =
+            SetAssocCache::new(CacheConfig::from_bytes(1024, 8), Eva::with_params(8, 512));
+        let (mut a, mut b) = (0u64, 0u64);
+        for &k in &keys {
+            a += u64::from(per_type.access(k, BlockKind::Hash, false).hit);
+            b += u64::from(vanilla.access(k, BlockKind::Hash, false).hit);
+        }
+        let diff = (a as f64 - b as f64).abs() / keys.len() as f64;
+        assert!(diff < 0.05, "single-type behaviour diverged: {a} vs {b}");
+    }
+
+    #[test]
+    fn stats_stay_consistent() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(2048, 8), EvaPerType::new());
+        for i in 0..3000u64 {
+            let kind = match i % 3 {
+                0 => BlockKind::Counter,
+                1 => BlockKind::Hash,
+                _ => BlockKind::Tree(0),
+            };
+            c.access(i % 300, kind, i % 5 == 0);
+        }
+        let t = c.stats().total();
+        assert_eq!(t.accesses, 3000);
+        assert_eq!(t.accesses, t.hits + t.misses);
+    }
+
+    #[test]
+    fn trained_ranks_differ_across_types() {
+        let mut c = SetAssocCache::new(
+            CacheConfig::from_bytes(512, 8),
+            EvaPerType::with_params(4, 128),
+        );
+        for round in 0..2000u64 {
+            c.access(round % 4, BlockKind::Counter, false);
+            c.access(1000 + round, BlockKind::Hash, false);
+        }
+        // Counters hit at short ages; streaming hashes never hit. The
+        // trained tables must reflect that at the counters' typical age.
+        let p = c.policy();
+        assert!(p.rank_of(BlockKind::Counter, 8) > p.rank_of(BlockKind::Hash, 8));
+    }
+}

@@ -1,0 +1,53 @@
+//! First-in first-out replacement.
+
+use super::{argmin_by, Policy};
+use crate::Line;
+
+/// FIFO: evicts the candidate that was filled longest ago, regardless of
+/// intervening hits. A baseline policy; not in the paper's Figure 6 but
+/// useful for sanity checks and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl Fifo {
+    /// Creates the policy.
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn init(&mut self, _sets: usize, _ways: usize) {}
+
+    fn choose_victim(
+        &mut self,
+        _set: usize,
+        candidates: &[usize],
+        lines: &[Option<Line>],
+        _now: u64,
+    ) -> usize {
+        argmin_by(candidates, lines, |l| l.insert_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, SetAssocCache};
+    use maps_trace::BlockKind;
+
+    #[test]
+    fn ignores_hits() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(128, 2), Fifo::new());
+        c.access(1, BlockKind::Data, false);
+        c.access(2, BlockKind::Data, false);
+        // Rehit 1; FIFO still evicts 1 (oldest fill).
+        c.access(1, BlockKind::Data, false);
+        let r = c.access(3, BlockKind::Data, false);
+        assert_eq!(r.evicted.unwrap().key, 1);
+    }
+}

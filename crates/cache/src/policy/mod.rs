@@ -1,0 +1,87 @@
+//! Replacement policies.
+//!
+//! The paper evaluates pseudo-LRU, EVA, Belady's MIN and an iterated MIN on
+//! the metadata cache (Figure 6) and finds that none of them — not even the
+//! "optimal" MIN — handles metadata's bimodal reuse and non-uniform miss
+//! costs well. This module implements all of them plus standard baselines.
+
+mod any;
+mod cost_aware;
+mod drrip;
+mod eva;
+mod eva_per_type;
+mod fifo;
+mod min;
+mod plru;
+mod random;
+mod srrip;
+mod trace_min;
+mod true_lru;
+
+pub use any::AnyPolicy;
+pub use cost_aware::CostAware;
+pub use drrip::Drrip;
+pub use eva::Eva;
+pub use eva_per_type::EvaPerType;
+pub use fifo::Fifo;
+pub use min::MinOracle;
+pub use plru::TreePlru;
+pub use random::RandomEvict;
+pub use srrip::Srrip;
+pub use trace_min::TraceMin;
+pub use true_lru::TrueLru;
+
+use crate::Line;
+
+/// A cache replacement policy.
+///
+/// The cache core owns the lines; policies receive callbacks on hits, fills,
+/// and evictions, and choose victims among a candidate way list (the
+/// candidate list is narrowed by way partitioning when active). Per-line
+/// recency/insertion timestamps are maintained by the core and available on
+/// each [`Line`], so stateless policies like LRU and FIFO need no storage of
+/// their own.
+pub trait Policy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Sizes per-set state. Called once by the cache constructor.
+    fn init(&mut self, sets: usize, ways: usize);
+
+    /// Called at the start of every cache access with the access counter
+    /// and the key being accessed (used by oracle policies).
+    fn begin_access(&mut self, _time: u64, _key: u64) {}
+
+    /// Called when `key` hits in `(set, way)`.
+    fn on_hit(&mut self, _set: usize, _way: usize, _line: &Line) {}
+
+    /// Called when a line is filled into `(set, way)`.
+    fn on_fill(&mut self, _set: usize, _way: usize, _line: &Line) {}
+
+    /// Called when a line is evicted from `(set, way)`; `now` is the access
+    /// counter, so `line.age(now)` is the line's final age.
+    fn on_evict(&mut self, _set: usize, _way: usize, _line: &Line, _now: u64) {}
+
+    /// Chooses a victim way among `candidates` (never empty; every
+    /// candidate way holds a valid line).
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[usize],
+        lines: &[Option<Line>],
+        now: u64,
+    ) -> usize;
+}
+
+/// Helper: candidate whose line minimizes a key function.
+pub(crate) fn argmin_by<F: FnMut(&Line) -> u64>(
+    candidates: &[usize],
+    lines: &[Option<Line>],
+    mut score: F,
+) -> usize {
+    *candidates
+        .iter()
+        .min_by_key(|&&w| score(lines[w].as_ref().expect("candidate way must hold a line")))
+        .expect("candidate list must not be empty")
+}
+

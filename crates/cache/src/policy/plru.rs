@@ -1,0 +1,154 @@
+//! Tree-based pseudo-LRU replacement.
+
+use super::{argmin_by, Policy};
+use crate::Line;
+
+/// Tree pseudo-LRU: one bit per internal node of a binary tree over the
+/// ways; hits flip bits away from the touched way, victims follow the bits.
+///
+/// This is the "pseudo-LRU" the paper evaluates as the conventional
+/// hardware baseline (Figure 6). When a way-partition restricts the
+/// candidate set and the tree walk lands outside it, the policy falls back
+/// to exact LRU *within* the candidates, which mirrors how partitioned
+/// hardware PLRU restricts its tree per partition.
+///
+/// # Panics
+///
+/// `init` panics if the associativity is not a power of two.
+#[derive(Debug, Clone, Default)]
+pub struct TreePlru {
+    ways: usize,
+    /// `ways - 1` bits per set, packed per set as a `u64`.
+    bits: Vec<u64>,
+}
+
+impl TreePlru {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Walks from the root toward the leaf indicated by the bits.
+    fn victim_way(&self, set: usize) -> usize {
+        let bits = self.bits[set];
+        let mut node = 0usize; // index into the implicit tree, 0 = root
+        let levels = self.ways.trailing_zeros();
+        for _ in 0..levels {
+            let bit = (bits >> node) & 1;
+            node = 2 * node + 1 + bit as usize;
+        }
+        node - (self.ways - 1)
+    }
+
+    /// Points every bit on the root-to-leaf path away from `way`.
+    fn touch(&mut self, set: usize, way: usize) {
+        let mut node = way + (self.ways - 1);
+        while node > 0 {
+            let parent = (node - 1) / 2;
+            let went_right = node == 2 * parent + 2;
+            // Make the parent's bit point to the *other* child.
+            if went_right {
+                self.bits[set] &= !(1 << parent);
+            } else {
+                self.bits[set] |= 1 << parent;
+            }
+            node = parent;
+        }
+    }
+}
+
+impl Policy for TreePlru {
+    fn name(&self) -> &'static str {
+        "pseudo-lru"
+    }
+
+    fn init(&mut self, sets: usize, ways: usize) {
+        assert!(ways.is_power_of_two(), "tree-PLRU requires power-of-two ways, got {ways}");
+        assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
+        self.ways = ways;
+        self.bits = vec![0; sets];
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+        self.touch(set, way);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _line: &Line) {
+        self.touch(set, way);
+    }
+
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[usize],
+        lines: &[Option<Line>],
+        _now: u64,
+    ) -> usize {
+        let way = self.victim_way(set);
+        if candidates.contains(&way) {
+            way
+        } else {
+            argmin_by(candidates, lines, |l| l.last_at)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, SetAssocCache};
+    use maps_trace::BlockKind;
+
+    #[test]
+    fn single_way_tree_is_trivial() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(64, 1), TreePlru::new());
+        c.access(1, BlockKind::Data, false);
+        let r = c.access(2, BlockKind::Data, false);
+        assert_eq!(r.evicted.unwrap().key, 1);
+    }
+
+    #[test]
+    fn plru_avoids_most_recently_used() {
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(256, 4), TreePlru::new());
+        for k in 0..4u64 {
+            c.access(k, BlockKind::Data, false);
+        }
+        // 3 was just touched; the victim must not be 3.
+        let r = c.access(10, BlockKind::Data, false);
+        assert_ne!(r.evicted.unwrap().key, 3);
+    }
+
+    #[test]
+    fn plru_tracks_lru_on_sequential_fill() {
+        // After filling ways in order 0..4 with no rereferences, PLRU's
+        // victim is way 0 (true LRU agrees).
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(256, 4), TreePlru::new());
+        for k in 0..4u64 {
+            c.access(k, BlockKind::Data, false);
+        }
+        let r = c.access(20, BlockKind::Data, false);
+        assert_eq!(r.evicted.unwrap().key, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_ways_panics() {
+        let mut p = TreePlru::new();
+        p.init(4, 3);
+    }
+
+    #[test]
+    fn hit_rate_close_to_true_lru_on_looping_trace() {
+        use crate::policy::TrueLru;
+        let keys: Vec<u64> = (0..1000).map(|i| (i * 13) % 40).collect();
+        let mut plru = SetAssocCache::new(CacheConfig::from_bytes(2048, 8), TreePlru::new());
+        let mut lru = SetAssocCache::new(CacheConfig::from_bytes(2048, 8), TrueLru::new());
+        let (mut h1, mut h2) = (0u32, 0u32);
+        for &k in &keys {
+            h1 += u32::from(plru.access(k, BlockKind::Data, false).hit);
+            h2 += u32::from(lru.access(k, BlockKind::Data, false).hit);
+        }
+        let diff = (f64::from(h1) - f64::from(h2)).abs() / keys.len() as f64;
+        assert!(diff < 0.15, "PLRU diverged from LRU by {diff}");
+    }
+}

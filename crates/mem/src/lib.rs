@@ -1,0 +1,36 @@
+//! Memory-system timing and energy models.
+//!
+//! The paper estimates energy with per-bit constants from the literature:
+//! roughly 150 pJ/bit for a DRAM transfer (Malladi et al., HPCA 2012) and
+//! 0.3 pJ/bit for an SRAM access (CACTI), and evaluates designs by the
+//! energy–delay-squared product (E·D²) normalized to a system without
+//! secure memory (Figures 2 and 7). This crate provides:
+//!
+//! * [`DramModel`] — fixed-latency DRAM with per-block transfer energy and
+//!   read/write counters (an analytic stand-in for DRAMSim2; see DESIGN.md
+//!   for the substitution argument).
+//! * [`SramModel`] — capacity-scaled per-access SRAM energy plus leakage.
+//! * [`EnergyDelay`] — an accumulator combining cycles and picojoules into
+//!   E·D².
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_mem::{DramModel, EnergyDelay};
+//!
+//! let dram = DramModel::paper_default();
+//! let mut ed = EnergyDelay::new();
+//! ed.add_cycles(1_000);
+//! ed.add_dram_pj(dram.block_transfer_energy_pj());
+//! assert!(ed.ed2() > 0.0);
+//! ```
+
+pub mod dram;
+pub mod energy;
+pub mod rowbuffer;
+pub mod sram;
+
+pub use dram::{DramCounters, DramModel};
+pub use energy::EnergyDelay;
+pub use rowbuffer::RowBufferDram;
+pub use sram::SramModel;

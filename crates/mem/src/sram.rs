@@ -1,0 +1,112 @@
+//! CACTI-style SRAM energy model.
+
+use maps_trace::BLOCK_BYTES;
+
+/// Per-access and leakage energy for an on-chip SRAM array.
+///
+/// The per-access energy uses the 0.3 pJ/bit baseline the paper cites
+/// (CACTI \[26\]) for a small array and scales it with capacity: each
+/// doubling of capacity adds a fixed fraction, approximating CACTI's
+/// wordline/bitline growth. Only *relative* energies matter for the
+/// normalized E·D² figures, so any monotone capacity scaling preserves the
+/// paper's trends (see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use maps_mem::SramModel;
+/// let small = SramModel::new(16 * 1024);
+/// let large = SramModel::new(2 * 1024 * 1024);
+/// assert!(large.block_access_energy_pj() > small.block_access_energy_pj());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    capacity_bytes: u64,
+    energy_per_bit_pj: f64,
+    leakage_pj_per_cycle_per_kb: f64,
+}
+
+/// Reference capacity at which the base per-bit energy applies.
+const REFERENCE_BYTES: f64 = 16.0 * 1024.0;
+/// Fractional per-access energy growth per capacity doubling.
+const GROWTH_PER_DOUBLING: f64 = 0.18;
+
+impl SramModel {
+    /// Creates a model for an array of the given capacity with the paper's
+    /// cited 0.3 pJ/bit base access energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_base_energy(capacity_bytes, 0.3)
+    }
+
+    /// Creates a model with an explicit base per-bit access energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn with_base_energy(capacity_bytes: u64, energy_per_bit_pj: f64) -> Self {
+        assert!(capacity_bytes > 0, "SRAM capacity must be positive");
+        Self { capacity_bytes, energy_per_bit_pj, leakage_pj_per_cycle_per_kb: 0.02 }
+    }
+
+    /// Array capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Energy for one 64 B access, in picojoules, scaled by capacity.
+    pub fn block_access_energy_pj(&self) -> f64 {
+        let doublings = (self.capacity_bytes as f64 / REFERENCE_BYTES).log2().max(0.0);
+        let scale = 1.0 + GROWTH_PER_DOUBLING * doublings;
+        self.energy_per_bit_pj * (BLOCK_BYTES * 8) as f64 * scale
+    }
+
+    /// Leakage energy over a cycle span, in picojoules.
+    pub fn leakage_energy_pj(&self, cycles: u64) -> f64 {
+        self.leakage_pj_per_cycle_per_kb * (self.capacity_bytes as f64 / 1024.0) * cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_capacity_uses_base_energy() {
+        let m = SramModel::new(16 * 1024);
+        assert!((m.block_access_energy_pj() - 0.3 * 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_monotone_in_capacity() {
+        let sizes = [16u64, 64, 256, 512, 1024, 2048].map(|k| k * 1024);
+        let energies: Vec<f64> =
+            sizes.iter().map(|&s| SramModel::new(s).block_access_energy_pj()).collect();
+        assert!(energies.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn sram_access_far_cheaper_than_dram() {
+        use crate::DramModel;
+        let sram = SramModel::new(2 * 1024 * 1024);
+        let dram = DramModel::paper_default();
+        assert!(dram.block_transfer_energy_pj() > 50.0 * sram.block_access_energy_pj());
+    }
+
+    #[test]
+    fn leakage_scales_with_capacity_and_time() {
+        let small = SramModel::new(16 * 1024);
+        let large = SramModel::new(1024 * 1024);
+        assert!(large.leakage_energy_pj(100) > small.leakage_energy_pj(100));
+        assert!(small.leakage_energy_pj(200) > small.leakage_energy_pj(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        SramModel::new(0);
+    }
+}

@@ -1,0 +1,460 @@
+//! Physical layout of metadata and the Bonsai Merkle Tree geometry.
+
+use maps_trace::{BlockAddr, BlockKind, BLOCK_BYTES};
+
+use crate::SecureConfig;
+
+/// Precomputed address map from data blocks to their metadata blocks.
+///
+/// Metadata is laid out after the data region, block-granular:
+///
+/// ```text
+/// | data | counters | hashes | tree level 0 | tree level 1 | ... |
+/// ```
+///
+/// The topmost tree level always has a single node — the root — which is
+/// held on chip and therefore has *no* memory address; tree walks stop
+/// below it.
+///
+/// # Examples
+///
+/// ```
+/// use maps_secure::{Layout, SecureConfig};
+/// use maps_trace::{BlockAddr, BlockKind};
+///
+/// let layout = Layout::new(SecureConfig::poison_ivy(1 << 20));
+/// let ctr = layout.counter_block_of(BlockAddr::new(0));
+/// assert_eq!(layout.kind_of(ctr), BlockKind::Counter);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    cfg: SecureConfig,
+    data_blocks: u64,
+    counter_base: u64,
+    counter_blocks: u64,
+    hash_base: u64,
+    hash_blocks: u64,
+    /// Base block index of each in-memory tree level, leaf (level 0) first.
+    tree_bases: Vec<u64>,
+    /// Node count of each in-memory tree level.
+    tree_sizes: Vec<u64>,
+}
+
+impl Layout {
+    /// Builds the layout for a configuration.
+    pub fn new(cfg: SecureConfig) -> Self {
+        let data_blocks = cfg.data_blocks();
+        let counter_base = data_blocks;
+        let counter_blocks = cfg.counter_blocks();
+        let hash_base = counter_base + counter_blocks;
+        let hash_blocks = cfg.hash_blocks();
+
+        let mut tree_bases = Vec::new();
+        let mut tree_sizes = Vec::new();
+        let mut level_span = counter_blocks; // blocks covered by this level
+        let mut next_base = hash_base + hash_blocks;
+        // Build levels bottom-up. A level that would contain a single node
+        // is the root: it stays on chip and is never materialized.
+        loop {
+            let nodes = level_span.div_ceil(cfg.tree_arity);
+            if nodes <= 1 {
+                break;
+            }
+            tree_bases.push(next_base);
+            tree_sizes.push(nodes);
+            next_base += nodes;
+            level_span = nodes;
+        }
+
+        Self {
+            cfg,
+            data_blocks,
+            counter_base,
+            counter_blocks,
+            hash_base,
+            hash_blocks,
+            tree_bases,
+            tree_sizes,
+        }
+    }
+
+    /// The configuration this layout was built from.
+    pub fn config(&self) -> &SecureConfig {
+        &self.cfg
+    }
+
+    /// Number of protected data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.data_blocks
+    }
+
+    /// Number of counter blocks.
+    pub fn counter_blocks(&self) -> u64 {
+        self.counter_blocks
+    }
+
+    /// Number of hash blocks.
+    pub fn hash_blocks(&self) -> u64 {
+        self.hash_blocks
+    }
+
+    /// Number of in-memory tree levels (excludes the on-chip root).
+    pub fn tree_levels(&self) -> usize {
+        self.tree_bases.len()
+    }
+
+    /// Node count at an in-memory tree level (0 = leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= tree_levels()`.
+    pub fn tree_level_size(&self, level: usize) -> u64 {
+        self.tree_sizes[level]
+    }
+
+    /// Total metadata blocks in memory (counters + hashes + tree).
+    pub fn metadata_blocks(&self) -> u64 {
+        self.counter_blocks + self.hash_blocks + self.tree_sizes.iter().sum::<u64>()
+    }
+
+    /// Metadata space overhead as a fraction of data size.
+    pub fn metadata_overhead(&self) -> f64 {
+        self.metadata_blocks() as f64 / self.data_blocks as f64
+    }
+
+    /// Counter block protecting a data block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data block lies outside the protected region.
+    pub fn counter_block_of(&self, data: BlockAddr) -> BlockAddr {
+        assert!(data.index() < self.data_blocks, "data block {data} outside protected memory");
+        let per = self.cfg.mode.data_blocks_per_counter_block();
+        BlockAddr::new(self.counter_base + data.index() / per)
+    }
+
+    /// Hash block holding the HMAC of a data block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data block lies outside the protected region.
+    pub fn hash_block_of(&self, data: BlockAddr) -> BlockAddr {
+        assert!(data.index() < self.data_blocks, "data block {data} outside protected memory");
+        BlockAddr::new(self.hash_base + data.index() / 8)
+    }
+
+    /// Slot (0..8) of a data block's HMAC within its hash block, for the
+    /// partial-write valid bits.
+    pub fn hash_slot_of(&self, data: BlockAddr) -> u8 {
+        (data.index() % 8) as u8
+    }
+
+    /// Leaf tree node protecting a counter block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter` is not a counter block, or if the tree is empty
+    /// (memory so small the root directly covers the counters).
+    pub fn tree_leaf_of(&self, counter: BlockAddr) -> BlockAddr {
+        let off = self.counter_offset(counter);
+        assert!(!self.tree_bases.is_empty(), "no in-memory tree levels");
+        BlockAddr::new(self.tree_bases[0] + off / self.cfg.tree_arity)
+    }
+
+    /// Parent of an in-memory tree node, or `None` when the parent is the
+    /// on-chip root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a tree node.
+    pub fn tree_parent(&self, node: BlockAddr) -> Option<BlockAddr> {
+        let (level, off) = self.tree_position(node);
+        let parent_level = level + 1;
+        if parent_level >= self.tree_bases.len() {
+            return None;
+        }
+        Some(BlockAddr::new(self.tree_bases[parent_level] + off / self.cfg.tree_arity))
+    }
+
+    /// The tree walk for a counter block: leaf upward through every
+    /// in-memory level (the on-chip root is excluded).
+    pub fn tree_path_of_counter(&self, counter: BlockAddr) -> TreePath<'_> {
+        let next = if self.tree_bases.is_empty() { None } else { Some(self.tree_leaf_of(counter)) };
+        TreePath { layout: self, next }
+    }
+
+    /// Classifies any block address into data / counter / hash / tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block lies beyond the last metadata region.
+    pub fn kind_of(&self, block: BlockAddr) -> BlockKind {
+        let i = block.index();
+        if i < self.counter_base {
+            BlockKind::Data
+        } else if i < self.hash_base {
+            BlockKind::Counter
+        } else if i < self.hash_base + self.hash_blocks {
+            BlockKind::Hash
+        } else {
+            let (level, _) = self.tree_position(block);
+            BlockKind::Tree(level as u8)
+        }
+    }
+
+    /// Bytes of data protected by one block of the given kind, per
+    /// Table II. For tree nodes, `level` 0 means the leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked about [`BlockKind::Data`].
+    pub fn data_protected_by(&self, kind: BlockKind) -> u64 {
+        match kind {
+            BlockKind::Counter => self.cfg.mode.data_bytes_per_counter_block(),
+            BlockKind::Hash => 8 * BLOCK_BYTES,
+            BlockKind::Tree(level) => {
+                let per_leaf = self.cfg.tree_arity * self.cfg.mode.data_bytes_per_counter_block();
+                per_leaf * self.cfg.tree_arity.pow(u32::from(level))
+            }
+            BlockKind::Data => panic!("data blocks do not protect other data"),
+        }
+    }
+
+    /// All data blocks whose counters live in `counter` (for page
+    /// re-encryption events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter` is not a counter block.
+    pub fn data_blocks_of_counter(&self, counter: BlockAddr) -> impl Iterator<Item = BlockAddr> {
+        let off = self.counter_offset(counter);
+        let per = self.cfg.mode.data_blocks_per_counter_block();
+        let first = off * per;
+        let last = ((off + 1) * per).min(self.data_blocks);
+        (first..last).map(BlockAddr::new)
+    }
+
+    /// Slot (0..8) of a counter block's HMAC within its leaf tree node,
+    /// for partial writes to tree nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter` is not a counter block.
+    pub fn child_slot_of_counter(&self, counter: BlockAddr) -> u8 {
+        (self.counter_offset(counter) % self.cfg.tree_arity) as u8
+    }
+
+    /// Slot (0..8) of a tree node's HMAC within its parent node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a tree node.
+    pub fn child_slot_of_tree(&self, node: BlockAddr) -> u8 {
+        let (_, off) = self.tree_position(node);
+        (off % self.cfg.tree_arity) as u8
+    }
+
+    /// The eight hash blocks covering one 4 KB data page (updated wholesale
+    /// during page re-encryption).
+    pub fn hash_blocks_of_page(&self, page: u64) -> impl Iterator<Item = BlockAddr> + '_ {
+        let first_data = page * maps_trace::BLOCKS_PER_PAGE;
+        (0..8).map(move |i| self.hash_block_of(BlockAddr::new(first_data + i * 8)))
+    }
+
+    fn counter_offset(&self, counter: BlockAddr) -> u64 {
+        let i = counter.index();
+        assert!(
+            (self.counter_base..self.counter_base + self.counter_blocks).contains(&i),
+            "{counter} is not a counter block"
+        );
+        i - self.counter_base
+    }
+
+    /// `(level, offset within level)` of a tree node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a tree node.
+    pub fn tree_position(&self, block: BlockAddr) -> (usize, u64) {
+        let i = block.index();
+        for (level, (&base, &size)) in self.tree_bases.iter().zip(&self.tree_sizes).enumerate() {
+            if (base..base + size).contains(&i) {
+                return (level, i - base);
+            }
+        }
+        panic!("{block} is not a tree node");
+    }
+}
+
+/// Iterator over a counter's tree walk, leaf to topmost in-memory level.
+#[derive(Debug, Clone)]
+pub struct TreePath<'a> {
+    layout: &'a Layout,
+    next: Option<BlockAddr>,
+}
+
+impl Iterator for TreePath<'_> {
+    type Item = BlockAddr;
+
+    fn next(&mut self) -> Option<BlockAddr> {
+        let cur = self.next?;
+        self.next = self.layout.tree_parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pi() -> Layout {
+        Layout::new(SecureConfig::poison_ivy(16 << 20)) // 16 MB
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let l = small_pi();
+        assert!(l.counter_base == l.data_blocks());
+        assert!(l.hash_base == l.counter_base + l.counter_blocks());
+        let tree_start = l.hash_base + l.hash_blocks();
+        assert_eq!(l.tree_bases[0], tree_start);
+        for w in l.tree_bases.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn kind_classification_round_trips() {
+        let l = small_pi();
+        let data = BlockAddr::new(100);
+        assert_eq!(l.kind_of(data), BlockKind::Data);
+        assert_eq!(l.kind_of(l.counter_block_of(data)), BlockKind::Counter);
+        assert_eq!(l.kind_of(l.hash_block_of(data)), BlockKind::Hash);
+        let leaf = l.tree_leaf_of(l.counter_block_of(data));
+        assert_eq!(l.kind_of(leaf), BlockKind::Tree(0));
+    }
+
+    #[test]
+    fn pi_16mb_geometry() {
+        let l = small_pi();
+        // 16 MB = 4096 pages -> 4096 counter blocks; 262144 data blocks ->
+        // 32768 hash blocks; tree: 512, 64, 8 in memory, then the on-chip
+        // root hashes the eight level-2 nodes.
+        assert_eq!(l.counter_blocks(), 4096);
+        assert_eq!(l.hash_blocks(), 32768);
+        assert_eq!(l.tree_levels(), 3);
+        assert_eq!(l.tree_level_size(0), 512);
+        assert_eq!(l.tree_level_size(1), 64);
+        assert_eq!(l.tree_level_size(2), 8);
+    }
+
+    #[test]
+    fn walk_terminates_below_root() {
+        let l = small_pi();
+        let ctr = l.counter_block_of(BlockAddr::new(0));
+        let path: Vec<_> = l.tree_path_of_counter(ctr).collect();
+        assert_eq!(path.len(), l.tree_levels());
+        // Levels ascend 0, 1, 2, ...
+        for (i, node) in path.iter().enumerate() {
+            assert_eq!(l.kind_of(*node), BlockKind::Tree(i as u8));
+        }
+        // Top node's parent is the on-chip root.
+        assert_eq!(l.tree_parent(*path.last().unwrap()), None);
+    }
+
+    #[test]
+    fn table2_data_protected_poison_ivy() {
+        let l = small_pi();
+        assert_eq!(l.data_protected_by(BlockKind::Counter), 4096); // 4KB
+        assert_eq!(l.data_protected_by(BlockKind::Hash), 512); // 0.5KB
+        // Tree level l covers 4 * 8^(l+1) KB: leaves 32KB, parents 256KB...
+        assert_eq!(l.data_protected_by(BlockKind::Tree(0)), 32 << 10);
+        assert_eq!(l.data_protected_by(BlockKind::Tree(1)), 256 << 10);
+        assert_eq!(l.data_protected_by(BlockKind::Tree(2)), 2 << 20);
+    }
+
+    #[test]
+    fn table2_data_protected_sgx() {
+        let l = Layout::new(SecureConfig::sgx(16 << 20));
+        assert_eq!(l.data_protected_by(BlockKind::Counter), 512);
+        assert_eq!(l.data_protected_by(BlockKind::Hash), 512);
+        // Tree level l covers 512 * 8^(l+1) B: leaves 4KB, parents 32KB...
+        assert_eq!(l.data_protected_by(BlockKind::Tree(0)), 4 << 10);
+        assert_eq!(l.data_protected_by(BlockKind::Tree(1)), 32 << 10);
+    }
+
+    #[test]
+    fn siblings_share_parents() {
+        let l = small_pi();
+        // Counter blocks 0..8 share one leaf; 8 shares the next.
+        let c0 = BlockAddr::new(l.counter_base);
+        let c7 = BlockAddr::new(l.counter_base + 7);
+        let c8 = BlockAddr::new(l.counter_base + 8);
+        assert_eq!(l.tree_leaf_of(c0), l.tree_leaf_of(c7));
+        assert_ne!(l.tree_leaf_of(c0), l.tree_leaf_of(c8));
+        // But both leaves share a grandparent region eventually.
+        let p0 = l.tree_parent(l.tree_leaf_of(c0)).unwrap();
+        let p8 = l.tree_parent(l.tree_leaf_of(c8)).unwrap();
+        assert_eq!(p0, p8);
+    }
+
+    #[test]
+    fn data_blocks_of_counter_covers_page() {
+        let l = small_pi();
+        let data = BlockAddr::new(130);
+        let ctr = l.counter_block_of(data);
+        let blocks: Vec<_> = l.data_blocks_of_counter(ctr).collect();
+        assert_eq!(blocks.len(), 64);
+        assert!(blocks.contains(&data));
+        assert!(blocks.iter().all(|b| l.counter_block_of(*b) == ctr));
+    }
+
+    #[test]
+    fn metadata_overhead_reasonable_for_pi() {
+        let l = small_pi();
+        // counters 1/64 + hashes 1/8 + tree ~1/512 of data.
+        let o = l.metadata_overhead();
+        assert!(o > 0.14 && o < 0.15, "overhead {o}");
+    }
+
+    #[test]
+    fn sgx_has_more_counter_blocks_than_pi() {
+        let pi = small_pi();
+        let sgx = Layout::new(SecureConfig::sgx(16 << 20));
+        assert_eq!(sgx.counter_blocks(), 8 * pi.counter_blocks());
+        assert!(sgx.tree_levels() >= pi.tree_levels());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside protected memory")]
+    fn out_of_range_data_block_panics() {
+        let l = small_pi();
+        l.counter_block_of(BlockAddr::new(l.data_blocks()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree node")]
+    fn tree_position_rejects_non_tree() {
+        let l = small_pi();
+        l.tree_position(BlockAddr::new(0));
+    }
+
+    #[test]
+    fn hash_slots_cycle() {
+        let l = small_pi();
+        assert_eq!(l.hash_slot_of(BlockAddr::new(0)), 0);
+        assert_eq!(l.hash_slot_of(BlockAddr::new(7)), 7);
+        assert_eq!(l.hash_slot_of(BlockAddr::new(8)), 0);
+    }
+
+    #[test]
+    fn tiny_memory_has_single_level_tree() {
+        // 64 KB: 16 counter blocks -> one leaf level of 2 nodes, then root.
+        let l = Layout::new(SecureConfig::poison_ivy(64 << 10));
+        assert_eq!(l.counter_blocks(), 16);
+        assert_eq!(l.tree_levels(), 1);
+        assert_eq!(l.tree_level_size(0), 2);
+        let ctr = BlockAddr::new(l.counter_base);
+        assert_eq!(l.tree_path_of_counter(ctr).count(), 1);
+    }
+}

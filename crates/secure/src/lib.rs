@@ -1,0 +1,41 @@
+//! Secure-memory metadata organization: counter-mode encryption counters,
+//! per-block data hashes, and the Bonsai Merkle Tree (BMT) that protects
+//! the counters.
+//!
+//! This crate is purely *geometric*: it answers "which metadata blocks does
+//! data block X need?" and "how much data does metadata block Y protect?"
+//! (Table II of the paper). The simulation of when those blocks are
+//! fetched, cached, and written back lives in `maps-sim`.
+//!
+//! Two counter organizations are modeled:
+//!
+//! * [`CounterMode::SplitPi`] — the PoisonIvy-style split counter the paper
+//!   assumes: one 8 B per-page counter plus 64 seven-bit per-block counters
+//!   in a single 64 B block, covering 4 KB of data.
+//! * [`CounterMode::SgxMonolithic`] — Intel SGX-style 8 B per-block
+//!   counters, eight per 64 B block, covering 512 B of data.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_secure::{Layout, SecureConfig};
+//! use maps_trace::BlockAddr;
+//!
+//! let layout = Layout::new(SecureConfig::poison_ivy(64 * 1024 * 1024));
+//! let data = BlockAddr::new(1234);
+//! let counter = layout.counter_block_of(data);
+//! let path: Vec<_> = layout.tree_path_of_counter(counter).collect();
+//! assert!(!path.is_empty());
+//! // Every level of the walk moves strictly toward the root.
+//! assert!(path.windows(2).all(|w| w[0] != w[1]));
+//! ```
+
+pub mod config;
+pub mod counters;
+pub mod integrity;
+pub mod layout;
+
+pub use config::{CounterMode, SecureConfig};
+pub use counters::{CounterStore, WriteOutcome};
+pub use integrity::{IntegrityError, SecureMemoryModel};
+pub use layout::Layout;

@@ -1,0 +1,732 @@
+//! The memory-controller metadata engine: counter fetch/decrypt, Bonsai
+//! Merkle Tree verification walks, hash checks, counter increments with
+//! overflow-driven page re-encryption, and lazy dirty-metadata propagation
+//! through the metadata cache.
+
+use maps_cache::{CacheStats, Line};
+use maps_mem::DramCounters;
+use maps_secure::{CounterStore, Layout, SecureConfig, WriteOutcome};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess};
+
+use crate::config::MdcConfig;
+use crate::mdcache::MetadataCache;
+
+/// Observer of the metadata access stream (every counter/hash/tree block
+/// touch, in controller order). Used for reuse-distance profiling
+/// (Figures 3–5) and for recording MIN oracle traces (Figure 6).
+pub trait MetaObserver {
+    /// Called once per metadata block access.
+    fn observe(&mut self, access: &MetaAccess);
+}
+
+/// Ignores the stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl MetaObserver for NullObserver {
+    fn observe(&mut self, _access: &MetaAccess) {}
+}
+
+/// Records the stream (keys feed Belady's MIN oracle).
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// The recorded accesses, in controller order.
+    pub records: Vec<MetaAccess>,
+}
+
+impl RecordingObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The block keys of the recorded accesses, in order.
+    pub fn keys(&self) -> Vec<u64> {
+        self.records.iter().map(|r| r.block.index()).collect()
+    }
+}
+
+impl MetaObserver for RecordingObserver {
+    fn observe(&mut self, access: &MetaAccess) {
+        self.records.push(*access);
+    }
+}
+
+impl MetaObserver for maps_analysis::GroupedReuseProfiler {
+    fn observe(&mut self, access: &MetaAccess) {
+        GroupedReuseProfiler::observe(self, access);
+    }
+}
+use maps_analysis::GroupedReuseProfiler;
+
+/// Engine statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Metadata access/hit/miss accounting per kind, valid with or without
+    /// a metadata cache (the source of truth for metadata MPKI).
+    pub meta: CacheStats,
+    /// DRAM transfers of data blocks (demand reads, writebacks, and page
+    /// re-encryption traffic).
+    pub dram_data: DramCounters,
+    /// DRAM transfers of metadata blocks.
+    pub dram_meta: DramCounters,
+    /// Integrity-tree walks started (counter misses).
+    pub tree_walks: u64,
+    /// Tree levels fetched from memory across all walks.
+    pub tree_walk_level_misses: u64,
+    /// Split-counter overflows (page re-encryptions).
+    pub page_overflows: u64,
+    /// Completing fill reads for partially-valid lines.
+    pub partial_fill_reads: u64,
+    /// Core stall cycles attributed to secure memory plus the data fetch.
+    pub stall_cycles: u64,
+    /// Data reads / writes handled.
+    pub reads: u64,
+    /// Data writebacks handled.
+    pub writes: u64,
+}
+
+impl EngineStats {
+    /// Total DRAM block transfers (data + metadata).
+    pub fn dram_total(&self) -> u64 {
+        self.dram_data.total() + self.dram_meta.total()
+    }
+}
+
+/// Depth bound for eviction-driven update cascades; beyond it updates are
+/// written through to memory (models a bounded hardware update buffer).
+const CASCADE_BUDGET: usize = 64;
+
+/// The metadata engine.
+///
+/// One instance per simulated memory controller. `handle_read` and
+/// `handle_write` consume the LLC miss/writeback stream and account every
+/// implied metadata access, DRAM transfer, and stall.
+///
+/// # Examples
+///
+/// ```
+/// use maps_sim::{MdcConfig, MetadataEngine, NullObserver};
+/// use maps_secure::SecureConfig;
+/// use maps_trace::BlockAddr;
+///
+/// let mut engine = MetadataEngine::new(
+///     SecureConfig::poison_ivy(16 << 20),
+///     &MdcConfig::paper_default(),
+///     200,
+///     40,
+///     true,
+/// );
+/// let stall = engine.handle_read(BlockAddr::new(0), &mut NullObserver);
+/// assert!(stall >= 200); // at least the data fetch
+/// ```
+#[derive(Debug)]
+pub struct MetadataEngine {
+    layout: Layout,
+    counters: CounterStore,
+    mdc: Option<MetadataCache>,
+    partial_writes: bool,
+    dram_latency: u64,
+    hash_latency: u64,
+    speculation: bool,
+    speculation_window: u64,
+    stats: EngineStats,
+}
+
+impl MetadataEngine {
+    /// Creates an engine over the given protected-memory configuration.
+    pub fn new(
+        secure: SecureConfig,
+        mdc_cfg: &MdcConfig,
+        dram_latency: u64,
+        hash_latency: u64,
+        speculation: bool,
+    ) -> Self {
+        Self::with_speculation_window(
+            secure,
+            mdc_cfg,
+            dram_latency,
+            hash_latency,
+            speculation,
+            u64::MAX,
+        )
+    }
+
+    /// Creates an engine whose speculation can hide at most
+    /// `speculation_window` cycles of verification latency — PoisonIvy's
+    /// mechanism "is effective only if the verification latency is not too
+    /// long" (Section I). `u64::MAX` models an unbounded window; `0`
+    /// equals no speculation.
+    pub fn with_speculation_window(
+        secure: SecureConfig,
+        mdc_cfg: &MdcConfig,
+        dram_latency: u64,
+        hash_latency: u64,
+        speculation: bool,
+        speculation_window: u64,
+    ) -> Self {
+        Self {
+            layout: Layout::new(secure),
+            counters: CounterStore::new(secure.mode),
+            mdc: MetadataCache::new(mdc_cfg),
+            partial_writes: mdc_cfg.partial_writes,
+            dram_latency,
+            hash_latency,
+            speculation,
+            speculation_window,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The metadata layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The metadata cache, if enabled.
+    pub fn mdc(&self) -> Option<&MetadataCache> {
+        self.mdc.as_ref()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Resets statistics after warm-up (cache and counter state persist).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+        if let Some(mdc) = &mut self.mdc {
+            mdc.reset_stats();
+        }
+    }
+
+    /// Handles an LLC demand miss for `data`, returning the core-visible
+    /// stall in cycles (data fetch plus any serialized metadata work).
+    pub fn handle_read(&mut self, data: BlockAddr, obs: &mut dyn MetaObserver) -> u64 {
+        self.stats.reads += 1;
+        self.stats.dram_data.reads += 1;
+
+        let hash_hit = self.meta_read(self.layout.hash_block_of(data), BlockKind::Hash, obs);
+        let counter = self.layout.counter_block_of(data);
+        let ctr_hit = self.meta_read(counter, BlockKind::Counter, obs);
+        let walk_misses = if ctr_hit { 0 } else { self.verify_counter(counter, obs) };
+
+        let t_data = self.dram_latency;
+        let t_ctr = if ctr_hit { 0 } else { self.dram_latency };
+        // One-time-pad generation starts when the counter is available;
+        // the XOR itself is free (Section II-A).
+        let t_decrypt = t_data.max(t_ctr + self.hash_latency);
+        let t_hash = if hash_hit { 0 } else { self.dram_latency };
+        let t_verify =
+            t_data.max(t_ctr + walk_misses * self.dram_latency).max(t_hash) + self.hash_latency;
+        let stall = if self.speculation {
+            // Speculation hides verification up to the window; anything
+            // beyond it stalls the restricted core (PoisonIvy's limit).
+            t_decrypt.max(t_verify.saturating_sub(self.speculation_window))
+        } else {
+            t_decrypt.max(t_verify)
+        };
+        self.stats.stall_cycles += stall;
+        stall
+    }
+
+    /// Handles an LLC dirty writeback of `data` (off the critical path:
+    /// contributes traffic and energy, not stall).
+    pub fn handle_write(&mut self, data: BlockAddr, obs: &mut dyn MetaObserver) {
+        self.stats.writes += 1;
+        self.stats.dram_data.writes += 1;
+
+        // 1. Increment the encryption counter (may overflow the 7-bit
+        //    per-block counter and force a page re-encryption).
+        if let WriteOutcome::PageOverflow { page } = self.counters.record_write(data) {
+            self.stats.page_overflows += 1;
+            self.reencrypt_page(page, obs);
+        }
+        let counter = self.layout.counter_block_of(data);
+        self.counter_write(counter, obs);
+
+        // 2. Update the data hash (one 8 B slot of its hash block).
+        let hash_block = self.layout.hash_block_of(data);
+        let slot = self.layout.hash_slot_of(data);
+        self.meta_write_slot(hash_block, BlockKind::Hash, slot, obs);
+    }
+
+    /// Flushes the metadata cache, accounting final writebacks (tree
+    /// updates are written through). Call once at end of simulation.
+    pub fn flush(&mut self, obs: &mut dyn MetaObserver) {
+        let Some(mdc) = &mut self.mdc else { return };
+        for line in mdc.drain() {
+            if !line.dirty {
+                continue;
+            }
+            if !line.is_complete() {
+                self.stats.dram_meta.reads += 1;
+                self.stats.partial_fill_reads += 1;
+            }
+            self.stats.dram_meta.writes += 1;
+            let block = BlockAddr::new(line.key);
+            match line.kind {
+                BlockKind::Counter => {
+                    self.write_through_tree_update(self.layout.tree_leaf_of(block), 0, obs);
+                }
+                BlockKind::Tree(level) => {
+                    if let Some(parent) = self.layout.tree_parent(block) {
+                        self.write_through_tree_update(parent, level + 1, obs);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads a metadata block through the cache; returns `true` on hit.
+    fn meta_read(&mut self, block: BlockAddr, kind: BlockKind, obs: &mut dyn MetaObserver) -> bool {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
+        match &mut self.mdc {
+            Some(mdc) => {
+                let out = mdc.access(block.index(), kind, false);
+                self.stats.meta.record_access(kind, out.hit);
+                if out.hit {
+                    // A partially-valid line must be completed from memory
+                    // before its missing sub-entries can be consumed.
+                    if self.partial_writes && mdc.valid_mask(block.index()) != Some(0xFF) {
+                        self.stats.dram_meta.reads += 1;
+                        self.stats.partial_fill_reads += 1;
+                        mdc.complete_line(block.index());
+                    }
+                    true
+                } else {
+                    self.stats.dram_meta.reads += 1;
+                    if let Some(victim) = out.evicted {
+                        self.process_eviction(victim, obs);
+                    }
+                    false
+                }
+            }
+            None => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.reads += 1;
+                false
+            }
+        }
+    }
+
+    /// Verifies a just-fetched counter by walking the tree upward until a
+    /// cached (already verified) node or the on-chip root. Returns the
+    /// number of levels fetched from memory.
+    fn verify_counter(&mut self, counter: BlockAddr, obs: &mut dyn MetaObserver) -> u64 {
+        self.stats.tree_walks += 1;
+        let path: Vec<BlockAddr> = self.layout.tree_path_of_counter(counter).collect();
+        let mut misses = 0;
+        for (level, node) in path.into_iter().enumerate() {
+            let hit = self.meta_read(node, BlockKind::Tree(level as u8), obs);
+            if hit {
+                break;
+            }
+            misses += 1;
+        }
+        self.stats.tree_walk_level_misses += misses;
+        misses
+    }
+
+    /// Read-modify-write of a counter block for a data write.
+    fn counter_write(&mut self, counter: BlockAddr, obs: &mut dyn MetaObserver) {
+        obs.observe(&MetaAccess::new(counter, BlockKind::Counter, AccessKind::Write));
+        match &mut self.mdc {
+            Some(mdc) if mdc.contents().counters => {
+                let out = mdc.access(counter.index(), BlockKind::Counter, true);
+                self.stats.meta.record_access(BlockKind::Counter, out.hit);
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+                if !out.hit {
+                    // Fetch and verify before incrementing; the updated
+                    // counter now sits dirty in the cache and its tree
+                    // update is deferred until eviction (lazy propagation).
+                    self.stats.dram_meta.reads += 1;
+                    self.verify_counter(counter, obs);
+                }
+            }
+            _ => {
+                // Bypassed or no cache: RMW in memory, and update every
+                // tree level eagerly (the write happens "immediately
+                // following the write to a counter", Section IV-E).
+                self.stats.meta.record_access(BlockKind::Counter, false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+                let path: Vec<BlockAddr> = self.layout.tree_path_of_counter(counter).collect();
+                let mut slot = self.layout.child_slot_of_counter(counter);
+                for (level, node) in path.iter().enumerate() {
+                    self.meta_write_slot(*node, BlockKind::Tree(level as u8), slot, obs);
+                    slot = self.layout.child_slot_of_tree(*node);
+                }
+            }
+        }
+    }
+
+    /// Writes one 8 B slot of a hash/tree block through the cache.
+    fn meta_write_slot(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        slot: u8,
+        obs: &mut dyn MetaObserver,
+    ) {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
+        match &mut self.mdc {
+            Some(mdc) => {
+                let out = mdc.write_partial(block.index(), kind, slot);
+                if out.bypassed {
+                    self.stats.meta.record_access(kind, false);
+                    self.stats.dram_meta.reads += 1;
+                    self.stats.dram_meta.writes += 1;
+                    return;
+                }
+                self.stats.meta.record_access(kind, out.hit);
+                if !out.hit && !self.partial_writes {
+                    // Write-allocate fetch before the insert-complete.
+                    self.stats.dram_meta.reads += 1;
+                }
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+            }
+            None => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+    }
+
+    /// Writes a whole metadata block (page re-encryption rewrites entire
+    /// hash/counter blocks; no fetch needed on miss).
+    fn meta_write_full(&mut self, block: BlockAddr, kind: BlockKind, obs: &mut dyn MetaObserver) {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
+        match &mut self.mdc {
+            Some(mdc) if mdc.contents().admits(kind) => {
+                let out = mdc.access(block.index(), kind, true);
+                self.stats.meta.record_access(kind, out.hit);
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+            }
+            _ => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+    }
+
+    /// Handles an evicted metadata line: write back if dirty and propagate
+    /// the integrity update to the parent structure. Cascades are bounded
+    /// by [`CASCADE_BUDGET`]; beyond it, updates are written through.
+    fn process_eviction(&mut self, first: Line, obs: &mut dyn MetaObserver) {
+        let mut queue = vec![first];
+        let mut depth = 0usize;
+        while let Some(line) = queue.pop() {
+            if !line.dirty {
+                continue;
+            }
+            if !line.is_complete() {
+                // Incomplete placeholder: fill the missing slots from
+                // memory before writing the block back (Section IV-E).
+                self.stats.dram_meta.reads += 1;
+                self.stats.partial_fill_reads += 1;
+            }
+            self.stats.dram_meta.writes += 1;
+            let block = BlockAddr::new(line.key);
+            let update = match line.kind {
+                BlockKind::Counter => Some((
+                    self.layout.tree_leaf_of(block),
+                    0u8,
+                    self.layout.child_slot_of_counter(block),
+                )),
+                BlockKind::Tree(level) => self
+                    .layout
+                    .tree_parent(block)
+                    .map(|p| (p, level + 1, self.layout.child_slot_of_tree(block))),
+                _ => None,
+            };
+            let Some((node, level, slot)) = update else { continue };
+            depth += 1;
+            if depth > CASCADE_BUDGET {
+                self.write_through_tree_update(node, level, obs);
+                continue;
+            }
+            // Inline meta_write_slot, collecting any further eviction.
+            obs.observe(&MetaAccess::new(node, BlockKind::Tree(level), AccessKind::Write));
+            if let Some(mdc) = &mut self.mdc {
+                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
+                if out.bypassed {
+                    self.stats.meta.record_access(BlockKind::Tree(level), false);
+                    self.stats.dram_meta.reads += 1;
+                    self.stats.dram_meta.writes += 1;
+                } else {
+                    self.stats.meta.record_access(BlockKind::Tree(level), out.hit);
+                    if !out.hit && !self.partial_writes {
+                        self.stats.dram_meta.reads += 1;
+                    }
+                    if let Some(victim) = out.evicted {
+                        queue.push(victim);
+                    }
+                }
+            } else {
+                self.stats.meta.record_access(BlockKind::Tree(level), false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+    }
+
+    /// Tree update written straight to memory (cascade overflow and final
+    /// flush), still propagating level by level to the root.
+    fn write_through_tree_update(
+        &mut self,
+        mut node: BlockAddr,
+        mut level: u8,
+        obs: &mut dyn MetaObserver,
+    ) {
+        loop {
+            obs.observe(&MetaAccess::new(node, BlockKind::Tree(level), AccessKind::Write));
+            self.stats.meta.record_access(BlockKind::Tree(level), false);
+            self.stats.dram_meta.reads += 1;
+            self.stats.dram_meta.writes += 1;
+            match self.layout.tree_parent(node) {
+                Some(parent) => {
+                    node = parent;
+                    level += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Re-encrypts a whole page after a counter overflow: every data block
+    /// is read, re-encrypted under the new page counter, written back, and
+    /// its hashes are recomputed.
+    fn reencrypt_page(&mut self, page: u64, obs: &mut dyn MetaObserver) {
+        self.stats.dram_data.reads += maps_trace::BLOCKS_PER_PAGE;
+        self.stats.dram_data.writes += maps_trace::BLOCKS_PER_PAGE;
+        let hash_blocks: Vec<BlockAddr> = self.layout.hash_blocks_of_page(page).collect();
+        for hb in hash_blocks {
+            self.meta_write_full(hb, BlockKind::Hash, obs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheContents;
+
+    fn engine(mdc: &MdcConfig) -> MetadataEngine {
+        MetadataEngine::new(SecureConfig::poison_ivy(16 << 20), mdc, 200, 40, true)
+    }
+
+    #[test]
+    fn cold_read_walks_whole_tree() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut rec = RecordingObserver::new();
+        e.handle_read(BlockAddr::new(0), &mut rec);
+        // hash + counter + full tree walk (3 levels for 16 MB).
+        let kinds: Vec<BlockKind> = rec.records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Hash,
+                BlockKind::Counter,
+                BlockKind::Tree(0),
+                BlockKind::Tree(1),
+                BlockKind::Tree(2)
+            ]
+        );
+        assert_eq!(e.stats().tree_walks, 1);
+        assert_eq!(e.stats().tree_walk_level_misses, 3);
+        assert_eq!(e.stats().dram_meta.reads, 5);
+    }
+
+    #[test]
+    fn warm_read_touches_only_cached_metadata() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut obs = NullObserver;
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        let before = e.stats().dram_meta.reads;
+        // Same page: counter and hash blocks now cached.
+        e.handle_read(BlockAddr::new(1), &mut obs);
+        assert_eq!(e.stats().dram_meta.reads, before);
+        assert_eq!(e.stats().tree_walks, 1);
+    }
+
+    #[test]
+    fn counter_hit_skips_tree_walk() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut obs = NullObserver;
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        // Block 8 shares the counter block (same page) but not the hash
+        // block; its read must not start a walk.
+        e.handle_read(BlockAddr::new(8), &mut obs);
+        assert_eq!(e.stats().tree_walks, 1);
+    }
+
+    #[test]
+    fn speculation_hides_verification_latency() {
+        let mk = |spec| {
+            MetadataEngine::new(
+                SecureConfig::poison_ivy(16 << 20),
+                &MdcConfig::paper_default(),
+                200,
+                40,
+                spec,
+            )
+        };
+        let mut spec_engine = mk(true);
+        let mut nonspec_engine = mk(false);
+        let s1 = spec_engine.handle_read(BlockAddr::new(0), &mut NullObserver);
+        let s2 = nonspec_engine.handle_read(BlockAddr::new(0), &mut NullObserver);
+        assert!(s2 > s1, "non-speculative stall {s2} should exceed speculative {s1}");
+    }
+
+    #[test]
+    fn finite_speculation_window_interpolates() {
+        let mk = |window| {
+            MetadataEngine::with_speculation_window(
+                SecureConfig::poison_ivy(16 << 20),
+                &MdcConfig::disabled(),
+                200,
+                40,
+                true,
+                window,
+            )
+        };
+        let stall_at = |window| mk(window).handle_read(BlockAddr::new(0), &mut NullObserver);
+        let unbounded = stall_at(u64::MAX);
+        let tight = stall_at(100);
+        let zero = stall_at(0);
+        let mut nospec_engine = MetadataEngine::new(
+            SecureConfig::poison_ivy(16 << 20),
+            &MdcConfig::disabled(),
+            200,
+            40,
+            false,
+        );
+        let nospec = nospec_engine.handle_read(BlockAddr::new(0), &mut NullObserver);
+        assert!(unbounded <= tight && tight <= zero);
+        assert_eq!(zero, nospec, "window 0 must equal no speculation");
+    }
+
+    #[test]
+    fn no_mdc_pays_full_walk_every_read() {
+        let mut e = engine(&MdcConfig::disabled());
+        let mut obs = NullObserver;
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        // Two reads, each: 1 hash + 1 counter + 3 tree levels = 5.
+        assert_eq!(e.stats().dram_meta.reads, 10);
+        assert_eq!(e.stats().tree_walks, 2);
+    }
+
+    #[test]
+    fn write_updates_counter_and_hash() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut rec = RecordingObserver::new();
+        e.handle_write(BlockAddr::new(0), &mut rec);
+        let kinds: Vec<(BlockKind, AccessKind)> =
+            rec.records.iter().map(|r| (r.kind, r.access)).collect();
+        assert!(kinds.contains(&(BlockKind::Counter, AccessKind::Write)));
+        assert!(kinds.contains(&(BlockKind::Hash, AccessKind::Write)));
+        assert_eq!(e.stats().dram_data.writes, 1);
+    }
+
+    #[test]
+    fn eager_tree_updates_without_cache() {
+        let mut e = engine(&MdcConfig::disabled());
+        let mut rec = RecordingObserver::new();
+        e.handle_write(BlockAddr::new(0), &mut rec);
+        let tree_writes = rec
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, BlockKind::Tree(_)) && r.access == AccessKind::Write)
+            .count();
+        assert_eq!(tree_writes, 3, "every level written eagerly");
+    }
+
+    #[test]
+    fn lazy_tree_update_deferred_until_counter_eviction() {
+        // Tiny 1-set cache holding all kinds: force counter evictions.
+        let mdc = MdcConfig::paper_default().with_size(512); // 8 lines
+        let mut e = engine(&mdc);
+        let mut rec = RecordingObserver::new();
+        // Dirty one counter block, then stream reads from other pages to
+        // evict it.
+        e.handle_write(BlockAddr::new(0), &mut rec);
+        let writes_before = rec
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, BlockKind::Tree(_)) && r.access == AccessKind::Write)
+            .count();
+        assert_eq!(writes_before, 0, "no tree write while the counter sits dirty in cache");
+        for page in 1..64u64 {
+            e.handle_read(BlockAddr::new(page * 64), &mut rec);
+        }
+        let tree_writes = rec
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, BlockKind::Tree(_)) && r.access == AccessKind::Write)
+            .count();
+        assert!(tree_writes > 0, "eviction of the dirty counter must update its leaf");
+    }
+
+    #[test]
+    fn overflow_triggers_page_reencryption() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut obs = NullObserver;
+        for _ in 0..128 {
+            e.handle_write(BlockAddr::new(0), &mut obs);
+        }
+        assert_eq!(e.stats().page_overflows, 1);
+        // Re-encryption moved the whole page through the controller.
+        assert!(e.stats().dram_data.reads >= 64);
+        assert!(e.stats().dram_data.writes >= 64 + 128);
+    }
+
+    #[test]
+    fn partial_writes_skip_fetch_on_hash_miss() {
+        let mut with_pw = MdcConfig::paper_default();
+        with_pw.partial_writes = true;
+        let mut e_pw = engine(&with_pw);
+        let mut e_plain = engine(&MdcConfig::paper_default());
+        let mut obs = NullObserver;
+        e_pw.handle_write(BlockAddr::new(0), &mut obs);
+        e_plain.handle_write(BlockAddr::new(0), &mut obs);
+        assert!(
+            e_pw.stats().dram_meta.reads < e_plain.stats().dram_meta.reads,
+            "partial writes must avoid the hash write-allocate fetch"
+        );
+    }
+
+    #[test]
+    fn counters_only_contents_never_cache_hashes() {
+        let mdc = MdcConfig::paper_default().with_contents(CacheContents::COUNTERS_ONLY);
+        let mut e = engine(&mdc);
+        let mut obs = NullObserver;
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        e.handle_read(BlockAddr::new(0), &mut obs);
+        let hash_stats = e.stats().meta.kind(BlockKind::Hash);
+        assert_eq!(hash_stats.hits, 0);
+        assert_eq!(hash_stats.misses, 2);
+        let ctr_stats = e.stats().meta.kind(BlockKind::Counter);
+        assert_eq!(ctr_stats.hits, 1);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_metadata() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut obs = NullObserver;
+        e.handle_write(BlockAddr::new(0), &mut obs);
+        let before = e.stats().dram_meta.writes;
+        e.flush(&mut obs);
+        assert!(e.stats().dram_meta.writes > before);
+    }
+}

@@ -1,0 +1,276 @@
+//! The unified metadata cache at the memory controller.
+
+use maps_cache::policy::AnyPolicy;
+use maps_cache::{CacheConfig, CacheStats, DuelingController, Line, SetAssocCache};
+use maps_trace::BlockKind;
+
+use crate::config::{CacheContents, MdcConfig, PartitionMode};
+
+/// Outcome of a metadata cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line evicted to make room, if any.
+    pub evicted: Option<Line>,
+    /// `true` when the kind is not admitted under the contents
+    /// configuration (the access was a statistics-only probe).
+    pub bypassed: bool,
+}
+
+/// A metadata cache holding (a configurable subset of) counters, hashes,
+/// and tree nodes, with optional way partitioning and set dueling.
+///
+/// # Examples
+///
+/// ```
+/// use maps_sim::{MdcConfig, MetadataCache};
+/// use maps_trace::BlockKind;
+///
+/// let mut mdc = MetadataCache::new(&MdcConfig::paper_default()).unwrap();
+/// let miss = mdc.access(100, BlockKind::Counter, false);
+/// assert!(!miss.hit);
+/// assert!(mdc.access(100, BlockKind::Counter, false).hit);
+/// ```
+#[derive(Debug)]
+pub struct MetadataCache {
+    cache: SetAssocCache<AnyPolicy>,
+    contents: CacheContents,
+    partial_writes: bool,
+    dueling: Option<DuelingController>,
+}
+
+impl MetadataCache {
+    /// Builds the cache, or `None` when the configuration disables it
+    /// (zero capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static partition is invalid for the associativity, or
+    /// if a dynamic partition requests more leader sets than exist.
+    pub fn new(cfg: &MdcConfig) -> Option<Self> {
+        if cfg.size_bytes == 0 {
+            return None;
+        }
+        let geometry = CacheConfig::from_bytes(cfg.size_bytes, cfg.ways);
+        let mut cache = SetAssocCache::new(geometry, cfg.policy.build());
+        let mut dueling = None;
+        match cfg.partition {
+            PartitionMode::None => {}
+            PartitionMode::Static(p) => cache.set_partition(Some(p)),
+            PartitionMode::Dynamic { a, b, leaders_per_side } => {
+                a.validate(cfg.ways);
+                b.validate(cfg.ways);
+                dueling = Some(DuelingController::new(geometry.sets(), leaders_per_side, a, b));
+            }
+        }
+        Some(Self { cache, contents: cfg.contents, partial_writes: cfg.partial_writes, dueling })
+    }
+
+    /// Which metadata types this cache admits.
+    pub fn contents(&self) -> CacheContents {
+        self.contents
+    }
+
+    /// Whether partial writes are enabled.
+    pub fn partial_writes_enabled(&self) -> bool {
+        self.partial_writes
+    }
+
+    /// Accumulated statistics (bypassed kinds are counted as misses).
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Accesses a metadata block. Non-admitted kinds are probed for
+    /// statistics and bypass allocation.
+    pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> MdOutcome {
+        if !self.contents.admits(kind) {
+            let hit = self.cache.probe(key, kind);
+            return MdOutcome { hit, evicted: None, bypassed: true };
+        }
+        let set = self.set_of(key);
+        let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+        let r = self.cache.access_with(key, kind, write, partition.as_ref());
+        if !r.hit {
+            if let Some(d) = &mut self.dueling {
+                d.record_miss(set);
+            }
+        }
+        MdOutcome { hit: r.hit, evicted: r.evicted, bypassed: false }
+    }
+
+    /// Write of a single 8 B sub-entry (hash or tree HMAC slot). With
+    /// partial writes enabled, a miss inserts a placeholder holding only
+    /// `slot` and does not require a memory fetch; the caller inspects
+    /// `hit`/`bypassed` to decide on DRAM traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn write_partial(&mut self, key: u64, kind: BlockKind, slot: u8) -> MdOutcome {
+        if !self.contents.admits(kind) {
+            let hit = self.cache.probe(key, kind);
+            return MdOutcome { hit, evicted: None, bypassed: true };
+        }
+        if self.cache.contains(key) {
+            let out = self.access(key, kind, true);
+            self.cache.mark_valid(key, slot);
+            return out;
+        }
+        if !self.partial_writes {
+            // Caller must fetch the block from memory; insert it complete.
+            return self.access(key, kind, true);
+        }
+        let set = self.set_of(key);
+        let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+        // Record the miss in both cache stats and the dueling selector.
+        self.cache.probe(key, kind);
+        if let Some(d) = &mut self.dueling {
+            d.record_miss(set);
+        }
+        let evicted = self.cache.insert_placeholder(key, kind, slot, partition.as_ref());
+        MdOutcome { hit: false, evicted, bypassed: false }
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// Valid mask of a resident line, if any.
+    pub fn valid_mask(&self, key: u64) -> Option<u8> {
+        self.cache.resident_lines().find(|l| l.key == key).map(|l| l.valid_mask)
+    }
+
+    /// Marks a resident line fully valid (after a completing fill read).
+    pub fn complete_line(&mut self, key: u64) {
+        for slot in 0..8 {
+            if self.cache.mark_valid(key, slot).is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Drains all resident lines (end-of-run writeback accounting).
+    pub fn drain(&mut self) -> Vec<Line> {
+        self.cache.drain()
+    }
+
+    /// Iterates over resident lines (for contents inspection, e.g. the
+    /// per-set diversity analysis of Section V-C).
+    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+        self.cache.resident_lines()
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    /// The inner cache's access counter (policy time base).
+    pub fn time(&self) -> u64 {
+        self.cache.time()
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        self.cache.config().set_of(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_cache::Partition;
+    use crate::config::PolicyChoice;
+
+    fn cfg() -> MdcConfig {
+        MdcConfig::paper_default().with_size(4096)
+    }
+
+    #[test]
+    fn zero_size_disables() {
+        assert!(MetadataCache::new(&MdcConfig::disabled()).is_none());
+    }
+
+    #[test]
+    fn bypassed_kinds_probe_only() {
+        let mut mdc =
+            MetadataCache::new(&cfg().with_contents(CacheContents::COUNTERS_ONLY)).unwrap();
+        let out = mdc.access(7, BlockKind::Hash, false);
+        assert!(out.bypassed);
+        assert!(!out.hit);
+        assert!(!mdc.contains(7));
+        // Misses recorded for MPKI accounting.
+        assert_eq!(mdc.stats().kind(BlockKind::Hash).misses, 1);
+    }
+
+    #[test]
+    fn partial_write_inserts_placeholder_without_fetch() {
+        let mut cfg = cfg();
+        cfg.partial_writes = true;
+        let mut mdc = MetadataCache::new(&cfg).unwrap();
+        let out = mdc.write_partial(9, BlockKind::Hash, 3);
+        assert!(!out.hit);
+        assert!(!out.bypassed);
+        assert_eq!(mdc.valid_mask(9), Some(0b1000));
+        // A second write to another slot coalesces.
+        let out2 = mdc.write_partial(9, BlockKind::Hash, 4);
+        assert!(out2.hit);
+        assert_eq!(mdc.valid_mask(9), Some(0b11000));
+    }
+
+    #[test]
+    fn without_partial_writes_misses_insert_complete() {
+        let mut mdc = MetadataCache::new(&cfg()).unwrap();
+        let out = mdc.write_partial(9, BlockKind::Hash, 3);
+        assert!(!out.hit);
+        assert_eq!(mdc.valid_mask(9), Some(0xFF));
+    }
+
+    #[test]
+    fn complete_line_fills_mask() {
+        let mut cfg = cfg();
+        cfg.partial_writes = true;
+        let mut mdc = MetadataCache::new(&cfg).unwrap();
+        mdc.write_partial(9, BlockKind::Hash, 0);
+        mdc.complete_line(9);
+        assert_eq!(mdc.valid_mask(9), Some(0xFF));
+    }
+
+    #[test]
+    fn static_partition_separates_counters_and_hashes() {
+        let mut c = cfg();
+        c.partition = PartitionMode::Static(Partition::counter_ways(4));
+        c.policy = PolicyChoice::TrueLru;
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        let sets = 4096 / 64 / 8; // 8 sets
+        // Fill one set with counters far beyond 4 ways: occupancy in that
+        // set must cap at 4 counter lines.
+        for i in 0..32u64 {
+            mdc.access(i * sets as u64, BlockKind::Counter, false);
+        }
+        assert_eq!(mdc.occupancy(), 4);
+    }
+
+    #[test]
+    fn dynamic_mode_constructs_and_runs() {
+        let mut c = cfg();
+        c.partition = PartitionMode::Dynamic {
+            a: Partition::counter_ways(2),
+            b: Partition::counter_ways(6),
+            leaders_per_side: 2,
+        };
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        for i in 0..1000u64 {
+            mdc.access(i, BlockKind::Counter, false);
+            mdc.access(10_000 + i, BlockKind::Hash, i % 3 == 0);
+        }
+        assert!(mdc.stats().total().accesses >= 2000);
+    }
+}

@@ -1,0 +1,139 @@
+//! Simulation reports.
+
+use std::fmt;
+
+use maps_mem::EnergyDelay;
+use maps_trace::MetaGroup;
+
+use crate::engine::EngineStats;
+use crate::hierarchy::HierarchyStats;
+
+/// Results of one simulation run (post-warm-up window).
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Instructions retired in the measured window.
+    pub instructions: u64,
+    /// Cycles (CPI-1 base plus memory stalls).
+    pub cycles: u64,
+    /// Cache-hierarchy statistics.
+    pub hierarchy: HierarchyStats,
+    /// Metadata-engine statistics.
+    pub engine: EngineStats,
+    /// Energy/delay accounting.
+    pub energy: EnergyDelay,
+}
+
+impl SimReport {
+    /// Metadata misses per thousand instructions — the metric of
+    /// Figures 1 and 6.
+    pub fn metadata_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.engine.meta.metadata_total().misses as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Metadata MPKI for one metadata group.
+    pub fn group_mpki(&self, group: MetaGroup) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let kind = match group {
+            MetaGroup::Counter => maps_trace::BlockKind::Counter,
+            MetaGroup::Hash => maps_trace::BlockKind::Hash,
+            MetaGroup::Tree => maps_trace::BlockKind::Tree(0),
+        };
+        self.engine.meta.kind(kind).misses as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// LLC demand misses per thousand instructions.
+    pub fn llc_mpki(&self) -> f64 {
+        self.hierarchy.llc_mpki()
+    }
+
+    /// Energy–delay-squared product.
+    pub fn ed2(&self) -> f64 {
+        self.energy.ed2()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Metadata cache hit ratio over all metadata accesses.
+    pub fn metadata_hit_ratio(&self) -> f64 {
+        let t = self.engine.meta.metadata_total();
+        if t.accesses == 0 {
+            0.0
+        } else {
+            t.hits as f64 / t.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "workload          {}", self.workload)?;
+        writeln!(f, "instructions      {}", self.instructions)?;
+        writeln!(f, "cycles            {} (IPC {:.3})", self.cycles, self.ipc())?;
+        writeln!(f, "LLC MPKI          {:.2}", self.llc_mpki())?;
+        writeln!(f, "metadata MPKI     {:.2}", self.metadata_mpki())?;
+        writeln!(f, "metadata hit rate {:.3}", self.metadata_hit_ratio())?;
+        writeln!(
+            f,
+            "DRAM transfers    {} data, {} metadata",
+            self.engine.dram_data.total(),
+            self.engine.dram_meta.total()
+        )?;
+        write!(f, "energy            {}", self.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut engine = EngineStats::default();
+        engine.meta.record_access(maps_trace::BlockKind::Counter, false);
+        engine.meta.record_access(maps_trace::BlockKind::Hash, false);
+        engine.meta.record_access(maps_trace::BlockKind::Hash, true);
+        SimReport {
+            workload: "test".into(),
+            instructions: 1000,
+            cycles: 2000,
+            hierarchy: HierarchyStats::default(),
+            engine,
+            energy: EnergyDelay::new(),
+        }
+    }
+
+    #[test]
+    fn mpki_math() {
+        let r = report();
+        assert!((r.metadata_mpki() - 2.0).abs() < 1e-12);
+        assert!((r.group_mpki(MetaGroup::Counter) - 1.0).abs() < 1e-12);
+        assert!((r.group_mpki(MetaGroup::Tree)).abs() < 1e-12);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let r = report();
+        assert!((r.metadata_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_key_lines() {
+        let s = report().to_string();
+        assert!(s.contains("metadata MPKI"));
+        assert!(s.contains("workload"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The end-to-end secure-memory simulation.
+
+use maps_mem::{EnergyDelay, SramModel};
+use maps_secure::SecureConfig;
+use maps_workloads::Workload;
+
+use crate::engine::{MetaObserver, MetadataEngine, NullObserver};
+use crate::hierarchy::{Hierarchy, MemEvent};
+use crate::{SimConfig, SimReport};
+
+/// Drives a workload through the hierarchy and metadata engine, producing
+/// a [`SimReport`].
+///
+/// The run is split into a warm-up phase (statistics discarded, observer
+/// muted) and a measured phase, mirroring the paper's 50 M-instruction
+/// cache warm-up.
+///
+/// # Examples
+///
+/// ```
+/// use maps_sim::{SecureSim, SimConfig};
+/// use maps_workloads::Benchmark;
+///
+/// let mut sim = SecureSim::new(SimConfig::paper_default(), Benchmark::Gups.build(7));
+/// let report = sim.run(10_000);
+/// assert!(report.metadata_mpki() > 0.0);
+/// ```
+pub struct SecureSim<W> {
+    cfg: SimConfig,
+    workload: W,
+    hierarchy: Hierarchy,
+    engine: Option<MetadataEngine>,
+    instructions: u64,
+    cycles: u64,
+    events: Vec<MemEvent>,
+    /// DRAM transfers in insecure mode (no engine to count them).
+    insecure_dram: maps_mem::DramCounters,
+}
+
+impl<W: Workload> SecureSim<W> {
+    /// Builds a simulation; protected memory is automatically grown to the
+    /// workload's footprint when the configured size is smaller.
+    pub fn new(cfg: SimConfig, workload: W) -> Self {
+        let memory_bytes = cfg.memory_bytes.max(workload.footprint_bytes()).max(4096);
+        let secure_cfg = SecureConfig::new(
+            memory_bytes.next_multiple_of(maps_trace::PAGE_BYTES),
+            cfg.counter_mode,
+        );
+        let engine = cfg.secure.then(|| {
+            MetadataEngine::with_speculation_window(
+                secure_cfg,
+                &cfg.mdc,
+                cfg.dram.latency_cycles,
+                cfg.hash_latency,
+                cfg.speculation,
+                cfg.speculation_window,
+            )
+        });
+        Self {
+            hierarchy: Hierarchy::new(&cfg),
+            engine,
+            cfg,
+            workload,
+            instructions: 0,
+            cycles: 0,
+            events: Vec::with_capacity(8),
+            insecure_dram: maps_mem::DramCounters::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The metadata engine (if secure memory is enabled).
+    pub fn engine(&self) -> Option<&MetadataEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Runs `accesses` core accesses (including warm-up) and reports.
+    pub fn run(&mut self, accesses: u64) -> SimReport {
+        self.run_observed(accesses, &mut NullObserver)
+    }
+
+    /// Runs with an observer on the measured phase's metadata stream.
+    pub fn run_observed(&mut self, accesses: u64, obs: &mut dyn MetaObserver) -> SimReport {
+        let warmup = (accesses as f64 * self.cfg.warmup_fraction) as u64;
+        for _ in 0..warmup {
+            self.step(&mut NullObserver);
+        }
+        self.reset_stats();
+        for _ in warmup..accesses {
+            self.step(obs);
+        }
+        self.report()
+    }
+
+    /// Executes one core access.
+    fn step(&mut self, obs: &mut dyn MetaObserver) {
+        let access = self.workload.next_access();
+        self.instructions += u64::from(access.icount);
+        self.cycles += u64::from(access.icount); // base CPI of 1
+        let missed = self.hierarchy.access(&access, &mut self.events);
+        let _ = missed;
+        // Writebacks first (they are buffered off the critical path),
+        // then the demand read contributes its stall.
+        let events = std::mem::take(&mut self.events);
+        for event in &events {
+            match (event, &mut self.engine) {
+                (MemEvent::Write(block), Some(engine)) => engine.handle_write(*block, obs),
+                (MemEvent::Read(block), Some(engine)) => {
+                    self.cycles += engine.handle_read(*block, obs);
+                }
+                (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
+                (MemEvent::Read(_), None) => {
+                    self.insecure_dram.reads += 1;
+                    self.cycles += self.cfg.dram.latency_cycles;
+                }
+            }
+        }
+        self.events = events;
+    }
+
+    fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+        if let Some(engine) = &mut self.engine {
+            engine.reset_stats();
+        }
+        self.instructions = 0;
+        self.cycles = 0;
+        self.insecure_dram = maps_mem::DramCounters::default();
+    }
+
+    /// Builds the report for the measured window.
+    fn report(&self) -> SimReport {
+        let engine_stats = self.engine.as_ref().map(|e| *e.stats()).unwrap_or_default();
+        let mut energy = EnergyDelay::new();
+        energy.add_cycles(self.cycles);
+
+        // DRAM dynamic energy: every block transfer at 150 pJ/bit, plus
+        // background power over the window.
+        let dram_transfers = if self.engine.is_some() {
+            engine_stats.dram_total()
+        } else {
+            self.insecure_dram.total()
+        };
+        energy.add_dram_pj(dram_transfers as f64 * self.cfg.dram.block_transfer_energy_pj());
+        energy.add_static_pj(self.cfg.dram.background_energy_pj(self.cycles));
+
+        // SRAM dynamic energy per level: accesses × capacity-scaled cost.
+        let h = self.hierarchy.stats();
+        let l1 = SramModel::new(self.cfg.l1_bytes);
+        let l2 = SramModel::new(self.cfg.l2_bytes);
+        let llc = SramModel::new(self.cfg.llc_bytes);
+        energy.add_sram_pj(h.accesses as f64 * l1.block_access_energy_pj());
+        energy.add_sram_pj(h.l1_misses as f64 * l2.block_access_energy_pj());
+        energy.add_sram_pj(h.l2_misses as f64 * llc.block_access_energy_pj());
+        energy.add_static_pj(llc.leakage_energy_pj(self.cycles));
+        if self.cfg.mdc.size_bytes > 0 && self.engine.is_some() {
+            let mdc = SramModel::new(self.cfg.mdc.size_bytes);
+            let meta_accesses = engine_stats.meta.metadata_total().accesses;
+            energy.add_sram_pj(meta_accesses as f64 * mdc.block_access_energy_pj());
+            energy.add_static_pj(mdc.leakage_energy_pj(self.cycles));
+        }
+
+        SimReport {
+            workload: self.workload.name().to_string(),
+            instructions: self.instructions,
+            cycles: self.cycles,
+            hierarchy: *h,
+            engine: engine_stats,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheContents, MdcConfig};
+    use maps_workloads::Benchmark;
+
+    fn quick(cfg: SimConfig, bench: Benchmark, n: u64) -> SimReport {
+        SecureSim::new(cfg, bench.build(11)).run(n)
+    }
+
+    #[test]
+    fn memory_intensive_workloads_exceed_mpki_threshold() {
+        // Section III: the paper focuses on benchmarks with LLC MPKI > 10.
+        for bench in [Benchmark::Canneal, Benchmark::Gups, Benchmark::Mcf] {
+            let r = quick(SimConfig::paper_default(), bench, 60_000);
+            assert!(r.llc_mpki() > 10.0, "{bench}: LLC MPKI {:.1}", r.llc_mpki());
+        }
+    }
+
+    #[test]
+    fn cache_resident_workload_has_low_mpki() {
+        let r = quick(SimConfig::paper_default(), Benchmark::Perl, 60_000);
+        assert!(r.llc_mpki() < 10.0, "perl LLC MPKI {:.1}", r.llc_mpki());
+    }
+
+    #[test]
+    fn secure_memory_costs_energy_and_time() {
+        let secure = quick(SimConfig::paper_default(), Benchmark::Gups, 40_000);
+        let insecure = quick(SimConfig::insecure_baseline(), Benchmark::Gups, 40_000);
+        assert!(secure.energy.total_pj() > insecure.energy.total_pj());
+        assert!(secure.cycles >= insecure.cycles);
+        assert!(secure.ed2() > insecure.ed2());
+    }
+
+    #[test]
+    fn metadata_cache_reduces_dram_traffic() {
+        let with = quick(SimConfig::paper_default(), Benchmark::Libquantum, 60_000);
+        let without = quick(
+            SimConfig::paper_default().with_mdc(MdcConfig::disabled()),
+            Benchmark::Libquantum,
+            60_000,
+        );
+        assert!(
+            with.engine.dram_meta.total() < without.engine.dram_meta.total() / 2,
+            "with: {}, without: {}",
+            with.engine.dram_meta.total(),
+            without.engine.dram_meta.total()
+        );
+    }
+
+    #[test]
+    fn bigger_metadata_cache_never_hurts_misses_much() {
+        let small = quick(
+            SimConfig::paper_default().with_mdc(MdcConfig::paper_default().with_size(16 << 10)),
+            Benchmark::Libquantum,
+            60_000,
+        );
+        let large = quick(
+            SimConfig::paper_default().with_mdc(MdcConfig::paper_default().with_size(1 << 20)),
+            Benchmark::Libquantum,
+            60_000,
+        );
+        assert!(large.metadata_mpki() <= small.metadata_mpki() * 1.05);
+    }
+
+    #[test]
+    fn caching_all_types_beats_counters_only_for_streaming() {
+        let base = SimConfig::paper_default();
+        let all = quick(
+            base.with_mdc(base.mdc.with_contents(CacheContents::ALL).with_size(64 << 10)),
+            Benchmark::Libquantum,
+            60_000,
+        );
+        let ctrs = quick(
+            base.with_mdc(base.mdc.with_contents(CacheContents::COUNTERS_ONLY).with_size(64 << 10)),
+            Benchmark::Libquantum,
+            60_000,
+        );
+        assert!(
+            all.metadata_mpki() < ctrs.metadata_mpki(),
+            "all-types {:.1} vs counters-only {:.1}",
+            all.metadata_mpki(),
+            ctrs.metadata_mpki()
+        );
+    }
+
+    #[test]
+    fn observer_sees_measured_phase_stream() {
+        use maps_analysis::GroupedReuseProfiler;
+        let mut sim = SecureSim::new(
+            SimConfig::paper_default().with_mdc(MdcConfig::disabled()),
+            Benchmark::Libquantum.build(3),
+        );
+        let mut profiler = GroupedReuseProfiler::new();
+        sim.run_observed(30_000, &mut profiler);
+        assert!(profiler.combined().accesses() > 0);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let r = quick(SimConfig::paper_default(), Benchmark::Fft, 30_000);
+        let meta = r.engine.meta.metadata_total();
+        assert_eq!(meta.accesses, meta.hits + meta.misses);
+        assert!(r.instructions > 0);
+        assert!(r.cycles >= r.instructions);
+    }
+}

@@ -1,0 +1,221 @@
+//! Newtype addresses for physical bytes, 64 B blocks, and 4 KB pages.
+//!
+//! Secure-memory metadata is organized around two granularities: the 64 B
+//! cache block (the unit of memory transfer and of metadata grouping) and
+//! the 4 KB page (the unit of the PoisonIvy-style per-page counter). The
+//! newtypes below keep those granularities statically distinct so that an
+//! address can never be interpreted at the wrong one.
+
+use std::fmt;
+
+/// Size of one cache block in bytes (the memory-transfer granularity).
+pub const BLOCK_BYTES: u64 = 64;
+/// Size of one page in bytes.
+pub const PAGE_BYTES: u64 = 4096;
+/// Number of 64 B blocks per 4 KB page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
+
+/// A byte-granular physical address.
+///
+/// # Examples
+///
+/// ```
+/// use maps_trace::PhysAddr;
+/// let a = PhysAddr::new(0x1234);
+/// assert_eq!(a.block().index(), 0x1234 / 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// Raw byte offset of this address.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The 64 B block containing this address.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// The 4 KB page containing this address.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Offset of this address within its block.
+    pub const fn block_offset(self) -> u64 {
+        self.0 % BLOCK_BYTES
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(bytes: u64) -> Self {
+        Self(bytes)
+    }
+}
+
+/// A 64 B-block-granular address (a block *index*, not a byte offset).
+///
+/// # Examples
+///
+/// ```
+/// use maps_trace::{BlockAddr, BLOCK_BYTES};
+/// let b = BlockAddr::new(65);
+/// assert_eq!(b.base().bytes(), 65 * BLOCK_BYTES);
+/// assert_eq!(b.page().index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Index of this block (bytes / 64).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of this block.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * BLOCK_BYTES)
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / BLOCKS_PER_PAGE)
+    }
+
+    /// Position of this block within its page (0..64).
+    pub const fn slot_in_page(self) -> u64 {
+        self.0 % BLOCKS_PER_PAGE
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(index: u64) -> Self {
+        Self(index)
+    }
+}
+
+/// A 4 KB-page-granular address (a page *index*).
+///
+/// # Examples
+///
+/// ```
+/// use maps_trace::PageAddr;
+/// let p = PageAddr::new(3);
+/// assert_eq!(p.first_block().index(), 3 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Index of this page (bytes / 4096).
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Byte address of the first byte of this page.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_BYTES)
+    }
+
+    /// First 64 B block of this page.
+    pub const fn first_block(self) -> BlockAddr {
+        BlockAddr(self.0 * BLOCKS_PER_PAGE)
+    }
+
+    /// Iterates over the 64 block addresses contained in this page.
+    pub fn blocks(self) -> impl Iterator<Item = BlockAddr> {
+        let first = self.0 * BLOCKS_PER_PAGE;
+        (first..first + BLOCKS_PER_PAGE).map(BlockAddr)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pg:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PageAddr {
+    fn from(index: u64) -> Self {
+        Self(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_of_byte_address() {
+        let a = PhysAddr::new(PAGE_BYTES + 3 * BLOCK_BYTES + 7);
+        assert_eq!(a.block(), BlockAddr::new(BLOCKS_PER_PAGE + 3));
+        assert_eq!(a.page(), PageAddr::new(1));
+        assert_eq!(a.block_offset(), 7);
+    }
+
+    #[test]
+    fn block_round_trips_through_base() {
+        for idx in [0u64, 1, 63, 64, 12345] {
+            let b = BlockAddr::new(idx);
+            assert_eq!(b.base().block(), b);
+        }
+    }
+
+    #[test]
+    fn page_contains_sixty_four_blocks() {
+        let p = PageAddr::new(5);
+        let blocks: Vec<_> = p.blocks().collect();
+        assert_eq!(blocks.len(), 64);
+        assert_eq!(blocks[0], p.first_block());
+        assert!(blocks.iter().all(|b| b.page() == p));
+    }
+
+    #[test]
+    fn slot_in_page_cycles() {
+        assert_eq!(BlockAddr::new(0).slot_in_page(), 0);
+        assert_eq!(BlockAddr::new(63).slot_in_page(), 63);
+        assert_eq!(BlockAddr::new(64).slot_in_page(), 0);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(PhysAddr::new(255).to_string(), "0xff");
+        assert_eq!(BlockAddr::new(16).to_string(), "blk:0x10");
+        assert_eq!(PageAddr::new(2).to_string(), "pg:0x2");
+    }
+}

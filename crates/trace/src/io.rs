@@ -1,0 +1,208 @@
+//! Trace serialization: a line-oriented text format for access streams.
+//!
+//! The format is deliberately simple so traces can be produced and
+//! consumed by scripts and other simulators:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! R 0x1040 8        <- kind, byte address (hex or decimal), icount
+//! W 4096 12
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_trace::io::{read_trace, write_trace};
+//! use maps_trace::{AccessKind, MemAccess, PhysAddr};
+//!
+//! let trace = vec![
+//!     MemAccess::new(PhysAddr::new(64), AccessKind::Read, 4),
+//!     MemAccess::new(PhysAddr::new(128), AccessKind::Write, 7),
+//! ];
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, &trace)?;
+//! let back = read_trace(&buf[..])?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), maps_trace::io::TraceIoError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::{AccessKind, MemAccess, PhysAddr};
+
+/// Errors from trace reading/writing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that could not be parsed, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace in the text format. A `&mut` reference can be passed for
+/// any writer.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors.
+pub fn write_trace<'a, W: Write, I>(writer: W, accesses: I) -> Result<(), TraceIoError>
+where
+    I: IntoIterator<Item = &'a MemAccess>,
+{
+    let mut w = io::BufWriter::new(writer);
+    writeln!(w, "# maps-trace v1: kind addr icount")?;
+    for a in accesses {
+        writeln!(w, "{} 0x{:x} {}", a.kind.letter(), a.addr.bytes(), a.icount)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace in the text format. A `&mut` reference can be passed for
+/// any reader.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] with the offending line number on
+/// malformed input, or [`TraceIoError::Io`] on read failures.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<MemAccess>, TraceIoError> {
+    let mut out = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed).map_err(|message| TraceIoError::Parse {
+            line: line_no,
+            message,
+        })?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<MemAccess, String> {
+    let mut parts = line.split_whitespace();
+    let kind = match parts.next() {
+        Some("R") | Some("r") => AccessKind::Read,
+        Some("W") | Some("w") => AccessKind::Write,
+        Some(other) => return Err(format!("unknown access kind {other:?}")),
+        None => return Err("empty record".to_string()),
+    };
+    let addr_text = parts.next().ok_or("missing address")?;
+    let addr = parse_u64(addr_text).ok_or_else(|| format!("bad address {addr_text:?}"))?;
+    let icount_text = parts.next().unwrap_or("1");
+    let icount: u32 =
+        icount_text.parse().map_err(|_| format!("bad icount {icount_text:?}"))?;
+    if let Some(extra) = parts.next() {
+        return Err(format!("unexpected trailing field {extra:?}"));
+    }
+    Ok(MemAccess::new(PhysAddr::new(addr), kind, icount))
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MemAccess> {
+        vec![
+            MemAccess::new(PhysAddr::new(0), AccessKind::Read, 1),
+            MemAccess::new(PhysAddr::new(0xABCDE0), AccessKind::Write, 250),
+            MemAccess::new(PhysAddr::new(64), AccessKind::Read, 9),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn accepts_decimal_and_hex_addresses() {
+        let text = "R 4096 2\nW 0x1000 3\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t[0].addr, t[1].addr);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\nR 0x40 1\n   \n# tail\n";
+        assert_eq!(read_trace(text.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn default_icount_is_one() {
+        let t = read_trace("W 64".as_bytes()).unwrap();
+        assert_eq!(t[0].icount, 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "R 0x40 1\nX 0x40 1\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceIoError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unknown access kind"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(matches!(
+            read_trace("R 0x40 1 junk".as_bytes()),
+            Err(TraceIoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceIoError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

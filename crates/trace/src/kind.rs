@@ -1,0 +1,188 @@
+//! Access-kind and block-classification enums.
+
+use std::fmt;
+
+/// Whether a memory access reads or writes its target.
+///
+/// At the memory controller, reads correspond to LLC load/store *misses*
+/// (line fills) and writes correspond to dirty-line writebacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Fetch a block from memory.
+    Read,
+    /// Write a (dirty) block back to memory.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// One-letter label (`R`/`W`) used in trace dumps and table headers.
+    pub const fn letter(self) -> char {
+        match self {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// Classification of a 64 B block at the memory controller.
+///
+/// Secure memory distinguishes ordinary data from three metadata types
+/// (Section II of the paper): encryption counters, data hashes, and the
+/// nodes of the Bonsai Merkle Tree that protects the counters. Tree nodes
+/// carry their level, with level 0 being the leaves (the hashes directly
+/// over counter blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlockKind {
+    /// Ordinary program data.
+    Data,
+    /// A block of encryption counters.
+    Counter,
+    /// A block of per-data-block integrity hashes (HMACs).
+    Hash,
+    /// A Bonsai Merkle Tree node at the given level (0 = leaf).
+    Tree(u8),
+}
+
+impl BlockKind {
+    /// Returns `true` for the three metadata kinds.
+    pub const fn is_metadata(self) -> bool {
+        !matches!(self, BlockKind::Data)
+    }
+
+    /// Collapses tree levels into the three-way metadata grouping used by
+    /// the paper's figures, or `None` for data blocks.
+    pub const fn group(self) -> Option<MetaGroup> {
+        match self {
+            BlockKind::Data => None,
+            BlockKind::Counter => Some(MetaGroup::Counter),
+            BlockKind::Hash => Some(MetaGroup::Hash),
+            BlockKind::Tree(_) => Some(MetaGroup::Tree),
+        }
+    }
+
+    /// The tree level, if this is a tree node.
+    pub const fn tree_level(self) -> Option<u8> {
+        match self {
+            BlockKind::Tree(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockKind::Data => f.write_str("data"),
+            BlockKind::Counter => f.write_str("counter"),
+            BlockKind::Hash => f.write_str("hash"),
+            BlockKind::Tree(l) => write!(f, "tree[{l}]"),
+        }
+    }
+}
+
+/// The three metadata groups the paper reports results for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetaGroup {
+    /// Encryption counter blocks.
+    Counter,
+    /// Data-hash (HMAC) blocks.
+    Hash,
+    /// Bonsai Merkle Tree nodes, all levels merged.
+    Tree,
+}
+
+impl MetaGroup {
+    /// All groups, in the order the paper's figures list them.
+    pub const ALL: [MetaGroup; 3] = [MetaGroup::Counter, MetaGroup::Hash, MetaGroup::Tree];
+
+    /// Stable index (0..3) for array-indexed per-group statistics.
+    pub const fn index(self) -> usize {
+        match self {
+            MetaGroup::Counter => 0,
+            MetaGroup::Hash => 1,
+            MetaGroup::Tree => 2,
+        }
+    }
+
+    /// Short label used in table headers.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MetaGroup::Counter => "counter",
+            MetaGroup::Hash => "hash",
+            MetaGroup::Tree => "tree",
+        }
+    }
+}
+
+impl fmt::Display for MetaGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_letter_and_write_flag() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::Read.letter(), 'R');
+        assert_eq!(AccessKind::Write.letter(), 'W');
+    }
+
+    #[test]
+    fn block_kind_grouping() {
+        assert_eq!(BlockKind::Data.group(), None);
+        assert_eq!(BlockKind::Counter.group(), Some(MetaGroup::Counter));
+        assert_eq!(BlockKind::Hash.group(), Some(MetaGroup::Hash));
+        assert_eq!(BlockKind::Tree(0).group(), Some(MetaGroup::Tree));
+        assert_eq!(BlockKind::Tree(5).group(), Some(MetaGroup::Tree));
+    }
+
+    #[test]
+    fn tree_level_extraction() {
+        assert_eq!(BlockKind::Tree(3).tree_level(), Some(3));
+        assert_eq!(BlockKind::Counter.tree_level(), None);
+    }
+
+    #[test]
+    fn metadata_flag() {
+        assert!(!BlockKind::Data.is_metadata());
+        assert!(BlockKind::Counter.is_metadata());
+        assert!(BlockKind::Hash.is_metadata());
+        assert!(BlockKind::Tree(1).is_metadata());
+    }
+
+    #[test]
+    fn group_indices_are_distinct_and_dense() {
+        let mut seen = [false; 3];
+        for g in MetaGroup::ALL {
+            assert!(!seen[g.index()]);
+            seen[g.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(BlockKind::Tree(2).to_string(), "tree[2]");
+        assert_eq!(MetaGroup::Counter.to_string(), "counter");
+        assert_eq!(AccessKind::Read.to_string(), "read");
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared address, access-record, and block-classification types for the
+//! MAPS secure-memory characterization workspace.
+//!
+//! This crate is dependency-free and sits at the bottom of the workspace
+//! graph: every other crate (workload generators, cache simulators, the
+//! secure-memory layout, and the analysis tooling) communicates through the
+//! types defined here.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_trace::{AccessKind, BlockAddr, MemAccess, PhysAddr};
+//!
+//! let access = MemAccess::new(PhysAddr::new(0x1040), AccessKind::Read, 8);
+//! assert_eq!(access.addr.block(), BlockAddr::new(0x41));
+//! assert_eq!(access.addr.block().page().index(), 1);
+//! ```
+
+pub mod addr;
+pub mod io;
+pub mod kind;
+pub mod record;
+pub mod stats;
+
+pub use addr::{BlockAddr, PageAddr, PhysAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+pub use kind::{AccessKind, BlockKind, MetaGroup};
+pub use record::{MemAccess, MetaAccess};
+pub use io::{read_trace, write_trace, TraceIoError};
+pub use stats::TraceStats;

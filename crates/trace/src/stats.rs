@@ -1,0 +1,139 @@
+//! Running statistics over an access trace.
+
+use std::collections::HashSet;
+
+use crate::{MemAccess, PAGE_BYTES};
+
+/// Accumulates footprint and read/write statistics over a stream of
+/// [`MemAccess`] records.
+///
+/// # Examples
+///
+/// ```
+/// use maps_trace::{AccessKind, MemAccess, PhysAddr, TraceStats};
+/// let mut stats = TraceStats::new();
+/// stats.record(&MemAccess::new(PhysAddr::new(0), AccessKind::Read, 4));
+/// stats.record(&MemAccess::new(PhysAddr::new(64), AccessKind::Write, 4));
+/// assert_eq!(stats.accesses(), 2);
+/// assert_eq!(stats.unique_blocks(), 2);
+/// assert_eq!(stats.unique_pages(), 1);
+/// assert!((stats.write_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    accesses: u64,
+    writes: u64,
+    instructions: u64,
+    blocks: HashSet<u64>,
+    pages: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates an empty statistics accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, access: &MemAccess) {
+        self.accesses += 1;
+        self.instructions += u64::from(access.icount);
+        if access.kind.is_write() {
+            self.writes += 1;
+        }
+        self.blocks.insert(access.addr.block().index());
+        self.pages.insert(access.addr.page().index());
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total instructions implied by the trace (sum of `icount`).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of distinct 64 B blocks touched.
+    pub fn unique_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of distinct 4 KB pages touched.
+    pub fn unique_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Touched footprint in bytes, at page granularity.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+
+    /// Fraction of accesses that are writes (0 if no accesses).
+    pub fn write_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.accesses as f64
+        }
+    }
+
+    /// Mean number of accesses per touched block: a crude spatial-locality
+    /// signal (higher means more block-level reuse).
+    pub fn accesses_per_block(&self) -> f64 {
+        if self.blocks.is_empty() {
+            0.0
+        } else {
+            self.accesses as f64 / self.blocks.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, PhysAddr};
+
+    fn acc(addr: u64, kind: AccessKind) -> MemAccess {
+        MemAccess::new(PhysAddr::new(addr), kind, 10)
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let mut s = TraceStats::new();
+        for i in 0..128 {
+            s.record(&acc(i * 64, AccessKind::Read));
+        }
+        assert_eq!(s.accesses(), 128);
+        assert_eq!(s.unique_blocks(), 128);
+        assert_eq!(s.unique_pages(), 2);
+        assert_eq!(s.footprint_bytes(), 2 * PAGE_BYTES);
+        assert_eq!(s.instructions(), 1280);
+        assert_eq!(s.writes(), 0);
+    }
+
+    #[test]
+    fn write_fraction_and_reuse() {
+        let mut s = TraceStats::new();
+        s.record(&acc(0, AccessKind::Write));
+        s.record(&acc(0, AccessKind::Read));
+        s.record(&acc(0, AccessKind::Read));
+        s.record(&acc(64, AccessKind::Write));
+        assert!((s.write_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.accesses_per_block() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.accesses_per_block(), 0.0);
+        assert_eq!(s.footprint_bytes(), 0);
+    }
+}

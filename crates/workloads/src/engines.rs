@@ -1,0 +1,781 @@
+//! Address-stream generator engines.
+//!
+//! Each engine models one archetypal access pattern; benchmark profiles in
+//! [`crate::profiles`] instantiate them with per-benchmark parameters.
+
+use maps_trace::{AccessKind, MemAccess, PhysAddr, BLOCK_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic workload producing an infinite memory-access stream.
+///
+/// Implementations are deterministic for a given construction seed.
+pub trait Workload {
+    /// Produces the next access.
+    fn next_access(&mut self) -> MemAccess;
+
+    /// Total bytes the generator will ever touch.
+    fn footprint_bytes(&self) -> u64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "workload"
+    }
+}
+
+impl Workload for Box<dyn Workload> {
+    fn next_access(&mut self) -> MemAccess {
+        (**self).next_access()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        (**self).footprint_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Shared per-access bookkeeping: write-fraction draw and instruction gap.
+#[derive(Debug, Clone)]
+struct AccessShaper {
+    rng: SmallRng,
+    write_fraction: f64,
+    icount_mean: u32,
+}
+
+impl AccessShaper {
+    fn new(seed: u64, write_fraction: f64, icount_mean: u32) -> Self {
+        assert!((0.0..=1.0).contains(&write_fraction), "write fraction outside [0, 1]");
+        assert!(icount_mean >= 1, "icount mean must be at least 1");
+        Self { rng: SmallRng::seed_from_u64(seed), write_fraction, icount_mean }
+    }
+
+    fn shape(&mut self, block: u64) -> MemAccess {
+        let kind = if self.rng.gen_bool(self.write_fraction) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        // Instruction gaps jitter by ±50% around the mean.
+        let lo = self.icount_mean.div_ceil(2).max(1);
+        let hi = self.icount_mean + self.icount_mean / 2;
+        let icount = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+        MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), kind, icount)
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Streaming sweep over an array (libquantum, lbm): sequential blocks with
+/// a fixed stride, restarting at the end.
+///
+/// # Examples
+///
+/// ```
+/// use maps_workloads::{StreamGen, Workload};
+/// let mut g = StreamGen::new("s", 1, 4 << 20, 1, 0.0, 8);
+/// let a = g.next_access();
+/// let b = g.next_access();
+/// assert_eq!(b.addr.bytes() - a.addr.bytes(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    stride_blocks: u64,
+    cursor: u64,
+}
+
+impl StreamGen {
+    /// Creates a streaming generator over `footprint_bytes`, advancing
+    /// `stride_blocks` per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one block or the stride is 0.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        stride_blocks: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        assert!(blocks > 0, "footprint must hold at least one block");
+        assert!(stride_blocks > 0, "stride must be positive");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            stride_blocks,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for StreamGen {
+    fn next_access(&mut self) -> MemAccess {
+        let block = self.cursor;
+        self.cursor += self.stride_blocks;
+        if self.cursor >= self.blocks {
+            // Wrap with a phase shift so strided sweeps eventually touch
+            // every block.
+            self.cursor %= self.blocks;
+            self.cursor = (self.cursor + 1) % self.stride_blocks.min(self.blocks);
+        }
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Uniform random block accesses over a footprint (gups, canneal).
+#[derive(Debug, Clone)]
+pub struct RandomGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    /// Probability that an access lands within `burst_span` blocks of the
+    /// previous one, giving tunable (low) spatial locality.
+    burst_prob: f64,
+    burst_span: u64,
+    last_block: u64,
+}
+
+impl RandomGen {
+    /// Creates a random generator; `burst_prob`/`burst_span` add a small
+    /// amount of near-previous locality (0.0 disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one block.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+        burst_prob: f64,
+        burst_span: u64,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        assert!(blocks > 0, "footprint must hold at least one block");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            burst_prob,
+            burst_span: burst_span.max(1),
+            last_block: 0,
+        }
+    }
+}
+
+impl Workload for RandomGen {
+    fn next_access(&mut self) -> MemAccess {
+        let block = if self.burst_prob > 0.0 && self.shaper.rng().gen_bool(self.burst_prob) {
+            let span = self.burst_span;
+            let delta = self.shaper.rng().gen_range(0..span);
+            (self.last_block + delta) % self.blocks
+        } else {
+            self.shaper.rng().gen_range(0..self.blocks)
+        };
+        self.last_block = block;
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Pointer chasing along a pseudo-random permutation cycle (mcf, omnetpp).
+///
+/// The successor function is a bijective affine map over the block space,
+/// so the chase visits every block exactly once per cycle without
+/// materializing a permutation array.
+#[derive(Debug, Clone)]
+pub struct PointerChaseGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    multiplier: u64,
+    increment: u64,
+    current: u64,
+    /// Probability of touching a small hot region instead of chasing.
+    hot_prob: f64,
+    hot_blocks: u64,
+}
+
+impl PointerChaseGen {
+    /// Creates a pointer-chase generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one block.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+        hot_prob: f64,
+        hot_bytes: u64,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        assert!(blocks > 0, "footprint must hold at least one block");
+        // An odd multiplier coprime with the block count gives a full
+        // permutation cycle for power-of-two counts and a long cycle
+        // otherwise; the large constant scatters successors across pages.
+        let multiplier = (2_862_933_555_777_941_757 % blocks.max(2)) | 1;
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            multiplier,
+            increment: 0x9E37_79B9 % blocks.max(1),
+            current: seed % blocks,
+            hot_prob,
+            hot_blocks: (hot_bytes / BLOCK_BYTES).clamp(1, blocks),
+        }
+    }
+}
+
+impl Workload for PointerChaseGen {
+    fn next_access(&mut self) -> MemAccess {
+        if self.hot_prob > 0.0 && self.shaper.rng().gen_bool(self.hot_prob) {
+            let hot = self.shaper.rng().gen_range(0..self.hot_blocks);
+            return self.shaper.shape(hot);
+        }
+        self.current =
+            (self.current.wrapping_mul(self.multiplier).wrapping_add(self.increment)) % self.blocks;
+        let block = self.current;
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Grid stencil sweep (leslie3d, cactusADM, milc): walks a logical grid,
+/// touching the point plus neighbours at ±1 element and ±1 plane.
+#[derive(Debug, Clone)]
+pub struct StencilGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    plane_blocks: u64,
+    arrays: u64,
+    cursor: u64,
+    phase: u8,
+}
+
+impl StencilGen {
+    /// Creates a stencil generator over `arrays` equally-sized arrays whose
+    /// combined footprint is `footprint_bytes`; `plane_bytes` is the plane
+    /// stride of the neighbour accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any array would be smaller than one plane.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        plane_bytes: u64,
+        arrays: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        assert!(arrays >= 1, "need at least one array");
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        let plane_blocks = (plane_bytes / BLOCK_BYTES).max(1);
+        let array_blocks = blocks / arrays;
+        assert!(array_blocks > plane_blocks, "array smaller than one plane");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            plane_blocks,
+            arrays,
+            cursor: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl Workload for StencilGen {
+    fn next_access(&mut self) -> MemAccess {
+        let array_blocks = self.blocks / self.arrays;
+        let pos = self.cursor % array_blocks;
+        let array = (self.cursor / array_blocks) % self.arrays;
+        let base = array * array_blocks;
+        // Stencil pattern: centre, +plane, -plane, then advance.
+        let block = match self.phase {
+            0 => base + pos,
+            1 => base + (pos + self.plane_blocks) % array_blocks,
+            _ => base + (pos + array_blocks - self.plane_blocks) % array_blocks,
+        };
+        self.phase = (self.phase + 1) % 3;
+        if self.phase == 0 {
+            self.cursor = (self.cursor + 1) % self.blocks;
+        }
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Hot/cold working-set mixture (perl, gcc): most accesses land in a small
+/// hot region; the rest roam a larger cold region.
+#[derive(Debug, Clone)]
+pub struct HotColdGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    hot_blocks: u64,
+    cold_blocks: u64,
+    hot_prob: f64,
+    cold_cursor: u64,
+}
+
+impl HotColdGen {
+    /// Creates a hot/cold generator: `hot_prob` of accesses hit the hot
+    /// region sized `hot_bytes`; the rest sweep the remaining footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either region is empty or `hot_bytes` exceeds the
+    /// footprint.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        hot_bytes: u64,
+        hot_prob: f64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        assert!(hot_bytes < footprint_bytes, "hot region must be smaller than the footprint");
+        let hot_blocks = hot_bytes / BLOCK_BYTES;
+        let cold_blocks = (footprint_bytes - hot_bytes) / BLOCK_BYTES;
+        assert!(hot_blocks > 0 && cold_blocks > 0, "both regions must be non-empty");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            hot_blocks,
+            cold_blocks,
+            hot_prob,
+            cold_cursor: 0,
+        }
+    }
+}
+
+impl Workload for HotColdGen {
+    fn next_access(&mut self) -> MemAccess {
+        let block = if self.shaper.rng().gen_bool(self.hot_prob) {
+            self.shaper.rng().gen_range(0..self.hot_blocks)
+        } else {
+            self.cold_cursor = (self.cold_cursor + 1) % self.cold_blocks;
+            self.hot_blocks + self.cold_cursor
+        };
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        (self.hot_blocks + self.cold_blocks) * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// FFT-style phased access (fft): alternating sequential passes and
+/// butterfly passes whose stride doubles each phase, with the paper's 20 %
+/// write fraction by default.
+#[derive(Debug, Clone)]
+pub struct FftGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    cursor: u64,
+    stride_shift: u32,
+    toggle: bool,
+}
+
+impl FftGen {
+    /// Creates the generator over `footprint_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint holds fewer than four blocks.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        assert!(blocks >= 4, "FFT footprint too small");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            cursor: 0,
+            stride_shift: 1,
+            toggle: false,
+        }
+    }
+}
+
+impl Workload for FftGen {
+    fn next_access(&mut self) -> MemAccess {
+        // Butterfly: visit i, then i + 2^shift, alternating.
+        let stride = 1u64 << self.stride_shift;
+        let block = if self.toggle { (self.cursor + stride) % self.blocks } else { self.cursor };
+        if self.toggle {
+            self.cursor += 1;
+            if self.cursor >= self.blocks {
+                self.cursor = 0;
+                self.stride_shift += 1;
+                let max_shift = 63 - self.blocks.leading_zeros();
+                if self.stride_shift >= max_shift {
+                    self.stride_shift = 1;
+                }
+            }
+        }
+        self.toggle = !self.toggle;
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Blocked multi-pass sweep (cactusADM): the working tile is swept eight
+/// times at a 512 B stride with a different 64 B offset each pass, then the
+/// tile advances. Every access is a cold data block (so it reaches the
+/// memory controller), but the tile's metadata blocks are revisited once
+/// per pass — producing the *mid-range* reuse distances that make
+/// cactusADM one of Figure 4's two non-bimodal outliers.
+#[derive(Debug, Clone)]
+pub struct TiledPassGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    blocks: u64,
+    tile_blocks: u64,
+    tile_base: u64,
+    offset: u64,
+    pos: u64,
+}
+
+impl TiledPassGen {
+    /// Creates the generator: `tile_bytes` per tile within
+    /// `footprint_bytes` total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile is smaller than 512 B or larger than the
+    /// footprint.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        tile_bytes: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        let tile_blocks = tile_bytes / BLOCK_BYTES;
+        assert!(tile_blocks >= 8, "tile must hold at least eight blocks");
+        assert!(tile_blocks <= blocks, "tile larger than footprint");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            blocks,
+            tile_blocks,
+            tile_base: 0,
+            offset: 0,
+            pos: 0,
+        }
+    }
+}
+
+impl Workload for TiledPassGen {
+    fn next_access(&mut self) -> MemAccess {
+        let block = (self.tile_base + self.pos * 8 + self.offset) % self.blocks;
+        self.pos += 1;
+        if self.pos * 8 + self.offset >= self.tile_blocks {
+            self.pos = 0;
+            self.offset += 1;
+            if self.offset == 8 {
+                self.offset = 0;
+                self.tile_base = (self.tile_base + self.tile_blocks) % self.blocks;
+            }
+        }
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Random root-to-leaf walks over an implicit tree laid out level-major
+/// (barnes): upper levels are heavily reused, leaves are not.
+#[derive(Debug, Clone)]
+pub struct TreeWalkGen {
+    name: &'static str,
+    shaper: AccessShaper,
+    levels: u32,
+    arity: u64,
+    blocks: u64,
+    /// `(levels remaining in current walk, chosen leaf index)`.
+    walk_level_state: (u32, u64),
+}
+
+impl TreeWalkGen {
+    /// Creates a tree-walk generator whose implicit tree fills
+    /// `footprint_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels fit.
+    pub fn new(
+        name: &'static str,
+        seed: u64,
+        footprint_bytes: u64,
+        arity: u64,
+        write_fraction: f64,
+        icount_mean: u32,
+    ) -> Self {
+        let blocks = footprint_bytes / BLOCK_BYTES;
+        // Find the deepest complete tree that fits.
+        let mut levels = 1;
+        let mut total = 1u64;
+        let mut level_size = 1u64;
+        loop {
+            level_size *= arity;
+            if total + level_size > blocks {
+                break;
+            }
+            total += level_size;
+            levels += 1;
+        }
+        assert!(levels >= 2, "tree footprint too small for two levels");
+        Self {
+            name,
+            shaper: AccessShaper::new(seed, write_fraction, icount_mean),
+            levels,
+            arity,
+            blocks: total,
+            walk_level_state: (0, 0),
+        }
+    }
+}
+
+impl Workload for TreeWalkGen {
+    fn next_access(&mut self) -> MemAccess {
+        // Pick a random leaf, then emit its root-to-leaf path one node per
+        // call; start a fresh walk when the path is exhausted.
+        if self.walk_remaining() == 0 {
+            self.start_walk();
+        }
+        let (level, index_in_level) = self.walk_step();
+        // Level-major layout: offset = sum of sizes above + index.
+        let mut base = 0u64;
+        let mut size = 1u64;
+        for _ in 0..level {
+            base += size;
+            size *= self.arity;
+        }
+        let block = (base + index_in_level) % self.blocks;
+        self.shaper.shape(block)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.blocks * BLOCK_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl TreeWalkGen {
+    fn walk_remaining(&self) -> u32 {
+        self.walk_level_state.0
+    }
+
+    fn start_walk(&mut self) {
+        let leaf_count = self.arity.pow(self.levels - 1);
+        let leaf = self.shaper.rng().gen_range(0..leaf_count);
+        self.walk_level_state = (self.levels, leaf);
+    }
+
+    fn walk_step(&mut self) -> (u32, u64) {
+        let (remaining, leaf) = self.walk_level_state;
+        let level = self.levels - remaining;
+        // Node index at this level is the leaf index shifted up.
+        let index = leaf / self.arity.pow(self.levels - 1 - level);
+        self.walk_level_state = (remaining - 1, leaf);
+        (level, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_trace::TraceStats;
+
+    fn collect(w: &mut dyn Workload, n: usize) -> TraceStats {
+        let mut stats = TraceStats::new();
+        for _ in 0..n {
+            let a = w.next_access();
+            assert!(
+                a.addr.bytes() < w.footprint_bytes(),
+                "access {a:?} outside footprint {}",
+                w.footprint_bytes()
+            );
+            stats.record(&a);
+        }
+        stats
+    }
+
+    #[test]
+    fn stream_is_sequential_and_wraps() {
+        let mut g = StreamGen::new("s", 1, 64 * BLOCK_BYTES, 1, 0.0, 4);
+        for lap in 0..2 {
+            for i in 0..64u64 {
+                let a = g.next_access();
+                assert_eq!(a.addr.block().index(), i, "lap {lap}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_write_fraction_respected() {
+        let mut g = StreamGen::new("s", 7, 1 << 20, 1, 0.2, 4);
+        let stats = collect(&mut g, 20_000);
+        let wf = stats.write_fraction();
+        assert!((wf - 0.2).abs() < 0.02, "write fraction {wf}");
+    }
+
+    #[test]
+    fn random_covers_footprint() {
+        let mut g = RandomGen::new("r", 3, 256 * BLOCK_BYTES, 0.1, 4, 0.0, 1);
+        let stats = collect(&mut g, 10_000);
+        assert!(stats.unique_blocks() > 250, "covered {}", stats.unique_blocks());
+    }
+
+    #[test]
+    fn random_determinism_per_seed() {
+        let run = |seed| {
+            let mut g = RandomGen::new("r", seed, 1 << 20, 0.1, 4, 0.2, 8);
+            (0..100).map(|_| g.next_access().addr.bytes()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn pointer_chase_visits_many_blocks_with_poor_locality() {
+        let mut g = PointerChaseGen::new("p", 11, 4096 * BLOCK_BYTES, 0.05, 4, 0.0, 0);
+        let stats = collect(&mut g, 4096);
+        // A permutation cycle should visit nearly all blocks once.
+        assert!(stats.unique_blocks() > 2000, "visited {}", stats.unique_blocks());
+    }
+
+    #[test]
+    fn stencil_touches_neighbouring_planes() {
+        let plane = 16 * BLOCK_BYTES;
+        let mut g = StencilGen::new("st", 1, 1 << 20, plane, 1, 0.0, 4);
+        let a = g.next_access().addr.block().index();
+        let b = g.next_access().addr.block().index();
+        let c = g.next_access().addr.block().index();
+        assert_eq!(b, a + 16);
+        assert!(c > b, "wrapped -plane neighbour should be far");
+    }
+
+    #[test]
+    fn hot_cold_mixture_reuses_hot_region() {
+        let mut g = HotColdGen::new("hc", 2, 8 << 20, 256 << 10, 0.9, 0.1, 10);
+        let stats = collect(&mut g, 50_000);
+        // 90% of accesses land in 4096 hot blocks: strong block reuse.
+        assert!(stats.accesses_per_block() > 5.0);
+    }
+
+    #[test]
+    fn fft_butterfly_pairs() {
+        let mut g = FftGen::new("fft", 1, 1024 * BLOCK_BYTES, 0.0, 4);
+        let a = g.next_access().addr.block().index();
+        let b = g.next_access().addr.block().index();
+        assert_eq!(b, a + 2, "first butterfly pair uses stride 2");
+    }
+
+    #[test]
+    fn tree_walk_reuses_root() {
+        let mut g = TreeWalkGen::new("tw", 9, 1 << 20, 8, 0.0, 4);
+        let mut root_hits = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if g.next_access().addr.block().index() == 0 {
+                root_hits += 1;
+            }
+        }
+        // Every walk touches the root once.
+        assert!(root_hits > n / 20, "root touched {root_hits} times");
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut g: Box<dyn Workload> =
+            Box::new(StreamGen::new("boxed", 1, 1 << 16, 1, 0.0, 4));
+        assert_eq!(g.name(), "boxed");
+        assert_eq!(g.footprint_bytes(), 1 << 16);
+        g.next_access();
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn invalid_write_fraction_panics() {
+        StreamGen::new("s", 1, 1 << 16, 1, 1.5, 4);
+    }
+}

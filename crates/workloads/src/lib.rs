@@ -1,0 +1,36 @@
+//! Synthetic workload generators standing in for the paper's PARSEC,
+//! SPLASH2, and SPEC 2006 benchmarks.
+//!
+//! We cannot redistribute the benchmark suites or their memory traces, so
+//! each [`Benchmark`] profile synthesizes an address stream reproducing the
+//! published access-pattern properties the MAPS analysis depends on:
+//! footprint, page-level spatial locality, streaming vs. random access, and
+//! write fraction (e.g. *fft* ≈ 20 % writes, *leslie3d* ≈ 5 %, *canneal*
+//! large-footprint low-locality, *libquantum* streaming over a 4 MB array).
+//! DESIGN.md documents the substitution argument in full.
+//!
+//! Generators are deterministic for a given seed, so every figure harness
+//! is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_workloads::Benchmark;
+//!
+//! let mut wl = Benchmark::Libquantum.build(42);
+//! let a = wl.next_access();
+//! assert!(a.addr.bytes() < wl.footprint_bytes());
+//! ```
+
+pub mod compose;
+pub mod engines;
+pub mod profiles;
+pub mod replay;
+
+pub use engines::{
+    FftGen, HotColdGen, PointerChaseGen, RandomGen, StencilGen, StreamGen, TiledPassGen,
+    TreeWalkGen, Workload,
+};
+pub use compose::{MixWorkload, PhasedWorkload};
+pub use profiles::Benchmark;
+pub use replay::ReplayWorkload;

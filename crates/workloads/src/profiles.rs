@@ -1,0 +1,251 @@
+//! Per-benchmark workload profiles.
+//!
+//! Parameters encode the published characteristics the paper's analysis
+//! depends on — not the benchmarks' computation. Footprints are scaled to
+//! keep simulation fast while remaining far larger than the 2 MB LLC for
+//! the memory-intensive set.
+
+use std::fmt;
+
+use crate::engines::{
+    FftGen, HotColdGen, PointerChaseGen, RandomGen, StencilGen, StreamGen, TiledPassGen,
+    TreeWalkGen, Workload,
+};
+
+/// The benchmark profiles used throughout the figure harnesses.
+///
+/// Named after the PARSEC/SPLASH2/SPEC 2006 workloads whose access-pattern
+/// properties they synthesize (see module docs and DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use maps_workloads::Benchmark;
+/// let mut wl = Benchmark::Canneal.build(1);
+/// assert_eq!(wl.name(), "canneal");
+/// assert!(Benchmark::memory_intensive().contains(&Benchmark::Canneal));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Benchmark {
+    /// PARSEC canneal: huge footprint, almost no spatial locality.
+    Canneal,
+    /// SPEC libquantum: streams repeatedly through a 4 MB array.
+    Libquantum,
+    /// SPLASH2 fft: butterfly phases, ~20 % writes (most writes in the
+    /// memory-intensive set, Figure 5).
+    Fft,
+    /// SPEC leslie3d: multi-array stencil streams, ~5 % writes.
+    Leslie3d,
+    /// SPEC mcf: pointer chasing over a large graph.
+    Mcf,
+    /// SPLASH2 barnes: octree walks, heavy upper-level reuse.
+    Barnes,
+    /// SPEC cactusADM: large 3D stencil with mid-range reuse distances
+    /// (one of the two non-bimodal outliers in Figure 4).
+    CactusAdm,
+    /// SPEC perlbench: small, cache-resident working set.
+    Perl,
+    /// SPEC gcc: modest working set with some cold sweeps.
+    Gcc,
+    /// SPEC milc: 4D lattice sweeps.
+    Milc,
+    /// SPEC omnetpp: event-queue pointer chasing with a hot core.
+    Omnetpp,
+    /// SPEC soplex: sparse-matrix column sweeps (strided).
+    Soplex,
+    /// SPEC lbm: two-grid streaming with a high write share.
+    Lbm,
+    /// HPCC GUPS-style random read-modify-write, worst-case locality.
+    Gups,
+}
+
+impl Benchmark {
+    /// Every profile, in the order figures list them.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Barnes,
+        Benchmark::CactusAdm,
+        Benchmark::Canneal,
+        Benchmark::Fft,
+        Benchmark::Gcc,
+        Benchmark::Gups,
+        Benchmark::Lbm,
+        Benchmark::Leslie3d,
+        Benchmark::Libquantum,
+        Benchmark::Mcf,
+        Benchmark::Milc,
+        Benchmark::Omnetpp,
+        Benchmark::Perl,
+        Benchmark::Soplex,
+    ];
+
+    /// The memory-intensive subset (LLC MPKI > 10) the paper focuses on.
+    pub fn memory_intensive() -> Vec<Benchmark> {
+        Self::ALL.iter().copied().filter(|b| b.is_memory_intensive()).collect()
+    }
+
+    /// Whether this profile's LLC MPKI exceeds the paper's threshold of 10.
+    pub const fn is_memory_intensive(self) -> bool {
+        !matches!(self, Benchmark::Perl | Benchmark::Gcc)
+    }
+
+    /// Lower-case display name (matches the paper's figures).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::Canneal => "canneal",
+            Benchmark::Libquantum => "libquantum",
+            Benchmark::Fft => "fft",
+            Benchmark::Leslie3d => "leslie3d",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Barnes => "barnes",
+            Benchmark::CactusAdm => "cactusADM",
+            Benchmark::Perl => "perl",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Milc => "milc",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::Soplex => "soplex",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Gups => "gups",
+        }
+    }
+
+    /// Parses a display name back into a profile.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Self::ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the workload generator for this profile.
+    pub fn build(self, seed: u64) -> Box<dyn Workload> {
+        const KB: u64 = 1024;
+        const MB: u64 = 1024 * KB;
+        match self {
+            // Huge footprint, mostly-random placement walk; a small burst
+            // probability models element swaps touching both endpoints.
+            Benchmark::Canneal => {
+                Box::new(RandomGen::new("canneal", seed, 128 * MB, 0.12, 6, 0.10, 8))
+            }
+            // Tight streaming loop over a 4 MB array (Section IV-C).
+            Benchmark::Libquantum => {
+                Box::new(StreamGen::new("libquantum", seed, 4 * MB, 1, 0.02, 8))
+            }
+            // Butterfly phases with 20% writes.
+            Benchmark::Fft => Box::new(FftGen::new("fft", seed, 16 * MB, 0.20, 6)),
+            // Multi-array stencil with 5% writes.
+            Benchmark::Leslie3d => {
+                Box::new(StencilGen::new("leslie3d", seed, 24 * MB, 256 * KB, 3, 0.05, 7))
+            }
+            // Large pointer chase, read-dominated.
+            Benchmark::Mcf => {
+                Box::new(PointerChaseGen::new("mcf", seed, 48 * MB, 0.04, 4, 0.05, 512 * KB))
+            }
+            // Octree walks: root levels cache-resident, leaves cold.
+            Benchmark::Barnes => Box::new(TreeWalkGen::new("barnes", seed, 8 * MB, 8, 0.05, 10)),
+            // Blocked multi-pass sweep: tile metadata revisited once per
+            // pass at mid-range reuse distances (Figure 4 outlier).
+            Benchmark::CactusAdm => {
+                Box::new(TiledPassGen::new("cactusADM", seed, 32 * MB, 128 * KB, 0.15, 8))
+            }
+            // Small working set: almost everything hits on chip.
+            Benchmark::Perl => {
+                Box::new(HotColdGen::new("perl", seed, MB, 256 * KB, 0.97, 0.20, 15))
+            }
+            Benchmark::Gcc => {
+                Box::new(HotColdGen::new("gcc", seed, 3 * MB, 512 * KB, 0.94, 0.15, 12))
+            }
+            // Lattice sweeps with moderate stride.
+            Benchmark::Milc => {
+                Box::new(StencilGen::new("milc", seed, 24 * MB, 512 * KB, 2, 0.08, 7))
+            }
+            // Pointer chase with a hot event queue.
+            Benchmark::Omnetpp => {
+                Box::new(PointerChaseGen::new("omnetpp", seed, 24 * MB, 0.12, 9, 0.30, MB))
+            }
+            // Column sweeps: stride of 8 blocks models sparse row jumps.
+            Benchmark::Soplex => Box::new(StreamGen::new("soplex", seed, 12 * MB, 8, 0.06, 8)),
+            // Two-grid streaming, write-heavy.
+            Benchmark::Lbm => Box::new(StreamGen::new("lbm", seed, 32 * MB, 1, 0.35, 7)),
+            // Worst-case random read-modify-write.
+            Benchmark::Gups => Box::new(RandomGen::new("gups", seed, 64 * MB, 0.50, 5, 0.0, 1)),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_trace::TraceStats;
+
+    #[test]
+    fn all_profiles_build_and_stay_in_footprint() {
+        for b in Benchmark::ALL {
+            let mut wl = b.build(7);
+            assert_eq!(wl.name(), b.name());
+            for _ in 0..2000 {
+                let a = wl.next_access();
+                assert!(
+                    a.addr.bytes() < wl.footprint_bytes(),
+                    "{b}: access beyond footprint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("CANNEAL"), Some(Benchmark::Canneal));
+        assert_eq!(Benchmark::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn write_fractions_match_paper_claims() {
+        // fft ~20% writes, leslie3d ~5% (Section IV-E).
+        for (b, expect, tol) in
+            [(Benchmark::Fft, 0.20, 0.03), (Benchmark::Leslie3d, 0.05, 0.02)]
+        {
+            let mut wl = b.build(3);
+            let mut stats = TraceStats::new();
+            for _ in 0..30_000 {
+                stats.record(&wl.next_access());
+            }
+            let wf = stats.write_fraction();
+            assert!((wf - expect).abs() < tol, "{b}: write fraction {wf}");
+        }
+    }
+
+    #[test]
+    fn memory_intensive_set_excludes_small_working_sets() {
+        let mi = Benchmark::memory_intensive();
+        assert!(!mi.contains(&Benchmark::Perl));
+        assert!(!mi.contains(&Benchmark::Gcc));
+        assert!(mi.contains(&Benchmark::Canneal));
+        assert!(mi.len() >= 10);
+    }
+
+    #[test]
+    fn canneal_has_far_larger_footprint_than_libquantum() {
+        let canneal = Benchmark::Canneal.build(1).footprint_bytes();
+        let libq = Benchmark::Libquantum.build(1).footprint_bytes();
+        assert!(canneal >= 16 * libq);
+    }
+
+    #[test]
+    fn canneal_spreads_and_perl_concentrates() {
+        let spread = |b: Benchmark| {
+            let mut wl = b.build(9);
+            let mut stats = TraceStats::new();
+            for _ in 0..20_000 {
+                stats.record(&wl.next_access());
+            }
+            stats.accesses_per_block()
+        };
+        assert!(spread(Benchmark::Perl) > 3.0 * spread(Benchmark::Canneal));
+    }
+}

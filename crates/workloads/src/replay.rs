@@ -1,0 +1,152 @@
+//! Replay of recorded access traces as a workload.
+
+use maps_trace::{MemAccess, PhysAddr};
+
+use crate::Workload;
+
+/// Replays a recorded trace, optionally looping when exhausted.
+///
+/// Pairs with [`maps_trace::io`]: record any workload (or an external
+/// simulator's trace) to the text format and feed it back through the full
+/// secure-memory pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use maps_trace::{AccessKind, MemAccess, PhysAddr};
+/// use maps_workloads::{ReplayWorkload, Workload};
+///
+/// let trace = vec![MemAccess::new(PhysAddr::new(64), AccessKind::Read, 4)];
+/// let mut wl = ReplayWorkload::looping("demo", trace);
+/// assert_eq!(wl.next_access().addr.bytes(), 64);
+/// assert_eq!(wl.next_access().addr.bytes(), 64); // loops
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayWorkload {
+    name: &'static str,
+    trace: Vec<MemAccess>,
+    cursor: usize,
+    looping: bool,
+    footprint: u64,
+    exhausted: bool,
+}
+
+impl ReplayWorkload {
+    /// Creates a one-shot replay; after the trace ends, the last access is
+    /// repeated (and [`ReplayWorkload::is_exhausted`] reports `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(name: &'static str, trace: Vec<MemAccess>) -> Self {
+        Self::build(name, trace, false)
+    }
+
+    /// Creates a replay that restarts from the beginning when exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn looping(name: &'static str, trace: Vec<MemAccess>) -> Self {
+        Self::build(name, trace, true)
+    }
+
+    fn build(name: &'static str, trace: Vec<MemAccess>, looping: bool) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        let footprint = trace
+            .iter()
+            .map(|a| a.addr.block().index() + 1)
+            .max()
+            .unwrap_or(1)
+            * maps_trace::BLOCK_BYTES;
+        Self { name, trace, cursor: 0, looping, footprint, exhausted: false }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns `true` when the trace holds no records (never: construction
+    /// rejects empty traces; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Whether a one-shot replay has run past its end.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl Workload for ReplayWorkload {
+    fn next_access(&mut self) -> MemAccess {
+        if self.cursor >= self.trace.len() {
+            if self.looping {
+                self.cursor = 0;
+            } else {
+                self.exhausted = true;
+                return *self.trace.last().expect("non-empty trace");
+            }
+        }
+        let access = self.trace[self.cursor];
+        self.cursor += 1;
+        access
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Footprint must cover the highest touched block; round up to the
+        // next page for the secure-memory layout.
+        self.footprint.next_multiple_of(maps_trace::PAGE_BYTES).max(PhysAddr::new(0).bytes() + 4096)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_trace::AccessKind;
+
+    fn trace() -> Vec<MemAccess> {
+        vec![
+            MemAccess::new(PhysAddr::new(0), AccessKind::Read, 1),
+            MemAccess::new(PhysAddr::new(8192), AccessKind::Write, 2),
+        ]
+    }
+
+    #[test]
+    fn one_shot_repeats_last_and_reports_exhaustion() {
+        let mut wl = ReplayWorkload::new("t", trace());
+        wl.next_access();
+        wl.next_access();
+        assert!(!wl.is_exhausted());
+        let tail = wl.next_access();
+        assert!(wl.is_exhausted());
+        assert_eq!(tail.addr.bytes(), 8192);
+    }
+
+    #[test]
+    fn looping_restarts() {
+        let mut wl = ReplayWorkload::looping("t", trace());
+        let a = wl.next_access();
+        wl.next_access();
+        assert_eq!(wl.next_access(), a);
+        assert!(!wl.is_exhausted());
+    }
+
+    #[test]
+    fn footprint_covers_highest_block() {
+        let wl = ReplayWorkload::new("t", trace());
+        assert!(wl.footprint_bytes() > 8192);
+        assert_eq!(wl.footprint_bytes() % 4096, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_rejected() {
+        ReplayWorkload::new("t", Vec::new());
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-space exploration: how should an SRAM budget be split between
+//! the last-level cache and the metadata cache? (A miniature Figure 2.)
+//!
+//! Run: `cargo run --release --example design_space [benchmark]`
+
+use maps::analysis::{fmt_bytes, Table};
+use maps::sim::{SecureSim, SimConfig};
+use maps::workloads::Benchmark;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::from_name(&n))
+        .unwrap_or(Benchmark::Canneal);
+    let accesses = 150_000;
+
+    // Normalize against the insecure 2 MB-LLC reference system.
+    let mut baseline_sim = SecureSim::new(SimConfig::insecure_baseline(), bench.build(7));
+    let baseline = baseline_sim.run(accesses).ed2();
+
+    let base = SimConfig::paper_default();
+    let mut table = Table::new(["llc", "mdc", "budget", "normalized_ed2"]);
+    let mut best: Option<(u64, u64, f64)> = None;
+    for llc in [512 << 10, 1 << 20, 2 << 20] {
+        for mdc in [16 << 10, 256 << 10, 512 << 10u64] {
+            let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
+            let mut sim = SecureSim::new(cfg, bench.build(7));
+            let ed2 = sim.run(accesses).ed2() / baseline;
+            if best.is_none_or(|(_, _, b)| ed2 < b) {
+                best = Some((llc, mdc, ed2));
+            }
+            table.row([
+                fmt_bytes(llc),
+                fmt_bytes(mdc),
+                fmt_bytes(llc + mdc),
+                format!("{ed2:.3}"),
+            ]);
+        }
+    }
+
+    println!("# SRAM budget split for '{bench}' (ED^2 vs insecure 2MB-LLC baseline)\n");
+    println!("{table}");
+    let (llc, mdc, ed2) = best.expect("at least one configuration ran");
+    println!(
+        "best split for {bench}: {} LLC + {} metadata cache ({ed2:.3}x baseline ED^2)",
+        fmt_bytes(llc),
+        fmt_bytes(mdc)
+    );
+}

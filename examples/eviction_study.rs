@@ -1,0 +1,69 @@
+//! Eviction-policy study: compare every replacement policy on the
+//! metadata cache for one workload, including the reuse-prediction
+//! baselines (SRRIP) the paper points architects toward.
+//!
+//! Run: `cargo run --release --example eviction_study [benchmark]`
+
+use maps::analysis::Table;
+use maps::sim::itermin::{run_iter_min, run_min};
+use maps::sim::{MdcConfig, PolicyChoice, SecureSim, SimConfig};
+use maps::workloads::Benchmark;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::from_name(&n))
+        .unwrap_or(Benchmark::Libquantum);
+    let accesses = 150_000;
+
+    let mut cfg = SimConfig::paper_default();
+    cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    cfg.warmup_fraction = 0.0;
+
+    let policies = [
+        PolicyChoice::PseudoLru,
+        PolicyChoice::TrueLru,
+        PolicyChoice::Fifo,
+        PolicyChoice::Random(1),
+        PolicyChoice::Srrip,
+        PolicyChoice::Drrip,
+        PolicyChoice::Eva,
+        PolicyChoice::EvaPerType,
+        PolicyChoice::CostAware(5),
+    ];
+
+    let mut table = Table::new(["policy", "metadata_mpki", "hit_ratio"]);
+    for policy in policies {
+        let name = policy.name();
+        let run_cfg = cfg.with_mdc(cfg.mdc.with_policy(policy));
+        let mut sim = SecureSim::new(run_cfg, bench.build(7));
+        let r = sim.run(accesses);
+        table.row([
+            name.to_string(),
+            format!("{:.2}", r.metadata_mpki()),
+            format!("{:.3}", r.metadata_hit_ratio()),
+        ]);
+    }
+
+    // Oracle policies need a recorded trace (Section V-B).
+    let min_report = run_min(&cfg, bench, 7, accesses);
+    table.row([
+        "min (trace-fed)".to_string(),
+        format!("{:.2}", min_report.metadata_mpki()),
+        format!("{:.3}", min_report.metadata_hit_ratio()),
+    ]);
+    let iter = run_iter_min(&cfg, bench, 7, accesses, 4);
+    table.row([
+        "itermin".to_string(),
+        format!("{:.2}", iter.report.metadata_mpki()),
+        format!("{:.3}", iter.report.metadata_hit_ratio()),
+    ]);
+
+    println!("# Eviction policies on a 64KB metadata cache, workload '{bench}'\n");
+    println!("{table}");
+    println!(
+        "itermin iterations (metadata misses): {:?}{}",
+        iter.misses_per_iteration,
+        if iter.converged { " -> converged" } else { " (no fixed point reached)" }
+    );
+}

@@ -1,0 +1,70 @@
+//! Reuse-distance profiling: characterize a workload's metadata access
+//! patterns the way Figures 3–5 do — per-type CDFs, the bimodal class
+//! breakdown, and request-type transitions.
+//!
+//! Run: `cargo run --release --example reuse_profile [benchmark]`
+
+use maps::analysis::{fmt_bytes, GroupedReuseProfiler, ReuseClass, Table, Transition};
+use maps::sim::{MdcConfig, SecureSim, SimConfig};
+use maps::trace::{MetaGroup, BLOCK_BYTES};
+use maps::workloads::Benchmark;
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::from_name(&n))
+        .unwrap_or(Benchmark::Fft);
+
+    // Reuse characterization runs without a metadata cache, like the paper.
+    let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    let mut sim = SecureSim::new(cfg, bench.build(7));
+    let mut profiler = GroupedReuseProfiler::new();
+    sim.run_observed(300_000, &mut profiler);
+
+    println!("# Metadata reuse profile for '{bench}' (no metadata cache)\n");
+
+    let mut cdf_table = Table::new(["type", "p50", "p90", "p99", "samples"]);
+    for group in MetaGroup::ALL {
+        let cdf = profiler.cdf(group);
+        let q = |p: f64| {
+            cdf.quantile(p).map_or("-".to_string(), |blocks| fmt_bytes(blocks * BLOCK_BYTES))
+        };
+        cdf_table.row([
+            group.label().to_string(),
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            cdf.len().to_string(),
+        ]);
+    }
+    println!("{cdf_table}");
+
+    let classes = profiler.combined().class_counts();
+    let mut class_table = Table::new(["class", "fraction"]);
+    for class in ReuseClass::ALL {
+        class_table.row([class.label().to_string(), format!("{:.3}", classes.fraction(class))]);
+    }
+    println!("{class_table}");
+    println!(
+        "bimodal: {} (cold misses: {})\n",
+        if classes.is_bimodal() { "yes" } else { "no" },
+        classes.cold()
+    );
+
+    let mut tr_table = Table::new(["type", "transition", "median", "samples"]);
+    for group in MetaGroup::ALL {
+        for transition in Transition::ALL {
+            let cdf = profiler.transition_cdf(group, transition);
+            let median = cdf
+                .quantile(0.5)
+                .map_or("-".to_string(), |blocks| fmt_bytes(blocks * BLOCK_BYTES));
+            tr_table.row([
+                group.label().to_string(),
+                transition.label().to_string(),
+                median,
+                cdf.len().to_string(),
+            ]);
+        }
+    }
+    println!("{tr_table}");
+}

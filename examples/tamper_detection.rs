@@ -1,0 +1,61 @@
+//! Tamper detection: drive the functional secure-memory model through the
+//! paper's threat scenarios (Section II) and show each attack being
+//! caught — data tampering, counter rollback, tree tampering, and a full
+//! replay of a stale memory image.
+//!
+//! Run: `cargo run --release --example tamper_detection`
+
+use maps::secure::{SecureConfig, SecureMemoryModel};
+use maps::trace::BlockAddr;
+
+fn main() {
+    let mut mem = SecureMemoryModel::new(SecureConfig::poison_ivy(1 << 20));
+    let secret = BlockAddr::new(321);
+
+    println!("# Secure-memory tamper detection demo\n");
+
+    // Normal operation.
+    mem.write_block(secret, 0xCAFE);
+    println!("write 0xCAFE, read back: {:#x}", mem.read_block(secret).expect("clean read"));
+
+    // 1. Data tampering: flip the ciphertext in memory.
+    mem.tamper_data(secret, 0xD00D);
+    match mem.read_block(secret) {
+        Err(e) => println!("data tampering      -> detected: {e}"),
+        Ok(v) => unreachable!("tampered read returned {v:#x}"),
+    }
+    mem.write_block(secret, 0xCAFE); // repair via legitimate write
+
+    // 2. Counter tampering: rewrite the counter block (e.g. rollback).
+    mem.tamper_counter_block(secret, 0x1234_5678);
+    match mem.read_block(secret) {
+        Err(e) => println!("counter tampering   -> detected: {e}"),
+        Ok(v) => unreachable!("tampered read returned {v:#x}"),
+    }
+    mem.write_block(secret, 0xCAFE);
+
+    // 3. Tree tampering: corrupt an internal integrity-tree node.
+    let ctr = mem.layout().counter_block_of(secret);
+    let leaf = mem.layout().tree_leaf_of(ctr);
+    let (level, offset) = mem.layout().tree_position(leaf);
+    mem.tamper_tree_node(level as u8, offset, 0xBAD);
+    match mem.read_block(secret) {
+        Err(e) => println!("tree tampering      -> detected: {e}"),
+        Ok(v) => unreachable!("tampered read returned {v:#x}"),
+    }
+    mem.write_block(secret, 0xCAFE);
+
+    // 4. Replay attack: capture the full memory image of the block (data,
+    //    HMAC, counter block) and restore it after a newer write. All
+    //    three pieces are mutually consistent — only the on-chip root
+    //    knows the state moved on.
+    let stale = mem.snapshot(secret);
+    mem.write_block(secret, 0xF00D);
+    mem.replay(secret, stale);
+    match mem.read_block(secret) {
+        Err(e) => println!("replay attack       -> detected: {e}"),
+        Ok(v) => unreachable!("replayed read returned {v:#x}"),
+    }
+
+    println!("\nverified reads that passed integrity checks: {}", mem.verified_reads());
+}

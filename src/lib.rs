@@ -1,0 +1,8 @@
+//! MAPS facade crate.
+pub use maps_analysis as analysis;
+pub use maps_cache as cache;
+pub use maps_mem as mem;
+pub use maps_secure as secure;
+pub use maps_sim as sim;
+pub use maps_trace as trace;
+pub use maps_workloads as workloads;

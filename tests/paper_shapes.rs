@@ -1,0 +1,139 @@
+//! Small-scale versions of the paper's qualitative results, so
+//! `cargo test` alone demonstrates the reproduction (the full-size tables
+//! come from the `fig1`…`fig7` binaries in `maps-bench`).
+
+use maps::analysis::GroupedReuseProfiler;
+use maps::secure::{Layout, SecureConfig};
+use maps::sim::itermin::run_min;
+use maps::sim::{CacheContents, MdcConfig, SecureSim, SimConfig};
+use maps::trace::{BlockKind, MetaGroup};
+use maps::workloads::Benchmark;
+
+const N: u64 = 40_000;
+
+fn mpki(cfg: &SimConfig, bench: Benchmark) -> f64 {
+    SecureSim::new(cfg.clone(), bench.build(5)).run(N).metadata_mpki()
+}
+
+/// Figure 1: caching all types beats counters-only at small capacities.
+#[test]
+fn fig1_all_types_beat_counters_only() {
+    let base = SimConfig::paper_default();
+    for bench in [Benchmark::Canneal, Benchmark::Libquantum] {
+        let all = mpki(
+            &base.with_mdc(base.mdc.with_contents(CacheContents::ALL).with_size(64 << 10)),
+            bench,
+        );
+        let ctrs = mpki(
+            &base.with_mdc(
+                base.mdc.with_contents(CacheContents::COUNTERS_ONLY).with_size(64 << 10),
+            ),
+            bench,
+        );
+        assert!(all < ctrs, "{bench}: all={all:.1} vs counters-only={ctrs:.1}");
+    }
+}
+
+/// Figure 2's flip: canneal prefers a big metadata cache, the average
+/// workload prefers a big LLC.
+#[test]
+fn fig2_canneal_prefers_metadata_capacity() {
+    let base = SimConfig::paper_default();
+    let big_llc =
+        base.with_llc_bytes(1 << 20).with_mdc(base.mdc.with_size(16 << 10));
+    let split = base.with_llc_bytes(512 << 10).with_mdc(base.mdc.with_size(512 << 10));
+    let canneal_big = SecureSim::new(big_llc, Benchmark::Canneal.build(5)).run(N).ed2();
+    let canneal_split = SecureSim::new(split, Benchmark::Canneal.build(5)).run(N).ed2();
+    assert!(
+        canneal_split < canneal_big,
+        "canneal should prefer the 512K/512K split: {canneal_split:.3e} vs {canneal_big:.3e}"
+    );
+}
+
+/// Table II: data protected per metadata block.
+#[test]
+fn table2_data_protected() {
+    let pi = Layout::new(SecureConfig::poison_ivy(1 << 30));
+    let sgx = Layout::new(SecureConfig::sgx(1 << 30));
+    assert_eq!(pi.data_protected_by(BlockKind::Counter), 4 << 10);
+    assert_eq!(sgx.data_protected_by(BlockKind::Counter), 512);
+    assert_eq!(pi.data_protected_by(BlockKind::Hash), 512);
+    assert_eq!(pi.data_protected_by(BlockKind::Tree(0)), 32 << 10);
+    assert_eq!(sgx.data_protected_by(BlockKind::Tree(0)), 4 << 10);
+}
+
+/// Figure 3: tree nodes have the shortest reuse distances, hashes the
+/// longest.
+#[test]
+fn fig3_reuse_distance_ordering() {
+    let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    for bench in [Benchmark::Libquantum, Benchmark::Fft] {
+        let mut sim = SecureSim::new(cfg.clone(), bench.build(5));
+        let mut profiler = GroupedReuseProfiler::new();
+        sim.run_observed(N, &mut profiler);
+        let at_4k = |g: MetaGroup| profiler.cdf(g).fraction_at_or_below(64);
+        assert!(
+            at_4k(MetaGroup::Tree) >= at_4k(MetaGroup::Counter),
+            "{bench}: tree should be shorter than counters"
+        );
+        assert!(
+            at_4k(MetaGroup::Counter) >= at_4k(MetaGroup::Hash),
+            "{bench}: counters should be shorter than hashes"
+        );
+    }
+}
+
+/// Figure 4: the streaming benchmarks are strongly bimodal.
+#[test]
+fn fig4_bimodality() {
+    let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    for bench in [Benchmark::Libquantum, Benchmark::Lbm] {
+        let mut sim = SecureSim::new(cfg.clone(), bench.build(5));
+        let mut profiler = GroupedReuseProfiler::new();
+        sim.run_observed(N, &mut profiler);
+        assert!(
+            profiler.combined().class_counts().is_bimodal(),
+            "{bench} should classify as bimodal"
+        );
+    }
+}
+
+/// Figure 5: write-after-write reuse is shorter than write-after-read.
+#[test]
+fn fig5_waw_shorter_than_war() {
+    let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    let mut sim = SecureSim::new(cfg, Benchmark::Fft.build(5));
+    let mut profiler = GroupedReuseProfiler::new();
+    // WaW pairs need two writebacks of the same hash block; use a longer
+    // window than the other shape tests so enough dirty evictions recur.
+    sim.run_observed(4 * N, &mut profiler);
+    use maps::analysis::Transition;
+    let waw = profiler
+        .transition_cdf(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE)
+        .quantile(0.5)
+        .expect("fft generates WaW hash pairs");
+    let war = profiler
+        .transition_cdf(MetaGroup::Hash, Transition::WRITE_AFTER_READ)
+        .quantile(0.5)
+        .expect("fft generates WaR hash pairs");
+    assert!(waw <= war, "WaW median {waw} should not exceed WaR median {war}");
+}
+
+/// Figure 6: trace-fed MIN loses to pseudo-LRU once its future knowledge
+/// goes stale.
+#[test]
+fn fig6_min_worse_than_pseudo_lru() {
+    let mut cfg = SimConfig::paper_default();
+    cfg.mdc = MdcConfig::paper_default().with_size(32 << 10);
+    cfg.warmup_fraction = 0.0;
+    let mut losses = 0;
+    let benches = [Benchmark::Mcf, Benchmark::Canneal, Benchmark::Fft];
+    for bench in benches {
+        let plru = mpki(&cfg, bench);
+        let min = run_min(&cfg, bench, 5, N).metadata_mpki();
+        if min > plru {
+            losses += 1;
+        }
+    }
+    assert!(losses >= 2, "MIN should lose to pseudo-LRU on most of {benches:?}");
+}
