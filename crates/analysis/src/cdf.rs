@@ -72,7 +72,10 @@ impl Cdf {
     /// Samples the CDF at each `x` in `points`, returning `(x, fraction)`
     /// pairs ready for plotting or tabulation.
     pub fn sample_at(&self, points: &[u64]) -> Vec<(u64, f64)> {
-        points.iter().map(|&x| (x, self.fraction_at_or_below(x))).collect()
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
     }
 
     /// Merges another CDF's samples into this one.

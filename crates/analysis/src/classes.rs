@@ -19,8 +19,12 @@ pub enum ReuseClass {
 
 impl ReuseClass {
     /// All classes in ascending distance order.
-    pub const ALL: [ReuseClass; 4] =
-        [ReuseClass::UpTo128, ReuseClass::To256, ReuseClass::To512, ReuseClass::Over512];
+    pub const ALL: [ReuseClass; 4] = [
+        ReuseClass::UpTo128,
+        ReuseClass::To256,
+        ReuseClass::To512,
+        ReuseClass::Over512,
+    ];
 
     /// Classifies a reuse distance measured in 64 B blocks.
     pub const fn of_blocks(distance_blocks: u64) -> Self {

@@ -38,7 +38,9 @@ impl Fenwick {
 
     /// Creates a tree pre-sized for indices `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { tree: vec![0; capacity + 1] }
+        Self {
+            tree: vec![0; capacity + 1],
+        }
     }
 
     /// Number of indices currently addressable (0..len).
@@ -128,8 +130,8 @@ mod tests {
             naive[i] += d;
         }
         let mut run = 0;
-        for i in 0..64 {
-            run += naive[i];
+        for (i, v) in naive.iter().enumerate() {
+            run += v;
             assert_eq!(f.prefix_sum(i), run, "prefix at {i}");
         }
         assert_eq!(f.total(), run);

@@ -143,7 +143,10 @@ mod tests {
     fn floors_invert_buckets() {
         for b in 0..20 {
             let floor = LogHistogram::bucket_floor(b);
-            assert_eq!(LogHistogram::bucket_of(floor), b.max(LogHistogram::bucket_of(0)));
+            assert_eq!(
+                LogHistogram::bucket_of(floor),
+                b.max(LogHistogram::bucket_of(0))
+            );
         }
     }
 

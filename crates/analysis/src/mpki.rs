@@ -20,7 +20,10 @@ pub struct Mpki {
 impl Mpki {
     /// Creates an MPKI measurement from raw counts.
     pub const fn new(misses: u64, instructions: u64) -> Self {
-        Self { misses, instructions }
+        Self {
+            misses,
+            instructions,
+        }
     }
 
     /// Raw miss count.
@@ -49,7 +52,10 @@ impl Mpki {
 
     /// Combines two measurements over disjoint windows.
     pub fn combine(&self, other: &Mpki) -> Mpki {
-        Mpki::new(self.misses + other.misses, self.instructions + other.instructions)
+        Mpki::new(
+            self.misses + other.misses,
+            self.instructions + other.instructions,
+        )
     }
 }
 

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use maps_trace::{AccessKind, BlockKind, MetaGroup, MetaAccess};
+use maps_trace::{AccessKind, BlockKind, MetaAccess, MetaGroup};
 
 use crate::{Cdf, ClassCounts, Fenwick, Transition};
 
@@ -125,14 +125,21 @@ impl GroupedReuseProfiler {
         self.combined.observe(key);
         if let (Some(d), Some(prev_kind)) = (dist, self.last_kind.get(&key).copied()) {
             let transition = Transition::new(prev_kind, access.access);
-            self.by_transition.entry((group, transition)).or_default().push(d);
+            self.by_transition
+                .entry((group, transition))
+                .or_default()
+                .push(d);
         }
         self.last_kind.insert(key, access.access);
     }
 
     /// Observes a metadata access given its parts.
     pub fn observe_parts(&mut self, block: u64, kind: BlockKind, access: AccessKind) {
-        self.observe(&MetaAccess::new(maps_trace::BlockAddr::new(block), kind, access));
+        self.observe(&MetaAccess::new(
+            maps_trace::BlockAddr::new(block),
+            kind,
+            access,
+        ));
     }
 
     /// Per-group profiler (Counter/Hash/Tree).
@@ -161,7 +168,9 @@ impl GroupedReuseProfiler {
 
     /// Number of warm samples for one (group, transition) pair.
     pub fn transition_samples(&self, group: MetaGroup, transition: Transition) -> usize {
-        self.by_transition.get(&(group, transition)).map_or(0, Vec::len)
+        self.by_transition
+            .get(&(group, transition))
+            .map_or(0, Vec::len)
     }
 }
 
@@ -220,9 +229,21 @@ mod tests {
     fn grouped_profiler_splits_by_group() {
         let mut g = GroupedReuseProfiler::new();
         // Counter block 1 twice, hash block 2 once between them.
-        g.observe(&MetaAccess::new(BlockAddr::new(1), BlockKind::Counter, AccessKind::Read));
-        g.observe(&MetaAccess::new(BlockAddr::new(2), BlockKind::Hash, AccessKind::Read));
-        g.observe(&MetaAccess::new(BlockAddr::new(1), BlockKind::Counter, AccessKind::Read));
+        g.observe(&MetaAccess::new(
+            BlockAddr::new(1),
+            BlockKind::Counter,
+            AccessKind::Read,
+        ));
+        g.observe(&MetaAccess::new(
+            BlockAddr::new(2),
+            BlockKind::Hash,
+            AccessKind::Read,
+        ));
+        g.observe(&MetaAccess::new(
+            BlockAddr::new(1),
+            BlockKind::Counter,
+            AccessKind::Read,
+        ));
         // Per-group streams are independent: counter distance counts only
         // counter blocks in between (none).
         assert_eq!(g.group(MetaGroup::Counter).distances(), &[0]);
@@ -238,15 +259,28 @@ mod tests {
         g.observe(&MetaAccess::new(blk, BlockKind::Hash, AccessKind::Write));
         g.observe(&MetaAccess::new(blk, BlockKind::Hash, AccessKind::Write));
         g.observe(&MetaAccess::new(blk, BlockKind::Hash, AccessKind::Read));
-        assert_eq!(g.transition_samples(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE), 1);
-        assert_eq!(g.transition_samples(MetaGroup::Hash, Transition::READ_AFTER_WRITE), 1);
-        assert_eq!(g.transition_samples(MetaGroup::Hash, Transition::READ_AFTER_READ), 0);
+        assert_eq!(
+            g.transition_samples(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE),
+            1
+        );
+        assert_eq!(
+            g.transition_samples(MetaGroup::Hash, Transition::READ_AFTER_WRITE),
+            1
+        );
+        assert_eq!(
+            g.transition_samples(MetaGroup::Hash, Transition::READ_AFTER_READ),
+            0
+        );
     }
 
     #[test]
     fn data_blocks_are_ignored() {
         let mut g = GroupedReuseProfiler::new();
-        g.observe(&MetaAccess::new(BlockAddr::new(1), BlockKind::Data, AccessKind::Read));
+        g.observe(&MetaAccess::new(
+            BlockAddr::new(1),
+            BlockKind::Data,
+            AccessKind::Read,
+        ));
         assert_eq!(g.combined().accesses(), 0);
     }
 }

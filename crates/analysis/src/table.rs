@@ -30,7 +30,10 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -77,7 +80,10 @@ impl Table {
 
     /// Cell accessor for tests: `(row, col)`.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     fn widths(&self) -> Vec<usize> {

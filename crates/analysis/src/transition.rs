@@ -31,17 +31,25 @@ pub struct Transition {
 
 impl Transition {
     /// Read after read.
-    pub const READ_AFTER_READ: Transition =
-        Transition { prev: AccessKind::Read, cur: AccessKind::Read };
+    pub const READ_AFTER_READ: Transition = Transition {
+        prev: AccessKind::Read,
+        cur: AccessKind::Read,
+    };
     /// Read after write.
-    pub const READ_AFTER_WRITE: Transition =
-        Transition { prev: AccessKind::Write, cur: AccessKind::Read };
+    pub const READ_AFTER_WRITE: Transition = Transition {
+        prev: AccessKind::Write,
+        cur: AccessKind::Read,
+    };
     /// Write after read.
-    pub const WRITE_AFTER_READ: Transition =
-        Transition { prev: AccessKind::Read, cur: AccessKind::Write };
+    pub const WRITE_AFTER_READ: Transition = Transition {
+        prev: AccessKind::Read,
+        cur: AccessKind::Write,
+    };
     /// Write after write.
-    pub const WRITE_AFTER_WRITE: Transition =
-        Transition { prev: AccessKind::Write, cur: AccessKind::Write };
+    pub const WRITE_AFTER_WRITE: Transition = Transition {
+        prev: AccessKind::Write,
+        cur: AccessKind::Write,
+    };
 
     /// All four transitions in figure order.
     pub const ALL: [Transition; 4] = [

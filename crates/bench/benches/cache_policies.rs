@@ -5,9 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use maps_cache::policy::AnyPolicy;
 use maps_cache::{CacheConfig, SetAssocCache};
+use maps_trace::rng::SmallRng;
 use maps_trace::BlockKind;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn mixed_keys(n: usize) -> Vec<(u64, BlockKind)> {
     let mut rng = SmallRng::seed_from_u64(42);
@@ -34,7 +33,10 @@ fn bench_policies(c: &mut Criterion) {
         ("srrip", Box::new(AnyPolicy::srrip)),
         ("eva", Box::new(AnyPolicy::eva)),
         ("min", Box::new(|| AnyPolicy::min_from_trace(&trace))),
-        ("trace-min", Box::new(|| AnyPolicy::trace_min_from_trace(&trace))),
+        (
+            "trace-min",
+            Box::new(|| AnyPolicy::trace_min_from_trace(&trace)),
+        ),
         ("drrip", Box::new(AnyPolicy::drrip)),
         ("eva-per-type", Box::new(AnyPolicy::eva_per_type)),
         ("cost-aware", Box::new(|| AnyPolicy::cost_aware(5))),
@@ -42,8 +44,7 @@ fn bench_policies(c: &mut Criterion) {
     for (name, make) in policies {
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {
-                let mut cache =
-                    SetAssocCache::new(CacheConfig::from_bytes(64 << 10, 8), make());
+                let mut cache = SetAssocCache::new(CacheConfig::from_bytes(64 << 10, 8), make());
                 let mut hits = 0u64;
                 for &(k, kind) in &keys {
                     hits += u64::from(cache.access(k, kind, false).hit);

@@ -1,0 +1,77 @@
+//! Criterion bench for the capture/replay layer itself: the cost of
+//! recording a front end, the cost of one replay pass, and the amortized
+//! cost of a back-end sweep with and without capture sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maps_sim::{CapturedTrace, MdcConfig, ReplaySim, SecureSim, SimConfig};
+use maps_workloads::Benchmark;
+
+const N: u64 = 20_000;
+
+fn bench_record(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default();
+    let mut group = c.benchmark_group("capture_replay/record");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for bench in [Benchmark::Libquantum, Benchmark::Canneal, Benchmark::Gups] {
+        group.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| CapturedTrace::record(&cfg, bench.build(3), N).total_events());
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default();
+    let mut group = c.benchmark_group("capture_replay/replay");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for bench in [Benchmark::Libquantum, Benchmark::Canneal, Benchmark::Gups] {
+        let trace = CapturedTrace::record(&cfg, bench.build(3), N);
+        group.bench_function(BenchmarkId::from_parameter(bench.name()), |b| {
+            b.iter(|| ReplaySim::new(cfg.clone(), &trace).run().cycles);
+        });
+    }
+    group.finish();
+}
+
+/// A miniature Figure-2-style sweep (metadata cache sizes × one
+/// benchmark): the direct path re-runs the front end at every point, the
+/// capture path records once and replays.
+fn bench_sweep(c: &mut Criterion) {
+    let base = SimConfig::paper_default();
+    let sizes: [u64; 4] = [16 << 10, 64 << 10, 256 << 10, 1 << 20];
+    let points = sizes.len() as u64;
+    let mut group = c.benchmark_group("capture_replay/sweep");
+    group.throughput(Throughput::Elements(points * N));
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            sizes
+                .iter()
+                .map(|&s| {
+                    let cfg = base.with_mdc(MdcConfig::paper_default().with_size(s));
+                    SecureSim::new(cfg, Benchmark::Canneal.build(3))
+                        .run(N)
+                        .cycles
+                })
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("captured", |b| {
+        b.iter(|| {
+            let trace = CapturedTrace::record(&base, Benchmark::Canneal.build(3), N);
+            sizes
+                .iter()
+                .map(|&s| {
+                    let cfg = base.with_mdc(MdcConfig::paper_default().with_size(s));
+                    ReplaySim::new(cfg, &trace).run().cycles
+                })
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_replay, bench_sweep);
+criterion_main!(benches);

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maps_cache::{belady_misses, csopt_min_cost, CostedAccess};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maps_trace::rng::SmallRng;
 
 fn trace(n: usize) -> Vec<CostedAccess> {
     let mut rng = SmallRng::seed_from_u64(5);

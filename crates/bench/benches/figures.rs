@@ -17,9 +17,11 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| {
             let base = SimConfig::paper_default();
             let mut total = 0.0;
-            for contents in
-                [CacheContents::COUNTERS_ONLY, CacheContents::COUNTERS_AND_HASHES, CacheContents::ALL]
-            {
+            for contents in [
+                CacheContents::COUNTERS_ONLY,
+                CacheContents::COUNTERS_AND_HASHES,
+                CacheContents::ALL,
+            ] {
                 let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(16 << 10));
                 let mut sim = SecureSim::new(cfg, Benchmark::Libquantum.build(1));
                 total += sim.run(n).metadata_mpki();

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use maps_analysis::ReuseProfiler;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maps_trace::rng::SmallRng;
 
 fn bench_profiler(c: &mut Criterion) {
     let n = 50_000usize;

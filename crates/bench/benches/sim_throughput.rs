@@ -1,9 +1,11 @@
 //! Criterion bench: end-to-end simulator throughput (core accesses per
 //! second through L1/L2/LLC plus the metadata engine), with and without a
-//! metadata cache, and with secure memory off.
+//! metadata cache, and with secure memory off — plus the direct-vs-replay
+//! comparison (accesses/second through `SecureSim` vs a `ReplaySim` pass
+//! over a pre-recorded capture).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use maps_sim::{MdcConfig, SecureSim, SimConfig};
+use maps_sim::{CapturedTrace, MdcConfig, ReplaySim, SecureSim, SimConfig};
 use maps_workloads::Benchmark;
 
 fn bench_sim(c: &mut Criterion) {
@@ -22,19 +24,36 @@ fn bench_sim(c: &mut Criterion) {
     ];
     for (name, cfg) in configs {
         for bench in [Benchmark::Libquantum, Benchmark::Canneal] {
-            group.bench_function(
-                BenchmarkId::new(name, bench.name()),
-                |b| {
-                    b.iter(|| {
-                        let mut sim = SecureSim::new(cfg.clone(), bench.build(3));
-                        sim.run(n).cycles
-                    });
-                },
-            );
+            group.bench_function(BenchmarkId::new(name, bench.name()), |b| {
+                b.iter(|| {
+                    let mut sim = SecureSim::new(cfg.clone(), bench.build(3));
+                    sim.run(n).cycles
+                });
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
+/// Direct vs replay accesses/second: both entries share `Throughput` in
+/// core accesses, so the reported Melem/s line is directly comparable.
+fn bench_direct_vs_replay(c: &mut Criterion) {
+    let n = 20_000u64;
+    let cfg = SimConfig::paper_default();
+    let mut group = c.benchmark_group("sim_throughput/direct_vs_replay");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+    for bench in [Benchmark::Libquantum, Benchmark::Canneal] {
+        group.bench_function(BenchmarkId::new("direct", bench.name()), |b| {
+            b.iter(|| SecureSim::new(cfg.clone(), bench.build(3)).run(n).cycles);
+        });
+        let trace = CapturedTrace::record(&cfg, bench.build(3), n);
+        group.bench_function(BenchmarkId::new("replay", bench.name()), |b| {
+            b.iter(|| ReplaySim::new(cfg.clone(), &trace).run().cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_direct_vs_replay);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_cost_aware [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -22,14 +22,20 @@ fn main() {
     base.mdc = MdcConfig::paper_default().with_size(64 << 10);
 
     let policies = [PolicyChoice::PseudoLru, PolicyChoice::CostAware(5)];
-    let jobs: Vec<(Benchmark, usize)> =
-        benches.iter().flat_map(|&b| [(b, 0usize), (b, 1usize)]).collect();
+    let jobs: Vec<(Benchmark, usize)> = benches
+        .iter()
+        .flat_map(|&b| [(b, 0usize), (b, 1usize)])
+        .collect();
     let base_ref = &base;
     let policies_ref = &policies;
     let results = parallel_map(jobs.clone(), |(bench, pi)| {
         let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-        let r = run_sim(&cfg, bench, SEED, accesses);
-        (r.metadata_mpki(), r.engine.dram_meta.total(), r.engine.tree_walk_level_misses)
+        let r = run_sim_cached(&cfg, bench, SEED, accesses);
+        (
+            r.metadata_mpki(),
+            r.engine.dram_meta.total(),
+            r.engine.tree_walk_level_misses,
+        )
     });
 
     let mut table = Table::new([

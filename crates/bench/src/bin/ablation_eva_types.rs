@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_eva_types [--check]`
 
 use maps_analysis::{geometric_mean, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -22,21 +22,35 @@ fn main() {
     let mut base = SimConfig::paper_default();
     base.mdc = MdcConfig::paper_default().with_size(64 << 10);
 
-    let policies =
-        [PolicyChoice::PseudoLru, PolicyChoice::Eva, PolicyChoice::EvaPerType];
-    let jobs: Vec<(Benchmark, usize)> =
-        benches.iter().flat_map(|&b| (0..3).map(move |p| (b, p))).collect();
+    let policies = [
+        PolicyChoice::PseudoLru,
+        PolicyChoice::Eva,
+        PolicyChoice::EvaPerType,
+    ];
+    let jobs: Vec<(Benchmark, usize)> = benches
+        .iter()
+        .flat_map(|&b| (0..3).map(move |p| (b, p)))
+        .collect();
     let base_ref = &base;
     let policies_ref = &policies;
     let results = parallel_map(jobs.clone(), |(bench, pi)| {
         let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-        run_sim(&cfg, bench, SEED, accesses).metadata_mpki()
+        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
     });
     let mpki = |bench: Benchmark, pi: usize| -> f64 {
-        results[jobs.iter().position(|&(b, p)| b == bench && p == pi).expect("simulated")]
+        results[jobs
+            .iter()
+            .position(|&(b, p)| b == bench && p == pi)
+            .expect("simulated")]
     };
 
-    let mut table = Table::new(["benchmark", "pseudo-lru", "eva", "eva-per-type", "per-type vs eva"]);
+    let mut table = Table::new([
+        "benchmark",
+        "pseudo-lru",
+        "eva",
+        "eva-per-type",
+        "per-type vs eva",
+    ]);
     let mut ratios = Vec::new();
     for &bench in &benches {
         let plru = mpki(bench, 0);
@@ -56,10 +70,7 @@ fn main() {
     let geo = geometric_mean(&ratios);
     println!("geomean per-type/vanilla EVA MPKI ratio: {geo:.3}\n");
 
-    let improved = benches
-        .iter()
-        .filter(|&&b| mpki(b, 2) < mpki(b, 1))
-        .count();
+    let improved = benches.iter().filter(|&&b| mpki(b, 2) < mpki(b, 1)).count();
     claim(
         improved > benches.len() / 2,
         "splitting EVA's histogram by metadata type reduces MPKI for most benchmarks",
@@ -71,10 +82,7 @@ fn main() {
     // The paper's closing question — "metadata type and access type should
     // figure into those replacement policies" — has headroom: with type
     // information EVA overtakes even pseudo-LRU on several benchmarks.
-    let beats_plru = benches
-        .iter()
-        .filter(|&&b| mpki(b, 2) < mpki(b, 0))
-        .count();
+    let beats_plru = benches.iter().filter(|&&b| mpki(b, 2) < mpki(b, 0)).count();
     claim(
         beats_plru >= benches.len() / 4,
         "per-type EVA overtakes pseudo-LRU on a meaningful subset of benchmarks",

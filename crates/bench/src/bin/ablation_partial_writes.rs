@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_partial_writes [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
@@ -18,12 +18,14 @@ fn main() {
     let benches = Benchmark::memory_intensive();
     let base = SimConfig::paper_default();
 
-    let jobs: Vec<(Benchmark, bool)> =
-        benches.iter().flat_map(|&b| [(b, false), (b, true)]).collect();
+    let jobs: Vec<(Benchmark, bool)> = benches
+        .iter()
+        .flat_map(|&b| [(b, false), (b, true)])
+        .collect();
     let results = parallel_map(jobs.clone(), |(bench, partial)| {
         let mut cfg = base.clone();
         cfg.mdc.partial_writes = partial;
-        let r = run_sim(&cfg, bench, SEED, accesses);
+        let r = run_sim_cached(&cfg, bench, SEED, accesses);
         (r.engine.dram_meta.total(), r.engine.partial_fill_reads)
     });
 
@@ -63,5 +65,8 @@ fn main() {
         let (on, _) = results[2 * i + 1];
         (on as f64) > 0.5 * off as f64
     });
-    claim(modest, "partial-write benefits are modest, not transformative");
+    claim(
+        modest,
+        "partial-write benefits are modest, not transformative",
+    );
 }

@@ -60,7 +60,13 @@ fn main() {
 
     // Full per-workload, per-split MPKI matrix.
     let mut matrix: Vec<Vec<f64>> = Vec::new();
-    let mut table = Table::new(["workload", "no_partition", "best_split", "best_mpki", "worst_mpki"]);
+    let mut table = Table::new([
+        "workload",
+        "no_partition",
+        "best_split",
+        "best_mpki",
+        "worst_mpki",
+    ]);
     let mut best_idx = Vec::new();
     for (name, make) in &phase_workloads {
         let results = parallel_map(splits.clone(), |p| run_with(p, make.as_ref(), accesses));
@@ -72,7 +78,11 @@ fn main() {
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite MPKI"))
             .map(|(i, &v)| (i, v))
             .expect("splits exist");
-        let worst = results.iter().skip(1).cloned().fold(f64::NEG_INFINITY, f64::max);
+        let worst = results
+            .iter()
+            .skip(1)
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         table.row([
             name.to_string(),
             format!("{none_mpki:.2}"),
@@ -88,7 +98,10 @@ fn main() {
 
     // The two phases want different splits.
     let (libq_best, canneal_best, phased_best) = (best_idx[0], best_idx[1], best_idx[2]);
-    claim(libq_best != canneal_best, "the two phases prefer different static splits");
+    claim(
+        libq_best != canneal_best,
+        "the two phases prefer different static splits",
+    );
 
     // The compromise: whichever split the phased workload settles on, at
     // least one phase pays versus its own best — "a static partition

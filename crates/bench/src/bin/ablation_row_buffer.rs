@@ -13,7 +13,9 @@
 use maps_analysis::Table;
 use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
 use maps_mem::RowBufferDram;
-use maps_sim::{Hierarchy, MdcConfig, MemEvent, MetadataCache, MetadataEngine, RecordingObserver, SimConfig};
+use maps_sim::{
+    Hierarchy, MdcConfig, MemEvent, MetadataCache, MetadataEngine, RecordingObserver, SimConfig,
+};
 use maps_trace::{BlockKind, BLOCK_BYTES};
 use maps_workloads::Benchmark;
 
@@ -31,8 +33,10 @@ fn reference_stream(bench: Benchmark, accesses: u64) -> Vec<Ref> {
     let cfg = SimConfig::paper_default();
     let mut workload = bench.build(SEED);
     let mut hierarchy = Hierarchy::new(&cfg);
-    let memory_bytes =
-        cfg.memory_bytes.max(workload.footprint_bytes()).next_multiple_of(4096);
+    let memory_bytes = cfg
+        .memory_bytes
+        .max(workload.footprint_bytes())
+        .next_multiple_of(4096);
     let mut engine = MetadataEngine::new(
         maps_secure::SecureConfig::new(memory_bytes, cfg.counter_mode),
         &MdcConfig::disabled(),
@@ -57,7 +61,11 @@ fn reference_stream(bench: Benchmark, accesses: u64) -> Vec<Ref> {
                     engine.handle_write(*b, &mut rec);
                 }
             }
-            stream.extend(rec.records.iter().map(|r| Ref::Meta(r.block.index() * BLOCK_BYTES)));
+            stream.extend(
+                rec.records
+                    .iter()
+                    .map(|r| Ref::Meta(r.block.index() * BLOCK_BYTES)),
+            );
         }
     }
     stream
@@ -77,7 +85,11 @@ fn row_hit_rate(stream: &[Ref], mdc: Option<MdcConfig>, include_meta: bool) -> f
             }
             Ref::Meta(addr) if include_meta => {
                 let reaches_dram = match &mut cache {
-                    Some(cache) => !cache.access(addr / BLOCK_BYTES, BlockKind::Counter, false).hit,
+                    Some(cache) => {
+                        !cache
+                            .access(addr / BLOCK_BYTES, BlockKind::Counter, false)
+                            .hit
+                    }
                     None => true,
                 };
                 if reaches_dram {
@@ -92,8 +104,12 @@ fn row_hit_rate(stream: &[Ref], mdc: Option<MdcConfig>, include_meta: bool) -> f
 
 fn main() {
     let accesses = n_accesses(60_000);
-    let benches =
-        vec![Benchmark::Libquantum, Benchmark::Lbm, Benchmark::Leslie3d, Benchmark::Fft];
+    let benches = vec![
+        Benchmark::Libquantum,
+        Benchmark::Lbm,
+        Benchmark::Leslie3d,
+        Benchmark::Fft,
+    ];
 
     let results = parallel_map(benches.clone(), |b| {
         let stream = reference_stream(b, accesses);
@@ -107,8 +123,12 @@ fn main() {
         (data_only, no_mdc, with_mdc)
     });
 
-    let mut table =
-        Table::new(["benchmark", "row_hit_data_only", "row_hit_+meta_noMDC", "row_hit_+meta_64K"]);
+    let mut table = Table::new([
+        "benchmark",
+        "row_hit_data_only",
+        "row_hit_+meta_noMDC",
+        "row_hit_+meta_64K",
+    ]);
     for (bench, (d, n, m)) in benches.iter().zip(&results) {
         table.row([
             bench.name().to_string(),

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_sgx_vs_pi [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_secure::CounterMode;
 use maps_sim::SimConfig;
 use maps_trace::MetaGroup;
@@ -30,8 +30,12 @@ fn main() {
     let results = parallel_map(jobs.clone(), |(bench, mode)| {
         let mut cfg = base.clone();
         cfg.counter_mode = mode;
-        let r = run_sim(&cfg, bench, SEED, accesses);
-        (r.group_mpki(MetaGroup::Counter), r.metadata_mpki(), r.engine.page_overflows)
+        let r = run_sim_cached(&cfg, bench, SEED, accesses);
+        (
+            r.group_mpki(MetaGroup::Counter),
+            r.metadata_mpki(),
+            r.engine.page_overflows,
+        )
     });
 
     let mut table = Table::new([

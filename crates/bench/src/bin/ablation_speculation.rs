@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_speculation [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_sim::{MdcConfig, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -30,7 +30,7 @@ fn main() {
         if !mdc {
             cfg.mdc = MdcConfig::disabled();
         }
-        run_sim(&cfg, bench, SEED, accesses).cycles as f64
+        run_sim_cached(&cfg, bench, SEED, accesses).cycles as f64
     });
     let cycles = |bench: Benchmark, spec: bool, mdc: bool| -> f64 {
         let idx = jobs
@@ -96,18 +96,23 @@ fn main() {
         .map(|&w| {
             let mut cfg = base.clone();
             cfg.speculation_window = w;
-            run_sim(&cfg, sweep_bench, SEED, accesses).cycles as f64
+            run_sim_cached(&cfg, sweep_bench, SEED, accesses).cycles as f64
         })
         .collect();
     let mut window_table = Table::new(["speculation_window", "cycles"]);
     for (&w, &c) in windows.iter().zip(&window_cycles) {
-        let label =
-            if w == u64::MAX { "unbounded".to_string() } else { w.to_string() };
+        let label = if w == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            w.to_string()
+        };
         window_table.row([label, format!("{c:.0}")]);
     }
-    println!("
+    println!(
+        "
 # Speculation-window sweep ({sweep_bench})
-");
+"
+    );
     emit(&window_table);
     claim(
         window_cycles.windows(2).all(|w| w[1] >= w[0] * 0.999),
@@ -115,8 +120,7 @@ fn main() {
     );
     let nospec = cycles(sweep_bench, false, true);
     claim(
-        (window_cycles.last().copied().expect("non-empty sweep") - nospec).abs()
-            <= nospec * 0.01,
+        (window_cycles.last().copied().expect("non-empty sweep") - nospec).abs() <= nospec * 0.01,
         "a zero-cycle window behaves like no speculation",
     );
 }

@@ -25,7 +25,11 @@ fn costed_trace(bench: Benchmark, accesses: u64) -> Vec<CostedAccess> {
     let mut sim = SecureSim::new(cfg, bench.build(SEED));
     let mut rec = RecordingObserver::new();
     sim.run_observed(accesses, &mut rec);
-    let levels = sim.engine().expect("secure sim has an engine").layout().tree_levels() as u64;
+    let levels = sim
+        .engine()
+        .expect("secure sim has an engine")
+        .layout()
+        .tree_levels() as u64;
     rec.records
         .iter()
         .map(|r| {

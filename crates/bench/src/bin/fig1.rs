@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, MDC_SIZES, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, MDC_SIZES, SEED};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -28,9 +28,8 @@ fn main() {
     }
     let base = SimConfig::paper_default();
     let results = parallel_map(jobs.clone(), |(bench, contents_cfg, size)| {
-        let cfg =
-            base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
-        run_sim(&cfg, bench, SEED, accesses).metadata_mpki()
+        let cfg = base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
+        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
     });
 
     let mut table = Table::new(["benchmark", "contents", "mdc_size", "metadata_mpki"]);
@@ -57,12 +56,19 @@ fn main() {
         claim(
             mpki(Benchmark::Canneal, CacheContents::ALL, size)
                 <= mpki(Benchmark::Canneal, CacheContents::COUNTERS_ONLY, size) + 1e-9,
-            &format!("canneal: caching all types no worse than counters-only at {}", fmt_bytes(size)),
+            &format!(
+                "canneal: caching all types no worse than counters-only at {}",
+                fmt_bytes(size)
+            ),
         );
     }
     claim(
         mpki(Benchmark::Libquantum, CacheContents::ALL, 16 << 10)
-            < mpki(Benchmark::Libquantum, CacheContents::COUNTERS_ONLY, 16 << 10),
+            < mpki(
+                Benchmark::Libquantum,
+                CacheContents::COUNTERS_ONLY,
+                16 << 10,
+            ),
         "libquantum: all types reduce MPKI significantly below 512KB",
     );
     // "the cache size needed for a given miss rate is smaller when
@@ -75,8 +81,10 @@ fn main() {
     );
     // Monotonicity: more capacity never increases all-types MPKI much.
     for &bench in &benches {
-        let series: Vec<f64> =
-            MDC_SIZES.iter().map(|&s| mpki(bench, CacheContents::ALL, s)).collect();
+        let series: Vec<f64> = MDC_SIZES
+            .iter()
+            .map(|&s| mpki(bench, CacheContents::ALL, s))
+            .collect();
         claim(
             series.windows(2).all(|w| w[1] <= w[0] * 1.05),
             &format!("{bench}: all-types MPKI is (weakly) decreasing in cache size"),

@@ -7,17 +7,41 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1_extended [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
 const CONTENTS: [CacheContents; 7] = [
-    CacheContents { counters: true, hashes: false, tree: false },
-    CacheContents { counters: false, hashes: true, tree: false },
-    CacheContents { counters: false, hashes: false, tree: true },
-    CacheContents { counters: true, hashes: true, tree: false },
-    CacheContents { counters: true, hashes: false, tree: true },
-    CacheContents { counters: false, hashes: true, tree: true },
+    CacheContents {
+        counters: true,
+        hashes: false,
+        tree: false,
+    },
+    CacheContents {
+        counters: false,
+        hashes: true,
+        tree: false,
+    },
+    CacheContents {
+        counters: false,
+        hashes: false,
+        tree: true,
+    },
+    CacheContents {
+        counters: true,
+        hashes: true,
+        tree: false,
+    },
+    CacheContents {
+        counters: true,
+        hashes: false,
+        tree: true,
+    },
+    CacheContents {
+        counters: false,
+        hashes: true,
+        tree: true,
+    },
     CacheContents::ALL,
 ];
 
@@ -38,7 +62,7 @@ fn main() {
     }
     let results = parallel_map(jobs.clone(), |(bench, contents, size)| {
         let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(size));
-        run_sim(&cfg, bench, SEED, accesses).metadata_mpki()
+        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
     });
     let mpki = |bench: Benchmark, contents: CacheContents, size: u64| -> f64 {
         let i = jobs
@@ -88,15 +112,12 @@ fn main() {
     //      tree-excluding combination at small sizes — "caching the
     //      integrity tree provides a safety net for performance when
     //      counters cannot be contained".
-    let canneal_safety_net = CONTENTS
-        .iter()
-        .filter(|c| c.tree)
-        .all(|&with_tree| {
-            CONTENTS.iter().filter(|c| !c.tree).all(|&without_tree| {
-                mpki(Benchmark::Canneal, with_tree, 16 << 10)
-                    < mpki(Benchmark::Canneal, without_tree, 16 << 10)
-            })
-        });
+    let canneal_safety_net = CONTENTS.iter().filter(|c| c.tree).all(|&with_tree| {
+        CONTENTS.iter().filter(|c| !c.tree).all(|&without_tree| {
+            mpki(Benchmark::Canneal, with_tree, 16 << 10)
+                < mpki(Benchmark::Canneal, without_tree, 16 << 10)
+        })
+    });
     claim(
         canneal_safety_net,
         "canneal: any tree-including contents beat any tree-excluding contents at 16KB",
@@ -108,8 +129,8 @@ fn main() {
     let mut tree_cases = 0;
     for &bench in &benches {
         let pairs = [
-            (CONTENTS[0], CONTENTS[4]), // counters -> counters+tree
-            (CONTENTS[1], CONTENTS[5]), // hashes -> hashes+tree
+            (CONTENTS[0], CONTENTS[4]),        // counters -> counters+tree
+            (CONTENTS[1], CONTENTS[5]),        // hashes -> hashes+tree
             (CONTENTS[3], CacheContents::ALL), // counters+hashes -> all
         ];
         for (without, with) in pairs {

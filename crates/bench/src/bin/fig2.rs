@@ -6,7 +6,9 @@
 //! Run: `cargo run --release -p maps-bench --bin fig2 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, geometric_mean, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, LLC_SIZES, MDC_SIZES, SEED};
+use maps_bench::{
+    claim, emit, n_accesses, parallel_map, run_sim_cached, LLC_SIZES, MDC_SIZES, SEED,
+};
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
@@ -17,7 +19,7 @@ fn main() {
 
     // Baseline: 2 MB LLC, no secure memory, per benchmark.
     let baselines = parallel_map(benches.clone(), |b| {
-        run_sim(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
+        run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
     });
 
     let mut jobs = Vec::new();
@@ -30,12 +32,11 @@ fn main() {
     }
     let results = parallel_map(jobs.clone(), |(llc, mdc, _bi, bench)| {
         let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
-        run_sim(&cfg, bench, SEED, accesses).ed2()
+        run_sim_cached(&cfg, bench, SEED, accesses).ed2()
     });
 
     // Normalize per benchmark, then aggregate.
-    let mut table =
-        Table::new(["llc", "mdc", "total_budget", "ed2_geomean", "ed2_canneal"]);
+    let mut table = Table::new(["llc", "mdc", "total_budget", "ed2_geomean", "ed2_canneal"]);
     let mut rows = Vec::new();
     for &llc in &LLC_SIZES {
         for &mdc in &MDC_SIZES {
@@ -67,7 +68,10 @@ fn main() {
     emit(&table);
 
     let lookup = |llc: u64, mdc: u64| {
-        rows.iter().find(|&&(l, m, _, _)| l == llc && m == mdc).copied().expect("row exists")
+        rows.iter()
+            .find(|&&(l, m, _, _)| l == llc && m == mdc)
+            .copied()
+            .expect("row exists")
     };
     // The paper's reading: for the average benchmark, spending a ~1MB
     // budget mostly on LLC beats splitting it evenly; canneal flips.
@@ -84,5 +88,8 @@ fn main() {
     // Secure memory always costs something relative to the insecure 2MB
     // baseline at equal LLC.
     let (_, _, secure_2mb, _) = lookup(2 << 20, 64 << 10);
-    claim(secure_2mb > 1.0, "secure memory adds ED^2 overhead at the reference LLC size");
+    claim(
+        secure_2mb > 1.0,
+        "secure memory adds ED^2 overhead at the reference LLC size",
+    );
 }

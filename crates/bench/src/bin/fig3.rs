@@ -65,8 +65,13 @@ fn main() {
     emit(&table);
 
     let frac = |bench: Benchmark, group: MetaGroup, bytes: u64| -> f64 {
-        let i = benches.iter().position(|&b| b == bench).expect("bench profiled");
-        profiles[i].cdf(group).fraction_at_or_below(bytes / BLOCK_BYTES)
+        let i = benches
+            .iter()
+            .position(|&b| b == bench)
+            .expect("bench profiled");
+        profiles[i]
+            .cdf(group)
+            .fraction_at_or_below(bytes / BLOCK_BYTES)
     };
 
     // Section IV-C claims.

@@ -36,7 +36,11 @@ fn main() {
             format!("{:.3}", c.fraction(ReuseClass::To256)),
             format!("{:.3}", c.fraction(ReuseClass::To512)),
             format!("{:.3}", c.fraction(ReuseClass::Over512)),
-            if c.is_bimodal() { "yes".to_string() } else { "no".to_string() },
+            if c.is_bimodal() {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     println!("# Figure 4: bimodal reuse-distance classification\n");
@@ -44,12 +48,14 @@ fn main() {
 
     // Section IV-D claims.
     let counts_of = |b: Benchmark| {
-        counts[benches.iter().position(|&x| x == b).expect("bench profiled")]
+        counts[benches
+            .iter()
+            .position(|&x| x == b)
+            .expect("bench profiled")]
     };
     let mut bimodal_count = 0;
     for (&bench, c) in benches.iter().zip(&counts) {
-        let extremes =
-            c.fraction(ReuseClass::UpTo128) + c.fraction(ReuseClass::Over512);
+        let extremes = c.fraction(ReuseClass::UpTo128) + c.fraction(ReuseClass::Over512);
         if extremes > 0.5 {
             bimodal_count += 1;
         }
@@ -59,7 +65,12 @@ fn main() {
         bimodal_count >= benches.len() - 3,
         "most benchmarks concentrate metadata reuse in the extreme classes",
     );
-    for bench in [Benchmark::Libquantum, Benchmark::Fft, Benchmark::Leslie3d, Benchmark::Mcf] {
+    for bench in [
+        Benchmark::Libquantum,
+        Benchmark::Fft,
+        Benchmark::Leslie3d,
+        Benchmark::Mcf,
+    ] {
         claim(
             counts_of(bench).fraction(ReuseClass::UpTo128) >= 0.5,
             &format!("{bench}: at least 50% of accesses in the smallest class"),

@@ -23,8 +23,14 @@ fn main() {
         profiler
     });
 
-    let mut table =
-        Table::new(["benchmark", "type", "transition", "samples", "median", "p90"]);
+    let mut table = Table::new([
+        "benchmark",
+        "type",
+        "transition",
+        "samples",
+        "median",
+        "p90",
+    ]);
     for (bench, profiler) in benches.iter().zip(&profiles) {
         for group in MetaGroup::ALL {
             for transition in Transition::ALL {

@@ -9,8 +9,8 @@
 //! Run: `cargo run --release -p maps-bench --bin fig6 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
-use maps_sim::itermin::{run_iter_min, run_min};
+use maps_bench::{captured_trace, claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_sim::itermin::{run_iter_min_on, run_min_on};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -29,7 +29,6 @@ impl PolicyUnderTest {
         PolicyUnderTest::Min,
         PolicyUnderTest::IterMin,
     ];
-
 }
 
 fn main() {
@@ -48,17 +47,23 @@ fn main() {
         }
     }
     let cfg_ref = &cfg;
+    // All four policies per benchmark share one captured front end (the
+    // zero-warm-up capture the MIN oracles require).
     let results = parallel_map(jobs.clone(), |(bench, policy)| match policy {
         PolicyUnderTest::PseudoLru => {
-            run_sim(cfg_ref, bench, SEED, accesses).metadata_mpki()
+            run_sim_cached(cfg_ref, bench, SEED, accesses).metadata_mpki()
         }
         PolicyUnderTest::Eva => {
             let c = cfg_ref.with_mdc(cfg_ref.mdc.with_policy(PolicyChoice::Eva));
-            run_sim(&c, bench, SEED, accesses).metadata_mpki()
+            run_sim_cached(&c, bench, SEED, accesses).metadata_mpki()
         }
-        PolicyUnderTest::Min => run_min(cfg_ref, bench, SEED, accesses).metadata_mpki(),
+        PolicyUnderTest::Min => {
+            run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses)).metadata_mpki()
+        }
         PolicyUnderTest::IterMin => {
-            run_iter_min(cfg_ref, bench, SEED, accesses, 4).report.metadata_mpki()
+            run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4)
+                .report
+                .metadata_mpki()
         }
     });
 

@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig7 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
 use maps_cache::Partition;
 use maps_sim::{MdcConfig, PartitionMode, SimConfig};
 use maps_workloads::Benchmark;
@@ -22,13 +22,13 @@ fn main() {
 
     // Insecure baselines for normalization.
     let baselines = parallel_map(benches.clone(), |b| {
-        run_sim(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
+        run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
     });
 
     // (a) No partition.
     let base_ref = &base;
     let none = parallel_map(benches.clone(), |b| {
-        run_sim(base_ref, b, SEED, accesses).ed2()
+        run_sim_cached(base_ref, b, SEED, accesses).ed2()
     });
 
     // (b) Static sweep: every split for every benchmark.
@@ -41,7 +41,7 @@ fn main() {
     let static_results = parallel_map(static_jobs.clone(), |(_bi, bench, split)| {
         let mut cfg = base_ref.clone();
         cfg.mdc.partition = PartitionMode::Static(split);
-        run_sim(&cfg, bench, SEED, accesses).ed2()
+        run_sim_cached(&cfg, bench, SEED, accesses).ed2()
     });
     let mut best_split = vec![Partition::counter_ways(1); benches.len()];
     let mut best_static = vec![f64::INFINITY; benches.len()];
@@ -55,13 +55,15 @@ fn main() {
     // (c) Average best split: the most common best split across apps.
     let avg_ways = {
         let sum: usize = best_split.iter().map(Partition::counter_way_count).sum();
-        (sum as f64 / best_split.len() as f64).round().clamp(1.0, (ways - 1) as f64) as usize
+        (sum as f64 / best_split.len() as f64)
+            .round()
+            .clamp(1.0, (ways - 1) as f64) as usize
     };
     let avg_partition = Partition::counter_ways(avg_ways);
     let avg_static = parallel_map(benches.clone(), |b| {
         let mut cfg = base_ref.clone();
         cfg.mdc.partition = PartitionMode::Static(avg_partition);
-        run_sim(&cfg, b, SEED, accesses).ed2()
+        run_sim_cached(&cfg, b, SEED, accesses).ed2()
     });
 
     // (d) Dynamic set dueling between a counter-light and counter-heavy
@@ -73,7 +75,7 @@ fn main() {
             b: Partition::counter_ways(6),
             leaders_per_side: 4,
         };
-        run_sim(&cfg, b, SEED, accesses).ed2()
+        run_sim_cached(&cfg, b, SEED, accesses).ed2()
     });
 
     let mut table = Table::new([
@@ -92,11 +94,18 @@ fn main() {
             format!("{:.3}", best_static[i] / n),
             format!("{:.3}", avg_static[i] / n),
             format!("{:.3}", dynamic[i] / n),
-            format!("{}:{}", best_split[i].counter_way_count(), ways - best_split[i].counter_way_count()),
+            format!(
+                "{}:{}",
+                best_split[i].counter_way_count(),
+                ways - best_split[i].counter_way_count()
+            ),
         ]);
     }
     println!("# Figure 7: ED^2 overhead under cache partitioning schemes (64KB MDC)\n");
-    println!("average best split: {avg_ways}:{} counter:hash ways\n", ways - avg_ways);
+    println!(
+        "average best split: {avg_ways}:{} counter:hash ways\n",
+        ways - avg_ways
+    );
     emit(&table);
 
     // Section V-C claims.
@@ -132,7 +141,10 @@ fn main() {
         dynamic_hurts >= 1,
         "dynamic partitioning actively hurts at least one benchmark",
     );
-    let fft = benches.iter().position(|&b| b == Benchmark::Fft).expect("fft in set");
+    let fft = benches
+        .iter()
+        .position(|&b| b == Benchmark::Fft)
+        .expect("fft in set");
     claim(
         dynamic[fft] >= none[fft] * 0.98,
         "fft: dynamic partitioning does not beat no-partition",

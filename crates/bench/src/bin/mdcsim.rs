@@ -98,7 +98,11 @@ fn run() -> Result<(), String> {
     if args.flag("--list") {
         println!("available benchmark profiles:");
         for b in Benchmark::ALL {
-            let intensity = if b.is_memory_intensive() { "memory-intensive" } else { "cache-resident" };
+            let intensity = if b.is_memory_intensive() {
+                "memory-intensive"
+            } else {
+                "cache-resident"
+            };
             println!("  {:<12} ({intensity})", b.name());
         }
         return Ok(());
@@ -150,10 +154,14 @@ fn run() -> Result<(), String> {
 
     let replay_path = args.value("--replay")?;
     let trace_out = args.value("--trace-out")?;
-    let bench_name = args.value("--bench")?.unwrap_or_else(|| "libquantum".to_string());
+    let bench_name = args
+        .value("--bench")?
+        .unwrap_or_else(|| "libquantum".to_string());
 
     if let Some(unknown) = args.0.first() {
-        return Err(format!("unknown argument {unknown:?} (see source header for usage)"));
+        return Err(format!(
+            "unknown argument {unknown:?} (see source header for usage)"
+        ));
     }
 
     let mut workload: Box<dyn Workload> = match &replay_path {
@@ -180,7 +188,10 @@ fn run() -> Result<(), String> {
     println!("{report}");
     println!();
     println!("tree walks         {}", report.engine.tree_walks);
-    println!("walk level fetches {}", report.engine.tree_walk_level_misses);
+    println!(
+        "walk level fetches {}",
+        report.engine.tree_walk_level_misses
+    );
     println!("page overflows     {}", report.engine.page_overflows);
     println!("partial fill reads {}", report.engine.partial_fill_reads);
     println!("ED^2               {:.3e} pJ*cycles^2", report.ed2());

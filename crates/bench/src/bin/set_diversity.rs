@@ -73,10 +73,8 @@ fn main() {
     for (bench, per_set) in benches.iter().zip(&snapshots) {
         let counters: Vec<f64> = per_set.iter().map(|s| s[0] as f64).collect();
         let hashes: Vec<f64> = per_set.iter().map(|s| s[1] as f64).collect();
-        let no_ctr =
-            per_set.iter().filter(|s| s[0] == 0).count() as f64 / per_set.len() as f64;
-        let no_tree =
-            per_set.iter().filter(|s| s[2] == 0).count() as f64 / per_set.len() as f64;
+        let no_ctr = per_set.iter().filter(|s| s[0] == 0).count() as f64 / per_set.len() as f64;
+        let no_tree = per_set.iter().filter(|s| s[2] == 0).count() as f64 / per_set.len() as f64;
         let cv_ctr = cv(&counters);
         if cv_ctr > 0.25 || no_ctr > 0.05 {
             diverse += 1;
@@ -84,7 +82,10 @@ fn main() {
         table.row([
             bench.name().to_string(),
             per_set.len().to_string(),
-            format!("{:.2}", counters.iter().sum::<f64>() / counters.len() as f64),
+            format!(
+                "{:.2}",
+                counters.iter().sum::<f64>() / counters.len() as f64
+            ),
             format!("{cv_ctr:.2}"),
             format!("{:.2}", cv(&hashes)),
             format!("{:.1}", no_ctr * 100.0),

@@ -13,7 +13,13 @@ fn main() {
     let pi = Layout::new(SecureConfig::poison_ivy(4 << 30));
     let sgx = Layout::new(SecureConfig::sgx(4 << 30));
 
-    let mut table = Table::new(["metadata type", "organization (PI)", "organization (SGX)", "protected (PI)", "protected (SGX)"]);
+    let mut table = Table::new([
+        "metadata type",
+        "organization (PI)",
+        "organization (SGX)",
+        "protected (PI)",
+        "protected (SGX)",
+    ]);
     table.row([
         "counters".to_string(),
         "1x8B/page + 64x7b/blk".to_string(),
@@ -64,9 +70,18 @@ fn main() {
     ]);
     emit(&geometry);
 
-    claim(pi.data_protected_by(BlockKind::Counter) == 4096, "PI counter block covers 4KB");
-    claim(sgx.data_protected_by(BlockKind::Counter) == 512, "SGX counter block covers 512B");
-    claim(pi.data_protected_by(BlockKind::Hash) == 512, "hash block covers 0.5KB");
+    claim(
+        pi.data_protected_by(BlockKind::Counter) == 4096,
+        "PI counter block covers 4KB",
+    );
+    claim(
+        sgx.data_protected_by(BlockKind::Counter) == 512,
+        "SGX counter block covers 512B",
+    );
+    claim(
+        pi.data_protected_by(BlockKind::Hash) == 512,
+        "hash block covers 0.5KB",
+    );
     claim(
         pi.data_protected_by(BlockKind::Tree(0)) == 32 << 10,
         "PI tree leaf covers 32KB (4 * 8^1 KB)",

@@ -10,14 +10,22 @@
 //!   (integration tests drive this mode).
 //! * `--tsv` — machine-readable tab-separated output.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use maps_sim::{SecureSim, SimConfig, SimReport};
+use maps_sim::{CapturedTrace, FrontEndKey, ReplaySim, SecureSim, SimConfig, SimReport};
 use maps_workloads::Benchmark;
 
 /// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
 pub fn n_accesses(default: u64) -> u64 {
-    std::env::var("MAPS_ACCESSES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var("MAPS_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Whether `--check` was passed.
@@ -52,12 +60,87 @@ pub fn claim(ok: bool, description: &str) {
     }
 }
 
-/// Runs one simulation.
+/// Runs one simulation directly (no capture reuse).
 pub fn run_sim(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> SimReport {
     SecureSim::new(cfg.clone(), bench.build(seed)).run(accesses)
 }
 
+/// Front-end identity of one simulation run; all sweep points sharing it
+/// can replay one [`CapturedTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TraceKey {
+    bench: Benchmark,
+    seed: u64,
+    accesses: u64,
+    front_end: FrontEndKey,
+}
+
+/// A per-key once-cell: workers needing the same capture block on the
+/// single in-flight recording instead of racing to duplicate it.
+type CaptureCell = Arc<OnceLock<Arc<CapturedTrace>>>;
+
+/// The process-wide capture memo. The outer map lock is only held for the
+/// entry lookup, never during a recording.
+static CAPTURES: OnceLock<Mutex<HashMap<TraceKey, CaptureCell>>> = OnceLock::new();
+
+/// Whether `MAPS_NO_CAPTURE` disables the capture/replay memo (used to
+/// measure the direct-path baseline; any value but `0` disables).
+pub fn capture_disabled() -> bool {
+    std::env::var_os("MAPS_NO_CAPTURE").is_some_and(|v| v != "0")
+}
+
+/// Returns the shared capture for this front end, recording it on first
+/// use. Thread-safe: parallel sweep workers hitting the same key block on
+/// one in-flight recording and then share the result via `Arc`.
+pub fn captured_trace(
+    cfg: &SimConfig,
+    bench: Benchmark,
+    seed: u64,
+    accesses: u64,
+) -> Arc<CapturedTrace> {
+    let key = TraceKey {
+        bench,
+        seed,
+        accesses,
+        front_end: FrontEndKey::of(cfg),
+    };
+    let cell = {
+        let mut map = CAPTURES
+            .get_or_init(Default::default)
+            .lock()
+            .expect("capture memo poisoned");
+        map.entry(key).or_default().clone()
+    };
+    cell.get_or_init(|| Arc::new(CapturedTrace::record(cfg, bench.build(seed), accesses)))
+        .clone()
+}
+
+/// Runs one simulation through the capture/replay memo: the front end
+/// (workload + L1/L2/LLC) is recorded once per `{benchmark, seed,
+/// accesses, geometry}` key and every configuration sharing it replays the
+/// event stream. Reports are bit-identical to [`run_sim`]'s (proven by the
+/// `replay_equivalence` suite). Set `MAPS_NO_CAPTURE=1` to force the
+/// direct path.
+pub fn run_sim_cached(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> SimReport {
+    if capture_disabled() {
+        return run_sim(cfg, bench, seed, accesses);
+    }
+    let trace = captured_trace(cfg, bench, seed, accesses);
+    ReplaySim::new(cfg.clone(), &trace).run()
+}
+
+/// A send-only slot claimed by exactly one worker.
+struct Slot<V>(UnsafeCell<Option<V>>);
+
+// Safety: workers access disjoint slots — each index is claimed exactly
+// once via the atomic cursor, so no slot is touched by two threads.
+unsafe impl<V: Send> Sync for Slot<V> {}
+
 /// Maps `f` over `items` on all available cores, preserving order.
+///
+/// Work distribution is a single atomic cursor over a shared slice — no
+/// per-job locking. A panicking job aborts the sweep and re-raises with
+/// the failing job's index.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -65,34 +148,57 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let jobs: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n.max(1));
+    let jobs: Vec<Slot<T>> = items
+        .into_iter()
+        .map(|t| Slot(UnsafeCell::new(Some(t))))
+        .collect();
+    let results: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let cursor = AtomicUsize::new(0);
+    let failure: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |p| p.get())
+        .min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = jobs.lock().expect("job queue poisoned").pop();
-                match job {
-                    Some((i, item)) => {
-                        let r = f(item);
-                        results.lock().expect("result store poisoned")[i] = Some(r);
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Safety: `i` came from the shared cursor, so this thread
+                // is the only one ever touching jobs[i]/results[i].
+                let item = unsafe { &mut *jobs[i].0.get() }
+                    .take()
+                    .expect("job claimed twice");
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *unsafe { &mut *results[i].0.get() } = Some(r),
+                    Err(payload) => {
+                        let mut slot = failure.lock().expect("failure slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some((i, payload));
+                        }
+                        break;
                     }
-                    None => break,
                 }
             });
         }
     });
+    if let Some((i, payload)) = failure.into_inner().expect("failure slot poisoned") {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        panic!("parallel_map job {i} panicked: {msg}");
+    }
     results
-        .into_inner()
-        .expect("result store poisoned")
         .into_iter()
-        .map(|r| r.expect("worker produced no result"))
+        .map(|slot| slot.0.into_inner().expect("worker produced no result"))
         .collect()
 }
 
 /// The metadata-cache size sweep used by Figures 1 and 2.
-pub const MDC_SIZES: [u64; 6] =
-    [16 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
+pub const MDC_SIZES: [u64; 6] = [16 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20];
 
 /// The LLC size sweep used by Figure 2.
 pub const LLC_SIZES: [u64; 4] = [512 << 10, 1 << 20, 2 << 20, 4 << 20];
@@ -120,5 +226,61 @@ mod tests {
     fn accesses_default_when_env_missing() {
         std::env::remove_var("MAPS_ACCESSES");
         assert_eq!(n_accesses(123), 123);
+    }
+
+    #[test]
+    fn parallel_map_surfaces_panic_with_job_index() {
+        let err = std::panic::catch_unwind(|| {
+            parallel_map((0..8).collect(), |x: u64| {
+                assert!(x != 5, "boom");
+                x
+            })
+        })
+        .expect_err("a job panicked");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("job 5"), "missing index: {msg}");
+    }
+
+    #[test]
+    fn cached_run_matches_direct_run_exactly() {
+        let cfg = SimConfig::paper_default();
+        let direct = run_sim(&cfg, Benchmark::Gups, SEED, 8_000);
+        let cached = run_sim_cached(&cfg, Benchmark::Gups, SEED, 8_000);
+        let cached_again = run_sim_cached(&cfg, Benchmark::Gups, SEED, 8_000);
+        assert_eq!(direct, cached);
+        assert_eq!(direct, cached_again);
+    }
+
+    #[test]
+    fn captures_are_shared_across_callers() {
+        let cfg = SimConfig::paper_default();
+        let a = captured_trace(&cfg, Benchmark::Mcf, SEED, 6_000);
+        // A back-end-only change must hit the same capture.
+        let b = captured_trace(
+            &cfg.with_mdc(cfg.mdc.with_size(1 << 20)),
+            Benchmark::Mcf,
+            SEED,
+            6_000,
+        );
+        assert!(Arc::ptr_eq(&a, &b));
+        // A front-end change must not.
+        let c = captured_trace(
+            &cfg.with_llc_bytes(cfg.llc_bytes * 2),
+            Benchmark::Mcf,
+            SEED,
+            6_000,
+        );
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_share_one_recording() {
+        let cfg = SimConfig::paper_default().with_llc_bytes(1 << 20);
+        let traces = parallel_map((0..8).collect(), |_: u64| {
+            captured_trace(&cfg, Benchmark::Canneal, SEED + 1, 5_000)
+        });
+        for t in &traces {
+            assert!(Arc::ptr_eq(t, &traces[0]));
+        }
     }
 }

@@ -14,8 +14,16 @@ pub struct AccessResult {
 }
 
 impl AccessResult {
-    const HIT: AccessResult = AccessResult { hit: true, evicted: None };
+    const HIT: AccessResult = AccessResult {
+        hit: true,
+        evicted: None,
+    };
 }
+
+/// Tag value marking an empty frame in the packed tag array. Block keys
+/// are region-local block indices (memory bytes / 64), so `u64::MAX` can
+/// never collide with a real key.
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// A set-associative, write-back, write-allocate cache over block keys.
 ///
@@ -39,10 +47,19 @@ impl AccessResult {
 pub struct SetAssocCache<P> {
     cfg: CacheConfig,
     lines: Vec<Option<Line>>,
+    /// Packed copy of each frame's key (`EMPTY_TAG` when the frame is
+    /// empty), kept in sync with `lines`. Tag matching is the innermost
+    /// loop of the simulator; scanning a contiguous `u64` run here instead
+    /// of the full `Option<Line>` slots keeps the lookup inside one or two
+    /// cache lines per set.
+    tags: Vec<u64>,
     policy: P,
     partition: Option<Partition>,
     stats: CacheStats,
     time: u64,
+    /// `[0, 1, …, ways-1]`, sliced per partition when choosing victims so
+    /// the eviction path never allocates a candidate list.
+    way_ids: Vec<usize>,
 }
 
 impl<P: Policy> SetAssocCache<P> {
@@ -52,10 +69,12 @@ impl<P: Policy> SetAssocCache<P> {
         Self {
             cfg,
             lines: vec![None; cfg.blocks()],
+            tags: vec![EMPTY_TAG; cfg.blocks()],
             policy,
             partition: None,
             stats: CacheStats::default(),
             time: 0,
+            way_ids: (0..cfg.ways()).collect(),
         }
     }
 
@@ -128,7 +147,9 @@ impl<P: Policy> SetAssocCache<P> {
         if let Some(way) = self.find_way(set, key) {
             let idx = set * self.cfg.ways() + way;
             {
-                let line = self.lines[idx].as_mut().expect("found way must hold a line");
+                let line = self.lines[idx]
+                    .as_mut()
+                    .expect("found way must hold a line");
                 line.last_at = t;
                 if write {
                     // Dirty only: sub-block validity is managed by the
@@ -136,8 +157,11 @@ impl<P: Policy> SetAssocCache<P> {
                     line.dirty = true;
                 }
             }
-            let line = self.lines[idx].expect("line just updated");
-            self.policy.on_hit(set, way, &line);
+            self.policy.on_hit(
+                set,
+                way,
+                self.lines[idx].as_ref().expect("line just updated"),
+            );
             self.stats.record_access(kind, true);
             return AccessResult::HIT;
         }
@@ -146,7 +170,10 @@ impl<P: Policy> SetAssocCache<P> {
         let mut new_line = Line::filled(key, kind, t);
         new_line.dirty = write;
         let evicted = self.fill(set, new_line, partition_override, write);
-        AccessResult { hit: false, evicted }
+        AccessResult {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Probes without allocating: records a hit/miss and refreshes recency
@@ -174,9 +201,55 @@ impl<P: Policy> SetAssocCache<P> {
         partition_override: Option<&Partition>,
     ) -> Option<Line> {
         let set = self.cfg.set_of(key);
-        assert!(self.find_way(set, key).is_none(), "placeholder insert for resident key {key}");
+        assert!(
+            self.find_way(set, key).is_none(),
+            "placeholder insert for resident key {key}"
+        );
         let t = self.time;
-        self.fill(set, Line::placeholder(key, kind, t, slot), partition_override, true)
+        self.fill(
+            set,
+            Line::placeholder(key, kind, t, slot),
+            partition_override,
+            true,
+        )
+    }
+
+    /// Hit path of a partial write: behaves exactly like a write
+    /// [`SetAssocCache::access`] followed by [`SetAssocCache::mark_valid`],
+    /// but with a single tag lookup. Returns `None` (no state change) when
+    /// `key` is not resident, in which case the caller falls back to the
+    /// miss path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn access_mark_valid(&mut self, key: u64, kind: BlockKind, slot: u8) -> Option<u8> {
+        assert!(slot < 8, "sub-block slot {slot} out of range");
+        let set = self.cfg.set_of(key);
+        let way = self.find_way(set, key)?;
+        let t = self.time;
+        self.time += 1;
+        self.policy.begin_access(t, key);
+        let idx = set * self.cfg.ways() + way;
+        {
+            let line = self.lines[idx]
+                .as_mut()
+                .expect("found way must hold a line");
+            line.last_at = t;
+            line.dirty = true;
+        }
+        // The policy observes the line as a plain write hit would show it:
+        // the sub-entry bit lands only after `on_hit`, mirroring the
+        // separate access-then-mark sequence this method replaces.
+        self.policy.on_hit(
+            set,
+            way,
+            self.lines[idx].as_ref().expect("line just updated"),
+        );
+        self.stats.record_access(kind, true);
+        let line = self.lines[idx].as_mut().expect("line just updated");
+        line.valid_mask |= 1 << slot;
+        Some(line.valid_mask)
     }
 
     /// Marks additional valid sub-entries on a resident line (partial-write
@@ -196,6 +269,7 @@ impl<P: Policy> SetAssocCache<P> {
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
         let idx = set * self.cfg.ways() + way;
+        self.tags[idx] = EMPTY_TAG;
         let line = self.lines[idx].take();
         if let Some(l) = &line {
             self.policy.on_evict(set, way, l, self.time);
@@ -205,6 +279,7 @@ impl<P: Policy> SetAssocCache<P> {
 
     /// Drains every resident line (e.g. to account for final writebacks).
     pub fn drain(&mut self) -> Vec<Line> {
+        self.tags.fill(EMPTY_TAG);
         let mut out = Vec::new();
         for slot in &mut self.lines {
             if let Some(line) = slot.take() {
@@ -226,9 +301,9 @@ impl<P: Policy> SetAssocCache<P> {
 
     fn find_way(&self, set: usize, key: u64) -> Option<usize> {
         let base = set * self.cfg.ways();
-        self.lines[base..base + self.cfg.ways()]
+        self.tags[base..base + self.cfg.ways()]
             .iter()
-            .position(|l| l.as_ref().is_some_and(|l| l.key == key))
+            .position(|&t| t == key)
     }
 
     fn allowed_ways(
@@ -252,20 +327,36 @@ impl<P: Policy> SetAssocCache<P> {
     ) -> Option<Line> {
         let (lo, hi) = self.allowed_ways(new_line.kind, partition_override);
         let base = set * self.cfg.ways();
+        debug_assert_ne!(
+            new_line.key, EMPTY_TAG,
+            "key collides with the empty-frame sentinel"
+        );
 
         // Prefer an invalid frame within the allowed ways.
-        if let Some(way) = (lo..hi).find(|&w| self.lines[base + w].is_none()) {
+        if let Some(way) = (lo..hi).find(|&w| self.tags[base + w] == EMPTY_TAG) {
+            self.tags[base + way] = new_line.key;
             self.lines[base + way] = Some(new_line);
             self.policy.on_fill(set, way, &new_line);
             return None;
         }
 
-        let candidates: Vec<usize> = (lo..hi).collect();
-        let way = self.policy.choose_victim(set, &candidates, &self.lines[base..base + self.cfg.ways()], self.time);
-        debug_assert!(candidates.contains(&way), "policy chose non-candidate way {way}");
-        let victim = self.lines[base + way].take().expect("victim way must hold a line");
+        let candidates = &self.way_ids[lo..hi];
+        let way = self.policy.choose_victim(
+            set,
+            candidates,
+            &self.lines[base..base + self.cfg.ways()],
+            self.time,
+        );
+        debug_assert!(
+            (lo..hi).contains(&way),
+            "policy chose non-candidate way {way}"
+        );
+        let victim = self.lines[base + way]
+            .take()
+            .expect("victim way must hold a line");
         self.policy.on_evict(set, way, &victim, self.time);
         self.stats.record_eviction(victim.kind, victim.dirty);
+        self.tags[base + way] = new_line.key;
         self.lines[base + way] = Some(new_line);
         self.policy.on_fill(set, way, &new_line);
         Some(victim)

@@ -17,6 +17,8 @@ pub struct CacheConfig {
     size_bytes: u64,
     ways: usize,
     block_bytes: u64,
+    /// `sets - 1`; valid because the set count is a power of two.
+    set_mask: u64,
 }
 
 impl CacheConfig {
@@ -47,8 +49,16 @@ impl CacheConfig {
         );
         let sets = size_bytes / (ways as u64 * block_bytes);
         assert!(sets > 0, "cache must have at least one set");
-        assert!(sets.is_power_of_two(), "set count {sets} is not a power of two");
-        Self { size_bytes, ways, block_bytes }
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} is not a power of two"
+        );
+        Self {
+            size_bytes,
+            ways,
+            block_bytes,
+            set_mask: sets - 1,
+        }
     }
 
     /// Total capacity in bytes.
@@ -76,9 +86,11 @@ impl CacheConfig {
         self.sets() * self.ways
     }
 
-    /// Set index for a block key (block-granular address).
+    /// Set index for a block key (block-granular address). The set count
+    /// is a power of two, so this is a mask, not a division — it sits on
+    /// the hot path of every cache level and the metadata cache.
     pub const fn set_of(&self, key: u64) -> usize {
-        (key % self.sets() as u64) as usize
+        (key & self.set_mask) as usize
     }
 }
 

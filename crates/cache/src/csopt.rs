@@ -114,7 +114,11 @@ pub fn belady_misses(trace: &[u64], capacity: usize) -> u64 {
 /// # Panics
 ///
 /// Panics if `capacity` is zero.
-pub fn csopt_min_cost(trace: &[CostedAccess], capacity: usize, beam: Option<usize>) -> CsoptOutcome {
+pub fn csopt_min_cost(
+    trace: &[CostedAccess],
+    capacity: usize,
+    beam: Option<usize>,
+) -> CsoptOutcome {
     assert!(capacity > 0, "capacity must be positive");
     // State: sorted vector of resident keys -> (cost, misses).
     let mut states: HashMap<Vec<u64>, (u64, u64)> = HashMap::new();
@@ -124,15 +128,16 @@ pub fn csopt_min_cost(trace: &[CostedAccess], capacity: usize, beam: Option<usiz
 
     for access in trace {
         let mut next: HashMap<Vec<u64>, (u64, u64)> = HashMap::with_capacity(states.len() * 2);
-        let consider = |state: Vec<u64>, cost: (u64, u64), map: &mut HashMap<Vec<u64>, (u64, u64)>| {
-            map.entry(state)
-                .and_modify(|c| {
-                    if cost.0 < c.0 {
-                        *c = cost;
-                    }
-                })
-                .or_insert(cost);
-        };
+        let consider =
+            |state: Vec<u64>, cost: (u64, u64), map: &mut HashMap<Vec<u64>, (u64, u64)>| {
+                map.entry(state)
+                    .and_modify(|c| {
+                        if cost.0 < c.0 {
+                            *c = cost;
+                        }
+                    })
+                    .or_insert(cost);
+            };
         for (state, (cost, misses)) in &states {
             if state.binary_search(&access.key).is_ok() {
                 // Hit: state unchanged.
@@ -173,7 +178,12 @@ pub fn csopt_min_cost(trace: &[CostedAccess], capacity: usize, beam: Option<usiz
         .copied()
         .min_by_key(|&(c, _)| c)
         .expect("at least one state survives");
-    CsoptOutcome { min_cost, misses, peak_states: peak, truncated }
+    CsoptOutcome {
+        min_cost,
+        misses,
+        peak_states: peak,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -208,10 +218,7 @@ mod tests {
             for cap in 1..=3 {
                 let csopt = csopt_min_cost(&costed, cap, None);
                 let belady = belady_misses(&trace, cap);
-                assert_eq!(
-                    csopt.min_cost, belady,
-                    "capacity {cap}, trace {trace:?}"
-                );
+                assert_eq!(csopt.min_cost, belady, "capacity {cap}, trace {trace:?}");
                 assert!(!csopt.truncated);
             }
         }
@@ -242,8 +249,7 @@ mod tests {
 
     #[test]
     fn beam_truncation_reports_itself() {
-        let trace: Vec<CostedAccess> =
-            (0..16).map(|i| CostedAccess::unit(i % 7)).collect();
+        let trace: Vec<CostedAccess> = (0..16).map(|i| CostedAccess::unit(i % 7)).collect();
         let exact = csopt_min_cost(&trace, 3, None);
         let beamed = csopt_min_cost(&trace, 3, Some(2));
         assert!(beamed.min_cost >= exact.min_cost);
@@ -252,8 +258,7 @@ mod tests {
 
     #[test]
     fn peak_states_grow_with_associativity() {
-        let trace: Vec<CostedAccess> =
-            (0..14).map(|i| CostedAccess::unit((i * 5) % 9)).collect();
+        let trace: Vec<CostedAccess> = (0..14).map(|i| CostedAccess::unit((i * 5) % 9)).collect();
         let small = csopt_min_cost(&trace, 2, None);
         let large = csopt_min_cost(&trace, 4, None);
         assert!(large.peak_states >= small.peak_states);

@@ -31,7 +31,14 @@ pub struct Line {
 impl Line {
     /// Creates a fully-valid clean line filled at `time`.
     pub const fn filled(key: u64, kind: BlockKind, time: u64) -> Self {
-        Self { key, kind, dirty: false, valid_mask: FULL_MASK, insert_at: time, last_at: time }
+        Self {
+            key,
+            kind,
+            dirty: false,
+            valid_mask: FULL_MASK,
+            insert_at: time,
+            last_at: time,
+        }
     }
 
     /// Creates a partial-write placeholder containing only the sub-entry
@@ -42,7 +49,14 @@ impl Line {
     /// Panics if `slot >= 8`.
     pub fn placeholder(key: u64, kind: BlockKind, time: u64, slot: u8) -> Self {
         assert!(slot < 8, "sub-block slot {slot} out of range");
-        Self { key, kind, dirty: true, valid_mask: 1 << slot, insert_at: time, last_at: time }
+        Self {
+            key,
+            kind,
+            dirty: true,
+            valid_mask: 1 << slot,
+            insert_at: time,
+            last_at: time,
+        }
     }
 
     /// Whether all eight sub-entries are valid.

@@ -121,7 +121,13 @@ impl DuelingController {
                 roles[(2 * i + 1) * stride] = SetRole::LeaderB;
             }
         }
-        Self { partition_a, partition_b, roles, psel: 0, psel_max: 1024 }
+        Self {
+            partition_a,
+            partition_b,
+            roles,
+            psel: 0,
+            psel_max: 1024,
+        }
     }
 
     /// Role of a set.

@@ -1,6 +1,9 @@
 //! Runtime-selected policy via enum dispatch.
 
-use super::{CostAware, Drrip, Eva, EvaPerType, Fifo, MinOracle, Policy, RandomEvict, Srrip, TraceMin, TreePlru, TrueLru};
+use super::{
+    CostAware, Drrip, Eva, EvaPerType, Fifo, MinOracle, Policy, RandomEvict, Srrip, TraceMin,
+    TreePlru, TrueLru,
+};
 use crate::Line;
 
 /// A replacement policy chosen at run time.

@@ -67,7 +67,10 @@ impl CostAware {
     pub fn with_half_life(counter_cost: u64, half_life: u64) -> Self {
         assert!(counter_cost > 0, "counter cost must be positive");
         assert!(half_life > 0, "half-life must be positive");
-        Self { counter_cost, half_life }
+        Self {
+            counter_cost,
+            half_life,
+        }
     }
 
     fn miss_cost(&self, kind: BlockKind) -> f64 {
@@ -137,7 +140,11 @@ mod tests {
         c.access(3, BlockKind::Hash, false);
         c.access(4, BlockKind::Hash, false);
         let evicted = c.access(5, BlockKind::Hash, false).evicted.unwrap();
-        assert_ne!(evicted.kind, BlockKind::Counter, "counter should be protected");
+        assert_ne!(
+            evicted.kind,
+            BlockKind::Counter,
+            "counter should be protected"
+        );
     }
 
     #[test]
@@ -152,14 +159,20 @@ mod tests {
             c.access(2, BlockKind::Hash, false);
         }
         let evicted = c.access(3, BlockKind::Hash, false).evicted.unwrap();
-        assert_eq!(evicted.kind, BlockKind::Counter, "stale counter must eventually yield");
+        assert_eq!(
+            evicted.kind,
+            BlockKind::Counter,
+            "stale counter must eventually yield"
+        );
     }
 
     #[test]
     fn degenerates_to_lru_with_uniform_costs() {
         let mut cost = SetAssocCache::new(CacheConfig::from_bytes(256, 4), CostAware::new(1));
-        let mut lru =
-            SetAssocCache::new(CacheConfig::from_bytes(256, 4), crate::policy::TrueLru::new());
+        let mut lru = SetAssocCache::new(
+            CacheConfig::from_bytes(256, 4),
+            crate::policy::TrueLru::new(),
+        );
         let keys: Vec<u64> = (0..400).map(|i| (i * 13) % 23).collect();
         let mut same = 0;
         for &k in &keys {
@@ -167,7 +180,11 @@ mod tests {
             let b = lru.access(k, BlockKind::Hash, false).hit;
             same += usize::from(a == b);
         }
-        assert!(same as f64 > 0.95 * keys.len() as f64, "agreed on {same}/{}", keys.len());
+        assert!(
+            same as f64 > 0.95 * keys.len() as f64,
+            "agreed on {same}/{}",
+            keys.len()
+        );
     }
 
     #[test]

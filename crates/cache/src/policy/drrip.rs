@@ -2,8 +2,7 @@
 
 use super::Policy;
 use crate::Line;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maps_trace::rng::SmallRng;
 
 /// DRRIP (Jaleel et al., ISCA 2010): set-dueling between SRRIP insertion
 /// (RRPV = max-1) and bimodal BRRIP insertion (usually RRPV = max,
@@ -118,8 +117,9 @@ impl Policy for Drrip {
         _now: u64,
     ) -> usize {
         loop {
-            if let Some(&way) =
-                candidates.iter().find(|&&w| self.rrpv[set * self.ways + w] == MAX_RRPV)
+            if let Some(&way) = candidates
+                .iter()
+                .find(|&&w| self.rrpv[set * self.ways + w] == MAX_RRPV)
             {
                 return way;
             }
@@ -160,14 +160,19 @@ mod tests {
         // the working set resident, so DRRIP should beat plain SRRIP.
         let scan: Vec<u64> = (0..4000).map(|i| i % 48).collect();
         let mut drrip = SetAssocCache::new(CacheConfig::from_bytes(2048, 8), Drrip::new());
-        let mut srrip =
-            SetAssocCache::new(CacheConfig::from_bytes(2048, 8), crate::policy::Srrip::new());
+        let mut srrip = SetAssocCache::new(
+            CacheConfig::from_bytes(2048, 8),
+            crate::policy::Srrip::new(),
+        );
         let (mut hd, mut hs) = (0u64, 0u64);
         for &k in &scan {
             hd += u64::from(drrip.access(k, BlockKind::Data, false).hit);
             hs += u64::from(srrip.access(k, BlockKind::Data, false).hit);
         }
-        assert!(hd + 50 >= hs, "DRRIP ({hd}) should not lose badly to SRRIP ({hs})");
+        assert!(
+            hd + 50 >= hs,
+            "DRRIP ({hd}) should not lose badly to SRRIP ({hs})"
+        );
     }
 
     #[test]

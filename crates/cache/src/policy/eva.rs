@@ -214,8 +214,7 @@ mod tests {
         // Working set of 4 hot blocks in an 8-way set plus a cold scan.
         // After training, hot blocks (short lifetime ages) should rank above
         // scan lines that have aged past every observed hit.
-        let mut c =
-            SetAssocCache::new(CacheConfig::from_bytes(512, 8), Eva::with_params(4, 256));
+        let mut c = SetAssocCache::new(CacheConfig::from_bytes(512, 8), Eva::with_params(4, 256));
         let mut hits_late = 0u32;
         let mut late_total = 0u32;
         for round in 0..4000u64 {

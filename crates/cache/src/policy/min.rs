@@ -55,7 +55,10 @@ impl MinOracle {
         for (i, &k) in trace.iter().enumerate() {
             occurrences.entry(k).or_default().push(i as u64);
         }
-        Self { occurrences, now: 0 }
+        Self {
+            occurrences,
+            now: 0,
+        }
     }
 
     /// Position of the first recorded use of `key` strictly after `time`,
@@ -150,8 +153,7 @@ mod tests {
                 CacheConfig::from_bytes(256, 4),
                 MinOracle::from_trace(&trace),
             );
-            let mut lru_cache =
-                SetAssocCache::new(CacheConfig::from_bytes(256, 4), TrueLru::new());
+            let mut lru_cache = SetAssocCache::new(CacheConfig::from_bytes(256, 4), TrueLru::new());
             let m = run_misses(&trace, &mut min_cache);
             let l = run_misses(&trace, &mut lru_cache);
             assert!(m <= l, "MIN ({m}) worse than LRU ({l}) on {trace:?}");
@@ -163,13 +165,18 @@ mod tests {
         // Classic case: cyclic scan over ways+1 blocks. LRU misses every
         // access; MIN misses far less.
         let trace: Vec<u64> = (0..50).map(|i| i % 5).collect();
-        let mut min_cache =
-            SetAssocCache::new(CacheConfig::from_bytes(256, 4), MinOracle::from_trace(&trace));
+        let mut min_cache = SetAssocCache::new(
+            CacheConfig::from_bytes(256, 4),
+            MinOracle::from_trace(&trace),
+        );
         let mut lru_cache = SetAssocCache::new(CacheConfig::from_bytes(256, 4), TrueLru::new());
         let m = run_misses(&trace, &mut min_cache);
         let l = run_misses(&trace, &mut lru_cache);
         assert_eq!(l, 50, "LRU should thrash the cyclic scan");
-        assert!(m < 20, "MIN should keep most of the loop resident, missed {m}");
+        assert!(
+            m < 20,
+            "MIN should keep most of the loop resident, missed {m}"
+        );
     }
 
     #[test]

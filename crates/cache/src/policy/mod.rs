@@ -84,4 +84,3 @@ pub(crate) fn argmin_by<F: FnMut(&Line) -> u64>(
         .min_by_key(|&&w| score(lines[w].as_ref().expect("candidate way must hold a line")))
         .expect("candidate list must not be empty")
 }
-

@@ -42,15 +42,16 @@ impl TreePlru {
 
     /// Points every bit on the root-to-leaf path away from `way`.
     fn touch(&mut self, set: usize, way: usize) {
+        let bits = &mut self.bits[set];
         let mut node = way + (self.ways - 1);
         while node > 0 {
             let parent = (node - 1) / 2;
             let went_right = node == 2 * parent + 2;
             // Make the parent's bit point to the *other* child.
             if went_right {
-                self.bits[set] &= !(1 << parent);
+                *bits &= !(1 << parent);
             } else {
-                self.bits[set] |= 1 << parent;
+                *bits |= 1 << parent;
             }
             node = parent;
         }
@@ -63,7 +64,10 @@ impl Policy for TreePlru {
     }
 
     fn init(&mut self, sets: usize, ways: usize) {
-        assert!(ways.is_power_of_two(), "tree-PLRU requires power-of-two ways, got {ways}");
+        assert!(
+            ways.is_power_of_two(),
+            "tree-PLRU requires power-of-two ways, got {ways}"
+        );
         assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
         self.ways = ways;
         self.bits = vec![0; sets];

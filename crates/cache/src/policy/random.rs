@@ -1,7 +1,6 @@
 //! Random replacement.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maps_trace::rng::SmallRng;
 
 use super::Policy;
 use crate::Line;
@@ -21,7 +20,9 @@ impl RandomEvict {
 
     /// Creates the policy with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -58,8 +59,10 @@ mod tests {
     #[test]
     fn deterministic_with_same_seed() {
         let run = |seed: u64| -> Vec<u64> {
-            let mut c =
-                SetAssocCache::new(CacheConfig::from_bytes(256, 4), RandomEvict::with_seed(seed));
+            let mut c = SetAssocCache::new(
+                CacheConfig::from_bytes(256, 4),
+                RandomEvict::with_seed(seed),
+            );
             let mut evicted = Vec::new();
             for k in 0..64u64 {
                 if let Some(e) = c.access(k, BlockKind::Data, false).evicted {

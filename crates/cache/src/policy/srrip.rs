@@ -60,8 +60,9 @@ impl Policy for Srrip {
         _now: u64,
     ) -> usize {
         loop {
-            if let Some(&way) =
-                candidates.iter().find(|&&w| self.rrpv[set * self.ways + w] == MAX_RRPV)
+            if let Some(&way) = candidates
+                .iter()
+                .find(|&&w| self.rrpv[set * self.ways + w] == MAX_RRPV)
             {
                 return way;
             }
@@ -89,7 +90,10 @@ mod tests {
         for k in 1000..1006u64 {
             c.access(k, BlockKind::Data, false);
         }
-        assert!(c.access(7u64, BlockKind::Data, false).hit, "hot block was scanned out");
+        assert!(
+            c.access(7u64, BlockKind::Data, false).hit,
+            "hot block was scanned out"
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl TraceMin {
             }
             last.insert(k, i);
         }
-        Self { next_use, ways: 0, line_next: Vec::new(), pos: 0 }
+        Self {
+            next_use,
+            ways: 0,
+            line_next: Vec::new(),
+            pos: 0,
+        }
     }
 
     fn recorded_next(&self, pos: u64) -> u64 {
@@ -107,7 +112,10 @@ mod tests {
     use maps_trace::BlockKind;
 
     fn misses<P: Policy>(trace: &[u64], cache: &mut SetAssocCache<P>) -> u64 {
-        trace.iter().filter(|&&k| !cache.access(k, BlockKind::Data, false).hit).count() as u64
+        trace
+            .iter()
+            .filter(|&&k| !cache.access(k, BlockKind::Data, false).hit)
+            .count() as u64
     }
 
     #[test]
@@ -115,8 +123,10 @@ mod tests {
         // When the live stream IS the recorded trace, positional MIN is
         // exact Belady and must beat or match LRU.
         let trace: Vec<u64> = (0..60).map(|i| i % 5).collect();
-        let mut tm =
-            SetAssocCache::new(CacheConfig::from_bytes(256, 4), TraceMin::from_trace(&trace));
+        let mut tm = SetAssocCache::new(
+            CacheConfig::from_bytes(256, 4),
+            TraceMin::from_trace(&trace),
+        );
         let mut lru = SetAssocCache::new(CacheConfig::from_bytes(256, 4), TrueLru::new());
         assert!(misses(&trace, &mut tm) <= misses(&trace, &mut lru));
     }
@@ -124,8 +134,10 @@ mod tests {
     #[test]
     fn equals_exact_belady_count_on_faithful_replay() {
         let trace: Vec<u64> = (0..40).map(|i| (i * 7) % 9).collect();
-        let mut tm =
-            SetAssocCache::new(CacheConfig::from_bytes(192, 3), TraceMin::from_trace(&trace));
+        let mut tm = SetAssocCache::new(
+            CacheConfig::from_bytes(192, 3),
+            TraceMin::from_trace(&trace),
+        );
         let got = misses(&trace, &mut tm);
         let want = crate::belady_misses(&trace, 3);
         assert_eq!(got, want);
@@ -134,8 +146,10 @@ mod tests {
     #[test]
     fn stale_knowledge_on_divergent_stream_does_not_crash() {
         let trace: Vec<u64> = (0..20).collect();
-        let mut tm =
-            SetAssocCache::new(CacheConfig::from_bytes(128, 2), TraceMin::from_trace(&trace));
+        let mut tm = SetAssocCache::new(
+            CacheConfig::from_bytes(128, 2),
+            TraceMin::from_trace(&trace),
+        );
         // Live stream completely different from the trace.
         for k in 100..150u64 {
             tm.access(k, BlockKind::Data, false);

@@ -83,7 +83,10 @@ mod tests {
         for &k in &keys {
             let hit_small = small.access(k, BlockKind::Data, false).hit;
             let hit_large = large.access(k, BlockKind::Data, false).hit;
-            assert!(!hit_small || hit_large, "small hit but large missed for key {k}");
+            assert!(
+                !hit_small || hit_large,
+                "small hit but large missed for key {k}"
+            );
         }
     }
 }

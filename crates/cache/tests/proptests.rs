@@ -1,12 +1,16 @@
 //! Property tests for the cache substrate and its policies.
 
+#![cfg(feature = "heavy-tests")]
+
 use maps_cache::policy::{AnyPolicy, Policy, TrueLru};
 use maps_cache::{belady_misses, CacheConfig, Partition, SetAssocCache};
 use maps_trace::BlockKind;
 use proptest::prelude::*;
 
 fn run_hits<P: Policy>(cache: &mut SetAssocCache<P>, keys: &[u64]) -> u64 {
-    keys.iter().filter(|&&k| cache.access(k, BlockKind::Data, false).hit).count() as u64
+    keys.iter()
+        .filter(|&&k| cache.access(k, BlockKind::Data, false).hit)
+        .count() as u64
 }
 
 proptest! {

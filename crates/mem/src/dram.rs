@@ -31,12 +31,20 @@ impl DramModel {
     /// Model matching Table I's 3 GHz core with commodity DDR3: ~200 cycle
     /// access latency and the 150 pJ/bit the paper cites \[14\].
     pub const fn paper_default() -> Self {
-        Self { latency_cycles: 200, energy_per_bit_pj: 150.0, background_pj_per_cycle: 50.0 }
+        Self {
+            latency_cycles: 200,
+            energy_per_bit_pj: 150.0,
+            background_pj_per_cycle: 50.0,
+        }
     }
 
     /// Creates a model with explicit latency and energy.
     pub const fn new(latency_cycles: u64, energy_per_bit_pj: f64) -> Self {
-        Self { latency_cycles, energy_per_bit_pj, background_pj_per_cycle: 0.0 }
+        Self {
+            latency_cycles,
+            energy_per_bit_pj,
+            background_pj_per_cycle: 0.0,
+        }
     }
 
     /// Energy to transfer one 64 B block, in picojoules.

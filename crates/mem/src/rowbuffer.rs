@@ -48,8 +48,14 @@ impl RowBufferDram {
     /// exceeds the miss latency.
     pub fn new(banks: usize, row_bytes: u64, hit_latency: u64, miss_latency: u64) -> Self {
         assert!(banks > 0, "need at least one bank");
-        assert!(row_bytes >= BLOCK_BYTES, "rows must hold at least one block");
-        assert!(hit_latency <= miss_latency, "row hits cannot be slower than misses");
+        assert!(
+            row_bytes >= BLOCK_BYTES,
+            "rows must hold at least one block"
+        );
+        assert!(
+            hit_latency <= miss_latency,
+            "row hits cannot be slower than misses"
+        );
         Self {
             banks,
             row_bytes,
@@ -104,8 +110,7 @@ impl RowBufferDram {
         if total == 0 {
             return self.miss_latency as f64;
         }
-        (self.hits as f64 * self.hit_latency as f64
-            + self.misses as f64 * self.miss_latency as f64)
+        (self.hits as f64 * self.hit_latency as f64 + self.misses as f64 * self.miss_latency as f64)
             / total as f64
     }
 
@@ -149,7 +154,7 @@ mod tests {
         let mut d = RowBufferDram::new(2, 4096, 100, 250);
         d.access(0); // row 0, bank 0
         d.access(4096); // row 1, bank 1
-        // Returning to row 0 still hits because bank 1 held row 1.
+                        // Returning to row 0 still hits because bank 1 held row 1.
         assert_eq!(d.access(64), 100);
     }
 

@@ -49,7 +49,11 @@ impl SramModel {
     /// Panics if `capacity_bytes` is zero.
     pub fn with_base_energy(capacity_bytes: u64, energy_per_bit_pj: f64) -> Self {
         assert!(capacity_bytes > 0, "SRAM capacity must be positive");
-        Self { capacity_bytes, energy_per_bit_pj, leakage_pj_per_cycle_per_kb: 0.02 }
+        Self {
+            capacity_bytes,
+            energy_per_bit_pj,
+            leakage_pj_per_cycle_per_kb: 0.02,
+        }
     }
 
     /// Array capacity in bytes.
@@ -59,7 +63,9 @@ impl SramModel {
 
     /// Energy for one 64 B access, in picojoules, scaled by capacity.
     pub fn block_access_energy_pj(&self) -> f64 {
-        let doublings = (self.capacity_bytes as f64 / REFERENCE_BYTES).log2().max(0.0);
+        let doublings = (self.capacity_bytes as f64 / REFERENCE_BYTES)
+            .log2()
+            .max(0.0);
         let scale = 1.0 + GROWTH_PER_DOUBLING * doublings;
         self.energy_per_bit_pj * (BLOCK_BYTES * 8) as f64 * scale
     }
@@ -83,8 +89,10 @@ mod tests {
     #[test]
     fn energy_monotone_in_capacity() {
         let sizes = [16u64, 64, 256, 512, 1024, 2048].map(|k| k * 1024);
-        let energies: Vec<f64> =
-            sizes.iter().map(|&s| SramModel::new(s).block_access_energy_pj()).collect();
+        let energies: Vec<f64> = sizes
+            .iter()
+            .map(|&s| SramModel::new(s).block_access_energy_pj())
+            .collect();
         assert!(energies.windows(2).all(|w| w[1] > w[0]));
     }
 

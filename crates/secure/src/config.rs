@@ -80,7 +80,11 @@ impl SecureConfig {
             0,
             "protected memory ({memory_bytes} B) must be page-aligned"
         );
-        Self { memory_bytes, mode, tree_arity: 8 }
+        Self {
+            memory_bytes,
+            mode,
+            tree_arity: 8,
+        }
     }
 
     /// Number of 64 B data blocks protected.
@@ -95,7 +99,8 @@ impl SecureConfig {
 
     /// Number of 64 B counter blocks required.
     pub const fn counter_blocks(&self) -> u64 {
-        self.data_blocks().div_ceil(self.mode.data_blocks_per_counter_block())
+        self.data_blocks()
+            .div_ceil(self.mode.data_blocks_per_counter_block())
     }
 
     /// Number of 64 B hash blocks required (eight 8 B HMACs each).
@@ -115,7 +120,10 @@ mod tests {
 
     #[test]
     fn sgx_counter_coverage_is_512b() {
-        assert_eq!(CounterMode::SgxMonolithic.data_bytes_per_counter_block(), 512);
+        assert_eq!(
+            CounterMode::SgxMonolithic.data_bytes_per_counter_block(),
+            512
+        );
     }
 
     #[test]

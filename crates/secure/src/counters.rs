@@ -1,10 +1,40 @@
 //! Encryption counter state and overflow behaviour.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use maps_trace::{BlockAddr, BLOCKS_PER_PAGE};
 
 use crate::CounterMode;
+
+/// Multiply-shift hasher for the dense page/block indices keying the
+/// counter maps. The default SipHash is keyed against adversarial input;
+/// these keys are simulator-internal integers, and the counter maps sit on
+/// the per-writeback hot path, so the cheap deterministic mix wins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexHasher(u64);
+
+impl Hasher for IndexHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        // SplitMix64 finalizer: full-avalanche, one multiply-chain deep.
+        let mut x = self.0 ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IndexMap<V> = HashMap<u64, V, BuildHasherDefault<IndexHasher>>;
 
 /// Outcome of incrementing a block's write counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,9 +74,9 @@ pub enum WriteOutcome {
 pub struct CounterStore {
     mode: CounterMode,
     /// Per-page state for split counters: (page counter, per-block counts).
-    pages: HashMap<u64, PageCounters>,
+    pages: IndexMap<PageCounters>,
     /// Monolithic 64-bit counters for SGX mode.
-    blocks: HashMap<u64, u64>,
+    blocks: IndexMap<u64>,
     overflows: u64,
     writes: u64,
 }
@@ -59,7 +89,10 @@ struct PageCounters {
 
 impl Default for PageCounters {
     fn default() -> Self {
-        Self { page_counter: 0, block_counters: [0; BLOCKS_PER_PAGE as usize] }
+        Self {
+            page_counter: 0,
+            block_counters: [0; BLOCKS_PER_PAGE as usize],
+        }
     }
 }
 
@@ -69,7 +102,13 @@ const SPLIT_COUNTER_LIMIT: u8 = 127;
 impl CounterStore {
     /// Creates an empty counter store.
     pub fn new(mode: CounterMode) -> Self {
-        Self { mode, pages: HashMap::new(), blocks: HashMap::new(), overflows: 0, writes: 0 }
+        Self {
+            mode,
+            pages: IndexMap::default(),
+            blocks: IndexMap::default(),
+            overflows: 0,
+            writes: 0,
+        }
     }
 
     /// The counter organization.
@@ -107,10 +146,9 @@ impl CounterStore {
     /// mode).
     pub fn block_counter(&self, data: BlockAddr) -> u64 {
         match self.mode {
-            CounterMode::SplitPi => self
-                .pages
-                .get(&data.page().index())
-                .map_or(0, |p| u64::from(p.block_counters[data.slot_in_page() as usize])),
+            CounterMode::SplitPi => self.pages.get(&data.page().index()).map_or(0, |p| {
+                u64::from(p.block_counters[data.slot_in_page() as usize])
+            }),
             CounterMode::SgxMonolithic => self.blocks.get(&data.index()).copied().unwrap_or(0),
         }
     }
@@ -161,7 +199,11 @@ mod tests {
         for _ in 0..128 {
             c.record_write(b);
         }
-        assert_eq!(c.block_counter(sibling), 0, "sibling counter survives overflow reset");
+        assert_eq!(
+            c.block_counter(sibling),
+            0,
+            "sibling counter survives overflow reset"
+        );
     }
 
     #[test]

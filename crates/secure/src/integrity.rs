@@ -200,7 +200,8 @@ impl SecureMemoryModel {
     /// rolling the counter back), without updating the tree.
     pub fn tamper_counter_block(&mut self, block: BlockAddr, fingerprint: u64) {
         let ctr_block = self.layout.counter_block_of(block);
-        self.counter_fingerprints.insert(ctr_block.index(), fingerprint);
+        self.counter_fingerprints
+            .insert(ctr_block.index(), fingerprint);
     }
 
     /// Attacker: overwrite a stored tree node hash.
@@ -209,7 +210,10 @@ impl SecureMemoryModel {
     ///
     /// Panics if the level does not exist.
     pub fn tamper_tree_node(&mut self, level: u8, offset: u64, value: u64) {
-        assert!((level as usize) < self.layout.tree_levels(), "no such tree level");
+        assert!(
+            (level as usize) < self.layout.tree_levels(),
+            "no such tree level"
+        );
         self.tree.insert((level, offset), value);
     }
 
@@ -221,7 +225,10 @@ impl SecureMemoryModel {
         (
             self.data.get(&block.index()).copied().unwrap_or(0),
             self.hmacs.get(&block.index()).copied().unwrap_or(0),
-            self.counter_fingerprints.get(&ctr_block.index()).copied().unwrap_or(0),
+            self.counter_fingerprints
+                .get(&ctr_block.index())
+                .copied()
+                .unwrap_or(0),
         )
     }
 
@@ -457,7 +464,10 @@ mod tests {
         let b = BlockAddr::new(9);
         m.write_block(b, 1);
         m.tamper_data(b, 2);
-        assert_eq!(m.read_block(b), Err(IntegrityError::DataHashMismatch { block: b }));
+        assert_eq!(
+            m.read_block(b),
+            Err(IntegrityError::DataHashMismatch { block: b })
+        );
     }
 
     #[test]
@@ -523,7 +533,10 @@ mod tests {
         // Replay the old memory image: data, HMAC, and counter block all
         // consistent with each other — but the tree has moved on.
         m.replay(b, old);
-        assert!(m.read_block(b).is_err(), "replayed stale state must not verify");
+        assert!(
+            m.read_block(b).is_err(),
+            "replayed stale state must not verify"
+        );
     }
 
     #[test]
@@ -558,6 +571,10 @@ mod tests {
         let b = BlockAddr::new(4);
         m1.write_block(b, 9);
         m2.write_block(b, 9);
-        assert_ne!(m1.snapshot(b).1, m2.snapshot(b).1, "HMACs must depend on the key");
+        assert_ne!(
+            m1.snapshot(b).1,
+            m2.snapshot(b).1,
+            "HMACs must depend on the key"
+        );
     }
 }

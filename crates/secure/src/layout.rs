@@ -38,6 +38,12 @@ pub struct Layout {
     tree_bases: Vec<u64>,
     /// Node count of each in-memory tree level.
     tree_sizes: Vec<u64>,
+    /// `log2(data blocks per counter block)` when that ratio is a power of
+    /// two (it is for both split and monolithic counters), letting the
+    /// per-event address map shift instead of divide.
+    ctr_shift: Option<u32>,
+    /// `log2(tree_arity)` when the arity is a power of two.
+    arity_shift: Option<u32>,
 }
 
 impl Layout {
@@ -66,8 +72,8 @@ impl Layout {
             level_span = nodes;
         }
 
+        let per_ctr = cfg.mode.data_blocks_per_counter_block();
         Self {
-            cfg,
             data_blocks,
             counter_base,
             counter_blocks,
@@ -75,6 +81,39 @@ impl Layout {
             hash_blocks,
             tree_bases,
             tree_sizes,
+            ctr_shift: per_ctr.is_power_of_two().then(|| per_ctr.trailing_zeros()),
+            arity_shift: cfg
+                .tree_arity
+                .is_power_of_two()
+                .then(|| cfg.tree_arity.trailing_zeros()),
+            cfg,
+        }
+    }
+
+    /// `x / data_blocks_per_counter_block`, shifting when possible.
+    #[inline]
+    fn div_per_ctr(&self, x: u64) -> u64 {
+        match self.ctr_shift {
+            Some(s) => x >> s,
+            None => x / self.cfg.mode.data_blocks_per_counter_block(),
+        }
+    }
+
+    /// `x / tree_arity`, shifting when possible.
+    #[inline]
+    fn div_arity(&self, x: u64) -> u64 {
+        match self.arity_shift {
+            Some(s) => x >> s,
+            None => x / self.cfg.tree_arity,
+        }
+    }
+
+    /// `x % tree_arity`, masking when possible.
+    #[inline]
+    fn mod_arity(&self, x: u64) -> u64 {
+        match self.arity_shift {
+            Some(s) => x & ((1u64 << s) - 1),
+            None => x % self.cfg.tree_arity,
         }
     }
 
@@ -128,9 +167,11 @@ impl Layout {
     ///
     /// Panics if the data block lies outside the protected region.
     pub fn counter_block_of(&self, data: BlockAddr) -> BlockAddr {
-        assert!(data.index() < self.data_blocks, "data block {data} outside protected memory");
-        let per = self.cfg.mode.data_blocks_per_counter_block();
-        BlockAddr::new(self.counter_base + data.index() / per)
+        assert!(
+            data.index() < self.data_blocks,
+            "data block {data} outside protected memory"
+        );
+        BlockAddr::new(self.counter_base + self.div_per_ctr(data.index()))
     }
 
     /// Hash block holding the HMAC of a data block.
@@ -139,7 +180,10 @@ impl Layout {
     ///
     /// Panics if the data block lies outside the protected region.
     pub fn hash_block_of(&self, data: BlockAddr) -> BlockAddr {
-        assert!(data.index() < self.data_blocks, "data block {data} outside protected memory");
+        assert!(
+            data.index() < self.data_blocks,
+            "data block {data} outside protected memory"
+        );
         BlockAddr::new(self.hash_base + data.index() / 8)
     }
 
@@ -158,7 +202,7 @@ impl Layout {
     pub fn tree_leaf_of(&self, counter: BlockAddr) -> BlockAddr {
         let off = self.counter_offset(counter);
         assert!(!self.tree_bases.is_empty(), "no in-memory tree levels");
-        BlockAddr::new(self.tree_bases[0] + off / self.cfg.tree_arity)
+        BlockAddr::new(self.tree_bases[0] + self.div_arity(off))
     }
 
     /// Parent of an in-memory tree node, or `None` when the parent is the
@@ -173,13 +217,19 @@ impl Layout {
         if parent_level >= self.tree_bases.len() {
             return None;
         }
-        Some(BlockAddr::new(self.tree_bases[parent_level] + off / self.cfg.tree_arity))
+        Some(BlockAddr::new(
+            self.tree_bases[parent_level] + self.div_arity(off),
+        ))
     }
 
     /// The tree walk for a counter block: leaf upward through every
     /// in-memory level (the on-chip root is excluded).
     pub fn tree_path_of_counter(&self, counter: BlockAddr) -> TreePath<'_> {
-        let next = if self.tree_bases.is_empty() { None } else { Some(self.tree_leaf_of(counter)) };
+        let next = if self.tree_bases.is_empty() {
+            None
+        } else {
+            Some(self.tree_leaf_of(counter))
+        };
         TreePath { layout: self, next }
     }
 
@@ -241,7 +291,7 @@ impl Layout {
     ///
     /// Panics if `counter` is not a counter block.
     pub fn child_slot_of_counter(&self, counter: BlockAddr) -> u8 {
-        (self.counter_offset(counter) % self.cfg.tree_arity) as u8
+        self.mod_arity(self.counter_offset(counter)) as u8
     }
 
     /// Slot (0..8) of a tree node's HMAC within its parent node.
@@ -251,7 +301,7 @@ impl Layout {
     /// Panics if `node` is not a tree node.
     pub fn child_slot_of_tree(&self, node: BlockAddr) -> u8 {
         let (_, off) = self.tree_position(node);
-        (off % self.cfg.tree_arity) as u8
+        self.mod_arity(off) as u8
     }
 
     /// The eight hash blocks covering one 4 KB data page (updated wholesale
@@ -367,7 +417,7 @@ mod tests {
         let l = small_pi();
         assert_eq!(l.data_protected_by(BlockKind::Counter), 4096); // 4KB
         assert_eq!(l.data_protected_by(BlockKind::Hash), 512); // 0.5KB
-        // Tree level l covers 4 * 8^(l+1) KB: leaves 32KB, parents 256KB...
+                                                               // Tree level l covers 4 * 8^(l+1) KB: leaves 32KB, parents 256KB...
         assert_eq!(l.data_protected_by(BlockKind::Tree(0)), 32 << 10);
         assert_eq!(l.data_protected_by(BlockKind::Tree(1)), 256 << 10);
         assert_eq!(l.data_protected_by(BlockKind::Tree(2)), 2 << 20);

@@ -36,6 +36,6 @@ pub mod integrity;
 pub mod layout;
 
 pub use config::{CounterMode, SecureConfig};
-pub use counters::{CounterStore, WriteOutcome};
+pub use counters::{CounterStore, IndexHasher, WriteOutcome};
 pub use integrity::{IntegrityError, SecureMemoryModel};
 pub use layout::Layout;

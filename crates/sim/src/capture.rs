@@ -1,0 +1,560 @@
+//! Capture-once / replay-many front-end memoization.
+//!
+//! The front end of a run — workload generation plus the L1/L2/LLC
+//! hierarchy — depends only on the workload (benchmark + seed), the access
+//! count, the cache geometry, and the warm-up split. Nothing the metadata
+//! engine does feeds back into it. Every sweep that varies only back-end
+//! parameters (metadata cache size, policy, contents, partitioning,
+//! counter mode, speculation, DRAM timing) therefore re-simulates an
+//! identical front end at every point.
+//!
+//! [`CapturedTrace`] records that front end once: the LLC miss/writeback
+//! event stream in a packed varint encoding (read/write bit + block-address
+//! delta + retired-instruction delta per event), the warm-up boundary, and
+//! the measured-phase hierarchy statistics. [`ReplaySim`] then drives the
+//! metadata engine (or the insecure-baseline accounting) straight off the
+//! capture, reproducing the direct [`SecureSim`](crate::SecureSim) report
+//! **bit-identically** — same stats reset at the warm-up marker, same event
+//! ordering, same energy accounting. `crates/sim/tests/replay_equivalence.rs`
+//! proves the identity across benchmarks and engine configurations.
+//!
+//! Cost model: a direct sweep is O(points × accesses); with capture it is
+//! O(front-ends × accesses + points × LLC-events), and LLC events are
+//! typically 10–100× sparser than core accesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_sim::{CapturedTrace, ReplaySim, SecureSim, SimConfig};
+//! use maps_workloads::Benchmark;
+//!
+//! let cfg = SimConfig::paper_default();
+//! let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(7), 10_000);
+//! let replayed = ReplaySim::new(cfg.clone(), &trace).run();
+//! let direct = SecureSim::new(cfg, Benchmark::Gups.build(7)).run(10_000);
+//! assert_eq!(replayed, direct);
+//! ```
+
+use maps_workloads::Workload;
+
+use crate::engine::{MetaObserver, MetadataEngine, NullObserver};
+use crate::hierarchy::{Hierarchy, HierarchyStats, MemEvent};
+use crate::sim::build_report;
+use crate::{SimConfig, SimReport};
+
+/// The front-end parameters a capture is valid for. Replaying against a
+/// configuration whose front end differs would silently produce events the
+/// direct simulation never would, so [`ReplaySim::new`] checks this key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrontEndKey {
+    /// L1 capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// `warmup_fraction` bit pattern (bitwise comparison; the fraction
+    /// decides where the stats-reset marker falls).
+    pub warmup_fraction_bits: u64,
+}
+
+impl FrontEndKey {
+    /// Extracts the front-end key from a simulation configuration.
+    pub fn of(cfg: &SimConfig) -> Self {
+        Self {
+            l1_bytes: cfg.l1_bytes,
+            l1_ways: cfg.l1_ways,
+            l2_bytes: cfg.l2_bytes,
+            l2_ways: cfg.l2_ways,
+            llc_bytes: cfg.llc_bytes,
+            llc_ways: cfg.llc_ways,
+            warmup_fraction_bits: cfg.warmup_fraction.to_bits(),
+        }
+    }
+}
+
+/// One decoded event with the instructions retired since the previous
+/// event (the first event of a core access carries that access's icount
+/// plus any event-less accesses before it; trailing events carry 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapturedEvent {
+    /// The memory-controller event.
+    pub event: MemEvent,
+    /// Instructions retired since the previous event in the stream.
+    pub icount_delta: u64,
+}
+
+/// A recorded front-end pass: the packed LLC event stream, the warm-up
+/// boundary, and the measured-phase hierarchy statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedTrace {
+    workload: String,
+    footprint_bytes: u64,
+    accesses: u64,
+    front_end: FrontEndKey,
+    /// Varint-packed events: per event an icount delta, then
+    /// `(zigzag(block_delta) << 1) | write_bit`.
+    bytes: Vec<u8>,
+    total_events: u64,
+    /// Events before the warm-up boundary (statistics reset after them).
+    warmup_events: u64,
+    /// Instructions retired after the last measured event.
+    tail_icount: u64,
+    /// Hierarchy statistics of the measured window.
+    hierarchy: HierarchyStats,
+}
+
+impl CapturedTrace {
+    /// Runs the front end once — workload through the hierarchy for
+    /// `accesses` core accesses, with `cfg`'s geometry and warm-up split —
+    /// and records the resulting event stream.
+    ///
+    /// Only front-end fields of `cfg` matter here; the metadata cache,
+    /// DRAM, and security settings are free to differ at replay time.
+    pub fn record<W: Workload>(cfg: &SimConfig, mut workload: W, accesses: u64) -> Self {
+        let warmup = (accesses as f64 * cfg.warmup_fraction) as u64;
+        let mut builder = TraceBuilder::new(
+            workload.name(),
+            workload.footprint_bytes(),
+            FrontEndKey::of(cfg),
+        );
+        let mut hierarchy = Hierarchy::new(cfg);
+        let mut events = Vec::with_capacity(8);
+        let mut pending_icount = 0u64;
+        if warmup == 0 {
+            builder.mark_warmup_end();
+        }
+        for i in 0..accesses {
+            let access = workload.next_access();
+            pending_icount += u64::from(access.icount);
+            hierarchy.access(&access, &mut events);
+            for event in &events {
+                builder.push(*event, std::mem::take(&mut pending_icount));
+            }
+            if i + 1 == warmup {
+                // The stats reset discards warm-up instruction counts, so
+                // icount pending from event-less warm-up accesses must not
+                // leak into the first measured event's delta.
+                pending_icount = 0;
+                hierarchy.reset_stats();
+                builder.mark_warmup_end();
+            }
+        }
+        builder.accesses = accesses;
+        builder.hierarchy = *hierarchy.stats();
+        builder.finish(pending_icount)
+    }
+
+    /// Iterator over the decoded event stream (warm-up events first).
+    pub fn events(&self) -> EventCursor<'_> {
+        EventCursor {
+            bytes: &self.bytes,
+            pos: 0,
+            prev_block: 0,
+            remaining: self.total_events,
+        }
+    }
+
+    /// Workload name the capture was recorded from.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The workload footprint, needed to size protected memory exactly as
+    /// [`SecureSim::new`](crate::SecureSim::new) would.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_bytes
+    }
+
+    /// Core accesses the capture covers (including warm-up).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total events in the stream.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Events belonging to the warm-up phase.
+    pub fn warmup_events(&self) -> u64 {
+        self.warmup_events
+    }
+
+    /// Instructions retired after the last measured event.
+    pub fn tail_icount(&self) -> u64 {
+        self.tail_icount
+    }
+
+    /// Measured-window hierarchy statistics (copied into replay reports).
+    pub fn hierarchy_stats(&self) -> &HierarchyStats {
+        &self.hierarchy
+    }
+
+    /// The front-end key the capture is valid for.
+    pub fn front_end(&self) -> &FrontEndKey {
+        &self.front_end
+    }
+
+    /// Whether `cfg` has the same front end this capture was recorded with.
+    pub fn matches_front_end(&self, cfg: &SimConfig) -> bool {
+        self.front_end == FrontEndKey::of(cfg)
+    }
+
+    /// Size of the packed event stream in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Incremental [`CapturedTrace`] assembly; [`CapturedTrace::record`] uses
+/// it internally and tests use it to round-trip hand-built streams.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    workload: String,
+    footprint_bytes: u64,
+    front_end: FrontEndKey,
+    accesses: u64,
+    bytes: Vec<u8>,
+    prev_block: i64,
+    total_events: u64,
+    warmup_events: Option<u64>,
+    hierarchy: HierarchyStats,
+}
+
+impl TraceBuilder {
+    /// Starts an empty trace.
+    pub fn new(workload: impl Into<String>, footprint_bytes: u64, front_end: FrontEndKey) -> Self {
+        Self {
+            workload: workload.into(),
+            footprint_bytes,
+            front_end,
+            accesses: 0,
+            bytes: Vec::new(),
+            prev_block: 0,
+            total_events: 0,
+            warmup_events: None,
+            hierarchy: HierarchyStats::default(),
+        }
+    }
+
+    /// Appends one event with the instructions retired since the previous.
+    pub fn push(&mut self, event: MemEvent, icount_delta: u64) {
+        let (block, write) = match event {
+            MemEvent::Read(b) => (b, 0u64),
+            MemEvent::Write(b) => (b, 1u64),
+        };
+        let index = block.index() as i64;
+        let delta = index.wrapping_sub(self.prev_block);
+        self.prev_block = index;
+        push_varint(&mut self.bytes, icount_delta);
+        push_varint(&mut self.bytes, (zigzag(delta) << 1) | write);
+        self.total_events += 1;
+    }
+
+    /// Marks the warm-up boundary at the current position (at most once).
+    pub fn mark_warmup_end(&mut self) {
+        assert!(
+            self.warmup_events.is_none(),
+            "warm-up boundary already marked"
+        );
+        self.warmup_events = Some(self.total_events);
+    }
+
+    /// Seals the trace; `tail_icount` is the instruction count retired
+    /// after the last event.
+    pub fn finish(self, tail_icount: u64) -> CapturedTrace {
+        let warmup_events = self.warmup_events.unwrap_or(0);
+        CapturedTrace {
+            workload: self.workload,
+            footprint_bytes: self.footprint_bytes,
+            accesses: self.accesses,
+            front_end: self.front_end,
+            bytes: self.bytes,
+            total_events: self.total_events,
+            warmup_events,
+            tail_icount,
+            hierarchy: self.hierarchy,
+        }
+    }
+}
+
+/// Decoding iterator over a packed event stream.
+#[derive(Debug, Clone)]
+pub struct EventCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev_block: i64,
+    remaining: u64,
+}
+
+impl Iterator for EventCursor<'_> {
+    type Item = CapturedEvent;
+
+    fn next(&mut self) -> Option<CapturedEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let icount_delta = read_varint(self.bytes, &mut self.pos);
+        let word = read_varint(self.bytes, &mut self.pos);
+        let delta = unzigzag(word >> 1);
+        self.prev_block = self.prev_block.wrapping_add(delta);
+        let block = maps_trace::BlockAddr::new(self.prev_block as u64);
+        let event = if word & 1 == 1 {
+            MemEvent::Write(block)
+        } else {
+            MemEvent::Read(block)
+        };
+        Some(CapturedEvent {
+            event,
+            icount_delta,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EventCursor<'_> {}
+
+/// Drives the metadata engine (or the insecure baseline) off a
+/// [`CapturedTrace`], producing the same [`SimReport`] the direct
+/// [`SecureSim`](crate::SecureSim) pass would.
+///
+/// One-shot: `run`/`run_observed` consume the simulator, mirroring the
+/// fresh-engine state a direct run starts from.
+pub struct ReplaySim<'a> {
+    cfg: SimConfig,
+    trace: &'a CapturedTrace,
+    engine: Option<MetadataEngine>,
+    cycles: u64,
+    insecure_dram: maps_mem::DramCounters,
+}
+
+impl<'a> ReplaySim<'a> {
+    /// Builds a replay over `trace` under back-end configuration `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg`'s front end (cache geometry or warm-up fraction)
+    /// differs from the one the trace was captured with — the event stream
+    /// would not correspond to `cfg`'s hierarchy.
+    pub fn new(cfg: SimConfig, trace: &'a CapturedTrace) -> Self {
+        assert!(
+            trace.matches_front_end(&cfg),
+            "capture front end {:?} does not match config front end {:?}",
+            trace.front_end(),
+            FrontEndKey::of(&cfg),
+        );
+        // Mirror SecureSim::new's protected-memory sizing, using the
+        // captured footprint in place of the live workload's.
+        let memory_bytes = cfg.memory_bytes.max(trace.footprint_bytes()).max(4096);
+        let secure_cfg = maps_secure::SecureConfig::new(
+            memory_bytes.next_multiple_of(maps_trace::PAGE_BYTES),
+            cfg.counter_mode,
+        );
+        let engine = cfg.secure.then(|| {
+            MetadataEngine::with_speculation_window(
+                secure_cfg,
+                &cfg.mdc,
+                cfg.dram.latency_cycles,
+                cfg.hash_latency,
+                cfg.speculation,
+                cfg.speculation_window,
+            )
+        });
+        Self {
+            cfg,
+            trace,
+            engine,
+            cycles: 0,
+            insecure_dram: maps_mem::DramCounters::default(),
+        }
+    }
+
+    /// Replays the capture and reports on the measured window.
+    pub fn run(self) -> SimReport {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Replays with an observer on the measured phase's metadata stream.
+    pub fn run_observed<O: MetaObserver + ?Sized>(mut self, obs: &mut O) -> SimReport {
+        let mut cursor = self.trace.events();
+        for _ in 0..self.trace.warmup_events() {
+            let ev = cursor.next().expect("warm-up events within stream");
+            self.apply(ev, &mut NullObserver);
+        }
+        // The warm-up boundary: statistics reset, state persists.
+        if let Some(engine) = &mut self.engine {
+            engine.reset_stats();
+        }
+        self.cycles = 0;
+        self.insecure_dram = maps_mem::DramCounters::default();
+        for ev in cursor {
+            self.apply(ev, obs);
+        }
+        self.cycles += self.trace.tail_icount();
+        build_report(
+            &self.cfg,
+            self.trace.workload(),
+            self.cycles,
+            self.trace.hierarchy_stats(),
+            self.engine.as_ref(),
+            &self.insecure_dram,
+        )
+    }
+
+    fn apply<O: MetaObserver + ?Sized>(&mut self, ev: CapturedEvent, obs: &mut O) {
+        self.cycles += ev.icount_delta;
+        match (ev.event, &mut self.engine) {
+            (MemEvent::Write(block), Some(engine)) => engine.handle_write(block, obs),
+            (MemEvent::Read(block), Some(engine)) => {
+                self.cycles += engine.handle_read(block, obs);
+            }
+            (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
+            (MemEvent::Read(_), None) => {
+                self.insecure_dram.reads += 1;
+                self.cycles += self.cfg.dram.latency_cycles;
+            }
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SecureSim;
+    use maps_trace::BlockAddr;
+    use maps_workloads::Benchmark;
+
+    fn key() -> FrontEndKey {
+        FrontEndKey::of(&SimConfig::paper_default())
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            push_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_events() {
+        let events = [
+            (MemEvent::Read(BlockAddr::new(100)), 7u64),
+            (MemEvent::Write(BlockAddr::new(2)), 0),
+            (MemEvent::Read(BlockAddr::new(1 << 40)), 129),
+            (MemEvent::Write(BlockAddr::new(1 << 40)), 1),
+        ];
+        let mut b = TraceBuilder::new("t", 0, key());
+        b.mark_warmup_end();
+        for &(ev, d) in &events {
+            b.push(ev, d);
+        }
+        let trace = b.finish(5);
+        assert_eq!(trace.total_events(), 4);
+        assert_eq!(trace.tail_icount(), 5);
+        let decoded: Vec<_> = trace.events().collect();
+        for (got, &(event, icount_delta)) in decoded.iter().zip(&events) {
+            assert_eq!((got.event, got.icount_delta), (event, icount_delta));
+        }
+    }
+
+    #[test]
+    fn record_marks_warmup_consistently() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(3), 10_000);
+        assert!(trace.warmup_events() > 0);
+        assert!(trace.warmup_events() < trace.total_events());
+        assert_eq!(trace.accesses(), 10_000);
+        assert_eq!(trace.workload(), "gups");
+    }
+
+    #[test]
+    fn zero_warmup_capture_has_no_warmup_events() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.warmup_fraction = 0.0;
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(3), 5_000);
+        assert_eq!(trace.warmup_events(), 0);
+    }
+
+    #[test]
+    fn replay_reproduces_direct_report() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Libquantum.build(9), 20_000);
+        let replayed = ReplaySim::new(cfg.clone(), &trace).run();
+        let direct = SecureSim::new(cfg, Benchmark::Libquantum.build(9)).run(20_000);
+        assert_eq!(replayed, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "front end")]
+    fn mismatched_front_end_is_rejected() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(1), 1_000);
+        let other = cfg.with_llc_bytes(cfg.llc_bytes * 2);
+        let _ = ReplaySim::new(other, &trace);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Libquantum.build(9), 20_000);
+        // Spatially local streams should pack to a handful of bytes/event.
+        let per_event = trace.encoded_len() as f64 / trace.total_events() as f64;
+        assert!(per_event < 8.0, "packed encoding at {per_event:.1} B/event");
+    }
+}

@@ -19,16 +19,30 @@ pub struct CacheContents {
 
 impl CacheContents {
     /// Cache every metadata type (the paper's recommendation).
-    pub const ALL: CacheContents = CacheContents { counters: true, hashes: true, tree: true };
+    pub const ALL: CacheContents = CacheContents {
+        counters: true,
+        hashes: true,
+        tree: true,
+    };
     /// Counters only (Rogers et al.-style counter cache).
-    pub const COUNTERS_ONLY: CacheContents =
-        CacheContents { counters: true, hashes: false, tree: false };
+    pub const COUNTERS_ONLY: CacheContents = CacheContents {
+        counters: true,
+        hashes: false,
+        tree: false,
+    };
     /// Counters and hashes, no tree.
-    pub const COUNTERS_AND_HASHES: CacheContents =
-        CacheContents { counters: true, hashes: true, tree: false };
+    pub const COUNTERS_AND_HASHES: CacheContents = CacheContents {
+        counters: true,
+        hashes: true,
+        tree: false,
+    };
     /// Nothing cacheable (metadata-cache-less baseline used for the reuse
     /// characterization in Figures 3–5).
-    pub const NONE: CacheContents = CacheContents { counters: false, hashes: false, tree: false };
+    pub const NONE: CacheContents = CacheContents {
+        counters: false,
+        hashes: false,
+        tree: false,
+    };
 
     /// Whether a metadata kind is admitted.
     pub fn admits(&self, kind: maps_trace::BlockKind) -> bool {
@@ -172,22 +186,34 @@ impl MdcConfig {
 
     /// Disables the metadata cache (every metadata access goes to DRAM).
     pub fn disabled() -> Self {
-        Self { size_bytes: 0, ..Self::paper_default() }
+        Self {
+            size_bytes: 0,
+            ..Self::paper_default()
+        }
     }
 
     /// Returns a copy with a different capacity.
     pub fn with_size(&self, size_bytes: u64) -> Self {
-        Self { size_bytes, ..self.clone() }
+        Self {
+            size_bytes,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with different contents.
     pub fn with_contents(&self, contents: CacheContents) -> Self {
-        Self { contents, ..self.clone() }
+        Self {
+            contents,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different policy.
     pub fn with_policy(&self, policy: PolicyChoice) -> Self {
-        Self { policy, ..self.clone() }
+        Self {
+            policy,
+            ..self.clone()
+        }
     }
 }
 
@@ -257,17 +283,27 @@ impl SimConfig {
     /// The insecure-memory baseline used for Figure 2/7 normalization:
     /// same hierarchy, secure memory off.
     pub fn insecure_baseline() -> Self {
-        Self { secure: false, mdc: MdcConfig::disabled(), ..Self::paper_default() }
+        Self {
+            secure: false,
+            mdc: MdcConfig::disabled(),
+            ..Self::paper_default()
+        }
     }
 
     /// Returns a copy with a different LLC capacity.
     pub fn with_llc_bytes(&self, llc_bytes: u64) -> Self {
-        Self { llc_bytes, ..self.clone() }
+        Self {
+            llc_bytes,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different metadata cache configuration.
     pub fn with_mdc(&self, mdc: MdcConfig) -> Self {
-        Self { mdc, ..self.clone() }
+        Self {
+            mdc,
+            ..self.clone()
+        }
     }
 
     /// The secure-memory configuration implied by this simulation config.

@@ -60,7 +60,7 @@ impl MetaObserver for maps_analysis::GroupedReuseProfiler {
 use maps_analysis::GroupedReuseProfiler;
 
 /// Engine statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Metadata access/hit/miss accounting per kind, valid with or without
     /// a metadata cache (the source of truth for metadata MPKI).
@@ -97,6 +97,36 @@ impl EngineStats {
 /// written through to memory (models a bounded hardware update buffer).
 const CASCADE_BUDGET: usize = 64;
 
+/// Upper bound on in-memory integrity-tree levels. An arity-2 tree over
+/// the counters of a fully-populated 64-bit address space stays below
+/// this; used to size the stack-allocated walk buffer on the hot path.
+const MAX_TREE_LEVELS: usize = 64;
+
+/// A tree walk copied out of [`Layout`] into a stack buffer, so the hot
+/// paths can iterate it while mutably borrowing the engine (and without
+/// the per-walk heap allocation a `Vec` collect would cost).
+#[derive(Debug, Clone, Copy)]
+struct TreeWalk {
+    nodes: [BlockAddr; MAX_TREE_LEVELS],
+    len: usize,
+}
+
+impl TreeWalk {
+    fn of_counter(layout: &Layout, counter: BlockAddr) -> Self {
+        let mut nodes = [BlockAddr::new(0); MAX_TREE_LEVELS];
+        let mut len = 0;
+        for node in layout.tree_path_of_counter(counter) {
+            nodes[len] = node;
+            len += 1;
+        }
+        Self { nodes, len }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.nodes[..self.len].iter().copied()
+    }
+}
+
 /// The metadata engine.
 ///
 /// One instance per simulated memory controller. `handle_read` and
@@ -131,6 +161,9 @@ pub struct MetadataEngine {
     speculation: bool,
     speculation_window: u64,
     stats: EngineStats,
+    /// Reused work queue for eviction-driven update cascades (avoids an
+    /// allocation per dirty metadata eviction).
+    cascade_buf: Vec<Line>,
 }
 
 impl MetadataEngine {
@@ -175,6 +208,7 @@ impl MetadataEngine {
             speculation,
             speculation_window,
             stats: EngineStats::default(),
+            cascade_buf: Vec::new(),
         }
     }
 
@@ -203,14 +237,18 @@ impl MetadataEngine {
 
     /// Handles an LLC demand miss for `data`, returning the core-visible
     /// stall in cycles (data fetch plus any serialized metadata work).
-    pub fn handle_read(&mut self, data: BlockAddr, obs: &mut dyn MetaObserver) -> u64 {
+    pub fn handle_read<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) -> u64 {
         self.stats.reads += 1;
         self.stats.dram_data.reads += 1;
 
         let hash_hit = self.meta_read(self.layout.hash_block_of(data), BlockKind::Hash, obs);
         let counter = self.layout.counter_block_of(data);
         let ctr_hit = self.meta_read(counter, BlockKind::Counter, obs);
-        let walk_misses = if ctr_hit { 0 } else { self.verify_counter(counter, obs) };
+        let walk_misses = if ctr_hit {
+            0
+        } else {
+            self.verify_counter(counter, obs)
+        };
 
         let t_data = self.dram_latency;
         let t_ctr = if ctr_hit { 0 } else { self.dram_latency };
@@ -218,8 +256,10 @@ impl MetadataEngine {
         // the XOR itself is free (Section II-A).
         let t_decrypt = t_data.max(t_ctr + self.hash_latency);
         let t_hash = if hash_hit { 0 } else { self.dram_latency };
-        let t_verify =
-            t_data.max(t_ctr + walk_misses * self.dram_latency).max(t_hash) + self.hash_latency;
+        let t_verify = t_data
+            .max(t_ctr + walk_misses * self.dram_latency)
+            .max(t_hash)
+            + self.hash_latency;
         let stall = if self.speculation {
             // Speculation hides verification up to the window; anything
             // beyond it stalls the restricted core (PoisonIvy's limit).
@@ -233,7 +273,7 @@ impl MetadataEngine {
 
     /// Handles an LLC dirty writeback of `data` (off the critical path:
     /// contributes traffic and energy, not stall).
-    pub fn handle_write(&mut self, data: BlockAddr, obs: &mut dyn MetaObserver) {
+    pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
         self.stats.writes += 1;
         self.stats.dram_data.writes += 1;
 
@@ -254,7 +294,7 @@ impl MetadataEngine {
 
     /// Flushes the metadata cache, accounting final writebacks (tree
     /// updates are written through). Call once at end of simulation.
-    pub fn flush(&mut self, obs: &mut dyn MetaObserver) {
+    pub fn flush<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
         let Some(mdc) = &mut self.mdc else { return };
         for line in mdc.drain() {
             if !line.dirty {
@@ -281,7 +321,12 @@ impl MetadataEngine {
     }
 
     /// Reads a metadata block through the cache; returns `true` on hit.
-    fn meta_read(&mut self, block: BlockAddr, kind: BlockKind, obs: &mut dyn MetaObserver) -> bool {
+    fn meta_read<O: MetaObserver + ?Sized>(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        obs: &mut O,
+    ) -> bool {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
         match &mut self.mdc {
             Some(mdc) => {
@@ -315,11 +360,11 @@ impl MetadataEngine {
     /// Verifies a just-fetched counter by walking the tree upward until a
     /// cached (already verified) node or the on-chip root. Returns the
     /// number of levels fetched from memory.
-    fn verify_counter(&mut self, counter: BlockAddr, obs: &mut dyn MetaObserver) -> u64 {
+    fn verify_counter<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) -> u64 {
         self.stats.tree_walks += 1;
-        let path: Vec<BlockAddr> = self.layout.tree_path_of_counter(counter).collect();
+        let path = TreeWalk::of_counter(&self.layout, counter);
         let mut misses = 0;
-        for (level, node) in path.into_iter().enumerate() {
+        for (level, node) in path.iter().enumerate() {
             let hit = self.meta_read(node, BlockKind::Tree(level as u8), obs);
             if hit {
                 break;
@@ -331,8 +376,12 @@ impl MetadataEngine {
     }
 
     /// Read-modify-write of a counter block for a data write.
-    fn counter_write(&mut self, counter: BlockAddr, obs: &mut dyn MetaObserver) {
-        obs.observe(&MetaAccess::new(counter, BlockKind::Counter, AccessKind::Write));
+    fn counter_write<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) {
+        obs.observe(&MetaAccess::new(
+            counter,
+            BlockKind::Counter,
+            AccessKind::Write,
+        ));
         match &mut self.mdc {
             Some(mdc) if mdc.contents().counters => {
                 let out = mdc.access(counter.index(), BlockKind::Counter, true);
@@ -355,23 +404,23 @@ impl MetadataEngine {
                 self.stats.meta.record_access(BlockKind::Counter, false);
                 self.stats.dram_meta.reads += 1;
                 self.stats.dram_meta.writes += 1;
-                let path: Vec<BlockAddr> = self.layout.tree_path_of_counter(counter).collect();
+                let path = TreeWalk::of_counter(&self.layout, counter);
                 let mut slot = self.layout.child_slot_of_counter(counter);
                 for (level, node) in path.iter().enumerate() {
-                    self.meta_write_slot(*node, BlockKind::Tree(level as u8), slot, obs);
-                    slot = self.layout.child_slot_of_tree(*node);
+                    self.meta_write_slot(node, BlockKind::Tree(level as u8), slot, obs);
+                    slot = self.layout.child_slot_of_tree(node);
                 }
             }
         }
     }
 
     /// Writes one 8 B slot of a hash/tree block through the cache.
-    fn meta_write_slot(
+    fn meta_write_slot<O: MetaObserver + ?Sized>(
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
         slot: u8,
-        obs: &mut dyn MetaObserver,
+        obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
@@ -402,7 +451,12 @@ impl MetadataEngine {
 
     /// Writes a whole metadata block (page re-encryption rewrites entire
     /// hash/counter blocks; no fetch needed on miss).
-    fn meta_write_full(&mut self, block: BlockAddr, kind: BlockKind, obs: &mut dyn MetaObserver) {
+    fn meta_write_full<O: MetaObserver + ?Sized>(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        obs: &mut O,
+    ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
             Some(mdc) if mdc.contents().admits(kind) => {
@@ -422,8 +476,10 @@ impl MetadataEngine {
     /// Handles an evicted metadata line: write back if dirty and propagate
     /// the integrity update to the parent structure. Cascades are bounded
     /// by [`CASCADE_BUDGET`]; beyond it, updates are written through.
-    fn process_eviction(&mut self, first: Line, obs: &mut dyn MetaObserver) {
-        let mut queue = vec![first];
+    fn process_eviction<O: MetaObserver + ?Sized>(&mut self, first: Line, obs: &mut O) {
+        let mut queue = std::mem::take(&mut self.cascade_buf);
+        queue.clear();
+        queue.push(first);
         let mut depth = 0usize;
         while let Some(line) = queue.pop() {
             if !line.dirty {
@@ -449,14 +505,20 @@ impl MetadataEngine {
                     .map(|p| (p, level + 1, self.layout.child_slot_of_tree(block))),
                 _ => None,
             };
-            let Some((node, level, slot)) = update else { continue };
+            let Some((node, level, slot)) = update else {
+                continue;
+            };
             depth += 1;
             if depth > CASCADE_BUDGET {
                 self.write_through_tree_update(node, level, obs);
                 continue;
             }
             // Inline meta_write_slot, collecting any further eviction.
-            obs.observe(&MetaAccess::new(node, BlockKind::Tree(level), AccessKind::Write));
+            obs.observe(&MetaAccess::new(
+                node,
+                BlockKind::Tree(level),
+                AccessKind::Write,
+            ));
             if let Some(mdc) = &mut self.mdc {
                 let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
                 if out.bypassed {
@@ -464,7 +526,9 @@ impl MetadataEngine {
                     self.stats.dram_meta.reads += 1;
                     self.stats.dram_meta.writes += 1;
                 } else {
-                    self.stats.meta.record_access(BlockKind::Tree(level), out.hit);
+                    self.stats
+                        .meta
+                        .record_access(BlockKind::Tree(level), out.hit);
                     if !out.hit && !self.partial_writes {
                         self.stats.dram_meta.reads += 1;
                     }
@@ -478,18 +542,23 @@ impl MetadataEngine {
                 self.stats.dram_meta.writes += 1;
             }
         }
+        self.cascade_buf = queue;
     }
 
     /// Tree update written straight to memory (cascade overflow and final
     /// flush), still propagating level by level to the root.
-    fn write_through_tree_update(
+    fn write_through_tree_update<O: MetaObserver + ?Sized>(
         &mut self,
         mut node: BlockAddr,
         mut level: u8,
-        obs: &mut dyn MetaObserver,
+        obs: &mut O,
     ) {
         loop {
-            obs.observe(&MetaAccess::new(node, BlockKind::Tree(level), AccessKind::Write));
+            obs.observe(&MetaAccess::new(
+                node,
+                BlockKind::Tree(level),
+                AccessKind::Write,
+            ));
             self.stats.meta.record_access(BlockKind::Tree(level), false);
             self.stats.dram_meta.reads += 1;
             self.stats.dram_meta.writes += 1;
@@ -506,7 +575,7 @@ impl MetadataEngine {
     /// Re-encrypts a whole page after a counter overflow: every data block
     /// is read, re-encrypted under the new page counter, written back, and
     /// its hashes are recomputed.
-    fn reencrypt_page(&mut self, page: u64, obs: &mut dyn MetaObserver) {
+    fn reencrypt_page<O: MetaObserver + ?Sized>(&mut self, page: u64, obs: &mut O) {
         self.stats.dram_data.reads += maps_trace::BLOCKS_PER_PAGE;
         self.stats.dram_data.writes += maps_trace::BLOCKS_PER_PAGE;
         let hash_blocks: Vec<BlockAddr> = self.layout.hash_blocks_of_page(page).collect();
@@ -585,7 +654,10 @@ mod tests {
         let mut nonspec_engine = mk(false);
         let s1 = spec_engine.handle_read(BlockAddr::new(0), &mut NullObserver);
         let s2 = nonspec_engine.handle_read(BlockAddr::new(0), &mut NullObserver);
-        assert!(s2 > s1, "non-speculative stall {s2} should exceed speculative {s1}");
+        assert!(
+            s2 > s1,
+            "non-speculative stall {s2} should exceed speculative {s1}"
+        );
     }
 
     #[test]
@@ -666,7 +738,10 @@ mod tests {
             .iter()
             .filter(|r| matches!(r.kind, BlockKind::Tree(_)) && r.access == AccessKind::Write)
             .count();
-        assert_eq!(writes_before, 0, "no tree write while the counter sits dirty in cache");
+        assert_eq!(
+            writes_before, 0,
+            "no tree write while the counter sits dirty in cache"
+        );
         for page in 1..64u64 {
             e.handle_read(BlockAddr::new(page * 64), &mut rec);
         }
@@ -675,7 +750,10 @@ mod tests {
             .iter()
             .filter(|r| matches!(r.kind, BlockKind::Tree(_)) && r.access == AccessKind::Write)
             .count();
-        assert!(tree_writes > 0, "eviction of the dirty counter must update its leaf");
+        assert!(
+            tree_writes > 0,
+            "eviction of the dirty counter must update its leaf"
+        );
     }
 
     #[test]

@@ -73,8 +73,14 @@ impl Hierarchy {
     /// Builds the hierarchy from a simulation configuration.
     pub fn new(cfg: &SimConfig) -> Self {
         Self {
-            l1: SetAssocCache::new(CacheConfig::from_bytes(cfg.l1_bytes, cfg.l1_ways), TrueLru::new()),
-            l2: SetAssocCache::new(CacheConfig::from_bytes(cfg.l2_bytes, cfg.l2_ways), TrueLru::new()),
+            l1: SetAssocCache::new(
+                CacheConfig::from_bytes(cfg.l1_bytes, cfg.l1_ways),
+                TrueLru::new(),
+            ),
+            l2: SetAssocCache::new(
+                CacheConfig::from_bytes(cfg.l2_bytes, cfg.l2_ways),
+                TrueLru::new(),
+            ),
             llc: SetAssocCache::new(
                 CacheConfig::from_bytes(cfg.llc_bytes, cfg.llc_ways),
                 TrueLru::new(),
@@ -220,7 +226,10 @@ mod tests {
         // Write a streaming pattern much larger than the LLC.
         for i in 0..10_000u64 {
             h.access(&acc(i, AccessKind::Write), &mut ev);
-            writes += ev.iter().filter(|e| matches!(e, MemEvent::Write(_))).count();
+            writes += ev
+                .iter()
+                .filter(|e| matches!(e, MemEvent::Write(_)))
+                .count();
         }
         assert!(writes > 5_000, "only {writes} writebacks observed");
     }
@@ -257,7 +266,10 @@ mod tests {
             h.access(&acc(i, AccessKind::Write), &mut ev);
         }
         h.flush(&mut ev);
-        let writes = ev.iter().filter(|e| matches!(e, MemEvent::Write(_))).count();
+        let writes = ev
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Write(_)))
+            .count();
         assert_eq!(writes, 32);
     }
 

@@ -11,9 +11,10 @@
 
 use maps_workloads::Benchmark;
 
+use crate::capture::{CapturedTrace, ReplaySim};
 use crate::config::{PolicyChoice, SimConfig};
 use crate::engine::RecordingObserver;
-use crate::{SecureSim, SimReport};
+use crate::SimReport;
 
 /// Result of an iterMIN run.
 #[derive(Debug, Clone)]
@@ -27,12 +28,20 @@ pub struct IterMinResult {
     pub converged: bool,
 }
 
-fn run_once(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> (SimReport, Vec<u64>) {
+/// Records the shared front end for MIN runs: the whole window is
+/// measured (warm-up would desynchronize the oracle's time base), so the
+/// capture is taken with `warmup_fraction = 0`.
+fn capture_for_min(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> CapturedTrace {
+    let mut cfg = cfg.clone();
+    cfg.warmup_fraction = 0.0;
+    CapturedTrace::record(&cfg, bench.build(seed), accesses)
+}
+
+fn collect_lru_trace(cfg: &SimConfig, capture: &CapturedTrace) -> (SimReport, Vec<u64>) {
     // The collection pass uses true LRU, per Section V-B.
     let cfg = cfg.with_mdc(cfg.mdc.with_policy(PolicyChoice::TrueLru));
-    let mut sim = SecureSim::new(cfg, bench.build(seed));
     let mut rec = RecordingObserver::new();
-    let report = sim.run_observed(accesses, &mut rec);
+    let report = ReplaySim::new(cfg, capture).run_observed(&mut rec);
     (report, rec.keys())
 }
 
@@ -44,14 +53,28 @@ fn run_once(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> (Sim
 /// once MIN's decisions deviate from the LRU run, its future knowledge is
 /// stale — this is the behaviour under study, not a bug.
 pub fn run_min(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> SimReport {
-    // Warm-up would desynchronize the oracle's time base from the recorded
-    // trace, so MIN runs measure the whole window.
     let mut cfg = cfg.clone();
     cfg.warmup_fraction = 0.0;
-    let (_, trace) = run_once(&cfg, bench, seed, accesses);
+    run_min_on(&cfg, &capture_for_min(&cfg, bench, seed, accesses))
+}
+
+/// [`run_min`] over an already-captured front end, so sweeps can share one
+/// capture across MIN points. The capture must measure the whole window
+/// (no warm-up).
+///
+/// # Panics
+///
+/// Panics when `capture` contains warm-up events or its front end differs
+/// from `cfg`'s.
+pub fn run_min_on(cfg: &SimConfig, capture: &CapturedTrace) -> SimReport {
+    assert_eq!(
+        capture.warmup_events(),
+        0,
+        "MIN requires a warm-up-free capture"
+    );
+    let (_, trace) = collect_lru_trace(cfg, capture);
     let min_cfg = cfg.with_mdc(cfg.mdc.with_policy(PolicyChoice::TraceMin(trace)));
-    let mut sim = SecureSim::new(min_cfg, bench.build(seed));
-    sim.run(accesses)
+    ReplaySim::new(min_cfg, capture).run()
 }
 
 /// Iterates MIN to a fixed point: each round replays with an oracle built
@@ -66,16 +89,38 @@ pub fn run_iter_min(
 ) -> IterMinResult {
     let mut cfg = cfg.clone();
     cfg.warmup_fraction = 0.0;
-    let (lru_report, mut trace) = run_once(&cfg, bench, seed, accesses);
+    run_iter_min_on(
+        &cfg,
+        &capture_for_min(&cfg, bench, seed, accesses),
+        max_iterations,
+    )
+}
+
+/// [`run_iter_min`] over an already-captured front end.
+///
+/// # Panics
+///
+/// Panics when `capture` contains warm-up events or its front end differs
+/// from `cfg`'s.
+pub fn run_iter_min_on(
+    cfg: &SimConfig,
+    capture: &CapturedTrace,
+    max_iterations: usize,
+) -> IterMinResult {
+    assert_eq!(
+        capture.warmup_events(),
+        0,
+        "iterMIN requires a warm-up-free capture"
+    );
+    let (lru_report, mut trace) = collect_lru_trace(cfg, capture);
     let mut misses = vec![lru_report.engine.meta.metadata_total().misses];
     let mut last_report = lru_report;
     let mut converged = false;
 
     for _ in 0..max_iterations {
         let min_cfg = cfg.with_mdc(cfg.mdc.with_policy(PolicyChoice::TraceMin(trace.clone())));
-        let mut sim = SecureSim::new(min_cfg, bench.build(seed));
         let mut rec = RecordingObserver::new();
-        let report = sim.run_observed(accesses, &mut rec);
+        let report = ReplaySim::new(min_cfg, capture).run_observed(&mut rec);
         let m = report.engine.meta.metadata_total().misses;
         let prev = *misses.last().expect("at least the LRU run");
         misses.push(m);
@@ -87,7 +132,11 @@ pub fn run_iter_min(
         }
     }
 
-    IterMinResult { report: last_report, misses_per_iteration: misses, converged }
+    IterMinResult {
+        report: last_report,
+        misses_per_iteration: misses,
+        converged,
+    }
 }
 
 #[cfg(test)]

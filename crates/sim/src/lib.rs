@@ -28,6 +28,7 @@
 //! assert!(report.instructions > 0);
 //! ```
 
+pub mod capture;
 pub mod config;
 pub mod engine;
 pub mod hierarchy;
@@ -36,6 +37,7 @@ pub mod mdcache;
 pub mod report;
 pub mod sim;
 
+pub use capture::{CapturedEvent, CapturedTrace, FrontEndKey, ReplaySim, TraceBuilder};
 pub use config::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
 pub use engine::{MetaObserver, MetadataEngine, NullObserver, RecordingObserver};
 pub use hierarchy::{Hierarchy, MemEvent};

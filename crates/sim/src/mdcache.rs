@@ -58,13 +58,27 @@ impl MetadataCache {
         match cfg.partition {
             PartitionMode::None => {}
             PartitionMode::Static(p) => cache.set_partition(Some(p)),
-            PartitionMode::Dynamic { a, b, leaders_per_side } => {
+            PartitionMode::Dynamic {
+                a,
+                b,
+                leaders_per_side,
+            } => {
                 a.validate(cfg.ways);
                 b.validate(cfg.ways);
-                dueling = Some(DuelingController::new(geometry.sets(), leaders_per_side, a, b));
+                dueling = Some(DuelingController::new(
+                    geometry.sets(),
+                    leaders_per_side,
+                    a,
+                    b,
+                ));
             }
         }
-        Some(Self { cache, contents: cfg.contents, partial_writes: cfg.partial_writes, dueling })
+        Some(Self {
+            cache,
+            contents: cfg.contents,
+            partial_writes: cfg.partial_writes,
+            dueling,
+        })
     }
 
     /// Which metadata types this cache admits.
@@ -92,17 +106,30 @@ impl MetadataCache {
     pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> MdOutcome {
         if !self.contents.admits(kind) {
             let hit = self.cache.probe(key, kind);
-            return MdOutcome { hit, evicted: None, bypassed: true };
+            return MdOutcome {
+                hit,
+                evicted: None,
+                bypassed: true,
+            };
         }
-        let set = self.set_of(key);
-        let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
-        let r = self.cache.access_with(key, kind, write, partition.as_ref());
-        if !r.hit {
-            if let Some(d) = &mut self.dueling {
-                d.record_miss(set);
+        let r = if self.dueling.is_some() {
+            let set = self.set_of(key);
+            let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+            let r = self.cache.access_with(key, kind, write, partition.as_ref());
+            if !r.hit {
+                if let Some(d) = &mut self.dueling {
+                    d.record_miss(set);
+                }
             }
+            r
+        } else {
+            self.cache.access_with(key, kind, write, None)
+        };
+        MdOutcome {
+            hit: r.hit,
+            evicted: r.evicted,
+            bypassed: false,
         }
-        MdOutcome { hit: r.hit, evicted: r.evicted, bypassed: false }
     }
 
     /// Write of a single 8 B sub-entry (hash or tree HMAC slot). With
@@ -116,12 +143,18 @@ impl MetadataCache {
     pub fn write_partial(&mut self, key: u64, kind: BlockKind, slot: u8) -> MdOutcome {
         if !self.contents.admits(kind) {
             let hit = self.cache.probe(key, kind);
-            return MdOutcome { hit, evicted: None, bypassed: true };
+            return MdOutcome {
+                hit,
+                evicted: None,
+                bypassed: true,
+            };
         }
-        if self.cache.contains(key) {
-            let out = self.access(key, kind, true);
-            self.cache.mark_valid(key, slot);
-            return out;
+        if self.cache.access_mark_valid(key, kind, slot).is_some() {
+            return MdOutcome {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
         }
         if !self.partial_writes {
             // Caller must fetch the block from memory; insert it complete.
@@ -134,8 +167,14 @@ impl MetadataCache {
         if let Some(d) = &mut self.dueling {
             d.record_miss(set);
         }
-        let evicted = self.cache.insert_placeholder(key, kind, slot, partition.as_ref());
-        MdOutcome { hit: false, evicted, bypassed: false }
+        let evicted = self
+            .cache
+            .insert_placeholder(key, kind, slot, partition.as_ref());
+        MdOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
     }
 
     /// Whether `key` is resident.
@@ -145,7 +184,7 @@ impl MetadataCache {
 
     /// Valid mask of a resident line, if any.
     pub fn valid_mask(&self, key: u64) -> Option<u8> {
-        self.cache.resident_lines().find(|l| l.key == key).map(|l| l.valid_mask)
+        self.cache.line(key).map(|l| l.valid_mask)
     }
 
     /// Marks a resident line fully valid (after a completing fill read).
@@ -186,8 +225,8 @@ impl MetadataCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maps_cache::Partition;
     use crate::config::PolicyChoice;
+    use maps_cache::Partition;
 
     fn cfg() -> MdcConfig {
         MdcConfig::paper_default().with_size(4096)
@@ -250,8 +289,8 @@ mod tests {
         c.policy = PolicyChoice::TrueLru;
         let mut mdc = MetadataCache::new(&c).unwrap();
         let sets = 4096 / 64 / 8; // 8 sets
-        // Fill one set with counters far beyond 4 ways: occupancy in that
-        // set must cap at 4 counter lines.
+                                  // Fill one set with counters far beyond 4 ways: occupancy in that
+                                  // set must cap at 4 counter lines.
         for i in 0..32u64 {
             mdc.access(i * sets as u64, BlockKind::Counter, false);
         }

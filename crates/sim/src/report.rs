@@ -9,7 +9,10 @@ use crate::engine::EngineStats;
 use crate::hierarchy::HierarchyStats;
 
 /// Results of one simulation run (post-warm-up window).
-#[derive(Debug, Clone)]
+///
+/// Equality is exact (every counter and energy term bitwise-equal), which
+/// is what the capture/replay equivalence suite asserts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,
@@ -82,7 +85,12 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "workload          {}", self.workload)?;
         writeln!(f, "instructions      {}", self.instructions)?;
-        writeln!(f, "cycles            {} (IPC {:.3})", self.cycles, self.ipc())?;
+        writeln!(
+            f,
+            "cycles            {} (IPC {:.3})",
+            self.cycles,
+            self.ipc()
+        )?;
         writeln!(f, "LLC MPKI          {:.2}", self.llc_mpki())?;
         writeln!(f, "metadata MPKI     {:.2}", self.metadata_mpki())?;
         writeln!(f, "metadata hit rate {:.3}", self.metadata_hit_ratio())?;
@@ -102,8 +110,12 @@ mod tests {
 
     fn report() -> SimReport {
         let mut engine = EngineStats::default();
-        engine.meta.record_access(maps_trace::BlockKind::Counter, false);
-        engine.meta.record_access(maps_trace::BlockKind::Hash, false);
+        engine
+            .meta
+            .record_access(maps_trace::BlockKind::Counter, false);
+        engine
+            .meta
+            .record_access(maps_trace::BlockKind::Hash, false);
         engine.meta.record_access(maps_trace::BlockKind::Hash, true);
         SimReport {
             workload: "test".into(),

@@ -5,8 +5,61 @@ use maps_secure::SecureConfig;
 use maps_workloads::Workload;
 
 use crate::engine::{MetaObserver, MetadataEngine, NullObserver};
-use crate::hierarchy::{Hierarchy, MemEvent};
+use crate::hierarchy::{Hierarchy, HierarchyStats, MemEvent};
 use crate::{SimConfig, SimReport};
+
+/// Assembles the measured-window report: cycles, hierarchy counters, engine
+/// statistics, and the full energy model. Shared verbatim by the direct
+/// [`SecureSim`] path and the capture/replay path
+/// ([`ReplaySim`](crate::ReplaySim)) so the two produce bit-identical
+/// reports from identical inputs. Instructions come from the hierarchy
+/// counters — the single source of truth for retired-instruction counts.
+pub(crate) fn build_report(
+    cfg: &SimConfig,
+    workload: &str,
+    cycles: u64,
+    hierarchy: &HierarchyStats,
+    engine: Option<&MetadataEngine>,
+    insecure_dram: &maps_mem::DramCounters,
+) -> SimReport {
+    let engine_stats = engine.map(|e| *e.stats()).unwrap_or_default();
+    let mut energy = EnergyDelay::new();
+    energy.add_cycles(cycles);
+
+    // DRAM dynamic energy: every block transfer at 150 pJ/bit, plus
+    // background power over the window.
+    let dram_transfers = if engine.is_some() {
+        engine_stats.dram_total()
+    } else {
+        insecure_dram.total()
+    };
+    energy.add_dram_pj(dram_transfers as f64 * cfg.dram.block_transfer_energy_pj());
+    energy.add_static_pj(cfg.dram.background_energy_pj(cycles));
+
+    // SRAM dynamic energy per level: accesses × capacity-scaled cost.
+    let l1 = SramModel::new(cfg.l1_bytes);
+    let l2 = SramModel::new(cfg.l2_bytes);
+    let llc = SramModel::new(cfg.llc_bytes);
+    energy.add_sram_pj(hierarchy.accesses as f64 * l1.block_access_energy_pj());
+    energy.add_sram_pj(hierarchy.l1_misses as f64 * l2.block_access_energy_pj());
+    energy.add_sram_pj(hierarchy.l2_misses as f64 * llc.block_access_energy_pj());
+    energy.add_static_pj(llc.leakage_energy_pj(cycles));
+    if cfg.mdc.size_bytes > 0 && engine.is_some() {
+        let mdc = SramModel::new(cfg.mdc.size_bytes);
+        let meta_accesses = engine_stats.meta.metadata_total().accesses;
+        energy.add_sram_pj(meta_accesses as f64 * mdc.block_access_energy_pj());
+        energy.add_static_pj(mdc.leakage_energy_pj(cycles));
+    }
+
+    SimReport {
+        workload: workload.to_string(),
+        instructions: hierarchy.instructions,
+        cycles,
+        hierarchy: *hierarchy,
+        engine: engine_stats,
+        energy,
+    }
+}
 
 /// Drives a workload through the hierarchy and metadata engine, producing
 /// a [`SimReport`].
@@ -30,7 +83,6 @@ pub struct SecureSim<W> {
     workload: W,
     hierarchy: Hierarchy,
     engine: Option<MetadataEngine>,
-    instructions: u64,
     cycles: u64,
     events: Vec<MemEvent>,
     /// DRAM transfers in insecure mode (no engine to count them).
@@ -61,7 +113,6 @@ impl<W: Workload> SecureSim<W> {
             engine,
             cfg,
             workload,
-            instructions: 0,
             cycles: 0,
             events: Vec::with_capacity(8),
             insecure_dram: maps_mem::DramCounters::default(),
@@ -84,7 +135,11 @@ impl<W: Workload> SecureSim<W> {
     }
 
     /// Runs with an observer on the measured phase's metadata stream.
-    pub fn run_observed(&mut self, accesses: u64, obs: &mut dyn MetaObserver) -> SimReport {
+    pub fn run_observed<O: MetaObserver + ?Sized>(
+        &mut self,
+        accesses: u64,
+        obs: &mut O,
+    ) -> SimReport {
         let warmup = (accesses as f64 * self.cfg.warmup_fraction) as u64;
         for _ in 0..warmup {
             self.step(&mut NullObserver);
@@ -97,12 +152,10 @@ impl<W: Workload> SecureSim<W> {
     }
 
     /// Executes one core access.
-    fn step(&mut self, obs: &mut dyn MetaObserver) {
+    fn step<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
         let access = self.workload.next_access();
-        self.instructions += u64::from(access.icount);
         self.cycles += u64::from(access.icount); // base CPI of 1
-        let missed = self.hierarchy.access(&access, &mut self.events);
-        let _ = missed;
+        self.hierarchy.access(&access, &mut self.events);
         // Writebacks first (they are buffered off the critical path),
         // then the demand read contributes its stall.
         let events = std::mem::take(&mut self.events);
@@ -127,51 +180,20 @@ impl<W: Workload> SecureSim<W> {
         if let Some(engine) = &mut self.engine {
             engine.reset_stats();
         }
-        self.instructions = 0;
         self.cycles = 0;
         self.insecure_dram = maps_mem::DramCounters::default();
     }
 
     /// Builds the report for the measured window.
     fn report(&self) -> SimReport {
-        let engine_stats = self.engine.as_ref().map(|e| *e.stats()).unwrap_or_default();
-        let mut energy = EnergyDelay::new();
-        energy.add_cycles(self.cycles);
-
-        // DRAM dynamic energy: every block transfer at 150 pJ/bit, plus
-        // background power over the window.
-        let dram_transfers = if self.engine.is_some() {
-            engine_stats.dram_total()
-        } else {
-            self.insecure_dram.total()
-        };
-        energy.add_dram_pj(dram_transfers as f64 * self.cfg.dram.block_transfer_energy_pj());
-        energy.add_static_pj(self.cfg.dram.background_energy_pj(self.cycles));
-
-        // SRAM dynamic energy per level: accesses × capacity-scaled cost.
-        let h = self.hierarchy.stats();
-        let l1 = SramModel::new(self.cfg.l1_bytes);
-        let l2 = SramModel::new(self.cfg.l2_bytes);
-        let llc = SramModel::new(self.cfg.llc_bytes);
-        energy.add_sram_pj(h.accesses as f64 * l1.block_access_energy_pj());
-        energy.add_sram_pj(h.l1_misses as f64 * l2.block_access_energy_pj());
-        energy.add_sram_pj(h.l2_misses as f64 * llc.block_access_energy_pj());
-        energy.add_static_pj(llc.leakage_energy_pj(self.cycles));
-        if self.cfg.mdc.size_bytes > 0 && self.engine.is_some() {
-            let mdc = SramModel::new(self.cfg.mdc.size_bytes);
-            let meta_accesses = engine_stats.meta.metadata_total().accesses;
-            energy.add_sram_pj(meta_accesses as f64 * mdc.block_access_energy_pj());
-            energy.add_static_pj(mdc.leakage_energy_pj(self.cycles));
-        }
-
-        SimReport {
-            workload: self.workload.name().to_string(),
-            instructions: self.instructions,
-            cycles: self.cycles,
-            hierarchy: *h,
-            engine: engine_stats,
-            energy,
-        }
+        build_report(
+            &self.cfg,
+            self.workload.name(),
+            self.cycles,
+            self.hierarchy.stats(),
+            self.engine.as_ref(),
+            &self.insecure_dram,
+        )
     }
 }
 
@@ -244,12 +266,20 @@ mod tests {
     fn caching_all_types_beats_counters_only_for_streaming() {
         let base = SimConfig::paper_default();
         let all = quick(
-            base.with_mdc(base.mdc.with_contents(CacheContents::ALL).with_size(64 << 10)),
+            base.with_mdc(
+                base.mdc
+                    .with_contents(CacheContents::ALL)
+                    .with_size(64 << 10),
+            ),
             Benchmark::Libquantum,
             60_000,
         );
         let ctrs = quick(
-            base.with_mdc(base.mdc.with_contents(CacheContents::COUNTERS_ONLY).with_size(64 << 10)),
+            base.with_mdc(
+                base.mdc
+                    .with_contents(CacheContents::COUNTERS_ONLY)
+                    .with_size(64 << 10),
+            ),
             Benchmark::Libquantum,
             60_000,
         );

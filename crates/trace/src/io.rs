@@ -125,8 +125,9 @@ fn parse_line(line: &str) -> Result<MemAccess, String> {
     let addr_text = parts.next().ok_or("missing address")?;
     let addr = parse_u64(addr_text).ok_or_else(|| format!("bad address {addr_text:?}"))?;
     let icount_text = parts.next().unwrap_or("1");
-    let icount: u32 =
-        icount_text.parse().map_err(|_| format!("bad icount {icount_text:?}"))?;
+    let icount: u32 = icount_text
+        .parse()
+        .map_err(|_| format!("bad icount {icount_text:?}"))?;
     if let Some(extra) = parts.next() {
         return Err(format!("unexpected trailing field {extra:?}"));
     }
@@ -202,7 +203,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TraceIoError::Parse { line: 3, message: "bad".into() };
+        let e = TraceIoError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -20,10 +20,11 @@ pub mod addr;
 pub mod io;
 pub mod kind;
 pub mod record;
+pub mod rng;
 pub mod stats;
 
 pub use addr::{BlockAddr, PageAddr, PhysAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+pub use io::{read_trace, write_trace, TraceIoError};
 pub use kind::{AccessKind, BlockKind, MetaGroup};
 pub use record::{MemAccess, MetaAccess};
-pub use io::{read_trace, write_trace, TraceIoError};
 pub use stats::TraceStats;

@@ -63,7 +63,11 @@ pub struct MetaAccess {
 impl MetaAccess {
     /// Creates a metadata access record.
     pub const fn new(block: BlockAddr, kind: BlockKind, access: AccessKind) -> Self {
-        Self { block, kind, access }
+        Self {
+            block,
+            kind,
+            access,
+        }
     }
 }
 

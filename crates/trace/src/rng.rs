@@ -1,0 +1,260 @@
+//! Vendored deterministic PRNG.
+//!
+//! The workspace must build and test with zero registry access, so the
+//! former `rand` dependency is replaced by this self-contained SplitMix64
+//! generator plus a wrapper mirroring the small slice of the
+//! `rand::rngs::SmallRng` API the workspace uses (`seed_from_u64`,
+//! `gen_bool`, `gen_range`, `gen_ratio`). Streams are fully determined by
+//! the seed, which is all the simulator ever relied on — statistical
+//! quality requirements are "uncorrelated enough for synthetic address
+//! streams", which SplitMix64 comfortably meets.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_trace::rng::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen_range(0u64..100), b.gen_range(0u64..100));
+//! assert!(a.gen_range(10u32..=20) >= 10);
+//! ```
+
+/// Raw SplitMix64: the 64-bit mixing function from Steele et al.,
+/// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produces the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Order-preserving map onto `u64` (signed types are bias-shifted).
+    fn to_u64(self) -> u64;
+    /// Inverse of [`SampleUniform::to_u64`]; the value fits by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                (self as i64 as u64) ^ (1 << 63)
+            }
+            fn from_u64(v: u64) -> Self {
+                (v ^ (1 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges [`SmallRng::gen_range`] accepts: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T> {
+    /// Inclusive bounds `(lo, hi)` of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn bounds(&self) -> (u64, u64);
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn bounds(&self) -> (u64, u64) {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        (self.start.to_u64(), self.end.to_u64() - 1)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (u64, u64) {
+        assert!(self.start() <= self.end(), "cannot sample an empty range");
+        (self.start().to_u64(), self.end().to_u64())
+    }
+}
+
+/// Deterministic small generator with the `rand::rngs::SmallRng` surface
+/// the workspace uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    inner: SplitMix64,
+}
+
+impl SmallRng {
+    /// Seeds the generator (mirrors `rand::SeedableRng::seed_from_u64`).
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: SplitMix64::new(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = hi - lo; // inclusive span - 1; span == u64::MAX covers all
+        if span == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        // Debiased multiply-shift sampling (Lemire): reject the short
+        // low-product region so every value in [0, span] is equally likely.
+        let n = span + 1;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(n);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return T::from_u64(lo + (m >> 64) as u64);
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        // 53-bit uniform in [0, 1), exact for the probabilities used here.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `denominator` is 0 or the ratio exceeds 1.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "denominator must be positive");
+        assert!(numerator <= denominator, "ratio above 1");
+        self.gen_range(0u32..denominator) < numerator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the public-domain splitmix64.c test run.
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u32..=7);
+            assert!((5..=7).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} far from 10000"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!(
+            (18_000..22_000).contains(&hits),
+            "p=0.2 produced {hits}/100000"
+        );
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_ratio_tracks_ratio() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..64_000).filter(|_| rng.gen_ratio(1, 32)).count();
+        assert!((1_500..2_500).contains(&hits), "1/32 produced {hits}/64000");
+    }
+
+    #[test]
+    fn signed_ranges_sample_correctly() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(5u64..5);
+    }
+}

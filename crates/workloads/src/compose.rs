@@ -5,9 +5,8 @@
 //! workloads whose requirements actually do evolve, so that motivation can
 //! be tested (`ablation_phases` in `maps-bench`).
 
+use maps_trace::rng::SmallRng;
 use maps_trace::MemAccess;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::Workload;
 
@@ -49,8 +48,16 @@ impl MixWorkload {
         p_first: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&p_first), "mix probability outside [0, 1]");
-        Self { first, second, p_first, rng: SmallRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&p_first),
+            "mix probability outside [0, 1]"
+        );
+        Self {
+            first,
+            second,
+            p_first,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -64,7 +71,9 @@ impl Workload for MixWorkload {
     }
 
     fn footprint_bytes(&self) -> u64 {
-        self.first.footprint_bytes().max(self.second.footprint_bytes())
+        self.first
+            .footprint_bytes()
+            .max(self.second.footprint_bytes())
     }
 
     fn name(&self) -> &'static str {
@@ -105,7 +114,13 @@ impl PhasedWorkload {
     /// Panics if `phase_length` is zero.
     pub fn new(first: Box<dyn Workload>, second: Box<dyn Workload>, phase_length: u64) -> Self {
         assert!(phase_length > 0, "phase length must be positive");
-        Self { first, second, phase_length, position: 0, switches: 0 }
+        Self {
+            first,
+            second,
+            phase_length,
+            position: 0,
+            switches: 0,
+        }
     }
 
     /// Number of phase transitions so far.
@@ -135,7 +150,9 @@ impl Workload for PhasedWorkload {
     }
 
     fn footprint_bytes(&self) -> u64 {
-        self.first.footprint_bytes().max(self.second.footprint_bytes())
+        self.first
+            .footprint_bytes()
+            .max(self.second.footprint_bytes())
     }
 
     fn name(&self) -> &'static str {
@@ -174,8 +191,7 @@ mod tests {
 
     #[test]
     fn mix_probability_is_respected() {
-        let mut mix =
-            MixWorkload::new(stream(1, 64 * 64), stream(2, 1 << 24), 0.9, 3);
+        let mut mix = MixWorkload::new(stream(1, 64 * 64), stream(2, 1 << 24), 0.9, 3);
         let mut stats = TraceStats::new();
         let mut first = 0u64;
         for _ in 0..20_000 {
@@ -192,8 +208,7 @@ mod tests {
 
     #[test]
     fn phases_alternate_deterministically() {
-        let mut phased =
-            PhasedWorkload::new(stream(1, 64 * 64), stream(2, 1 << 20), 100);
+        let mut phased = PhasedWorkload::new(stream(1, 64 * 64), stream(2, 1 << 20), 100);
         assert!(phased.in_first_phase());
         for _ in 0..100 {
             phased.next_access();

@@ -3,9 +3,8 @@
 //! Each engine models one archetypal access pattern; benchmark profiles in
 //! [`crate::profiles`] instantiate them with per-benchmark parameters.
 
+use maps_trace::rng::SmallRng;
 use maps_trace::{AccessKind, MemAccess, PhysAddr, BLOCK_BYTES};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A synthetic workload producing an infinite memory-access stream.
 ///
@@ -47,9 +46,16 @@ struct AccessShaper {
 
 impl AccessShaper {
     fn new(seed: u64, write_fraction: f64, icount_mean: u32) -> Self {
-        assert!((0.0..=1.0).contains(&write_fraction), "write fraction outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction outside [0, 1]"
+        );
         assert!(icount_mean >= 1, "icount mean must be at least 1");
-        Self { rng: SmallRng::seed_from_u64(seed), write_fraction, icount_mean }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            write_fraction,
+            icount_mean,
+        }
     }
 
     fn shape(&mut self, block: u64) -> MemAccess {
@@ -61,7 +67,11 @@ impl AccessShaper {
         // Instruction gaps jitter by ±50% around the mean.
         let lo = self.icount_mean.div_ceil(2).max(1);
         let hi = self.icount_mean + self.icount_mean / 2;
-        let icount = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+        let icount = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
         MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), kind, icount)
     }
 
@@ -263,8 +273,11 @@ impl Workload for PointerChaseGen {
             let hot = self.shaper.rng().gen_range(0..self.hot_blocks);
             return self.shaper.shape(hot);
         }
-        self.current =
-            (self.current.wrapping_mul(self.multiplier).wrapping_add(self.increment)) % self.blocks;
+        self.current = (self
+            .current
+            .wrapping_mul(self.multiplier)
+            .wrapping_add(self.increment))
+            % self.blocks;
         let block = self.current;
         self.shaper.shape(block)
     }
@@ -382,10 +395,16 @@ impl HotColdGen {
         write_fraction: f64,
         icount_mean: u32,
     ) -> Self {
-        assert!(hot_bytes < footprint_bytes, "hot region must be smaller than the footprint");
+        assert!(
+            hot_bytes < footprint_bytes,
+            "hot region must be smaller than the footprint"
+        );
         let hot_blocks = hot_bytes / BLOCK_BYTES;
         let cold_blocks = (footprint_bytes - hot_bytes) / BLOCK_BYTES;
-        assert!(hot_blocks > 0 && cold_blocks > 0, "both regions must be non-empty");
+        assert!(
+            hot_blocks > 0 && cold_blocks > 0,
+            "both regions must be non-empty"
+        );
         Self {
             name,
             shaper: AccessShaper::new(seed, write_fraction, icount_mean),
@@ -460,7 +479,11 @@ impl Workload for FftGen {
     fn next_access(&mut self) -> MemAccess {
         // Butterfly: visit i, then i + 2^shift, alternating.
         let stride = 1u64 << self.stride_shift;
-        let block = if self.toggle { (self.cursor + stride) % self.blocks } else { self.cursor };
+        let block = if self.toggle {
+            (self.cursor + stride) % self.blocks
+        } else {
+            self.cursor
+        };
         if self.toggle {
             self.cursor += 1;
             if self.cursor >= self.blocks {
@@ -702,14 +725,20 @@ mod tests {
     fn random_covers_footprint() {
         let mut g = RandomGen::new("r", 3, 256 * BLOCK_BYTES, 0.1, 4, 0.0, 1);
         let stats = collect(&mut g, 10_000);
-        assert!(stats.unique_blocks() > 250, "covered {}", stats.unique_blocks());
+        assert!(
+            stats.unique_blocks() > 250,
+            "covered {}",
+            stats.unique_blocks()
+        );
     }
 
     #[test]
     fn random_determinism_per_seed() {
         let run = |seed| {
             let mut g = RandomGen::new("r", seed, 1 << 20, 0.1, 4, 0.2, 8);
-            (0..100).map(|_| g.next_access().addr.bytes()).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| g.next_access().addr.bytes())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -720,7 +749,11 @@ mod tests {
         let mut g = PointerChaseGen::new("p", 11, 4096 * BLOCK_BYTES, 0.05, 4, 0.0, 0);
         let stats = collect(&mut g, 4096);
         // A permutation cycle should visit nearly all blocks once.
-        assert!(stats.unique_blocks() > 2000, "visited {}", stats.unique_blocks());
+        assert!(
+            stats.unique_blocks() > 2000,
+            "visited {}",
+            stats.unique_blocks()
+        );
     }
 
     #[test]
@@ -766,8 +799,7 @@ mod tests {
 
     #[test]
     fn boxed_workload_delegates() {
-        let mut g: Box<dyn Workload> =
-            Box::new(StreamGen::new("boxed", 1, 1 << 16, 1, 0.0, 4));
+        let mut g: Box<dyn Workload> = Box::new(StreamGen::new("boxed", 1, 1 << 16, 1, 0.0, 4));
         assert_eq!(g.name(), "boxed");
         assert_eq!(g.footprint_bytes(), 1 << 16);
         g.next_access();

@@ -27,10 +27,16 @@ pub mod engines;
 pub mod profiles;
 pub mod replay;
 
+/// The vendored deterministic PRNG (SplitMix64 behind a `SmallRng`-style
+/// wrapper) every workload generator draws from. Lives in `maps-trace` so
+/// the cache policies can share it, re-exported here as the canonical
+/// import path for workload code.
+pub use maps_trace::rng;
+
+pub use compose::{MixWorkload, PhasedWorkload};
 pub use engines::{
     FftGen, HotColdGen, PointerChaseGen, RandomGen, StencilGen, StreamGen, TiledPassGen,
     TreeWalkGen, Workload,
 };
-pub use compose::{MixWorkload, PhasedWorkload};
 pub use profiles::Benchmark;
 pub use replay::ReplayWorkload;

@@ -80,7 +80,11 @@ impl Benchmark {
 
     /// The memory-intensive subset (LLC MPKI > 10) the paper focuses on.
     pub fn memory_intensive() -> Vec<Benchmark> {
-        Self::ALL.iter().copied().filter(|b| b.is_memory_intensive()).collect()
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.is_memory_intensive())
+            .collect()
     }
 
     /// Whether this profile's LLC MPKI exceeds the paper's threshold of 10.
@@ -110,7 +114,10 @@ impl Benchmark {
 
     /// Parses a display name back into a profile.
     pub fn from_name(name: &str) -> Option<Benchmark> {
-        Self::ALL.iter().copied().find(|b| b.name().eq_ignore_ascii_case(name))
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
     }
 
     /// Builds the workload generator for this profile.
@@ -130,35 +137,64 @@ impl Benchmark {
             // Butterfly phases with 20% writes.
             Benchmark::Fft => Box::new(FftGen::new("fft", seed, 16 * MB, 0.20, 6)),
             // Multi-array stencil with 5% writes.
-            Benchmark::Leslie3d => {
-                Box::new(StencilGen::new("leslie3d", seed, 24 * MB, 256 * KB, 3, 0.05, 7))
-            }
+            Benchmark::Leslie3d => Box::new(StencilGen::new(
+                "leslie3d",
+                seed,
+                24 * MB,
+                256 * KB,
+                3,
+                0.05,
+                7,
+            )),
             // Large pointer chase, read-dominated.
-            Benchmark::Mcf => {
-                Box::new(PointerChaseGen::new("mcf", seed, 48 * MB, 0.04, 4, 0.05, 512 * KB))
-            }
+            Benchmark::Mcf => Box::new(PointerChaseGen::new(
+                "mcf",
+                seed,
+                48 * MB,
+                0.04,
+                4,
+                0.05,
+                512 * KB,
+            )),
             // Octree walks: root levels cache-resident, leaves cold.
             Benchmark::Barnes => Box::new(TreeWalkGen::new("barnes", seed, 8 * MB, 8, 0.05, 10)),
             // Blocked multi-pass sweep: tile metadata revisited once per
             // pass at mid-range reuse distances (Figure 4 outlier).
-            Benchmark::CactusAdm => {
-                Box::new(TiledPassGen::new("cactusADM", seed, 32 * MB, 128 * KB, 0.15, 8))
-            }
+            Benchmark::CactusAdm => Box::new(TiledPassGen::new(
+                "cactusADM",
+                seed,
+                32 * MB,
+                128 * KB,
+                0.15,
+                8,
+            )),
             // Small working set: almost everything hits on chip.
             Benchmark::Perl => {
                 Box::new(HotColdGen::new("perl", seed, MB, 256 * KB, 0.97, 0.20, 15))
             }
-            Benchmark::Gcc => {
-                Box::new(HotColdGen::new("gcc", seed, 3 * MB, 512 * KB, 0.94, 0.15, 12))
-            }
+            Benchmark::Gcc => Box::new(HotColdGen::new(
+                "gcc",
+                seed,
+                3 * MB,
+                512 * KB,
+                0.94,
+                0.15,
+                12,
+            )),
             // Lattice sweeps with moderate stride.
             Benchmark::Milc => {
                 Box::new(StencilGen::new("milc", seed, 24 * MB, 512 * KB, 2, 0.08, 7))
             }
             // Pointer chase with a hot event queue.
-            Benchmark::Omnetpp => {
-                Box::new(PointerChaseGen::new("omnetpp", seed, 24 * MB, 0.12, 9, 0.30, MB))
-            }
+            Benchmark::Omnetpp => Box::new(PointerChaseGen::new(
+                "omnetpp",
+                seed,
+                24 * MB,
+                0.12,
+                9,
+                0.30,
+                MB,
+            )),
             // Column sweeps: stride of 8 blocks models sparse row jumps.
             Benchmark::Soplex => Box::new(StreamGen::new("soplex", seed, 12 * MB, 8, 0.06, 8)),
             // Two-grid streaming, write-heavy.
@@ -207,9 +243,10 @@ mod tests {
     #[test]
     fn write_fractions_match_paper_claims() {
         // fft ~20% writes, leslie3d ~5% (Section IV-E).
-        for (b, expect, tol) in
-            [(Benchmark::Fft, 0.20, 0.03), (Benchmark::Leslie3d, 0.05, 0.02)]
-        {
+        for (b, expect, tol) in [
+            (Benchmark::Fft, 0.20, 0.03),
+            (Benchmark::Leslie3d, 0.05, 0.02),
+        ] {
             let mut wl = b.build(3);
             let mut stats = TraceStats::new();
             for _ in 0..30_000 {

@@ -59,7 +59,14 @@ impl ReplayWorkload {
             .max()
             .unwrap_or(1)
             * maps_trace::BLOCK_BYTES;
-        Self { name, trace, cursor: 0, looping, footprint, exhausted: false }
+        Self {
+            name,
+            trace,
+            cursor: 0,
+            looping,
+            footprint,
+            exhausted: false,
+        }
     }
 
     /// Number of records in the trace.
@@ -97,7 +104,9 @@ impl Workload for ReplayWorkload {
     fn footprint_bytes(&self) -> u64 {
         // Footprint must cover the highest touched block; round up to the
         // next page for the secure-memory layout.
-        self.footprint.next_multiple_of(maps_trace::PAGE_BYTES).max(PhysAddr::new(0).bytes() + 4096)
+        self.footprint
+            .next_multiple_of(maps_trace::PAGE_BYTES)
+            .max(PhysAddr::new(0).bytes() + 4096)
     }
 
     fn name(&self) -> &'static str {

@@ -64,6 +64,10 @@ fn main() {
     println!(
         "itermin iterations (metadata misses): {:?}{}",
         iter.misses_per_iteration,
-        if iter.converged { " -> converged" } else { " (no fixed point reached)" }
+        if iter.converged {
+            " -> converged"
+        } else {
+            " (no fixed point reached)"
+        }
     );
 }

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace: Vec<_> = (0..n).map(|_| source.next_access()).collect();
     let mut encoded = Vec::new();
     write_trace(&mut encoded, &trace)?;
-    println!("recorded {} accesses ({} bytes in text format)", trace.len(), encoded.len());
+    println!(
+        "recorded {} accesses ({} bytes in text format)",
+        trace.len(),
+        encoded.len()
+    );
 
     // 2. Reload and replay through the full pipeline.
     let decoded = read_trace(&encoded[..])?;

@@ -27,7 +27,8 @@ fn main() {
     for group in MetaGroup::ALL {
         let cdf = profiler.cdf(group);
         let q = |p: f64| {
-            cdf.quantile(p).map_or("-".to_string(), |blocks| fmt_bytes(blocks * BLOCK_BYTES))
+            cdf.quantile(p)
+                .map_or("-".to_string(), |blocks| fmt_bytes(blocks * BLOCK_BYTES))
         };
         cdf_table.row([
             group.label().to_string(),
@@ -42,7 +43,10 @@ fn main() {
     let classes = profiler.combined().class_counts();
     let mut class_table = Table::new(["class", "fraction"]);
     for class in ReuseClass::ALL {
-        class_table.row([class.label().to_string(), format!("{:.3}", classes.fraction(class))]);
+        class_table.row([
+            class.label().to_string(),
+            format!("{:.3}", classes.fraction(class)),
+        ]);
     }
     println!("{class_table}");
     println!(

@@ -16,7 +16,10 @@ fn main() {
 
     // Normal operation.
     mem.write_block(secret, 0xCAFE);
-    println!("write 0xCAFE, read back: {:#x}", mem.read_block(secret).expect("clean read"));
+    println!(
+        "write 0xCAFE, read back: {:#x}",
+        mem.read_block(secret).expect("clean read")
+    );
 
     // 1. Data tampering: flip the ciphertext in memory.
     mem.tamper_data(secret, 0xD00D);
@@ -57,5 +60,8 @@ fn main() {
         Ok(v) => unreachable!("replayed read returned {v:#x}"),
     }
 
-    println!("\nverified reads that passed integrity checks: {}", mem.verified_reads());
+    println!(
+        "\nverified reads that passed integrity checks: {}",
+        mem.verified_reads()
+    );
 }

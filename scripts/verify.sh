@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repository verification gate: formatting, lints, build, tests, and the
+# figure binaries' --check claims. Fully offline (vendored deps only).
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick  skip the opt-in heavy property-test suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --release -- -D warnings
+run cargo build --release
+run cargo test -q --workspace
+if [[ $quick -eq 0 ]]; then
+    run cargo test -q --features heavy-tests
+fi
+
+# Claim checks on the two headline figures. fig1 is stable from 30k
+# accesses; fig2's qualitative claims (E-D^2 crossovers) need at least
+# ~100k accesses to emerge from warm-up noise.
+run env MAPS_ACCESSES=30000 ./target/release/fig1 --check
+run env MAPS_ACCESSES=100000 ./target/release/fig2 --check
+
+echo "verify: all checks passed"

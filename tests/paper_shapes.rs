@@ -12,7 +12,9 @@ use maps::workloads::Benchmark;
 const N: u64 = 40_000;
 
 fn mpki(cfg: &SimConfig, bench: Benchmark) -> f64 {
-    SecureSim::new(cfg.clone(), bench.build(5)).run(N).metadata_mpki()
+    SecureSim::new(cfg.clone(), bench.build(5))
+        .run(N)
+        .metadata_mpki()
 }
 
 /// Figure 1: caching all types beats counters-only at small capacities.
@@ -21,16 +23,25 @@ fn fig1_all_types_beat_counters_only() {
     let base = SimConfig::paper_default();
     for bench in [Benchmark::Canneal, Benchmark::Libquantum] {
         let all = mpki(
-            &base.with_mdc(base.mdc.with_contents(CacheContents::ALL).with_size(64 << 10)),
+            &base.with_mdc(
+                base.mdc
+                    .with_contents(CacheContents::ALL)
+                    .with_size(64 << 10),
+            ),
             bench,
         );
         let ctrs = mpki(
             &base.with_mdc(
-                base.mdc.with_contents(CacheContents::COUNTERS_ONLY).with_size(64 << 10),
+                base.mdc
+                    .with_contents(CacheContents::COUNTERS_ONLY)
+                    .with_size(64 << 10),
             ),
             bench,
         );
-        assert!(all < ctrs, "{bench}: all={all:.1} vs counters-only={ctrs:.1}");
+        assert!(
+            all < ctrs,
+            "{bench}: all={all:.1} vs counters-only={ctrs:.1}"
+        );
     }
 }
 
@@ -39,11 +50,18 @@ fn fig1_all_types_beat_counters_only() {
 #[test]
 fn fig2_canneal_prefers_metadata_capacity() {
     let base = SimConfig::paper_default();
-    let big_llc =
-        base.with_llc_bytes(1 << 20).with_mdc(base.mdc.with_size(16 << 10));
-    let split = base.with_llc_bytes(512 << 10).with_mdc(base.mdc.with_size(512 << 10));
-    let canneal_big = SecureSim::new(big_llc, Benchmark::Canneal.build(5)).run(N).ed2();
-    let canneal_split = SecureSim::new(split, Benchmark::Canneal.build(5)).run(N).ed2();
+    let big_llc = base
+        .with_llc_bytes(1 << 20)
+        .with_mdc(base.mdc.with_size(16 << 10));
+    let split = base
+        .with_llc_bytes(512 << 10)
+        .with_mdc(base.mdc.with_size(512 << 10));
+    let canneal_big = SecureSim::new(big_llc, Benchmark::Canneal.build(5))
+        .run(N)
+        .ed2();
+    let canneal_split = SecureSim::new(split, Benchmark::Canneal.build(5))
+        .run(N)
+        .ed2();
     assert!(
         canneal_split < canneal_big,
         "canneal should prefer the 512K/512K split: {canneal_split:.3e} vs {canneal_big:.3e}"
@@ -116,7 +134,10 @@ fn fig5_waw_shorter_than_war() {
         .transition_cdf(MetaGroup::Hash, Transition::WRITE_AFTER_READ)
         .quantile(0.5)
         .expect("fft generates WaR hash pairs");
-    assert!(waw <= war, "WaW median {waw} should not exceed WaR median {war}");
+    assert!(
+        waw <= war,
+        "WaW median {waw} should not exceed WaR median {war}"
+    );
 }
 
 /// Figure 6: trace-fed MIN loses to pseudo-LRU once its future knowledge
@@ -135,5 +156,8 @@ fn fig6_min_worse_than_pseudo_lru() {
             losses += 1;
         }
     }
-    assert!(losses >= 2, "MIN should lose to pseudo-LRU on most of {benches:?}");
+    assert!(
+        losses >= 2,
+        "MIN should lose to pseudo-LRU on most of {benches:?}"
+    );
 }

@@ -18,9 +18,16 @@ fn every_benchmark_completes_with_consistent_totals() {
         let r = run(&cfg, bench);
         assert_eq!(r.workload, bench.name());
         assert!(r.instructions > 0, "{bench}: no instructions");
-        assert!(r.cycles >= r.instructions, "{bench}: cycles below CPI-1 floor");
+        assert!(
+            r.cycles >= r.instructions,
+            "{bench}: cycles below CPI-1 floor"
+        );
         let meta = r.engine.meta.metadata_total();
-        assert_eq!(meta.accesses, meta.hits + meta.misses, "{bench}: meta counts");
+        assert_eq!(
+            meta.accesses,
+            meta.hits + meta.misses,
+            "{bench}: meta counts"
+        );
         // Every data read miss produces at least a hash and counter access.
         assert!(
             meta.accesses >= 2 * r.engine.reads,
@@ -39,9 +46,17 @@ fn memory_intensity_classification_matches_profiles() {
     for bench in Benchmark::ALL {
         let r = SecureSim::new(cfg.clone(), bench.build(99)).run(5 * N);
         if bench.is_memory_intensive() {
-            assert!(r.llc_mpki() > 10.0, "{bench}: expected MPKI > 10, got {:.1}", r.llc_mpki());
+            assert!(
+                r.llc_mpki() > 10.0,
+                "{bench}: expected MPKI > 10, got {:.1}",
+                r.llc_mpki()
+            );
         } else {
-            assert!(r.llc_mpki() < 15.0, "{bench}: expected modest MPKI, got {:.1}", r.llc_mpki());
+            assert!(
+                r.llc_mpki() < 15.0,
+                "{bench}: expected modest MPKI, got {:.1}",
+                r.llc_mpki()
+            );
         }
     }
 }
@@ -52,7 +67,10 @@ fn secure_memory_strictly_costs_more_than_insecure() {
         let secure = run(&SimConfig::paper_default(), bench);
         let insecure = run(&SimConfig::insecure_baseline(), bench);
         assert!(secure.cycles >= insecure.cycles, "{bench}: cycles");
-        assert!(secure.energy.total_pj() > insecure.energy.total_pj(), "{bench}: energy");
+        assert!(
+            secure.energy.total_pj() > insecure.energy.total_pj(),
+            "{bench}: energy"
+        );
         assert!(secure.ed2() > insecure.ed2(), "{bench}: ED^2");
     }
 }
@@ -112,7 +130,10 @@ fn deterministic_across_runs() {
     let b = run(&cfg, Benchmark::Mcf);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.engine.dram_meta.total(), b.engine.dram_meta.total());
-    assert_eq!(a.engine.meta.metadata_total().misses, b.engine.meta.metadata_total().misses);
+    assert_eq!(
+        a.engine.meta.metadata_total().misses,
+        b.engine.meta.metadata_total().misses
+    );
 }
 
 #[test]

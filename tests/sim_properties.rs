@@ -1,10 +1,11 @@
 //! Property tests over the full simulation pipeline: conservation laws
 //! that must hold for any workload and configuration.
 
+#![cfg(feature = "heavy-tests")]
+
 use maps::cache::Partition;
 use maps::sim::{
-    CacheContents, MdcConfig, PartitionMode, PolicyChoice, RecordingObserver, SecureSim,
-    SimConfig,
+    CacheContents, MdcConfig, PartitionMode, PolicyChoice, RecordingObserver, SecureSim, SimConfig,
 };
 use maps::trace::{AccessKind, BlockKind, MemAccess, PhysAddr};
 use maps::workloads::ReplayWorkload;
@@ -15,7 +16,11 @@ fn workload_from(accesses: &[(u16, bool)]) -> ReplayWorkload {
     let trace: Vec<MemAccess> = accesses
         .iter()
         .map(|&(block, write)| {
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             MemAccess::new(PhysAddr::new(u64::from(block) * 64), kind, 5)
         })
         .collect();

@@ -1,0 +1,468 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The MAPS workspace must build and test with zero registry access, so
+//! this vendored crate re-implements exactly the slice of the proptest API
+//! the workspace's property tests use: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, integer-range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`, and
+//! `any::<bool>()`.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed; the
+//!   run is deterministic, so re-running reproduces it exactly.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its seed from
+//!   `(t, i)`, so failures are stable across runs and machines.
+//! * **Tiny strategy algebra.** Only the combinators this workspace uses.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property-test assertion (returned by `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generation source handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seeds case `case` of the named test deterministically.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let n = span + 1;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(n);
+            if (m as u64) >= n.wrapping_neg() % n {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A value generator. Strategies are the expressions on the right of
+/// `arg in <strategy>` inside [`proptest!`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, g: &mut Gen) -> Self::Value;
+}
+
+/// Integers usable in range strategies, via an order-preserving `u64` map.
+pub trait RangeInt: Copy {
+    /// Order-preserving map onto `u64` (signed types are bias-shifted).
+    fn to_u64(self) -> u64;
+    /// Inverse of [`RangeInt::to_u64`].
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_range_int_unsigned {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_int_signed {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                (self as i64 as u64) ^ (1 << 63)
+            }
+            fn from_u64(v: u64) -> Self {
+                (v ^ (1 << 63)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_range_int_unsigned!(u8, u16, u32, u64, usize);
+impl_range_int_signed!(i8, i16, i32, i64, isize);
+
+impl<T: RangeInt + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::from_u64(g.u64_in(self.start.to_u64(), self.end.to_u64() - 1))
+    }
+}
+
+impl<T: RangeInt + PartialOrd> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        T::from_u64(g.u64_in(self.start().to_u64(), self.end().to_u64()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(g),)+)
+            }
+        }
+    };
+}
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53-bit uniform in [0, 1), scaled into the half-open range.
+                let u = (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t;
+                // Rounding can land exactly on `end`; fall back inside.
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generates an arbitrary value of the type.
+    fn arbitrary(g: &mut Gen) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(g: &mut Gen) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(g: &mut Gen) -> Self {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, g: &mut Gen) -> T {
+        T::arbitrary(g)
+    }
+}
+
+/// The whole-domain strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The `prop::` module namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Gen, Strategy};
+        use std::ops::Range;
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        /// Strategy generating `Vec`s of an element strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, g: &mut Gen) -> Self::Value {
+                let len = g.u64_in(self.size.lo as u64, self.size.hi_inclusive as u64) as usize;
+                (0..len).map(|_| self.element.generate(g)).collect()
+            }
+        }
+
+        /// Generates vectors of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Gen, Strategy};
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, g: &mut Gen) -> T {
+                self.options[g.u64_in(0, self.options.len() as u64 - 1) as usize].clone()
+            }
+        }
+
+        /// Chooses uniformly from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with its
+/// reproducible case number) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config($cfg) $($rest)*);
+    };
+    (@with_config($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut generator = $crate::Gen::for_case(test_name, case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut generator);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("{test_name} failed at case {case}/{}: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u64..100, 1..50);
+        let mut a = crate::Gen::for_case("t", 3);
+        let mut b = crate::Gen::for_case("t", 3);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn select_and_tuples_generate() {
+        let strat = (0u8..4, any::<bool>());
+        let sel = prop::sample::select(vec!["a", "b"]);
+        let mut g = crate::Gen::for_case("u", 0);
+        for _ in 0..100 {
+            let (x, _) = strat.generate(&mut g);
+            assert!(x < 4);
+            assert!(["a", "b"].contains(&sel.generate(&mut g)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip(xs in prop::collection::vec(0u32..10, 1..20)) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+    }
+}
