@@ -108,6 +108,15 @@ impl AnyPolicy {
     pub fn eva_per_type() -> Self {
         AnyPolicy::EvaPerType(EvaPerType::new())
     }
+
+    /// Whether this policy is a Mattson stack algorithm: for a fixed set
+    /// count, growing associativity can never turn a hit into a miss
+    /// (the inclusion property). Exact LRU and Belady MIN are stack
+    /// algorithms; the approximations and adaptive policies are not (and
+    /// are conservatively reported as such).
+    pub fn is_stack_algorithm(&self) -> bool {
+        matches!(self, AnyPolicy::TrueLru(_) | AnyPolicy::Min(_))
+    }
 }
 
 macro_rules! delegate {

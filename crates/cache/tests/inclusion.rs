@@ -1,0 +1,135 @@
+//! Inclusion-property (Mattson stack algorithm) checks.
+//!
+//! For a stack algorithm, growing associativity at a fixed set count can
+//! never turn a hit into a miss: the contents of the smaller cache are
+//! always a subset of the larger one's. Exact LRU and Belady MIN have this
+//! property; pseudo-LRU and the adaptive policies do not, which is exactly
+//! why [`maps_cache::policy::AnyPolicy::is_stack_algorithm`] gates the
+//! metamorphic "doubling the MDC never increases misses" invariant.
+
+use maps_cache::policy::AnyPolicy;
+use maps_cache::{CacheConfig, SetAssocCache};
+use maps_trace::rng::SmallRng;
+use maps_trace::BlockKind;
+
+/// A mixed stream with hot blocks, streaming blocks, and revisits.
+fn workload(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut keys = Vec::with_capacity(len);
+    for i in 0..len {
+        let k = match rng.next_u64() % 10 {
+            0..=3 => rng.next_u64() % 16,         // hot set
+            4..=6 => rng.next_u64() % 256,        // warm region
+            7..=8 => (i as u64 / 3) % 4096,       // slow stream
+            _ => 4096 + (rng.next_u64() % 65536), // cold misses
+        };
+        keys.push(k);
+    }
+    keys
+}
+
+fn policies_for(keys: &[u64]) -> Vec<(AnyPolicy, AnyPolicy)> {
+    // Each entry is (policy for the small cache, same policy for the big
+    // cache) — policies carry per-cache state, so each cache needs its own.
+    vec![
+        (AnyPolicy::true_lru(), AnyPolicy::true_lru()),
+        (AnyPolicy::pseudo_lru(), AnyPolicy::pseudo_lru()),
+        (AnyPolicy::fifo(), AnyPolicy::fifo()),
+        (AnyPolicy::srrip(), AnyPolicy::srrip()),
+        (
+            AnyPolicy::min_from_trace(keys),
+            AnyPolicy::min_from_trace(keys),
+        ),
+    ]
+}
+
+/// Drives `keys` through a cache of `(bytes, ways)` and one with doubled
+/// ways at the same set count; returns per-access `(small_hit, big_hit)`.
+fn lockstep(
+    keys: &[u64],
+    small: AnyPolicy,
+    big: AnyPolicy,
+    bytes: u64,
+    ways: usize,
+) -> Vec<(bool, bool)> {
+    let mut small = SetAssocCache::new(CacheConfig::from_bytes(bytes, ways), small);
+    let mut big = SetAssocCache::new(CacheConfig::from_bytes(bytes * 2, ways * 2), big);
+    assert_eq!(small.config().sets(), big.config().sets());
+    keys.iter()
+        .map(|&k| {
+            (
+                small.access(k, BlockKind::Data, false).hit,
+                big.access(k, BlockKind::Data, false).hit,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn stack_algorithms_satisfy_inclusion_per_access() {
+    let keys = workload(7, 20_000);
+    for (small, big) in policies_for(&keys) {
+        if !small.is_stack_algorithm() {
+            continue;
+        }
+        let name = maps_cache::policy::Policy::name(&small);
+        for (i, (small_hit, big_hit)) in
+            lockstep(&keys, small, big, 4096, 4).into_iter().enumerate()
+        {
+            assert!(
+                !small_hit || big_hit,
+                "{name}: access {i} hit in the 4-way cache but missed in the 8-way"
+            );
+        }
+    }
+}
+
+#[test]
+fn stack_algorithms_monotone_across_way_ladder() {
+    // misses(1 way) >= misses(2 ways) >= ... at a fixed set count.
+    let keys = workload(11, 20_000);
+    for ways_exp in 0..3u32 {
+        let ways = 1usize << ways_exp;
+        let bytes = 1024 * ways as u64;
+        for (small, big) in [
+            (AnyPolicy::true_lru(), AnyPolicy::true_lru()),
+            (
+                AnyPolicy::min_from_trace(&keys),
+                AnyPolicy::min_from_trace(&keys),
+            ),
+        ] {
+            let results = lockstep(&keys, small, big, bytes, ways);
+            let small_misses = results.iter().filter(|(s, _)| !s).count();
+            let big_misses = results.iter().filter(|(_, b)| !b).count();
+            assert!(
+                big_misses <= small_misses,
+                "doubling ways from {ways} increased misses {small_misses} -> {big_misses}"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_stack_policies_are_reported_as_such() {
+    // The gate must be conservative: approximations may *usually* satisfy
+    // inclusion but are not guaranteed to, so they must report false.
+    assert!(AnyPolicy::true_lru().is_stack_algorithm());
+    assert!(AnyPolicy::min_from_trace(&[1, 2, 3]).is_stack_algorithm());
+    for p in [
+        AnyPolicy::pseudo_lru(),
+        AnyPolicy::fifo(),
+        AnyPolicy::random(9),
+        AnyPolicy::srrip(),
+        AnyPolicy::eva(),
+        AnyPolicy::trace_min_from_trace(&[1, 2, 3]),
+        AnyPolicy::cost_aware(5),
+        AnyPolicy::drrip(),
+        AnyPolicy::eva_per_type(),
+    ] {
+        assert!(
+            !p.is_stack_algorithm(),
+            "{} must not claim the stack property",
+            maps_cache::policy::Policy::name(&p)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! A value-level Bonsai Merkle Tree model.
+//!
+//! The production engine tracks *which* tree blocks are touched, never
+//! what they contain. This model assigns every counter block and tree node
+//! an actual digest computed from the encryption-counter values it covers,
+//! so invariants about tree *content* become checkable — most importantly
+//! that incrementally maintaining digests across writes and overflow-driven
+//! page re-encryptions always agrees with recomputing the whole tree from
+//! the counter store ([`OracleBmt::root`] vs [`OracleBmt::recompute_root`]).
+//!
+//! Digests are not cryptographic: a SplitMix64-style mix stands in for the
+//! HMAC. The model only needs collision-resistance against the simulator's
+//! own bookkeeping bugs, not an adversary.
+
+use maps_secure::spec;
+use maps_secure::SecureConfig;
+use maps_trace::BlockAddr;
+
+use crate::engine::OracleCounters;
+
+/// Full-avalanche 64-bit mix (SplitMix64 finalizer).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive combine of a child digest into an accumulator.
+fn fold(acc: u64, child: u64) -> u64 {
+    mix(acc.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ child)
+}
+
+/// The tree of digests: one per counter block, one per in-memory tree
+/// node, plus the on-chip root.
+#[derive(Debug, Clone)]
+pub struct OracleBmt {
+    cfg: SecureConfig,
+    /// Digest of each counter block, indexed by offset in the counter
+    /// region.
+    counter_digests: Vec<u64>,
+    /// Digest of each tree node, `levels[level][offset]`, leaves first.
+    levels: Vec<Vec<u64>>,
+    root: u64,
+}
+
+impl OracleBmt {
+    /// Builds the tree over an (empty) counter store.
+    pub fn new(cfg: SecureConfig, counters: &OracleCounters) -> Self {
+        let n_counters = spec::counter_blocks(&cfg);
+        let shape = spec::tree_levels(&cfg);
+        let mut bmt = Self {
+            counter_digests: vec![0; n_counters as usize],
+            levels: shape.iter().map(|&(_, n)| vec![0; n as usize]).collect(),
+            root: 0,
+            cfg,
+        };
+        bmt.rebuild(counters);
+        bmt
+    }
+
+    /// The current root digest.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Digest of a counter block's contents: page counters and per-block
+    /// counters of every data block it covers, position-mixed.
+    fn counter_block_digest(&self, counters: &OracleCounters, offset: u64) -> u64 {
+        let per_ctr = self.cfg.mode.data_blocks_per_counter_block();
+        let first = offset * per_ctr;
+        let last = (first + per_ctr).min(spec::data_blocks(&self.cfg));
+        let mut acc = mix(offset);
+        for d in first..last {
+            let data = BlockAddr::new(d);
+            acc = fold(acc, mix(d) ^ counters.block_counter(data));
+            acc = fold(acc, counters.page_counter(data.page().index()));
+        }
+        acc
+    }
+
+    /// Digest of a tree node from its (already computed) children.
+    fn node_digest(&self, level: usize, offset: u64) -> u64 {
+        let arity = self.cfg.tree_arity;
+        let first = offset * arity;
+        let children: &[u64] = if level == 0 {
+            &self.counter_digests
+        } else {
+            &self.levels[level - 1]
+        };
+        let last = (first + arity).min(children.len() as u64);
+        let mut acc = mix(offset ^ (level as u64) << 56);
+        for c in first..last {
+            acc = fold(acc, children[c as usize]);
+        }
+        acc
+    }
+
+    /// Root digest from the topmost stored level (or straight from the
+    /// counter digests when the tree has no in-memory levels).
+    fn fold_root(&self) -> u64 {
+        let top: &[u64] = match self.levels.last() {
+            Some(level) => level,
+            None => &self.counter_digests,
+        };
+        let mut acc = mix(0xB0ED);
+        for &d in top {
+            acc = fold(acc, d);
+        }
+        acc
+    }
+
+    /// Recomputes every digest from the counter store.
+    pub fn rebuild(&mut self, counters: &OracleCounters) {
+        for off in 0..self.counter_digests.len() as u64 {
+            self.counter_digests[off as usize] = self.counter_block_digest(counters, off);
+        }
+        for level in 0..self.levels.len() {
+            for off in 0..self.levels[level].len() as u64 {
+                self.levels[level][off as usize] = self.node_digest(level, off);
+            }
+        }
+        self.root = self.fold_root();
+    }
+
+    /// Incrementally refreshes the digest chain of one counter block:
+    /// leaf-to-root path recomputation, exactly what a hardware walk does.
+    pub fn update_counter_block(&mut self, counters: &OracleCounters, counter: BlockAddr) {
+        let base = spec::counter_base(&self.cfg);
+        let offset = counter.index() - base;
+        self.counter_digests[offset as usize] = self.counter_block_digest(counters, offset);
+        let mut child_offset = offset;
+        for level in 0..self.levels.len() {
+            let node_offset = child_offset / self.cfg.tree_arity;
+            self.levels[level][node_offset as usize] = self.node_digest(level, node_offset);
+            child_offset = node_offset;
+        }
+        self.root = self.fold_root();
+    }
+
+    /// Refreshes every counter block covering one 4 KB data page (page
+    /// re-encryption touches all of the page's counters at once).
+    pub fn update_page(&mut self, counters: &OracleCounters, page: u64) {
+        let first_data = page * maps_trace::BLOCKS_PER_PAGE;
+        let last_data =
+            (first_data + maps_trace::BLOCKS_PER_PAGE).min(spec::data_blocks(&self.cfg));
+        let mut prev = None;
+        for d in first_data..last_data {
+            let cb = spec::counter_block_of(&self.cfg, BlockAddr::new(d));
+            if prev != Some(cb) {
+                self.update_counter_block(counters, cb);
+                prev = Some(cb);
+            }
+        }
+    }
+
+    /// The root recomputed from scratch, without touching stored state.
+    /// Disagreement with [`OracleBmt::root`] means incremental maintenance
+    /// lost an update.
+    pub fn recompute_root(&self, counters: &OracleCounters) -> u64 {
+        let mut fresh = self.clone();
+        fresh.rebuild(counters);
+        fresh.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_secure::CounterMode;
+
+    fn setup(mode: CounterMode) -> (SecureConfig, OracleCounters, OracleBmt) {
+        let cfg = SecureConfig::new(16 * 4096, mode);
+        let counters = OracleCounters::new(mode);
+        let bmt = OracleBmt::new(cfg, &counters);
+        (cfg, counters, bmt)
+    }
+
+    #[test]
+    fn incremental_matches_rebuild_over_writes() {
+        for mode in [CounterMode::SplitPi, CounterMode::SgxMonolithic] {
+            let (cfg, mut counters, mut bmt) = setup(mode);
+            for i in 0..500u64 {
+                let data = BlockAddr::new((i * 37) % spec::data_blocks(&cfg));
+                counters.record_write(data);
+                bmt.update_counter_block(&counters, spec::counter_block_of(&cfg, data));
+                assert_eq!(bmt.root(), bmt.recompute_root(&counters), "write {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_page_update_keeps_root_consistent() {
+        let (cfg, mut counters, mut bmt) = setup(CounterMode::SplitPi);
+        let hot = BlockAddr::new(0);
+        let sibling = BlockAddr::new(5);
+        counters.record_write(sibling);
+        bmt.update_counter_block(&counters, spec::counter_block_of(&cfg, sibling));
+        for _ in 0..128 {
+            let outcome = counters.record_write(hot);
+            match outcome {
+                maps_secure::WriteOutcome::PageOverflow { page } => {
+                    bmt.update_page(&counters, page)
+                }
+                maps_secure::WriteOutcome::Incremented => {
+                    bmt.update_counter_block(&counters, spec::counter_block_of(&cfg, hot))
+                }
+            }
+        }
+        assert_eq!(bmt.root(), bmt.recompute_root(&counters));
+    }
+
+    #[test]
+    fn root_changes_on_writes() {
+        let (cfg, mut counters, mut bmt) = setup(CounterMode::SplitPi);
+        let before = bmt.root();
+        counters.record_write(BlockAddr::new(9));
+        bmt.update_counter_block(&counters, spec::counter_block_of(&cfg, BlockAddr::new(9)));
+        assert_ne!(before, bmt.root());
+    }
+
+    #[test]
+    fn stale_incremental_state_is_detected() {
+        let (_cfg, mut counters, bmt) = setup(CounterMode::SplitPi);
+        // A write the tree never hears about must surface as a root
+        // mismatch — this is the failure the invariant exists to catch.
+        counters.record_write(BlockAddr::new(3));
+        assert_ne!(bmt.root(), bmt.recompute_root(&counters));
+    }
+}

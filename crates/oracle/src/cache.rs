@@ -1,0 +1,434 @@
+//! Naive restatements of the production cache containers.
+//!
+//! [`SpecCache`] keeps one `Vec<Option<Line>>` per set and finds lines by
+//! scanning it — no packed tag array, no fused lookup-and-mark entry
+//! points, no precomputed way-id slices, no set masks. The *replacement
+//! policies themselves* are shared with production ([`AnyPolicy`]): they
+//! are part of the specification (reimplementing eleven heuristics
+//! bit-exactly would only manufacture false differential alarms), while
+//! everything around them — residency tracking, fill/eviction plumbing,
+//! statistics, the policy time base — is restated independently.
+
+use maps_cache::policy::AnyPolicy;
+use maps_cache::{CacheStats, DuelingController, Line, Partition, Policy};
+use maps_sim::{CacheContents, MdcConfig, PartitionMode};
+use maps_trace::BlockKind;
+
+/// Outcome of one access (mirrors `maps_cache::AccessResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecAccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line evicted to make room, if any.
+    pub evicted: Option<Line>,
+}
+
+/// Outcome of a metadata-cache access (mirrors `maps_sim::mdcache::MdOutcome`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecMdOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line evicted to make room, if any.
+    pub evicted: Option<Line>,
+    /// `true` when the kind is not admitted (statistics-only probe).
+    pub bypassed: bool,
+}
+
+/// The deliberately slow set-associative cache.
+#[derive(Debug)]
+pub struct SpecCache {
+    sets: Vec<Vec<Option<Line>>>,
+    ways: usize,
+    policy: AnyPolicy,
+    partition: Option<Partition>,
+    stats: CacheStats,
+    time: u64,
+}
+
+impl SpecCache {
+    /// Creates a cache with `sets * ways` frames.
+    pub fn new(sets: usize, ways: usize, mut policy: AnyPolicy) -> Self {
+        policy.init(sets, ways);
+        Self {
+            sets: vec![vec![None; ways]; sets],
+            ways,
+            policy,
+            partition: None,
+            stats: CacheStats::default(),
+            time: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Installs a static way partition.
+    pub fn set_partition(&mut self, partition: Option<Partition>) {
+        if let Some(p) = &partition {
+            p.validate(self.ways);
+        }
+        self.partition = partition;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Accesses performed so far (the policy time base).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The set index of a key: plain remainder, the definitional form of
+    /// the production mask-based `CacheConfig::set_of`.
+    pub fn set_of(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    fn find_way(&self, set: usize, key: u64) -> Option<usize> {
+        self.sets[set]
+            .iter()
+            .position(|l| l.as_ref().is_some_and(|l| l.key == key))
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        let set = self.set_of(key);
+        self.find_way(set, key).is_some()
+    }
+
+    /// The resident line for `key`, if any.
+    pub fn line(&self, key: u64) -> Option<&Line> {
+        let set = self.set_of(key);
+        let way = self.find_way(set, key)?;
+        self.sets[set][way].as_ref()
+    }
+
+    /// Accesses `key`, allocating on miss.
+    pub fn access_with(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        partition_override: Option<&Partition>,
+    ) -> SpecAccessResult {
+        let t = self.time;
+        self.time += 1;
+        self.policy.begin_access(t, key);
+        let set = self.set_of(key);
+
+        if let Some(way) = self.find_way(set, key) {
+            {
+                let line = self.sets[set][way].as_mut().expect("resident line");
+                line.last_at = t;
+                if write {
+                    line.dirty = true;
+                }
+            }
+            let snapshot = self.sets[set][way].expect("resident line");
+            self.policy.on_hit(set, way, &snapshot);
+            self.stats.record_access(kind, true);
+            return SpecAccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        self.stats.record_access(kind, false);
+        let mut new_line = Line::filled(key, kind, t);
+        new_line.dirty = write;
+        let evicted = self.fill(set, new_line, partition_override);
+        SpecAccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Probes without allocating or advancing time.
+    pub fn probe(&mut self, key: u64, kind: BlockKind) -> bool {
+        let set = self.set_of(key);
+        let hit = self.find_way(set, key).is_some();
+        self.stats.record_access(kind, hit);
+        hit
+    }
+
+    /// Hit path of a partial write (the production fused
+    /// `access_mark_valid`): a write hit followed by marking `slot` valid,
+    /// with the policy observing the line *before* the new bit lands.
+    /// `None` (and no state change) when `key` is not resident.
+    pub fn access_mark_valid(&mut self, key: u64, kind: BlockKind, slot: u8) -> Option<u8> {
+        assert!(slot < 8, "sub-block slot {slot} out of range");
+        let set = self.set_of(key);
+        let way = self.find_way(set, key)?;
+        let t = self.time;
+        self.time += 1;
+        self.policy.begin_access(t, key);
+        {
+            let line = self.sets[set][way].as_mut().expect("resident line");
+            line.last_at = t;
+            line.dirty = true;
+        }
+        let snapshot = self.sets[set][way].expect("resident line");
+        self.policy.on_hit(set, way, &snapshot);
+        self.stats.record_access(kind, true);
+        let line = self.sets[set][way].as_mut().expect("resident line");
+        line.valid_mask |= 1 << slot;
+        Some(line.valid_mask)
+    }
+
+    /// Marks a sub-entry valid on a resident line (no time advance).
+    pub fn mark_valid(&mut self, key: u64, slot: u8) -> Option<u8> {
+        assert!(slot < 8, "sub-block slot {slot} out of range");
+        let set = self.set_of(key);
+        let way = self.find_way(set, key)?;
+        let line = self.sets[set][way].as_mut()?;
+        line.valid_mask |= 1 << slot;
+        line.dirty = true;
+        Some(line.valid_mask)
+    }
+
+    /// Inserts a partial-write placeholder (miss path; key must not be
+    /// resident). Does not advance time.
+    pub fn insert_placeholder(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        partition_override: Option<&Partition>,
+    ) -> Option<Line> {
+        let set = self.set_of(key);
+        assert!(
+            self.find_way(set, key).is_none(),
+            "placeholder insert for resident key {key}"
+        );
+        let t = self.time;
+        self.fill(
+            set,
+            Line::placeholder(key, kind, t, slot),
+            partition_override,
+        )
+    }
+
+    /// Drains every resident line in frame order (set-major).
+    pub fn drain(&mut self) -> Vec<Line> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for frame in set.iter_mut() {
+                if let Some(line) = frame.take() {
+                    out.push(line);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over resident lines in frame order.
+    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+        self.sets.iter().flatten().filter_map(Option::as_ref)
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.resident_lines().count()
+    }
+
+    fn allowed_ways(
+        &self,
+        kind: BlockKind,
+        partition_override: Option<&Partition>,
+    ) -> (usize, usize) {
+        match partition_override.or(self.partition.as_ref()) {
+            Some(p) => p.ways_for(kind, self.ways),
+            None => (0, self.ways),
+        }
+    }
+
+    fn fill(
+        &mut self,
+        set: usize,
+        new_line: Line,
+        partition_override: Option<&Partition>,
+    ) -> Option<Line> {
+        let (lo, hi) = self.allowed_ways(new_line.kind, partition_override);
+
+        if let Some(way) = (lo..hi).find(|&w| self.sets[set][w].is_none()) {
+            self.sets[set][way] = Some(new_line);
+            self.policy.on_fill(set, way, &new_line);
+            return None;
+        }
+
+        let candidates: Vec<usize> = (lo..hi).collect();
+        let way = self
+            .policy
+            .choose_victim(set, &candidates, &self.sets[set], self.time);
+        assert!((lo..hi).contains(&way), "policy chose non-candidate way");
+        let victim = self.sets[set][way].take().expect("victim line");
+        self.policy.on_evict(set, way, &victim, self.time);
+        self.stats.record_eviction(victim.kind, victim.dirty);
+        self.sets[set][way] = Some(new_line);
+        self.policy.on_fill(set, way, &new_line);
+        Some(victim)
+    }
+}
+
+/// The naive metadata cache: [`SpecCache`] plus contents admission,
+/// partial writes, and the (shared) set-dueling controller, restating
+/// `maps_sim::MetadataCache`.
+#[derive(Debug)]
+pub struct SpecMetadataCache {
+    cache: SpecCache,
+    contents: CacheContents,
+    partial_writes: bool,
+    dueling: Option<DuelingController>,
+}
+
+impl SpecMetadataCache {
+    /// Builds the cache, or `None` when the configuration disables it.
+    pub fn new(cfg: &MdcConfig) -> Option<Self> {
+        if cfg.size_bytes == 0 {
+            return None;
+        }
+        // Definitional geometry: capacity / (ways * 64 B lines) sets.
+        let sets = (cfg.size_bytes / (cfg.ways as u64 * 64)) as usize;
+        assert!(sets > 0, "metadata cache smaller than one set");
+        let mut cache = SpecCache::new(sets, cfg.ways, cfg.policy.build());
+        let mut dueling = None;
+        match cfg.partition {
+            PartitionMode::None => {}
+            PartitionMode::Static(p) => cache.set_partition(Some(p)),
+            PartitionMode::Dynamic {
+                a,
+                b,
+                leaders_per_side,
+            } => {
+                a.validate(cfg.ways);
+                b.validate(cfg.ways);
+                dueling = Some(DuelingController::new(sets, leaders_per_side, a, b));
+            }
+        }
+        Some(Self {
+            cache,
+            contents: cfg.contents,
+            partial_writes: cfg.partial_writes,
+            dueling,
+        })
+    }
+
+    /// Which metadata types this cache admits.
+    pub fn contents(&self) -> CacheContents {
+        self.contents
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resets statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Accesses a metadata block; non-admitted kinds probe only.
+    pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> SpecMdOutcome {
+        if !self.contents.admits(kind) {
+            let hit = self.cache.probe(key, kind);
+            return SpecMdOutcome {
+                hit,
+                evicted: None,
+                bypassed: true,
+            };
+        }
+        let r = if self.dueling.is_some() {
+            let set = self.cache.set_of(key);
+            let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+            let r = self.cache.access_with(key, kind, write, partition.as_ref());
+            if !r.hit {
+                if let Some(d) = &mut self.dueling {
+                    d.record_miss(set);
+                }
+            }
+            r
+        } else {
+            self.cache.access_with(key, kind, write, None)
+        };
+        SpecMdOutcome {
+            hit: r.hit,
+            evicted: r.evicted,
+            bypassed: false,
+        }
+    }
+
+    /// Write of a single 8 B sub-entry.
+    pub fn write_partial(&mut self, key: u64, kind: BlockKind, slot: u8) -> SpecMdOutcome {
+        if !self.contents.admits(kind) {
+            let hit = self.cache.probe(key, kind);
+            return SpecMdOutcome {
+                hit,
+                evicted: None,
+                bypassed: true,
+            };
+        }
+        if self.cache.access_mark_valid(key, kind, slot).is_some() {
+            return SpecMdOutcome {
+                hit: true,
+                evicted: None,
+                bypassed: false,
+            };
+        }
+        if !self.partial_writes {
+            return self.access(key, kind, true);
+        }
+        let set = self.cache.set_of(key);
+        let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+        self.cache.probe(key, kind);
+        if let Some(d) = &mut self.dueling {
+            d.record_miss(set);
+        }
+        let evicted = self
+            .cache
+            .insert_placeholder(key, kind, slot, partition.as_ref());
+        SpecMdOutcome {
+            hit: false,
+            evicted,
+            bypassed: false,
+        }
+    }
+
+    /// Valid mask of a resident line, if any.
+    pub fn valid_mask(&self, key: u64) -> Option<u8> {
+        self.cache.line(key).map(|l| l.valid_mask)
+    }
+
+    /// Marks a resident line fully valid.
+    pub fn complete_line(&mut self, key: u64) {
+        for slot in 0..8 {
+            if self.cache.mark_valid(key, slot).is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Drains all resident lines.
+    pub fn drain(&mut self) -> Vec<Line> {
+        self.cache.drain()
+    }
+
+    /// Iterates over resident lines in frame order.
+    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+        self.cache.resident_lines()
+    }
+
+    /// The inner cache's access counter.
+    pub fn time(&self) -> u64 {
+        self.cache.time()
+    }
+}

@@ -1,0 +1,580 @@
+//! The oracle metadata engine: a naive restatement of
+//! `maps_sim::MetadataEngine`.
+//!
+//! Every address computation goes through [`maps_secure::spec`] (plain
+//! division/remainder, no precomputation), tree walks collect into fresh
+//! `Vec`s, the eviction cascade allocates its work queue per event, and
+//! the counter store is an independent `std::collections::HashMap`
+//! implementation. The observable contract — observer callback order,
+//! statistics, DRAM traffic — restates the production engine's documented
+//! behaviour step for step; the differential harness asserts the two stay
+//! identical on every access.
+
+use std::collections::HashMap;
+
+use maps_secure::spec;
+use maps_secure::{CounterMode, SecureConfig, WriteOutcome};
+use maps_sim::{EngineStats, MdcConfig, MetaObserver};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess, BLOCKS_PER_PAGE};
+
+use crate::bmt::OracleBmt;
+use crate::cache::SpecMetadataCache;
+
+/// Independent restatement of `maps_secure::CounterStore`: default-hashed
+/// `HashMap`s and per-page `Vec`s, agreeing only on the documented
+/// write-outcome semantics (7-bit split counters overflowing at 128 writes,
+/// monolithic 64-bit SGX counters never overflowing).
+#[derive(Debug, Clone)]
+pub struct OracleCounters {
+    mode: CounterMode,
+    /// Split-counter state: page index -> (page counter, 64 block counters).
+    pages: HashMap<u64, (u64, Vec<u8>)>,
+    /// SGX monolithic counters: data block index -> counter.
+    blocks: HashMap<u64, u64>,
+    writes: u64,
+    overflows: u64,
+}
+
+impl OracleCounters {
+    /// Creates an empty store.
+    pub fn new(mode: CounterMode) -> Self {
+        Self {
+            mode,
+            pages: HashMap::new(),
+            blocks: HashMap::new(),
+            writes: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Records a write to a data block, incrementing its counter.
+    pub fn record_write(&mut self, data: BlockAddr) -> WriteOutcome {
+        self.writes += 1;
+        match self.mode {
+            CounterMode::SplitPi => {
+                let page = data.page().index();
+                let slot = data.slot_in_page() as usize;
+                let entry = self
+                    .pages
+                    .entry(page)
+                    .or_insert_with(|| (0, vec![0; BLOCKS_PER_PAGE as usize]));
+                // A 7-bit counter overflows when it would reach 128; the
+                // overflow bumps the page counter and resets every block
+                // counter in the page (the written block included).
+                if entry.1[slot] >= 127 {
+                    entry.0 += 1;
+                    entry.1.iter_mut().for_each(|c| *c = 0);
+                    self.overflows += 1;
+                    WriteOutcome::PageOverflow { page }
+                } else {
+                    entry.1[slot] += 1;
+                    WriteOutcome::Incremented
+                }
+            }
+            CounterMode::SgxMonolithic => {
+                *self.blocks.entry(data.index()).or_insert(0) += 1;
+                WriteOutcome::Incremented
+            }
+        }
+    }
+
+    /// Per-block counter value (page counter excluded in split mode).
+    pub fn block_counter(&self, data: BlockAddr) -> u64 {
+        match self.mode {
+            CounterMode::SplitPi => self
+                .pages
+                .get(&data.page().index())
+                .map_or(0, |(_, blocks)| {
+                    u64::from(blocks[data.slot_in_page() as usize])
+                }),
+            CounterMode::SgxMonolithic => self.blocks.get(&data.index()).copied().unwrap_or(0),
+        }
+    }
+
+    /// Per-page counter value (always 0 in SGX mode).
+    pub fn page_counter(&self, page: u64) -> u64 {
+        match self.mode {
+            CounterMode::SplitPi => self.pages.get(&page).map_or(0, |(pc, _)| *pc),
+            CounterMode::SgxMonolithic => 0,
+        }
+    }
+
+    /// Total writes recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total page overflows.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+/// Cascade depth bound; beyond it updates are written through (must equal
+/// the production engine's budget for lockstep equality).
+const CASCADE_BUDGET: usize = 64;
+
+/// The oracle engine.
+#[derive(Debug)]
+pub struct OracleEngine {
+    secure: SecureConfig,
+    counters: OracleCounters,
+    bmt: OracleBmt,
+    mdc: Option<SpecMetadataCache>,
+    partial_writes: bool,
+    dram_latency: u64,
+    hash_latency: u64,
+    speculation: bool,
+    speculation_window: u64,
+    stats: EngineStats,
+}
+
+impl OracleEngine {
+    /// Creates an engine over the given protected-memory configuration
+    /// (mirrors `MetadataEngine::with_speculation_window`).
+    pub fn new(
+        secure: SecureConfig,
+        mdc_cfg: &MdcConfig,
+        dram_latency: u64,
+        hash_latency: u64,
+        speculation: bool,
+        speculation_window: u64,
+    ) -> Self {
+        let counters = OracleCounters::new(secure.mode);
+        let bmt = OracleBmt::new(secure, &counters);
+        Self {
+            counters,
+            bmt,
+            mdc: SpecMetadataCache::new(mdc_cfg),
+            partial_writes: mdc_cfg.partial_writes,
+            dram_latency,
+            hash_latency,
+            speculation,
+            speculation_window,
+            stats: EngineStats::default(),
+            secure,
+        }
+    }
+
+    /// The secure-memory configuration.
+    pub fn secure_config(&self) -> &SecureConfig {
+        &self.secure
+    }
+
+    /// The metadata cache, if enabled.
+    pub fn mdc(&self) -> Option<&SpecMetadataCache> {
+        self.mdc.as_ref()
+    }
+
+    /// The counter store.
+    pub fn counters(&self) -> &OracleCounters {
+        &self.counters
+    }
+
+    /// The value-level tree model.
+    pub fn bmt(&self) -> &OracleBmt {
+        &self.bmt
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Resets statistics (cache, counter, and tree state persist).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+        if let Some(mdc) = &mut self.mdc {
+            mdc.reset_stats();
+        }
+    }
+
+    /// Handles an LLC demand miss, returning the core-visible stall.
+    pub fn handle_read<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) -> u64 {
+        self.stats.reads += 1;
+        self.stats.dram_data.reads += 1;
+
+        let hash_hit = self.meta_read(
+            spec::hash_block_of(&self.secure, data),
+            BlockKind::Hash,
+            obs,
+        );
+        let counter = spec::counter_block_of(&self.secure, data);
+        let ctr_hit = self.meta_read(counter, BlockKind::Counter, obs);
+        let walk_misses = if ctr_hit {
+            0
+        } else {
+            self.verify_counter(counter, obs)
+        };
+
+        // Timing model restated from the production engine: decrypt is
+        // gated by data and counter, verify by data, the walk, and the
+        // hash; speculation hides verify up to the window.
+        let t_data = self.dram_latency;
+        let t_ctr = if ctr_hit { 0 } else { self.dram_latency };
+        let t_decrypt = t_data.max(t_ctr + self.hash_latency);
+        let t_hash = if hash_hit { 0 } else { self.dram_latency };
+        let t_verify = t_data
+            .max(t_ctr + walk_misses * self.dram_latency)
+            .max(t_hash)
+            + self.hash_latency;
+        let stall = if self.speculation {
+            t_decrypt.max(t_verify.saturating_sub(self.speculation_window))
+        } else {
+            t_decrypt.max(t_verify)
+        };
+        self.stats.stall_cycles += stall;
+        stall
+    }
+
+    /// Handles an LLC dirty writeback.
+    pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
+        self.stats.writes += 1;
+        self.stats.dram_data.writes += 1;
+
+        match self.counters.record_write(data) {
+            WriteOutcome::PageOverflow { page } => {
+                self.bmt.update_page(&self.counters, page);
+                self.stats.page_overflows += 1;
+                self.reencrypt_page(page, obs);
+            }
+            WriteOutcome::Incremented => {
+                self.bmt.update_counter_block(
+                    &self.counters,
+                    spec::counter_block_of(&self.secure, data),
+                );
+            }
+        }
+        let counter = spec::counter_block_of(&self.secure, data);
+        self.counter_write(counter, obs);
+
+        let hash_block = spec::hash_block_of(&self.secure, data);
+        let slot = spec::hash_slot_of(&self.secure, data);
+        self.meta_write_slot(hash_block, BlockKind::Hash, slot, obs);
+    }
+
+    /// Flushes the metadata cache, accounting final writebacks.
+    pub fn flush<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
+        let Some(mdc) = &mut self.mdc else { return };
+        for line in mdc.drain() {
+            if !line.dirty {
+                continue;
+            }
+            if !line.is_complete() {
+                self.stats.dram_meta.reads += 1;
+                self.stats.partial_fill_reads += 1;
+            }
+            self.stats.dram_meta.writes += 1;
+            let block = BlockAddr::new(line.key);
+            match line.kind {
+                BlockKind::Counter => {
+                    self.write_through_tree_update(spec::tree_leaf_of(&self.secure, block), 0, obs);
+                }
+                BlockKind::Tree(level) => {
+                    if let Some(parent) = spec::tree_parent(&self.secure, block) {
+                        self.write_through_tree_update(parent, level + 1, obs);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn meta_read<O: MetaObserver + ?Sized>(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        obs: &mut O,
+    ) -> bool {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
+        match &mut self.mdc {
+            Some(mdc) => {
+                let out = mdc.access(block.index(), kind, false);
+                self.stats.meta.record_access(kind, out.hit);
+                if out.hit {
+                    if self.partial_writes && mdc.valid_mask(block.index()) != Some(0xFF) {
+                        self.stats.dram_meta.reads += 1;
+                        self.stats.partial_fill_reads += 1;
+                        mdc.complete_line(block.index());
+                    }
+                    true
+                } else {
+                    self.stats.dram_meta.reads += 1;
+                    if let Some(victim) = out.evicted {
+                        self.process_eviction(victim, obs);
+                    }
+                    false
+                }
+            }
+            None => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.reads += 1;
+                false
+            }
+        }
+    }
+
+    fn verify_counter<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) -> u64 {
+        self.stats.tree_walks += 1;
+        let path = spec::tree_path_of_counter(&self.secure, counter);
+        let mut misses = 0;
+        for (level, node) in path.into_iter().enumerate() {
+            let hit = self.meta_read(node, BlockKind::Tree(level as u8), obs);
+            if hit {
+                break;
+            }
+            misses += 1;
+        }
+        self.stats.tree_walk_level_misses += misses;
+        misses
+    }
+
+    fn counter_write<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) {
+        obs.observe(&MetaAccess::new(
+            counter,
+            BlockKind::Counter,
+            AccessKind::Write,
+        ));
+        match &mut self.mdc {
+            Some(mdc) if mdc.contents().counters => {
+                let out = mdc.access(counter.index(), BlockKind::Counter, true);
+                self.stats.meta.record_access(BlockKind::Counter, out.hit);
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+                if !out.hit {
+                    self.stats.dram_meta.reads += 1;
+                    self.verify_counter(counter, obs);
+                }
+            }
+            _ => {
+                self.stats.meta.record_access(BlockKind::Counter, false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+                let path = spec::tree_path_of_counter(&self.secure, counter);
+                let mut slot = spec::child_slot_of_counter(&self.secure, counter);
+                for (level, node) in path.into_iter().enumerate() {
+                    self.meta_write_slot(node, BlockKind::Tree(level as u8), slot, obs);
+                    slot = spec::child_slot_of_tree(&self.secure, node);
+                }
+            }
+        }
+    }
+
+    fn meta_write_slot<O: MetaObserver + ?Sized>(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        slot: u8,
+        obs: &mut O,
+    ) {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
+        match &mut self.mdc {
+            Some(mdc) => {
+                let out = mdc.write_partial(block.index(), kind, slot);
+                if out.bypassed {
+                    self.stats.meta.record_access(kind, false);
+                    self.stats.dram_meta.reads += 1;
+                    self.stats.dram_meta.writes += 1;
+                    return;
+                }
+                self.stats.meta.record_access(kind, out.hit);
+                if !out.hit && !self.partial_writes {
+                    self.stats.dram_meta.reads += 1;
+                }
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+            }
+            None => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+    }
+
+    fn meta_write_full<O: MetaObserver + ?Sized>(
+        &mut self,
+        block: BlockAddr,
+        kind: BlockKind,
+        obs: &mut O,
+    ) {
+        obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
+        match &mut self.mdc {
+            Some(mdc) if mdc.contents().admits(kind) => {
+                let out = mdc.access(block.index(), kind, true);
+                self.stats.meta.record_access(kind, out.hit);
+                if let Some(victim) = out.evicted {
+                    self.process_eviction(victim, obs);
+                }
+            }
+            _ => {
+                self.stats.meta.record_access(kind, false);
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+    }
+
+    fn process_eviction<O: MetaObserver + ?Sized>(&mut self, first: maps_cache::Line, obs: &mut O) {
+        // LIFO work queue, freshly allocated (the production engine reuses
+        // a buffer; the traversal order is the contract).
+        let mut queue = vec![first];
+        let mut depth = 0usize;
+        while let Some(line) = queue.pop() {
+            if !line.dirty {
+                continue;
+            }
+            if !line.is_complete() {
+                self.stats.dram_meta.reads += 1;
+                self.stats.partial_fill_reads += 1;
+            }
+            self.stats.dram_meta.writes += 1;
+            let block = BlockAddr::new(line.key);
+            let update = match line.kind {
+                BlockKind::Counter => Some((
+                    spec::tree_leaf_of(&self.secure, block),
+                    0u8,
+                    spec::child_slot_of_counter(&self.secure, block),
+                )),
+                BlockKind::Tree(level) => spec::tree_parent(&self.secure, block)
+                    .map(|p| (p, level + 1, spec::child_slot_of_tree(&self.secure, block))),
+                _ => None,
+            };
+            let Some((node, level, slot)) = update else {
+                continue;
+            };
+            depth += 1;
+            if depth > CASCADE_BUDGET {
+                self.write_through_tree_update(node, level, obs);
+                continue;
+            }
+            obs.observe(&MetaAccess::new(
+                node,
+                BlockKind::Tree(level),
+                AccessKind::Write,
+            ));
+            if let Some(mdc) = &mut self.mdc {
+                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
+                if out.bypassed {
+                    self.stats.meta.record_access(BlockKind::Tree(level), false);
+                    self.stats.dram_meta.reads += 1;
+                    self.stats.dram_meta.writes += 1;
+                } else {
+                    self.stats
+                        .meta
+                        .record_access(BlockKind::Tree(level), out.hit);
+                    if !out.hit && !self.partial_writes {
+                        self.stats.dram_meta.reads += 1;
+                    }
+                    if let Some(victim) = out.evicted {
+                        queue.push(victim);
+                    }
+                }
+            } else {
+                self.stats.meta.record_access(BlockKind::Tree(level), false);
+                self.stats.dram_meta.reads += 1;
+                self.stats.dram_meta.writes += 1;
+            }
+        }
+        self.stats.max_cascade_depth = self.stats.max_cascade_depth.max(depth as u64);
+    }
+
+    fn write_through_tree_update<O: MetaObserver + ?Sized>(
+        &mut self,
+        mut node: BlockAddr,
+        mut level: u8,
+        obs: &mut O,
+    ) {
+        loop {
+            obs.observe(&MetaAccess::new(
+                node,
+                BlockKind::Tree(level),
+                AccessKind::Write,
+            ));
+            self.stats.meta.record_access(BlockKind::Tree(level), false);
+            self.stats.dram_meta.reads += 1;
+            self.stats.dram_meta.writes += 1;
+            match spec::tree_parent(&self.secure, node) {
+                Some(parent) => {
+                    node = parent;
+                    level += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn reencrypt_page<O: MetaObserver + ?Sized>(&mut self, page: u64, obs: &mut O) {
+        self.stats.dram_data.reads += BLOCKS_PER_PAGE;
+        self.stats.dram_data.writes += BLOCKS_PER_PAGE;
+        for hb in spec::hash_blocks_of_page(&self.secure, page) {
+            self.meta_write_full(hb, BlockKind::Hash, obs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_sim::RecordingObserver;
+
+    fn engine(mdc: &MdcConfig) -> OracleEngine {
+        OracleEngine::new(
+            SecureConfig::poison_ivy(16 << 20),
+            mdc,
+            200,
+            40,
+            true,
+            u64::MAX,
+        )
+    }
+
+    #[test]
+    fn oracle_counters_match_production_store() {
+        let mut spec_ctrs = OracleCounters::new(CounterMode::SplitPi);
+        let mut prod = maps_secure::CounterStore::new(CounterMode::SplitPi);
+        let mut state = 99u64;
+        for _ in 0..2000 {
+            // Cheap LCG over a few pages so overflows happen.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let block = BlockAddr::new((state >> 33) % 192);
+            assert_eq!(spec_ctrs.record_write(block), prod.record_write(block));
+            assert_eq!(spec_ctrs.block_counter(block), prod.block_counter(block));
+        }
+        assert_eq!(spec_ctrs.overflows(), prod.overflows());
+        assert_eq!(spec_ctrs.writes(), prod.writes());
+    }
+
+    #[test]
+    fn cold_read_walks_whole_tree() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut rec = RecordingObserver::new();
+        e.handle_read(BlockAddr::new(0), &mut rec);
+        let kinds: Vec<BlockKind> = rec.records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Hash,
+                BlockKind::Counter,
+                BlockKind::Tree(0),
+                BlockKind::Tree(1),
+                BlockKind::Tree(2)
+            ]
+        );
+        assert_eq!(e.stats().tree_walks, 1);
+        assert_eq!(e.stats().dram_meta.reads, 5);
+    }
+
+    #[test]
+    fn overflow_triggers_page_reencryption_and_consistent_root() {
+        let mut e = engine(&MdcConfig::paper_default());
+        let mut obs = maps_sim::NullObserver;
+        for _ in 0..128 {
+            e.handle_write(BlockAddr::new(0), &mut obs);
+        }
+        assert_eq!(e.stats().page_overflows, 1);
+        assert!(e.stats().dram_data.reads >= 64);
+        assert_eq!(e.bmt().root(), e.bmt().recompute_root(e.counters()));
+    }
+}

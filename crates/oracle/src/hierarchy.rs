@@ -1,0 +1,270 @@
+//! Naive data-cache hierarchy and the end-to-end oracle simulation.
+
+use maps_cache::policy::AnyPolicy;
+use maps_secure::SecureConfig;
+use maps_sim::{HierarchyStats, MemEvent, MetaObserver, SimConfig};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MemAccess};
+use maps_workloads::Workload;
+
+use crate::cache::SpecCache;
+use crate::engine::OracleEngine;
+
+/// Set count for a level: capacity / (ways × 64 B blocks), the
+/// definitional form of `CacheConfig::from_bytes`.
+fn sets_of(bytes: u64, ways: usize) -> usize {
+    let sets = (bytes / (ways as u64 * 64)) as usize;
+    assert!(sets > 0, "cache smaller than one set");
+    sets
+}
+
+/// L1 → L2 → LLC write-back hierarchy over [`SpecCache`]s, restating
+/// `maps_sim::Hierarchy` (all levels true LRU, dirty evictions installed
+/// into the next level, only LLC traffic reaches memory).
+#[derive(Debug)]
+pub struct SpecHierarchy {
+    l1: SpecCache,
+    l2: SpecCache,
+    llc: SpecCache,
+    stats: HierarchyStats,
+}
+
+impl SpecHierarchy {
+    /// Builds the hierarchy from a simulation configuration.
+    pub fn new(cfg: &SimConfig) -> Self {
+        Self {
+            l1: SpecCache::new(
+                sets_of(cfg.l1_bytes, cfg.l1_ways),
+                cfg.l1_ways,
+                AnyPolicy::true_lru(),
+            ),
+            l2: SpecCache::new(
+                sets_of(cfg.l2_bytes, cfg.l2_ways),
+                cfg.l2_ways,
+                AnyPolicy::true_lru(),
+            ),
+            llc: SpecCache::new(
+                sets_of(cfg.llc_bytes, cfg.llc_ways),
+                cfg.llc_ways,
+                AnyPolicy::true_lru(),
+            ),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Resets statistics (cache contents persist).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Runs one core access, appending memory events to `events` (cleared
+    /// first). Returns `true` on an LLC demand miss.
+    pub fn access(&mut self, access: &MemAccess, events: &mut Vec<MemEvent>) -> bool {
+        events.clear();
+        self.stats.accesses += 1;
+        self.stats.instructions += u64::from(access.icount);
+        let block = access.addr.block();
+        let write = access.kind == AccessKind::Write;
+
+        let r1 = self
+            .l1
+            .access_with(block.index(), BlockKind::Data, write, None);
+        if let Some(victim) = r1.evicted {
+            if victim.dirty {
+                self.writeback_to_l2(BlockAddr::new(victim.key), events);
+            }
+        }
+        if r1.hit {
+            return false;
+        }
+        self.stats.l1_misses += 1;
+
+        let r2 = self
+            .l2
+            .access_with(block.index(), BlockKind::Data, false, None);
+        if let Some(victim) = r2.evicted {
+            if victim.dirty {
+                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+            }
+        }
+        if r2.hit {
+            return false;
+        }
+        self.stats.l2_misses += 1;
+
+        let r3 = self
+            .llc
+            .access_with(block.index(), BlockKind::Data, false, None);
+        if let Some(victim) = r3.evicted {
+            if victim.dirty {
+                self.stats.llc_writebacks += 1;
+                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+            }
+        }
+        if r3.hit {
+            return false;
+        }
+        self.stats.llc_demand_misses += 1;
+        events.push(MemEvent::Read(block));
+        true
+    }
+
+    fn writeback_to_l2(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+        let r = self
+            .l2
+            .access_with(block.index(), BlockKind::Data, true, None);
+        if let Some(victim) = r.evicted {
+            if victim.dirty {
+                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+            }
+        }
+    }
+
+    fn writeback_to_llc(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+        let r = self
+            .llc
+            .access_with(block.index(), BlockKind::Data, true, None);
+        if let Some(victim) = r.evicted {
+            if victim.dirty {
+                self.stats.llc_writebacks += 1;
+                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+            }
+        }
+    }
+}
+
+/// End-to-end oracle simulation mirroring `maps_sim::SecureSim`'s stepping
+/// contract: one [`OracleSim::step_observed`] call per core access, data
+/// hierarchy first, then the memory events in order (writebacks before the
+/// demand read), each charged to the [`OracleEngine`].
+pub struct OracleSim<W> {
+    cfg: SimConfig,
+    workload: W,
+    hierarchy: SpecHierarchy,
+    engine: Option<OracleEngine>,
+    cycles: u64,
+    insecure_dram: maps_mem::DramCounters,
+}
+
+impl<W: Workload> OracleSim<W> {
+    /// Builds the simulation; protected memory is grown to the workload's
+    /// footprint exactly as `SecureSim::new` does.
+    pub fn new(cfg: SimConfig, workload: W) -> Self {
+        let memory_bytes = cfg.memory_bytes.max(workload.footprint_bytes()).max(4096);
+        let secure_cfg = SecureConfig::new(
+            memory_bytes.next_multiple_of(maps_trace::PAGE_BYTES),
+            cfg.counter_mode,
+        );
+        let engine = cfg.secure.then(|| {
+            OracleEngine::new(
+                secure_cfg,
+                &cfg.mdc,
+                cfg.dram.latency_cycles,
+                cfg.hash_latency,
+                cfg.speculation,
+                cfg.speculation_window,
+            )
+        });
+        Self {
+            hierarchy: SpecHierarchy::new(&cfg),
+            engine,
+            cfg,
+            workload,
+            cycles: 0,
+            insecure_dram: maps_mem::DramCounters::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The metadata engine (if secure memory is enabled).
+    pub fn engine(&self) -> Option<&OracleEngine> {
+        self.engine.as_ref()
+    }
+
+    /// Cycles accumulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Hierarchy statistics so far.
+    pub fn hierarchy_stats(&self) -> &HierarchyStats {
+        self.hierarchy.stats()
+    }
+
+    /// DRAM transfers in insecure mode.
+    pub fn insecure_dram(&self) -> &maps_mem::DramCounters {
+        &self.insecure_dram
+    }
+
+    /// Flushes the metadata engine's cache, feeding `obs` the final
+    /// writeback stream.
+    pub fn flush_observed<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
+        if let Some(engine) = &mut self.engine {
+            engine.flush(obs);
+        }
+    }
+
+    /// Executes one core access, feeding `obs` the metadata stream.
+    pub fn step_observed<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
+        let access = self.workload.next_access();
+        self.cycles += u64::from(access.icount);
+        let mut events = Vec::new();
+        self.hierarchy.access(&access, &mut events);
+        for event in &events {
+            match (event, &mut self.engine) {
+                (MemEvent::Write(block), Some(engine)) => engine.handle_write(*block, obs),
+                (MemEvent::Read(block), Some(engine)) => {
+                    self.cycles += engine.handle_read(*block, obs);
+                }
+                (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
+                (MemEvent::Read(_), None) => {
+                    self.insecure_dram.reads += 1;
+                    self.cycles += self.cfg.dram.latency_cycles;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_sim::NullObserver;
+    use maps_trace::PhysAddr;
+    use maps_workloads::Benchmark;
+
+    fn acc(block: u64, kind: AccessKind) -> MemAccess {
+        MemAccess::new(PhysAddr::new(block * 64), kind, 4)
+    }
+
+    #[test]
+    fn first_touch_misses_everywhere() {
+        let mut h = SpecHierarchy::new(&SimConfig::paper_default());
+        let mut ev = Vec::new();
+        assert!(h.access(&acc(1, AccessKind::Read), &mut ev));
+        assert_eq!(ev, vec![MemEvent::Read(BlockAddr::new(1))]);
+        assert!(!h.access(&acc(1, AccessKind::Read), &mut ev));
+        assert_eq!(h.stats().l1_misses, 1);
+    }
+
+    #[test]
+    fn oracle_sim_runs_secure_and_insecure() {
+        let mut secure = OracleSim::new(SimConfig::paper_default(), Benchmark::Gups.build(3));
+        let mut insecure = OracleSim::new(SimConfig::insecure_baseline(), Benchmark::Gups.build(3));
+        for _ in 0..5000 {
+            secure.step_observed(&mut NullObserver);
+            insecure.step_observed(&mut NullObserver);
+        }
+        assert!(secure.engine().unwrap().stats().reads > 0);
+        assert!(insecure.insecure_dram().reads > 0);
+        assert!(secure.cycles() >= insecure.cycles());
+    }
+}

@@ -1,0 +1,47 @@
+//! Executable specification and differential oracle for the MAPS
+//! secure-memory pipeline.
+//!
+//! Everything in this crate is deliberately slow and obviously correct: a
+//! linear-scan cache with no packed tag arrays ([`SpecCache`]), a metadata
+//! engine that recomputes every layout equation from
+//! [`maps_secure::spec`]'s plain-arithmetic forms on each access
+//! ([`OracleEngine`]), a `HashMap`-backed counter store, and a value-level
+//! Bonsai Merkle Tree whose digests are really recomputed from counter
+//! values ([`OracleBmt`]). The production simulator earns its optimizations
+//! — packed tags, shift/mask address math, stack-allocated tree walks,
+//! reusable cascade buffers — only as long as it stays observably equal to
+//! this crate: the differential harness ([`diff`]) drives both
+//! implementations in lockstep and asserts equality of the metadata touch
+//! stream, per-level hit/miss statistics, DRAM traffic, stall cycles, and
+//! cache contents after every access.
+//!
+//! ## One deliberate divergence from "fully associative"
+//!
+//! The oracle's caches mirror the production set-associative geometry
+//! (same set count, same ways) instead of being fully associative: the
+//! differential contract includes per-set effects (conflict misses, way
+//! partitions, set dueling), which a fully-associative model could not
+//! reproduce. The *storage* is still naive — a `Vec<Option<Line>>` per set
+//! found by linear scan — and set selection is plain remainder rather than
+//! mask arithmetic. Replacement policies are shared with production by
+//! design: the policy objects are the specification of replacement, and
+//! the oracle checks everything wrapped around them.
+//!
+//! ## Failure artifacts
+//!
+//! When lockstep disagreement is detected, [`diff`] shrinks the driving
+//! trace with a delta-debugging loop and writes a replayable `.trace`
+//! artifact (config and seed embedded) under `results/failures/`; see
+//! [`diff::replay_artifact`].
+
+pub mod bmt;
+pub mod cache;
+pub mod diff;
+pub mod engine;
+pub mod hierarchy;
+
+pub use bmt::OracleBmt;
+pub use cache::{SpecAccessResult, SpecCache, SpecMdOutcome, SpecMetadataCache};
+pub use diff::{DiffCase, DiffError, TraceOp};
+pub use engine::{OracleCounters, OracleEngine};
+pub use hierarchy::{OracleSim, SpecHierarchy};

@@ -34,6 +34,7 @@ pub mod config;
 pub mod counters;
 pub mod integrity;
 pub mod layout;
+pub mod spec;
 
 pub use config::{CounterMode, SecureConfig};
 pub use counters::{CounterStore, IndexHasher, WriteOutcome};

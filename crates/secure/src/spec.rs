@@ -1,0 +1,283 @@
+//! Executable specification of the metadata layout equations.
+//!
+//! Every function here restates one Section III address-map equation with
+//! plain integer division and remainder, recomputing region bases on every
+//! call. Nothing is precomputed, shifted, or masked — the point is to be
+//! obviously equal to the paper's equations so [`crate::Layout`]'s
+//! precomputed/shift-based implementation can be diffed against it.
+//!
+//! The memory image is laid out block-granular as
+//!
+//! ```text
+//! | data | counters | hashes | tree level 0 | tree level 1 | ... |
+//! ```
+//!
+//! with the single-node top level (the root) held on chip and therefore
+//! absent from memory.
+
+use maps_trace::{BlockAddr, BlockKind, BLOCKS_PER_PAGE};
+
+use crate::SecureConfig;
+
+/// Number of protected data blocks.
+pub fn data_blocks(cfg: &SecureConfig) -> u64 {
+    cfg.data_blocks()
+}
+
+/// First counter block: counters start right after the data region.
+pub fn counter_base(cfg: &SecureConfig) -> u64 {
+    data_blocks(cfg)
+}
+
+/// Number of counter blocks: one per `data_blocks_per_counter_block` data
+/// blocks, rounded up.
+pub fn counter_blocks(cfg: &SecureConfig) -> u64 {
+    data_blocks(cfg).div_ceil(cfg.mode.data_blocks_per_counter_block())
+}
+
+/// First hash block: hashes follow the counters.
+pub fn hash_base(cfg: &SecureConfig) -> u64 {
+    counter_base(cfg) + counter_blocks(cfg)
+}
+
+/// Number of hash blocks: eight 8 B HMACs per block, so one hash block per
+/// eight data blocks, rounded up.
+pub fn hash_blocks(cfg: &SecureConfig) -> u64 {
+    data_blocks(cfg).div_ceil(8)
+}
+
+/// `(base, node count)` of every in-memory tree level, leaves first.
+///
+/// The tree is built bottom-up over the counter region: each level has
+/// `ceil(span / arity)` nodes where `span` is the size of the level below
+/// (the counters, for the leaves). The first level that would hold a
+/// single node is the root; it stays on chip and is not included.
+pub fn tree_levels(cfg: &SecureConfig) -> Vec<(u64, u64)> {
+    let mut levels = Vec::new();
+    let mut span = counter_blocks(cfg);
+    let mut base = hash_base(cfg) + hash_blocks(cfg);
+    loop {
+        let nodes = span.div_ceil(cfg.tree_arity);
+        if nodes <= 1 {
+            break;
+        }
+        levels.push((base, nodes));
+        base += nodes;
+        span = nodes;
+    }
+    levels
+}
+
+/// Counter block protecting a data block: data block `d` is covered by
+/// counter block `counter_base + d / per_ctr`.
+pub fn counter_block_of(cfg: &SecureConfig, data: BlockAddr) -> BlockAddr {
+    assert!(data.index() < data_blocks(cfg));
+    BlockAddr::new(counter_base(cfg) + data.index() / cfg.mode.data_blocks_per_counter_block())
+}
+
+/// Hash block holding the HMAC of a data block: `hash_base + d / 8`.
+pub fn hash_block_of(cfg: &SecureConfig, data: BlockAddr) -> BlockAddr {
+    assert!(data.index() < data_blocks(cfg));
+    BlockAddr::new(hash_base(cfg) + data.index() / 8)
+}
+
+/// Slot of a data block's HMAC within its hash block: `d % 8`.
+pub fn hash_slot_of(_cfg: &SecureConfig, data: BlockAddr) -> u8 {
+    (data.index() % 8) as u8
+}
+
+/// Offset of a counter block within the counter region.
+fn counter_offset(cfg: &SecureConfig, counter: BlockAddr) -> u64 {
+    let base = counter_base(cfg);
+    assert!((base..base + counter_blocks(cfg)).contains(&counter.index()));
+    counter.index() - base
+}
+
+/// `(level, offset within level)` of a tree node.
+pub fn tree_position(cfg: &SecureConfig, node: BlockAddr) -> (usize, u64) {
+    for (level, (base, size)) in tree_levels(cfg).into_iter().enumerate() {
+        if (base..base + size).contains(&node.index()) {
+            return (level, node.index() - base);
+        }
+    }
+    panic!("{node} is not a tree node");
+}
+
+/// Leaf tree node protecting a counter block: leaf `off / arity` where
+/// `off` is the counter's offset within the counter region.
+pub fn tree_leaf_of(cfg: &SecureConfig, counter: BlockAddr) -> BlockAddr {
+    let levels = tree_levels(cfg);
+    assert!(!levels.is_empty(), "no in-memory tree levels");
+    BlockAddr::new(levels[0].0 + counter_offset(cfg, counter) / cfg.tree_arity)
+}
+
+/// Parent of a tree node, or `None` when the parent is the on-chip root.
+pub fn tree_parent(cfg: &SecureConfig, node: BlockAddr) -> Option<BlockAddr> {
+    let levels = tree_levels(cfg);
+    let (level, off) = tree_position(cfg, node);
+    let parent = level + 1;
+    if parent >= levels.len() {
+        return None;
+    }
+    Some(BlockAddr::new(levels[parent].0 + off / cfg.tree_arity))
+}
+
+/// Full tree walk for a counter block, leaf upward, root excluded.
+pub fn tree_path_of_counter(cfg: &SecureConfig, counter: BlockAddr) -> Vec<BlockAddr> {
+    let mut path = Vec::new();
+    if tree_levels(cfg).is_empty() {
+        return path;
+    }
+    let mut node = tree_leaf_of(cfg, counter);
+    loop {
+        path.push(node);
+        match tree_parent(cfg, node) {
+            Some(parent) => node = parent,
+            None => break,
+        }
+    }
+    path
+}
+
+/// Slot of a counter block's HMAC within its leaf node: `off % arity`.
+pub fn child_slot_of_counter(cfg: &SecureConfig, counter: BlockAddr) -> u8 {
+    (counter_offset(cfg, counter) % cfg.tree_arity) as u8
+}
+
+/// Slot of a tree node's HMAC within its parent: `off % arity`.
+pub fn child_slot_of_tree(cfg: &SecureConfig, node: BlockAddr) -> u8 {
+    let (_, off) = tree_position(cfg, node);
+    (off % cfg.tree_arity) as u8
+}
+
+/// Classifies any block address into data / counter / hash / tree by
+/// walking the region bounds in layout order.
+pub fn kind_of(cfg: &SecureConfig, block: BlockAddr) -> BlockKind {
+    let i = block.index();
+    if i < counter_base(cfg) {
+        BlockKind::Data
+    } else if i < hash_base(cfg) {
+        BlockKind::Counter
+    } else if i < hash_base(cfg) + hash_blocks(cfg) {
+        BlockKind::Hash
+    } else {
+        let (level, _) = tree_position(cfg, block);
+        BlockKind::Tree(level as u8)
+    }
+}
+
+/// The eight hash blocks covering one 4 KB data page.
+pub fn hash_blocks_of_page(cfg: &SecureConfig, page: u64) -> Vec<BlockAddr> {
+    let first_data = page * BLOCKS_PER_PAGE;
+    (0..8)
+        .map(|i| hash_block_of(cfg, BlockAddr::new(first_data + i * 8)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layout;
+
+    /// Configurations chosen to stress both arms of the optimized layout:
+    /// power-of-two and non-power-of-two arity, SGX vs PI counter ratios,
+    /// and odd (non-power-of-two) page-multiple memory sizes.
+    fn configs() -> Vec<SecureConfig> {
+        let mut cfgs = vec![
+            SecureConfig::poison_ivy(64 << 10),
+            SecureConfig::poison_ivy(16 << 20),
+            SecureConfig::sgx(64 << 10),
+            SecureConfig::sgx(16 << 20),
+            SecureConfig::poison_ivy(52 * 4096), // 52 pages: odd region sizes
+            SecureConfig::sgx(13 * 4096),
+        ];
+        let mut arity3 = SecureConfig::poison_ivy(3 << 20);
+        arity3.tree_arity = 3;
+        cfgs.push(arity3);
+        let mut arity5 = SecureConfig::sgx(520 * 4096);
+        arity5.tree_arity = 5;
+        cfgs.push(arity5);
+        cfgs
+    }
+
+    #[test]
+    fn spec_matches_layout_geometry() {
+        for cfg in configs() {
+            let l = Layout::new(cfg);
+            assert_eq!(data_blocks(&cfg), l.data_blocks(), "{cfg:?}");
+            assert_eq!(counter_blocks(&cfg), l.counter_blocks(), "{cfg:?}");
+            assert_eq!(hash_blocks(&cfg), l.hash_blocks(), "{cfg:?}");
+            let levels = tree_levels(&cfg);
+            assert_eq!(levels.len(), l.tree_levels(), "{cfg:?}");
+            for (level, (_, size)) in levels.iter().enumerate() {
+                assert_eq!(*size, l.tree_level_size(level), "{cfg:?} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_matches_layout_per_data_block() {
+        for cfg in configs() {
+            let l = Layout::new(cfg);
+            // Stride through the data region so every page and hash block
+            // boundary in small configs is crossed.
+            let n = data_blocks(&cfg);
+            for i in (0..n).step_by(7).chain([n - 1]) {
+                let d = BlockAddr::new(i);
+                assert_eq!(counter_block_of(&cfg, d), l.counter_block_of(d));
+                assert_eq!(hash_block_of(&cfg, d), l.hash_block_of(d));
+                assert_eq!(hash_slot_of(&cfg, d), l.hash_slot_of(d));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_matches_layout_tree_walks() {
+        for cfg in configs() {
+            let l = Layout::new(cfg);
+            let base = counter_base(&cfg);
+            for off in (0..counter_blocks(&cfg)).step_by(3) {
+                let ctr = BlockAddr::new(base + off);
+                let spec_path = tree_path_of_counter(&cfg, ctr);
+                let impl_path: Vec<_> = l.tree_path_of_counter(ctr).collect();
+                assert_eq!(spec_path, impl_path, "{cfg:?} ctr {ctr}");
+                assert_eq!(
+                    child_slot_of_counter(&cfg, ctr),
+                    l.child_slot_of_counter(ctr)
+                );
+                for node in spec_path {
+                    assert_eq!(child_slot_of_tree(&cfg, node), l.child_slot_of_tree(node));
+                    assert_eq!(tree_position(&cfg, node), l.tree_position(node));
+                    assert_eq!(tree_parent(&cfg, node), l.tree_parent(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_matches_layout_kind_classification() {
+        for cfg in configs() {
+            let l = Layout::new(cfg);
+            let total = hash_base(&cfg)
+                + hash_blocks(&cfg)
+                + tree_levels(&cfg).iter().map(|(_, n)| n).sum::<u64>();
+            for i in (0..total).step_by(5).chain([total - 1]) {
+                let b = BlockAddr::new(i);
+                assert_eq!(kind_of(&cfg, b), l.kind_of(b), "{cfg:?} block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_matches_layout_page_hash_blocks() {
+        for cfg in configs() {
+            let l = Layout::new(cfg);
+            let pages = data_blocks(&cfg) / BLOCKS_PER_PAGE;
+            for page in (0..pages).step_by(11).chain([pages - 1]) {
+                let spec: Vec<_> = hash_blocks_of_page(&cfg, page);
+                let imp: Vec<_> = l.hash_blocks_of_page(page).collect();
+                assert_eq!(spec, imp, "{cfg:?} page {page}");
+            }
+        }
+    }
+}

@@ -84,6 +84,9 @@ pub struct EngineStats {
     pub reads: u64,
     /// Data writebacks handled.
     pub writes: u64,
+    /// Deepest eviction-driven update cascade observed (dirty metadata
+    /// evictions whose tree updates evicted further dirty metadata).
+    pub max_cascade_depth: u64,
 }
 
 impl EngineStats {
@@ -220,6 +223,11 @@ impl MetadataEngine {
     /// The metadata cache, if enabled.
     pub fn mdc(&self) -> Option<&MetadataCache> {
         self.mdc.as_ref()
+    }
+
+    /// The encryption-counter store (for differential cross-checking).
+    pub fn counters(&self) -> &CounterStore {
+        &self.counters
     }
 
     /// Statistics so far.
@@ -542,6 +550,7 @@ impl MetadataEngine {
                 self.stats.dram_meta.writes += 1;
             }
         }
+        self.stats.max_cascade_depth = self.stats.max_cascade_depth.max(depth as u64);
         self.cascade_buf = queue;
     }
 

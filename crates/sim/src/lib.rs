@@ -39,8 +39,8 @@ pub mod sim;
 
 pub use capture::{CapturedEvent, CapturedTrace, FrontEndKey, ReplaySim, TraceBuilder};
 pub use config::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
-pub use engine::{MetaObserver, MetadataEngine, NullObserver, RecordingObserver};
-pub use hierarchy::{Hierarchy, MemEvent};
+pub use engine::{EngineStats, MetaObserver, MetadataEngine, NullObserver, RecordingObserver};
+pub use hierarchy::{Hierarchy, HierarchyStats, MemEvent};
 pub use mdcache::MetadataCache;
 pub use report::SimReport;
 pub use sim::SecureSim;

@@ -129,6 +129,33 @@ impl<W: Workload> SecureSim<W> {
         self.engine.as_ref()
     }
 
+    /// Executes one core access outside [`SecureSim::run`]'s
+    /// warm-up/measure framing, feeding `obs` the metadata stream. This is
+    /// the lockstep hook the differential oracle drives: the oracle
+    /// executes the same access on its side and cross-checks the observed
+    /// streams, cycles, and statistics after every step.
+    pub fn step_observed<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
+        self.step(obs);
+    }
+
+    /// Cycles accumulated so far (differential lockstep hook).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Flushes the metadata engine's cache, feeding `obs` the final
+    /// writeback stream (differential lockstep hook).
+    pub fn flush_observed<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
+        if let Some(engine) = &mut self.engine {
+            engine.flush(obs);
+        }
+    }
+
+    /// Hierarchy statistics so far (differential lockstep hook).
+    pub fn hierarchy_stats(&self) -> &HierarchyStats {
+        self.hierarchy.stats()
+    }
+
     /// Runs `accesses` core accesses (including warm-up) and reports.
     pub fn run(&mut self, accesses: u64) -> SimReport {
         self.run_observed(accesses, &mut NullObserver)

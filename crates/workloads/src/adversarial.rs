@@ -1,0 +1,267 @@
+//! Adversarial generators for differential testing.
+//!
+//! Unlike the benchmark profiles in [`crate::profiles`], these streams are
+//! not meant to resemble any real program: each one is shaped to push a
+//! specific engine mechanism to its boundary — counter overflow and page
+//! re-encryption, deep eviction-driven update cascades, and the
+//! set-dueling partition controller — where divergence between the
+//! production engine and the oracle is most likely to hide.
+
+use maps_trace::rng::SmallRng;
+use maps_trace::{AccessKind, MemAccess, PhysAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+
+use crate::engines::Workload;
+
+/// Saturates 7-bit split counters as fast as possible: almost every access
+/// is a write, and all writes land on a handful of hot blocks, so the
+/// 127-write per-block overflow threshold trips every couple hundred
+/// accesses and page re-encryption runs constantly.
+#[derive(Debug, Clone)]
+pub struct OverflowHeavyGen {
+    rng: SmallRng,
+    hot_blocks: u64,
+    pages: u64,
+}
+
+impl OverflowHeavyGen {
+    /// Creates the generator over `pages` 4 KB pages with `hot_blocks`
+    /// write targets (clamped to the footprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is 0.
+    pub fn new(seed: u64, pages: u64, hot_blocks: u64) -> Self {
+        assert!(pages > 0, "need at least one page");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            hot_blocks: hot_blocks.clamp(1, pages * BLOCKS_PER_PAGE),
+            pages,
+        }
+    }
+}
+
+impl Workload for OverflowHeavyGen {
+    fn next_access(&mut self) -> MemAccess {
+        // 90% writes to the hot blocks, 10% reads roaming the footprint so
+        // the metadata cache also sees read traffic between overflows.
+        let (block, kind) = if self.rng.gen_bool(0.9) {
+            (self.rng.gen_range(0..self.hot_blocks), AccessKind::Write)
+        } else {
+            (
+                self.rng.gen_range(0..self.pages * BLOCKS_PER_PAGE),
+                AccessKind::Read,
+            )
+        };
+        MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), kind, 4)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pages * PAGE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "overflow_heavy"
+    }
+}
+
+/// Provokes deep eviction cascades: writes dirty one block in each of a
+/// rotating family of pages spaced `conflict_stride_pages` apart, so their
+/// counter blocks (one per page, contiguous in the metadata region) keep
+/// colliding in the same metadata-cache sets. Evicting a dirty counter
+/// writes its tree leaf, which evicts another dirty line, and so on —
+/// exactly the re-entrant cascade path the engine's cascade budget bounds.
+#[derive(Debug, Clone)]
+pub struct CascadeDeepGen {
+    rng: SmallRng,
+    pages: u64,
+    conflict_stride_pages: u64,
+    cursor: u64,
+}
+
+impl CascadeDeepGen {
+    /// Creates the generator over `pages` pages, striding
+    /// `conflict_stride_pages` between successive write targets. Pick the
+    /// stride equal to the metadata cache's set count to maximize set
+    /// conflicts among counter blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` or `conflict_stride_pages` is 0.
+    pub fn new(seed: u64, pages: u64, conflict_stride_pages: u64) -> Self {
+        assert!(pages > 0, "need at least one page");
+        assert!(conflict_stride_pages > 0, "stride must be positive");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            pages,
+            conflict_stride_pages,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for CascadeDeepGen {
+    fn next_access(&mut self) -> MemAccess {
+        self.cursor = (self.cursor + self.conflict_stride_pages) % self.pages;
+        // Mostly writes (dirty counters are what cascade); a sprinkle of
+        // reads inserts clean lines between the dirty ones so eviction
+        // order is not trivially FIFO.
+        let kind = if self.rng.gen_bool(0.8) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let slot = self.rng.gen_range(0..BLOCKS_PER_PAGE);
+        let block = self.cursor * BLOCKS_PER_PAGE + slot;
+        MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), kind, 4)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pages * PAGE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "cascade_deep"
+    }
+}
+
+/// Alternates counter-heavy and hash-heavy phases to whipsaw the
+/// set-dueling partition controller across its decision boundary: phase A
+/// touches one block per page across many pages (counter blocks dominate),
+/// phase B sweeps blocks eight apart within few pages (hash blocks
+/// dominate). Each phase lasts `phase_len` accesses.
+#[derive(Debug, Clone)]
+pub struct PartitionBoundaryGen {
+    rng: SmallRng,
+    pages: u64,
+    phase_len: u64,
+    tick: u64,
+    cursor: u64,
+}
+
+impl PartitionBoundaryGen {
+    /// Creates the generator over `pages` pages with `phase_len` accesses
+    /// per phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` or `phase_len` is 0.
+    pub fn new(seed: u64, pages: u64, phase_len: u64) -> Self {
+        assert!(pages > 0, "need at least one page");
+        assert!(phase_len > 0, "phase length must be positive");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            pages,
+            phase_len,
+            tick: 0,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for PartitionBoundaryGen {
+    fn next_access(&mut self) -> MemAccess {
+        let phase_a = (self.tick / self.phase_len).is_multiple_of(2);
+        self.tick += 1;
+        self.cursor += 1;
+        let block = if phase_a {
+            // Counter-heavy: one block per page, new page every access.
+            (self.cursor % self.pages) * BLOCKS_PER_PAGE
+        } else {
+            // Hash-heavy: stride 8 within a few pages, so every access
+            // lands in a different hash block but few counter blocks.
+            let span = self.pages.min(4) * BLOCKS_PER_PAGE;
+            (self.cursor * 8) % span
+        };
+        let kind = if self.rng.gen_bool(0.3) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), kind, 4)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pages * PAGE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "partition_boundary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within_footprint(w: &mut dyn Workload, n: usize) {
+        for _ in 0..n {
+            let a = w.next_access();
+            assert!(a.addr.bytes() < w.footprint_bytes());
+        }
+    }
+
+    #[test]
+    fn generators_stay_within_footprint() {
+        within_footprint(&mut OverflowHeavyGen::new(1, 4, 2), 5000);
+        within_footprint(&mut CascadeDeepGen::new(2, 64, 16), 5000);
+        within_footprint(&mut PartitionBoundaryGen::new(3, 32, 200), 5000);
+    }
+
+    #[test]
+    fn overflow_heavy_is_write_dominated_and_concentrated() {
+        let mut g = OverflowHeavyGen::new(7, 4, 2);
+        let mut writes = 0;
+        let mut hot_writes = 0;
+        for _ in 0..10_000 {
+            let a = g.next_access();
+            if a.kind == AccessKind::Write {
+                writes += 1;
+                if a.addr.block().index() < 2 {
+                    hot_writes += 1;
+                }
+            }
+        }
+        assert!(writes > 8_500, "writes {writes}");
+        assert_eq!(hot_writes, writes, "all writes must target hot blocks");
+    }
+
+    #[test]
+    fn cascade_deep_rotates_pages_at_stride() {
+        let mut g = CascadeDeepGen::new(1, 64, 16);
+        let pages: Vec<u64> = (0..8)
+            .map(|_| g.next_access().addr.block().page().index())
+            .collect();
+        for w in pages.windows(2) {
+            assert_eq!((w[1] + 64 - w[0]) % 64, 16, "stride broken: {pages:?}");
+        }
+    }
+
+    #[test]
+    fn partition_boundary_alternates_phase_character() {
+        let mut g = PartitionBoundaryGen::new(5, 32, 100);
+        // Phase A: every access in a different page.
+        let a_pages: std::collections::HashSet<u64> = (0..32)
+            .map(|_| g.next_access().addr.block().page().index())
+            .collect();
+        assert!(a_pages.len() >= 30, "phase A pages {}", a_pages.len());
+        for _ in 32..100 {
+            g.next_access();
+        }
+        // Phase B: few pages.
+        let b_pages: std::collections::HashSet<u64> = (0..32)
+            .map(|_| g.next_access().addr.block().page().index())
+            .collect();
+        assert!(b_pages.len() <= 4, "phase B pages {}", b_pages.len());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut g = CascadeDeepGen::new(seed, 32, 8);
+            (0..64)
+                .map(|_| (g.next_access().addr.bytes(), g.next_access().kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

@@ -22,6 +22,7 @@
 //! assert!(a.addr.bytes() < wl.footprint_bytes());
 //! ```
 
+pub mod adversarial;
 pub mod compose;
 pub mod engines;
 pub mod profiles;
@@ -33,6 +34,7 @@ pub mod replay;
 /// import path for workload code.
 pub use maps_trace::rng;
 
+pub use adversarial::{CascadeDeepGen, OverflowHeavyGen, PartitionBoundaryGen};
 pub use compose::{MixWorkload, PhasedWorkload};
 pub use engines::{
     FftGen, HotColdGen, PointerChaseGen, RandomGen, StencilGen, StreamGen, TiledPassGen,

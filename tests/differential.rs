@@ -1,0 +1,221 @@
+//! Bounded differential tier: production `SecureSim` vs the executable
+//! specification in `maps-oracle`, in lockstep, across every replacement
+//! policy × {secure split-counter, secure SGX, metadata-cache-off} plus
+//! partition modes, partial writes, and the adversarial workload
+//! generators.
+//!
+//! Trace lengths are sized to keep the whole suite well under a minute in
+//! `cargo test -q`; setting `MAPS_DEEP_DIFF=1` multiplies them 50× for the
+//! nightly long-fuzz tier. Any divergence is automatically minimized and
+//! dumped as a replayable artifact under `results/failures/` (see
+//! `maps_oracle::diff`).
+
+use maps_cache::Partition;
+use maps_oracle::diff::{
+    check_case, failures_dir, ops_from_workload, random_ops, replay_artifact, scaled_len, DiffCase,
+};
+use maps_secure::CounterMode;
+use maps_sim::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
+use maps_workloads::{Benchmark, CascadeDeepGen, OverflowHeavyGen, PartitionBoundaryGen};
+
+/// Small hierarchy + small MDC so conflict misses, evictions, and cascades
+/// happen within short traces.
+fn base_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.l1_bytes = 1024;
+    cfg.l2_bytes = 2048;
+    cfg.llc_bytes = 4096;
+    cfg.memory_bytes = 1 << 20;
+    cfg.mdc = MdcConfig::paper_default().with_size(2048);
+    cfg
+}
+
+/// Every runtime-selectable replacement policy. `Min`/`TraceMin` carry the
+/// empty-trace sentinel: the harness derives their oracle trace from the
+/// case deterministically.
+fn all_policies() -> Vec<PolicyChoice> {
+    vec![
+        PolicyChoice::PseudoLru,
+        PolicyChoice::TrueLru,
+        PolicyChoice::Fifo,
+        PolicyChoice::Random(0xD1FF),
+        PolicyChoice::Srrip,
+        PolicyChoice::Eva,
+        PolicyChoice::Min(Vec::new()),
+        PolicyChoice::TraceMin(Vec::new()),
+        PolicyChoice::CostAware(5),
+        PolicyChoice::Drrip,
+        PolicyChoice::EvaPerType,
+    ]
+}
+
+fn run(label: &str, seed: u64, cfg: SimConfig, ops: Vec<maps_oracle::TraceOp>) {
+    let case = DiffCase {
+        label: label.to_string(),
+        seed,
+        cfg,
+        ops,
+    };
+    if let Err(e) = check_case(&case) {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn every_policy_secure_split_counters() {
+    let n = scaled_len(500);
+    for (i, policy) in all_policies().into_iter().enumerate() {
+        let seed = 0x5EC0 + i as u64;
+        let mut cfg = base_cfg();
+        let label = format!("policy-{}-pi", policy.name());
+        cfg.mdc.policy = policy;
+        run(&label, seed, cfg, random_ops(seed, 2048, n, 40));
+    }
+}
+
+#[test]
+fn every_policy_secure_sgx() {
+    let n = scaled_len(400);
+    for (i, policy) in all_policies().into_iter().enumerate() {
+        let seed = 0x5360 + i as u64;
+        let mut cfg = base_cfg();
+        cfg.counter_mode = CounterMode::SgxMonolithic;
+        let label = format!("policy-{}-sgx", policy.name());
+        cfg.mdc.policy = policy;
+        run(&label, seed, cfg, random_ops(seed, 2048, n, 40));
+    }
+}
+
+#[test]
+fn metadata_cache_off() {
+    // Without an MDC the policy is irrelevant; cover both counter modes
+    // and the insecure baseline.
+    let n = scaled_len(500);
+    let mut cfg = base_cfg();
+    cfg.mdc = MdcConfig::disabled();
+    run(
+        "mdc-off-pi",
+        0x0FF,
+        cfg.clone(),
+        random_ops(0x0FF, 2048, n, 40),
+    );
+    cfg.counter_mode = CounterMode::SgxMonolithic;
+    run("mdc-off-sgx", 0x0FE, cfg, random_ops(0x0FE, 2048, n, 40));
+    let insecure = SimConfig::insecure_baseline();
+    run("insecure", 0x0FD, insecure, random_ops(0x0FD, 2048, n, 40));
+}
+
+#[test]
+fn contents_subsets_and_partial_writes() {
+    let n = scaled_len(400);
+    for (i, contents) in [
+        CacheContents::COUNTERS_ONLY,
+        CacheContents::COUNTERS_AND_HASHES,
+        CacheContents::NONE,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let seed = 0xC0 + i as u64;
+        let mut cfg = base_cfg();
+        cfg.mdc.contents = contents;
+        run(
+            &format!("contents-{}", contents.label().replace('+', "-")),
+            seed,
+            cfg,
+            random_ops(seed, 2048, n, 40),
+        );
+    }
+    let mut cfg = base_cfg();
+    cfg.mdc.partial_writes = true;
+    run("partial-writes", 0xA7, cfg, random_ops(0xA7, 2048, n, 50));
+}
+
+#[test]
+fn partition_modes() {
+    let n = scaled_len(400);
+    let mut cfg = base_cfg();
+    cfg.mdc.partition = PartitionMode::Static(Partition::counter_ways(3));
+    run(
+        "partition-static",
+        0x57A,
+        cfg,
+        random_ops(0x57A, 2048, n, 40),
+    );
+
+    let mut cfg = base_cfg();
+    cfg.mdc.partition = PartitionMode::Dynamic {
+        a: Partition::counter_ways(2),
+        b: Partition::counter_ways(6),
+        leaders_per_side: 1,
+    };
+    run(
+        "partition-dynamic",
+        0xD7A,
+        cfg,
+        random_ops(0xD7A, 2048, n, 40),
+    );
+}
+
+#[test]
+fn adversarial_generators() {
+    let n = scaled_len(600);
+    run(
+        "adv-overflow",
+        11,
+        base_cfg(),
+        ops_from_workload(OverflowHeavyGen::new(11, 4, 2), n),
+    );
+    run(
+        "adv-cascade",
+        12,
+        base_cfg(),
+        ops_from_workload(CascadeDeepGen::new(12, 64, 4), n),
+    );
+    let mut cfg = base_cfg();
+    cfg.mdc.partition = PartitionMode::Dynamic {
+        a: Partition::counter_ways(2),
+        b: Partition::counter_ways(6),
+        leaders_per_side: 1,
+    };
+    run(
+        "adv-partition",
+        13,
+        cfg,
+        ops_from_workload(PartitionBoundaryGen::new(13, 32, 150), n),
+    );
+}
+
+#[test]
+fn benchmark_profile_trace() {
+    // One realistic (non-adversarial) stream to cover locality patterns
+    // the uniform generator misses.
+    let n = scaled_len(800);
+    run(
+        "bench-gups",
+        21,
+        base_cfg(),
+        ops_from_workload(Benchmark::Gups.build(21), n),
+    );
+}
+
+#[test]
+fn replay_failure_artifacts() {
+    // Any artifact present under results/failures/ must still parse and
+    // replay; this is also the entry point named in artifact headers.
+    let dir = failures_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // no failures directory: nothing to replay
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "trace") {
+            // The artifact documents a historical divergence; replay must
+            // at minimum parse and execute. A passing replay means the bug
+            // it captured has been fixed (fine); a parse error means the
+            // artifact format broke (not fine).
+            let _divergence =
+                replay_artifact(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Metamorphic tier: invariants that relate *different* runs of the
+//! simulator, rather than comparing one run against the oracle.
+//!
+//! * Interleaving independent address regions preserves each region's
+//!   metadata miss counts and observed metadata streams.
+//! * Doubling metadata-cache size (same block geometry, double ways)
+//!   never increases metadata misses under stack-algorithm policies.
+//! * Counter-overflow re-encryption leaves the value-level BMT root
+//!   consistent with a from-scratch recomputation.
+//! * Secure and insecure runs agree on the core-visible memory stream
+//!   (metadata handling must never perturb the data hierarchy).
+
+use maps_oracle::diff::{ops_from_workload, random_ops, OpsWorkload, TraceOp};
+use maps_oracle::{OracleBmt, OracleCounters};
+use maps_secure::{spec, CounterMode, SecureConfig, WriteOutcome};
+use maps_sim::{CapturedTrace, MdcConfig, MetaObserver, PolicyChoice, SecureSim, SimConfig};
+use maps_trace::{BlockAddr, MetaAccess};
+use maps_workloads::OverflowHeavyGen;
+
+fn small_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.l1_bytes = 1024;
+    cfg.l2_bytes = 2048;
+    cfg.llc_bytes = 4096;
+    cfg.memory_bytes = 1 << 20;
+    cfg.mdc = MdcConfig::paper_default().with_size(2048);
+    cfg
+}
+
+/// Records every observed metadata access verbatim.
+#[derive(Default)]
+struct StreamObserver {
+    stream: Vec<MetaAccess>,
+}
+
+impl MetaObserver for StreamObserver {
+    fn observe(&mut self, access: &MetaAccess) {
+        self.stream.push(*access);
+    }
+}
+
+fn run_ops(cfg: &SimConfig, ops: &[TraceOp]) -> (maps_sim::EngineStats, Vec<MetaAccess>) {
+    let mut sim = SecureSim::new(cfg.clone(), OpsWorkload::new(ops));
+    let mut obs = StreamObserver::default();
+    for _ in 0..ops.len() {
+        sim.step_observed(&mut obs);
+    }
+    (*sim.engine().expect("secure run").stats(), obs.stream)
+}
+
+#[test]
+fn interleaving_independent_regions_preserves_per_region_misses() {
+    // Two regions far apart in physical memory share no data, counter,
+    // hash, or tree blocks. Served by independent controllers (one
+    // simulator each), every interleaving of the two request streams must
+    // reproduce each region's solo miss counts and metadata stream.
+    let cfg = small_cfg();
+    let region_a = random_ops(51, 1024, 400, 40);
+    let region_b: Vec<TraceOp> = random_ops(52, 1024, 400, 40)
+        .into_iter()
+        .map(|op| match op {
+            TraceOp::Read(b) => TraceOp::Read(b + 8192),
+            TraceOp::Write(b) => TraceOp::Write(b + 8192),
+        })
+        .collect();
+
+    let (solo_a, stream_a) = run_ops(&cfg, &region_a);
+    let (solo_b, stream_b) = run_ops(&cfg, &region_b);
+
+    let mut sim_a = SecureSim::new(cfg.clone(), OpsWorkload::new(&region_a));
+    let mut sim_b = SecureSim::new(cfg.clone(), OpsWorkload::new(&region_b));
+    let mut obs_a = StreamObserver::default();
+    let mut obs_b = StreamObserver::default();
+    let (mut done_a, mut done_b) = (0usize, 0usize);
+    let mut tick = 0u64;
+    // Irregular (but deterministic) interleaving pattern.
+    while done_a < region_a.len() || done_b < region_b.len() {
+        tick = tick
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick_a = done_b >= region_b.len() || (done_a < region_a.len() && tick % 5 < 3);
+        if pick_a {
+            sim_a.step_observed(&mut obs_a);
+            done_a += 1;
+        } else {
+            sim_b.step_observed(&mut obs_b);
+            done_b += 1;
+        }
+    }
+
+    assert_eq!(*sim_a.engine().unwrap().stats(), solo_a);
+    assert_eq!(*sim_b.engine().unwrap().stats(), solo_b);
+    assert_eq!(obs_a.stream, stream_a);
+    assert_eq!(obs_b.stream, stream_b);
+}
+
+#[test]
+fn doubling_mdc_never_increases_misses_under_stack_policies() {
+    // Inclusion (Mattson): a stack algorithm's cache contents at size S
+    // are a subset of its contents at size 2S on the same stream, so
+    // doubling the MDC can only turn misses into hits. Gated on the
+    // policy's own is_stack_algorithm() declaration.
+    for policy in [PolicyChoice::TrueLru, PolicyChoice::Min(Vec::new())] {
+        assert!(
+            policy.build().is_stack_algorithm(),
+            "{} must self-report as a stack algorithm",
+            policy.name()
+        );
+        let ops = random_ops(61, 2048, 600, 40);
+        let mk = |size: u64, ways: usize| {
+            let mut cfg = small_cfg();
+            cfg.mdc.size_bytes = size;
+            cfg.mdc.ways = ways;
+            cfg.mdc.policy = match &policy {
+                // Give MIN its future knowledge, derived for this geometry.
+                PolicyChoice::Min(_) => {
+                    PolicyChoice::Min(maps_oracle::diff::derive_oracle_trace(&cfg, &ops))
+                }
+                other => other.clone(),
+            };
+            cfg
+        };
+        let (small, _) = run_ops(&mk(2048, 8), &ops);
+        let (large, _) = run_ops(&mk(4096, 16), &ops);
+        let (sm, lm) = (
+            small.meta.metadata_total().misses,
+            large.meta.metadata_total().misses,
+        );
+        assert!(
+            lm <= sm,
+            "{}: doubling the MDC increased metadata misses {sm} -> {lm}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn non_stack_policies_report_no_inclusion_guarantee() {
+    // The inclusion invariant above is gated on is_stack_algorithm();
+    // every approximation/adaptive policy must decline the guarantee.
+    for policy in [
+        PolicyChoice::PseudoLru,
+        PolicyChoice::Fifo,
+        PolicyChoice::Random(1),
+        PolicyChoice::Srrip,
+        PolicyChoice::Eva,
+        PolicyChoice::TraceMin(Vec::new()),
+        PolicyChoice::CostAware(5),
+        PolicyChoice::Drrip,
+        PolicyChoice::EvaPerType,
+    ] {
+        assert!(
+            !policy.build().is_stack_algorithm(),
+            "{} wrongly claims the inclusion property",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn overflow_reencryption_keeps_bmt_root_consistent() {
+    // Drive hot blocks through repeated 7-bit counter overflows and check
+    // after every write that incremental BMT maintenance (leaf-path and
+    // whole-page updates) equals a from-scratch recomputation.
+    let cfg = SecureConfig::new(16 * 4096, CounterMode::SplitPi);
+    let mut counters = OracleCounters::new(CounterMode::SplitPi);
+    let mut bmt = OracleBmt::new(cfg, &counters);
+    let ops = ops_from_workload(OverflowHeavyGen::new(71, 4, 2), 2000);
+    let mut overflows = 0;
+    for op in ops.iter().filter(|op| op.is_write()) {
+        let data = BlockAddr::new(op.block());
+        match counters.record_write(data) {
+            WriteOutcome::PageOverflow { page } => {
+                overflows += 1;
+                bmt.update_page(&counters, page);
+            }
+            WriteOutcome::Incremented => {
+                bmt.update_counter_block(&counters, spec::counter_block_of(&cfg, data));
+            }
+        }
+        assert_eq!(
+            bmt.root(),
+            bmt.recompute_root(&counters),
+            "incremental BMT root diverged after write to block {}",
+            op.block()
+        );
+    }
+    assert!(overflows > 5, "stream must actually overflow ({overflows})");
+}
+
+#[test]
+fn secure_and_insecure_agree_on_core_visible_stream() {
+    // The core-visible stream (LLC demand misses and writebacks, in
+    // order) is a pure function of the workload and the data hierarchy;
+    // secure-memory machinery must not perturb it. Captured front ends of
+    // a secure and an insecure run over identical geometry must match
+    // event for event.
+    let ops = random_ops(81, 2048, 800, 40);
+    let secure_cfg = small_cfg();
+    let mut insecure_cfg = small_cfg();
+    insecure_cfg.secure = false;
+    insecure_cfg.mdc = MdcConfig::disabled();
+
+    let s = CapturedTrace::record(&secure_cfg, OpsWorkload::new(&ops), ops.len() as u64);
+    let i = CapturedTrace::record(&insecure_cfg, OpsWorkload::new(&ops), ops.len() as u64);
+    assert_eq!(s.hierarchy_stats(), i.hierarchy_stats());
+    assert_eq!(s.total_events(), i.total_events());
+    assert!(
+        s.events().eq(i.events()),
+        "secure and insecure front ends emitted different event streams"
+    );
+}
