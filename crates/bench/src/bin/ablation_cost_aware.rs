@@ -11,15 +11,18 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_cost_aware [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_cost_aware");
     let accesses = n_accesses(200_000);
     let benches = Benchmark::memory_intensive();
     let mut base = SimConfig::paper_default();
     base.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     let policies = [PolicyChoice::PseudoLru, PolicyChoice::CostAware(5)];
     let jobs: Vec<(Benchmark, usize)> = benches
@@ -28,14 +31,16 @@ fn main() {
         .collect();
     let base_ref = &base;
     let policies_ref = &policies;
-    let results = parallel_map(jobs.clone(), |(bench, pi)| {
-        let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-        let r = run_sim_cached(&cfg, bench, SEED, accesses);
-        (
-            r.metadata_mpki(),
-            r.engine.dram_meta.total(),
-            r.engine.tree_walk_level_misses,
-        )
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, pi)| {
+            let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
+            let r = run_sim_cached(&cfg, bench, SEED, accesses);
+            (
+                r.metadata_mpki(),
+                r.engine.dram_meta.total(),
+                r.engine.tree_walk_level_misses,
+            )
+        })
     });
 
     let mut table = Table::new([
@@ -75,4 +80,5 @@ fn main() {
         traffic_wins >= benches.len() / 3,
         "cost-aware eviction reduces total metadata DRAM traffic for a meaningful subset",
     );
+    ctx.finish();
 }

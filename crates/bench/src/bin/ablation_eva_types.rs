@@ -12,15 +12,18 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_eva_types [--check]`
 
 use maps_analysis::{geometric_mean, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_eva_types");
     let accesses = n_accesses(200_000);
     let benches = Benchmark::memory_intensive();
     let mut base = SimConfig::paper_default();
     base.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     let policies = [
         PolicyChoice::PseudoLru,
@@ -33,9 +36,11 @@ fn main() {
         .collect();
     let base_ref = &base;
     let policies_ref = &policies;
-    let results = parallel_map(jobs.clone(), |(bench, pi)| {
-        let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, pi)| {
+            let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
+            run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
+        })
     });
     let mpki = |bench: Benchmark, pi: usize| -> f64 {
         results[jobs
@@ -87,4 +92,5 @@ fn main() {
         beats_plru >= benches.len() / 4,
         "per-type EVA overtakes pseudo-LRU on a meaningful subset of benchmarks",
     );
+    ctx.finish();
 }

@@ -9,24 +9,30 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_partial_writes [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_partial_writes");
     let accesses = n_accesses(200_000);
     let benches = Benchmark::memory_intensive();
     let base = SimConfig::paper_default();
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     let jobs: Vec<(Benchmark, bool)> = benches
         .iter()
         .flat_map(|&b| [(b, false), (b, true)])
         .collect();
-    let results = parallel_map(jobs.clone(), |(bench, partial)| {
-        let mut cfg = base.clone();
-        cfg.mdc.partial_writes = partial;
-        let r = run_sim_cached(&cfg, bench, SEED, accesses);
-        (r.engine.dram_meta.total(), r.engine.partial_fill_reads)
+    let base_ref = &base;
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, partial)| {
+            let mut cfg = base_ref.clone();
+            cfg.mdc.partial_writes = partial;
+            let r = run_sim_cached(&cfg, bench, SEED, accesses);
+            (r.engine.dram_meta.total(), r.engine.partial_fill_reads)
+        })
     });
 
     let mut table = Table::new([
@@ -69,4 +75,5 @@ fn main() {
         modest,
         "partial-write benefits are modest, not transformative",
     );
+    ctx.finish();
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_phases [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_cache::Partition;
 use maps_sim::{MdcConfig, PartitionMode, SecureSim, SimConfig};
 use maps_workloads::{Benchmark, PhasedWorkload, Workload};
@@ -38,7 +38,14 @@ fn run_with(
 }
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_phases");
     let accesses = n_accesses(200_000);
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    {
+        let mut cfg = SimConfig::paper_default();
+        cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
+        ctx.set_config(&cfg);
+    }
     let splits: Vec<PartitionMode> = std::iter::once(PartitionMode::None)
         .chain(Partition::all_splits(8).map(PartitionMode::Static))
         .collect();
@@ -69,7 +76,9 @@ fn main() {
     ]);
     let mut best_idx = Vec::new();
     for (name, make) in &phase_workloads {
-        let results = parallel_map(splits.clone(), |p| run_with(p, make.as_ref(), accesses));
+        let results = ctx.phase(name, || {
+            parallel_map(splits.clone(), |p| run_with(p, make.as_ref(), accesses))
+        });
         let none_mpki = results[0];
         let (bi, best) = results
             .iter()
@@ -119,4 +128,5 @@ fn main() {
             matrix[1][canneal_best],
         ),
     );
+    ctx.finish();
 }

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_row_buffer [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_mem::RowBufferDram;
 use maps_sim::{
     Hierarchy, MdcConfig, MemEvent, MetadataCache, MetadataEngine, RecordingObserver, SimConfig,
@@ -103,6 +103,7 @@ fn row_hit_rate(stream: &[Ref], mdc: Option<MdcConfig>, include_meta: bool) -> f
 }
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_row_buffer");
     let accesses = n_accesses(60_000);
     let benches = vec![
         Benchmark::Libquantum,
@@ -110,17 +111,21 @@ fn main() {
         Benchmark::Leslie3d,
         Benchmark::Fft,
     ];
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&SimConfig::paper_default());
 
-    let results = parallel_map(benches.clone(), |b| {
-        let stream = reference_stream(b, accesses);
-        let data_only = row_hit_rate(&stream, None, false);
-        let no_mdc = row_hit_rate(&stream, None, true);
-        let with_mdc = row_hit_rate(
-            &stream,
-            Some(MdcConfig::paper_default().with_size(64 << 10)),
-            true,
-        );
-        (data_only, no_mdc, with_mdc)
+    let results = ctx.phase("streams", || {
+        parallel_map(benches.clone(), |b| {
+            let stream = reference_stream(b, accesses);
+            let data_only = row_hit_rate(&stream, None, false);
+            let no_mdc = row_hit_rate(&stream, None, true);
+            let with_mdc = row_hit_rate(
+                &stream,
+                Some(MdcConfig::paper_default().with_size(64 << 10)),
+                true,
+            );
+            (data_only, no_mdc, with_mdc)
+        })
     });
 
     let mut table = Table::new([
@@ -150,4 +155,5 @@ fn main() {
         recovered >= benches.len() - 1,
         "a metadata cache recovers row-buffer locality lost to metadata traffic",
     );
+    ctx.finish();
 }

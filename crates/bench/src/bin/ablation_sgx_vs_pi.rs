@@ -12,30 +12,36 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_sgx_vs_pi [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_secure::CounterMode;
 use maps_sim::SimConfig;
 use maps_trace::MetaGroup;
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_sgx_vs_pi");
     let accesses = n_accesses(200_000);
     let benches = Benchmark::memory_intensive();
     let base = SimConfig::paper_default();
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     let jobs: Vec<(Benchmark, CounterMode)> = benches
         .iter()
         .flat_map(|&b| [(b, CounterMode::SplitPi), (b, CounterMode::SgxMonolithic)])
         .collect();
-    let results = parallel_map(jobs.clone(), |(bench, mode)| {
-        let mut cfg = base.clone();
-        cfg.counter_mode = mode;
-        let r = run_sim_cached(&cfg, bench, SEED, accesses);
-        (
-            r.group_mpki(MetaGroup::Counter),
-            r.metadata_mpki(),
-            r.engine.page_overflows,
-        )
+    let base_ref = &base;
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, mode)| {
+            let mut cfg = base_ref.clone();
+            cfg.counter_mode = mode;
+            let r = run_sim_cached(&cfg, bench, SEED, accesses);
+            (
+                r.group_mpki(MetaGroup::Counter),
+                r.metadata_mpki(),
+                r.engine.page_overflows,
+            )
+        })
     });
 
     let mut table = Table::new([
@@ -75,4 +81,5 @@ fn main() {
         sgx_total >= pi_total,
         "aggregate metadata MPKI is higher under SGX-style counters",
     );
+    ctx.finish();
 }

@@ -9,14 +9,17 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_speculation [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("ablation_speculation");
     let accesses = n_accesses(150_000);
     let benches = Benchmark::memory_intensive();
     let base = SimConfig::paper_default();
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     // (speculation, metadata cache enabled)
     let variants = [(true, true), (true, false), (false, true), (false, false)];
@@ -24,13 +27,16 @@ fn main() {
         .iter()
         .flat_map(|&b| variants.into_iter().map(move |(s, m)| (b, s, m)))
         .collect();
-    let results = parallel_map(jobs.clone(), |(bench, spec, mdc)| {
-        let mut cfg = base.clone();
-        cfg.speculation = spec;
-        if !mdc {
-            cfg.mdc = MdcConfig::disabled();
-        }
-        run_sim_cached(&cfg, bench, SEED, accesses).cycles as f64
+    let base_ref = &base;
+    let results = ctx.phase("grid", || {
+        parallel_map(jobs.clone(), |(bench, spec, mdc)| {
+            let mut cfg = base_ref.clone();
+            cfg.speculation = spec;
+            if !mdc {
+                cfg.mdc = MdcConfig::disabled();
+            }
+            run_sim_cached(&cfg, bench, SEED, accesses).cycles as f64
+        })
     });
     let cycles = |bench: Benchmark, spec: bool, mdc: bool| -> f64 {
         let idx = jobs
@@ -91,14 +97,16 @@ fn main() {
     // cycles degrade monotonically toward the no-speculation bound.
     let windows = [u64::MAX, 1024, 256, 64, 0];
     let sweep_bench = Benchmark::Gups;
-    let window_cycles: Vec<f64> = windows
-        .iter()
-        .map(|&w| {
-            let mut cfg = base.clone();
-            cfg.speculation_window = w;
-            run_sim_cached(&cfg, sweep_bench, SEED, accesses).cycles as f64
-        })
-        .collect();
+    let window_cycles: Vec<f64> = ctx.phase("window-sweep", || {
+        windows
+            .iter()
+            .map(|&w| {
+                let mut cfg = base.clone();
+                cfg.speculation_window = w;
+                run_sim_cached(&cfg, sweep_bench, SEED, accesses).cycles as f64
+            })
+            .collect()
+    });
     let mut window_table = Table::new(["speculation_window", "cycles"]);
     for (&w, &c) in windows.iter().zip(&window_cycles) {
         let label = if w == u64::MAX {
@@ -123,4 +131,5 @@ fn main() {
         (window_cycles.last().copied().expect("non-empty sweep") - nospec).abs() <= nospec * 0.01,
         "a zero-cycle window behaves like no speculation",
     );
+    ctx.finish();
 }

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin csopt_demo [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, SEED};
+use maps_bench::{claim, emit, n_accesses, RunContext, SEED};
 use maps_cache::{belady_misses, csopt_min_cost, CostedAccess};
 use maps_sim::{MdcConfig, RecordingObserver, SecureSim, SimConfig};
 use maps_trace::BlockKind;
@@ -43,8 +43,11 @@ fn costed_trace(bench: Benchmark, accesses: u64) -> Vec<CostedAccess> {
 }
 
 fn main() {
+    let mut ctx = RunContext::new("csopt_demo");
     let accesses = n_accesses(2_000);
-    let trace = costed_trace(Benchmark::Libquantum, accesses);
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&SimConfig::paper_default().with_mdc(MdcConfig::disabled()));
+    let trace = ctx.phase("trace", || costed_trace(Benchmark::Libquantum, accesses));
 
     println!("# CSOPT vs. cost-blind MIN on a metadata trace (Section V-B)\n");
     let mut table = Table::new([
@@ -58,40 +61,43 @@ fn main() {
     ]);
 
     let mut growth = Vec::new();
-    for window in [64usize, 128, 256, 512] {
-        let slice = &trace[..window.min(trace.len())];
-        let keys: Vec<u64> = slice.iter().map(|a| a.key).collect();
-        {
-            let capacity = 4usize;
-            let start = std::time::Instant::now();
-            let out = csopt_min_cost(slice, capacity, None);
-            let elapsed = start.elapsed().as_millis();
-            // Cost of Belady-by-distance schedule: simulate MIN and charge
-            // the cost of each miss.
-            let min_cost = belady_cost(slice, capacity);
-            let _ = belady_misses(&keys, capacity);
-            table.row([
-                window.to_string(),
-                capacity.to_string(),
-                out.min_cost.to_string(),
-                min_cost.to_string(),
-                out.misses.to_string(),
-                out.peak_states.to_string(),
-                elapsed.to_string(),
-            ]);
-            growth.push(out.peak_states);
-            claim(
-                out.min_cost <= min_cost,
-                &format!("window {window}: CSOPT cost <= cost-blind Belady cost"),
-            );
+    ctx.phase("windows", || {
+        for window in [64usize, 128, 256, 512] {
+            let slice = &trace[..window.min(trace.len())];
+            let keys: Vec<u64> = slice.iter().map(|a| a.key).collect();
+            {
+                let capacity = 4usize;
+                let start = std::time::Instant::now();
+                let out = csopt_min_cost(slice, capacity, None);
+                let elapsed = start.elapsed().as_millis();
+                // Cost of Belady-by-distance schedule: simulate MIN and charge
+                // the cost of each miss.
+                let min_cost = belady_cost(slice, capacity);
+                let _ = belady_misses(&keys, capacity);
+                table.row([
+                    window.to_string(),
+                    capacity.to_string(),
+                    out.min_cost.to_string(),
+                    min_cost.to_string(),
+                    out.misses.to_string(),
+                    out.peak_states.to_string(),
+                    elapsed.to_string(),
+                ]);
+                growth.push(out.peak_states);
+                claim(
+                    out.min_cost <= min_cost,
+                    &format!("window {window}: CSOPT cost <= cost-blind Belady cost"),
+                );
+            }
         }
-    }
+    });
     emit(&table);
 
     claim(
         growth.last().copied().unwrap_or(0) >= growth.first().copied().unwrap_or(0),
         "CSOPT search state grows with the trace window (the paper's intractability)",
     );
+    ctx.finish();
 }
 
 /// Cost of running distance-based Belady (ignore costs when choosing

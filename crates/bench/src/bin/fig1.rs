@@ -5,11 +5,14 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, MDC_SIZES, SEED};
+use maps_bench::{
+    claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, MDC_SIZES, SEED,
+};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("fig1");
     let accesses = n_accesses(400_000);
     let contents = [
         CacheContents::COUNTERS_ONLY,
@@ -27,10 +30,24 @@ fn main() {
         }
     }
     let base = SimConfig::paper_default();
-    let results = parallel_map(jobs.clone(), |(bench, contents_cfg, size)| {
-        let cfg = base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
-        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
+    let reports = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, contents_cfg, size)| {
+            let cfg = base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        })
     });
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
+    for (&(bench, contents_cfg, size), report) in jobs.iter().zip(&reports) {
+        let label = format!(
+            "run.{}.{}.mdc{}k",
+            bench.name(),
+            contents_cfg.label(),
+            size >> 10
+        );
+        ctx.record_report(&label, report);
+    }
 
     let mut table = Table::new(["benchmark", "contents", "mdc_size", "metadata_mpki"]);
     for ((bench, contents_cfg, size), mpki) in jobs.iter().zip(&results) {
@@ -90,4 +107,5 @@ fn main() {
             &format!("{bench}: all-types MPKI is (weakly) decreasing in cache size"),
         );
     }
+    ctx.finish();
 }

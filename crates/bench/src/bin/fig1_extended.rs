@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1_extended [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -48,9 +48,12 @@ const CONTENTS: [CacheContents; 7] = [
 const SIZES: [u64; 3] = [16 << 10, 64 << 10, 256 << 10];
 
 fn main() {
+    let mut ctx = RunContext::new("fig1_extended");
     let accesses = n_accesses(200_000);
     let benches = [Benchmark::Canneal, Benchmark::Libquantum, Benchmark::Fft];
     let base = SimConfig::paper_default();
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     let mut jobs = Vec::new();
     for &bench in &benches {
@@ -60,9 +63,11 @@ fn main() {
             }
         }
     }
-    let results = parallel_map(jobs.clone(), |(bench, contents, size)| {
-        let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(size));
-        run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, contents, size)| {
+            let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(size));
+            run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
+        })
     });
     let mpki = |bench: Benchmark, contents: CacheContents, size: u64| -> f64 {
         let i = jobs
@@ -152,4 +157,5 @@ fn main() {
             <= mpki(Benchmark::Canneal, CONTENTS[1], 16 << 10),
         "canneal: a tiny tree-only cache beats a tiny hashes-only cache",
     );
+    ctx.finish();
 }

@@ -7,20 +7,29 @@
 
 use maps_analysis::{fmt_bytes, geometric_mean, Table};
 use maps_bench::{
-    claim, emit, n_accesses, parallel_map, run_sim_cached, LLC_SIZES, MDC_SIZES, SEED,
+    claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, LLC_SIZES, MDC_SIZES, SEED,
 };
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("fig2");
     let accesses = n_accesses(150_000);
     let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
     let base = SimConfig::paper_default();
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     // Baseline: 2 MB LLC, no secure memory, per benchmark.
-    let baselines = parallel_map(benches.clone(), |b| {
-        run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
+    let baseline_reports = ctx.phase("baselines", || {
+        parallel_map(benches.clone(), |b| {
+            run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses)
+        })
     });
+    let baselines: Vec<f64> = baseline_reports.iter().map(|r| r.ed2()).collect();
+    for (bench, report) in benches.iter().zip(&baseline_reports) {
+        ctx.record_report(&format!("baseline.{}", bench.name()), report);
+    }
 
     let mut jobs = Vec::new();
     for &llc in &LLC_SIZES {
@@ -30,10 +39,17 @@ fn main() {
             }
         }
     }
-    let results = parallel_map(jobs.clone(), |(llc, mdc, _bi, bench)| {
-        let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
-        run_sim_cached(&cfg, bench, SEED, accesses).ed2()
+    let reports = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(llc, mdc, _bi, bench)| {
+            let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        })
     });
+    let results: Vec<f64> = reports.iter().map(|r| r.ed2()).collect();
+    for (&(llc, mdc, _, bench), report) in jobs.iter().zip(&reports) {
+        let label = format!("run.llc{}k.mdc{}k.{}", llc >> 10, mdc >> 10, bench.name());
+        ctx.record_report(&label, report);
+    }
 
     // Normalize per benchmark, then aggregate.
     let mut table = Table::new(["llc", "mdc", "total_budget", "ed2_geomean", "ed2_canneal"]);
@@ -92,4 +108,5 @@ fn main() {
         secure_2mb > 1.0,
         "secure memory adds ED^2 overhead at the reference LLC size",
     );
+    ctx.finish();
 }

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig3 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, GroupedReuseProfiler, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::{MetaGroup, BLOCK_BYTES};
 use maps_workloads::Benchmark;
@@ -28,6 +28,7 @@ const POINTS: [u64; 13] = [
 ];
 
 fn main() {
+    let mut ctx = RunContext::new("fig3");
     let accesses = n_accesses(400_000);
     let benches = [
         Benchmark::Canneal,
@@ -37,13 +38,17 @@ fn main() {
         Benchmark::Mcf,
         Benchmark::Barnes,
     ];
+    let base = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
-    let profiles = parallel_map(benches.to_vec(), |bench| {
-        let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
-        let mut sim = SecureSim::new(cfg, bench.build(SEED));
-        let mut profiler = GroupedReuseProfiler::new();
-        sim.run_observed(accesses, &mut profiler);
-        profiler
+    let profiles = ctx.phase("profile", || {
+        parallel_map(benches.to_vec(), |bench| {
+            let mut sim = SecureSim::new(base.clone(), bench.build(SEED));
+            let mut profiler = GroupedReuseProfiler::new();
+            sim.run_observed(accesses, &mut profiler);
+            profiler
+        })
     });
 
     let mut table = Table::new(["benchmark", "type", "reuse_bytes<=", "cdf"]);
@@ -110,4 +115,5 @@ fn main() {
             &format!("{bench}: tree reuse distances are shorter than hash reuse distances"),
         );
     }
+    ctx.finish();
 }

@@ -5,20 +5,25 @@
 //! Run: `cargo run --release -p maps-bench --bin fig4 [--check] [--tsv]`
 
 use maps_analysis::{GroupedReuseProfiler, ReuseClass, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("fig4");
     let accesses = n_accesses(300_000);
     let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
+    let base = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
-    let counts = parallel_map(benches.clone(), |bench| {
-        let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
-        let mut sim = SecureSim::new(cfg, bench.build(SEED));
-        let mut profiler = GroupedReuseProfiler::new();
-        sim.run_observed(accesses, &mut profiler);
-        profiler.combined().class_counts()
+    let counts = ctx.phase("profile", || {
+        parallel_map(benches.clone(), |bench| {
+            let mut sim = SecureSim::new(base.clone(), bench.build(SEED));
+            let mut profiler = GroupedReuseProfiler::new();
+            sim.run_observed(accesses, &mut profiler);
+            profiler.combined().class_counts()
+        })
     });
 
     let mut table = Table::new([
@@ -99,4 +104,5 @@ fn main() {
         cactus_is_most_midrange,
         "cactusADM has the largest mid-range mass of any benchmark",
     );
+    ctx.finish();
 }

@@ -6,21 +6,26 @@
 //! Run: `cargo run --release -p maps-bench --bin fig5 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, GroupedReuseProfiler, Table, Transition};
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::{MetaGroup, BLOCK_BYTES};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("fig5");
     let accesses = n_accesses(400_000);
     let benches = [Benchmark::Fft, Benchmark::Leslie3d];
+    let base = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
-    let profiles = parallel_map(benches.to_vec(), |bench| {
-        let cfg = SimConfig::paper_default().with_mdc(MdcConfig::disabled());
-        let mut sim = SecureSim::new(cfg, bench.build(SEED));
-        let mut profiler = GroupedReuseProfiler::new();
-        sim.run_observed(accesses, &mut profiler);
-        profiler
+    let profiles = ctx.phase("profile", || {
+        parallel_map(benches.to_vec(), |bench| {
+            let mut sim = SecureSim::new(base.clone(), bench.build(SEED));
+            let mut profiler = GroupedReuseProfiler::new();
+            sim.run_observed(accesses, &mut profiler);
+            profiler
+        })
     });
 
     let mut table = Table::new([
@@ -88,4 +93,5 @@ fn main() {
             > profiles[1].transition_samples(MetaGroup::Hash, Transition::WRITE_AFTER_WRITE),
         "fft (20% writes) produces more hash write-after-write pairs than leslie3d (5%)",
     );
+    ctx.finish();
 }

@@ -9,7 +9,9 @@
 //! Run: `cargo run --release -p maps-bench --bin fig6 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{captured_trace, claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{
+    captured_trace, claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED,
+};
 use maps_sim::itermin::{run_iter_min_on, run_min_on};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
@@ -32,6 +34,7 @@ impl PolicyUnderTest {
 }
 
 fn main() {
+    let mut ctx = RunContext::new("fig6");
     let accesses = n_accesses(120_000);
     let benches = Benchmark::memory_intensive();
     let mut cfg = SimConfig::paper_default();
@@ -39,6 +42,8 @@ fn main() {
     // MIN replay requires the oracle's time base to match the recorded
     // trace, so the whole window is measured for every policy.
     cfg.warmup_fraction = 0.0;
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&cfg);
 
     let mut jobs = Vec::new();
     for &bench in &benches {
@@ -49,22 +54,24 @@ fn main() {
     let cfg_ref = &cfg;
     // All four policies per benchmark share one captured front end (the
     // zero-warm-up capture the MIN oracles require).
-    let results = parallel_map(jobs.clone(), |(bench, policy)| match policy {
-        PolicyUnderTest::PseudoLru => {
-            run_sim_cached(cfg_ref, bench, SEED, accesses).metadata_mpki()
-        }
-        PolicyUnderTest::Eva => {
-            let c = cfg_ref.with_mdc(cfg_ref.mdc.with_policy(PolicyChoice::Eva));
-            run_sim_cached(&c, bench, SEED, accesses).metadata_mpki()
-        }
-        PolicyUnderTest::Min => {
-            run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses)).metadata_mpki()
-        }
-        PolicyUnderTest::IterMin => {
-            run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4)
-                .report
-                .metadata_mpki()
-        }
+    let results = ctx.phase("sweep", || {
+        parallel_map(jobs.clone(), |(bench, policy)| match policy {
+            PolicyUnderTest::PseudoLru => {
+                run_sim_cached(cfg_ref, bench, SEED, accesses).metadata_mpki()
+            }
+            PolicyUnderTest::Eva => {
+                let c = cfg_ref.with_mdc(cfg_ref.mdc.with_policy(PolicyChoice::Eva));
+                run_sim_cached(&c, bench, SEED, accesses).metadata_mpki()
+            }
+            PolicyUnderTest::Min => {
+                run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses)).metadata_mpki()
+            }
+            PolicyUnderTest::IterMin => {
+                run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4)
+                    .report
+                    .metadata_mpki()
+            }
+        })
     });
 
     let mut table = Table::new(["benchmark", "pseudo-lru", "eva", "min", "itermin"]);
@@ -128,4 +135,5 @@ fn main() {
         itermin_better_somewhere && min_better_somewhere,
         "the MIN/iterMIN ranking varies across benchmarks",
     );
+    ctx.finish();
 }

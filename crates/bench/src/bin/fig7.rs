@@ -8,27 +8,34 @@
 //! Run: `cargo run --release -p maps-bench --bin fig7 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
 use maps_cache::Partition;
 use maps_sim::{MdcConfig, PartitionMode, SimConfig};
 use maps_workloads::Benchmark;
 
 fn main() {
+    let mut ctx = RunContext::new("fig7");
     let accesses = n_accesses(150_000);
     let benches = Benchmark::memory_intensive();
     let mut base = SimConfig::paper_default();
     base.mdc = MdcConfig::paper_default().with_size(64 << 10);
     let ways = base.mdc.ways;
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&base);
 
     // Insecure baselines for normalization.
-    let baselines = parallel_map(benches.clone(), |b| {
-        run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
+    let baselines = ctx.phase("baselines", || {
+        parallel_map(benches.clone(), |b| {
+            run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
+        })
     });
 
     // (a) No partition.
     let base_ref = &base;
-    let none = parallel_map(benches.clone(), |b| {
-        run_sim_cached(base_ref, b, SEED, accesses).ed2()
+    let none = ctx.phase("no-partition", || {
+        parallel_map(benches.clone(), |b| {
+            run_sim_cached(base_ref, b, SEED, accesses).ed2()
+        })
     });
 
     // (b) Static sweep: every split for every benchmark.
@@ -38,10 +45,12 @@ fn main() {
             static_jobs.push((bi, bench, split));
         }
     }
-    let static_results = parallel_map(static_jobs.clone(), |(_bi, bench, split)| {
-        let mut cfg = base_ref.clone();
-        cfg.mdc.partition = PartitionMode::Static(split);
-        run_sim_cached(&cfg, bench, SEED, accesses).ed2()
+    let static_results = ctx.phase("static-sweep", || {
+        parallel_map(static_jobs.clone(), |(_bi, bench, split)| {
+            let mut cfg = base_ref.clone();
+            cfg.mdc.partition = PartitionMode::Static(split);
+            run_sim_cached(&cfg, bench, SEED, accesses).ed2()
+        })
     });
     let mut best_split = vec![Partition::counter_ways(1); benches.len()];
     let mut best_static = vec![f64::INFINITY; benches.len()];
@@ -60,22 +69,26 @@ fn main() {
             .clamp(1.0, (ways - 1) as f64) as usize
     };
     let avg_partition = Partition::counter_ways(avg_ways);
-    let avg_static = parallel_map(benches.clone(), |b| {
-        let mut cfg = base_ref.clone();
-        cfg.mdc.partition = PartitionMode::Static(avg_partition);
-        run_sim_cached(&cfg, b, SEED, accesses).ed2()
+    let avg_static = ctx.phase("avg-static", || {
+        parallel_map(benches.clone(), |b| {
+            let mut cfg = base_ref.clone();
+            cfg.mdc.partition = PartitionMode::Static(avg_partition);
+            run_sim_cached(&cfg, b, SEED, accesses).ed2()
+        })
     });
 
     // (d) Dynamic set dueling between a counter-light and counter-heavy
     // split.
-    let dynamic = parallel_map(benches.clone(), |b| {
-        let mut cfg = base_ref.clone();
-        cfg.mdc.partition = PartitionMode::Dynamic {
-            a: Partition::counter_ways(2),
-            b: Partition::counter_ways(6),
-            leaders_per_side: 4,
-        };
-        run_sim_cached(&cfg, b, SEED, accesses).ed2()
+    let dynamic = ctx.phase("dynamic", || {
+        parallel_map(benches.clone(), |b| {
+            let mut cfg = base_ref.clone();
+            cfg.mdc.partition = PartitionMode::Dynamic {
+                a: Partition::counter_ways(2),
+                b: Partition::counter_ways(6),
+                leaders_per_side: 4,
+            };
+            run_sim_cached(&cfg, b, SEED, accesses).ed2()
+        })
     });
 
     let mut table = Table::new([
@@ -162,4 +175,5 @@ fn main() {
         harmed_by_avg >= 1,
         "the average-best static split harms some benchmarks versus no partition",
     );
+    ctx.finish();
 }

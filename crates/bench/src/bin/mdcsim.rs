@@ -24,6 +24,7 @@
 
 use std::process::ExitCode;
 
+use maps_bench::RunContext;
 use maps_cache::Partition;
 use maps_secure::CounterMode;
 use maps_sim::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SecureSim, SimConfig};
@@ -152,6 +153,9 @@ fn run() -> Result<(), String> {
         cfg.mdc = MdcConfig::disabled();
     }
 
+    // RunContext reads --manifest from the environment args itself; strip
+    // it here so the strict unknown-argument check below accepts it.
+    let _ = args.value("--manifest")?;
     let replay_path = args.value("--replay")?;
     let trace_out = args.value("--trace-out")?;
     let bench_name = args
@@ -183,8 +187,15 @@ fn run() -> Result<(), String> {
         workload = Box::new(ReplayWorkload::new("recorded", trace));
     }
 
+    let mut ctx = RunContext::new("mdcsim");
+    ctx.param_u64("accesses", accesses).param_u64("seed", seed);
+    ctx.param_str("bench", &bench_name);
+    ctx.set_config(&cfg);
+
     let mut sim = SecureSim::new(cfg, workload);
-    let report = sim.run(accesses);
+    let report = ctx.phase("run", || sim.run(accesses));
+    ctx.record_report("run", &report);
+    ctx.finish();
     println!("{report}");
     println!();
     println!("tree walks         {}", report.engine.tree_walks);

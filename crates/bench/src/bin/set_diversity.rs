@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p maps-bench --bin set_diversity [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, SEED};
+use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::BlockKind;
 use maps_workloads::Benchmark;
@@ -49,6 +49,7 @@ fn cv(values: &[f64]) -> f64 {
 }
 
 fn main() {
+    let mut ctx = RunContext::new("set_diversity");
     let accesses = n_accesses(200_000);
     let benches = vec![
         Benchmark::Canneal,
@@ -57,8 +58,14 @@ fn main() {
         Benchmark::Mcf,
         Benchmark::Lbm,
     ];
+    let mut cfg = SimConfig::paper_default();
+    cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
+    ctx.set_config(&cfg);
 
-    let snapshots = parallel_map(benches.clone(), |b| composition(b, accesses));
+    let snapshots = ctx.phase("snapshots", || {
+        parallel_map(benches.clone(), |b| composition(b, accesses))
+    });
 
     let mut table = Table::new([
         "benchmark",
@@ -111,4 +118,5 @@ fn main() {
         extremes,
         "some sets hold several counter blocks while others hold almost none",
     );
+    ctx.finish();
 }

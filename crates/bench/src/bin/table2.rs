@@ -5,11 +5,13 @@
 //! Run: `cargo run --release -p maps-bench --bin table2 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{claim, emit};
+use maps_bench::{claim, emit, RunContext};
 use maps_secure::{Layout, SecureConfig};
 use maps_trace::BlockKind;
 
 fn main() {
+    let mut ctx = RunContext::new("table2");
+    ctx.param_u64("memory_bytes", 4 << 30);
     let pi = Layout::new(SecureConfig::poison_ivy(4 << 30));
     let sgx = Layout::new(SecureConfig::sgx(4 << 30));
 
@@ -94,4 +96,5 @@ fn main() {
         pi.data_protected_by(BlockKind::Tree(1)) == 8 * pi.data_protected_by(BlockKind::Tree(0)),
         "each tree level covers 8x its child",
     );
+    ctx.finish();
 }

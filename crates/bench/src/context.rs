@@ -1,0 +1,167 @@
+//! Per-run observability context for the figure/table binaries.
+//!
+//! Every binary opens a [`RunContext`] at the top of `main`, records its
+//! parameters and configuration, wraps heavy stages in [`RunContext::phase`],
+//! and calls [`RunContext::finish`] last. The context writes a
+//! schema-versioned JSON manifest (`results/<name>.manifest.json`, or the
+//! `--manifest <path>` override) describing the run: config, seed, git
+//! revision, wall/phase timings, and the metrics snapshot.
+//!
+//! Metric *collection* is gated by `MAPS_METRICS` (off by default): with it
+//! unset, [`RunContext::record_report`] returns immediately and the
+//! manifest's `metrics` section is an empty object, so the instrumented
+//! binaries stay within noise of their un-instrumented cost. Metrics can
+//! never steer a simulation — sinks only observe — so enabling them cannot
+//! change any simulated number.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use maps_obs::{Json, Manifest, Metrics, Phases};
+use maps_sim::{SimConfig, SimReport};
+
+/// Whether `MAPS_METRICS` enables metric collection (any value but `0`).
+pub fn metrics_enabled() -> bool {
+    std::env::var_os("MAPS_METRICS").is_some_and(|v| v != "0")
+}
+
+/// Resolves the manifest path: `--manifest <path>` / `--manifest=<path>`,
+/// else `results/<name>.manifest.json`.
+fn manifest_path(name: &str) -> PathBuf {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--manifest" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        } else if let Some(p) = a.strip_prefix("--manifest=") {
+            return PathBuf::from(p);
+        }
+    }
+    PathBuf::from("results").join(format!("{name}.manifest.json"))
+}
+
+/// Run-lifetime observability: parameters, phases, metrics, manifest.
+pub struct RunContext {
+    manifest: Manifest,
+    phases: Phases,
+    metrics: Metrics,
+    started: Instant,
+    path: PathBuf,
+}
+
+impl RunContext {
+    /// Opens the context for the named binary, stamping the start time and
+    /// resolving the manifest path from the command line.
+    pub fn new(name: &str) -> Self {
+        RunContext {
+            manifest: Manifest::new(name),
+            phases: Phases::new(),
+            metrics: Metrics::new(),
+            started: Instant::now(),
+            path: manifest_path(name),
+        }
+    }
+
+    /// Records an integer run parameter.
+    pub fn param_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.manifest.param(key, Json::UInt(value));
+        self
+    }
+
+    /// Records a string run parameter.
+    pub fn param_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.manifest.param(key, Json::Str(value.to_string()));
+        self
+    }
+
+    /// Records the simulation configuration the run centres on.
+    pub fn set_config(&mut self, cfg: &SimConfig) -> &mut Self {
+        self.manifest.set_config(cfg.to_json());
+        self
+    }
+
+    /// Times `f` under the named phase (re-entry accumulates).
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.phases.add(name, start.elapsed());
+        result
+    }
+
+    /// Merges a report's counters and gauges under `{label}.*`. A no-op
+    /// unless `MAPS_METRICS` is set, keeping the disabled path free.
+    pub fn record_report(&mut self, label: &str, report: &SimReport) -> &mut Self {
+        if metrics_enabled() {
+            report.export(label, &mut self.metrics);
+        }
+        self
+    }
+
+    /// Direct access to the metrics registry (callers should check
+    /// [`metrics_enabled`] before doing expensive derivations).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Stamps the wall clock, assembles the manifest, and writes it.
+    /// Failures to write are reported on stderr but never fail the run —
+    /// observability must not break figure regeneration.
+    pub fn finish(mut self) {
+        self.manifest
+            .set_wall(self.started.elapsed())
+            .set_phases(&self.phases)
+            .set_metrics(&self.metrics);
+        match self.manifest.write_to(&self.path) {
+            Ok(()) => eprintln!("[manifest] {}", self.path.display()),
+            Err(e) => eprintln!("[manifest] write failed ({}): {e}", self.path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_path_derives_from_name() {
+        assert_eq!(
+            manifest_path("figX"),
+            PathBuf::from("results/figX.manifest.json")
+        );
+    }
+
+    #[test]
+    fn phases_accumulate_through_closures() {
+        let mut ctx = RunContext::new("test");
+        let v = ctx.phase("stage", || 41) + ctx.phase("stage", || 1);
+        assert_eq!(v, 42);
+        assert!(ctx.phases.elapsed("stage").is_some());
+        let (_, _, entries) = ctx.phases.snapshot().next().unwrap();
+        assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn finished_manifest_validates() {
+        let dir = std::env::temp_dir().join(format!("maps-bench-ctx-{}", std::process::id()));
+        let path = dir.join("test.manifest.json");
+        let mut ctx = RunContext::new("test");
+        ctx.path = path.clone();
+        ctx.param_u64("accesses", 1000)
+            .param_str("mode", "unit-test")
+            .set_config(&SimConfig::paper_default());
+        ctx.phase("noop", || ());
+        ctx.finish();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(maps_obs::validate_manifest(&doc).is_empty());
+        assert_eq!(
+            doc.get("config")
+                .unwrap()
+                .get("llc_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(2 << 20)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

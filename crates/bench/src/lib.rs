@@ -20,6 +20,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use maps_sim::{CapturedTrace, FrontEndKey, ReplaySim, SecureSim, SimConfig, SimReport};
 use maps_workloads::Benchmark;
 
+pub mod context;
+
+pub use context::{metrics_enabled, RunContext};
+
 /// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
 pub fn n_accesses(default: u64) -> u64 {
     std::env::var("MAPS_ACCESSES")
@@ -127,6 +131,26 @@ pub fn run_sim_cached(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u6
     }
     let trace = captured_trace(cfg, bench, seed, accesses);
     ReplaySim::new(cfg.clone(), &trace).run()
+}
+
+/// [`run_sim_cached`] with a [`MetricsProbe`](maps_sim::MetricsProbe) on the
+/// measured metadata stream. Observers only record — they cannot steer the
+/// engine — so the report is bit-identical to the unprobed run's (asserted
+/// by the instrumented-equivalence test).
+pub fn run_sim_cached_probed(
+    cfg: &SimConfig,
+    bench: Benchmark,
+    seed: u64,
+    accesses: u64,
+) -> (SimReport, maps_sim::MetricsProbe) {
+    let mut probe = maps_sim::MetricsProbe::new();
+    let report = if capture_disabled() {
+        SecureSim::new(cfg.clone(), bench.build(seed)).run_observed(accesses, &mut probe)
+    } else {
+        let trace = captured_trace(cfg, bench, seed, accesses);
+        ReplaySim::new(cfg.clone(), &trace).run_observed(&mut probe)
+    };
+    (report, probe)
 }
 
 /// A send-only slot claimed by exactly one worker.

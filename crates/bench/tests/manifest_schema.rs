@@ -1,0 +1,104 @@
+//! Golden-schema test for the run manifests the figure binaries emit, and
+//! the instrumented-equivalence guarantee: observers only record, so a
+//! probed run's report is bit-identical to the unprobed run's.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use maps_bench::{run_sim_cached, run_sim_cached_probed, SEED};
+use maps_obs::{validate_manifest, Json};
+use maps_sim::SimConfig;
+use maps_workloads::Benchmark;
+
+fn temp_manifest(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "maps-manifest-test-{}-{name}.manifest.json",
+        std::process::id()
+    ))
+}
+
+/// Runs a figure binary with metrics enabled and a tiny access budget,
+/// returning its parsed manifest.
+fn run_and_parse(exe: &str, name: &str, accesses: &str) -> Json {
+    let path = temp_manifest(name);
+    let status = Command::new(exe)
+        .args(["--manifest", path.to_str().expect("utf-8 temp path")])
+        .env("MAPS_ACCESSES", accesses)
+        .env("MAPS_METRICS", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("figure binary runs");
+    assert!(status.success(), "{name} exited with {status}");
+    let text = std::fs::read_to_string(&path).expect("manifest written");
+    std::fs::remove_file(&path).ok();
+    Json::parse(&text).expect("manifest parses as JSON")
+}
+
+#[test]
+fn fig2_manifest_validates_with_all_required_fields() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig2"), "fig2", "1500");
+    assert_eq!(validate_manifest(&doc), Vec::<String>::new());
+
+    assert_eq!(doc.get("name").unwrap().as_str(), Some("fig2"));
+    assert_eq!(
+        doc.get("params").unwrap().get("accesses").unwrap().as_u64(),
+        Some(1500)
+    );
+    assert_eq!(
+        doc.get("params").unwrap().get("seed").unwrap().as_u64(),
+        Some(SEED)
+    );
+    // The full simulation configuration is embedded.
+    let config = doc.get("config").unwrap();
+    assert!(config.get("llc_bytes").unwrap().as_u64().is_some());
+    assert!(config.get("mdc").is_some());
+    // Both sweep phases were timed.
+    let phases = match doc.get("phases").unwrap() {
+        Json::Arr(items) => items,
+        other => panic!("phases is not an array: {other:?}"),
+    };
+    let phase_names: Vec<&str> = phases
+        .iter()
+        .map(|p| p.get("path").unwrap().as_str().unwrap())
+        .collect();
+    assert!(phase_names.contains(&"baselines"), "{phase_names:?}");
+    assert!(phase_names.contains(&"sweep"), "{phase_names:?}");
+    // With MAPS_METRICS=1 the snapshot carries per-run counters for every
+    // sweep point, including headline engine figures.
+    let counters = doc.get("metrics").unwrap().get("counters").unwrap();
+    let counter_names: Vec<&str> = match counters {
+        Json::Obj(pairs) => pairs.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("counters is not an object: {other:?}"),
+    };
+    assert!(
+        counter_names
+            .iter()
+            .any(|n| n.starts_with("baseline.") && n.ends_with(".cycles")),
+        "no baseline cycle counters in {counter_names:?}"
+    );
+    assert!(
+        counter_names
+            .iter()
+            .any(|n| n.starts_with("run.") && n.contains(".engine.meta.")),
+        "no per-run metadata cache counters in {counter_names:?}"
+    );
+}
+
+#[test]
+fn table2_manifest_validates_without_a_sim_config() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_table2"), "table2", "100");
+    assert_eq!(validate_manifest(&doc), Vec::<String>::new());
+    assert_eq!(doc.get("name").unwrap().as_str(), Some("table2"));
+    // Layout-only binaries embed no SimConfig; the field is still present.
+    assert!(doc.get("config").unwrap().is_obj());
+}
+
+#[test]
+fn probed_run_is_bit_identical_to_unprobed_run() {
+    let cfg = SimConfig::paper_default();
+    let plain = run_sim_cached(&cfg, Benchmark::Gups, SEED, 8_000);
+    let (probed, probe) = run_sim_cached_probed(&cfg, Benchmark::Gups, SEED, 8_000);
+    assert_eq!(plain, probed, "observer changed the simulation");
+    assert!(probe.observed() > 0, "probe saw no metadata traffic");
+}

@@ -34,12 +34,14 @@ pub mod csopt;
 pub mod line;
 pub mod partition;
 pub mod policy;
+pub mod psel;
 pub mod stats;
 
 pub use cache::{AccessResult, SetAssocCache};
 pub use config::CacheConfig;
 pub use csopt::{belady_misses, csopt_min_cost, CostedAccess, CsoptOutcome};
 pub use line::Line;
-pub use partition::{DuelingController, Partition, SetRole};
+pub use partition::{DuelingController, Partition, PartitionError, SetRole};
 pub use policy::Policy;
+pub use psel::{PselCounter, PSEL_MAX};
 pub use stats::{CacheStats, KindStats};

@@ -3,6 +3,30 @@
 
 use maps_trace::BlockKind;
 
+use crate::psel::PselCounter;
+
+/// A partition split that would starve one side at a given associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionError {
+    /// Requested counter ways.
+    pub counter_ways: usize,
+    /// Total associativity the split was checked against.
+    pub ways: usize,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partition {}:{} must leave at least one way per side",
+            self.counter_ways,
+            self.ways.saturating_sub(self.counter_ways)
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// A static way partition for the metadata cache.
 ///
 /// Counters are restricted to the first `counter_ways` ways and hashes to
@@ -26,8 +50,26 @@ pub struct Partition {
 }
 
 impl Partition {
+    /// Creates a partition validated against the associativity it will be
+    /// used with: both sides keep at least one way. Prefer this over
+    /// [`counter_ways`](Self::counter_ways) whenever the associativity is
+    /// known at construction time.
+    pub fn new(counter_ways: usize, ways: usize) -> Result<Self, PartitionError> {
+        if counter_ways >= 1 && counter_ways < ways {
+            Ok(Self { counter_ways })
+        } else {
+            Err(PartitionError { counter_ways, ways })
+        }
+    }
+
     /// Creates a partition granting `counter_ways` ways to counters; the
     /// remainder go to hashes.
+    ///
+    /// The split is unchecked here because the associativity is not known
+    /// yet; every consumer validates before use ([`new`](Self::new),
+    /// [`validate`](Self::validate), `SetAssocCache::set_partition`,
+    /// [`DuelingController::new`]) and [`ways_for`](Self::ways_for)
+    /// debug-asserts as a backstop.
     pub const fn counter_ways(counter_ways: usize) -> Self {
         Self { counter_ways }
     }
@@ -43,17 +85,29 @@ impl Partition {
     ///
     /// Panics if the split leaves either side without at least one way.
     pub fn validate(&self, ways: usize) {
-        assert!(
-            self.counter_ways >= 1 && self.counter_ways < ways,
-            "partition {}:{} must leave at least one way per side",
-            self.counter_ways,
-            ways.saturating_sub(self.counter_ways)
-        );
+        if let Err(e) = Partition::new(self.counter_ways, ways) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked form of [`validate`](Self::validate).
+    pub fn try_validate(&self, ways: usize) -> Result<(), PartitionError> {
+        Partition::new(self.counter_ways, ways).map(|_| ())
     }
 
     /// Half-open way range `[lo, hi)` allowed for `kind` at associativity
     /// `ways`.
+    ///
+    /// In debug builds an invalid split (either side empty) asserts;
+    /// release builds clamp, which for `counter_ways ≥ ways` hands hashes
+    /// the empty range `[ways, ways)` — a cache that can never fill — so
+    /// construction-time validation is not optional.
     pub fn ways_for(&self, kind: BlockKind, ways: usize) -> (usize, usize) {
+        debug_assert!(
+            self.counter_ways >= 1 && self.counter_ways < ways,
+            "unvalidated partition: {} counter ways of {ways}",
+            self.counter_ways
+        );
         match kind {
             BlockKind::Counter => (0, self.counter_ways.min(ways)),
             BlockKind::Hash => (self.counter_ways.min(ways), ways),
@@ -83,30 +137,39 @@ pub enum SetRole {
 /// paper's Section V-C describes).
 ///
 /// Two small collections of leader sets are distributed uniformly across
-/// the index space; a saturating counter (`psel`) accumulates miss votes
-/// and follower sets adopt the partition of the currently-winning leader.
+/// the index space; a saturating [`PselCounter`] accumulates miss votes
+/// and follower sets adopt the partition of the currently-winning leader
+/// (the sign/tie convention is documented once, on
+/// [`psel`](crate::psel)).
 #[derive(Debug, Clone)]
 pub struct DuelingController {
     partition_a: Partition,
     partition_b: Partition,
     roles: Vec<SetRole>,
-    psel: i32,
-    psel_max: i32,
+    psel: PselCounter,
 }
 
 impl DuelingController {
-    /// Creates a controller over `sets` cache sets with `leaders_per_side`
-    /// leader sets for each competing partition.
+    /// Creates a controller over `sets` cache sets of associativity
+    /// `ways`, with `leaders_per_side` leader sets for each competing
+    /// partition. Both partitions are validated here: the controller's
+    /// choices flow into `SetAssocCache::access_with` as per-access
+    /// overrides, bypassing `set_partition`'s validation, so this is the
+    /// last construction-time gate before `ways_for`.
     ///
     /// # Panics
     ///
-    /// Panics if there are not enough sets for the requested leaders.
+    /// Panics if either partition is invalid at `ways` or there are not
+    /// enough sets for the requested leaders.
     pub fn new(
         sets: usize,
+        ways: usize,
         leaders_per_side: usize,
         partition_a: Partition,
         partition_b: Partition,
     ) -> Self {
+        partition_a.validate(ways);
+        partition_b.validate(ways);
         assert!(
             2 * leaders_per_side <= sets,
             "cannot place {leaders_per_side} leader sets per side in {sets} sets"
@@ -125,8 +188,7 @@ impl DuelingController {
             partition_a,
             partition_b,
             roles,
-            psel: 0,
-            psel_max: 1024,
+            psel: PselCounter::new(),
         }
     }
 
@@ -141,10 +203,10 @@ impl DuelingController {
             SetRole::LeaderA => self.partition_a,
             SetRole::LeaderB => self.partition_b,
             SetRole::Follower => {
-                if self.psel <= 0 {
-                    self.partition_a
-                } else {
+                if self.psel.prefers_b() {
                     self.partition_b
+                } else {
+                    self.partition_a
                 }
             }
         }
@@ -154,15 +216,15 @@ impl DuelingController {
     /// other leader's partition.
     pub fn record_miss(&mut self, set: usize) {
         match self.roles[set] {
-            SetRole::LeaderA => self.psel = (self.psel + 1).min(self.psel_max),
-            SetRole::LeaderB => self.psel = (self.psel - 1).max(-self.psel_max),
+            SetRole::LeaderA => self.psel.record_a_miss(),
+            SetRole::LeaderB => self.psel.record_b_miss(),
             SetRole::Follower => {}
         }
     }
 
     /// Current selector value (negative favours partition A).
     pub fn selector(&self) -> i32 {
-        self.psel
+        self.psel.value()
     }
 }
 
@@ -186,6 +248,43 @@ mod tests {
     }
 
     #[test]
+    fn checked_constructor_rejects_degenerate_splits() {
+        assert!(Partition::new(3, 8).is_ok());
+        assert_eq!(
+            Partition::new(8, 8),
+            Err(PartitionError {
+                counter_ways: 8,
+                ways: 8
+            })
+        );
+        assert!(Partition::new(9, 8).is_err());
+        assert!(Partition::new(0, 8).is_err());
+        assert!(Partition::counter_ways(2).try_validate(8).is_ok());
+        assert!(Partition::counter_ways(0).try_validate(8).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "unvalidated partition")]
+    fn ways_for_asserts_on_unvalidated_split() {
+        // Regression: this used to silently hand hashes the empty range
+        // (ways, ways), starving them of every way.
+        Partition::counter_ways(8).ways_for(BlockKind::Hash, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn dueling_controller_validates_partitions() {
+        DuelingController::new(
+            16,
+            8,
+            1,
+            Partition::counter_ways(2),
+            Partition::counter_ways(8), // would starve hashes
+        );
+    }
+
+    #[test]
     fn all_splits_enumerates() {
         let splits: Vec<_> = Partition::all_splits(4).collect();
         assert_eq!(splits.len(), 3);
@@ -197,6 +296,7 @@ mod tests {
     fn leaders_distributed_and_balanced() {
         let d = DuelingController::new(
             64,
+            8,
             4,
             Partition::counter_ways(2),
             Partition::counter_ways(6),
@@ -210,6 +310,7 @@ mod tests {
     fn follower_tracks_winning_leader() {
         let mut d = DuelingController::new(
             64,
+            8,
             2,
             Partition::counter_ways(2),
             Partition::counter_ways(6),
@@ -233,6 +334,7 @@ mod tests {
     fn leaders_keep_their_partition_regardless_of_psel() {
         let mut d = DuelingController::new(
             32,
+            8,
             1,
             Partition::counter_ways(1),
             Partition::counter_ways(7),
@@ -248,6 +350,7 @@ mod tests {
     fn selector_saturates() {
         let mut d = DuelingController::new(
             16,
+            8,
             1,
             Partition::counter_ways(1),
             Partition::counter_ways(7),
@@ -256,6 +359,36 @@ mod tests {
         for _ in 0..5000 {
             d.record_miss(leader_a);
         }
-        assert_eq!(d.selector(), 1024);
+        assert_eq!(d.selector(), crate::PSEL_MAX);
+        // Symmetric: B-leader misses saturate at the negative bound.
+        let leader_b = (0..16).find(|&s| d.role(s) == SetRole::LeaderB).unwrap();
+        for _ in 0..5000 {
+            d.record_miss(leader_b);
+        }
+        assert_eq!(d.selector(), -crate::PSEL_MAX);
+    }
+
+    #[test]
+    fn followers_use_partition_a_at_zero_selector() {
+        // Pins the tie-break convention: psel == 0 (including the initial
+        // state and any return to balance) resolves to partition A.
+        let mut d = DuelingController::new(
+            64,
+            8,
+            2,
+            Partition::counter_ways(2),
+            Partition::counter_ways(6),
+        );
+        let follower = (0..64).find(|&s| d.role(s) == SetRole::Follower).unwrap();
+        assert_eq!(d.selector(), 0);
+        assert_eq!(d.partition_for(follower), Partition::counter_ways(2));
+        // One A-vote then one B-vote returns to exactly zero: still A.
+        let leader_a = (0..64).find(|&s| d.role(s) == SetRole::LeaderA).unwrap();
+        let leader_b = (0..64).find(|&s| d.role(s) == SetRole::LeaderB).unwrap();
+        d.record_miss(leader_a);
+        assert_eq!(d.partition_for(follower), Partition::counter_ways(6));
+        d.record_miss(leader_b);
+        assert_eq!(d.selector(), 0);
+        assert_eq!(d.partition_for(follower), Partition::counter_ways(2));
     }
 }

@@ -1,6 +1,7 @@
 //! Dynamic re-reference interval prediction (DRRIP).
 
 use super::Policy;
+use crate::psel::PselCounter;
 use crate::Line;
 use maps_trace::rng::SmallRng;
 
@@ -17,8 +18,9 @@ pub struct Drrip {
     rrpv: Vec<u8>,
     /// Per-set role: 0 = SRRIP leader, 1 = BRRIP leader, 2 = follower.
     roles: Vec<u8>,
-    /// Positive favours BRRIP (SRRIP leaders missing), negative SRRIP.
-    psel: i32,
+    /// Shared set-dueling selector; SRRIP is side "A", BRRIP side "B"
+    /// (sign/tie convention documented on [`crate::psel`]).
+    psel: PselCounter,
     rng: SmallRng,
 }
 
@@ -40,7 +42,7 @@ impl Drrip {
             ways: 0,
             rrpv: Vec::new(),
             roles: Vec::new(),
-            psel: 0,
+            psel: PselCounter::new(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -53,8 +55,14 @@ impl Drrip {
         match self.roles[set] {
             0 => false,
             1 => true,
-            _ => self.psel > 0,
+            _ => self.psel.prefers_b(),
         }
+    }
+
+    /// Current selector value (positive favours BRRIP), for tests.
+    #[cfg(test)]
+    fn selector(&self) -> i32 {
+        self.psel.value()
     }
 }
 
@@ -93,8 +101,8 @@ impl Policy for Drrip {
     fn on_fill(&mut self, set: usize, way: usize, _line: &Line) {
         // A fill means the access missed: leaders vote.
         match self.roles[set] {
-            0 => self.psel = (self.psel + 1).min(1024),
-            1 => self.psel = (self.psel - 1).max(-1024),
+            0 => self.psel.record_a_miss(),
+            1 => self.psel.record_b_miss(),
             _ => {}
         }
         let s = self.slot(set, way);
@@ -152,6 +160,32 @@ mod tests {
         d.init(2, 4);
         assert_eq!(d.roles[0], 0);
         assert_eq!(d.roles[1], 1);
+    }
+
+    #[test]
+    fn followers_duel_from_the_srrip_side_and_saturate_symmetrically() {
+        use crate::psel::PSEL_MAX;
+        let mut d = Drrip::new();
+        d.init(64, 8);
+        let follower = d.roles.iter().position(|&r| r == 2).unwrap();
+        // psel == 0: followers insert like SRRIP (tie goes to side A).
+        assert_eq!(d.selector(), 0);
+        assert!(!d.uses_brrip(follower));
+        // Fills in SRRIP leaders vote toward BRRIP and saturate at +1024,
+        // mirroring the partition controller's bound exactly.
+        let srrip_leader = d.roles.iter().position(|&r| r == 0).unwrap();
+        let brrip_leader = d.roles.iter().position(|&r| r == 1).unwrap();
+        let line = Line::filled(0, maps_trace::BlockKind::Data, 0);
+        for _ in 0..3000 {
+            d.on_fill(srrip_leader, 0, &line);
+        }
+        assert_eq!(d.selector(), PSEL_MAX);
+        assert!(d.uses_brrip(follower));
+        for _ in 0..6000 {
+            d.on_fill(brrip_leader, 0, &line);
+        }
+        assert_eq!(d.selector(), -PSEL_MAX);
+        assert!(!d.uses_brrip(follower));
     }
 
     #[test]

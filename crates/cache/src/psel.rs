@@ -1,0 +1,107 @@
+//! The shared set-dueling policy selector (PSEL).
+//!
+//! Two users duel with a saturating counter: the way-partitioning
+//! [`DuelingController`](crate::DuelingController) (partition A vs. B) and
+//! DRRIP (SRRIP vs. BRRIP insertion). Both previously carried private
+//! copies with the sign convention written down in neither place; this
+//! type is the single definition.
+//!
+//! # Convention
+//!
+//! * The counter starts at 0 and saturates symmetrically at
+//!   ±[`PSEL_MAX`].
+//! * A miss in an **A-leader** set is a vote *against* A, moving the
+//!   counter **up** (toward B). A miss in a **B-leader** moves it
+//!   **down** (toward A).
+//! * Followers choose B iff the counter is **strictly positive**
+//!   ([`PselCounter::prefers_b`]); zero — including the initial state —
+//!   ties **to A**. For DRRIP, "A" is SRRIP insertion and "B" is BRRIP,
+//!   so a fresh cache duels from the SRRIP side.
+
+/// Symmetric saturation bound (a 10-bit selector, as in Qureshi et al.'s
+/// set-dueling papers and Jaleel et al.'s DRRIP).
+pub const PSEL_MAX: i32 = 1024;
+
+/// Saturating policy-selection counter; see the module docs for the sign
+/// convention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PselCounter {
+    value: i32,
+}
+
+impl PselCounter {
+    /// Starts balanced at zero (preferring A).
+    pub const fn new() -> Self {
+        Self { value: 0 }
+    }
+
+    /// A miss in an A-leader set: votes toward B.
+    pub fn record_a_miss(&mut self) {
+        self.value = (self.value + 1).min(PSEL_MAX);
+    }
+
+    /// A miss in a B-leader set: votes toward A.
+    pub fn record_b_miss(&mut self) {
+        self.value = (self.value - 1).max(-PSEL_MAX);
+    }
+
+    /// Whether followers should use policy/partition B right now
+    /// (strictly positive counter; zero ties to A).
+    pub fn prefers_b(&self) -> bool {
+        self.value > 0
+    }
+
+    /// Raw counter value in `[-PSEL_MAX, PSEL_MAX]` (negative favours A).
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_preferring_a() {
+        let p = PselCounter::new();
+        assert_eq!(p.value(), 0);
+        assert!(!p.prefers_b());
+    }
+
+    #[test]
+    fn tie_at_zero_resolves_to_a() {
+        let mut p = PselCounter::new();
+        // Walk away and back to exactly zero: still A.
+        p.record_a_miss();
+        assert!(p.prefers_b());
+        p.record_b_miss();
+        assert_eq!(p.value(), 0);
+        assert!(!p.prefers_b());
+    }
+
+    #[test]
+    fn saturates_symmetrically() {
+        let mut p = PselCounter::new();
+        for _ in 0..3 * PSEL_MAX {
+            p.record_a_miss();
+        }
+        assert_eq!(p.value(), PSEL_MAX);
+        for _ in 0..6 * PSEL_MAX {
+            p.record_b_miss();
+        }
+        assert_eq!(p.value(), -PSEL_MAX);
+    }
+
+    #[test]
+    fn preference_flips_exactly_at_one() {
+        let mut p = PselCounter::new();
+        p.record_a_miss();
+        assert_eq!(p.value(), 1);
+        assert!(p.prefers_b());
+        p.record_b_miss();
+        assert!(!p.prefers_b());
+        p.record_b_miss();
+        assert_eq!(p.value(), -1);
+        assert!(!p.prefers_b());
+    }
+}

@@ -113,6 +113,27 @@ impl CacheStats {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Exports every bucket into `sink` under
+    /// `{prefix}.{data|counter|hash|tree}.{accesses,hits,misses,evictions,
+    /// writebacks}`. Pull-based: called once at snapshot time, so the
+    /// per-access hot path carries no metrics cost.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        const KIND_NAMES: [&str; 4] = ["data", "counter", "hash", "tree"];
+        for (name, b) in KIND_NAMES.iter().zip(&self.buckets) {
+            for (field, value) in [
+                ("accesses", b.accesses),
+                ("hits", b.hits),
+                ("misses", b.misses),
+                ("evictions", b.evictions),
+                ("writebacks", b.writebacks),
+            ] {
+                if value != 0 {
+                    sink.counter_add(&format!("{prefix}.{name}.{field}"), value);
+                }
+            }
+        }
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -166,5 +187,20 @@ mod tests {
         s.record_access(BlockKind::Data, false);
         s.reset();
         assert_eq!(s.total().accesses, 0);
+    }
+
+    #[test]
+    fn export_emits_nonzero_buckets_only() {
+        let mut s = CacheStats::default();
+        s.record_access(BlockKind::Counter, true);
+        s.record_access(BlockKind::Counter, false);
+        s.record_eviction(BlockKind::Tree(2), true);
+        let mut m = maps_obs::Metrics::new();
+        s.export("mdc", &mut m);
+        assert_eq!(m.counter_value("mdc.counter.accesses"), 2);
+        assert_eq!(m.counter_value("mdc.counter.hits"), 1);
+        assert_eq!(m.counter_value("mdc.tree.writebacks"), 1);
+        // Untouched kinds produce no keys at all.
+        assert!(m.counters().all(|(k, _)| !k.starts_with("mdc.hash")));
     }
 }

@@ -83,6 +83,13 @@ impl DramCounters {
     pub fn energy_pj(&self, model: &DramModel) -> f64 {
         self.total() as f64 * model.block_transfer_energy_pj()
     }
+
+    /// Exports read/write transfer counts under `{prefix}.reads` and
+    /// `{prefix}.writes`.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter_add(&format!("{prefix}.reads"), self.reads);
+        sink.counter_add(&format!("{prefix}.writes"), self.writes);
+    }
 }
 
 #[cfg(test)]

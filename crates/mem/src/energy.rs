@@ -89,6 +89,17 @@ impl EnergyDelay {
         self.total_pj() * self.cycles as f64
     }
 
+    /// Exports the breakdown under `{prefix}.*`: a cycle counter plus
+    /// per-source energy gauges in picojoules (energy stays floating-point
+    /// so sub-pJ SRAM contributions are not truncated away).
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter_add(&format!("{prefix}.cycles"), self.cycles);
+        sink.gauge_set(&format!("{prefix}.dram_pj"), self.dram_pj);
+        sink.gauge_set(&format!("{prefix}.sram_pj"), self.sram_pj);
+        sink.gauge_set(&format!("{prefix}.static_pj"), self.static_pj);
+        sink.gauge_set(&format!("{prefix}.total_pj"), self.total_pj());
+    }
+
     /// Sums two accumulators (disjoint execution windows).
     pub fn combine(&self, other: &EnergyDelay) -> EnergyDelay {
         EnergyDelay {
@@ -147,5 +158,19 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!EnergyDelay::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn export_covers_every_source() {
+        let mut e = EnergyDelay::new();
+        e.add_cycles(42);
+        e.add_dram_pj(10.0);
+        e.add_sram_pj(0.25);
+        e.add_static_pj(1.0);
+        let mut m = maps_obs::Metrics::new();
+        e.export("energy", &mut m);
+        assert_eq!(m.counter_value("energy.cycles"), 42);
+        assert_eq!(m.gauge_value("energy.sram_pj"), Some(0.25));
+        assert_eq!(m.gauge_value("energy.total_pj"), Some(11.25));
     }
 }

@@ -30,6 +30,9 @@ pub struct RowBufferDram {
     open_rows: Vec<Option<u64>>,
     hits: u64,
     misses: u64,
+    /// Misses that closed a different open row in the bank (vs. cold
+    /// activations of an idle bank).
+    conflicts: u64,
 }
 
 impl RowBufferDram {
@@ -64,6 +67,7 @@ impl RowBufferDram {
             open_rows: vec![None; banks],
             hits: 0,
             misses: 0,
+            conflicts: 0,
         }
     }
 
@@ -78,6 +82,9 @@ impl RowBufferDram {
             self.hits += 1;
             self.hit_latency
         } else {
+            if self.open_rows[bank].is_some() {
+                self.conflicts += 1;
+            }
             self.open_rows[bank] = Some(row);
             self.misses += 1;
             self.miss_latency
@@ -92,6 +99,13 @@ impl RowBufferDram {
     /// Row-buffer miss (activate) count.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Bank conflicts: misses that displaced a different open row (the
+    /// row-locality damage metadata interleaving inflicts; cold activates
+    /// of an idle bank are excluded).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
     }
 
     /// Row-buffer hit ratio (0 when idle).
@@ -119,6 +133,16 @@ impl RowBufferDram {
         self.open_rows = vec![None; self.banks];
         self.hits = 0;
         self.misses = 0;
+        self.conflicts = 0;
+    }
+
+    /// Exports row-buffer behaviour under `{prefix}.row_buffer.*`:
+    /// hit/miss/conflict counters plus the hit-ratio gauge.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter_add(&format!("{prefix}.row_buffer.hits"), self.hits);
+        sink.counter_add(&format!("{prefix}.row_buffer.misses"), self.misses);
+        sink.counter_add(&format!("{prefix}.row_buffer.conflicts"), self.conflicts);
+        sink.gauge_set(&format!("{prefix}.row_buffer.hit_ratio"), self.hit_ratio());
     }
 }
 
@@ -172,5 +196,30 @@ mod tests {
     #[should_panic(expected = "slower")]
     fn inverted_latencies_rejected() {
         RowBufferDram::new(4, 4096, 300, 200);
+    }
+
+    #[test]
+    fn conflicts_exclude_cold_activations() {
+        let mut d = RowBufferDram::new(2, 4096, 100, 250);
+        d.access(0); // row 0, bank 0: cold activate, no conflict
+        d.access(4096); // row 1, bank 1: cold activate
+        d.access(2 * 4096); // row 2, bank 0: closes row 0 -> conflict
+        d.access(2 * 4096 + 64); // row 2 again: hit
+        assert_eq!(d.misses(), 3);
+        assert_eq!(d.conflicts(), 1);
+        d.reset();
+        assert_eq!(d.conflicts(), 0);
+    }
+
+    #[test]
+    fn export_reports_counters_and_ratio() {
+        let mut d = RowBufferDram::new(2, 4096, 100, 250);
+        d.access(0);
+        d.access(64);
+        let mut m = maps_obs::Metrics::new();
+        d.export("dram", &mut m);
+        assert_eq!(m.counter_value("dram.row_buffer.hits"), 1);
+        assert_eq!(m.counter_value("dram.row_buffer.misses"), 1);
+        assert_eq!(m.gauge_value("dram.row_buffer.hit_ratio"), Some(0.5));
     }
 }

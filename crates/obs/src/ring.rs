@@ -1,0 +1,136 @@
+//! A bounded ring buffer for metadata-stream tracing.
+//!
+//! Holds the most recent `capacity` events, overwriting the oldest when
+//! full and counting how many were displaced. The intended use is "keep
+//! the tail of the metadata access stream around a point of interest"
+//! (e.g. the deepest cascade seen) without unbounded memory growth.
+
+/// Fixed-capacity ring that keeps the newest entries.
+#[derive(Debug, Clone)]
+pub struct EventRing<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    /// Total pushes ever, including dropped ones.
+    pushed: u64,
+}
+
+impl<T> EventRing<T> {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends an event, displacing the oldest if the ring is full.
+    pub fn push(&mut self, event: T) {
+        self.pushed += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Events displaced to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.buf.len() as u64
+    }
+
+    /// Iterates the retained events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let (tail, front) = self.buf.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// Clears the ring (the lifetime push count is retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = EventRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.dropped(), 0);
+
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total_pushed(), 5);
+    }
+
+    #[test]
+    fn wraps_many_times_in_order() {
+        let mut r = EventRing::new(4);
+        for i in 0..103u32 {
+            r.push(i);
+        }
+        assert_eq!(
+            r.iter().copied().collect::<Vec<_>>(),
+            vec![99, 100, 101, 102]
+        );
+        assert_eq!(r.dropped(), 99);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counts() {
+        let mut r = EventRing::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 3);
+        r.push(4);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![4]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The push-side recording trait and its inert implementation.
+//!
+//! Instrumented code takes `&mut S where S: MetricSink` and the compiler
+//! monomorphizes one copy per sink. The [`NullSink`] copy has every
+//! recording call inlined to an empty body, so the disabled path carries
+//! no branches, no atomics, and no string hashing — the same idiom as
+//! `maps-sim`'s `MetaObserver`/`NullObserver` pair.
+
+use crate::metrics::{Histogram, Metrics};
+
+/// Receives metric recordings from instrumented code.
+///
+/// Names are `.`-separated lowercase paths (`"llc.counter.hits"`,
+/// `"engine.walk_depth"`). Implementations must not feed information back
+/// to the caller: a sink observes, it never steers, which is what keeps
+/// instrumented simulation runs bit-identical to bare ones.
+pub trait MetricSink {
+    /// Adds `delta` to the named counter.
+    fn counter_add(&mut self, name: &str, delta: u64);
+
+    /// Sets the named gauge to `value` (merge keeps the max).
+    fn gauge_set(&mut self, name: &str, value: f64);
+
+    /// Records `value` into the named log₂ histogram.
+    fn hist_record(&mut self, name: &str, value: u64);
+
+    /// Merges a pre-accumulated histogram into the named slot. The default
+    /// replays each bucket's lower bound, which preserves bucket counts but
+    /// approximates sum/min/max; [`Metrics`] overrides with an exact merge.
+    fn hist_merge(&mut self, name: &str, hist: &Histogram) {
+        for (i, count) in hist.nonzero_buckets() {
+            for _ in 0..count {
+                self.hist_record(name, Histogram::bucket_lo(i));
+            }
+        }
+    }
+
+    /// Whether recordings are retained. `false` lets callers skip
+    /// expensive derivations feeding a sink that discards them; the
+    /// per-call fast path needs no such guard.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; the metrics-disabled path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricSink for NullSink {
+    #[inline(always)]
+    fn counter_add(&mut self, _name: &str, _delta: u64) {}
+
+    #[inline(always)]
+    fn gauge_set(&mut self, _name: &str, _value: f64) {}
+
+    #[inline(always)]
+    fn hist_record(&mut self, _name: &str, _value: u64) {}
+
+    #[inline(always)]
+    fn hist_merge(&mut self, _name: &str, _hist: &Histogram) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl MetricSink for Metrics {
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        Metrics::counter_add(self, name, delta);
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        Metrics::gauge_set(self, name, value);
+    }
+
+    fn hist_record(&mut self, name: &str, value: u64) {
+        Metrics::hist_record(self, name, value);
+    }
+
+    fn hist_merge(&mut self, name: &str, hist: &Histogram) {
+        Metrics::hist_merge(self, name, hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_into<S: MetricSink>(sink: &mut S) {
+        sink.counter_add("c", 2);
+        sink.gauge_set("g", 1.5);
+        sink.hist_record("h", 8);
+    }
+
+    #[test]
+    fn metrics_sink_records() {
+        let mut m = Metrics::new();
+        record_into(&mut m);
+        assert!(m.enabled());
+        assert_eq!(m.counter_value("c"), 2);
+        assert_eq!(m.gauge_value("g"), Some(1.5));
+        assert_eq!(m.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut n = NullSink;
+        record_into(&mut n);
+        assert!(!n.enabled());
+    }
+
+    #[test]
+    fn metrics_hist_merge_is_exact() {
+        let mut src = Histogram::new();
+        src.record(5);
+        src.record(1000);
+        let mut m = Metrics::new();
+        MetricSink::hist_merge(&mut m, "h", &src);
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1005);
+    }
+}

@@ -309,9 +309,13 @@ impl SpecMetadataCache {
                 b,
                 leaders_per_side,
             } => {
-                a.validate(cfg.ways);
-                b.validate(cfg.ways);
-                dueling = Some(DuelingController::new(sets, leaders_per_side, a, b));
+                dueling = Some(DuelingController::new(
+                    sets,
+                    cfg.ways,
+                    leaders_per_side,
+                    a,
+                    b,
+                ));
             }
         }
         Some(Self {

@@ -170,6 +170,14 @@ impl CounterStore {
     pub fn overflows(&self) -> u64 {
         self.overflows
     }
+
+    /// Exports write and overflow totals under `{prefix}.writes` and
+    /// `{prefix}.overflows` (each overflow is a whole-page re-encryption,
+    /// the cost Section III-B charges against split counters).
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter_add(&format!("{prefix}.writes"), self.writes);
+        sink.counter_add(&format!("{prefix}.overflows"), self.overflows);
+    }
 }
 
 #[cfg(test)]

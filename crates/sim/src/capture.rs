@@ -79,6 +79,99 @@ impl FrontEndKey {
     }
 }
 
+/// Typed failure decoding capture bytes. Every malformed input maps to a
+/// variant — the decoder never panics, indexes out of bounds, or shifts
+/// past bit 63, whatever bytes it is fed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended mid-varint or before a promised field/event.
+    Truncated {
+        /// Byte offset where the incomplete item started.
+        offset: usize,
+    },
+    /// A varint encoded more than 64 bits.
+    VarintOverflow {
+        /// Byte offset where the varint started.
+        offset: usize,
+    },
+    /// The file did not start with the `MAPSCAP1` magic.
+    BadMagic,
+    /// The workload name was not valid UTF-8.
+    BadWorkloadName {
+        /// Byte offset of the name field.
+        offset: usize,
+    },
+    /// A header field was internally inconsistent.
+    Header(&'static str),
+    /// Bytes remained after the declared event stream.
+    TrailingBytes {
+        /// Byte offset of the first unexpected byte.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "capture truncated at byte {offset}")
+            }
+            DecodeError::VarintOverflow { offset } => {
+                write!(f, "varint at byte {offset} overflows 64 bits")
+            }
+            DecodeError::BadMagic => write!(f, "not a capture file (bad magic)"),
+            DecodeError::BadWorkloadName { offset } => {
+                write!(f, "workload name at byte {offset} is not UTF-8")
+            }
+            DecodeError::Header(what) => write!(f, "inconsistent capture header: {what}"),
+            DecodeError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after event stream at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Failure loading a capture from disk: the I/O layer or the decoder.
+#[derive(Debug)]
+pub enum CaptureLoadError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// The file's bytes did not decode as a capture.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for CaptureLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureLoadError::Io(e) => write!(f, "reading capture: {e}"),
+            CaptureLoadError::Decode(e) => write!(f, "decoding capture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaptureLoadError::Io(e) => Some(e),
+            CaptureLoadError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CaptureLoadError {
+    fn from(e: std::io::Error) -> Self {
+        CaptureLoadError::Io(e)
+    }
+}
+
+impl From<DecodeError> for CaptureLoadError {
+    fn from(e: DecodeError) -> Self {
+        CaptureLoadError::Decode(e)
+    }
+}
+
 /// One decoded event with the instructions retired since the previous
 /// event (the first event of a core access carries that access's icount
 /// plus any event-less accesses before it; trailing events carry 0).
@@ -211,7 +304,161 @@ impl CapturedTrace {
     pub fn encoded_len(&self) -> usize {
         self.bytes.len()
     }
+
+    /// Serializes the capture: `MAPSCAP1` magic, varint header fields,
+    /// then the packed event stream. [`from_bytes`](Self::from_bytes)
+    /// round-trips it exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.workload.len() + self.bytes.len());
+        out.extend_from_slice(CAPTURE_MAGIC);
+        push_varint(&mut out, self.workload.len() as u64);
+        out.extend_from_slice(self.workload.as_bytes());
+        push_varint(&mut out, self.footprint_bytes);
+        push_varint(&mut out, self.accesses);
+        let fe = &self.front_end;
+        for v in [
+            fe.l1_bytes,
+            fe.l1_ways as u64,
+            fe.l2_bytes,
+            fe.l2_ways as u64,
+            fe.llc_bytes,
+            fe.llc_ways as u64,
+            fe.warmup_fraction_bits,
+        ] {
+            push_varint(&mut out, v);
+        }
+        push_varint(&mut out, self.total_events);
+        push_varint(&mut out, self.warmup_events);
+        push_varint(&mut out, self.tail_icount);
+        let h = &self.hierarchy;
+        for v in [
+            h.accesses,
+            h.instructions,
+            h.l1_misses,
+            h.l2_misses,
+            h.llc_demand_misses,
+            h.llc_writebacks,
+        ] {
+            push_varint(&mut out, v);
+        }
+        push_varint(&mut out, self.bytes.len() as u64);
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Decodes a capture produced by [`to_bytes`](Self::to_bytes),
+    /// validating the header *and* the full event stream, so the returned
+    /// trace upholds the valid-by-construction invariant [`events`]
+    /// iteration relies on. Any malformed input — truncated, bit-flipped,
+    /// or not a capture at all — yields a typed [`DecodeError`], never a
+    /// panic.
+    ///
+    /// [`events`]: Self::events
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < CAPTURE_MAGIC.len() || &bytes[..CAPTURE_MAGIC.len()] != CAPTURE_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut pos = CAPTURE_MAGIC.len();
+        let name_offset = pos;
+        let name_len = read_varint(bytes, &mut pos)? as usize;
+        if bytes.len() - pos < name_len {
+            return Err(DecodeError::Truncated {
+                offset: name_offset,
+            });
+        }
+        let workload = std::str::from_utf8(&bytes[pos..pos + name_len])
+            .map_err(|_| DecodeError::BadWorkloadName { offset: pos })?
+            .to_string();
+        pos += name_len;
+
+        let footprint_bytes = read_varint(bytes, &mut pos)?;
+        let accesses = read_varint(bytes, &mut pos)?;
+        let mut fe = [0u64; 7];
+        for slot in &mut fe {
+            *slot = read_varint(bytes, &mut pos)?;
+        }
+        let front_end = FrontEndKey {
+            l1_bytes: fe[0],
+            l1_ways: usize::try_from(fe[1]).map_err(|_| DecodeError::Header("l1_ways"))?,
+            l2_bytes: fe[2],
+            l2_ways: usize::try_from(fe[3]).map_err(|_| DecodeError::Header("l2_ways"))?,
+            llc_bytes: fe[4],
+            llc_ways: usize::try_from(fe[5]).map_err(|_| DecodeError::Header("llc_ways"))?,
+            warmup_fraction_bits: fe[6],
+        };
+        let total_events = read_varint(bytes, &mut pos)?;
+        let warmup_events = read_varint(bytes, &mut pos)?;
+        if warmup_events > total_events {
+            return Err(DecodeError::Header("warm-up event count exceeds total"));
+        }
+        let tail_icount = read_varint(bytes, &mut pos)?;
+        let mut hs = [0u64; 6];
+        for slot in &mut hs {
+            *slot = read_varint(bytes, &mut pos)?;
+        }
+        let hierarchy = HierarchyStats {
+            accesses: hs[0],
+            instructions: hs[1],
+            l1_misses: hs[2],
+            l2_misses: hs[3],
+            llc_demand_misses: hs[4],
+            llc_writebacks: hs[5],
+        };
+
+        let stream_offset = pos;
+        let stream_len = read_varint(bytes, &mut pos)? as usize;
+        if bytes.len() - pos < stream_len {
+            return Err(DecodeError::Truncated {
+                offset: stream_offset,
+            });
+        }
+        let stream = bytes[pos..pos + stream_len].to_vec();
+        pos += stream_len;
+        if pos != bytes.len() {
+            return Err(DecodeError::TrailingBytes { offset: pos });
+        }
+
+        // Walk the whole stream now so EventCursor can stay infallible:
+        // every varint must decode and the declared event count must
+        // consume the stream exactly.
+        let mut spos = 0usize;
+        for _ in 0..total_events {
+            read_varint(&stream, &mut spos)?; // icount delta
+            read_varint(&stream, &mut spos)?; // packed block delta + r/w bit
+        }
+        if spos != stream.len() {
+            return Err(DecodeError::TrailingBytes {
+                offset: stream_offset + spos,
+            });
+        }
+
+        Ok(CapturedTrace {
+            workload,
+            footprint_bytes,
+            accesses,
+            front_end,
+            bytes: stream,
+            total_events,
+            warmup_events,
+            tail_icount,
+            hierarchy,
+        })
+    }
+
+    /// Writes the serialized capture to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a capture from `path`, distinguishing I/O failures from
+    /// malformed contents.
+    pub fn load(path: &std::path::Path) -> Result<Self, CaptureLoadError> {
+        Ok(Self::from_bytes(&std::fs::read(path)?)?)
+    }
 }
+
+/// Capture file magic: "MAPS capture, format 1".
+const CAPTURE_MAGIC: &[u8; 8] = b"MAPSCAP1";
 
 /// Incremental [`CapturedTrace`] assembly; [`CapturedTrace::record`] uses
 /// it internally and tests use it to round-trip hand-built streams.
@@ -302,8 +549,11 @@ impl Iterator for EventCursor<'_> {
             return None;
         }
         self.remaining -= 1;
-        let icount_delta = read_varint(self.bytes, &mut self.pos);
-        let word = read_varint(self.bytes, &mut self.pos);
+        // CapturedTrace streams are valid by construction: TraceBuilder
+        // only appends well-formed varints and from_bytes pre-walks the
+        // whole stream, so the trusted decoder applies here.
+        let icount_delta = read_varint_trusted(self.bytes, &mut self.pos);
+        let word = read_varint_trusted(self.bytes, &mut self.pos);
         let delta = unzigzag(word >> 1);
         self.prev_block = self.prev_block.wrapping_add(delta);
         let block = maps_trace::BlockAddr::new(self.prev_block as u64);
@@ -445,7 +695,12 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     buf.push(v as u8);
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+/// Varint decode for streams already proven well-formed — built by
+/// `TraceBuilder` or pre-walked by [`CapturedTrace::from_bytes`] with the
+/// checked [`read_varint`]. Skipping the error paths keeps the per-event
+/// replay cost at its pre-hardening level; indexing still bounds-checks,
+/// so a violated precondition panics rather than corrupting state.
+fn read_varint_trusted(bytes: &[u8], pos: &mut usize) -> u64 {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -454,6 +709,29 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
         v |= u64::from(b & 0x7F) << shift;
         if b & 0x80 == 0 {
             return v;
+        }
+        shift += 7;
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let start = *pos;
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { offset: start })?;
+        *pos += 1;
+        // A u64 varint is at most 10 bytes; the 10th (shift 63) may only
+        // carry the top bit. Anything longer or wider silently dropped
+        // bits in the old decoder — reject it instead.
+        if shift > 63 || (shift == 63 && b > 1) {
+            return Err(DecodeError::VarintOverflow { offset: start });
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
         }
         shift += 7;
     }
@@ -479,9 +757,45 @@ mod tests {
         }
         let mut pos = 0;
         for &v in &values {
-            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v));
         }
         assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_varint_is_a_typed_error() {
+        let mut buf = Vec::new();
+        push_varint(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                read_varint(&buf[..cut], &mut pos),
+                Err(DecodeError::Truncated { offset: 0 }),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_a_typed_error() {
+        // Eleven continuation bytes: more than 64 bits of payload.
+        let buf = [0x80u8; 10]
+            .iter()
+            .chain(&[0x01u8])
+            .copied()
+            .collect::<Vec<_>>();
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&buf, &mut pos),
+            Err(DecodeError::VarintOverflow { offset: 0 })
+        );
+        // Ten bytes whose last carries more than the one bit u64 has left.
+        let wide = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7F];
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&wide, &mut pos),
+            Err(DecodeError::VarintOverflow { offset: 0 })
+        );
     }
 
     #[test]
@@ -547,6 +861,145 @@ mod tests {
         let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(1), 1_000);
         let other = cfg.with_llc_bytes(cfg.llc_bytes * 2);
         let _ = ReplaySim::new(other, &trace);
+    }
+
+    #[test]
+    fn serialized_capture_round_trips() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(5), 8_000);
+        let decoded = CapturedTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(decoded, trace);
+        // And the replayed report matches, not just the struct.
+        assert_eq!(
+            ReplaySim::new(cfg.clone(), &decoded).run(),
+            ReplaySim::new(cfg, &trace).run()
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(2), 2_000);
+        let path = std::env::temp_dir().join(format!("maps-capture-{}.bin", std::process::id()));
+        trace.save(&path).unwrap();
+        let loaded = CapturedTrace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_decode() {
+        let missing = std::path::Path::new("/nonexistent/maps-capture.bin");
+        assert!(matches!(
+            CapturedTrace::load(missing),
+            Err(CaptureLoadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(CapturedTrace::from_bytes(b""), Err(DecodeError::BadMagic));
+        assert_eq!(
+            CapturedTrace::from_bytes(b"NOTACAPT rest"),
+            Err(DecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Gups.build(4), 3_000);
+        let bytes = trace.to_bytes();
+        // Cut the file at every length: the decoder must return an error
+        // (or, only for prefix-of-magic cuts, BadMagic) and never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                CapturedTrace::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Appending garbage must be caught too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            CapturedTrace::from_bytes(&extended),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn fuzzed_corruptions_never_panic() {
+        use maps_trace::rng::SmallRng;
+        let cfg = SimConfig::paper_default();
+        let trace = CapturedTrace::record(&cfg, Benchmark::Libquantum.build(6), 4_000);
+        let pristine = trace.to_bytes();
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..500 {
+            let mut mutated = pristine.clone();
+            // 1–4 random byte-level mutations: flip, overwrite, truncate.
+            for _ in 0..rng.gen_range(1u32..5) {
+                match rng.gen_range(0u32..3) {
+                    0 => {
+                        let i = rng.gen_range(0usize..mutated.len());
+                        mutated[i] ^= 1 << rng.gen_range(0u32..8);
+                    }
+                    1 => {
+                        let i = rng.gen_range(0usize..mutated.len());
+                        mutated[i] = rng.next_u64() as u8;
+                    }
+                    _ => {
+                        let keep = rng.gen_range(0usize..mutated.len());
+                        mutated.truncate(keep);
+                    }
+                }
+                if mutated.is_empty() {
+                    break;
+                }
+            }
+            // Either the corruption is caught (typed error) or it decodes
+            // to *some* valid trace whose stream fully iterates — both
+            // acceptable; panicking is not.
+            if let Ok(t) = CapturedTrace::from_bytes(&mutated) {
+                assert_eq!(t.events().count() as u64, t.total_events());
+            }
+        }
+    }
+
+    #[test]
+    fn header_inconsistencies_are_rejected() {
+        // Hand-build a file whose warm-up count exceeds its event total.
+        let mut bytes = CAPTURE_MAGIC.to_vec();
+        push_varint(&mut bytes, 1); // workload name length
+        bytes.push(b't');
+        push_varint(&mut bytes, 0); // footprint
+        push_varint(&mut bytes, 0); // accesses
+        for _ in 0..7 {
+            push_varint(&mut bytes, 0); // front-end key
+        }
+        push_varint(&mut bytes, 1); // total_events
+        push_varint(&mut bytes, 2); // warmup_events > total_events
+        assert_eq!(
+            CapturedTrace::from_bytes(&bytes),
+            Err(DecodeError::Header("warm-up event count exceeds total"))
+        );
+    }
+
+    #[test]
+    fn single_byte_tampering_never_panics() {
+        let mut b = TraceBuilder::new("t", 0, key());
+        b.push(MemEvent::Read(BlockAddr::new(1)), 0);
+        b.mark_warmup_end();
+        let mut bytes = b.finish(0).to_bytes();
+        for i in 0..bytes.len() {
+            let original = bytes[i];
+            for delta in [1u8, 0x7F, 0x80, 0xFF] {
+                bytes[i] = original.wrapping_add(delta);
+                if let Ok(t) = CapturedTrace::from_bytes(&bytes) {
+                    let _ = t.events().count();
+                }
+            }
+            bytes[i] = original;
+        }
     }
 
     #[test]

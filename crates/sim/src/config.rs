@@ -310,6 +310,80 @@ impl SimConfig {
     pub fn secure_config(&self) -> SecureConfig {
         SecureConfig::new(self.memory_bytes, self.counter_mode)
     }
+
+    /// The configuration as JSON for run manifests. Every field that can
+    /// change a simulation outcome appears, so two manifests with equal
+    /// `config` sections describe reproducible runs.
+    pub fn to_json(&self) -> maps_obs::Json {
+        use maps_obs::Json;
+        let partition = match &self.mdc.partition {
+            PartitionMode::None => Json::Obj(vec![("mode".into(), Json::Str("none".into()))]),
+            PartitionMode::Static(p) => Json::Obj(vec![
+                ("mode".into(), Json::Str("static".into())),
+                (
+                    "counter_ways".into(),
+                    Json::UInt(p.counter_way_count() as u64),
+                ),
+            ]),
+            PartitionMode::Dynamic {
+                a,
+                b,
+                leaders_per_side,
+            } => Json::Obj(vec![
+                ("mode".into(), Json::Str("dynamic".into())),
+                (
+                    "a_counter_ways".into(),
+                    Json::UInt(a.counter_way_count() as u64),
+                ),
+                (
+                    "b_counter_ways".into(),
+                    Json::UInt(b.counter_way_count() as u64),
+                ),
+                (
+                    "leaders_per_side".into(),
+                    Json::UInt(*leaders_per_side as u64),
+                ),
+            ]),
+        };
+        let mdc = Json::Obj(vec![
+            ("size_bytes".into(), Json::UInt(self.mdc.size_bytes)),
+            ("ways".into(), Json::UInt(self.mdc.ways as u64)),
+            (
+                "contents".into(),
+                Json::Str(self.mdc.contents.label().into()),
+            ),
+            ("policy".into(), Json::Str(self.mdc.policy.name().into())),
+            ("partition".into(), partition),
+            ("partial_writes".into(), Json::Bool(self.mdc.partial_writes)),
+        ]);
+        let counter_mode = match self.counter_mode {
+            CounterMode::SplitPi => "split-pi",
+            CounterMode::SgxMonolithic => "sgx-monolithic",
+        };
+        Json::Obj(vec![
+            ("l1_bytes".into(), Json::UInt(self.l1_bytes)),
+            ("l1_ways".into(), Json::UInt(self.l1_ways as u64)),
+            ("l2_bytes".into(), Json::UInt(self.l2_bytes)),
+            ("l2_ways".into(), Json::UInt(self.l2_ways as u64)),
+            ("llc_bytes".into(), Json::UInt(self.llc_bytes)),
+            ("llc_ways".into(), Json::UInt(self.llc_ways as u64)),
+            ("memory_bytes".into(), Json::UInt(self.memory_bytes)),
+            ("counter_mode".into(), Json::Str(counter_mode.into())),
+            ("mdc".into(), mdc),
+            (
+                "dram_latency_cycles".into(),
+                Json::UInt(self.dram.latency_cycles),
+            ),
+            ("hash_latency".into(), Json::UInt(self.hash_latency)),
+            ("speculation".into(), Json::Bool(self.speculation)),
+            (
+                "speculation_window".into(),
+                Json::UInt(self.speculation_window),
+            ),
+            ("secure".into(), Json::Bool(self.secure)),
+            ("warmup_fraction".into(), Json::Float(self.warmup_fraction)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +431,20 @@ mod tests {
         let c = SimConfig::insecure_baseline();
         assert!(!c.secure);
         assert_eq!(c.mdc.size_bytes, 0);
+    }
+
+    #[test]
+    fn config_json_round_trips_and_names_the_policy() {
+        let c = SimConfig::paper_default();
+        let j = c.to_json();
+        let text = j.to_pretty();
+        let parsed = maps_obs::Json::parse(&text).expect("config JSON parses");
+        assert_eq!(parsed.get("llc_bytes").unwrap().as_u64(), Some(2 << 20));
+        let mdc = parsed.get("mdc").unwrap();
+        assert_eq!(mdc.get("policy").unwrap().as_str(), Some("pseudo-lru"));
+        assert_eq!(
+            mdc.get("partition").unwrap().get("mode").unwrap().as_str(),
+            Some("none")
+        );
     }
 }

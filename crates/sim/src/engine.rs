@@ -17,6 +17,20 @@ use crate::mdcache::MetadataCache;
 pub trait MetaObserver {
     /// Called once per metadata block access.
     fn observe(&mut self, access: &MetaAccess);
+
+    /// Called when an integrity-tree verification walk completes:
+    /// `levels_fetched` of the `path_len` levels had to come from memory
+    /// (0 = the leaf was already cached/verified). Default: ignored, so
+    /// existing observers and `NullObserver` monomorphize it away.
+    fn walk_complete(&mut self, _levels_fetched: u64, _path_len: u64) {}
+
+    /// Called when an eviction-driven update cascade settles, with the
+    /// number of propagated tree updates (0 = clean victim, no update).
+    fn cascade_complete(&mut self, _depth: u64) {}
+
+    /// Called once per LLC demand read with the verification cycles
+    /// speculation hid and the cycles still exposed in the stall.
+    fn speculation(&mut self, _hidden_cycles: u64, _exposed_cycles: u64) {}
 }
 
 /// Ignores the stream.
@@ -93,6 +107,29 @@ impl EngineStats {
     /// Total DRAM block transfers (data + metadata).
     pub fn dram_total(&self) -> u64 {
         self.dram_data.total() + self.dram_meta.total()
+    }
+
+    /// Exports the full engine accounting under `{prefix}.*`: the per-kind
+    /// metadata cache buckets, both DRAM channels, and the scalar engine
+    /// counters. Pull-based — called once at snapshot time.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        self.meta.export(&format!("{prefix}.meta"), sink);
+        self.dram_data.export(&format!("{prefix}.dram.data"), sink);
+        self.dram_meta.export(&format!("{prefix}.dram.meta"), sink);
+        for (name, value) in [
+            ("tree_walks", self.tree_walks),
+            ("tree_walk_level_misses", self.tree_walk_level_misses),
+            ("page_overflows", self.page_overflows),
+            ("partial_fill_reads", self.partial_fill_reads),
+            ("stall_cycles", self.stall_cycles),
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("max_cascade_depth", self.max_cascade_depth),
+        ] {
+            if value != 0 {
+                sink.counter_add(&format!("{prefix}.{name}"), value);
+            }
+        }
     }
 }
 
@@ -275,6 +312,10 @@ impl MetadataEngine {
         } else {
             t_decrypt.max(t_verify)
         };
+        obs.speculation(
+            t_decrypt.max(t_verify) - stall,
+            stall.saturating_sub(t_decrypt),
+        );
         self.stats.stall_cycles += stall;
         stall
     }
@@ -380,6 +421,7 @@ impl MetadataEngine {
             misses += 1;
         }
         self.stats.tree_walk_level_misses += misses;
+        obs.walk_complete(misses, path.len as u64);
         misses
     }
 
@@ -551,6 +593,7 @@ impl MetadataEngine {
             }
         }
         self.stats.max_cascade_depth = self.stats.max_cascade_depth.max(depth as u64);
+        obs.cascade_complete(depth as u64);
         self.cascade_buf = queue;
     }
 

@@ -41,6 +41,22 @@ impl HierarchyStats {
             self.llc_demand_misses as f64 * 1000.0 / self.instructions as f64
         }
     }
+
+    /// Exports the front-end counters under `{prefix}.*`.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        for (name, value) in [
+            ("accesses", self.accesses),
+            ("instructions", self.instructions),
+            ("l1_misses", self.l1_misses),
+            ("l2_misses", self.l2_misses),
+            ("llc_demand_misses", self.llc_demand_misses),
+            ("llc_writebacks", self.llc_writebacks),
+        ] {
+            if value != 0 {
+                sink.counter_add(&format!("{prefix}.{name}"), value);
+            }
+        }
+    }
 }
 
 /// L1 → L2 → LLC write-back hierarchy with write-allocate demand paths.

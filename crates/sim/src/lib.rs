@@ -34,13 +34,18 @@ pub mod engine;
 pub mod hierarchy;
 pub mod itermin;
 pub mod mdcache;
+pub mod probe;
 pub mod report;
 pub mod sim;
 
-pub use capture::{CapturedEvent, CapturedTrace, FrontEndKey, ReplaySim, TraceBuilder};
+pub use capture::{
+    CaptureLoadError, CapturedEvent, CapturedTrace, DecodeError, FrontEndKey, ReplaySim,
+    TraceBuilder,
+};
 pub use config::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
 pub use engine::{EngineStats, MetaObserver, MetadataEngine, NullObserver, RecordingObserver};
 pub use hierarchy::{Hierarchy, HierarchyStats, MemEvent};
 pub use mdcache::MetadataCache;
+pub use probe::MetricsProbe;
 pub use report::SimReport;
 pub use sim::SecureSim;

@@ -63,10 +63,9 @@ impl MetadataCache {
                 b,
                 leaders_per_side,
             } => {
-                a.validate(cfg.ways);
-                b.validate(cfg.ways);
                 dueling = Some(DuelingController::new(
                     geometry.sets(),
+                    cfg.ways,
                     leaders_per_side,
                     a,
                     b,

@@ -79,6 +79,23 @@ impl SimReport {
             t.hits as f64 / t.accesses as f64
         }
     }
+
+    /// Exports the whole report under `{prefix}.*`: hierarchy and engine
+    /// counters, energy, and the headline derived figures as gauges.
+    pub fn export<S: maps_obs::MetricSink>(&self, prefix: &str, sink: &mut S) {
+        sink.counter_add(&format!("{prefix}.instructions"), self.instructions);
+        sink.counter_add(&format!("{prefix}.cycles"), self.cycles);
+        self.hierarchy.export(&format!("{prefix}.hierarchy"), sink);
+        self.engine.export(&format!("{prefix}.engine"), sink);
+        self.energy.export(&format!("{prefix}.energy"), sink);
+        sink.gauge_set(&format!("{prefix}.ipc"), self.ipc());
+        sink.gauge_set(&format!("{prefix}.llc_mpki"), self.llc_mpki());
+        sink.gauge_set(&format!("{prefix}.metadata_mpki"), self.metadata_mpki());
+        sink.gauge_set(
+            &format!("{prefix}.metadata_hit_ratio"),
+            self.metadata_hit_ratio(),
+        );
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -147,5 +164,18 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("metadata MPKI"));
         assert!(s.contains("workload"));
+    }
+
+    #[test]
+    fn export_carries_headline_figures() {
+        let r = report();
+        let mut m = maps_obs::Metrics::new();
+        r.export("sim", &mut m);
+        assert_eq!(m.counter_value("sim.instructions"), 1000);
+        assert_eq!(m.counter_value("sim.cycles"), 2000);
+        assert_eq!(m.counter_value("sim.engine.meta.counter.misses"), 1);
+        assert_eq!(m.gauge_value("sim.ipc"), Some(0.5));
+        let mpki = m.gauge_value("sim.metadata_mpki").unwrap();
+        assert!((mpki - 2.0).abs() < 1e-12);
     }
 }
