@@ -156,7 +156,7 @@ pub fn run_sim_cached_probed(
 /// A send-only slot claimed by exactly one worker.
 struct Slot<V>(UnsafeCell<Option<V>>);
 
-// Safety: workers access disjoint slots — each index is claimed exactly
+// SAFETY: workers access disjoint slots — each index is claimed exactly
 // once via the atomic cursor, so no slot is touched by two threads.
 unsafe impl<V: Send> Sync for Slot<V> {}
 
@@ -189,13 +189,17 @@ where
                 if i >= n {
                     break;
                 }
-                // Safety: `i` came from the shared cursor, so this thread
+                // SAFETY: `i` came from the shared cursor, so this thread
                 // is the only one ever touching jobs[i]/results[i].
                 let item = unsafe { &mut *jobs[i].0.get() }
                     .take()
                     .expect("job claimed twice");
                 match catch_unwind(AssertUnwindSafe(|| f(item))) {
-                    Ok(r) => *unsafe { &mut *results[i].0.get() } = Some(r),
+                    Ok(r) => {
+                        // SAFETY: same disjoint-index claim as the take
+                        // above — this thread exclusively owns results[i].
+                        *unsafe { &mut *results[i].0.get() } = Some(r);
+                    }
                     Err(payload) => {
                         let mut slot = failure.lock().expect("failure slot poisoned");
                         if slot.is_none() {

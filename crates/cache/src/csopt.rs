@@ -10,7 +10,7 @@
 //! optional beam width for tractable approximation, and a uniform-cost
 //! Belady reference for validation.
 
-use std::collections::HashMap;
+use maps_trace::det::DetHashMap;
 
 /// One access in a costed trace: the block key and the cost incurred if
 /// this access misses.
@@ -70,7 +70,7 @@ pub fn belady_misses(trace: &[u64], capacity: usize) -> u64 {
     assert!(capacity > 0, "capacity must be positive");
     // Precompute next-use indices.
     let mut next_use = vec![usize::MAX; trace.len()];
-    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    let mut last_pos: DetHashMap<u64, usize> = DetHashMap::default();
     for (i, &k) in trace.iter().enumerate() {
         if let Some(&p) = last_pos.get(&k) {
             next_use[p] = i;
@@ -121,15 +121,16 @@ pub fn csopt_min_cost(
 ) -> CsoptOutcome {
     assert!(capacity > 0, "capacity must be positive");
     // State: sorted vector of resident keys -> (cost, misses).
-    let mut states: HashMap<Vec<u64>, (u64, u64)> = HashMap::new();
+    let mut states: DetHashMap<Vec<u64>, (u64, u64)> = DetHashMap::default();
     states.insert(Vec::new(), (0, 0));
     let mut peak = 1usize;
     let mut truncated = false;
 
     for access in trace {
-        let mut next: HashMap<Vec<u64>, (u64, u64)> = HashMap::with_capacity(states.len() * 2);
+        let mut next: DetHashMap<Vec<u64>, (u64, u64)> =
+            DetHashMap::with_capacity_and_hasher(states.len() * 2, Default::default());
         let consider =
-            |state: Vec<u64>, cost: (u64, u64), map: &mut HashMap<Vec<u64>, (u64, u64)>| {
+            |state: Vec<u64>, cost: (u64, u64), map: &mut DetHashMap<Vec<u64>, (u64, u64)>| {
                 map.entry(state)
                     .and_modify(|c| {
                         if cost.0 < c.0 {
@@ -164,7 +165,10 @@ pub fn csopt_min_cost(
             if next.len() > width {
                 truncated = true;
                 let mut entries: Vec<_> = next.into_iter().collect();
-                entries.sort_by_key(|(_, (c, _))| *c);
+                // Total order (cost, then state): equal-cost survivors must
+                // not depend on map iteration order or the truncation would
+                // be nondeterministic across processes.
+                entries.sort_by(|(sa, (ca, _)), (sb, (cb, _))| ca.cmp(cb).then_with(|| sa.cmp(sb)));
                 entries.truncate(width);
                 next = entries.into_iter().collect();
             }
@@ -173,10 +177,12 @@ pub fn csopt_min_cost(
         states = next;
     }
 
+    // Tie-break equal-cost terminal states by (misses, state) for a
+    // process-independent answer.
     let (min_cost, misses) = states
-        .values()
-        .copied()
-        .min_by_key(|&(c, _)| c)
+        .iter()
+        .min_by(|(sa, (ca, ma)), (sb, (cb, mb))| (ca, ma, *sa).cmp(&(cb, mb, *sb)))
+        .map(|(_, &(c, m))| (c, m))
         .expect("at least one state survives");
     CsoptOutcome {
         min_cost,

@@ -1,6 +1,6 @@
 //! Belady's MIN with future knowledge from a recorded trace.
 
-use std::collections::HashMap;
+use maps_trace::det::DetHashMap;
 
 use super::Policy;
 use crate::Line;
@@ -40,7 +40,7 @@ use crate::Line;
 #[derive(Debug, Clone, Default)]
 pub struct MinOracle {
     /// Occurrence positions of every key in the recorded trace, ascending.
-    occurrences: HashMap<u64, Vec<u64>>,
+    occurrences: DetHashMap<u64, Vec<u64>>,
     /// Current access index (advanced by `begin_access`).
     now: u64,
 }
@@ -51,7 +51,7 @@ const NEVER: u64 = u64::MAX;
 impl MinOracle {
     /// Builds the oracle from a recorded key trace.
     pub fn from_trace(trace: &[u64]) -> Self {
-        let mut occurrences: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut occurrences: DetHashMap<u64, Vec<u64>> = DetHashMap::default();
         for (i, &k) in trace.iter().enumerate() {
             occurrences.entry(k).or_default().push(i as u64);
         }

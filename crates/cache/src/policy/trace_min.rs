@@ -33,7 +33,7 @@ impl TraceMin {
     /// Builds the oracle from a recorded key trace.
     pub fn from_trace(trace: &[u64]) -> Self {
         let mut next_use = vec![NEVER; trace.len()];
-        let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut last: maps_trace::det::DetHashMap<u64, usize> = Default::default();
         for (i, &k) in trace.iter().enumerate() {
             if let Some(&p) = last.get(&k) {
                 next_use[p] = i as u64;

@@ -1,0 +1,192 @@
+//! The checked-in exception file for deliberate rule violations.
+//!
+//! Format (one entry per line, `#` starts a comment; a justification
+//! comment on every entry is required by convention and enforced here):
+//!
+//! ```text
+//! # rule    path                          options   # justification
+//! SAFE-001  crates/bench/src/lib.rs       max=3     # parallel_map slots
+//! DET-001   crates/trace/src/det.rs                 # defines the aliases
+//! ```
+//!
+//! An entry suppresses findings of `rule` in `path` (exact, repo-relative,
+//! forward slashes). `max=N` caps how many findings the entry may absorb
+//! (mandatory for SAFE-001 so new unsafe blocks cannot hide behind an old
+//! entry); entries that suppress nothing are themselves reported
+//! (`ALLOW-001`), so the file cannot rot.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule ID this entry suppresses (e.g. `SAFE-001`).
+    pub rule: String,
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Maximum findings this entry may absorb (`None` = unlimited).
+    pub max: Option<u32>,
+    /// Justification text from the trailing comment.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: u32,
+    /// How many findings the entry has absorbed this run.
+    pub used: Cell<u32>,
+}
+
+/// A parse failure in the allowlist file itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowlistError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowlistError {}
+
+/// The full set of allowlist entries.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (used when the file is absent).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Parses the allowlist text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line: unknown option, bad `max` value,
+    /// or a missing justification comment.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let (body, comment) = match raw.split_once('#') {
+                Some((b, c)) => (b, c.trim()),
+                None => (raw, ""),
+            };
+            let mut parts = body.split_whitespace();
+            let Some(rule) = parts.next() else { continue };
+            let path = parts.next().ok_or(AllowlistError {
+                line: line_no,
+                message: "entry is missing a path".to_string(),
+            })?;
+            let mut max = None;
+            for opt in parts {
+                match opt.split_once('=') {
+                    Some(("max", v)) => {
+                        max = Some(v.parse().map_err(|_| AllowlistError {
+                            line: line_no,
+                            message: format!("bad max value {v:?}"),
+                        })?);
+                    }
+                    _ => {
+                        return Err(AllowlistError {
+                            line: line_no,
+                            message: format!("unknown option {opt:?}"),
+                        })
+                    }
+                }
+            }
+            if comment.is_empty() {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: "entry needs a trailing `# justification` comment".to_string(),
+                });
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                max,
+                justification: comment.to_string(),
+                line: line_no,
+                used: Cell::new(0),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Tries to absorb one finding of `rule` in `path`. Returns `true`
+    /// (and consumes one unit of the entry's budget) when an entry with
+    /// remaining budget matches.
+    pub fn absorb(&self, rule: &str, path: &str) -> bool {
+        for e in &self.entries {
+            if e.rule == rule && e.path == path {
+                if let Some(max) = e.max {
+                    if e.used.get() >= max {
+                        return false;
+                    }
+                }
+                e.used.set(e.used.get() + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that absorbed nothing this run (stale exceptions).
+    pub fn unused(&self) -> impl Iterator<Item = &AllowEntry> {
+        self.entries.iter().filter(|e| e.used.get() == 0)
+    }
+
+    /// Number of findings absorbed across all entries.
+    pub fn absorbed(&self) -> u32 {
+        self.entries.iter().map(|e| e.used.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_options_and_justifications() {
+        let a = Allowlist::parse(
+            "# header comment\n\
+             SAFE-001 crates/bench/src/lib.rs max=2 # audited\n\
+             DET-001 crates/trace/src/det.rs # defines aliases\n",
+        )
+        .unwrap();
+        assert!(a.absorb("SAFE-001", "crates/bench/src/lib.rs"));
+        assert!(a.absorb("SAFE-001", "crates/bench/src/lib.rs"));
+        assert!(
+            !a.absorb("SAFE-001", "crates/bench/src/lib.rs"),
+            "max=2 exhausted"
+        );
+        assert!(a.absorb("DET-001", "crates/trace/src/det.rs"));
+        assert!(!a.absorb("DET-001", "crates/cache/src/csopt.rs"));
+        assert_eq!(a.absorbed(), 3);
+        assert_eq!(a.unused().count(), 0);
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let err = Allowlist::parse("DET-001 some/path.rs\n").unwrap_err();
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let err = Allowlist::parse("DET-001 p.rs frobnicate=1 # why\n").unwrap_err();
+        assert!(err.message.contains("unknown option"), "{err}");
+    }
+
+    #[test]
+    fn unused_entries_are_surfaced() {
+        let a = Allowlist::parse("DET-001 never/used.rs # stale\n").unwrap();
+        assert_eq!(a.unused().count(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! `maps-lint`: the workspace invariant checker.
+//!
+//! The repo's headline guarantees — bit-identical capture/replay, a
+//! lockstep differential oracle, zero-cost `NullSink`/`NullObserver`
+//! instrumentation — rest on *source-level* invariants that no compiler
+//! pass enforces. This crate checks them mechanically: a dependency-free,
+//! comment/string-aware token scanner ([`lexer`]) feeds a numbered rule
+//! set ([`rules`]), deliberate exceptions live in a checked-in allowlist
+//! ([`allowlist`]), and `scripts/lint.sh` / the `lint-invariants` CI job
+//! fail the build on any new finding. See DESIGN.md §10 for the rule
+//! catalogue and rationale.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use allowlist::{Allowlist, AllowlistError};
+pub use rules::{lint_source, Diagnostic};
+
+use maps_obs::Json;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", "fixtures"];
+
+/// Directories under the repo root that hold lintable sources.
+const WALK_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Result of linting the whole workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Unallowlisted findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings absorbed by allowlist entries.
+    pub absorbed: u32,
+}
+
+impl Report {
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable form (schema: `{version, files_scanned, absorbed,
+    /// violations: [{rule, file, line, message}]}`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".to_string(), Json::UInt(1)),
+            (
+                "files_scanned".to_string(),
+                Json::UInt(self.files_scanned as u64),
+            ),
+            ("absorbed".to_string(), Json::UInt(u64::from(self.absorbed))),
+            (
+                "violations".to_string(),
+                Json::Arr(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("rule".to_string(), Json::Str(d.rule.to_string())),
+                                ("file".to_string(), Json::Str(d.file.clone())),
+                                ("line".to_string(), Json::UInt(u64::from(d.line))),
+                                ("message".to_string(), Json::Str(d.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A failure to run the lint at all (distinct from findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or directory failed.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The allowlist file is malformed.
+    Allowlist(AllowlistError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LintError::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints every workspace source file under `root`, applying the allowlist
+/// at `root/lint.allow` (an absent file means no exceptions).
+///
+/// # Errors
+///
+/// Fails on I/O errors and on a malformed allowlist — never on rule
+/// findings, which are returned in the [`Report`].
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let allow_path = root.join("lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text).map_err(LintError::Allowlist)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::empty(),
+        Err(e) => {
+            return Err(LintError::Io {
+                path: allow_path,
+                source: e,
+            })
+        }
+    };
+    let mut files = Vec::new();
+    for dir in WALK_ROOTS {
+        let d = root.join(dir);
+        if d.is_dir() {
+            collect_rs_files(&d, &mut files)?;
+        }
+    }
+    // Filesystem enumeration order is OS-dependent; the linter holds
+    // itself to its own determinism bar.
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).map_err(|e| LintError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        let rel = rel_unix_path(root, path);
+        diagnostics.extend(lint_source(&rel, &src, &allow));
+    }
+    for e in allow.unused() {
+        diagnostics.push(Diagnostic {
+            rule: "ALLOW-001",
+            file: "lint.allow".to_string(),
+            line: e.line,
+            message: format!(
+                "allowlist entry `{} {}` absorbed no findings: the exception is stale, \
+                 remove it",
+                e.rule, e.path
+            ),
+        });
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned: files.len(),
+        absorbed: allow.absorbed(),
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.to_path_buf(),
+        source: e,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let p = dir.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, text).unwrap();
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("maps-lint-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn seeded_violation_fails_the_gate_and_allowlisting_clears_it() {
+        let root = temp_root("seeded");
+        write(
+            &root,
+            "crates/cache/src/bad.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let report = lint_workspace(&root).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.diagnostics[0].rule, "DET-001");
+        assert_eq!(report.diagnostics[0].file, "crates/cache/src/bad.rs");
+
+        write(
+            &root,
+            "lint.allow",
+            "DET-001 crates/cache/src/bad.rs # demo\n",
+        );
+        let report = lint_workspace(&root).unwrap();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(report.absorbed, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_allowlist_entries_fail_the_gate() {
+        let root = temp_root("stale");
+        write(&root, "crates/mem/src/ok.rs", "pub fn f() {}\n");
+        write(
+            &root,
+            "lint.allow",
+            "DET-001 crates/mem/src/gone.rs # old\n",
+        );
+        let report = lint_workspace(&root).unwrap();
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, "ALLOW-001");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn malformed_allowlist_is_an_error_not_a_finding() {
+        let root = temp_root("badallow");
+        write(&root, "lint.allow", "DET-001 path.rs nonsense=1 # x\n");
+        assert!(matches!(
+            lint_workspace(&root),
+            Err(LintError::Allowlist(_))
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn vendor_target_and_fixture_dirs_are_skipped() {
+        let root = temp_root("skips");
+        write(&root, "crates/sim/src/ok.rs", "pub fn f() {}\n");
+        write(
+            &root,
+            "crates/lint/tests/fixtures/det001.rs",
+            "use std::collections::HashMap;\n",
+        );
+        write(
+            &root,
+            "crates/sim/target/gen.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let report = lint_workspace(&root).unwrap();
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert_eq!(report.files_scanned, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn json_report_shape_is_stable() {
+        let root = temp_root("json");
+        write(
+            &root,
+            "crates/oracle/src/bad.rs",
+            "use std::collections::HashSet;\n",
+        );
+        let report = lint_workspace(&root).unwrap();
+        let doc = Json::parse(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(1));
+        let Json::Arr(v) = doc.get("violations").unwrap() else {
+            panic!("violations must be an array");
+        };
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].get("rule").unwrap().as_str(), Some("DET-001"));
+        assert!(v[0].get("line").unwrap().as_u64().is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

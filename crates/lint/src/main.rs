@@ -1,0 +1,61 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! maps-lint [--root <dir>] [--json]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = could not run (I/O error,
+//! malformed allowlist, bad usage).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "-h" | "--help" => {
+                eprintln!("usage: maps-lint [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let report = match maps_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("maps-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json().to_pretty());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        eprintln!(
+            "maps-lint: {} file(s), {} finding(s), {} allowlisted",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.absorbed
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("maps-lint: {problem}\nusage: maps-lint [--root <dir>] [--json]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,573 @@
+//! The numbered invariant rules, evaluated over one file's token stream.
+//!
+//! | Rule      | Invariant                                                          |
+//! |-----------|--------------------------------------------------------------------|
+//! | DET-001   | No default-hasher `HashMap`/`HashSet` in deterministic crates      |
+//! | DET-002   | No wall clock / ambient randomness outside `maps-obs`/`maps-bench` |
+//! | PERF-001  | Every `MetricSink`/`MetaObserver` impl method carries `#[inline]`  |
+//! | SAFE-001  | `unsafe` only when allowlisted and `// SAFETY:`-annotated          |
+//! | PANIC-001 | No `unwrap`/`expect` in library decode/parse paths                 |
+//! | ALLOW-001 | Allowlist entries must still absorb something (no rot)             |
+//!
+//! `#[cfg(test)]` items and `#[test]` functions are exempt from DET-001,
+//! DET-002, PERF-001, and PANIC-001 (tests may use ad-hoc collections and
+//! panics freely); SAFE-001 applies everywhere, because unsoundness in a
+//! test harness corrupts the evidence the tests produce.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Crates whose iteration order / hashing must be reproducible: their
+/// state feeds replay equivalence and the differential oracle.
+const DET_CRATES: [&str; 7] = [
+    "sim",
+    "cache",
+    "secure",
+    "mem",
+    "oracle",
+    "trace",
+    "workloads",
+];
+
+/// Crates allowed to read the wall clock (timers, manifests, harnesses).
+const CLOCK_EXEMPT_CRATES: [&str; 2] = ["obs", "bench"];
+
+/// Identifiers that reach for wall-clock time or ambient randomness.
+const CLOCK_RNG_IDENTS: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+];
+
+/// Library decode/parse paths that must stay panic-free on malformed
+/// input (PANIC-001). Everything here returns typed errors instead.
+const PANIC_FREE_PATHS: [&str; 4] = [
+    "crates/sim/src/capture.rs",
+    "crates/obs/src/json.rs",
+    "crates/obs/src/manifest.rs",
+    "crates/trace/src/io.rs",
+];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+const SAFETY_COMMENT_REACH: u32 = 3;
+
+/// One rule finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID (`DET-001`, …).
+    pub rule: &'static str,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Lints one file's source text. `path` must be repo-relative with forward
+/// slashes (it drives rule scoping); `allow` absorbs deliberate findings.
+pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let ctx = FileCtx {
+        path,
+        toks: &lexed.toks,
+        comments: &lexed.comments,
+        test_regions: test_regions(&lexed.toks),
+    };
+    let mut diags = Vec::new();
+    det_001(&ctx, allow, &mut diags);
+    det_002(&ctx, allow, &mut diags);
+    perf_001(&ctx, allow, &mut diags);
+    safe_001(&ctx, allow, &mut diags);
+    panic_001(&ctx, allow, &mut diags);
+    diags
+}
+
+struct FileCtx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    comments: &'a [Comment],
+    /// Token-index ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl FileCtx<'_> {
+    /// The `<name>` of a `crates/<name>/…` path.
+    fn crate_name(&self) -> Option<&str> {
+        self.path.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// Whether the file is a crate's shipped source (`crates/<c>/src/…`).
+    fn in_crate_src(&self) -> bool {
+        self.path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split_once('/'))
+            .is_some_and(|(_, rest)| rest.starts_with("src/"))
+    }
+
+    fn in_test(&self, tok_idx: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| tok_idx >= a && tok_idx <= b)
+    }
+
+    fn ident_at(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    fn punct_at(&self, i: usize, ch: char) -> bool {
+        self.toks.get(i).is_some_and(|t| {
+            t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch)
+        })
+    }
+}
+
+/// DET-001: default-hasher collections in deterministic crates.
+fn det_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_crate_src() || !ctx.crate_name().is_some_and(|c| DET_CRATES.contains(&c)) {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(i)
+            && !allow.absorb("DET-001", ctx.path)
+        {
+            out.push(Diagnostic {
+                rule: "DET-001",
+                file: ctx.path.to_string(),
+                line: t.line,
+                message: format!(
+                    "default-hasher `{}` in a deterministic crate: iteration order varies \
+                     per process and breaks replay/differential equivalence; use \
+                     `maps_trace::det::{{DetHashMap, DetHashSet}}` or a BTree map",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// DET-002: wall clock / ambient randomness outside obs+bench.
+fn det_002(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    let in_scope = match ctx.crate_name() {
+        Some(c) => ctx.in_crate_src() && !CLOCK_EXEMPT_CRATES.contains(&c),
+        // The root `maps` facade crate is sim-facing too.
+        None => ctx.path.starts_with("src/"),
+    };
+    if !in_scope {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && CLOCK_RNG_IDENTS.contains(&t.text.as_str())
+            && !ctx.in_test(i)
+            && !allow.absorb("DET-002", ctx.path)
+        {
+            out.push(Diagnostic {
+                rule: "DET-002",
+                file: ctx.path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside maps-obs/maps-bench: simulation results must be a pure \
+                     function of config+seed; thread timing state through maps-obs or \
+                     use the vendored SplitMix64 PRNG",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// PERF-001: sink/observer impl methods must carry `#[inline]`.
+fn perf_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_crate_src() {
+        return;
+    }
+    let toks = ctx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if !ctx.ident_at(i, "impl") || ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if ctx.punct_at(j, '<') {
+            j = skip_angles(ctx, j);
+        }
+        // Collect the trait path (idents before `for`); an inherent impl
+        // (no `for` before the body) is out of scope.
+        let mut trait_path: Vec<&str> = Vec::new();
+        let mut is_trait_impl = false;
+        while j < toks.len() {
+            if ctx.ident_at(j, "for") {
+                is_trait_impl = true;
+                break;
+            }
+            if ctx.punct_at(j, '{') || ctx.punct_at(j, ';') || ctx.ident_at(j, "where") {
+                break;
+            }
+            if ctx.punct_at(j, '<') {
+                j = skip_angles(ctx, j);
+                continue;
+            }
+            if toks[j].kind == TokKind::Ident {
+                trait_path.push(&toks[j].text);
+            }
+            j += 1;
+        }
+        let watched = is_trait_impl
+            && trait_path
+                .iter()
+                .any(|id| *id == "MetricSink" || *id == "MetaObserver");
+        if !watched {
+            i += 1;
+            continue;
+        }
+        let trait_name = trait_path.last().copied().unwrap_or("?");
+        while j < toks.len() && !ctx.punct_at(j, '{') {
+            j += 1;
+        }
+        let mut depth = 1u32;
+        let mut has_inline = false;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            if ctx.punct_at(j, '{') {
+                depth += 1;
+            } else if ctx.punct_at(j, '}') {
+                depth -= 1;
+            } else if depth == 1
+                && ctx.ident_at(j, "inline")
+                && j >= 2
+                && ctx.punct_at(j - 1, '[')
+                && ctx.punct_at(j - 2, '#')
+            {
+                has_inline = true;
+            } else if depth == 1 && ctx.ident_at(j, "fn") {
+                let name = toks
+                    .get(j + 1)
+                    .map(|t| t.text.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                if !has_inline && !allow.absorb("PERF-001", ctx.path) {
+                    out.push(Diagnostic {
+                        rule: "PERF-001",
+                        file: ctx.path.to_string(),
+                        line: toks[j].line,
+                        message: format!(
+                            "`fn {name}` in an `impl {trait_name} for …` block lacks \
+                             `#[inline]`: the disabled-path zero-cost guarantee relies on \
+                             every sink/observer method monomorphizing away"
+                        ),
+                    });
+                }
+                has_inline = false;
+            }
+            j += 1;
+        }
+        i = j;
+    }
+}
+
+/// Advances past a balanced `<…>` group starting at `open` (which must
+/// point at `<`), tolerating `->` return arrows inside bounds.
+fn skip_angles(ctx: &FileCtx, open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < ctx.toks.len() {
+        if ctx.punct_at(j, '<') {
+            depth += 1;
+        } else if ctx.punct_at(j, '>') && !(j > 0 && ctx.punct_at(j - 1, '-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// SAFE-001: `unsafe` needs an allowlist entry and an adjacent SAFETY note.
+fn safe_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    for t in ctx.toks.iter() {
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let commented = ctx.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && c.end_line <= t.line
+                && c.end_line + SAFETY_COMMENT_REACH >= t.line
+        });
+        if !commented {
+            out.push(Diagnostic {
+                rule: "SAFE-001",
+                file: ctx.path.to_string(),
+                line: t.line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment (within 3 \
+                          lines above) stating the invariant that makes it sound"
+                    .to_string(),
+            });
+        }
+        if !allow.absorb("SAFE-001", ctx.path) {
+            out.push(Diagnostic {
+                rule: "SAFE-001",
+                file: ctx.path.to_string(),
+                line: t.line,
+                message: "`unsafe` outside the audited allowlist: register the site in \
+                          lint.allow (SAFE-001, with max= and a justification) after review"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// PANIC-001: `.unwrap()` / `.expect("…")` in decode/parse paths.
+fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if !PANIC_FREE_PATHS.contains(&ctx.path) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len().saturating_sub(2) {
+        if !ctx.punct_at(i, '.') || ctx.in_test(i) {
+            continue;
+        }
+        let flagged = if ctx.ident_at(i + 1, "unwrap") {
+            // `.unwrap()` exactly — `.unwrap_or(…)` is a different ident
+            // and never matches.
+            ctx.punct_at(i + 2, '(') && ctx.punct_at(i + 3, ')')
+        } else if ctx.ident_at(i + 1, "expect") {
+            // Only `Option/Result::expect` takes a panic-message string
+            // literal; parser methods like `self.expect(b':')` take bytes.
+            ctx.punct_at(i + 2, '(') && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Str)
+        } else {
+            false
+        };
+        if flagged && !allow.absorb("PANIC-001", ctx.path) {
+            out.push(Diagnostic {
+                rule: "PANIC-001",
+                file: ctx.path.to_string(),
+                line: toks[i + 1].line,
+                message: format!(
+                    "`.{}` in a decode/parse path: malformed input must surface as a \
+                     typed error (`DecodeError`/`JsonParseError`/`TraceIoError`), not a panic",
+                    if ctx.ident_at(i + 1, "unwrap") {
+                        "unwrap()"
+                    } else {
+                        "expect(\"…\")"
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// Finds token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "["))
+        {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut gates_tests = false;
+        let mut negated = false;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if toks[j].kind == TokKind::Ident => gates_tests = true,
+                "not" if toks[j].kind == TokKind::Ident => negated = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !gates_tests || negated {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        while j < toks.len()
+            && toks[j].text == "#"
+            && toks.get(j + 1).is_some_and(|t| t.text == "[")
+        {
+            let mut d = 1i32;
+            let mut k = j + 2;
+            while k < toks.len() && d > 0 {
+                match toks[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        // Consume the gated item: to the matching `}` of its first brace
+        // block, or to a `;` for brace-less items.
+        let mut k = j;
+        let mut end = None;
+        while k < toks.len() {
+            if toks[k].kind == TokKind::Punct && toks[k].text == ";" {
+                end = Some(k);
+                break;
+            }
+            if toks[k].kind == TokKind::Punct && toks[k].text == "{" {
+                let mut d = 1i32;
+                let mut m = k + 1;
+                while m < toks.len() && d > 0 {
+                    match toks[m].text.as_str() {
+                        "{" => d += 1,
+                        "}" => d -= 1,
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                end = Some(m.saturating_sub(1));
+                break;
+            }
+            k += 1;
+        }
+        let end = end.unwrap_or(toks.len().saturating_sub(1));
+        regions.push((i, end));
+        i = end + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(path, src, &Allowlist::empty())
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_det_rules() {
+        let src = "
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn t() { let _m: HashMap<u64, u64> = HashMap::new(); }
+            }
+        ";
+        assert!(diags("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "
+            #[cfg(not(test))]
+            mod prod { use std::collections::HashMap; }
+        ";
+        assert!(!diags("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn det_rules_only_fire_in_scoped_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(!diags("crates/cache/src/x.rs", src).is_empty());
+        assert!(diags("crates/analysis/src/x.rs", src).is_empty());
+        assert!(diags("crates/bench/src/x.rs", src).is_empty());
+        assert!(diags("crates/cache/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_exemption_covers_obs_and_bench_only() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }";
+        assert!(diags("crates/obs/src/timer.rs", src).is_empty());
+        assert!(diags("crates/bench/src/context.rs", src).is_empty());
+        assert_eq!(diags("crates/mem/src/dram.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn generic_bound_impls_are_not_sink_impls() {
+        let src = "
+            impl<S: MetricSink> Holder<S> {
+                fn not_a_sink_method(&self) {}
+            }
+            impl<S: MetricSink> OtherTrait for Holder<S> {
+                fn also_fine(&self) {}
+            }
+        ";
+        assert!(diags("crates/obs/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn uninlined_sink_method_is_flagged_once_per_fn() {
+        let src = "
+            impl MetricSink for Thing {
+                #[inline]
+                fn a(&mut self) {}
+                fn b(&mut self) {}
+                #[inline(always)]
+                fn c(&mut self) {}
+            }
+        ";
+        let d = diags("crates/obs/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("fn b"));
+    }
+
+    #[test]
+    fn safety_comment_and_allowlist_are_independent_requirements() {
+        let src = "
+            fn f() {
+                // SAFETY: the slot is exclusively owned.
+                let x = unsafe { *p };
+                let a = x + 1;
+                let b = a * 2;
+                let c = b - 3;
+                let y = unsafe { *q };
+            }
+        ";
+        let allow = Allowlist::parse("SAFE-001 crates/mem/src/x.rs max=2 # audited\n").unwrap();
+        let d = lint_source("crates/mem/src/x.rs", src, &allow);
+        // First site: commented + allowlisted -> clean. Second: allowlisted
+        // but uncommented -> exactly the missing-comment finding.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn panic_rule_distinguishes_parser_expect_from_panic_expect() {
+        let src = r#"
+            fn parse(&mut self) -> Result<(), E> {
+                self.expect(b':')?;
+                let v = self.lookup().unwrap_or(0);
+                Ok(())
+            }
+            fn bad(&mut self) {
+                let v = self.lookup().unwrap();
+                let w = self.lookup().expect("must be there");
+            }
+        "#;
+        let d = diags("crates/obs/src/json.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        // Same file under a non-decode path: out of scope.
+        assert!(diags("crates/obs/src/metrics.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean fixture: code that follows every invariant. Linted under
+//! `crates/sim/src/fixture.rs`; expected findings: none.
+
+use maps_trace::det::{DetHashMap, DetHashSet};
+
+pub struct Probe {
+    seen: DetHashSet<u64>,
+    counts: DetHashMap<u64, u64>,
+}
+
+impl MetaObserver for Probe {
+    #[inline]
+    fn observe(&mut self, access: &MetaAccess) {
+        self.seen.insert(access.block);
+        *self.counts.entry(access.block).or_insert(0) += 1;
+    }
+}
+
+pub fn parse(text: &str) -> Result<u64, String> {
+    text.trim()
+        .parse()
+        .map_err(|_| format!("bad number {text:?}"))
+}

@@ -1,0 +1,21 @@
+//! DET-001 fixture: default-hasher collections in a deterministic crate.
+//! Linted under the pretend path `crates/cache/src/fixture.rs`; the test
+//! asserts findings at lines 5, 8, 8 and nowhere else.
+
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let _s = "HashMap in a string is fine";
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn sets_in_tests_are_fine() {
+        let _ok: HashSet<u64> = HashSet::new();
+    }
+}

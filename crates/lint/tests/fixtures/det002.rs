@@ -1,0 +1,20 @@
+//! DET-002 fixture: wall-clock and ambient-randomness reads in a
+//! sim-facing crate. Linted under `crates/mem/src/fixture.rs`; findings
+//! expected at lines 6, 9, 10 only (`Duration` arithmetic is fine).
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _d = core::time::Duration::from_secs(1);
+    let _e = t.elapsed();
+    let _s = std::time::SystemTime::now();
+    let _h = std::collections::hash_map::RandomState::new();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

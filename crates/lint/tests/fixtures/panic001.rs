@@ -1,0 +1,20 @@
+//! PANIC-001 fixture: panicking combinators in a decode path. Linted
+//! under `crates/obs/src/json.rs` (a decode/parse path); findings
+//! expected at lines 9 and 10 only. Parser-style `self.expect(b':')`,
+//! `unwrap_or`, and anything inside `#[cfg(test)]` are clean.
+
+pub fn decode(&mut self) -> Value {
+    self.expect(b':');
+    let d = self.lookup().unwrap_or(7);
+    let v = self.lookup().unwrap();
+    let w = self.lookup().expect("decode invariant");
+    v + w + d
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        decode().field.unwrap();
+    }
+}

@@ -1,0 +1,20 @@
+//! SAFE-001 fixture: unsafe blocks with and without `// SAFETY:` notes.
+//! Linted under `crates/mem/src/fixture.rs`. With no allowlist, every
+//! site is "not allowlisted" (lines 8, 13, 18) and the uncommented one
+//! additionally reports a missing SAFETY note (line 13).
+
+pub fn read(p: *const u64, q: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    let a = unsafe { *p };
+
+    // An ordinary comment does not count as a safety argument, and this
+    // one is also more than three lines away from the unsafe token.
+
+    let b = unsafe { *q };
+    a + b
+}
+
+// SAFETY: no shared mutable state behind the pointer.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(*const u64);

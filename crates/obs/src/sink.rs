@@ -67,18 +67,22 @@ impl MetricSink for NullSink {
 }
 
 impl MetricSink for Metrics {
+    #[inline]
     fn counter_add(&mut self, name: &str, delta: u64) {
         Metrics::counter_add(self, name, delta);
     }
 
+    #[inline]
     fn gauge_set(&mut self, name: &str, value: f64) {
         Metrics::gauge_set(self, name, value);
     }
 
+    #[inline]
     fn hist_record(&mut self, name: &str, value: u64) {
         Metrics::hist_record(self, name, value);
     }
 
+    #[inline]
     fn hist_merge(&mut self, name: &str, hist: &Histogram) {
         Metrics::hist_merge(self, name, hist);
     }

@@ -4,33 +4,32 @@
 //! Every address computation goes through [`maps_secure::spec`] (plain
 //! division/remainder, no precomputation), tree walks collect into fresh
 //! `Vec`s, the eviction cascade allocates its work queue per event, and
-//! the counter store is an independent `std::collections::HashMap`
-//! implementation. The observable contract — observer callback order,
+//! the counter store is an independent hash-map implementation (on the
+//! workspace's deterministic hasher). The observable contract — observer callback order,
 //! statistics, DRAM traffic — restates the production engine's documented
 //! behaviour step for step; the differential harness asserts the two stay
 //! identical on every access.
 
-use std::collections::HashMap;
-
 use maps_secure::spec;
 use maps_secure::{CounterMode, SecureConfig, WriteOutcome};
 use maps_sim::{EngineStats, MdcConfig, MetaObserver};
+use maps_trace::det::DetHashMap;
 use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess, BLOCKS_PER_PAGE};
 
 use crate::bmt::OracleBmt;
 use crate::cache::SpecMetadataCache;
 
-/// Independent restatement of `maps_secure::CounterStore`: default-hashed
-/// `HashMap`s and per-page `Vec`s, agreeing only on the documented
+/// Independent restatement of `maps_secure::CounterStore`: flat
+/// deterministic maps and per-page `Vec`s, agreeing only on the documented
 /// write-outcome semantics (7-bit split counters overflowing at 128 writes,
 /// monolithic 64-bit SGX counters never overflowing).
 #[derive(Debug, Clone)]
 pub struct OracleCounters {
     mode: CounterMode,
     /// Split-counter state: page index -> (page counter, 64 block counters).
-    pages: HashMap<u64, (u64, Vec<u8>)>,
+    pages: DetHashMap<u64, (u64, Vec<u8>)>,
     /// SGX monolithic counters: data block index -> counter.
-    blocks: HashMap<u64, u64>,
+    blocks: DetHashMap<u64, u64>,
     writes: u64,
     overflows: u64,
 }
@@ -40,8 +39,8 @@ impl OracleCounters {
     pub fn new(mode: CounterMode) -> Self {
         Self {
             mode,
-            pages: HashMap::new(),
-            blocks: HashMap::new(),
+            pages: DetHashMap::default(),
+            blocks: DetHashMap::default(),
             writes: 0,
             overflows: 0,
         }

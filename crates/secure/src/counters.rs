@@ -1,40 +1,20 @@
 //! Encryption counter state and overflow behaviour.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
+use maps_trace::det::DetHashMap;
 use maps_trace::{BlockAddr, BLOCKS_PER_PAGE};
 
 use crate::CounterMode;
 
-/// Multiply-shift hasher for the dense page/block indices keying the
-/// counter maps. The default SipHash is keyed against adversarial input;
-/// these keys are simulator-internal integers, and the counter maps sit on
-/// the per-writeback hot path, so the cheap deterministic mix wins.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct IndexHasher(u64);
+/// Deterministic multiply-shift hasher for the dense page/block indices
+/// keying the counter maps. The default SipHash is keyed against
+/// adversarial input; these keys are simulator-internal integers, and the
+/// counter maps sit on the per-writeback hot path, so the cheap
+/// deterministic mix wins. Now shared workspace-wide as
+/// [`maps_trace::det::DetHasher`]; this alias keeps the original public
+/// name.
+pub use maps_trace::det::DetHasher as IndexHasher;
 
-impl Hasher for IndexHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(u64::from(b));
-        }
-    }
-
-    fn write_u64(&mut self, value: u64) {
-        // SplitMix64 finalizer: full-avalanche, one multiply-chain deep.
-        let mut x = self.0 ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = x ^ (x >> 31);
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-type IndexMap<V> = HashMap<u64, V, BuildHasherDefault<IndexHasher>>;
+type IndexMap<V> = DetHashMap<u64, V>;
 
 /// Outcome of incrementing a block's write counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -31,9 +31,9 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 
+use maps_trace::det::DetHashMap;
 use maps_trace::BlockAddr;
 
 use crate::{CounterMode, CounterStore, Layout, SecureConfig};
@@ -102,20 +102,20 @@ pub struct SecureMemoryModel {
     counters: CounterStore,
     key: u64,
     /// Stored (possibly tampered) data fingerprints.
-    data: HashMap<u64, u64>,
+    data: DetHashMap<u64, u64>,
     /// Stored per-block HMACs.
-    hmacs: HashMap<u64, u64>,
+    hmacs: DetHashMap<u64, u64>,
     /// Content fingerprint of each counter *block* (page counter plus all
     /// block counters), as an attacker in memory would see it.
-    counter_fingerprints: HashMap<u64, u64>,
+    counter_fingerprints: DetHashMap<u64, u64>,
     /// Stored tree node hashes by (level, offset).
-    tree: HashMap<(u8, u64), u64>,
+    tree: DetHashMap<(u8, u64), u64>,
     /// The on-chip root (not addressable by the attacker).
     root: u64,
     verified_reads: u64,
     /// Memoized hashes of never-written subtrees (they are pure functions
     /// of the geometry and key).
-    default_cache: RefCell<HashMap<(u8, u64), u64>>,
+    default_cache: RefCell<DetHashMap<(u8, u64), u64>>,
 }
 
 impl SecureMemoryModel {
@@ -131,13 +131,13 @@ impl SecureMemoryModel {
             layout: Layout::new(cfg),
             counters: CounterStore::new(cfg.mode),
             key,
-            data: HashMap::new(),
-            hmacs: HashMap::new(),
-            counter_fingerprints: HashMap::new(),
-            tree: HashMap::new(),
+            data: DetHashMap::default(),
+            hmacs: DetHashMap::default(),
+            counter_fingerprints: DetHashMap::default(),
+            tree: DetHashMap::default(),
             root: 0,
             verified_reads: 0,
-            default_cache: RefCell::new(HashMap::new()),
+            default_cache: RefCell::new(DetHashMap::default()),
         };
         model.root = model.compute_root();
         model

@@ -639,8 +639,11 @@ impl<'a> ReplaySim<'a> {
     /// Replays with an observer on the measured phase's metadata stream.
     pub fn run_observed<O: MetaObserver + ?Sized>(mut self, obs: &mut O) -> SimReport {
         let mut cursor = self.trace.events();
-        for _ in 0..self.trace.warmup_events() {
-            let ev = cursor.next().expect("warm-up events within stream");
+        // `take` rather than indexed `next().expect(…)`: a truncated
+        // capture must not panic in the replay path (PANIC-001); a short
+        // stream simply yields an empty measured window.
+        let warmup = self.trace.warmup_events() as usize;
+        for ev in cursor.by_ref().take(warmup) {
             self.apply(ev, &mut NullObserver);
         }
         // The warm-up boundary: statistics reset, state persists.

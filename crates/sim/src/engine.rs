@@ -38,6 +38,7 @@ pub trait MetaObserver {
 pub struct NullObserver;
 
 impl MetaObserver for NullObserver {
+    #[inline(always)]
     fn observe(&mut self, _access: &MetaAccess) {}
 }
 
@@ -61,12 +62,14 @@ impl RecordingObserver {
 }
 
 impl MetaObserver for RecordingObserver {
+    #[inline]
     fn observe(&mut self, access: &MetaAccess) {
         self.records.push(*access);
     }
 }
 
 impl MetaObserver for maps_analysis::GroupedReuseProfiler {
+    #[inline]
     fn observe(&mut self, access: &MetaAccess) {
         GroupedReuseProfiler::observe(self, access);
     }

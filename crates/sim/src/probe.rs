@@ -128,6 +128,7 @@ impl Default for MetricsProbe {
 }
 
 impl MetaObserver for MetricsProbe {
+    #[inline]
     fn observe(&mut self, access: &MetaAccess) {
         let idx = Self::kind_index(access.kind);
         match access.access {
@@ -140,16 +141,19 @@ impl MetaObserver for MetricsProbe {
         }
     }
 
+    #[inline]
     fn walk_complete(&mut self, levels_fetched: u64, _path_len: u64) {
         self.walks += 1;
         self.walk_depth.record(levels_fetched);
     }
 
+    #[inline]
     fn cascade_complete(&mut self, depth: u64) {
         self.cascades += 1;
         self.cascade_depth.record(depth);
     }
 
+    #[inline]
     fn speculation(&mut self, hidden_cycles: u64, exposed_cycles: u64) {
         self.speculations += 1;
         self.hidden_cycles += hidden_cycles;

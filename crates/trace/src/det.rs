@@ -1,0 +1,120 @@
+//! Deterministic hashed collections for simulator state.
+//!
+//! `std::collections::HashMap`'s default `RandomState` is seeded per
+//! process, so iteration order — and therefore any result that depends on
+//! it, however indirectly (tie-breaking, beam truncation, float summation
+//! order) — varies run to run. The MAPS pipeline promises bit-identical
+//! replays and differential runs, so simulator-facing crates use these
+//! aliases instead; `maps-lint` rule DET-001 enforces that.
+//!
+//! The hasher is the SplitMix64 finalizer: full avalanche in one
+//! multiply-chain, which both removes the per-process seed and is cheaper
+//! than SipHash for the simulator-internal integer keys that dominate
+//! here. Keys are not attacker-controlled, so HashDoS keying is not
+//! needed.
+//!
+//! # Examples
+//!
+//! ```
+//! use maps_trace::det::{DetHashMap, DetHashSet};
+//!
+//! let mut hits: DetHashMap<u64, u64> = DetHashMap::default();
+//! *hits.entry(0x41).or_insert(0) += 1;
+//! let mut seen: DetHashSet<u64> = DetHashSet::default();
+//! seen.insert(0x41);
+//! assert_eq!(hits[&0x41], 1);
+//! assert!(seen.contains(&0x41));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic, seedless hasher (SplitMix64 finalizer).
+///
+/// Every write path funnels through [`DetHasher::write_u64`] so that a key
+/// hashes identically regardless of which `write_*` method the standard
+/// library's `Hash` impl happens to call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut x = self.0 ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = x ^ (x >> 31);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// `BuildHasher` for [`DetHasher`]; usable with `HashMap::with_hasher`.
+pub type DetBuildHasher = BuildHasherDefault<DetHasher>;
+
+/// Drop-in `HashMap` with process-independent (deterministic) hashing.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// Drop-in `HashSet` with process-independent (deterministic) hashing.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        DetBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn integer_widths_hash_consistently() {
+        // The narrow-width write_* overrides all widen to the same u64 mix.
+        assert_ne!(hash_of(&7u8), 0);
+        assert_eq!(hash_of(&7u32), hash_of(&7u32));
+        // Different values avalanche apart.
+        assert_ne!(hash_of(&7u64), hash_of(&8u64));
+    }
+
+    #[test]
+    fn iteration_order_is_a_pure_function_of_insertions() {
+        let build = || {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for k in (0..512).rev() {
+                m.insert(k * 0x9E37, k);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn tuple_keys_are_supported() {
+        let mut m: DetHashMap<(u8, u64), u64> = DetHashMap::default();
+        m.insert((3, 0x41), 9);
+        assert_eq!(m[&(3, 0x41)], 9);
+    }
+}

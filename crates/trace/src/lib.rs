@@ -17,6 +17,7 @@
 //! ```
 
 pub mod addr;
+pub mod det;
 pub mod io;
 pub mod kind;
 pub mod record;
@@ -24,6 +25,7 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{BlockAddr, PageAddr, PhysAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
+pub use det::{DetBuildHasher, DetHashMap, DetHashSet, DetHasher};
 pub use io::{read_trace, write_trace, TraceIoError};
 pub use kind::{AccessKind, BlockKind, MetaGroup};
 pub use record::{MemAccess, MetaAccess};

@@ -1,7 +1,6 @@
 //! Running statistics over an access trace.
 
-use std::collections::HashSet;
-
+use crate::det::DetHashSet;
 use crate::{MemAccess, PAGE_BYTES};
 
 /// Accumulates footprint and read/write statistics over a stream of
@@ -24,8 +23,8 @@ pub struct TraceStats {
     accesses: u64,
     writes: u64,
     instructions: u64,
-    blocks: HashSet<u64>,
-    pages: HashSet<u64>,
+    blocks: DetHashSet<u64>,
+    pages: DetHashSet<u64>,
 }
 
 impl TraceStats {

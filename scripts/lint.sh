@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Run the workspace invariant linter (maps-lint) over the repository.
+#
+# Usage: scripts/lint.sh [--json]
+#   --json  machine-readable report on stdout
+#
+# Exit codes: 0 clean, 1 findings, 2 could not run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p maps-lint --release -- "$@"

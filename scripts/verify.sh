@@ -18,6 +18,7 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --release -- -D warnings
 run cargo build --release
+run cargo run -q -p maps-lint --release
 run cargo test -q --workspace
 if [[ $quick -eq 0 ]]; then
     run cargo test -q --features heavy-tests
