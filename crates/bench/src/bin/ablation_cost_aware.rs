@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_cost_aware [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -31,17 +31,26 @@ fn main() {
         .collect();
     let base_ref = &base;
     let policies_ref = &policies;
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, pi)| {
+    let policy_tags = ["plru", "cost"];
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, pi)| format!("{}/{}", bench.name(), policy_tags[pi]),
+        |&(bench, pi)| {
             let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-            let r = run_sim_cached(&cfg, bench, SEED, accesses);
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        },
+    );
+    let results: Vec<(f64, u64, u64)> = reports
+        .iter()
+        .map(|r| {
             (
                 r.metadata_mpki(),
                 r.engine.dram_meta.total(),
                 r.engine.tree_walk_level_misses,
             )
         })
-    });
+        .collect();
 
     let mut table = Table::new([
         "benchmark",
@@ -70,7 +79,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: cost-aware eviction vs pseudo-LRU (64KB metadata cache)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     claim(
         walk_wins >= benches.len() / 2,

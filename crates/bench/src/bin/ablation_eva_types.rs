@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_eva_types [--check]`
 
 use maps_analysis::{geometric_mean, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -36,12 +36,17 @@ fn main() {
         .collect();
     let base_ref = &base;
     let policies_ref = &policies;
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, pi)| {
+    let policy_tags = ["plru", "eva", "eva-per-type"];
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, pi)| format!("{}/{}", bench.name(), policy_tags[pi]),
+        |&(bench, pi)| {
             let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-            run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
-        })
-    });
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        },
+    );
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
     let mpki = |bench: Benchmark, pi: usize| -> f64 {
         results[jobs
             .iter()
@@ -71,7 +76,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: per-type EVA vs vanilla EVA (64KB metadata cache)\n");
-    emit(&table);
+    ctx.emit(&table);
     let geo = geometric_mean(&ratios);
     println!("geomean per-type/vanilla EVA MPKI ratio: {geo:.3}\n");
 

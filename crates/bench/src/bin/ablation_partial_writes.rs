@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_partial_writes [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
@@ -26,14 +26,20 @@ fn main() {
         .flat_map(|&b| [(b, false), (b, true)])
         .collect();
     let base_ref = &base;
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, partial)| {
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, partial)| format!("{}/{}", bench.name(), if partial { "on" } else { "off" }),
+        |&(bench, partial)| {
             let mut cfg = base_ref.clone();
             cfg.mdc.partial_writes = partial;
-            let r = run_sim_cached(&cfg, bench, SEED, accesses);
-            (r.engine.dram_meta.total(), r.engine.partial_fill_reads)
-        })
-    });
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        },
+    );
+    let results: Vec<(u64, u64)> = reports
+        .iter()
+        .map(|r| (r.engine.dram_meta.total(), r.engine.partial_fill_reads))
+        .collect();
 
     let mut table = Table::new([
         "benchmark",
@@ -59,7 +65,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: partial writes for hash/tree updates (Section IV-E)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     claim(
         saved_counts >= benches.len() * 2 / 3,

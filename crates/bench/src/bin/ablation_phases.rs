@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_phases [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_cache::Partition;
 use maps_sim::{MdcConfig, PartitionMode, SecureSim, SimConfig};
 use maps_workloads::{Benchmark, PhasedWorkload, Workload};
@@ -103,7 +103,7 @@ fn main() {
         matrix.push(results);
     }
     println!("# Ablation: phase behaviour vs. static partitioning (64KB MDC)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // The two phases want different splits.
     let (libq_best, canneal_best, phased_best) = (best_idx[0], best_idx[1], best_idx[2]);

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_row_buffer [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_mem::RowBufferDram;
 use maps_sim::{
     Hierarchy, MdcConfig, MemEvent, MetadataCache, MetadataEngine, RecordingObserver, SimConfig,
@@ -143,7 +143,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: DRAM row-buffer locality with and without metadata traffic\n");
-    emit(&table);
+    ctx.emit(&table);
 
     let degraded = results.iter().filter(|&&(d, n, _)| n < d).count();
     claim(

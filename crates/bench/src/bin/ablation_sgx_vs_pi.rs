@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_sgx_vs_pi [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_secure::CounterMode;
 use maps_sim::SimConfig;
 use maps_trace::MetaGroup;
@@ -31,18 +31,32 @@ fn main() {
         .flat_map(|&b| [(b, CounterMode::SplitPi), (b, CounterMode::SgxMonolithic)])
         .collect();
     let base_ref = &base;
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, mode)| {
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, mode)| {
+            let tag = match mode {
+                CounterMode::SplitPi => "pi",
+                CounterMode::SgxMonolithic => "sgx",
+            };
+            format!("{}/{tag}", bench.name())
+        },
+        |&(bench, mode)| {
             let mut cfg = base_ref.clone();
             cfg.counter_mode = mode;
-            let r = run_sim_cached(&cfg, bench, SEED, accesses);
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        },
+    );
+    let results: Vec<(f64, f64, u64)> = reports
+        .iter()
+        .map(|r| {
             (
                 r.group_mpki(MetaGroup::Counter),
                 r.metadata_mpki(),
                 r.engine.page_overflows,
             )
         })
-    });
+        .collect();
 
     let mut table = Table::new([
         "benchmark",
@@ -69,7 +83,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: PoisonIvy split counters vs. SGX monolithic counters\n");
-    emit(&table);
+    ctx.emit(&table);
 
     claim(
         sgx_worse >= benches.len() * 2 / 3,

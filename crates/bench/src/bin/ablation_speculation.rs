@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p maps-bench --bin ablation_speculation [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::{MdcConfig, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -28,16 +28,24 @@ fn main() {
         .flat_map(|&b| variants.into_iter().map(move |(s, m)| (b, s, m)))
         .collect();
     let base_ref = &base;
-    let results = ctx.phase("grid", || {
-        parallel_map(jobs.clone(), |(bench, spec, mdc)| {
-            let mut cfg = base_ref.clone();
-            cfg.speculation = spec;
-            if !mdc {
-                cfg.mdc = MdcConfig::disabled();
-            }
-            run_sim_cached(&cfg, bench, SEED, accesses).cycles as f64
-        })
-    });
+    let tag = |on: bool| if on { "on" } else { "off" };
+    let results: Vec<f64> = ctx
+        .sweep(
+            "grid",
+            &jobs,
+            |&(bench, spec, mdc)| format!("{}/spec-{}/mdc-{}", bench.name(), tag(spec), tag(mdc)),
+            |&(bench, spec, mdc)| {
+                let mut cfg = base_ref.clone();
+                cfg.speculation = spec;
+                if !mdc {
+                    cfg.mdc = MdcConfig::disabled();
+                }
+                run_sim_cached(&cfg, bench, SEED, accesses)
+            },
+        )
+        .iter()
+        .map(|r| r.cycles as f64)
+        .collect();
     let cycles = |bench: Benchmark, spec: bool, mdc: bool| -> f64 {
         let idx = jobs
             .iter()
@@ -71,7 +79,7 @@ fn main() {
         ]);
     }
     println!("# Ablation: speculation on/off x metadata cache on/off (cycles)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     for &bench in &benches {
         claim(
@@ -97,16 +105,20 @@ fn main() {
     // cycles degrade monotonically toward the no-speculation bound.
     let windows = [u64::MAX, 1024, 256, 64, 0];
     let sweep_bench = Benchmark::Gups;
-    let window_cycles: Vec<f64> = ctx.phase("window-sweep", || {
-        windows
-            .iter()
-            .map(|&w| {
+    let window_cycles: Vec<f64> = ctx
+        .sweep(
+            "window-sweep",
+            &windows,
+            |&w| format!("window{w}"),
+            |&w| {
                 let mut cfg = base.clone();
                 cfg.speculation_window = w;
-                run_sim_cached(&cfg, sweep_bench, SEED, accesses).cycles as f64
-            })
-            .collect()
-    });
+                run_sim_cached(&cfg, sweep_bench, SEED, accesses)
+            },
+        )
+        .iter()
+        .map(|r| r.cycles as f64)
+        .collect();
     let mut window_table = Table::new(["speculation_window", "cycles"]);
     for (&w, &c) in windows.iter().zip(&window_cycles) {
         let label = if w == u64::MAX {
@@ -121,7 +133,7 @@ fn main() {
 # Speculation-window sweep ({sweep_bench})
 "
     );
-    emit(&window_table);
+    ctx.emit(&window_table);
     claim(
         window_cycles.windows(2).all(|w| w[1] >= w[0] * 0.999),
         "shrinking the speculation window monotonically degrades performance",

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p maps-bench --bin csopt_demo [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, RunContext, SEED};
+use maps_bench::{claim, n_accesses, RunContext, SEED};
 use maps_cache::{belady_misses, csopt_min_cost, CostedAccess};
 use maps_sim::{MdcConfig, RecordingObserver, SecureSim, SimConfig};
 use maps_trace::BlockKind;
@@ -91,7 +91,7 @@ fn main() {
             }
         }
     });
-    emit(&table);
+    ctx.emit(&table);
 
     claim(
         growth.last().copied().unwrap_or(0) >= growth.first().copied().unwrap_or(0),

@@ -5,9 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{
-    claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, MDC_SIZES, SEED,
-};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, MDC_SIZES, SEED};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -32,12 +30,22 @@ fn main() {
     let base = SimConfig::paper_default();
     ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
     ctx.set_config(&base);
-    let reports = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, contents_cfg, size)| {
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, contents_cfg, size)| {
+            format!(
+                "{}/{}/mdc{}",
+                bench.name(),
+                contents_cfg.label(),
+                size >> 10
+            )
+        },
+        |&(bench, contents_cfg, size)| {
             let cfg = base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
             run_sim_cached(&cfg, bench, SEED, accesses)
-        })
-    });
+        },
+    );
     let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
     for (&(bench, contents_cfg, size), report) in jobs.iter().zip(&reports) {
         let label = format!(
@@ -59,7 +67,7 @@ fn main() {
         ]);
     }
     println!("# Figure 1: metadata MPKI vs. metadata cache size\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // Qualitative claims from Section II-B.
     let mpki = |bench: Benchmark, c: CacheContents, size: u64| -> f64 {

@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig1_extended [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::{CacheContents, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -63,12 +63,18 @@ fn main() {
             }
         }
     }
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, contents, size)| {
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, contents, size)| {
+            format!("{}/{}/mdc{}", bench.name(), contents.label(), size >> 10)
+        },
+        |&(bench, contents, size)| {
             let cfg = base.with_mdc(base.mdc.with_contents(contents).with_size(size));
-            run_sim_cached(&cfg, bench, SEED, accesses).metadata_mpki()
-        })
-    });
+            run_sim_cached(&cfg, bench, SEED, accesses)
+        },
+    );
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
     let mpki = |bench: Benchmark, contents: CacheContents, size: u64| -> f64 {
         let i = jobs
             .iter()
@@ -90,7 +96,7 @@ fn main() {
         }
     }
     println!("# Figure 1 (extended): metadata MPKI for all contents combinations\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // Family-wide trends the paper asserts:
     // (i) For workloads whose full metadata working set is cacheable

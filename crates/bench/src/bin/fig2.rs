@@ -6,9 +6,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig2 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, geometric_mean, Table};
-use maps_bench::{
-    claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, LLC_SIZES, MDC_SIZES, SEED,
-};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, LLC_SIZES, MDC_SIZES, SEED};
 use maps_sim::SimConfig;
 use maps_workloads::Benchmark;
 
@@ -21,11 +19,12 @@ fn main() {
     ctx.set_config(&base);
 
     // Baseline: 2 MB LLC, no secure memory, per benchmark.
-    let baseline_reports = ctx.phase("baselines", || {
-        parallel_map(benches.clone(), |b| {
-            run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses)
-        })
-    });
+    let baseline_reports = ctx.sweep(
+        "baselines",
+        &benches,
+        |b| b.name().to_string(),
+        |b| run_sim_cached(&SimConfig::insecure_baseline(), *b, SEED, accesses),
+    );
     let baselines: Vec<f64> = baseline_reports.iter().map(|r| r.ed2()).collect();
     for (bench, report) in benches.iter().zip(&baseline_reports) {
         ctx.record_report(&format!("baseline.{}", bench.name()), report);
@@ -39,12 +38,15 @@ fn main() {
             }
         }
     }
-    let reports = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(llc, mdc, _bi, bench)| {
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |(llc, mdc, _bi, bench)| format!("llc{}/mdc{}/{}", llc >> 10, mdc >> 10, bench.name()),
+        |&(llc, mdc, _bi, bench)| {
             let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
             run_sim_cached(&cfg, bench, SEED, accesses)
-        })
-    });
+        },
+    );
     let results: Vec<f64> = reports.iter().map(|r| r.ed2()).collect();
     for (&(llc, mdc, _, bench), report) in jobs.iter().zip(&reports) {
         let label = format!("run.llc{}k.mdc{}k.{}", llc >> 10, mdc >> 10, bench.name());
@@ -81,7 +83,7 @@ fn main() {
         }
     }
     println!("# Figure 2: normalized ED^2 across LLC/metadata-cache budgets\n");
-    emit(&table);
+    ctx.emit(&table);
 
     let lookup = |llc: u64, mdc: u64| {
         rows.iter()

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig3 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, GroupedReuseProfiler, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::{MetaGroup, BLOCK_BYTES};
 use maps_workloads::Benchmark;
@@ -67,7 +67,7 @@ fn main() {
         }
     }
     println!("# Figure 3: reuse-distance CDFs by metadata type (no metadata cache)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     let frac = |bench: Benchmark, group: MetaGroup, bytes: u64| -> f64 {
         let i = benches

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig4 [--check] [--tsv]`
 
 use maps_analysis::{GroupedReuseProfiler, ReuseClass, Table};
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_workloads::Benchmark;
 
@@ -49,7 +49,7 @@ fn main() {
         ]);
     }
     println!("# Figure 4: bimodal reuse-distance classification\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // Section IV-D claims.
     let counts_of = |b: Benchmark| {

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig5 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, GroupedReuseProfiler, Table, Transition};
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::{MetaGroup, BLOCK_BYTES};
 use maps_workloads::Benchmark;
@@ -57,7 +57,7 @@ fn main() {
         }
     }
     println!("# Figure 5: reuse distance by request-type transition\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // Section IV-E claim: same-kind transitions (RaR, WaW) have shorter
     // reuse distances than mixed ones, per metadata type.

@@ -9,9 +9,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig6 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{
-    captured_trace, claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED,
-};
+use maps_bench::{captured_trace, claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_sim::itermin::{run_iter_min_on, run_min_on};
 use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
 use maps_workloads::Benchmark;
@@ -31,6 +29,15 @@ impl PolicyUnderTest {
         PolicyUnderTest::Min,
         PolicyUnderTest::IterMin,
     ];
+
+    fn tag(self) -> &'static str {
+        match self {
+            PolicyUnderTest::PseudoLru => "plru",
+            PolicyUnderTest::Eva => "eva",
+            PolicyUnderTest::Min => "min",
+            PolicyUnderTest::IterMin => "itermin",
+        }
+    }
 }
 
 fn main() {
@@ -54,25 +61,25 @@ fn main() {
     let cfg_ref = &cfg;
     // All four policies per benchmark share one captured front end (the
     // zero-warm-up capture the MIN oracles require).
-    let results = ctx.phase("sweep", || {
-        parallel_map(jobs.clone(), |(bench, policy)| match policy {
-            PolicyUnderTest::PseudoLru => {
-                run_sim_cached(cfg_ref, bench, SEED, accesses).metadata_mpki()
-            }
+    let reports = ctx.sweep(
+        "sweep",
+        &jobs,
+        |&(bench, policy)| format!("{}/{}", bench.name(), policy.tag()),
+        |&(bench, policy)| match policy {
+            PolicyUnderTest::PseudoLru => run_sim_cached(cfg_ref, bench, SEED, accesses),
             PolicyUnderTest::Eva => {
                 let c = cfg_ref.with_mdc(cfg_ref.mdc.with_policy(PolicyChoice::Eva));
-                run_sim_cached(&c, bench, SEED, accesses).metadata_mpki()
+                run_sim_cached(&c, bench, SEED, accesses)
             }
             PolicyUnderTest::Min => {
-                run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses)).metadata_mpki()
+                run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses))
             }
             PolicyUnderTest::IterMin => {
-                run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4)
-                    .report
-                    .metadata_mpki()
+                run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4).report
             }
-        })
-    });
+        },
+    );
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
 
     let mut table = Table::new(["benchmark", "pseudo-lru", "eva", "min", "itermin"]);
     let mpki = |bench: Benchmark, policy: PolicyUnderTest| -> f64 {
@@ -92,7 +99,7 @@ fn main() {
         ]);
     }
     println!("# Figure 6: metadata MPKI by eviction policy (64KB metadata cache)\n");
-    emit(&table);
+    ctx.emit(&table);
 
     // Section V claims.
     // "For most benchmarks, neither MIN nor iterMIN perform better than

@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p maps-bench --bin fig7 [--check] [--tsv]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, run_sim_cached, RunContext, SEED};
+use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
 use maps_cache::Partition;
 use maps_sim::{MdcConfig, PartitionMode, SimConfig};
 use maps_workloads::Benchmark;
@@ -24,19 +24,29 @@ fn main() {
     ctx.set_config(&base);
 
     // Insecure baselines for normalization.
-    let baselines = ctx.phase("baselines", || {
-        parallel_map(benches.clone(), |b| {
-            run_sim_cached(&SimConfig::insecure_baseline(), b, SEED, accesses).ed2()
-        })
-    });
+    let baselines: Vec<f64> = ctx
+        .sweep(
+            "baselines",
+            &benches,
+            |b| b.name().to_string(),
+            |b| run_sim_cached(&SimConfig::insecure_baseline(), *b, SEED, accesses),
+        )
+        .iter()
+        .map(|r| r.ed2())
+        .collect();
 
     // (a) No partition.
     let base_ref = &base;
-    let none = ctx.phase("no-partition", || {
-        parallel_map(benches.clone(), |b| {
-            run_sim_cached(base_ref, b, SEED, accesses).ed2()
-        })
-    });
+    let none: Vec<f64> = ctx
+        .sweep(
+            "no-partition",
+            &benches,
+            |b| b.name().to_string(),
+            |b| run_sim_cached(base_ref, *b, SEED, accesses),
+        )
+        .iter()
+        .map(|r| r.ed2())
+        .collect();
 
     // (b) Static sweep: every split for every benchmark.
     let mut static_jobs = Vec::new();
@@ -45,13 +55,20 @@ fn main() {
             static_jobs.push((bi, bench, split));
         }
     }
-    let static_results = ctx.phase("static-sweep", || {
-        parallel_map(static_jobs.clone(), |(_bi, bench, split)| {
-            let mut cfg = base_ref.clone();
-            cfg.mdc.partition = PartitionMode::Static(split);
-            run_sim_cached(&cfg, bench, SEED, accesses).ed2()
-        })
-    });
+    let static_results: Vec<f64> = ctx
+        .sweep(
+            "static-sweep",
+            &static_jobs,
+            |&(_bi, bench, split)| format!("{}/ctr{}", bench.name(), split.counter_way_count()),
+            |&(_bi, bench, split)| {
+                let mut cfg = base_ref.clone();
+                cfg.mdc.partition = PartitionMode::Static(split);
+                run_sim_cached(&cfg, bench, SEED, accesses)
+            },
+        )
+        .iter()
+        .map(|r| r.ed2())
+        .collect();
     let mut best_split = vec![Partition::counter_ways(1); benches.len()];
     let mut best_static = vec![f64::INFINITY; benches.len()];
     for ((bi, _, split), ed2) in static_jobs.iter().zip(&static_results) {
@@ -69,27 +86,41 @@ fn main() {
             .clamp(1.0, (ways - 1) as f64) as usize
     };
     let avg_partition = Partition::counter_ways(avg_ways);
-    let avg_static = ctx.phase("avg-static", || {
-        parallel_map(benches.clone(), |b| {
-            let mut cfg = base_ref.clone();
-            cfg.mdc.partition = PartitionMode::Static(avg_partition);
-            run_sim_cached(&cfg, b, SEED, accesses).ed2()
-        })
-    });
+    let avg_static: Vec<f64> = ctx
+        .sweep(
+            "avg-static",
+            &benches,
+            |b| b.name().to_string(),
+            |b| {
+                let mut cfg = base_ref.clone();
+                cfg.mdc.partition = PartitionMode::Static(avg_partition);
+                run_sim_cached(&cfg, *b, SEED, accesses)
+            },
+        )
+        .iter()
+        .map(|r| r.ed2())
+        .collect();
 
     // (d) Dynamic set dueling between a counter-light and counter-heavy
     // split.
-    let dynamic = ctx.phase("dynamic", || {
-        parallel_map(benches.clone(), |b| {
-            let mut cfg = base_ref.clone();
-            cfg.mdc.partition = PartitionMode::Dynamic {
-                a: Partition::counter_ways(2),
-                b: Partition::counter_ways(6),
-                leaders_per_side: 4,
-            };
-            run_sim_cached(&cfg, b, SEED, accesses).ed2()
-        })
-    });
+    let dynamic: Vec<f64> = ctx
+        .sweep(
+            "dynamic",
+            &benches,
+            |b| b.name().to_string(),
+            |b| {
+                let mut cfg = base_ref.clone();
+                cfg.mdc.partition = PartitionMode::Dynamic {
+                    a: Partition::counter_ways(2),
+                    b: Partition::counter_ways(6),
+                    leaders_per_side: 4,
+                };
+                run_sim_cached(&cfg, *b, SEED, accesses)
+            },
+        )
+        .iter()
+        .map(|r| r.ed2())
+        .collect();
 
     let mut table = Table::new([
         "benchmark",
@@ -119,7 +150,7 @@ fn main() {
         "average best split: {avg_ways}:{} counter:hash ways\n",
         ways - avg_ways
     );
-    emit(&table);
+    ctx.emit(&table);
 
     // Section V-C claims.
     let improved = benches

@@ -24,7 +24,7 @@
 
 use std::process::ExitCode;
 
-use maps_bench::RunContext;
+use maps_bench::{report_error, BenchError, RunContext};
 use maps_cache::Partition;
 use maps_secure::CounterMode;
 use maps_sim::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SecureSim, SimConfig};
@@ -67,6 +67,10 @@ fn parse_contents(name: &str) -> Option<CacheContents> {
     })
 }
 
+const USAGE: &str = "mdcsim [--bench <name>|--replay <file>] [--accesses <n>] [--seed <n>] \
+[--llc <bytes>] [--mdc <bytes>] [--policy <name>] [--contents <set>] [--partition <k>] \
+[--partial-writes] [--sgx] [--no-speculation] [--insecure] [--trace-out <file>] [--list]";
+
 struct Args(Vec<String>);
 
 impl Args {
@@ -79,10 +83,10 @@ impl Args {
         }
     }
 
-    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+    fn value(&mut self, name: &str) -> Result<Option<String>, BenchError> {
         if let Some(i) = self.0.iter().position(|a| a == name) {
             if i + 1 >= self.0.len() {
-                return Err(format!("{name} requires a value"));
+                return Err(BenchError::usage(format!("{name} requires a value")));
             }
             let v = self.0.remove(i + 1);
             self.0.remove(i);
@@ -93,7 +97,11 @@ impl Args {
     }
 }
 
-fn run() -> Result<(), String> {
+fn usage_err(msg: impl Into<String>) -> BenchError {
+    BenchError::usage(msg)
+}
+
+fn run() -> Result<(), BenchError> {
     let mut args = Args(std::env::args().skip(1).collect());
 
     if args.flag("--list") {
@@ -111,30 +119,37 @@ fn run() -> Result<(), String> {
 
     let accesses: u64 = args
         .value("--accesses")?
-        .map(|v| v.parse().map_err(|_| format!("bad --accesses {v}")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| usage_err(format!("bad --accesses {v}")))
+        })
         .transpose()?
         .unwrap_or(200_000);
     let seed: u64 = args
         .value("--seed")?
-        .map(|v| v.parse().map_err(|_| format!("bad --seed {v}")))
+        .map(|v| v.parse().map_err(|_| usage_err(format!("bad --seed {v}"))))
         .transpose()?
         .unwrap_or(42);
 
     let mut cfg = SimConfig::paper_default();
     if let Some(v) = args.value("--llc")? {
-        cfg.llc_bytes = parse_bytes(&v).ok_or(format!("bad --llc {v}"))?;
+        cfg.llc_bytes = parse_bytes(&v).ok_or_else(|| usage_err(format!("bad --llc {v}")))?;
     }
     if let Some(v) = args.value("--mdc")? {
-        cfg.mdc.size_bytes = parse_bytes(&v).ok_or(format!("bad --mdc {v}"))?;
+        cfg.mdc.size_bytes = parse_bytes(&v).ok_or_else(|| usage_err(format!("bad --mdc {v}")))?;
     }
     if let Some(v) = args.value("--policy")? {
-        cfg.mdc.policy = parse_policy(&v).ok_or(format!("unknown --policy {v}"))?;
+        cfg.mdc.policy =
+            parse_policy(&v).ok_or_else(|| usage_err(format!("unknown --policy {v}")))?;
     }
     if let Some(v) = args.value("--contents")? {
-        cfg.mdc.contents = parse_contents(&v).ok_or(format!("unknown --contents {v}"))?;
+        cfg.mdc.contents =
+            parse_contents(&v).ok_or_else(|| usage_err(format!("unknown --contents {v}")))?;
     }
     if let Some(v) = args.value("--partition")? {
-        let k: usize = v.parse().map_err(|_| format!("bad --partition {v}"))?;
+        let k: usize = v
+            .parse()
+            .map_err(|_| usage_err(format!("bad --partition {v}")))?;
         let p = Partition::counter_ways(k);
         p.validate(cfg.mdc.ways);
         cfg.mdc.partition = PartitionMode::Static(p);
@@ -153,9 +168,11 @@ fn run() -> Result<(), String> {
         cfg.mdc = MdcConfig::disabled();
     }
 
-    // RunContext reads --manifest from the environment args itself; strip
-    // it here so the strict unknown-argument check below accepts it.
+    // RunContext reads --manifest/--ckpt from the environment args itself;
+    // strip them here so the strict unknown-argument check below accepts
+    // them.
     let _ = args.value("--manifest")?;
+    let _ = args.value("--ckpt")?;
     let replay_path = args.value("--replay")?;
     let trace_out = args.value("--trace-out")?;
     let bench_name = args
@@ -163,26 +180,29 @@ fn run() -> Result<(), String> {
         .unwrap_or_else(|| "libquantum".to_string());
 
     if let Some(unknown) = args.0.first() {
-        return Err(format!(
-            "unknown argument {unknown:?} (see source header for usage)"
-        ));
+        return Err(usage_err(format!("unknown argument {unknown:?}")));
     }
 
     let mut workload: Box<dyn Workload> = match &replay_path {
         Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let trace = maps_trace::read_trace(file).map_err(|e| e.to_string())?;
+            let file = std::fs::File::open(path).map_err(|e| BenchError::io(path, e))?;
+            let trace = maps_trace::read_trace(file)
+                .map_err(|e| BenchError::Failed(format!("{path}: {e}")))?;
             Box::new(ReplayWorkload::looping("replay", trace))
         }
         None => Benchmark::from_name(&bench_name)
-            .ok_or(format!("unknown benchmark {bench_name:?}; try --list"))?
+            .ok_or_else(|| usage_err(format!("unknown benchmark {bench_name:?}; try --list")))?
             .build(seed),
     };
 
     if let Some(path) = trace_out {
         let trace: Vec<MemAccess> = (0..accesses).map(|_| workload.next_access()).collect();
-        let file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-        write_trace(file, &trace).map_err(|e| e.to_string())?;
+        // Serialize in memory, then publish atomically: a failed or
+        // interrupted write never leaves a torn trace file behind.
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &trace).map_err(|e| BenchError::Failed(format!("{path}: {e}")))?;
+        maps_obs::write_atomic(std::path::Path::new(&path), &bytes)
+            .map_err(|e| BenchError::io(&path, e))?;
         println!("wrote {} accesses to {path}", trace.len());
         workload = Box::new(ReplayWorkload::new("recorded", trace));
     }
@@ -212,9 +232,6 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("mdcsim: {message}");
-            ExitCode::FAILURE
-        }
+        Err(err) => report_error("mdcsim", USAGE, &err),
     }
 }

@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p maps-bench --bin set_diversity [--check]`
 
 use maps_analysis::Table;
-use maps_bench::{claim, emit, n_accesses, parallel_map, RunContext, SEED};
+use maps_bench::{claim, n_accesses, parallel_map, RunContext, SEED};
 use maps_sim::{MdcConfig, SecureSim, SimConfig};
 use maps_trace::BlockKind;
 use maps_workloads::Benchmark;
@@ -100,7 +100,7 @@ fn main() {
         ]);
     }
     println!("# Section V-C: per-set composition diversity in the metadata cache\n");
-    emit(&table);
+    ctx.emit(&table);
 
     claim(
         diverse >= benches.len() - 1,

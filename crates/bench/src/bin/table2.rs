@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p maps-bench --bin table2 [--check] [--tsv]`
 
 use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{claim, emit, RunContext};
+use maps_bench::{claim, RunContext};
 use maps_secure::{Layout, SecureConfig};
 use maps_trace::BlockKind;
 
@@ -46,7 +46,7 @@ fn main() {
         fmt_bytes(sgx.data_protected_by(BlockKind::Hash)),
     ]);
     println!("# Table II: metadata organization and data protected per 64B block\n");
-    emit(&table);
+    ctx.emit(&table);
 
     println!();
     let mut geometry = Table::new(["quantity", "PI", "SGX"]);
@@ -70,7 +70,7 @@ fn main() {
         format!("{:.1}%", pi.metadata_overhead() * 100.0),
         format!("{:.1}%", sgx.metadata_overhead() * 100.0),
     ]);
-    emit(&geometry);
+    ctx.emit(&geometry);
 
     claim(
         pi.data_protected_by(BlockKind::Counter) == 4096,

@@ -1,11 +1,43 @@
-//! Per-run observability context for the figure/table binaries.
+//! Per-run observability and resilience context for the figure/table
+//! binaries.
 //!
 //! Every binary opens a [`RunContext`] at the top of `main`, records its
-//! parameters and configuration, wraps heavy stages in [`RunContext::phase`],
-//! and calls [`RunContext::finish`] last. The context writes a
-//! schema-versioned JSON manifest (`results/<name>.manifest.json`, or the
-//! `--manifest <path>` override) describing the run: config, seed, git
-//! revision, wall/phase timings, and the metrics snapshot.
+//! parameters and configuration, runs heavy stages through
+//! [`RunContext::sweep`] (or wraps them in [`RunContext::phase`]), emits
+//! tables through [`RunContext::emit`], and calls [`RunContext::finish`]
+//! last. The context writes a schema-versioned JSON manifest
+//! (`results/<name>.manifest.json`, or the `--manifest <path>` override)
+//! describing the run: config, seed, git revision, wall/phase timings, and
+//! the metrics snapshot.
+//!
+//! # Crash-safe, resumable sweeps
+//!
+//! [`RunContext::sweep`] checkpoints every completed sweep point to
+//! `results/<name>.ckpt` (override: `--ckpt <path>`) through the atomic
+//! write helper, so killing a binary mid-sweep loses at most the points
+//! still in flight. Re-invoking the same command resumes from the
+//! checkpoint: cached points are decoded bit-exactly (the
+//! [`SimReport`] JSON codec stores floats as raw IEEE-754 bits), so a
+//! resumed run's TSV and manifest are byte-identical to an uninterrupted
+//! run's (pair with `MAPS_DETERMINISTIC=1`, which zeroes the volatile
+//! timing fields). The checkpoint is guarded by a fingerprint of the
+//! manifest identity (name + params + config): changing `MAPS_ACCESSES`
+//! or any flag that alters the parameter set discards a stale checkpoint
+//! instead of resuming into wrong results. On a successful
+//! [`RunContext::finish`] the checkpoint file is removed.
+//!
+//! Environment knobs (all off by default):
+//!
+//! * `MAPS_DETERMINISTIC=1` — strip volatile manifest fields (creation
+//!   time, wall/phase seconds) so repeated runs are byte-identical.
+//! * `MAPS_POINT_RETRIES=<n>` — retry a panicking sweep point up to `n`
+//!   times before aborting the run (default 1 retry).
+//! * `MAPS_POINT_TIMEOUT_SECS=<n>` — watchdog: if any sweep point runs
+//!   longer than `n` seconds the process exits with status 3, leaving the
+//!   checkpoint intact so a re-invocation retries only the stuck point.
+//! * `MAPS_CRASH_AFTER_POINTS=<n>` — fault-injection hook: exit with
+//!   status 42 immediately after the `n`-th newly computed point has been
+//!   checkpointed (drives the kill/resume equivalence tests).
 //!
 //! Metric *collection* is gated by `MAPS_METRICS` (off by default): with it
 //! unset, [`RunContext::record_report`] returns immediately and the
@@ -14,10 +46,13 @@
 //! never steer a simulation — sinks only observe — so enabling them cannot
 //! change any simulated number.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use maps_obs::{Json, Manifest, Metrics, Phases};
+use maps_obs::{fingerprint64, Checkpoint, Json, Manifest, Metrics, Phases};
 use maps_sim::{SimConfig, SimReport};
 
 /// Whether `MAPS_METRICS` enables metric collection (any value but `0`).
@@ -25,34 +60,96 @@ pub fn metrics_enabled() -> bool {
     std::env::var_os("MAPS_METRICS").is_some_and(|v| v != "0")
 }
 
-/// Resolves the manifest path: `--manifest <path>` / `--manifest=<path>`,
-/// else `results/<name>.manifest.json`.
-fn manifest_path(name: &str) -> PathBuf {
+/// Whether `MAPS_DETERMINISTIC` strips volatile manifest fields (any value
+/// but `0`), making repeated runs byte-identical.
+pub fn deterministic_mode() -> bool {
+    std::env::var_os("MAPS_DETERMINISTIC").is_some_and(|v| v != "0")
+}
+
+/// `MAPS_CRASH_AFTER_POINTS`: exit(42) after this many newly computed
+/// sweep points have been checkpointed (fault-injection hook).
+fn crash_after_points() -> Option<u64> {
+    std::env::var("MAPS_CRASH_AFTER_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// `MAPS_POINT_RETRIES`: bounded retries for a panicking sweep point.
+fn point_retries() -> u32 {
+    std::env::var("MAPS_POINT_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// `MAPS_POINT_TIMEOUT_SECS`: watchdog budget per sweep point.
+fn point_timeout() -> Option<Duration> {
+    std::env::var("MAPS_POINT_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_secs)
+}
+
+/// Resolves a `--flag <path>` / `--flag=<path>` override from the command
+/// line, falling back to `default`.
+fn path_flag(flag: &str, default: PathBuf) -> PathBuf {
+    let eq = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--manifest" {
+        if a == flag {
             if let Some(p) = args.next() {
                 return PathBuf::from(p);
             }
-        } else if let Some(p) = a.strip_prefix("--manifest=") {
+        } else if let Some(p) = a.strip_prefix(&eq) {
             return PathBuf::from(p);
         }
     }
-    PathBuf::from("results").join(format!("{name}.manifest.json"))
+    default
 }
 
-/// Run-lifetime observability: parameters, phases, metrics, manifest.
+/// Resolves the manifest path: `--manifest <path>` / `--manifest=<path>`,
+/// else `results/<name>.manifest.json`.
+fn manifest_path(name: &str) -> PathBuf {
+    path_flag(
+        "--manifest",
+        PathBuf::from("results").join(format!("{name}.manifest.json")),
+    )
+}
+
+/// Resolves the checkpoint path: `--ckpt <path>` / `--ckpt=<path>`, else
+/// `results/<name>.ckpt`.
+fn ckpt_path(name: &str) -> PathBuf {
+    path_flag(
+        "--ckpt",
+        PathBuf::from("results").join(format!("{name}.ckpt")),
+    )
+}
+
+/// Resolves the TSV output file: `--tsv=<path>` writes the emitted tables
+/// there atomically at [`RunContext::finish`] (bare `--tsv` keeps printing
+/// TSV to stdout and writes no file).
+fn tsv_file() -> Option<PathBuf> {
+    std::env::args().find_map(|a| a.strip_prefix("--tsv=").map(PathBuf::from))
+}
+
+/// Run-lifetime observability and resilience: parameters, phases, metrics,
+/// checkpointed sweeps, manifest.
 pub struct RunContext {
     manifest: Manifest,
     phases: Phases,
     metrics: Metrics,
     started: Instant,
     path: PathBuf,
+    ckpt_path: PathBuf,
+    ckpt: Option<Checkpoint>,
+    new_points: u64,
+    tsv_path: Option<PathBuf>,
+    tsv: Vec<String>,
 }
 
 impl RunContext {
     /// Opens the context for the named binary, stamping the start time and
-    /// resolving the manifest path from the command line.
+    /// resolving the manifest/checkpoint/TSV paths from the command line.
     pub fn new(name: &str) -> Self {
         RunContext {
             manifest: Manifest::new(name),
@@ -60,6 +157,11 @@ impl RunContext {
             metrics: Metrics::new(),
             started: Instant::now(),
             path: manifest_path(name),
+            ckpt_path: ckpt_path(name),
+            ckpt: None,
+            new_points: 0,
+            tsv_path: tsv_file(),
+            tsv: Vec::new(),
         }
     }
 
@@ -89,6 +191,144 @@ impl RunContext {
         result
     }
 
+    /// Loads (or starts) the sweep checkpoint. A checkpoint on disk is
+    /// honoured only when its name and identity fingerprint match this
+    /// run — parameters and config recorded so far are part of the
+    /// fingerprint, so they must be set before the first sweep.
+    fn ensure_checkpoint(&mut self) {
+        if self.ckpt.is_some() {
+            return;
+        }
+        let name = self.manifest.name().to_string();
+        let fp = fingerprint64(&self.manifest.identity());
+        let ckpt = match Checkpoint::load(&self.ckpt_path) {
+            Ok(Some(c)) if c.name() == name && c.fingerprint() == fp => {
+                eprintln!(
+                    "[ckpt] resuming from {} ({} points)",
+                    self.ckpt_path.display(),
+                    c.len()
+                );
+                c
+            }
+            Ok(Some(c)) => {
+                eprintln!(
+                    "[ckpt] {} is for a different run (name '{}', fingerprint {:016x} != {fp:016x}); starting fresh",
+                    self.ckpt_path.display(),
+                    c.name(),
+                    c.fingerprint()
+                );
+                Checkpoint::new(&name, fp)
+            }
+            Ok(None) => Checkpoint::new(&name, fp),
+            Err(e) => {
+                eprintln!(
+                    "[ckpt] {} unreadable ({e}); starting fresh",
+                    self.ckpt_path.display()
+                );
+                Checkpoint::new(&name, fp)
+            }
+        };
+        self.ckpt = Some(ckpt);
+    }
+
+    /// Runs a sweep phase crash-safely: each job is keyed by
+    /// `"{phase}/{key_of(job)}"`, completed points are checkpointed
+    /// incrementally (atomic temp-file + rename), and points already in
+    /// the checkpoint are decoded bit-exactly instead of re-simulated.
+    /// Jobs run in parallel via [`crate::parallel_map`]; per-point panics
+    /// retry up to `MAPS_POINT_RETRIES` times; the phase is timed under
+    /// `phase` just like [`RunContext::phase`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate sweep keys (a harness bug: two jobs would
+    /// share one checkpoint slot) and when a point still panics after its
+    /// retry budget.
+    pub fn sweep<T, K, F>(&mut self, phase: &str, jobs: &[T], key_of: K, run: F) -> Vec<SimReport>
+    where
+        T: Sync,
+        K: Fn(&T) -> String,
+        F: Fn(&T) -> SimReport + Sync,
+    {
+        self.ensure_checkpoint();
+        let start = Instant::now();
+        let keys: Vec<String> = jobs
+            .iter()
+            .map(|j| format!("{phase}/{}", key_of(j)))
+            .collect();
+        {
+            let mut sorted: Vec<&String> = keys.iter().collect();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                keys.len(),
+                "duplicate sweep keys in '{phase}'"
+            );
+        }
+
+        let ckpt = self.ckpt.take().expect("checkpoint initialised above");
+        let mut results: Vec<Option<SimReport>> = keys
+            .iter()
+            .map(|k| ckpt.get(k).and_then(|doc| SimReport::from_json(doc).ok()))
+            .collect();
+        let missing: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+        let cached = jobs.len() - missing.len();
+        if cached > 0 {
+            eprintln!(
+                "[ckpt] {phase}: {cached}/{} points restored from checkpoint",
+                jobs.len()
+            );
+        }
+
+        let shared = Mutex::new((ckpt, self.new_points));
+        let crash_after = crash_after_points();
+        let retries = point_retries();
+        let watchdog = Watchdog::start(point_timeout());
+        let computed: Vec<SimReport> = crate::parallel_map(missing.clone(), |i| {
+            let guard = watchdog.guard(&keys[i]);
+            let report = run_point(&run, &jobs[i], &keys[i], retries);
+            drop(guard);
+            let (ckpt, new_points) = &mut *shared.lock().expect("sweep checkpoint poisoned");
+            ckpt.insert(&keys[i], report.to_json());
+            if let Err(e) = ckpt.save(&self.ckpt_path) {
+                eprintln!("[ckpt] write failed ({}): {e}", self.ckpt_path.display());
+            }
+            *new_points += 1;
+            if crash_after == Some(*new_points) {
+                // Fault-injection hook: die right after the checkpoint
+                // hit disk, the worst moment short of mid-write (which
+                // the atomic rename already covers).
+                eprintln!("[ckpt] MAPS_CRASH_AFTER_POINTS={new_points} reached; crashing");
+                std::process::exit(42);
+            }
+            report
+        });
+        drop(watchdog);
+
+        let (ckpt, new_points) = shared.into_inner().expect("sweep checkpoint poisoned");
+        self.ckpt = Some(ckpt);
+        self.new_points = new_points;
+        for (i, report) in missing.into_iter().zip(computed) {
+            results[i] = Some(report);
+        }
+        self.phases.add(phase, start.elapsed());
+        results
+            .into_iter()
+            .map(|r| r.expect("every sweep point resolved"))
+            .collect()
+    }
+
+    /// Prints a table in the selected format (like the free [`crate::emit`])
+    /// and, when `--tsv=<path>` was given, buffers its TSV form for the
+    /// atomic file write in [`RunContext::finish`].
+    pub fn emit(&mut self, table: &maps_analysis::Table) {
+        crate::emit(table);
+        if self.tsv_path.is_some() {
+            self.tsv.push(table.to_tsv());
+        }
+    }
+
     /// Merges a report's counters and gauges under `{label}.*`. A no-op
     /// unless `MAPS_METRICS` is set, keeping the disabled path free.
     pub fn record_report(&mut self, label: &str, report: &SimReport) -> &mut Self {
@@ -104,17 +344,152 @@ impl RunContext {
         &mut self.metrics
     }
 
-    /// Stamps the wall clock, assembles the manifest, and writes it.
-    /// Failures to write are reported on stderr but never fail the run —
-    /// observability must not break figure regeneration.
+    /// Stamps the wall clock, assembles the manifest, writes the buffered
+    /// TSV file (if `--tsv=<path>`) and the manifest atomically, and — the
+    /// run having completed — removes the sweep checkpoint. Write failures
+    /// are reported on stderr but never fail the run — observability must
+    /// not break figure regeneration.
     pub fn finish(mut self) {
         self.manifest
             .set_wall(self.started.elapsed())
             .set_phases(&self.phases)
             .set_metrics(&self.metrics);
+        if deterministic_mode() {
+            self.manifest.strip_volatile();
+        }
+        if let Some(tsv_path) = &self.tsv_path {
+            let mut body = self.tsv.join("\n");
+            body.push('\n');
+            match maps_obs::write_atomic(tsv_path, body.as_bytes()) {
+                Ok(()) => eprintln!("[tsv] {}", tsv_path.display()),
+                Err(e) => eprintln!("[tsv] write failed ({}): {e}", tsv_path.display()),
+            }
+        }
         match self.manifest.write_to(&self.path) {
             Ok(()) => eprintln!("[manifest] {}", self.path.display()),
             Err(e) => eprintln!("[manifest] write failed ({}): {e}", self.path.display()),
+        }
+        if self.ckpt.take().is_some() {
+            match std::fs::remove_file(&self.ckpt_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => eprintln!("[ckpt] cleanup failed ({}): {e}", self.ckpt_path.display()),
+            }
+        }
+    }
+}
+
+/// Runs one sweep point, retrying panics up to `retries` extra attempts
+/// and re-raising the final payload (which [`crate::parallel_map`] then
+/// reports with the job index).
+fn run_point<T, F>(run: &F, job: &T, key: &str, retries: u32) -> SimReport
+where
+    F: Fn(&T) -> SimReport,
+{
+    let mut attempt = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| run(job))) {
+            Ok(report) => return report,
+            Err(payload) => {
+                if attempt >= retries {
+                    resume_unwind(payload);
+                }
+                attempt += 1;
+                eprintln!("[sweep] point '{key}' panicked; retry {attempt}/{retries}");
+            }
+        }
+    }
+}
+
+/// Per-sweep watchdog: a monitor thread that fail-fast exits (status 3)
+/// when any in-flight point exceeds `MAPS_POINT_TIMEOUT_SECS`, leaving
+/// the checkpoint on disk so a re-invocation retries only the stuck
+/// point. Threads cannot be killed safely in Rust, so exiting the process
+/// *is* the bounded-hang recovery story.
+struct Watchdog {
+    inflight: Arc<Mutex<Vec<(String, Instant)>>>,
+    stop: Arc<AtomicBool>,
+    armed: bool,
+}
+
+impl Watchdog {
+    fn start(timeout: Option<Duration>) -> Self {
+        let inflight = Arc::new(Mutex::new(Vec::<(String, Instant)>::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let Some(timeout) = timeout else {
+            return Watchdog {
+                inflight,
+                stop,
+                armed: false,
+            };
+        };
+        let watch_inflight = Arc::clone(&inflight);
+        let watch_stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let tick = (timeout / 2).clamp(Duration::from_millis(10), Duration::from_millis(50));
+            while !watch_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                let stuck = {
+                    let inflight = watch_inflight.lock().expect("watchdog registry poisoned");
+                    inflight
+                        .iter()
+                        .find(|(_, started)| started.elapsed() > timeout)
+                        .map(|(key, started)| (key.clone(), started.elapsed()))
+                };
+                if let Some((key, elapsed)) = stuck {
+                    eprintln!(
+                        "[watchdog] sweep point '{key}' exceeded {}s (ran {:.1}s); aborting, checkpoint kept for resume",
+                        timeout.as_secs(),
+                        elapsed.as_secs_f64()
+                    );
+                    std::process::exit(3);
+                }
+            }
+        });
+        Watchdog {
+            inflight,
+            stop,
+            armed: true,
+        }
+    }
+
+    /// Registers a point as in-flight until the guard drops.
+    fn guard(&self, key: &str) -> WatchdogGuard<'_> {
+        if self.armed {
+            self.inflight
+                .lock()
+                .expect("watchdog registry poisoned")
+                .push((key.to_string(), Instant::now()));
+        }
+        WatchdogGuard {
+            watchdog: self,
+            key: key.to_string(),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+struct WatchdogGuard<'a> {
+    watchdog: &'a Watchdog,
+    key: String,
+}
+
+impl Drop for WatchdogGuard<'_> {
+    fn drop(&mut self) {
+        if self.watchdog.armed {
+            let mut inflight = self
+                .watchdog
+                .inflight
+                .lock()
+                .expect("watchdog registry poisoned");
+            if let Some(pos) = inflight.iter().position(|(k, _)| *k == self.key) {
+                inflight.swap_remove(pos);
+            }
         }
     }
 }
@@ -122,13 +497,25 @@ impl RunContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use maps_workloads::Benchmark;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("maps-bench-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_report(seed: u64) -> SimReport {
+        crate::run_sim(&SimConfig::paper_default(), Benchmark::Gups, seed, 400)
+    }
 
     #[test]
-    fn default_path_derives_from_name() {
+    fn default_paths_derive_from_name() {
         assert_eq!(
             manifest_path("figX"),
             PathBuf::from("results/figX.manifest.json")
         );
+        assert_eq!(ckpt_path("figX"), PathBuf::from("results/figX.ckpt"));
     }
 
     #[test]
@@ -143,10 +530,11 @@ mod tests {
 
     #[test]
     fn finished_manifest_validates() {
-        let dir = std::env::temp_dir().join(format!("maps-bench-ctx-{}", std::process::id()));
+        let dir = tmp_dir("ctx");
         let path = dir.join("test.manifest.json");
         let mut ctx = RunContext::new("test");
         ctx.path = path.clone();
+        ctx.ckpt_path = dir.join("test.ckpt");
         ctx.param_u64("accesses", 1000)
             .param_str("mode", "unit-test")
             .set_config(&SimConfig::paper_default());
@@ -163,5 +551,113 @@ mod tests {
             Some(2 << 20)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_checkpoints_points_and_resumes_bit_identically() {
+        let dir = tmp_dir("sweep");
+        let ckpt = dir.join("sweep.ckpt");
+        let jobs: Vec<u64> = vec![1, 2, 3, 4];
+
+        let mut ctx = RunContext::new("sweep-test");
+        ctx.ckpt_path = ckpt.clone();
+        ctx.param_u64("accesses", 400);
+        let first = ctx.sweep("pts", &jobs, |s| format!("seed{s}"), |s| tiny_report(*s));
+        // Do NOT finish: the checkpoint must survive for the resume.
+        assert!(ckpt.exists(), "checkpoint file written during sweep");
+
+        // A second context with the same identity restores every point
+        // from the checkpoint without recomputing.
+        let mut resumed = RunContext::new("sweep-test");
+        resumed.ckpt_path = ckpt.clone();
+        resumed.param_u64("accesses", 400);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let second = resumed.sweep(
+            "pts",
+            &jobs,
+            |s| format!("seed{s}"),
+            |s| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tiny_report(*s)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "all points cached");
+        assert_eq!(first, second, "restored reports are bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_fingerprint_discards_the_checkpoint() {
+        let dir = tmp_dir("stale");
+        let ckpt = dir.join("stale.ckpt");
+        let jobs: Vec<u64> = vec![7];
+
+        let mut ctx = RunContext::new("stale-test");
+        ctx.ckpt_path = ckpt.clone();
+        ctx.param_u64("accesses", 400);
+        ctx.sweep("pts", &jobs, |s| format!("seed{s}"), |s| tiny_report(*s));
+
+        // Different parameters → different identity → fresh sweep.
+        let mut other = RunContext::new("stale-test");
+        other.ckpt_path = ckpt.clone();
+        other.param_u64("accesses", 999);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        other.sweep(
+            "pts",
+            &jobs,
+            |s| format!("seed{s}"),
+            |s| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tiny_report(*s)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "stale checkpoint ignored");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_removes_the_checkpoint() {
+        let dir = tmp_dir("cleanup");
+        let ckpt = dir.join("done.ckpt");
+        let mut ctx = RunContext::new("done-test");
+        ctx.path = dir.join("done.manifest.json");
+        ctx.ckpt_path = ckpt.clone();
+        ctx.sweep("pts", &[5u64], |s| format!("seed{s}"), |s| tiny_report(*s));
+        assert!(ckpt.exists());
+        ctx.finish();
+        assert!(!ckpt.exists(), "checkpoint removed after a complete run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep keys")]
+    fn duplicate_sweep_keys_are_a_harness_bug() {
+        let dir = tmp_dir("dup");
+        let mut ctx = RunContext::new("dup-test");
+        ctx.ckpt_path = dir.join("dup.ckpt");
+        ctx.sweep(
+            "pts",
+            &[1u64, 1u64],
+            |_| "same".to_string(),
+            |s| tiny_report(*s),
+        );
+    }
+
+    #[test]
+    fn run_point_retries_then_succeeds() {
+        let attempts = std::sync::atomic::AtomicUsize::new(0);
+        let report = run_point(
+            &|_: &u64| {
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("flaky once");
+                }
+                tiny_report(11)
+            },
+            &11u64,
+            "pts/seed11",
+            2,
+        );
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        assert_eq!(report, tiny_report(11));
     }
 }

@@ -1,0 +1,98 @@
+//! Typed errors for the figure/table binaries.
+//!
+//! User mistakes (bad flags, unreadable paths) must exit with a one-line
+//! message and a nonzero status — never a panic backtrace. Binaries parse
+//! into [`BenchError`] and funnel through [`report_error`].
+
+use std::fmt;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Why a bench binary could not run.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The command line is malformed (unknown flag, missing or invalid
+    /// value). Exits with status 2 and the usage line.
+    Usage(String),
+    /// A file operation failed. Exits with status 1.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The run completed but produced an invalid result (e.g. a violated
+    /// claim surfaced as an error rather than a panic). Exits with 1.
+    Failed(String),
+}
+
+impl BenchError {
+    /// Convenience constructor for usage problems.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        BenchError::Usage(msg.into())
+    }
+
+    /// Convenience constructor tying an `io::Error` to its path.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        BenchError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Usage(msg) => write!(f, "{msg}"),
+            BenchError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            BenchError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Reports a [`BenchError`] on stderr and maps it to the exit status the
+/// binary should return: 2 for usage errors (with the one-line usage
+/// text), 1 for everything else.
+pub fn report_error(program: &str, usage: &str, err: &BenchError) -> ExitCode {
+    eprintln!("{program}: {err}");
+    if matches!(err, BenchError::Usage(_)) {
+        eprintln!("usage: {usage}");
+        ExitCode::from(2)
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors_exit_2_others_exit_1() {
+        let u = report_error("figX", "figX [--tsv]", &BenchError::usage("bad flag"));
+        assert_eq!(u, ExitCode::from(2));
+        let io = report_error(
+            "figX",
+            "figX",
+            &BenchError::io("out.tsv", std::io::Error::other("denied")),
+        );
+        assert_eq!(io, ExitCode::from(1));
+    }
+
+    #[test]
+    fn display_includes_the_path() {
+        let e = BenchError::io("results/x.tsv", std::io::Error::other("full"));
+        let s = e.to_string();
+        assert!(s.contains("results/x.tsv") && s.contains("full"), "{s}");
+    }
+}

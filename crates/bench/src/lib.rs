@@ -21,8 +21,10 @@ use maps_sim::{CapturedTrace, FrontEndKey, ReplaySim, SecureSim, SimConfig, SimR
 use maps_workloads::Benchmark;
 
 pub mod context;
+pub mod error;
 
-pub use context::{metrics_enabled, RunContext};
+pub use context::{deterministic_mode, metrics_enabled, RunContext};
+pub use error::{report_error, BenchError};
 
 /// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
 pub fn n_accesses(default: u64) -> u64 {

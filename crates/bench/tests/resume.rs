@@ -1,0 +1,98 @@
+//! Crash-safe resumable-sweep regression: killing `fig2 --tsv` mid-sweep
+//! and resuming from its checkpoint must produce a TSV and a manifest
+//! byte-identical to an uninterrupted run, and the checkpoint must be
+//! cleaned up after the successful finish.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const ACCESSES: &str = "2000";
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("maps-bench-resume-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Runs fig2 with deterministic manifests, explicit artifact paths, and
+/// optional crash-after-N-points injection.
+fn fig2(dir: &Path, crash_after: Option<u32>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig2"));
+    cmd.arg(format!("--tsv={}", dir.join("fig2.tsv").display()))
+        .arg("--manifest")
+        .arg(dir.join("fig2.manifest.json"))
+        .arg("--ckpt")
+        .arg(dir.join("fig2.ckpt"))
+        .env("MAPS_ACCESSES", ACCESSES)
+        .env("MAPS_DETERMINISTIC", "1")
+        .env_remove("MAPS_CRASH_AFTER_POINTS");
+    if let Some(n) = crash_after {
+        cmd.env("MAPS_CRASH_AFTER_POINTS", n.to_string());
+    }
+    cmd.output().expect("fig2 runs")
+}
+
+fn read(path: PathBuf) -> Vec<u8> {
+    std::fs::read(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn killed_and_resumed_run_is_bit_identical_to_a_straight_run() {
+    let straight_dir = scratch("straight");
+    let resumed_dir = scratch("resumed");
+
+    let straight = fig2(&straight_dir, None);
+    assert!(
+        straight.status.success(),
+        "straight run failed: {straight:?}"
+    );
+    assert!(
+        !straight_dir.join("fig2.ckpt").exists(),
+        "straight run left its checkpoint behind"
+    );
+
+    // Crash after 5 newly checkpointed points: the injected exit fires
+    // right after the checkpoint hits disk, so the partial state is
+    // durable and the process dies mid-sweep with the sentinel code.
+    let crashed = fig2(&resumed_dir, Some(5));
+    assert_eq!(
+        crashed.status.code(),
+        Some(42),
+        "crash hook did not fire: {crashed:?}"
+    );
+    assert!(
+        resumed_dir.join("fig2.ckpt").exists(),
+        "interrupted run did not leave a checkpoint"
+    );
+    assert!(
+        !resumed_dir.join("fig2.tsv").exists(),
+        "interrupted run published a partial TSV"
+    );
+
+    let resumed = fig2(&resumed_dir, None);
+    assert!(resumed.status.success(), "resumed run failed: {resumed:?}");
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resuming from"),
+        "resume did not load the checkpoint: {stderr}"
+    );
+
+    assert_eq!(
+        read(straight_dir.join("fig2.tsv")),
+        read(resumed_dir.join("fig2.tsv")),
+        "resumed TSV differs from the straight run"
+    );
+    assert_eq!(
+        read(straight_dir.join("fig2.manifest.json")),
+        read(resumed_dir.join("fig2.manifest.json")),
+        "resumed manifest differs from the straight run"
+    );
+    assert!(
+        !resumed_dir.join("fig2.ckpt").exists(),
+        "checkpoint not removed after the successful finish"
+    );
+
+    std::fs::remove_dir_all(&straight_dir).ok();
+    std::fs::remove_dir_all(&resumed_dir).ok();
+}

@@ -114,6 +114,19 @@ impl CacheStats {
         *self = Self::default();
     }
 
+    /// The raw buckets in `data, counter, hash, tree` order. Exists for
+    /// serialization (the sweep checkpoint codec); normal consumers go
+    /// through [`CacheStats::kind`] and the totals.
+    pub fn buckets(&self) -> &[KindStats; 4] {
+        &self.buckets
+    }
+
+    /// Rebuilds stats from raw buckets in `data, counter, hash, tree`
+    /// order — the inverse of [`CacheStats::buckets`].
+    pub fn from_buckets(buckets: [KindStats; 4]) -> Self {
+        CacheStats { buckets }
+    }
+
     /// Exports every bucket into `sink` under
     /// `{prefix}.{data|counter|hash|tree}.{accesses,hits,misses,evictions,
     /// writebacks}`. Pull-based: called once at snapshot time, so the

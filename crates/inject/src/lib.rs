@@ -1,0 +1,35 @@
+//! `maps-inject`: deterministic, seeded fault injection for the MAPS
+//! reproduction.
+//!
+//! The integrity machinery the paper characterizes — split counters,
+//! per-block HMACs, the Bonsai Merkle Tree — exists to *detect* faults,
+//! and the experiment pipeline around it must *survive* them. This crate
+//! probes both, on two planes:
+//!
+//! * **Model faults** ([`model`]) attack the stored state of
+//!   [`maps_secure::SecureMemoryModel`]: bit flips in data, HMACs,
+//!   counter-block fingerprints, and BMT nodes at every tree level;
+//!   consistent rollback (replay) of snapshots; counter-overflow storms
+//!   mid-trace. Every trial asserts detection *and* localization to the
+//!   right check, cross-checked in lockstep against `maps_oracle`'s
+//!   value-level BMT.
+//! * **Infrastructure faults** ([`infra`]) corrupt the bytes of result
+//!   artifacts (captures, manifests, checkpoints, serialized reports)
+//!   and fail writes at seeded offsets, asserting every consumer returns
+//!   a typed error — never panics, never silently accepts a torn file.
+//!
+//! [`campaign`] bundles trials into named campaigns (`smoke`, `full`)
+//! that are pure functions of `(spec, seed)` with a reproducible
+//! fingerprint; the `maps-inject` binary runs them from the command line
+//! and CI. See DESIGN.md §11 for the fault model.
+
+pub mod campaign;
+pub mod infra;
+pub mod model;
+
+pub use campaign::{by_name, run_campaign, CampaignReport, CampaignSpec, FULL, SMOKE};
+pub use infra::{
+    run_infra_trial, Artifact, FaultyWriter, InfraFaultClass, InfraOutcome, InfraTrialOutcome,
+    WriterFaultMode,
+};
+pub use model::{run_model_trial, ModelFaultClass, ModelTrialOutcome, OracleMirror};

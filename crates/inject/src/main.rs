@@ -1,0 +1,74 @@
+//! Command-line front end for the fault-injection campaigns.
+//!
+//! ```text
+//! maps-inject --campaign <smoke|full> [--seed <N>] [--json]
+//! ```
+//!
+//! Exit codes: `0` when the campaign passes (100% model-fault detection,
+//! zero consumer panics, zero silently-torn files), `1` when it fails,
+//! `2` on usage errors.
+
+use std::process::ExitCode;
+
+use maps_inject::campaign;
+
+const USAGE: &str = "usage: maps-inject --campaign <smoke|full> [--seed <N>] [--json]";
+
+struct Args {
+    spec: campaign::CampaignSpec,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut campaign_name: Option<String> = None;
+    let mut seed = 5u64;
+    let mut json = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--campaign" => {
+                campaign_name = Some(
+                    argv.next()
+                        .ok_or_else(|| "--campaign needs a value".to_string())?,
+                );
+            }
+            "--seed" => {
+                let v = argv
+                    .next()
+                    .ok_or_else(|| "--seed needs a value".to_string())?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: '{v}' is not an unsigned integer"))?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let name = campaign_name.ok_or_else(|| "--campaign is required".to_string())?;
+    let spec = campaign::by_name(&name)
+        .ok_or_else(|| format!("unknown campaign '{name}' (expected smoke or full)"))?;
+    Ok(Args { spec, seed, json })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("maps-inject: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = campaign::run_campaign(&args.spec, args.seed);
+    if args.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        println!("{report}");
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,401 @@
+//! Model-fault plane: seeded attacks against the integrity mechanism.
+//!
+//! Every trial builds a fresh [`SecureMemoryModel`] over a small
+//! protected memory, performs a seeded burst of legitimate writes —
+//! mirrored in lockstep into `maps_oracle`'s value-level counters and
+//! BMT — then injects one fault from a [`ModelFaultClass`] and checks
+//! that the next read of the victim block (a) fails, and (b) fails in
+//! the *right* check: data HMAC for data/HMAC flips, the tree path at
+//! the tampered level for tree flips, the tree/root (never the HMAC)
+//! for consistent rollbacks. The oracle mirror cross-checks the verdict
+//! where counter values decide it: a replay is detectable exactly when
+//! the oracle root over the snapshot counters differs from the root
+//! over the current counters.
+
+use maps_oracle::{OracleBmt, OracleCounters};
+use maps_secure::integrity::{AttackSite, IntegrityError, SecureMemoryModel};
+use maps_secure::{spec, SecureConfig, WriteOutcome};
+use maps_trace::rng::SmallRng;
+use maps_trace::BlockAddr;
+
+/// The injected model-fault classes (Section II threat model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFaultClass {
+    /// Bit flip in a stored data block.
+    DataFlip,
+    /// Bit flip in a stored per-block HMAC.
+    HmacFlip,
+    /// Bit flip in a stored counter-block fingerprint.
+    CounterFlip,
+    /// Bit flip in a stored BMT node (campaigns cycle through every
+    /// in-memory tree level).
+    TreeFlip,
+    /// Consistent rollback of (data, HMAC, counter block) to a stale
+    /// snapshot — self-consistent, detectable only via the tree/root.
+    Replay,
+    /// Counter-overflow storm (page re-encryptions) mid-trace; must not
+    /// produce false positives nor mask a subsequent replay.
+    OverflowStorm,
+}
+
+impl ModelFaultClass {
+    /// Every class, in campaign order.
+    pub const ALL: [ModelFaultClass; 6] = [
+        ModelFaultClass::DataFlip,
+        ModelFaultClass::HmacFlip,
+        ModelFaultClass::CounterFlip,
+        ModelFaultClass::TreeFlip,
+        ModelFaultClass::Replay,
+        ModelFaultClass::OverflowStorm,
+    ];
+
+    /// Stable display name (also the campaign-report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFaultClass::DataFlip => "data-flip",
+            ModelFaultClass::HmacFlip => "hmac-flip",
+            ModelFaultClass::CounterFlip => "counter-flip",
+            ModelFaultClass::TreeFlip => "tree-flip",
+            ModelFaultClass::Replay => "replay",
+            ModelFaultClass::OverflowStorm => "overflow-storm",
+        }
+    }
+
+    /// Stable numeric id folded into the campaign fingerprint.
+    fn id(self) -> u64 {
+        match self {
+            ModelFaultClass::DataFlip => 1,
+            ModelFaultClass::HmacFlip => 2,
+            ModelFaultClass::CounterFlip => 3,
+            ModelFaultClass::TreeFlip => 4,
+            ModelFaultClass::Replay => 5,
+            ModelFaultClass::OverflowStorm => 6,
+        }
+    }
+}
+
+/// Outcome of one model-fault trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelTrialOutcome {
+    /// The class injected.
+    pub class: ModelFaultClass,
+    /// The fault was detected (the victim read failed when it had to,
+    /// and verified when it had to).
+    pub detected: bool,
+    /// The failure surfaced in the expected check for the class.
+    pub localized: bool,
+    /// The error the victim read returned, if any.
+    pub error: Option<IntegrityError>,
+    /// Deterministic code folded into the campaign fingerprint.
+    pub code: u64,
+}
+
+/// Value-level mirror of the model's legitimate writes: independent
+/// counters plus the oracle BMT, maintained incrementally and checked
+/// against full recomputation after every write.
+pub struct OracleMirror {
+    cfg: SecureConfig,
+    counters: OracleCounters,
+    bmt: OracleBmt,
+}
+
+impl OracleMirror {
+    /// Builds the mirror over an empty counter store.
+    pub fn new(cfg: SecureConfig) -> Self {
+        let counters = OracleCounters::new(cfg.mode);
+        let bmt = OracleBmt::new(cfg, &counters);
+        Self { cfg, counters, bmt }
+    }
+
+    /// Mirrors one legitimate write; returns the oracle's write outcome
+    /// so the caller can cross-check it against the model's.
+    pub fn record_write(&mut self, data: BlockAddr) -> WriteOutcome {
+        let outcome = self.counters.record_write(data);
+        match outcome {
+            WriteOutcome::Incremented => self
+                .bmt
+                .update_counter_block(&self.counters, spec::counter_block_of(&self.cfg, data)),
+            WriteOutcome::PageOverflow { page } => self.bmt.update_page(&self.counters, page),
+        }
+        outcome
+    }
+
+    /// Current incrementally-maintained root digest.
+    pub fn root(&self) -> u64 {
+        self.bmt.root()
+    }
+
+    /// Root digest recomputed from scratch over the current counters.
+    pub fn recompute_root(&self) -> u64 {
+        self.bmt.recompute_root(&self.counters)
+    }
+
+    /// Root digest recomputed over an arbitrary counter snapshot.
+    pub fn root_over(&self, counters: &OracleCounters) -> u64 {
+        self.bmt.recompute_root(counters)
+    }
+
+    /// Clone of the current counter state (taken at snapshot time to
+    /// predict replay detectability).
+    pub fn counters_snapshot(&self) -> OracleCounters {
+        self.counters.clone()
+    }
+}
+
+/// One victim model plus its lockstep oracle mirror, pre-warmed with a
+/// seeded burst of legitimate writes.
+struct Arena {
+    model: SecureMemoryModel,
+    mirror: OracleMirror,
+    written: Vec<BlockAddr>,
+}
+
+impl Arena {
+    /// The model and oracle disagreeing on a *legitimate* write outcome
+    /// or on incremental-vs-recomputed roots is a harness bug, not a
+    /// detected fault — fail loudly.
+    fn write(&mut self, block: BlockAddr, value: u64) {
+        let model_outcome = self.model.write_block(block, value);
+        let oracle_outcome = self.mirror.record_write(block);
+        assert_eq!(
+            model_outcome, oracle_outcome,
+            "model and oracle diverged on a legitimate write to {block}"
+        );
+        assert_eq!(
+            self.mirror.root(),
+            self.mirror.recompute_root(),
+            "oracle incremental root diverged from recomputation"
+        );
+        self.written.push(block);
+    }
+
+    fn victim(&self, rng: &mut SmallRng) -> BlockAddr {
+        self.written[rng.gen_range(0..self.written.len() as u64) as usize]
+    }
+}
+
+/// Builds the arena: a model over `mem_bytes` of protected memory (mode
+/// chosen by the seed, except classes that require split counters) and
+/// 4–12 seeded writes mirrored into the oracle.
+fn arena(class: ModelFaultClass, mem_bytes: u64, rng: &mut SmallRng) -> Arena {
+    // Overflow storms need 7-bit split counters; SGX monolithic counters
+    // never overflow.
+    let cfg = if class == ModelFaultClass::OverflowStorm || rng.gen_bool(0.5) {
+        SecureConfig::poison_ivy(mem_bytes)
+    } else {
+        SecureConfig::sgx(mem_bytes)
+    };
+    let mut a = Arena {
+        model: SecureMemoryModel::with_key(cfg, rng.next_u64()),
+        mirror: OracleMirror::new(cfg),
+        written: Vec::new(),
+    };
+    let data_blocks = a.model.layout().data_blocks();
+    let writes = rng.gen_range(4u64..=12);
+    for _ in 0..writes {
+        let block = BlockAddr::new(rng.gen_range(0..data_blocks));
+        let value = rng.next_u64();
+        a.write(block, value);
+    }
+    a
+}
+
+/// Packs a trial verdict into the deterministic fingerprint code.
+fn outcome_code(class: ModelFaultClass, detected: bool, localized: bool, err: u64) -> u64 {
+    class.id() << 32 | u64::from(detected) << 1 | u64::from(localized) | err << 8
+}
+
+fn error_code(err: Option<IntegrityError>) -> u64 {
+    match err {
+        None => 0,
+        Some(IntegrityError::DataHashMismatch { .. }) => 1,
+        Some(IntegrityError::TreeMismatch { level }) => 2 | u64::from(level) << 4,
+        Some(IntegrityError::RootMismatch) => 3,
+    }
+}
+
+/// Runs one seeded model-fault trial. `level_hint` steers `TreeFlip`
+/// trials so campaigns cover every tree level (it is taken modulo the
+/// victim path length).
+pub fn run_model_trial(
+    class: ModelFaultClass,
+    mem_bytes: u64,
+    level_hint: usize,
+    rng: &mut SmallRng,
+) -> ModelTrialOutcome {
+    let mut a = arena(class, mem_bytes, rng);
+    let (detected, localized, error) = match class {
+        ModelFaultClass::DataFlip => {
+            let b = a.victim(rng);
+            flip_site(&mut a.model, AttackSite::Data(b), rng);
+            let err = a.model.read_block(b).err();
+            let localized =
+                matches!(err, Some(IntegrityError::DataHashMismatch { block }) if block == b);
+            (err.is_some(), localized, err)
+        }
+        ModelFaultClass::HmacFlip => {
+            let b = a.victim(rng);
+            flip_site(&mut a.model, AttackSite::Hmac(b), rng);
+            let err = a.model.read_block(b).err();
+            let localized =
+                matches!(err, Some(IntegrityError::DataHashMismatch { block }) if block == b);
+            (err.is_some(), localized, err)
+        }
+        ModelFaultClass::CounterFlip => {
+            let b = a.victim(rng);
+            let ctr = a.model.layout().counter_block_of(b);
+            flip_site(&mut a.model, AttackSite::CounterBlock(ctr), rng);
+            let err = a.model.read_block(b).err();
+            // A garbled counter surfaces as a failed decryption (HMAC
+            // mismatch) or as a leaf mismatch, depending on check order;
+            // both localize the fault to the counter's own checks.
+            let localized = matches!(
+                err,
+                Some(IntegrityError::DataHashMismatch { .. })
+                    | Some(IntegrityError::TreeMismatch { level: 0 })
+            );
+            (err.is_some(), localized, err)
+        }
+        ModelFaultClass::TreeFlip => {
+            let b = a.victim(rng);
+            let ctr = a.model.layout().counter_block_of(b);
+            let path: Vec<BlockAddr> = a.model.layout().tree_path_of_counter(ctr).collect();
+            let node = path[level_hint % path.len()];
+            let (level, offset) = a.model.layout().tree_position(node);
+            flip_site(
+                &mut a.model,
+                AttackSite::TreeNode {
+                    level: level as u8,
+                    offset,
+                },
+                rng,
+            );
+            let err = a.model.read_block(b).err();
+            // The check walking leaf-to-root must fail at exactly the
+            // tampered level: children below it still match.
+            let localized =
+                matches!(err, Some(IntegrityError::TreeMismatch { level: l }) if l == level as u8);
+            (err.is_some(), localized, err)
+        }
+        ModelFaultClass::Replay => {
+            let b = a.victim(rng);
+            let stale = a.model.snapshot(b);
+            let stale_counters = a.mirror.counters_snapshot();
+            // Legitimate progress the attacker will try to rewind.
+            for _ in 0..rng.gen_range(1u64..=3) {
+                let value = rng.next_u64();
+                a.write(b, value);
+            }
+            // Oracle lockstep: the value-level BMT over the snapshot
+            // counters must differ from the current one — that gap IS
+            // the replay's detectability.
+            let oracle_sees_rollback = a.mirror.root_over(&stale_counters) != a.mirror.root();
+            a.model.replay(b, stale);
+            let err = a.model.read_block(b).err();
+            // A consistent rollback self-verifies at the HMAC; only the
+            // tree/root may expose it. The model verdict must agree with
+            // the oracle's prediction.
+            let localized = matches!(
+                err,
+                Some(IntegrityError::TreeMismatch { .. }) | Some(IntegrityError::RootMismatch)
+            );
+            let agrees = oracle_sees_rollback == err.is_some();
+            (err.is_some() && agrees, localized, err)
+        }
+        ModelFaultClass::OverflowStorm => {
+            let b = a.victim(rng);
+            let stale = a.model.snapshot(b);
+            let stale_counters = a.mirror.counters_snapshot();
+            // Hammer the block until its 7-bit counter overflows and the
+            // page re-encrypts (at most 128 writes), mid-trace.
+            let mut overflowed = false;
+            for _ in 0..200 {
+                let value = rng.next_u64();
+                let outcome = a.model.write_block(b, value);
+                let mirrored = a.mirror.record_write(b);
+                assert_eq!(outcome, mirrored, "storm write outcomes diverged");
+                a.written.push(b);
+                if matches!(outcome, WriteOutcome::PageOverflow { .. }) {
+                    overflowed = true;
+                    break;
+                }
+            }
+            // No false positive: the storm is legitimate traffic, so the
+            // block (and a bystander) must still verify...
+            let clean =
+                a.model.read_block(b).is_ok() && a.mirror.root() == a.mirror.recompute_root();
+            // ...and the storm must not mask a rollback to pre-storm
+            // state, which the oracle also still sees.
+            a.model.replay(b, stale);
+            let err = a.model.read_block(b).err();
+            let oracle_sees_rollback = a.mirror.root_over(&stale_counters) != a.mirror.root();
+            (
+                overflowed && clean && err.is_some() && oracle_sees_rollback,
+                matches!(
+                    err,
+                    Some(IntegrityError::TreeMismatch { .. }) | Some(IntegrityError::RootMismatch)
+                ),
+                err,
+            )
+        }
+    };
+    // Fold one draw of the trial's stream into the code: two seeds that
+    // reach identical verdicts still produce distinct fingerprints.
+    let stream_tag = rng.next_u64();
+    ModelTrialOutcome {
+        class,
+        detected,
+        localized,
+        error,
+        code: outcome_code(class, detected, localized, error_code(error))
+            ^ stream_tag.rotate_left(16),
+    }
+}
+
+/// Flips one random bit of the value stored at `site`.
+fn flip_site(model: &mut SecureMemoryModel, site: AttackSite, rng: &mut SmallRng) {
+    let old = model.site_value(site);
+    let bit = rng.gen_range(0u64..64);
+    model.tamper_site(site, old ^ (1u64 << bit));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: u64 = 1 << 20;
+
+    #[test]
+    fn every_class_detects_and_localizes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for class in ModelFaultClass::ALL {
+            for i in 0..8 {
+                let out = run_model_trial(class, MEM, i, &mut rng);
+                assert!(out.detected, "{}: trial {i} not detected", class.name());
+                assert!(out.localized, "{}: trial {i} mislocalized", class.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tree_flips_cover_and_localize_every_level() {
+        let cfg = SecureConfig::poison_ivy(MEM);
+        let levels = maps_secure::Layout::new(cfg).tree_levels();
+        assert!(levels >= 2, "arena too small to exercise the tree");
+        let mut rng = SmallRng::seed_from_u64(11);
+        for level in 0..levels {
+            let out = run_model_trial(ModelFaultClass::TreeFlip, MEM, level, &mut rng);
+            assert!(out.detected && out.localized, "level {level}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn trials_are_seed_reproducible() {
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            ModelFaultClass::ALL.map(|c| run_model_trial(c, MEM, 1, &mut rng).code)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

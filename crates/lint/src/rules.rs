@@ -7,19 +7,21 @@
 //! | PERF-001  | Every `MetricSink`/`MetaObserver` impl method carries `#[inline]`  |
 //! | SAFE-001  | `unsafe` only when allowlisted and `// SAFETY:`-annotated          |
 //! | PANIC-001 | No `unwrap`/`expect` in library decode/parse paths                 |
+//! | IO-001    | Result files only via the atomic-write helper in `maps-obs`        |
 //! | ALLOW-001 | Allowlist entries must still absorb something (no rot)             |
 //!
 //! `#[cfg(test)]` items and `#[test]` functions are exempt from DET-001,
-//! DET-002, PERF-001, and PANIC-001 (tests may use ad-hoc collections and
-//! panics freely); SAFE-001 applies everywhere, because unsoundness in a
-//! test harness corrupts the evidence the tests produce.
+//! DET-002, PERF-001, PANIC-001, and IO-001 (tests may use ad-hoc
+//! collections, panics, and scratch files freely); SAFE-001 applies
+//! everywhere, because unsoundness in a test harness corrupts the
+//! evidence the tests produce.
 
 use crate::allowlist::Allowlist;
 use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Crates whose iteration order / hashing must be reproducible: their
 /// state feeds replay equivalence and the differential oracle.
-const DET_CRATES: [&str; 7] = [
+const DET_CRATES: [&str; 8] = [
     "sim",
     "cache",
     "secure",
@@ -27,6 +29,7 @@ const DET_CRATES: [&str; 7] = [
     "oracle",
     "trace",
     "workloads",
+    "inject",
 ];
 
 /// Crates allowed to read the wall clock (timers, manifests, harnesses).
@@ -43,12 +46,24 @@ const CLOCK_RNG_IDENTS: [&str; 5] = [
 
 /// Library decode/parse paths that must stay panic-free on malformed
 /// input (PANIC-001). Everything here returns typed errors instead.
-const PANIC_FREE_PATHS: [&str; 4] = [
+const PANIC_FREE_PATHS: [&str; 6] = [
     "crates/sim/src/capture.rs",
+    "crates/sim/src/report.rs",
+    "crates/obs/src/checkpoint.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/manifest.rs",
     "crates/trace/src/io.rs",
 ];
+
+/// Crates whose `src/` publishes result artifacts (TSVs, manifests,
+/// checkpoints): they may only reach the filesystem through the atomic
+/// temp-file + rename funnel (IO-001).
+const IO_FUNNEL_CRATES: [&str; 2] = ["bench", "obs"];
+
+/// The one file allowed to open output files directly: the atomic-write
+/// helper *is* the funnel. Hard-exempted here (not via lint.allow, which
+/// would rot into an ALLOW-001 stale entry whenever the helper is clean).
+const IO_FUNNEL_HELPER: &str = "crates/obs/src/atomic.rs";
 
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
 const SAFETY_COMMENT_REACH: u32 = 3;
@@ -92,6 +107,7 @@ pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> 
     perf_001(&ctx, allow, &mut diags);
     safe_001(&ctx, allow, &mut diags);
     panic_001(&ctx, allow, &mut diags);
+    io_001(&ctx, allow, &mut diags);
     diags
 }
 
@@ -376,6 +392,52 @@ fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// IO-001: raw output-file writes in result-publishing crates.
+///
+/// Flags `File::create` and `fs::write` token sequences in
+/// `crates/bench/src` and `crates/obs/src`, the crates that publish
+/// results (TSVs, manifests, checkpoints). Everything there must go
+/// through `maps_obs::write_atomic` so a crash or injected fault can
+/// never leave a torn result file for a reader — or a resumed run — to
+/// trust. The helper file itself is hard-exempt.
+fn io_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+    if ctx.path == IO_FUNNEL_HELPER
+        || !ctx.in_crate_src()
+        || !ctx
+            .crate_name()
+            .is_some_and(|c| IO_FUNNEL_CRATES.contains(&c))
+    {
+        return;
+    }
+    for i in 0..ctx.toks.len().saturating_sub(3) {
+        let raw_create = ctx.ident_at(i, "File")
+            && ctx.punct_at(i + 1, ':')
+            && ctx.punct_at(i + 2, ':')
+            && ctx.ident_at(i + 3, "create");
+        let raw_write = ctx.ident_at(i, "fs")
+            && ctx.punct_at(i + 1, ':')
+            && ctx.punct_at(i + 2, ':')
+            && ctx.ident_at(i + 3, "write");
+        if (raw_create || raw_write) && !ctx.in_test(i) && !allow.absorb("IO-001", ctx.path) {
+            out.push(Diagnostic {
+                rule: "IO-001",
+                file: ctx.path.to_string(),
+                line: ctx.toks[i].line,
+                message: format!(
+                    "raw `{}` in a result-publishing crate: route the write through \
+                     `maps_obs::write_atomic` (temp file + rename) so a crash or injected \
+                     fault can never leave a torn result file",
+                    if raw_create {
+                        "File::create"
+                    } else {
+                        "fs::write"
+                    }
+                ),
+            });
+        }
+    }
+}
+
 /// Finds token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
 fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
@@ -569,5 +631,46 @@ mod tests {
         assert_eq!(d.len(), 2, "{d:?}");
         // Same file under a non-decode path: out of scope.
         assert!(diags("crates/obs/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn io_rule_flags_raw_output_writes_in_result_crates() {
+        let create = "fn f() { let _ = std::fs::File::create(\"out.tsv\"); }\n";
+        let write = "fn f() { std::fs::write(\"out.tsv\", b\"x\").ok(); }\n";
+        for src in [create, write] {
+            let d = diags("crates/bench/src/x.rs", src);
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert_eq!(d[0].rule, "IO-001");
+            assert!(d[0].message.contains("write_atomic"));
+            assert_eq!(diags("crates/obs/src/x.rs", src).len(), 1);
+        }
+    }
+
+    #[test]
+    fn io_rule_exempts_the_funnel_helper_and_other_crates() {
+        let src = "fn f() { let _ = std::fs::File::create(\"out.tsv\"); }\n";
+        assert!(diags("crates/obs/src/atomic.rs", src).is_empty());
+        // Out of scope: non-publishing crates, tests, binaries' test dirs.
+        assert!(diags("crates/sim/src/x.rs", src).is_empty());
+        assert!(diags("crates/bench/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn io_rule_exempts_cfg_test_items() {
+        let src = "
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                fn t() { let _ = std::fs::File::create(\"scratch\"); }
+            }
+        ";
+        assert!(diags("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn io_rule_is_absorbable_via_allowlist() {
+        let src = "fn f() { let _ = std::fs::File::create(\"out.tsv\"); }\n";
+        let allow = Allowlist::parse("IO-001 crates/bench/src/x.rs # legacy\n").unwrap();
+        assert!(lint_source("crates/bench/src/x.rs", src, &allow).is_empty());
     }
 }

@@ -137,6 +137,25 @@ fn panic001_only_applies_to_decode_paths() {
 }
 
 #[test]
+fn io001_fixture_flags_exactly_the_documented_lines() {
+    let d = lint_source(
+        "crates/bench/src/fixture.rs",
+        &fixture("io001.rs"),
+        &Allowlist::empty(),
+    );
+    assert_eq!(shape(&d), vec![("IO-001", 7), ("IO-001", 8)], "{d:#?}");
+    assert!(d[0].message.contains("write_atomic"));
+}
+
+#[test]
+fn io001_exempts_the_funnel_helper_and_nonpublishing_crates() {
+    for path in ["crates/obs/src/atomic.rs", "crates/sim/src/fixture.rs"] {
+        let d = lint_source(path, &fixture("io001.rs"), &Allowlist::empty());
+        assert!(d.is_empty(), "{path}: {d:#?}");
+    }
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     let d = lint_source(
         "crates/sim/src/fixture.rs",

@@ -100,6 +100,18 @@ impl EnergyDelay {
         sink.gauge_set(&format!("{prefix}.total_pj"), self.total_pj());
     }
 
+    /// Rebuilds an accumulator from its raw parts — the inverse of the
+    /// field accessors. Exists for serialization (the sweep checkpoint
+    /// codec); normal accumulation goes through the `add_*` methods.
+    pub const fn from_parts(cycles: u64, dram_pj: f64, sram_pj: f64, static_pj: f64) -> Self {
+        EnergyDelay {
+            cycles,
+            dram_pj,
+            sram_pj,
+            static_pj,
+        }
+    }
+
     /// Sums two accumulators (disjoint execution windows).
     pub fn combine(&self, other: &EnergyDelay) -> EnergyDelay {
         EnergyDelay {

@@ -1,0 +1,125 @@
+//! Atomic result-file writes: temp file in the target directory + rename.
+//!
+//! Every result artifact the workspace emits — TSV tables, run manifests,
+//! sweep checkpoints, serialized captures — goes through [`write_atomic`].
+//! A reader (or a re-invocation after a crash) therefore sees either the
+//! previous complete file or the new complete file, never a torn prefix:
+//! the bytes are staged in a sibling temp file, flushed, and published
+//! with a single `rename`, which POSIX guarantees to be atomic within a
+//! filesystem.
+//!
+//! The `maps-lint` IO-001 rule enforces the funnel: raw `File::create` /
+//! `fs::write` calls under the `maps-bench`/`maps-obs` output paths fail
+//! the gate, so a torn-write regression cannot slip back in.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes temp files of concurrent writers within one process
+/// (cross-process collisions are already separated by the pid).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Sibling temp path for `path`: same directory (rename must not cross a
+/// filesystem), name extended with a pid+sequence suffix.
+fn tmp_path(path: &Path) -> PathBuf {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let file = path.file_name().map(|f| f.to_string_lossy().into_owned());
+    let tmp = format!(
+        "{}.tmp.{}.{}",
+        file.unwrap_or_else(|| "out".to_string()),
+        std::process::id(),
+        seq
+    );
+    path.with_file_name(tmp)
+}
+
+/// Writes `bytes` to `path` atomically: parent directories are created,
+/// the bytes are staged in a sibling temp file, synced, and renamed over
+/// `path`. On any failure the temp file is removed (best effort) and the
+/// destination keeps its previous contents.
+///
+/// # Errors
+///
+/// Any I/O failure from directory creation, staging, sync, or the final
+/// rename. The destination is never left truncated or half-written.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let staged = stage(&tmp, bytes);
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Creates the temp file, writes every byte, and syncs it to disk.
+fn stage(tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = std::fs::File::create(tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("maps-obs-atomic-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_bytes_and_creates_parents() {
+        let dir = scratch("parents");
+        let path = dir.join("a").join("b").join("out.tsv");
+        write_atomic(&path, b"row\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"row\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrites_previous_contents_completely() {
+        let dir = scratch("overwrite");
+        let path = dir.join("out.tsv");
+        write_atomic(&path, b"old contents, quite long\n").unwrap();
+        write_atomic(&path, b"new\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch("tmpfiles");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{}").unwrap();
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.json".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_is_a_typed_error_and_preserves_destination() {
+        let dir = scratch("fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not-a-dir");
+        std::fs::write(&blocker, b"file").unwrap();
+        // Parent "directory" is a regular file: creation must fail with a
+        // typed io::Error, not a panic, and must not disturb the blocker.
+        let path = blocker.join("out.tsv");
+        assert!(write_atomic(&path, b"x").is_err());
+        assert_eq!(std::fs::read(&blocker).unwrap(), b"file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

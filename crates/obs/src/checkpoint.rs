@@ -1,0 +1,345 @@
+//! Schema-versioned sweep checkpoints.
+//!
+//! A long sweep records every finished point here so a killed run can be
+//! re-invoked and resume where it stopped instead of recomputing the whole
+//! figure. The format is deliberately boring: one JSON object mapping a
+//! stable point key (chosen by the sweep harness) to that point's result,
+//! plus a schema version and a *fingerprint* of the run identity (binary
+//! name, parameters, configuration). A checkpoint whose fingerprint does
+//! not match the resuming run is stale — different seed, access count, or
+//! config — and must be discarded, never partially reused.
+//!
+//! Saves go through [`crate::atomic::write_atomic`], so a crash mid-save
+//! leaves the previous complete checkpoint, and point keys are kept
+//! sorted, so saving is deterministic byte-for-byte.
+
+use std::io;
+use std::path::Path;
+
+use crate::atomic::write_atomic;
+use crate::json::{Json, JsonParseError};
+
+/// Current checkpoint schema version. Bump on any breaking field change.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Value of the `kind` field marking a file as a sweep checkpoint.
+const CHECKPOINT_KIND: &str = "maps-checkpoint";
+
+/// Why a checkpoint file could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading the file failed (other than it not existing).
+    Io(io::Error),
+    /// The file is not valid JSON.
+    Parse(JsonParseError),
+    /// The JSON is not a checkpoint this code understands.
+    Schema(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "reading checkpoint: {e}"),
+            CheckpointError::Parse(e) => write!(f, "parsing checkpoint: {e}"),
+            CheckpointError::Schema(what) => write!(f, "invalid checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Parse(e) => Some(e),
+            CheckpointError::Schema(_) => None,
+        }
+    }
+}
+
+/// Finished sweep points of one run, keyed by stable point identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    name: String,
+    fingerprint: u64,
+    /// `(key, result)` pairs, kept sorted by key.
+    points: Vec<(String, Json)>,
+}
+
+impl Checkpoint {
+    /// Starts an empty checkpoint for the named run with the given
+    /// identity fingerprint (see [`fingerprint64`]).
+    pub fn new(name: &str, fingerprint: u64) -> Self {
+        Checkpoint {
+            name: name.to_string(),
+            fingerprint,
+            points: Vec::new(),
+        }
+    }
+
+    /// The run name the checkpoint belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The run-identity fingerprint recorded at creation.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of finished points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored result for a point key, if that point finished.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.points
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.points[i].1)
+    }
+
+    /// Records (or replaces) a finished point's result.
+    pub fn insert(&mut self, key: &str, value: Json) {
+        match self.points.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(i) => self.points[i].1 = value,
+            Err(i) => self.points.insert(i, (key.to_string(), value)),
+        }
+    }
+
+    /// Assembles the checkpoint document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::UInt(CHECKPOINT_SCHEMA_VERSION),
+            ),
+            ("kind".to_string(), Json::Str(CHECKPOINT_KIND.to_string())),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("fingerprint".to_string(), Json::UInt(self.fingerprint)),
+            ("points".to_string(), Json::Obj(self.points.clone())),
+        ])
+    }
+
+    /// Reconstructs a checkpoint from a parsed document.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Schema`] when any required field is missing,
+    /// mistyped, or carries an unsupported schema version.
+    pub fn from_json(doc: &Json) -> Result<Self, CheckpointError> {
+        let schema = |what: &str| CheckpointError::Schema(what.to_string());
+        if !doc.is_obj() {
+            return Err(schema("root is not an object"));
+        }
+        match doc.get("schema_version").and_then(Json::as_u64) {
+            Some(v) if v == CHECKPOINT_SCHEMA_VERSION => {}
+            Some(v) => {
+                return Err(CheckpointError::Schema(format!(
+                    "unsupported schema_version {v} (expected {CHECKPOINT_SCHEMA_VERSION})"
+                )))
+            }
+            None => return Err(schema("missing or non-integer schema_version")),
+        }
+        if doc.get("kind").and_then(Json::as_str) != Some(CHECKPOINT_KIND) {
+            return Err(schema("missing or wrong kind marker"));
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("missing or non-string name"))?
+            .to_string();
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema("missing or non-integer fingerprint"))?;
+        let mut points = match doc.get("points") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => return Err(schema("missing or non-object points")),
+        };
+        points.sort_by(|(a, _), (b, _)| a.cmp(b));
+        if points.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(schema("duplicate point key"));
+        }
+        Ok(Checkpoint {
+            name,
+            fingerprint,
+            points,
+        })
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O failure; the previous checkpoint file, if any,
+    /// is preserved intact in that case.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.to_json().to_pretty().as_bytes())
+    }
+
+    /// Loads a checkpoint if one exists: `Ok(None)` when the file is
+    /// absent (fresh run), `Ok(Some(_))` on success.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures other than absence, malformed JSON, and schema
+    /// mismatches — the caller decides whether to discard and start fresh.
+    pub fn load(path: &Path) -> Result<Option<Self>, CheckpointError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CheckpointError::Io(e)),
+        };
+        let doc = Json::parse(&text).map_err(CheckpointError::Parse)?;
+        Ok(Some(Self::from_json(&doc)?))
+    }
+}
+
+/// 64-bit fingerprint of a run-identity string (SplitMix64 finalizer
+/// folded over the bytes). Stable across processes and platforms; used to
+/// tie a checkpoint to the exact run parameters that produced it.
+pub fn fingerprint64(text: &str) -> u64 {
+    let mut acc = 0x4D41_5053_C5EC_4B01u64; // "MAPS" + odd tail
+    for &b in text.as_bytes() {
+        acc = mix64(acc ^ u64::from(b));
+    }
+    mix64(acc ^ text.len() as u64)
+}
+
+/// SplitMix64 finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new("fig2", fingerprint64("fig2|seed=1"));
+        c.insert("sweep/llc=1m,mdc=64k", Json::UInt(42));
+        c.insert("baselines/gups", Json::Obj(vec![]));
+        c
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let c = sample();
+        let doc = Json::parse(&c.to_json().to_pretty()).unwrap();
+        assert_eq!(Checkpoint::from_json(&doc).unwrap(), c);
+    }
+
+    #[test]
+    fn keys_stay_sorted_and_lookups_work() {
+        let c = sample();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("sweep/llc=1m,mdc=64k"), Some(&Json::UInt(42)));
+        assert_eq!(c.get("missing"), None);
+        let keys: Vec<_> = match c.to_json().get("points") {
+            Some(Json::Obj(pairs)) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            _ => panic!("points must be an object"),
+        };
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut c = sample();
+        c.insert("baselines/gups", Json::UInt(7));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("baselines/gups"), Some(&Json::UInt(7)));
+    }
+
+    #[test]
+    fn save_load_round_trips_and_missing_is_none() {
+        let dir = std::env::temp_dir().join(format!("maps-obs-ckpt-{}", std::process::id()));
+        let path = dir.join("fig2.ckpt");
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+        let c = sample();
+        c.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), Some(c));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        // Same logical contents, different insertion order.
+        let mut a = Checkpoint::new("x", 9);
+        a.insert("b", Json::UInt(2));
+        a.insert("a", Json::UInt(1));
+        let mut b = Checkpoint::new("x", 9);
+        b.insert("a", Json::UInt(1));
+        b.insert("b", Json::UInt(2));
+        assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty());
+    }
+
+    #[test]
+    fn schema_violations_are_typed_errors() {
+        for (doc, expect) in [
+            (Json::Arr(vec![]), "not an object"),
+            (Json::Obj(vec![]), "schema_version"),
+            (
+                Json::Obj(vec![("schema_version".into(), Json::UInt(99))]),
+                "unsupported",
+            ),
+            (
+                Json::Obj(vec![
+                    (
+                        "schema_version".into(),
+                        Json::UInt(CHECKPOINT_SCHEMA_VERSION),
+                    ),
+                    ("kind".into(), Json::Str("something-else".into())),
+                ]),
+                "kind",
+            ),
+        ] {
+            match Checkpoint::from_json(&doc) {
+                Err(CheckpointError::Schema(msg)) => {
+                    assert!(msg.contains(expect), "{msg:?} vs {expect:?}")
+                }
+                other => panic!("expected schema error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_point_keys_are_rejected() {
+        let doc = Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::UInt(CHECKPOINT_SCHEMA_VERSION),
+            ),
+            ("kind".into(), Json::Str(CHECKPOINT_KIND.into())),
+            ("name".into(), Json::Str("x".into())),
+            ("fingerprint".into(), Json::UInt(1)),
+            (
+                "points".into(),
+                Json::Obj(vec![
+                    ("k".into(), Json::UInt(1)),
+                    ("k".into(), Json::UInt(2)),
+                ]),
+            ),
+        ]);
+        assert!(matches!(
+            Checkpoint::from_json(&doc),
+            Err(CheckpointError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprints_separate_runs() {
+        assert_ne!(fingerprint64("fig2|seed=1"), fingerprint64("fig2|seed=2"));
+        assert_eq!(fingerprint64("same"), fingerprint64("same"));
+    }
+}

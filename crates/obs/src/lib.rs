@@ -22,6 +22,9 @@
 //! * [`Json`] / [`Manifest`] — a dependency-free JSON value type (writer
 //!   *and* parser) and the schema-versioned run manifest every
 //!   `maps-bench` binary emits.
+//! * [`write_atomic`] / [`Checkpoint`] — crash-safe result publication
+//!   (temp file + rename) and the schema-versioned sweep checkpoint that
+//!   lets an interrupted figure run resume bit-identically.
 //!
 //! Nothing in this crate feeds back into simulation state, so instrumented
 //! runs are bit-identical to bare runs by construction.
@@ -44,6 +47,8 @@
 //! hot_loop(&mut maps_obs::NullSink); // compiles to an empty loop
 //! ```
 
+pub mod atomic;
+pub mod checkpoint;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -51,6 +56,8 @@ pub mod ring;
 pub mod sink;
 pub mod timer;
 
+pub use atomic::write_atomic;
+pub use checkpoint::{fingerprint64, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
 pub use json::{Json, JsonParseError};
 pub use manifest::{git_describe, validate_manifest, Manifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{Histogram, Metrics};

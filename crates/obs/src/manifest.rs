@@ -66,6 +66,11 @@ impl Manifest {
         }
     }
 
+    /// The run name this manifest was opened with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Sets the total wall-clock duration of the run.
     pub fn set_wall(&mut self, wall: Duration) -> &mut Self {
         self.wall = wall;
@@ -132,14 +137,38 @@ impl Manifest {
         ])
     }
 
-    /// Writes the manifest to `path`, creating parent directories.
-    pub fn write_to(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
+    /// Zeroes every volatile (wall-clock) field so two runs of the same
+    /// work compare byte-identical: creation time, total wall seconds,
+    /// and per-phase seconds. Phase paths and entry counts are kept —
+    /// they are deterministic and meaningful. Used by the
+    /// `MAPS_DETERMINISTIC` mode that the kill/resume equivalence tests
+    /// rely on.
+    pub fn strip_volatile(&mut self) -> &mut Self {
+        self.created_unix = 0;
+        self.wall = Duration::ZERO;
+        for (_, secs, _) in &mut self.phases {
+            *secs = 0.0;
         }
-        std::fs::write(path, self.to_json().to_pretty())
+        self
+    }
+
+    /// A stable string identifying *what* this run computes — name,
+    /// parameters, and configuration, excluding every volatile field.
+    /// Checkpoints fingerprint this string so a resume with different
+    /// parameters discards stale points instead of mixing them in.
+    pub fn identity(&self) -> String {
+        let doc = Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("params".to_string(), Json::Obj(self.params.clone())),
+            ("config".to_string(), self.config.clone()),
+        ]);
+        doc.to_pretty()
+    }
+
+    /// Writes the manifest to `path` atomically (temp file + rename),
+    /// creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        crate::atomic::write_atomic(path, self.to_json().to_pretty().as_bytes())
     }
 }
 

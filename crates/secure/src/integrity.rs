@@ -76,6 +76,43 @@ impl fmt::Display for IntegrityError {
 
 impl std::error::Error for IntegrityError {}
 
+/// One attacker-addressable word of stored secure-memory state.
+///
+/// Everything in DRAM is fair game for a physical attacker: the data
+/// itself, the per-block HMACs, the counter blocks, and every integrity
+/// tree node below the root. The on-chip root and the key are *not*
+/// sites — that is the trust boundary the mechanism is built on.
+/// [`SecureMemoryModel::attack_sites`] enumerates the written sites so
+/// fault campaigns can cover the whole surface mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttackSite {
+    /// The stored data fingerprint of a data block.
+    Data(BlockAddr),
+    /// The stored per-block HMAC of a data block.
+    Hmac(BlockAddr),
+    /// The stored fingerprint of a counter block (addressed by the
+    /// counter block itself, not a data block it covers).
+    CounterBlock(BlockAddr),
+    /// A stored integrity-tree node hash.
+    TreeNode {
+        /// Level of the node (0 = leaf).
+        level: u8,
+        /// Offset of the node within its level.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for AttackSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackSite::Data(b) => write!(f, "data[{}]", b.index()),
+            AttackSite::Hmac(b) => write!(f, "hmac[{}]", b.index()),
+            AttackSite::CounterBlock(b) => write!(f, "ctr[{}]", b.index()),
+            AttackSite::TreeNode { level, offset } => write!(f, "tree[{level}:{offset}]"),
+        }
+    }
+}
+
 /// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
 fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -155,8 +192,10 @@ impl SecureMemoryModel {
 
     /// Writes a value to a data block: increments the counter, recomputes
     /// the HMAC, and updates the tree path up to the on-chip root.
-    pub fn write_block(&mut self, block: BlockAddr, value: u64) {
-        self.counters.record_write(block);
+    /// Returns the counter outcome so callers can observe overflows
+    /// (page re-encryptions) as they happen.
+    pub fn write_block(&mut self, block: BlockAddr, value: u64) -> crate::WriteOutcome {
+        let outcome = self.counters.record_write(block);
         self.data.insert(block.index(), value);
         // The HMAC binds the data to the counter state *as stored in
         // memory*, so a consistent rollback of (data, HMAC, counter block)
@@ -166,6 +205,7 @@ impl SecureMemoryModel {
         let h = self.data_hmac(block, value);
         self.hmacs.insert(block.index(), h);
         self.update_tree_path(block);
+        outcome
     }
 
     /// Reads a data block, verifying the data HMAC, the counter's tree
@@ -194,6 +234,71 @@ impl SecureMemoryModel {
     /// Attacker: overwrite stored data without updating any hash.
     pub fn tamper_data(&mut self, block: BlockAddr, value: u64) {
         self.data.insert(block.index(), value);
+    }
+
+    /// Attacker: overwrite a stored per-block HMAC without touching the
+    /// data it authenticates.
+    pub fn tamper_hmac(&mut self, block: BlockAddr, value: u64) {
+        self.hmacs.insert(block.index(), value);
+    }
+
+    /// Every attacker-addressable site holding *written* state, sorted so
+    /// campaigns enumerate the surface deterministically. (Never-written
+    /// sites hold derivable defaults; flipping those is covered by
+    /// writing first, which every campaign does.)
+    pub fn attack_sites(&self) -> Vec<AttackSite> {
+        let mut sites = Vec::new();
+        for &idx in self.data.keys() {
+            sites.push(AttackSite::Data(BlockAddr::new(idx)));
+        }
+        for &idx in self.hmacs.keys() {
+            sites.push(AttackSite::Hmac(BlockAddr::new(idx)));
+        }
+        for &idx in self.counter_fingerprints.keys() {
+            sites.push(AttackSite::CounterBlock(BlockAddr::new(idx)));
+        }
+        for &(level, offset) in self.tree.keys() {
+            sites.push(AttackSite::TreeNode { level, offset });
+        }
+        sites.sort();
+        sites
+    }
+
+    /// The value currently stored at an attacker-addressable site
+    /// (including the derivable default for never-written sites).
+    pub fn site_value(&self, site: AttackSite) -> u64 {
+        match site {
+            AttackSite::Data(b) => self.data.get(&b.index()).copied().unwrap_or(0),
+            AttackSite::Hmac(b) => self
+                .hmacs
+                .get(&b.index())
+                .copied()
+                .unwrap_or_else(|| self.data_hmac(b, 0)),
+            AttackSite::CounterBlock(b) => self.stored_counter_fingerprint(b),
+            AttackSite::TreeNode { level, offset } => self.stored_tree_hash(level, offset),
+        }
+    }
+
+    /// Attacker: overwrite the value stored at any addressable site.
+    /// `TreeNode` sites follow [`SecureMemoryModel::tamper_tree_node`]
+    /// semantics (panics on a nonexistent level); the other variants
+    /// accept any block address, like their dedicated entry points.
+    pub fn tamper_site(&mut self, site: AttackSite, value: u64) {
+        match site {
+            AttackSite::Data(b) => self.tamper_data(b, value),
+            AttackSite::Hmac(b) => self.tamper_hmac(b, value),
+            AttackSite::CounterBlock(b) => {
+                self.counter_fingerprints.insert(b.index(), value);
+            }
+            AttackSite::TreeNode { level, offset } => self.tamper_tree_node(level, offset, value),
+        }
+    }
+
+    /// The trusted counter state behind the model (read-only), so fault
+    /// campaigns can mirror writes into the value-level oracle and drive
+    /// overflow storms against both in lockstep.
+    pub fn counters(&self) -> &CounterStore {
+        &self.counters
     }
 
     /// Attacker: overwrite the stored counter-block fingerprint (e.g.
@@ -561,6 +666,68 @@ mod tests {
         assert_eq!(m.read_block(b).unwrap(), 77);
         m.tamper_data(b, 78);
         assert!(m.read_block(b).is_err());
+    }
+
+    #[test]
+    fn attack_sites_cover_the_written_surface() {
+        let mut m = model();
+        let b = BlockAddr::new(9);
+        m.write_block(b, 1);
+        let sites = m.attack_sites();
+        assert!(sites.contains(&AttackSite::Data(b)));
+        assert!(sites.contains(&AttackSite::Hmac(b)));
+        let ctr = m.layout().counter_block_of(b);
+        assert!(sites.contains(&AttackSite::CounterBlock(ctr)));
+        // The whole tree path above the counter is addressable.
+        let path_len = m.layout().tree_path_of_counter(ctr).count();
+        let tree_sites = sites
+            .iter()
+            .filter(|s| matches!(s, AttackSite::TreeNode { .. }))
+            .count();
+        assert_eq!(tree_sites, path_len);
+        // Enumeration is deterministic and sorted.
+        assert_eq!(sites, m.attack_sites());
+        let mut sorted = sites.clone();
+        sorted.sort();
+        assert_eq!(sites, sorted);
+    }
+
+    #[test]
+    fn every_site_flip_is_detected_on_the_blocks_own_read() {
+        let mut m = model();
+        let b = BlockAddr::new(9);
+        m.write_block(b, 1);
+        for site in m.attack_sites() {
+            let mut victim = m.clone();
+            let old = victim.site_value(site);
+            victim.tamper_site(site, old ^ 1);
+            assert_ne!(victim.site_value(site), old, "{site}: flip must stick");
+            assert!(
+                victim.read_block(b).is_err(),
+                "{site}: single-bit flip must fail verification"
+            );
+        }
+    }
+
+    #[test]
+    fn hmac_tampering_is_detected() {
+        let mut m = model();
+        let b = BlockAddr::new(5);
+        m.write_block(b, 10);
+        let old = m.site_value(AttackSite::Hmac(b));
+        m.tamper_hmac(b, old ^ (1 << 40));
+        assert_eq!(
+            m.read_block(b),
+            Err(IntegrityError::DataHashMismatch { block: b })
+        );
+    }
+
+    #[test]
+    fn write_block_reports_counter_outcome() {
+        let mut m = model();
+        let b = BlockAddr::new(2);
+        assert_eq!(m.write_block(b, 1), crate::WriteOutcome::Incremented);
+        assert_eq!(m.counters().writes(), 1);
     }
 
     #[test]

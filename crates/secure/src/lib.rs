@@ -38,5 +38,5 @@ pub mod spec;
 
 pub use config::{CounterMode, SecureConfig};
 pub use counters::{CounterStore, IndexHasher, WriteOutcome};
-pub use integrity::{IntegrityError, SecureMemoryModel};
+pub use integrity::{AttackSite, IntegrityError, SecureMemoryModel};
 pub use layout::Layout;

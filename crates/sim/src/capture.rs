@@ -445,9 +445,11 @@ impl CapturedTrace {
         })
     }
 
-    /// Writes the serialized capture to `path`.
+    /// Writes the serialized capture to `path` atomically (temp file +
+    /// rename), so a crash mid-save never leaves a torn capture that a
+    /// later run would reject — or worse, misread.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        maps_obs::write_atomic(path, &self.to_bytes())
     }
 
     /// Loads a capture from `path`, distinguishing I/O failures from

@@ -1,12 +1,130 @@
-//! Simulation reports.
+//! Simulation reports, including the bit-exact JSON codec the sweep
+//! checkpoints use.
+//!
+//! The codec round-trips every field exactly: `u64` counters map to JSON
+//! integers (the [`Json`] writer keeps full 64-bit precision), and every
+//! `f64` energy term is stored as its raw IEEE-754 bit pattern in an
+//! unsigned field (`*_bits`), sidestepping decimal formatting entirely.
+//! That is what lets a resumed sweep re-emit TSV rows byte-identical to
+//! an uninterrupted run.
 
 use std::fmt;
 
-use maps_mem::EnergyDelay;
+use maps_cache::{CacheStats, KindStats};
+use maps_mem::{DramCounters, EnergyDelay};
+use maps_obs::Json;
 use maps_trace::MetaGroup;
 
 use crate::engine::EngineStats;
 use crate::hierarchy::HierarchyStats;
+
+/// Schema version of the serialized report. Bump on any field change.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Why a serialized report could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportCodecError {
+    /// A required field is missing, mistyped, or the schema version is
+    /// unsupported. Carries a human-readable description.
+    Schema(String),
+}
+
+impl fmt::Display for ReportCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportCodecError::Schema(what) => write!(f, "invalid serialized report: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportCodecError {}
+
+fn schema(what: &str) -> ReportCodecError {
+    ReportCodecError::Schema(what.to_string())
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, ReportCodecError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ReportCodecError::Schema(format!("missing or non-integer field '{key}'")))
+}
+
+/// Reads an f64 stored as its raw bit pattern (`u64`).
+fn get_f64_bits(doc: &Json, key: &str) -> Result<f64, ReportCodecError> {
+    get_u64(doc, key).map(f64::from_bits)
+}
+
+fn get_obj<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, ReportCodecError> {
+    match doc.get(key) {
+        Some(v) if v.is_obj() => Ok(v),
+        _ => Err(ReportCodecError::Schema(format!(
+            "missing or non-object field '{key}'"
+        ))),
+    }
+}
+
+fn dram_to_json(d: &DramCounters) -> Json {
+    Json::Obj(vec![
+        ("reads".to_string(), Json::UInt(d.reads)),
+        ("writes".to_string(), Json::UInt(d.writes)),
+    ])
+}
+
+fn dram_from_json(doc: &Json) -> Result<DramCounters, ReportCodecError> {
+    Ok(DramCounters {
+        reads: get_u64(doc, "reads")?,
+        writes: get_u64(doc, "writes")?,
+    })
+}
+
+fn cache_stats_to_json(s: &CacheStats) -> Json {
+    let buckets = s
+        .buckets()
+        .iter()
+        .map(|b| {
+            Json::Arr(vec![
+                Json::UInt(b.accesses),
+                Json::UInt(b.hits),
+                Json::UInt(b.misses),
+                Json::UInt(b.evictions),
+                Json::UInt(b.writebacks),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("buckets".to_string(), Json::Arr(buckets))])
+}
+
+fn cache_stats_from_json(doc: &Json) -> Result<CacheStats, ReportCodecError> {
+    let Some(Json::Arr(rows)) = doc.get("buckets") else {
+        return Err(schema("missing or non-array 'buckets'"));
+    };
+    if rows.len() != 4 {
+        return Err(schema("'buckets' must hold exactly 4 kinds"));
+    }
+    let mut buckets = [KindStats::default(); 4];
+    for (out, row) in buckets.iter_mut().zip(rows) {
+        let Json::Arr(fields) = row else {
+            return Err(schema("bucket row is not an array"));
+        };
+        let mut vals = [0u64; 5];
+        if fields.len() != vals.len() {
+            return Err(schema("bucket row must hold exactly 5 counters"));
+        }
+        for (v, field) in vals.iter_mut().zip(fields) {
+            *v = field
+                .as_u64()
+                .ok_or_else(|| schema("bucket counter is not an unsigned integer"))?;
+        }
+        *out = KindStats {
+            accesses: vals[0],
+            hits: vals[1],
+            misses: vals[2],
+            evictions: vals[3],
+            writebacks: vals[4],
+        };
+    }
+    Ok(CacheStats::from_buckets(buckets))
+}
 
 /// Results of one simulation run (post-warm-up window).
 ///
@@ -78,6 +196,138 @@ impl SimReport {
         } else {
             t.hits as f64 / t.accesses as f64
         }
+    }
+
+    /// Serializes the report for checkpointing. Exact: integers keep all
+    /// 64 bits and floats are stored as raw bit patterns, so
+    /// `from_json(to_json(r)) == r` bitwise.
+    pub fn to_json(&self) -> Json {
+        let h = &self.hierarchy;
+        let hierarchy = Json::Obj(vec![
+            ("accesses".to_string(), Json::UInt(h.accesses)),
+            ("instructions".to_string(), Json::UInt(h.instructions)),
+            ("l1_misses".to_string(), Json::UInt(h.l1_misses)),
+            ("l2_misses".to_string(), Json::UInt(h.l2_misses)),
+            (
+                "llc_demand_misses".to_string(),
+                Json::UInt(h.llc_demand_misses),
+            ),
+            ("llc_writebacks".to_string(), Json::UInt(h.llc_writebacks)),
+        ]);
+        let e = &self.engine;
+        let engine = Json::Obj(vec![
+            ("meta".to_string(), cache_stats_to_json(&e.meta)),
+            ("dram_data".to_string(), dram_to_json(&e.dram_data)),
+            ("dram_meta".to_string(), dram_to_json(&e.dram_meta)),
+            ("tree_walks".to_string(), Json::UInt(e.tree_walks)),
+            (
+                "tree_walk_level_misses".to_string(),
+                Json::UInt(e.tree_walk_level_misses),
+            ),
+            ("page_overflows".to_string(), Json::UInt(e.page_overflows)),
+            (
+                "partial_fill_reads".to_string(),
+                Json::UInt(e.partial_fill_reads),
+            ),
+            ("stall_cycles".to_string(), Json::UInt(e.stall_cycles)),
+            ("reads".to_string(), Json::UInt(e.reads)),
+            ("writes".to_string(), Json::UInt(e.writes)),
+            (
+                "max_cascade_depth".to_string(),
+                Json::UInt(e.max_cascade_depth),
+            ),
+        ]);
+        let energy = Json::Obj(vec![
+            ("cycles".to_string(), Json::UInt(self.energy.cycles())),
+            (
+                "dram_pj_bits".to_string(),
+                Json::UInt(self.energy.dram_pj().to_bits()),
+            ),
+            (
+                "sram_pj_bits".to_string(),
+                Json::UInt(self.energy.sram_pj().to_bits()),
+            ),
+            (
+                "static_pj_bits".to_string(),
+                Json::UInt(self.energy.static_pj().to_bits()),
+            ),
+        ]);
+        Json::Obj(vec![
+            (
+                "schema_version".to_string(),
+                Json::UInt(REPORT_SCHEMA_VERSION),
+            ),
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            ("instructions".to_string(), Json::UInt(self.instructions)),
+            ("cycles".to_string(), Json::UInt(self.cycles)),
+            ("hierarchy".to_string(), hierarchy),
+            ("engine".to_string(), engine),
+            ("energy".to_string(), energy),
+        ])
+    }
+
+    /// Decodes a report serialized by [`SimReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReportCodecError::Schema`] when any field is missing, mistyped,
+    /// or the schema version is unsupported — a corrupt or stale
+    /// checkpoint entry is rejected, never misread into wrong figures.
+    pub fn from_json(doc: &Json) -> Result<Self, ReportCodecError> {
+        if !doc.is_obj() {
+            return Err(schema("root is not an object"));
+        }
+        match get_u64(doc, "schema_version")? {
+            REPORT_SCHEMA_VERSION => {}
+            v => {
+                return Err(ReportCodecError::Schema(format!(
+                    "unsupported schema_version {v} (expected {REPORT_SCHEMA_VERSION})"
+                )))
+            }
+        }
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("missing or non-string 'workload'"))?
+            .to_string();
+        let h = get_obj(doc, "hierarchy")?;
+        let hierarchy = HierarchyStats {
+            accesses: get_u64(h, "accesses")?,
+            instructions: get_u64(h, "instructions")?,
+            l1_misses: get_u64(h, "l1_misses")?,
+            l2_misses: get_u64(h, "l2_misses")?,
+            llc_demand_misses: get_u64(h, "llc_demand_misses")?,
+            llc_writebacks: get_u64(h, "llc_writebacks")?,
+        };
+        let e = get_obj(doc, "engine")?;
+        let engine = EngineStats {
+            meta: cache_stats_from_json(get_obj(e, "meta")?)?,
+            dram_data: dram_from_json(get_obj(e, "dram_data")?)?,
+            dram_meta: dram_from_json(get_obj(e, "dram_meta")?)?,
+            tree_walks: get_u64(e, "tree_walks")?,
+            tree_walk_level_misses: get_u64(e, "tree_walk_level_misses")?,
+            page_overflows: get_u64(e, "page_overflows")?,
+            partial_fill_reads: get_u64(e, "partial_fill_reads")?,
+            stall_cycles: get_u64(e, "stall_cycles")?,
+            reads: get_u64(e, "reads")?,
+            writes: get_u64(e, "writes")?,
+            max_cascade_depth: get_u64(e, "max_cascade_depth")?,
+        };
+        let en = get_obj(doc, "energy")?;
+        let energy = EnergyDelay::from_parts(
+            get_u64(en, "cycles")?,
+            get_f64_bits(en, "dram_pj_bits")?,
+            get_f64_bits(en, "sram_pj_bits")?,
+            get_f64_bits(en, "static_pj_bits")?,
+        );
+        Ok(SimReport {
+            workload,
+            instructions: get_u64(doc, "instructions")?,
+            cycles: get_u64(doc, "cycles")?,
+            hierarchy,
+            engine,
+            energy,
+        })
     }
 
     /// Exports the whole report under `{prefix}.*`: hierarchy and engine
@@ -164,6 +414,56 @@ mod tests {
         let s = report().to_string();
         assert!(s.contains("metadata MPKI"));
         assert!(s.contains("workload"));
+    }
+
+    #[test]
+    fn json_codec_round_trips_bitwise() {
+        let mut r = report();
+        r.engine.dram_data.reads = 3;
+        r.engine.tree_walks = 5;
+        r.hierarchy.llc_demand_misses = 9;
+        r.energy.add_cycles(123);
+        // Deliberately awkward floats: exact round-trip must survive
+        // values with no short decimal representation.
+        r.energy.add_dram_pj(0.1 + 0.2);
+        r.energy.add_sram_pj(1.0 / 3.0);
+        r.energy.add_static_pj(f64::MIN_POSITIVE);
+        let text = r.to_json().to_pretty();
+        let decoded = SimReport::from_json(&maps_obs::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(
+            decoded.energy.dram_pj().to_bits(),
+            r.energy.dram_pj().to_bits()
+        );
+    }
+
+    #[test]
+    fn json_codec_rejects_corruption_with_typed_errors() {
+        let doc = report().to_json();
+        // Wrong schema version.
+        let mut bad = doc.clone();
+        if let maps_obs::Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "schema_version" {
+                    *v = maps_obs::Json::UInt(99);
+                }
+            }
+        }
+        assert!(matches!(
+            SimReport::from_json(&bad),
+            Err(ReportCodecError::Schema(_))
+        ));
+        // Dropped field.
+        let mut bad = doc.clone();
+        if let maps_obs::Json::Obj(pairs) = &mut bad {
+            pairs.retain(|(k, _)| k != "engine");
+        }
+        assert!(matches!(
+            SimReport::from_json(&bad),
+            Err(ReportCodecError::Schema(_))
+        ));
+        // Non-object root.
+        assert!(SimReport::from_json(&maps_obs::Json::Arr(vec![])).is_err());
     }
 
     #[test]

@@ -30,4 +30,11 @@ fi
 run env MAPS_ACCESSES=30000 ./target/release/fig1 --check
 run env MAPS_ACCESSES=100000 ./target/release/fig2 --check
 
+# Fault-injection smoke campaign: every seeded model fault (bit flips,
+# replays, overflow storms) detected and localized, every seeded
+# infrastructure fault (torn/corrupted artifacts, failed writes) turned
+# into a typed error. Seed 5 matches the CI job for cross-checking the
+# printed fingerprint.
+run ./target/release/maps-inject --campaign smoke --seed 5
+
 echo "verify: all checks passed"
