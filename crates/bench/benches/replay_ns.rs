@@ -1,0 +1,39 @@
+//! Criterion bench for the replay hot path: ns/event for the scalar
+//! reference loop vs the batched SoA engine, on the four captures the
+//! `BENCH_soa_engine.json` methodology tracks (canneal, gups, mcf,
+//! libquantum at the paper-default 64 KB metadata cache).
+//!
+//! With `Throughput::Elements(total_events)` criterion reports per-event
+//! time directly; the batched/scalar ratio is the headline number of the
+//! struct-of-arrays engine work.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maps_sim::{CapturedTrace, ReplaySim, SimConfig};
+use maps_workloads::Benchmark;
+
+const N: u64 = 200_000;
+
+fn bench_replay_ns(c: &mut Criterion) {
+    let cfg = SimConfig::paper_default();
+    for bench in [
+        Benchmark::Canneal,
+        Benchmark::Gups,
+        Benchmark::Mcf,
+        Benchmark::Libquantum,
+    ] {
+        let trace = CapturedTrace::record(&cfg, bench.build(3), N);
+        let mut group = c.benchmark_group(format!("replay_ns/{}", bench.name()));
+        group.throughput(Throughput::Elements(trace.total_events()));
+        group.sample_size(10);
+        group.bench_function("scalar", |b| {
+            b.iter(|| ReplaySim::new(cfg.clone(), &trace).run_scalar().cycles);
+        });
+        group.bench_function("batched", |b| {
+            b.iter(|| ReplaySim::new(cfg.clone(), &trace).run().cycles);
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_replay_ns);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ad-hoc probe behind BENCH_soa_engine.json: per-event replay cost at
+//! the paper-default 64 KB metadata cache on 200k-access captures.
+//! Prints `<bench> <ns/event>` per line (best of 5 in-process reps; the
+//! driver interleaves whole-process rounds against the seed binary).
+
+use std::time::Instant;
+
+use maps_sim::{CapturedTrace, ReplaySim, SimConfig};
+use maps_workloads::Benchmark;
+
+fn main() {
+    let scalar = std::env::args().any(|a| a == "--scalar");
+    let cfg = SimConfig::paper_default();
+    for bench in [
+        Benchmark::Canneal,
+        Benchmark::Gups,
+        Benchmark::Mcf,
+        Benchmark::Libquantum,
+    ] {
+        let trace = CapturedTrace::record(&cfg, bench.build(3), 200_000);
+        let events = trace.total_events();
+        let _ = ReplaySim::new(cfg.clone(), &trace).run().cycles; // warm
+        let mut best = u128::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let replay = ReplaySim::new(cfg.clone(), &trace);
+            let cycles = if scalar {
+                replay.run_scalar().cycles
+            } else {
+                replay.run().cycles
+            };
+            std::hint::black_box(cycles);
+            best = best.min(t.elapsed().as_nanos());
+        }
+        println!("{} {:.1}", bench.name(), best as f64 / events as f64);
+    }
+}

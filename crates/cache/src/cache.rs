@@ -2,6 +2,7 @@
 
 use maps_trace::BlockKind;
 
+use crate::line::{LineMeta, SetView};
 use crate::{CacheConfig, CacheStats, Line, Partition, Policy};
 
 /// Outcome of one cache access.
@@ -46,13 +47,19 @@ const EMPTY_TAG: u64 = u64::MAX;
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<P> {
     cfg: CacheConfig,
-    lines: Vec<Option<Line>>,
-    /// Packed copy of each frame's key (`EMPTY_TAG` when the frame is
-    /// empty), kept in sync with `lines`. Tag matching is the innermost
-    /// loop of the simulator; scanning a contiguous `u64` run here instead
-    /// of the full `Option<Line>` slots keeps the lookup inside one or two
-    /// cache lines per set.
+    /// Each frame's key (`EMPTY_TAG` when the frame is empty). Tag matching
+    /// is the innermost loop of the simulator; the line state is split into
+    /// struct-of-arrays columns (`tags`/`stamps`/`inserts`/`meta`) so the
+    /// probe scans a contiguous `u64` run and the hit path touches only the
+    /// columns it updates, instead of pulling whole `Option<Line>` structs
+    /// through the host cache.
     tags: Vec<u64>,
+    /// Last-touch timestamp per frame (the LRU column).
+    stamps: Vec<u64>,
+    /// Fill timestamp per frame.
+    inserts: Vec<u64>,
+    /// Kind / dirty / partial-write validity per frame.
+    meta: Vec<LineMeta>,
     policy: P,
     partition: Option<Partition>,
     stats: CacheStats,
@@ -68,14 +75,41 @@ impl<P: Policy> SetAssocCache<P> {
         policy.init(cfg.sets(), cfg.ways());
         Self {
             cfg,
-            lines: vec![None; cfg.blocks()],
             tags: vec![EMPTY_TAG; cfg.blocks()],
+            stamps: vec![0; cfg.blocks()],
+            inserts: vec![0; cfg.blocks()],
+            meta: vec![LineMeta::EMPTY; cfg.blocks()],
             policy,
             partition: None,
             stats: CacheStats::default(),
             time: 0,
             way_ids: (0..cfg.ways()).collect(),
         }
+    }
+
+    /// Materializes the line in frame `idx` (caller has established the
+    /// frame is occupied).
+    #[inline]
+    fn line_at(&self, idx: usize) -> Line {
+        debug_assert_ne!(self.tags[idx], EMPTY_TAG, "line_at on an empty frame");
+        let m = self.meta[idx];
+        Line {
+            key: self.tags[idx],
+            kind: m.kind,
+            dirty: m.dirty,
+            valid_mask: m.valid_mask,
+            insert_at: self.inserts[idx],
+            last_at: self.stamps[idx],
+        }
+    }
+
+    /// Scatters `line` into frame `idx`'s columns.
+    #[inline]
+    fn store_line(&mut self, idx: usize, line: &Line) {
+        self.tags[idx] = line.key;
+        self.stamps[idx] = line.last_at;
+        self.inserts[idx] = line.insert_at;
+        self.meta[idx] = LineMeta::of(line);
     }
 
     /// Cache geometry.
@@ -118,13 +152,33 @@ impl<P: Policy> SetAssocCache<P> {
     }
 
     /// The resident line for `key`, if any (no state change).
-    pub fn line(&self, key: u64) -> Option<&Line> {
+    pub fn line(&self, key: u64) -> Option<Line> {
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
-        self.lines[set * self.cfg.ways() + way].as_ref()
+        Some(self.line_at(set * self.cfg.ways() + way))
+    }
+
+    /// Prefetches the tag and timestamp rows of `key`'s set into the host
+    /// cache. Purely a performance hint for the batched replay path; has no
+    /// architectural effect on the simulation.
+    #[inline]
+    pub fn prefetch_set(&self, key: u64) {
+        let base = self.cfg.set_of(key) * self.cfg.ways();
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: both pointers are derived from in-bounds indices of live
+        // allocations, and `_mm_prefetch` is architecturally a hint that
+        // cannot fault or observably change state even on a bad address.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.tags.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(self.stamps.as_ptr().add(base).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = base;
     }
 
     /// Accesses `key`, allocating on miss; uses the static partition.
+    #[inline]
     pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> AccessResult {
         self.access_with(key, kind, write, None)
     }
@@ -132,6 +186,7 @@ impl<P: Policy> SetAssocCache<P> {
     /// Accesses `key` with an optional per-access partition override (used
     /// by the set-dueling controller, which varies the partition between
     /// leader and follower sets).
+    #[inline]
     pub fn access_with(
         &mut self,
         key: u64,
@@ -144,24 +199,16 @@ impl<P: Policy> SetAssocCache<P> {
         self.policy.begin_access(t, key);
         let set = self.cfg.set_of(key);
 
-        if let Some(way) = self.find_way(set, key) {
+        let (hit_way, first_empty) = self.scan_set(set, key);
+        if let Some(way) = hit_way {
             let idx = set * self.cfg.ways() + way;
-            {
-                let line = self.lines[idx]
-                    .as_mut()
-                    .expect("found way must hold a line");
-                line.last_at = t;
-                if write {
-                    // Dirty only: sub-block validity is managed by the
-                    // partial-write callers via `mark_valid`.
-                    line.dirty = true;
-                }
+            self.stamps[idx] = t;
+            if write {
+                // Dirty only: sub-block validity is managed by the
+                // partial-write callers via `mark_valid`.
+                self.meta[idx].dirty = true;
             }
-            self.policy.on_hit(
-                set,
-                way,
-                self.lines[idx].as_ref().expect("line just updated"),
-            );
+            self.policy.on_hit(set, way, t, kind);
             self.stats.record_access(kind, true);
             return AccessResult::HIT;
         }
@@ -169,7 +216,7 @@ impl<P: Policy> SetAssocCache<P> {
         self.stats.record_access(kind, false);
         let mut new_line = Line::filled(key, kind, t);
         new_line.dirty = write;
-        let evicted = self.fill(set, new_line, partition_override, write);
+        let evicted = self.fill(set, new_line, partition_override, first_empty);
         AccessResult {
             hit: false,
             evicted,
@@ -179,6 +226,7 @@ impl<P: Policy> SetAssocCache<P> {
     /// Probes without allocating: records a hit/miss and refreshes recency
     /// on hit, but never fills. Used for access streams whose kind is not
     /// cacheable under the current contents configuration.
+    #[inline]
     pub fn probe(&mut self, key: u64, kind: BlockKind) -> bool {
         let set = self.cfg.set_of(key);
         let hit = self.find_way(set, key).is_some();
@@ -201,8 +249,9 @@ impl<P: Policy> SetAssocCache<P> {
         partition_override: Option<&Partition>,
     ) -> Option<Line> {
         let set = self.cfg.set_of(key);
+        let (hit_way, first_empty) = self.scan_set(set, key);
         assert!(
-            self.find_way(set, key).is_none(),
+            hit_way.is_none(),
             "placeholder insert for resident key {key}"
         );
         let t = self.time;
@@ -210,7 +259,7 @@ impl<P: Policy> SetAssocCache<P> {
             set,
             Line::placeholder(key, kind, t, slot),
             partition_override,
-            true,
+            first_empty,
         )
     }
 
@@ -231,25 +280,15 @@ impl<P: Policy> SetAssocCache<P> {
         self.time += 1;
         self.policy.begin_access(t, key);
         let idx = set * self.cfg.ways() + way;
-        {
-            let line = self.lines[idx]
-                .as_mut()
-                .expect("found way must hold a line");
-            line.last_at = t;
-            line.dirty = true;
-        }
-        // The policy observes the line as a plain write hit would show it:
-        // the sub-entry bit lands only after `on_hit`, mirroring the
-        // separate access-then-mark sequence this method replaces.
-        self.policy.on_hit(
-            set,
-            way,
-            self.lines[idx].as_ref().expect("line just updated"),
-        );
+        self.stamps[idx] = t;
+        self.meta[idx].dirty = true;
+        // The policy observes a plain write hit: the sub-entry bit lands
+        // only after `on_hit`, mirroring the separate access-then-mark
+        // sequence this method replaces.
+        self.policy.on_hit(set, way, t, kind);
         self.stats.record_access(kind, true);
-        let line = self.lines[idx].as_mut().expect("line just updated");
-        line.valid_mask |= 1 << slot;
-        Some(line.valid_mask)
+        self.meta[idx].valid_mask |= 1 << slot;
+        Some(self.meta[idx].valid_mask)
     }
 
     /// Marks additional valid sub-entries on a resident line (partial-write
@@ -258,10 +297,10 @@ impl<P: Policy> SetAssocCache<P> {
         assert!(slot < 8, "sub-block slot {slot} out of range");
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
-        let line = self.lines[set * self.cfg.ways() + way].as_mut()?;
-        line.valid_mask |= 1 << slot;
-        line.dirty = true;
-        Some(line.valid_mask)
+        let m = &mut self.meta[set * self.cfg.ways() + way];
+        m.valid_mask |= 1 << slot;
+        m.dirty = true;
+        Some(m.valid_mask)
     }
 
     /// Removes `key` if resident, returning the line.
@@ -269,21 +308,19 @@ impl<P: Policy> SetAssocCache<P> {
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
         let idx = set * self.cfg.ways() + way;
+        let line = self.line_at(idx);
         self.tags[idx] = EMPTY_TAG;
-        let line = self.lines[idx].take();
-        if let Some(l) = &line {
-            self.policy.on_evict(set, way, l, self.time);
-        }
-        line
+        self.policy.on_evict(set, way, &line, self.time);
+        Some(line)
     }
 
     /// Drains every resident line (e.g. to account for final writebacks).
     pub fn drain(&mut self) -> Vec<Line> {
-        self.tags.fill(EMPTY_TAG);
         let mut out = Vec::new();
-        for slot in &mut self.lines {
-            if let Some(line) = slot.take() {
-                out.push(line);
+        for idx in 0..self.tags.len() {
+            if self.tags[idx] != EMPTY_TAG {
+                out.push(self.line_at(idx));
+                self.tags[idx] = EMPTY_TAG;
             }
         }
         out
@@ -291,19 +328,50 @@ impl<P: Policy> SetAssocCache<P> {
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
     }
 
-    /// Iterates over resident lines.
-    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
-        self.lines.iter().filter_map(Option::as_ref)
+    /// Iterates over resident lines (materialized from the column store).
+    pub fn resident_lines(&self) -> impl Iterator<Item = Line> + '_ {
+        (0..self.tags.len())
+            .filter(|&idx| self.tags[idx] != EMPTY_TAG)
+            .map(|idx| self.line_at(idx))
     }
 
+    #[inline]
     fn find_way(&self, set: usize, key: u64) -> Option<usize> {
+        self.scan_set(set, key).0
+    }
+
+    /// One pass over a set's tag row, returning the way holding `key` and
+    /// the first empty way. Tag matching is the innermost loop of the
+    /// simulator: the common 8-way geometry is pinned to a fixed-size array
+    /// and scanned branchlessly into bit masks (which the compiler can
+    /// unroll and vectorize), instead of a runtime-length `position` scan
+    /// with a bounds check and branch per way — and the miss path reuses
+    /// the empty mask instead of re-scanning the row.
+    #[inline]
+    fn scan_set(&self, set: usize, key: u64) -> (Option<usize>, Option<usize>) {
+        #[inline]
+        fn first(mask: u32) -> Option<usize> {
+            (mask != 0).then(|| mask.trailing_zeros() as usize)
+        }
         let base = set * self.cfg.ways();
-        self.tags[base..base + self.cfg.ways()]
-            .iter()
-            .position(|&t| t == key)
+        let tags = &self.tags[base..base + self.cfg.ways()];
+        if let Ok(tags8) = <&[u64; 8]>::try_from(tags) {
+            let (mut hit, mut empty) = (0u32, 0u32);
+            for (w, &t) in tags8.iter().enumerate() {
+                hit |= u32::from(t == key) << w;
+                empty |= u32::from(t == EMPTY_TAG) << w;
+            }
+            return (first(hit), first(empty));
+        }
+        let (mut hit, mut empty) = (0u32, 0u32);
+        for (w, &t) in tags.iter().enumerate() {
+            hit |= u32::from(t == key) << w;
+            empty |= u32::from(t == EMPTY_TAG) << w;
+        }
+        (first(hit), first(empty))
     }
 
     fn allowed_ways(
@@ -318,12 +386,15 @@ impl<P: Policy> SetAssocCache<P> {
         }
     }
 
+    /// `first_empty` is the set's first empty way as returned by
+    /// [`SetAssocCache::scan_set`] (reused when no partition narrows the
+    /// ways, so the fill path does not re-scan the tag row).
     fn fill(
         &mut self,
         set: usize,
         new_line: Line,
         partition_override: Option<&Partition>,
-        _write: bool,
+        first_empty: Option<usize>,
     ) -> Option<Line> {
         let (lo, hi) = self.allowed_ways(new_line.kind, partition_override);
         let base = set * self.cfg.ways();
@@ -333,31 +404,44 @@ impl<P: Policy> SetAssocCache<P> {
         );
 
         // Prefer an invalid frame within the allowed ways.
-        if let Some(way) = (lo..hi).find(|&w| self.tags[base + w] == EMPTY_TAG) {
-            self.tags[base + way] = new_line.key;
-            self.lines[base + way] = Some(new_line);
+        let empty = if lo == 0 && hi == self.cfg.ways() {
+            first_empty
+        } else {
+            (lo..hi).find(|&w| self.tags[base + w] == EMPTY_TAG)
+        };
+        if let Some(way) = empty {
+            self.store_line(base + way, &new_line);
             self.policy.on_fill(set, way, &new_line);
             return None;
         }
 
-        let candidates = &self.way_ids[lo..hi];
-        let way = self.policy.choose_victim(
-            set,
-            candidates,
-            &self.lines[base..base + self.cfg.ways()],
-            self.time,
-        );
+        let way = match self
+            .policy
+            .choose_victim_fast(set, &self.way_ids[lo..hi], self.time)
+        {
+            Some(way) => way,
+            None => {
+                // Built inline (not via a `&self` helper) so the immutable
+                // column borrows stay disjoint from `&mut self.policy`.
+                let end = base + self.cfg.ways();
+                let view = SetView::from_soa(
+                    &self.tags[base..end],
+                    &self.meta[base..end],
+                    &self.stamps[base..end],
+                    &self.inserts[base..end],
+                );
+                self.policy
+                    .choose_victim(set, &self.way_ids[lo..hi], &view, self.time)
+            }
+        };
         debug_assert!(
             (lo..hi).contains(&way),
             "policy chose non-candidate way {way}"
         );
-        let victim = self.lines[base + way]
-            .take()
-            .expect("victim way must hold a line");
+        let victim = self.line_at(base + way);
         self.policy.on_evict(set, way, &victim, self.time);
         self.stats.record_eviction(victim.kind, victim.dirty);
-        self.tags[base + way] = new_line.key;
-        self.lines[base + way] = Some(new_line);
+        self.store_line(base + way, &new_line);
         self.policy.on_fill(set, way, &new_line);
         Some(victim)
     }

@@ -40,7 +40,7 @@ pub mod stats;
 pub use cache::{AccessResult, SetAssocCache};
 pub use config::CacheConfig;
 pub use csopt::{belady_misses, csopt_min_cost, CostedAccess, CsoptOutcome};
-pub use line::Line;
+pub use line::{Line, SetView};
 pub use partition::{DuelingController, Partition, PartitionError, SetRole};
 pub use policy::Policy;
 pub use psel::{PselCounter, PSEL_MAX};

@@ -28,6 +28,117 @@ pub struct Line {
     pub last_at: u64,
 }
 
+/// The non-key, non-timestamp columns of a line in the struct-of-arrays
+/// cache storage: kind, dirty bit, and partial-write validity, packed so a
+/// 16-way set of them spans a single cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LineMeta {
+    pub kind: BlockKind,
+    pub dirty: bool,
+    pub valid_mask: u8,
+}
+
+impl LineMeta {
+    /// Placeholder contents for an empty frame (never read: the tag array's
+    /// empty sentinel gates every access).
+    pub(crate) const EMPTY: LineMeta = LineMeta {
+        kind: BlockKind::Data,
+        dirty: false,
+        valid_mask: 0,
+    };
+
+    pub(crate) const fn of(line: &Line) -> LineMeta {
+        LineMeta {
+            kind: line.kind,
+            dirty: line.dirty,
+            valid_mask: line.valid_mask,
+        }
+    }
+}
+
+/// Read-only view of one set's resident lines, abstracting over the storage
+/// layout: the production [`SetAssocCache`](crate::SetAssocCache) keeps
+/// struct-of-arrays columns, while the executable specification in
+/// `maps-oracle` keeps a plain `Vec<Option<Line>>` per set. Policies receive
+/// this view in [`Policy::choose_victim`](crate::Policy::choose_victim) and
+/// materialize [`Line`] values on demand (eviction path only, so the
+/// per-candidate gather is off the hit path).
+#[derive(Debug, Clone, Copy)]
+pub struct SetView<'a> {
+    inner: ViewInner<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ViewInner<'a> {
+    /// Array-of-structs storage (the oracle's per-set line vector).
+    Slice(&'a [Option<Line>]),
+    /// Struct-of-arrays columns sliced to one set.
+    Soa {
+        tags: &'a [u64],
+        meta: &'a [LineMeta],
+        stamps: &'a [u64],
+        inserts: &'a [u64],
+    },
+}
+
+impl<'a> SetView<'a> {
+    /// Wraps array-of-structs storage (one `Option<Line>` per way).
+    pub fn from_slice(lines: &'a [Option<Line>]) -> Self {
+        Self {
+            inner: ViewInner::Slice(lines),
+        }
+    }
+
+    /// Wraps struct-of-arrays columns, each sliced to the same set.
+    pub(crate) fn from_soa(
+        tags: &'a [u64],
+        meta: &'a [LineMeta],
+        stamps: &'a [u64],
+        inserts: &'a [u64],
+    ) -> Self {
+        debug_assert!(
+            tags.len() == meta.len() && tags.len() == stamps.len() && tags.len() == inserts.len()
+        );
+        Self {
+            inner: ViewInner::Soa {
+                tags,
+                meta,
+                stamps,
+                inserts,
+            },
+        }
+    }
+
+    /// Materializes the line in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the way is out of range or holds no line (victim
+    /// candidates always do).
+    #[inline]
+    pub fn line(&self, way: usize) -> Line {
+        match self.inner {
+            ViewInner::Slice(lines) => lines[way].expect("candidate way must hold a line"),
+            ViewInner::Soa {
+                tags,
+                meta,
+                stamps,
+                inserts,
+            } => {
+                let m = meta[way];
+                Line {
+                    key: tags[way],
+                    kind: m.kind,
+                    dirty: m.dirty,
+                    valid_mask: m.valid_mask,
+                    insert_at: inserts[way],
+                    last_at: stamps[way],
+                }
+            }
+        }
+    }
+}
+
 impl Line {
     /// Creates a fully-valid clean line filled at `time`.
     pub const fn filled(key: u64, kind: BlockKind, time: u64) -> Self {

@@ -1,9 +1,12 @@
 //! Runtime-selected policy via enum dispatch.
 
+use maps_trace::BlockKind;
+
 use super::{
     CostAware, Drrip, Eva, EvaPerType, Fifo, MinOracle, Policy, RandomEvict, Srrip, TraceMin,
     TreePlru, TrueLru,
 };
+use crate::line::SetView;
 use crate::Line;
 
 /// A replacement policy chosen at run time.
@@ -150,8 +153,8 @@ impl Policy for AnyPolicy {
         delegate!(self, p => p.begin_access(time, key));
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, line: &Line) {
-        delegate!(self, p => p.on_hit(set, way, line));
+    fn on_hit(&mut self, set: usize, way: usize, now: u64, kind: BlockKind) {
+        delegate!(self, p => p.on_hit(set, way, now, kind));
     }
 
     fn on_fill(&mut self, set: usize, way: usize, line: &Line) {
@@ -166,10 +169,14 @@ impl Policy for AnyPolicy {
         &mut self,
         set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         now: u64,
     ) -> usize {
         delegate!(self, p => p.choose_victim(set, candidates, lines, now))
+    }
+
+    fn choose_victim_fast(&mut self, set: usize, candidates: &[usize], now: u64) -> Option<usize> {
+        delegate!(self, p => p.choose_victim_fast(set, candidates, now))
     }
 }
 

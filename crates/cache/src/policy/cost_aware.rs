@@ -3,6 +3,7 @@
 //! accounts for multiple miss costs").
 
 use super::Policy;
+use crate::line::SetView;
 use crate::Line;
 use maps_trace::BlockKind;
 
@@ -110,14 +111,14 @@ impl Policy for CostAware {
         &mut self,
         _set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         now: u64,
     ) -> usize {
         let mut best = candidates[0];
         let mut best_score = f64::INFINITY;
         for &w in candidates {
-            let line = lines[w].as_ref().expect("candidate way must hold a line");
-            let s = self.score(line, now);
+            let line = lines.line(w);
+            let s = self.score(&line, now);
             if s < best_score {
                 best_score = s;
                 best = w;

@@ -1,6 +1,9 @@
 //! Dynamic re-reference interval prediction (DRRIP).
 
+use maps_trace::BlockKind;
+
 use super::Policy;
+use crate::line::SetView;
 use crate::psel::PselCounter;
 use crate::Line;
 use maps_trace::rng::SmallRng;
@@ -93,7 +96,7 @@ impl Policy for Drrip {
         }
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+    fn on_hit(&mut self, set: usize, way: usize, _now: u64, _kind: BlockKind) {
         let s = self.slot(set, way);
         self.rrpv[s] = 0;
     }
@@ -121,7 +124,7 @@ impl Policy for Drrip {
         &mut self,
         set: usize,
         candidates: &[usize],
-        _lines: &[Option<Line>],
+        _lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         loop {

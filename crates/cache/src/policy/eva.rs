@@ -1,6 +1,9 @@
 //! EVA (economic value added) replacement.
 
+use maps_trace::BlockKind;
+
 use super::Policy;
+use crate::line::SetView;
 use crate::Line;
 
 /// EVA replacement (Beckmann & Sanchez, HPCA 2017), as described in
@@ -155,10 +158,9 @@ impl Policy for Eva {
         self.birth = vec![0; sets * ways];
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, line: &Line) {
+    fn on_hit(&mut self, set: usize, way: usize, now: u64, _kind: BlockKind) {
         // A hit ends one lifetime at the frame's current age and starts a
-        // new one. `line.last_at` is the access counter of this hit.
-        let now = line.last_at;
+        // new one; `now` is the access counter of this hit.
         let age = self.lifetime_age(set, way, now);
         let b = self.bucket(age);
         self.hits[b] += 1.0;
@@ -181,7 +183,7 @@ impl Policy for Eva {
         &mut self,
         set: usize,
         candidates: &[usize],
-        _lines: &[Option<Line>],
+        _lines: &SetView<'_>,
         now: u64,
     ) -> usize {
         let mut best = candidates[0];

@@ -10,6 +10,7 @@
 //! cost over-protects low-hit-rate types; see `ablation_eva_types`.)
 
 use super::Policy;
+use crate::line::SetView;
 use crate::Line;
 use maps_trace::BlockKind;
 
@@ -158,11 +159,10 @@ impl Policy for EvaPerType {
         self.birth = vec![0; sets * ways];
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, line: &Line) {
-        let now = line.last_at;
+    fn on_hit(&mut self, set: usize, way: usize, now: u64, kind: BlockKind) {
         let age = self.lifetime_age(set, way, now);
         let b = self.bucket(age);
-        self.hits[class_index(line.kind)][b] += 1.0;
+        self.hits[class_index(kind)][b] += 1.0;
         self.birth[set * self.ways + way] = now;
         self.tick();
     }
@@ -182,13 +182,13 @@ impl Policy for EvaPerType {
         &mut self,
         set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         now: u64,
     ) -> usize {
         let mut best = candidates[0];
         let mut best_rank = f64::INFINITY;
         for &w in candidates {
-            let line = lines[w].as_ref().expect("candidate way must hold a line");
+            let line = lines.line(w);
             let rank = self.rank_of(line.kind, self.lifetime_age(set, w, now));
             if rank < best_rank {
                 best_rank = rank;

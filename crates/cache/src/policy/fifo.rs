@@ -1,7 +1,7 @@
 //! First-in first-out replacement.
 
 use super::{argmin_by, Policy};
-use crate::Line;
+use crate::line::SetView;
 
 /// FIFO: evicts the candidate that was filled longest ago, regardless of
 /// intervening hits. A baseline policy; not in the paper's Figure 6 but
@@ -27,7 +27,7 @@ impl Policy for Fifo {
         &mut self,
         _set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         argmin_by(candidates, lines, |l| l.insert_at)

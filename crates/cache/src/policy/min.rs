@@ -3,7 +3,7 @@
 use maps_trace::det::DetHashMap;
 
 use super::Policy;
-use crate::Line;
+use crate::line::SetView;
 
 /// Belady's MIN \[Belady 1966\]: evicts the candidate whose next use lies
 /// farthest in the future, using a *recorded* access trace as the oracle.
@@ -94,13 +94,13 @@ impl Policy for MinOracle {
         &mut self,
         _set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         let mut best = candidates[0];
         let mut farthest = 0u64;
         for &w in candidates {
-            let line = lines[w].as_ref().expect("candidate way must hold a line");
+            let line = lines.line(w);
             let next = self.next_use_after(line.key, self.now);
             if next >= farthest {
                 farthest = next;

@@ -31,6 +31,9 @@ pub use srrip::Srrip;
 pub use trace_min::TraceMin;
 pub use true_lru::TrueLru;
 
+use maps_trace::BlockKind;
+
+use crate::line::SetView;
 use crate::Line;
 
 /// A cache replacement policy.
@@ -40,7 +43,9 @@ use crate::Line;
 /// candidate list is narrowed by way partitioning when active). Per-line
 /// recency/insertion timestamps are maintained by the core and available on
 /// each [`Line`], so stateless policies like LRU and FIFO need no storage of
-/// their own.
+/// their own. Victim selection receives a [`SetView`] rather than raw line
+/// storage, so the same policies drive both the struct-of-arrays production
+/// cache and the array-of-structs oracle specification.
 pub trait Policy {
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str;
@@ -52,8 +57,11 @@ pub trait Policy {
     /// and the key being accessed (used by oracle policies).
     fn begin_access(&mut self, _time: u64, _key: u64) {}
 
-    /// Called when `key` hits in `(set, way)`.
-    fn on_hit(&mut self, _set: usize, _way: usize, _line: &Line) {}
+    /// Called when `key` hits in `(set, way)`. `now` is the access counter
+    /// (the line's refreshed `last_at`) and `kind` the resident line's
+    /// classification — passed as scalars so the cache core never has to
+    /// materialize a [`Line`] from its column store on the hit path.
+    fn on_hit(&mut self, _set: usize, _way: usize, _now: u64, _kind: BlockKind) {}
 
     /// Called when a line is filled into `(set, way)`.
     fn on_fill(&mut self, _set: usize, _way: usize, _line: &Line) {}
@@ -68,19 +76,34 @@ pub trait Policy {
         &mut self,
         set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         now: u64,
     ) -> usize;
+
+    /// Victim selection without line state, for policies whose decision
+    /// needs none (tree-PLRU bits, a seeded RNG). Returning `Some(way)`
+    /// must match what [`Policy::choose_victim`] would pick; `None` (the
+    /// default) makes the cache assemble a [`SetView`] and call it. Fills
+    /// are the busiest path of the metadata-cache simulation, so skipping
+    /// the view construction is worth the dual entry point.
+    fn choose_victim_fast(
+        &mut self,
+        _set: usize,
+        _candidates: &[usize],
+        _now: u64,
+    ) -> Option<usize> {
+        None
+    }
 }
 
 /// Helper: candidate whose line minimizes a key function.
 pub(crate) fn argmin_by<F: FnMut(&Line) -> u64>(
     candidates: &[usize],
-    lines: &[Option<Line>],
+    lines: &SetView<'_>,
     mut score: F,
 ) -> usize {
     *candidates
         .iter()
-        .min_by_key(|&&w| score(lines[w].as_ref().expect("candidate way must hold a line")))
+        .min_by_key(|&&w| score(&lines.line(w)))
         .expect("candidate list must not be empty")
 }

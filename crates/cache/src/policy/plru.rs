@@ -1,6 +1,9 @@
 //! Tree-based pseudo-LRU replacement.
 
+use maps_trace::BlockKind;
+
 use super::{argmin_by, Policy};
+use crate::line::SetView;
 use crate::Line;
 
 /// Tree pseudo-LRU: one bit per internal node of a binary tree over the
@@ -20,6 +23,15 @@ pub struct TreePlru {
     ways: usize,
     /// `ways - 1` bits per set, packed per set as a `u64`.
     bits: Vec<u64>,
+    /// Per-way path masks: a touch of `way` is
+    /// `bits = (bits & !touch_clear[way]) | touch_set[way]`. Precomputed in
+    /// `init` so the hot hit/fill callbacks are two mask ops instead of a
+    /// root-ward loop.
+    touch_clear: Vec<u64>,
+    touch_set: Vec<u64>,
+    /// Victim way per PLRU bit state (`2^(ways-1)` entries, built for
+    /// associativities up to 8; empty otherwise, falling back to the walk).
+    victim_lut: Vec<u8>,
 }
 
 impl TreePlru {
@@ -28,9 +40,9 @@ impl TreePlru {
         Self::default()
     }
 
-    /// Walks from the root toward the leaf indicated by the bits.
-    fn victim_way(&self, set: usize) -> usize {
-        let bits = self.bits[set];
+    /// Walks from the root toward the leaf indicated by `bits` (the LUT
+    /// generator, and the fallback for associativities above 8).
+    fn walk_victim(&self, bits: u64) -> usize {
         let mut node = 0usize; // index into the implicit tree, 0 = root
         let levels = self.ways.trailing_zeros();
         for _ in 0..levels {
@@ -40,21 +52,35 @@ impl TreePlru {
         node - (self.ways - 1)
     }
 
+    /// The victim the current bit state points at.
+    fn victim_way(&self, set: usize) -> usize {
+        let bits = self.bits[set];
+        match self.victim_lut.as_slice() {
+            [] => self.walk_victim(bits),
+            lut => lut[(bits & (lut.len() as u64 - 1)) as usize] as usize,
+        }
+    }
+
     /// Points every bit on the root-to-leaf path away from `way`.
     fn touch(&mut self, set: usize, way: usize) {
-        let bits = &mut self.bits[set];
+        self.bits[set] = (self.bits[set] & !self.touch_clear[way]) | self.touch_set[way];
+    }
+
+    /// Computes `way`'s path masks by running the root-ward update loop.
+    fn path_masks(&self, way: usize) -> (u64, u64) {
+        let (mut clear, mut set) = (0u64, 0u64);
         let mut node = way + (self.ways - 1);
         while node > 0 {
             let parent = (node - 1) / 2;
-            let went_right = node == 2 * parent + 2;
             // Make the parent's bit point to the *other* child.
-            if went_right {
-                *bits &= !(1 << parent);
+            if node == 2 * parent + 2 {
+                clear |= 1 << parent;
             } else {
-                *bits |= 1 << parent;
+                set |= 1 << parent;
             }
             node = parent;
         }
+        (clear, set)
     }
 }
 
@@ -71,9 +97,19 @@ impl Policy for TreePlru {
         assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
         self.ways = ways;
         self.bits = vec![0; sets];
+        let masks: Vec<(u64, u64)> = (0..ways).map(|w| self.path_masks(w)).collect();
+        self.touch_clear = masks.iter().map(|&(c, _)| c).collect();
+        self.touch_set = masks.iter().map(|&(_, s)| s).collect();
+        self.victim_lut = if ways <= 8 {
+            (0..1u64 << (ways - 1))
+                .map(|bits| self.walk_victim(bits) as u8)
+                .collect()
+        } else {
+            Vec::new()
+        };
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+    fn on_hit(&mut self, set: usize, way: usize, _now: u64, _kind: BlockKind) {
         self.touch(set, way);
     }
 
@@ -85,7 +121,7 @@ impl Policy for TreePlru {
         &mut self,
         set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         let way = self.victim_way(set);
@@ -94,6 +130,11 @@ impl Policy for TreePlru {
         } else {
             argmin_by(candidates, lines, |l| l.last_at)
         }
+    }
+
+    fn choose_victim_fast(&mut self, set: usize, candidates: &[usize], _now: u64) -> Option<usize> {
+        let way = self.victim_way(set);
+        candidates.contains(&way).then_some(way)
     }
 }
 

@@ -3,7 +3,7 @@
 use maps_trace::rng::SmallRng;
 
 use super::Policy;
-use crate::Line;
+use crate::line::SetView;
 
 /// Random replacement with a deterministic seeded RNG so experiments are
 /// reproducible run to run.
@@ -43,10 +43,19 @@ impl Policy for RandomEvict {
         &mut self,
         _set: usize,
         candidates: &[usize],
-        _lines: &[Option<Line>],
+        _lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn choose_victim_fast(
+        &mut self,
+        _set: usize,
+        candidates: &[usize],
+        _now: u64,
+    ) -> Option<usize> {
+        Some(candidates[self.rng.gen_range(0..candidates.len())])
     }
 }
 

@@ -1,6 +1,9 @@
 //! Static re-reference interval prediction (SRRIP).
 
+use maps_trace::BlockKind;
+
 use super::Policy;
+use crate::line::SetView;
 use crate::Line;
 
 /// SRRIP-HP (Jaleel et al., ISCA 2010) with 2-bit re-reference prediction
@@ -42,7 +45,7 @@ impl Policy for Srrip {
         self.rrpv = vec![MAX_RRPV; sets * ways];
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+    fn on_hit(&mut self, set: usize, way: usize, _now: u64, _kind: BlockKind) {
         let s = self.slot(set, way);
         self.rrpv[s] = 0;
     }
@@ -56,7 +59,7 @@ impl Policy for Srrip {
         &mut self,
         set: usize,
         candidates: &[usize],
-        _lines: &[Option<Line>],
+        _lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         loop {

@@ -1,6 +1,9 @@
 //! Paper-faithful Belady MIN with *positional* future knowledge.
 
+use maps_trace::BlockKind;
+
 use super::Policy;
+use crate::line::SetView;
 use crate::Line;
 
 /// Belady's MIN driven by trace positions, exactly as Section V-B builds
@@ -71,7 +74,7 @@ impl Policy for TraceMin {
         self.pos = time;
     }
 
-    fn on_hit(&mut self, set: usize, way: usize, _line: &Line) {
+    fn on_hit(&mut self, set: usize, way: usize, _now: u64, _kind: BlockKind) {
         let s = self.slot(set, way);
         self.line_next[s] = self.recorded_next(self.pos);
     }
@@ -85,7 +88,7 @@ impl Policy for TraceMin {
         &mut self,
         set: usize,
         candidates: &[usize],
-        _lines: &[Option<Line>],
+        _lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         let mut best = candidates[0];

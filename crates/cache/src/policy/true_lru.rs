@@ -1,7 +1,7 @@
 //! Exact least-recently-used replacement.
 
 use super::{argmin_by, Policy};
-use crate::Line;
+use crate::line::SetView;
 
 /// True LRU: evicts the candidate with the oldest last-touch timestamp.
 ///
@@ -46,7 +46,7 @@ impl Policy for TrueLru {
         &mut self,
         _set: usize,
         candidates: &[usize],
-        lines: &[Option<Line>],
+        lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
         argmin_by(candidates, lines, |l| l.last_at)

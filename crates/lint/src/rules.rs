@@ -4,7 +4,7 @@
 //! |-----------|--------------------------------------------------------------------|
 //! | DET-001   | No default-hasher `HashMap`/`HashSet` in deterministic crates      |
 //! | DET-002   | No wall clock / ambient randomness outside `maps-obs`/`maps-bench` |
-//! | PERF-001  | Every `MetricSink`/`MetaObserver` impl method carries `#[inline]`  |
+//! | PERF-001  | Every `MetricSink`/`MetaObserver`/`BatchPrefetcher` impl method carries `#[inline]` |
 //! | SAFE-001  | `unsafe` only when allowlisted and `// SAFETY:`-annotated          |
 //! | PANIC-001 | No `unwrap`/`expect` in library decode/parse paths                 |
 //! | IO-001    | Result files only via the atomic-write helper in `maps-obs`        |
@@ -209,7 +209,9 @@ fn det_002(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// PERF-001: sink/observer impl methods must carry `#[inline]`.
+/// PERF-001: sink/observer/batch-prefetcher impl methods must carry
+/// `#[inline]` — the batched replay hot loop calls the prefetcher once
+/// per event, so a non-inlined impl reintroduces per-event call overhead.
 fn perf_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
     if !ctx.in_crate_src() {
         return;
@@ -249,7 +251,7 @@ fn perf_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
         let watched = is_trait_impl
             && trait_path
                 .iter()
-                .any(|id| *id == "MetricSink" || *id == "MetaObserver");
+                .any(|id| *id == "MetricSink" || *id == "MetaObserver" || *id == "BatchPrefetcher");
         if !watched {
             i += 1;
             continue;

@@ -75,11 +75,12 @@ fn perf001_fixture_flags_exactly_the_documented_lines() {
     );
     assert_eq!(
         shape(&d),
-        vec![("PERF-001", 13), ("PERF-001", 30)],
+        vec![("PERF-001", 13), ("PERF-001", 30), ("PERF-001", 34)],
         "{d:#?}"
     );
     assert!(d[0].message.contains("walk_complete"));
     assert!(d[1].message.contains("counter_add"));
+    assert!(d[2].message.contains("prefetch"));
 }
 
 #[test]

@@ -133,8 +133,7 @@ impl SpecCache {
                     line.dirty = true;
                 }
             }
-            let snapshot = self.sets[set][way].expect("resident line");
-            self.policy.on_hit(set, way, &snapshot);
+            self.policy.on_hit(set, way, t, kind);
             self.stats.record_access(kind, true);
             return SpecAccessResult {
                 hit: true,
@@ -176,8 +175,7 @@ impl SpecCache {
             line.last_at = t;
             line.dirty = true;
         }
-        let snapshot = self.sets[set][way].expect("resident line");
-        self.policy.on_hit(set, way, &snapshot);
+        self.policy.on_hit(set, way, t, kind);
         self.stats.record_access(kind, true);
         let line = self.sets[set][way].as_mut().expect("resident line");
         line.valid_mask |= 1 << slot;
@@ -266,9 +264,12 @@ impl SpecCache {
         }
 
         let candidates: Vec<usize> = (lo..hi).collect();
-        let way = self
-            .policy
-            .choose_victim(set, &candidates, &self.sets[set], self.time);
+        let way = self.policy.choose_victim(
+            set,
+            &candidates,
+            &maps_cache::SetView::from_slice(&self.sets[set]),
+            self.time,
+        );
         assert!((lo..hi).contains(&way), "policy chose non-candidate way");
         let victim = self.sets[set][way].take().expect("victim line");
         self.policy.on_evict(set, way, &victim, self.time);

@@ -185,7 +185,7 @@ pub fn derive_oracle_trace(cfg: &SimConfig, ops: &[TraceOp]) -> Vec<u64> {
     for _ in 0..ops.len() {
         sim.step_observed(&mut rec);
     }
-    rec.keys()
+    rec.keys().collect()
 }
 
 /// Replaces a `Min([])`/`TraceMin([])` sentinel policy with one fed the
@@ -253,7 +253,7 @@ fn compare_residents<W: Workload>(
     let prod_lines: Option<Vec<Line>> = prod
         .engine()
         .and_then(|e| e.mdc())
-        .map(|m| m.resident_lines().copied().collect());
+        .map(|m| m.resident_lines().collect());
     let orac_lines: Option<Vec<Line>> = orac
         .engine()
         .and_then(|e| e.mdc())

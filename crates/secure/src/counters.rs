@@ -82,10 +82,21 @@ const SPLIT_COUNTER_LIMIT: u8 = 127;
 impl CounterStore {
     /// Creates an empty counter store.
     pub fn new(mode: CounterMode) -> Self {
+        // Pre-size the maps: workloads touch thousands of pages, and letting
+        // the table grow from empty re-moves every `PageCounters` (72 B) on
+        // each rehash, which shows up in replay profiles. Point lookups only
+        // — capacity never affects observable counter state.
+        let cap = |m| if mode == m { 4096 } else { 0 };
         Self {
             mode,
-            pages: IndexMap::default(),
-            blocks: IndexMap::default(),
+            pages: IndexMap::with_capacity_and_hasher(
+                cap(CounterMode::SplitPi),
+                Default::default(),
+            ),
+            blocks: IndexMap::with_capacity_and_hasher(
+                cap(CounterMode::SgxMonolithic),
+                Default::default(),
+            ),
             overflows: 0,
             writes: 0,
         }

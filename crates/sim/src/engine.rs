@@ -9,6 +9,7 @@ use maps_secure::{CounterStore, Layout, SecureConfig, WriteOutcome};
 use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess};
 
 use crate::config::MdcConfig;
+use crate::hierarchy::MemEvent;
 use crate::mdcache::MetadataCache;
 
 /// Observer of the metadata access stream (every counter/hash/tree block
@@ -55,9 +56,11 @@ impl RecordingObserver {
         Self::default()
     }
 
-    /// The block keys of the recorded accesses, in order.
-    pub fn keys(&self) -> Vec<u64> {
-        self.records.iter().map(|r| r.block.index()).collect()
+    /// The block keys of the recorded accesses, in order. Borrows rather
+    /// than collecting, so stats export and oracle-trace consumers decide
+    /// whether an allocation happens.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.records.iter().map(|r| r.block.index())
     }
 }
 
@@ -145,9 +148,9 @@ const CASCADE_BUDGET: usize = 64;
 /// this; used to size the stack-allocated walk buffer on the hot path.
 const MAX_TREE_LEVELS: usize = 64;
 
-/// A tree walk copied out of [`Layout`] into a stack buffer, so the hot
-/// paths can iterate it while mutably borrowing the engine (and without
-/// the per-walk heap allocation a `Vec` collect would cost).
+/// A tree walk copied out of [`Layout`] into a stack buffer, so the
+/// no-cache eager-update path can iterate it while mutably borrowing the
+/// engine (and without the per-walk heap allocation a `Vec` would cost).
 #[derive(Debug, Clone, Copy)]
 struct TreeWalk {
     nodes: [BlockAddr; MAX_TREE_LEVELS],
@@ -168,6 +171,45 @@ impl TreeWalk {
     fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
         self.nodes[..self.len].iter().copied()
     }
+}
+
+/// Lookahead of the batch kernel's software prefetch: while event *i* is
+/// being processed, the metadata-cache rows of event *i + k* are requested.
+/// Eight events at ~10 memory-level-parallel loads apiece comfortably cover
+/// an L2 miss on the one-core hosts the sweeps run on.
+pub const PREFETCH_DISTANCE: usize = 8;
+
+/// Per-batch prefetch strategy for [`MetadataEngine::handle_batch_with`].
+///
+/// The batch kernel is monomorphized over this trait, so the strategy is
+/// selected once per batch and a no-op impl compiles away entirely — the
+/// same zero-cost contract [`MetaObserver`] has, and like observer impls,
+/// implementations must be `#[inline]` (enforced by maps-lint PERF-001).
+pub trait BatchPrefetcher {
+    /// Requests the metadata lines `event` will touch, ahead of use.
+    fn prefetch(&self, engine: &MetadataEngine, event: MemEvent);
+}
+
+/// Prefetches the metadata-cache tag/timestamp rows of the counter and hash
+/// blocks the event implies (the default batch strategy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TagPrefetcher;
+
+impl BatchPrefetcher for TagPrefetcher {
+    #[inline(always)]
+    fn prefetch(&self, engine: &MetadataEngine, event: MemEvent) {
+        engine.prefetch_event(event);
+    }
+}
+
+/// Issues no prefetches. Used by tests to prove the hint has no
+/// architectural effect, and as the strategy for non-x86 hosts' baselines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetch;
+
+impl BatchPrefetcher for NoPrefetch {
+    #[inline(always)]
+    fn prefetch(&self, _engine: &MetadataEngine, _event: MemEvent) {}
 }
 
 /// The metadata engine.
@@ -286,16 +328,105 @@ impl MetadataEngine {
     /// Handles an LLC demand miss for `data`, returning the core-visible
     /// stall in cycles (data fetch plus any serialized metadata work).
     pub fn handle_read<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) -> u64 {
+        if self.mdc.is_some() {
+            self.read_event::<O, true>(data, obs)
+        } else {
+            self.read_event::<O, false>(data, obs)
+        }
+    }
+
+    /// Handles an LLC dirty writeback of `data` (off the critical path:
+    /// contributes traffic and energy, not stall).
+    pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
+        if self.mdc.is_some() {
+            self.write_event::<O, true>(data, obs);
+        } else {
+            self.write_event::<O, false>(data, obs);
+        }
+    }
+
+    /// Processes a batch of LLC events, returning the summed read stalls.
+    ///
+    /// Bit-identical to calling [`handle_read`](Self::handle_read) /
+    /// [`handle_write`](Self::handle_write) per event and summing the read
+    /// stalls: the engine-mode dispatch (MDC on/off) is hoisted to one
+    /// monomorphized kernel selection per batch instead of per event, and
+    /// the default [`TagPrefetcher`] warms the metadata-cache rows of event
+    /// *i +* [`PREFETCH_DISTANCE`] while event *i* is finishing.
+    pub fn handle_batch<O: MetaObserver + ?Sized>(
+        &mut self,
+        events: &[MemEvent],
+        obs: &mut O,
+    ) -> u64 {
+        self.handle_batch_with(events, &TagPrefetcher, obs)
+    }
+
+    /// [`handle_batch`](Self::handle_batch) with an explicit prefetch
+    /// strategy (tests use [`NoPrefetch`] to prove hint-independence).
+    pub fn handle_batch_with<O: MetaObserver + ?Sized, PF: BatchPrefetcher>(
+        &mut self,
+        events: &[MemEvent],
+        prefetcher: &PF,
+        obs: &mut O,
+    ) -> u64 {
+        if self.mdc.is_some() {
+            self.batch_kernel::<O, PF, true>(events, prefetcher, obs)
+        } else {
+            self.batch_kernel::<O, PF, false>(events, prefetcher, obs)
+        }
+    }
+
+    fn batch_kernel<O: MetaObserver + ?Sized, PF: BatchPrefetcher, const HAS_MDC: bool>(
+        &mut self,
+        events: &[MemEvent],
+        prefetcher: &PF,
+        obs: &mut O,
+    ) -> u64 {
+        let mut stall = 0u64;
+        for (i, &event) in events.iter().enumerate() {
+            if let Some(&ahead) = events.get(i + PREFETCH_DISTANCE) {
+                prefetcher.prefetch(self, ahead);
+            }
+            match event {
+                MemEvent::Read(block) => stall += self.read_event::<O, HAS_MDC>(block, obs),
+                MemEvent::Write(block) => self.write_event::<O, HAS_MDC>(block, obs),
+            }
+        }
+        stall
+    }
+
+    /// Requests the metadata-cache rows `event` will touch: the counter and
+    /// hash block of its data address. Tree-walk levels are deliberately not
+    /// prefetched — their addresses need per-level layout lookups, and
+    /// measured on the sweep hosts that arithmetic costs more than the
+    /// cache stalls it hides. A hint only: no statistics, cache state, or
+    /// observer calls are affected.
+    #[inline]
+    fn prefetch_event(&self, event: MemEvent) {
+        let Some(mdc) = &self.mdc else { return };
+        let (MemEvent::Read(block) | MemEvent::Write(block)) = event;
+        let counter = self.layout.counter_block_of(block);
+        mdc.prefetch(counter.index());
+        mdc.prefetch(self.layout.hash_block_of(block).index());
+    }
+
+    fn read_event<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        data: BlockAddr,
+        obs: &mut O,
+    ) -> u64 {
+        debug_assert_eq!(HAS_MDC, self.mdc.is_some());
         self.stats.reads += 1;
         self.stats.dram_data.reads += 1;
 
-        let hash_hit = self.meta_read(self.layout.hash_block_of(data), BlockKind::Hash, obs);
+        let hash_hit =
+            self.meta_read::<O, HAS_MDC>(self.layout.hash_block_of(data), BlockKind::Hash, obs);
         let counter = self.layout.counter_block_of(data);
-        let ctr_hit = self.meta_read(counter, BlockKind::Counter, obs);
+        let ctr_hit = self.meta_read::<O, HAS_MDC>(counter, BlockKind::Counter, obs);
         let walk_misses = if ctr_hit {
             0
         } else {
-            self.verify_counter(counter, obs)
+            self.verify_counter::<O, HAS_MDC>(counter, obs)
         };
 
         let t_data = self.dram_latency;
@@ -323,9 +454,12 @@ impl MetadataEngine {
         stall
     }
 
-    /// Handles an LLC dirty writeback of `data` (off the critical path:
-    /// contributes traffic and energy, not stall).
-    pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
+    fn write_event<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        data: BlockAddr,
+        obs: &mut O,
+    ) {
+        debug_assert_eq!(HAS_MDC, self.mdc.is_some());
         self.stats.writes += 1;
         self.stats.dram_data.writes += 1;
 
@@ -333,15 +467,15 @@ impl MetadataEngine {
         //    per-block counter and force a page re-encryption).
         if let WriteOutcome::PageOverflow { page } = self.counters.record_write(data) {
             self.stats.page_overflows += 1;
-            self.reencrypt_page(page, obs);
+            self.reencrypt_page::<O, HAS_MDC>(page, obs);
         }
         let counter = self.layout.counter_block_of(data);
-        self.counter_write(counter, obs);
+        self.counter_write::<O, HAS_MDC>(counter, obs);
 
         // 2. Update the data hash (one 8 B slot of its hash block).
         let hash_block = self.layout.hash_block_of(data);
         let slot = self.layout.hash_slot_of(data);
-        self.meta_write_slot(hash_block, BlockKind::Hash, slot, obs);
+        self.meta_write_slot::<O, HAS_MDC>(hash_block, BlockKind::Hash, slot, obs);
     }
 
     /// Flushes the metadata cache, accounting final writebacks (tree
@@ -373,7 +507,12 @@ impl MetadataEngine {
     }
 
     /// Reads a metadata block through the cache; returns `true` on hit.
-    fn meta_read<O: MetaObserver + ?Sized>(
+    ///
+    /// Like every private engine kernel, monomorphized over `HAS_MDC` —
+    /// `true` iff `self.mdc` is populated (the public entry points
+    /// guarantee the match) — so per-batch dispatch erases the per-event
+    /// MDC-mode branches while keeping one shared logic body.
+    fn meta_read<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
@@ -381,7 +520,7 @@ impl MetadataEngine {
     ) -> bool {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
         match &mut self.mdc {
-            Some(mdc) => {
+            Some(mdc) if HAS_MDC => {
                 let out = mdc.access(block.index(), kind, false);
                 self.stats.meta.record_access(kind, out.hit);
                 if out.hit {
@@ -396,12 +535,12 @@ impl MetadataEngine {
                 } else {
                     self.stats.dram_meta.reads += 1;
                     if let Some(victim) = out.evicted {
-                        self.process_eviction(victim, obs);
+                        self.process_eviction::<O, HAS_MDC>(victim, obs);
                     }
                     false
                 }
             }
-            None => {
+            _ => {
                 self.stats.meta.record_access(kind, false);
                 self.stats.dram_meta.reads += 1;
                 false
@@ -412,42 +551,57 @@ impl MetadataEngine {
     /// Verifies a just-fetched counter by walking the tree upward until a
     /// cached (already verified) node or the on-chip root. Returns the
     /// number of levels fetched from memory.
-    fn verify_counter<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) -> u64 {
+    fn verify_counter<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        counter: BlockAddr,
+        obs: &mut O,
+    ) -> u64 {
         self.stats.tree_walks += 1;
-        let path = TreeWalk::of_counter(&self.layout, counter);
+        let levels = self.layout.tree_levels();
         let mut misses = 0;
-        for (level, node) in path.iter().enumerate() {
-            let hit = self.meta_read(node, BlockKind::Tree(level as u8), obs);
+        // Walk incrementally instead of snapshotting the path up front: most
+        // walks hit a cached node within a level or two, so eagerly resolving
+        // every parent (as a buffered copy of the path would) is wasted work.
+        let mut node = (levels > 0).then(|| self.layout.tree_leaf_of(counter));
+        let mut level = 0u8;
+        while let Some(n) = node {
+            let hit = self.meta_read::<O, HAS_MDC>(n, BlockKind::Tree(level), obs);
             if hit {
                 break;
             }
             misses += 1;
+            node = self.layout.tree_parent(n);
+            level += 1;
         }
         self.stats.tree_walk_level_misses += misses;
-        obs.walk_complete(misses, path.len as u64);
+        obs.walk_complete(misses, levels as u64);
         misses
     }
 
     /// Read-modify-write of a counter block for a data write.
-    fn counter_write<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) {
+    fn counter_write<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        counter: BlockAddr,
+        obs: &mut O,
+    ) {
         obs.observe(&MetaAccess::new(
             counter,
             BlockKind::Counter,
             AccessKind::Write,
         ));
         match &mut self.mdc {
-            Some(mdc) if mdc.contents().counters => {
+            Some(mdc) if HAS_MDC && mdc.contents().counters => {
                 let out = mdc.access(counter.index(), BlockKind::Counter, true);
                 self.stats.meta.record_access(BlockKind::Counter, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, obs);
                 }
                 if !out.hit {
                     // Fetch and verify before incrementing; the updated
                     // counter now sits dirty in the cache and its tree
                     // update is deferred until eviction (lazy propagation).
                     self.stats.dram_meta.reads += 1;
-                    self.verify_counter(counter, obs);
+                    self.verify_counter::<O, HAS_MDC>(counter, obs);
                 }
             }
             _ => {
@@ -460,7 +614,12 @@ impl MetadataEngine {
                 let path = TreeWalk::of_counter(&self.layout, counter);
                 let mut slot = self.layout.child_slot_of_counter(counter);
                 for (level, node) in path.iter().enumerate() {
-                    self.meta_write_slot(node, BlockKind::Tree(level as u8), slot, obs);
+                    self.meta_write_slot::<O, HAS_MDC>(
+                        node,
+                        BlockKind::Tree(level as u8),
+                        slot,
+                        obs,
+                    );
                     slot = self.layout.child_slot_of_tree(node);
                 }
             }
@@ -468,7 +627,7 @@ impl MetadataEngine {
     }
 
     /// Writes one 8 B slot of a hash/tree block through the cache.
-    fn meta_write_slot<O: MetaObserver + ?Sized>(
+    fn meta_write_slot<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
@@ -477,7 +636,7 @@ impl MetadataEngine {
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
-            Some(mdc) => {
+            Some(mdc) if HAS_MDC => {
                 let out = mdc.write_partial(block.index(), kind, slot);
                 if out.bypassed {
                     self.stats.meta.record_access(kind, false);
@@ -491,10 +650,10 @@ impl MetadataEngine {
                     self.stats.dram_meta.reads += 1;
                 }
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, obs);
                 }
             }
-            None => {
+            _ => {
                 self.stats.meta.record_access(kind, false);
                 self.stats.dram_meta.reads += 1;
                 self.stats.dram_meta.writes += 1;
@@ -504,7 +663,7 @@ impl MetadataEngine {
 
     /// Writes a whole metadata block (page re-encryption rewrites entire
     /// hash/counter blocks; no fetch needed on miss).
-    fn meta_write_full<O: MetaObserver + ?Sized>(
+    fn meta_write_full<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
@@ -512,11 +671,11 @@ impl MetadataEngine {
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
-            Some(mdc) if mdc.contents().admits(kind) => {
+            Some(mdc) if HAS_MDC && mdc.contents().admits(kind) => {
                 let out = mdc.access(block.index(), kind, true);
                 self.stats.meta.record_access(kind, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, obs);
                 }
             }
             _ => {
@@ -529,7 +688,11 @@ impl MetadataEngine {
     /// Handles an evicted metadata line: write back if dirty and propagate
     /// the integrity update to the parent structure. Cascades are bounded
     /// by [`CASCADE_BUDGET`]; beyond it, updates are written through.
-    fn process_eviction<O: MetaObserver + ?Sized>(&mut self, first: Line, obs: &mut O) {
+    fn process_eviction<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        first: Line,
+        obs: &mut O,
+    ) {
         let mut queue = std::mem::take(&mut self.cascade_buf);
         queue.clear();
         queue.push(first);
@@ -572,7 +735,7 @@ impl MetadataEngine {
                 BlockKind::Tree(level),
                 AccessKind::Write,
             ));
-            if let Some(mdc) = &mut self.mdc {
+            if let Some(mdc) = self.mdc.as_mut().filter(|_| HAS_MDC) {
                 let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
                 if out.bypassed {
                     self.stats.meta.record_access(BlockKind::Tree(level), false);
@@ -630,12 +793,24 @@ impl MetadataEngine {
     /// Re-encrypts a whole page after a counter overflow: every data block
     /// is read, re-encrypted under the new page counter, written back, and
     /// its hashes are recomputed.
-    fn reencrypt_page<O: MetaObserver + ?Sized>(&mut self, page: u64, obs: &mut O) {
+    fn reencrypt_page<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
+        &mut self,
+        page: u64,
+        obs: &mut O,
+    ) {
         self.stats.dram_data.reads += maps_trace::BLOCKS_PER_PAGE;
         self.stats.dram_data.writes += maps_trace::BLOCKS_PER_PAGE;
-        let hash_blocks: Vec<BlockAddr> = self.layout.hash_blocks_of_page(page).collect();
-        for hb in hash_blocks {
-            self.meta_write_full(hb, BlockKind::Hash, obs);
+        // The layout borrow blocks calling `meta_write_full` inside the
+        // iteration; a page has at most BLOCKS_PER_PAGE hash blocks, so a
+        // stack buffer replaces the former per-overflow `Vec` collect.
+        let mut hash_blocks = [BlockAddr::new(0); maps_trace::BLOCKS_PER_PAGE as usize];
+        let mut n = 0;
+        for hb in self.layout.hash_blocks_of_page(page) {
+            hash_blocks[n] = hb;
+            n += 1;
+        }
+        for &hb in &hash_blocks[..n] {
+            self.meta_write_full::<O, HAS_MDC>(hb, BlockKind::Hash, obs);
         }
     }
 }

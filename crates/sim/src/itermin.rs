@@ -42,7 +42,7 @@ fn collect_lru_trace(cfg: &SimConfig, capture: &CapturedTrace) -> (SimReport, Ve
     let cfg = cfg.with_mdc(cfg.mdc.with_policy(PolicyChoice::TrueLru));
     let mut rec = RecordingObserver::new();
     let report = ReplaySim::new(cfg, capture).run_observed(&mut rec);
-    (report, rec.keys())
+    (report, rec.keys().collect())
 }
 
 /// Runs Belady's MIN with a single trace-collection pass under true LRU,
@@ -125,7 +125,7 @@ pub fn run_iter_min_on(
         let prev = *misses.last().expect("at least the LRU run");
         misses.push(m);
         last_report = report;
-        trace = rec.keys();
+        trace = rec.keys().collect();
         if m == prev {
             converged = true;
             break;

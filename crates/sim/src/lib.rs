@@ -39,11 +39,14 @@ pub mod report;
 pub mod sim;
 
 pub use capture::{
-    CaptureLoadError, CapturedEvent, CapturedTrace, DecodeError, FrontEndKey, ReplaySim,
-    TraceBuilder,
+    CaptureLoadError, CapturedEvent, CapturedTrace, DecodeError, EventCursor, FrontEndKey,
+    ReplaySim, TraceBuilder, DEFAULT_BATCH_EVENTS, MAX_BATCH_EVENTS,
 };
 pub use config::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
-pub use engine::{EngineStats, MetaObserver, MetadataEngine, NullObserver, RecordingObserver};
+pub use engine::{
+    BatchPrefetcher, EngineStats, MetaObserver, MetadataEngine, NoPrefetch, NullObserver,
+    RecordingObserver, TagPrefetcher, PREFETCH_DISTANCE,
+};
 pub use hierarchy::{Hierarchy, HierarchyStats, MemEvent};
 pub use mdcache::MetadataCache;
 pub use probe::MetricsProbe;

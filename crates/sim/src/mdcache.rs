@@ -102,6 +102,7 @@ impl MetadataCache {
 
     /// Accesses a metadata block. Non-admitted kinds are probed for
     /// statistics and bypass allocation.
+    #[inline]
     pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> MdOutcome {
         if !self.contents.admits(kind) {
             let hit = self.cache.probe(key, kind);
@@ -139,6 +140,7 @@ impl MetadataCache {
     /// # Panics
     ///
     /// Panics if `slot >= 8`.
+    #[inline]
     pub fn write_partial(&mut self, key: u64, kind: BlockKind, slot: u8) -> MdOutcome {
         if !self.contents.admits(kind) {
             let hit = self.cache.probe(key, kind);
@@ -201,9 +203,17 @@ impl MetadataCache {
     }
 
     /// Iterates over resident lines (for contents inspection, e.g. the
-    /// per-set diversity analysis of Section V-C).
-    pub fn resident_lines(&self) -> impl Iterator<Item = &Line> {
+    /// per-set diversity analysis of Section V-C). Lines are materialized
+    /// from the cache's column store.
+    pub fn resident_lines(&self) -> impl Iterator<Item = Line> + '_ {
         self.cache.resident_lines()
+    }
+
+    /// Prefetches the metadata-cache rows `key` would touch into the host
+    /// cache (a hint for the batched replay path; no architectural effect).
+    #[inline]
+    pub fn prefetch(&self, key: u64) {
+        self.cache.prefetch_set(key);
     }
 
     /// Number of resident lines.

@@ -9,13 +9,20 @@
 //! nightly long-fuzz tier. Any divergence is automatically minimized and
 //! dumped as a replayable artifact under `results/failures/` (see
 //! `maps_oracle::diff`).
+//!
+//! A second differential axis lives here too: the batched SoA replay
+//! engine vs the scalar reference loop, across the same policy × mode
+//! matrix and the adversarial storm generators at batch sizes chosen to
+//! straddle cascade and overflow bursts.
 
 use maps_cache::Partition;
 use maps_oracle::diff::{
     check_case, failures_dir, ops_from_workload, random_ops, replay_artifact, scaled_len, DiffCase,
 };
 use maps_secure::CounterMode;
-use maps_sim::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
+use maps_sim::{
+    CacheContents, CapturedTrace, MdcConfig, PartitionMode, PolicyChoice, ReplaySim, SimConfig,
+};
 use maps_workloads::{Benchmark, CascadeDeepGen, OverflowHeavyGen, PartitionBoundaryGen};
 
 /// Small hierarchy + small MDC so conflict misses, evictions, and cascades
@@ -197,6 +204,67 @@ fn benchmark_profile_trace() {
         base_cfg(),
         ops_from_workload(Benchmark::Gups.build(21), n),
     );
+}
+
+/// Asserts the batched SoA replay reproduces the scalar reference loop
+/// bit-for-bit — full [`maps_sim::SimReport`] equality, cycles included.
+fn batched_vs_scalar(label: &str, cfg: &SimConfig, trace: &CapturedTrace) {
+    let scalar = ReplaySim::new(cfg.clone(), trace).run_scalar();
+    let batched = ReplaySim::new(cfg.clone(), trace).run();
+    assert_eq!(
+        batched, scalar,
+        "{label}: batched replay diverged from scalar"
+    );
+}
+
+#[test]
+fn batched_replay_every_policy_and_mode() {
+    // A capture depends only on the front end, so one recording serves
+    // every back-end point: all policies × both counter modes, MDC-off,
+    // and the insecure baseline.
+    let accesses = scaled_len(4_000) as u64;
+    let base = base_cfg();
+    let trace = CapturedTrace::record(&base, Benchmark::Gups.build(0xBA7C), accesses);
+    for (i, policy) in all_policies().into_iter().enumerate() {
+        for (mode, tag) in [
+            (CounterMode::SplitPi, "pi"),
+            (CounterMode::SgxMonolithic, "sgx"),
+        ] {
+            let mut cfg = base.clone();
+            cfg.mdc.policy = policy.clone();
+            cfg.counter_mode = mode;
+            let label = format!("batch-{}-{}-{}", i, policy.name(), tag);
+            batched_vs_scalar(&label, &cfg, &trace);
+        }
+    }
+    let mut off = base.clone();
+    off.mdc = MdcConfig::disabled();
+    batched_vs_scalar("batch-mdc-off", &off, &trace);
+    let mut insecure = base.clone();
+    insecure.secure = false;
+    insecure.mdc = MdcConfig::disabled();
+    batched_vs_scalar("batch-insecure", &insecure, &trace);
+}
+
+#[test]
+fn batched_replay_boundary_straddling_storms() {
+    // Overflow re-encryption bursts and deep BMT cascades must not care
+    // where a batch boundary falls: every batch size — including ones
+    // guaranteed to split a cascade mid-storm — reproduces the scalar
+    // report exactly.
+    let accesses = scaled_len(3_000) as u64;
+    let base = base_cfg();
+    let overflow = CapturedTrace::record(&base, OverflowHeavyGen::new(11, 4, 2), accesses);
+    let cascade = CapturedTrace::record(&base, CascadeDeepGen::new(12, 64, 4), accesses);
+    for (label, trace) in [("overflow", &overflow), ("cascade", &cascade)] {
+        let scalar = ReplaySim::new(base.clone(), trace).run_scalar();
+        for batch in [1usize, 3, 8, 255, 256, 511, 512] {
+            let batched = ReplaySim::new(base.clone(), trace)
+                .with_batch_size(batch)
+                .run();
+            assert_eq!(batched, scalar, "storm-{label} at batch size {batch}");
+        }
+    }
 }
 
 #[test]
