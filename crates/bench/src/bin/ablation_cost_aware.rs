@@ -1,93 +1,15 @@
-//! Ablation: the cost-aware eviction policy Section VI proposes as future
-//! work ("an eviction policy that accounts for multiple miss costs").
+//! Thin wrapper: runs the `ablation_cost_aware` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::ablation_cost_aware` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
-//! The policy weighs each candidate's recency by the cost of re-fetching
-//! it (counter misses re-trigger tree walks; hash misses cost one
-//! transfer). The hypothesis to test is *not* that it minimizes MPKI — it
-//! deliberately trades extra cheap misses for fewer expensive ones — but
-//! that it reduces the *metadata DRAM traffic* behind the non-uniform
-//! costs.
-//!
-//! Run: `cargo run --release -p maps-bench --bin ablation_cost_aware [--check]`
+//! Run: `cargo run --release -p maps-bench --bin ablation_cost_aware [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
-use maps_workloads::Benchmark;
+use maps_bench::figures::ablation_cost_aware;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("ablation_cost_aware");
-    let accesses = n_accesses(200_000);
-    let benches = Benchmark::memory_intensive();
-    let mut base = SimConfig::paper_default();
-    base.mdc = MdcConfig::paper_default().with_size(64 << 10);
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    let policies = [PolicyChoice::PseudoLru, PolicyChoice::CostAware(5)];
-    let jobs: Vec<(Benchmark, usize)> = benches
-        .iter()
-        .flat_map(|&b| [(b, 0usize), (b, 1usize)])
-        .collect();
-    let base_ref = &base;
-    let policies_ref = &policies;
-    let policy_tags = ["plru", "cost"];
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |&(bench, pi)| format!("{}/{}", bench.name(), policy_tags[pi]),
-        |&(bench, pi)| {
-            let cfg = base_ref.with_mdc(base_ref.mdc.with_policy(policies_ref[pi].clone()));
-            run_sim_cached(&cfg, bench, SEED, accesses)
-        },
-    );
-    let results: Vec<(f64, u64, u64)> = reports
-        .iter()
-        .map(|r| {
-            (
-                r.metadata_mpki(),
-                r.engine.dram_meta.total(),
-                r.engine.tree_walk_level_misses,
-            )
-        })
-        .collect();
-
-    let mut table = Table::new([
-        "benchmark",
-        "mpki_plru",
-        "mpki_cost",
-        "dram_plru",
-        "dram_cost",
-        "walk_fetch_plru",
-        "walk_fetch_cost",
-    ]);
-    let mut traffic_wins = 0usize;
-    let mut walk_wins = 0usize;
-    for (i, &bench) in benches.iter().enumerate() {
-        let (plru_mpki, plru_dram, plru_walks) = results[2 * i];
-        let (cost_mpki, cost_dram, cost_walks) = results[2 * i + 1];
-        traffic_wins += usize::from(cost_dram <= plru_dram);
-        walk_wins += usize::from(cost_walks <= plru_walks);
-        table.row([
-            bench.name().to_string(),
-            format!("{plru_mpki:.2}"),
-            format!("{cost_mpki:.2}"),
-            plru_dram.to_string(),
-            cost_dram.to_string(),
-            plru_walks.to_string(),
-            cost_walks.to_string(),
-        ]);
-    }
-    println!("# Ablation: cost-aware eviction vs pseudo-LRU (64KB metadata cache)\n");
-    ctx.emit(&table);
-
-    claim(
-        walk_wins >= benches.len() / 2,
-        "cost-aware eviction reduces tree-walk fetches for at least half the benchmarks",
-    );
-    claim(
-        traffic_wins >= benches.len() / 3,
-        "cost-aware eviction reduces total metadata DRAM traffic for a meaningful subset",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(ablation_cost_aware::NAME);
+    ablation_cost_aware::drive(&mut host);
+    host.finish();
 }

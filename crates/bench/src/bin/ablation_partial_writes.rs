@@ -1,85 +1,15 @@
-//! Ablation: the partial-write mechanism of Section IV-E (per-8 B valid
-//! bits on hash/tree lines, placeholder insertion on write misses).
+//! Thin wrapper: runs the `ablation_partial_writes` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::ablation_partial_writes` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
-//! The paper predicts modest but real benefits: a write-allocate fetch is
-//! saved whenever a hash block is completely overwritten before eviction,
-//! at the cost of a completing fill read when it is not. Write-heavy
-//! workloads with spatial locality (lbm, fft) should benefit most.
-//!
-//! Run: `cargo run --release -p maps-bench --bin ablation_partial_writes [--check]`
+//! Run: `cargo run --release -p maps-bench --bin ablation_partial_writes [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_sim::SimConfig;
-use maps_workloads::Benchmark;
+use maps_bench::figures::ablation_partial_writes;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("ablation_partial_writes");
-    let accesses = n_accesses(200_000);
-    let benches = Benchmark::memory_intensive();
-    let base = SimConfig::paper_default();
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    let jobs: Vec<(Benchmark, bool)> = benches
-        .iter()
-        .flat_map(|&b| [(b, false), (b, true)])
-        .collect();
-    let base_ref = &base;
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |&(bench, partial)| format!("{}/{}", bench.name(), if partial { "on" } else { "off" }),
-        |&(bench, partial)| {
-            let mut cfg = base_ref.clone();
-            cfg.mdc.partial_writes = partial;
-            run_sim_cached(&cfg, bench, SEED, accesses)
-        },
-    );
-    let results: Vec<(u64, u64)> = reports
-        .iter()
-        .map(|r| (r.engine.dram_meta.total(), r.engine.partial_fill_reads))
-        .collect();
-
-    let mut table = Table::new([
-        "benchmark",
-        "meta_dram_off",
-        "meta_dram_on",
-        "saved_%",
-        "fill_reads",
-    ]);
-    let mut saved_counts = 0usize;
-    for (i, &bench) in benches.iter().enumerate() {
-        let (off, _) = results[2 * i];
-        let (on, fills) = results[2 * i + 1];
-        let saved = 100.0 * (off as f64 - on as f64) / off as f64;
-        if on <= off {
-            saved_counts += 1;
-        }
-        table.row([
-            bench.name().to_string(),
-            off.to_string(),
-            on.to_string(),
-            format!("{saved:.2}"),
-            fills.to_string(),
-        ]);
-    }
-    println!("# Ablation: partial writes for hash/tree updates (Section IV-E)\n");
-    ctx.emit(&table);
-
-    claim(
-        saved_counts >= benches.len() * 2 / 3,
-        "partial writes reduce (or hold) metadata DRAM traffic for most benchmarks",
-    );
-    // "The benefits are modest": no benchmark should see a dramatic swing.
-    let modest = benches.iter().enumerate().all(|(i, _)| {
-        let (off, _) = results[2 * i];
-        let (on, _) = results[2 * i + 1];
-        (on as f64) > 0.5 * off as f64
-    });
-    claim(
-        modest,
-        "partial-write benefits are modest, not transformative",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(ablation_partial_writes::NAME);
+    ablation_partial_writes::drive(&mut host);
+    host.finish();
 }

@@ -1,99 +1,15 @@
-//! Ablation: split (PoisonIvy-style) versus monolithic (SGX-style)
-//! counters.
+//! Thin wrapper: runs the `ablation_sgx_vs_pi` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::ablation_sgx_vs_pi` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
-//! Table II's geometry predicts the behavioural difference: a PI counter
-//! block covers a 4 KB page while an SGX counter block covers only 512 B —
-//! "Intel SGX uses a larger 8B per-block counter, changing the behavior of
-//! counter blocks to match that of the hash blocks" (Section IV-B). SGX
-//! mode therefore needs 8× the counter blocks and suffers more counter
-//! misses, while PI pays for its density with page re-encryption overflow
-//! events.
-//!
-//! Run: `cargo run --release -p maps-bench --bin ablation_sgx_vs_pi [--check]`
+//! Run: `cargo run --release -p maps-bench --bin ablation_sgx_vs_pi [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_secure::CounterMode;
-use maps_sim::SimConfig;
-use maps_trace::MetaGroup;
-use maps_workloads::Benchmark;
+use maps_bench::figures::ablation_sgx_vs_pi;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("ablation_sgx_vs_pi");
-    let accesses = n_accesses(200_000);
-    let benches = Benchmark::memory_intensive();
-    let base = SimConfig::paper_default();
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    let jobs: Vec<(Benchmark, CounterMode)> = benches
-        .iter()
-        .flat_map(|&b| [(b, CounterMode::SplitPi), (b, CounterMode::SgxMonolithic)])
-        .collect();
-    let base_ref = &base;
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |&(bench, mode)| {
-            let tag = match mode {
-                CounterMode::SplitPi => "pi",
-                CounterMode::SgxMonolithic => "sgx",
-            };
-            format!("{}/{tag}", bench.name())
-        },
-        |&(bench, mode)| {
-            let mut cfg = base_ref.clone();
-            cfg.counter_mode = mode;
-            run_sim_cached(&cfg, bench, SEED, accesses)
-        },
-    );
-    let results: Vec<(f64, f64, u64)> = reports
-        .iter()
-        .map(|r| {
-            (
-                r.group_mpki(MetaGroup::Counter),
-                r.metadata_mpki(),
-                r.engine.page_overflows,
-            )
-        })
-        .collect();
-
-    let mut table = Table::new([
-        "benchmark",
-        "ctr_mpki_pi",
-        "ctr_mpki_sgx",
-        "meta_mpki_pi",
-        "meta_mpki_sgx",
-        "pi_overflows",
-    ]);
-    let mut sgx_worse = 0usize;
-    for (i, &bench) in benches.iter().enumerate() {
-        let (pi_ctr, pi_all, pi_ovf) = results[2 * i];
-        let (sgx_ctr, sgx_all, _) = results[2 * i + 1];
-        if sgx_ctr >= pi_ctr {
-            sgx_worse += 1;
-        }
-        table.row([
-            bench.name().to_string(),
-            format!("{pi_ctr:.2}"),
-            format!("{sgx_ctr:.2}"),
-            format!("{pi_all:.2}"),
-            format!("{sgx_all:.2}"),
-            pi_ovf.to_string(),
-        ]);
-    }
-    println!("# Ablation: PoisonIvy split counters vs. SGX monolithic counters\n");
-    ctx.emit(&table);
-
-    claim(
-        sgx_worse >= benches.len() * 2 / 3,
-        "SGX-style counters miss at least as often as split counters (8x less coverage)",
-    );
-    let pi_total: f64 = (0..benches.len()).map(|i| results[2 * i].1).sum();
-    let sgx_total: f64 = (0..benches.len()).map(|i| results[2 * i + 1].1).sum();
-    claim(
-        sgx_total >= pi_total,
-        "aggregate metadata MPKI is higher under SGX-style counters",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(ablation_sgx_vs_pi::NAME);
+    ablation_sgx_vs_pi::drive(&mut host);
+    host.finish();
 }

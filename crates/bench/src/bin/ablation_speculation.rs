@@ -1,147 +1,15 @@
-//! Ablation: speculative use of unverified data (PoisonIvy \[12\]) on
-//! versus off.
+//! Thin wrapper: runs the `ablation_speculation` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::ablation_speculation` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
-//! Section III notes that "experiments without speculation produce the
-//! same general trend", and Section IV-C argues the metadata cache matters
-//! *more* without speculation because verification latency sits on the
-//! critical path. Both effects are checked here.
-//!
-//! Run: `cargo run --release -p maps-bench --bin ablation_speculation [--check]`
+//! Run: `cargo run --release -p maps-bench --bin ablation_speculation [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_sim::{MdcConfig, SimConfig};
-use maps_workloads::Benchmark;
+use maps_bench::figures::ablation_speculation;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("ablation_speculation");
-    let accesses = n_accesses(150_000);
-    let benches = Benchmark::memory_intensive();
-    let base = SimConfig::paper_default();
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    // (speculation, metadata cache enabled)
-    let variants = [(true, true), (true, false), (false, true), (false, false)];
-    let jobs: Vec<(Benchmark, bool, bool)> = benches
-        .iter()
-        .flat_map(|&b| variants.into_iter().map(move |(s, m)| (b, s, m)))
-        .collect();
-    let base_ref = &base;
-    let tag = |on: bool| if on { "on" } else { "off" };
-    let results: Vec<f64> = ctx
-        .sweep(
-            "grid",
-            &jobs,
-            |&(bench, spec, mdc)| format!("{}/spec-{}/mdc-{}", bench.name(), tag(spec), tag(mdc)),
-            |&(bench, spec, mdc)| {
-                let mut cfg = base_ref.clone();
-                cfg.speculation = spec;
-                if !mdc {
-                    cfg.mdc = MdcConfig::disabled();
-                }
-                run_sim_cached(&cfg, bench, SEED, accesses)
-            },
-        )
-        .iter()
-        .map(|r| r.cycles as f64)
-        .collect();
-    let cycles = |bench: Benchmark, spec: bool, mdc: bool| -> f64 {
-        let idx = jobs
-            .iter()
-            .position(|&(b, s, m)| b == bench && s == spec && m == mdc)
-            .expect("configuration simulated");
-        results[idx]
-    };
-
-    let mut table = Table::new([
-        "benchmark",
-        "spec+mdc",
-        "spec_no_mdc",
-        "nospec+mdc",
-        "nospec_no_mdc",
-        "mdc_speedup_spec",
-        "mdc_speedup_nospec",
-    ]);
-    for &bench in &benches {
-        let s_m = cycles(bench, true, true);
-        let s_n = cycles(bench, true, false);
-        let n_m = cycles(bench, false, true);
-        let n_n = cycles(bench, false, false);
-        table.row([
-            bench.name().to_string(),
-            format!("{s_m:.0}"),
-            format!("{s_n:.0}"),
-            format!("{n_m:.0}"),
-            format!("{n_n:.0}"),
-            format!("{:.3}", s_n / s_m),
-            format!("{:.3}", n_n / n_m),
-        ]);
-    }
-    println!("# Ablation: speculation on/off x metadata cache on/off (cycles)\n");
-    ctx.emit(&table);
-
-    for &bench in &benches {
-        claim(
-            cycles(bench, false, true) >= cycles(bench, true, true),
-            &format!("{bench}: removing speculation never speeds execution"),
-        );
-    }
-    let helps_more_without_spec = benches
-        .iter()
-        .filter(|&&b| {
-            let spec_gain = cycles(b, true, false) / cycles(b, true, true);
-            let nospec_gain = cycles(b, false, false) / cycles(b, false, true);
-            nospec_gain >= spec_gain
-        })
-        .count();
-    claim(
-        helps_more_without_spec >= benches.len() * 2 / 3,
-        "the metadata cache helps at least as much without speculation (verification on the critical path)",
-    );
-
-    // Finite speculation windows: PoisonIvy "is effective only if the
-    // verification latency is not too long" — sweep the window and show
-    // cycles degrade monotonically toward the no-speculation bound.
-    let windows = [u64::MAX, 1024, 256, 64, 0];
-    let sweep_bench = Benchmark::Gups;
-    let window_cycles: Vec<f64> = ctx
-        .sweep(
-            "window-sweep",
-            &windows,
-            |&w| format!("window{w}"),
-            |&w| {
-                let mut cfg = base.clone();
-                cfg.speculation_window = w;
-                run_sim_cached(&cfg, sweep_bench, SEED, accesses)
-            },
-        )
-        .iter()
-        .map(|r| r.cycles as f64)
-        .collect();
-    let mut window_table = Table::new(["speculation_window", "cycles"]);
-    for (&w, &c) in windows.iter().zip(&window_cycles) {
-        let label = if w == u64::MAX {
-            "unbounded".to_string()
-        } else {
-            w.to_string()
-        };
-        window_table.row([label, format!("{c:.0}")]);
-    }
-    println!(
-        "
-# Speculation-window sweep ({sweep_bench})
-"
-    );
-    ctx.emit(&window_table);
-    claim(
-        window_cycles.windows(2).all(|w| w[1] >= w[0] * 0.999),
-        "shrinking the speculation window monotonically degrades performance",
-    );
-    let nospec = cycles(sweep_bench, false, true);
-    claim(
-        (window_cycles.last().copied().expect("non-empty sweep") - nospec).abs() <= nospec * 0.01,
-        "a zero-cycle window behaves like no speculation",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(ablation_speculation::NAME);
+    ablation_speculation::drive(&mut host);
+    host.finish();
 }

@@ -1,119 +1,15 @@
-//! Figure 1: metadata MPKI vs. metadata cache size when caching
-//! (i) counters only, (ii) counters + hashes, (iii) all metadata types,
-//! for `canneal` and `libquantum`.
+//! Thin wrapper: runs the `fig1` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::fig1` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
 //! Run: `cargo run --release -p maps-bench --bin fig1 [--check] [--tsv]`
 
-use maps_analysis::{fmt_bytes, Table};
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, MDC_SIZES, SEED};
-use maps_sim::{CacheContents, SimConfig};
-use maps_workloads::Benchmark;
+use maps_bench::figures::fig1;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("fig1");
-    let accesses = n_accesses(400_000);
-    let contents = [
-        CacheContents::COUNTERS_ONLY,
-        CacheContents::COUNTERS_AND_HASHES,
-        CacheContents::ALL,
-    ];
-    let benches = [Benchmark::Canneal, Benchmark::Libquantum];
-
-    let mut jobs = Vec::new();
-    for &bench in &benches {
-        for &contents_cfg in &contents {
-            for &size in &MDC_SIZES {
-                jobs.push((bench, contents_cfg, size));
-            }
-        }
-    }
-    let base = SimConfig::paper_default();
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |&(bench, contents_cfg, size)| {
-            format!(
-                "{}/{}/mdc{}",
-                bench.name(),
-                contents_cfg.label(),
-                size >> 10
-            )
-        },
-        |&(bench, contents_cfg, size)| {
-            let cfg = base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg));
-            run_sim_cached(&cfg, bench, SEED, accesses)
-        },
-    );
-    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
-    for (&(bench, contents_cfg, size), report) in jobs.iter().zip(&reports) {
-        let label = format!(
-            "run.{}.{}.mdc{}k",
-            bench.name(),
-            contents_cfg.label(),
-            size >> 10
-        );
-        ctx.record_report(&label, report);
-    }
-
-    let mut table = Table::new(["benchmark", "contents", "mdc_size", "metadata_mpki"]);
-    for ((bench, contents_cfg, size), mpki) in jobs.iter().zip(&results) {
-        table.row([
-            bench.name().to_string(),
-            contents_cfg.label().to_string(),
-            fmt_bytes(*size),
-            format!("{mpki:.2}"),
-        ]);
-    }
-    println!("# Figure 1: metadata MPKI vs. metadata cache size\n");
-    ctx.emit(&table);
-
-    // Qualitative claims from Section II-B.
-    let mpki = |bench: Benchmark, c: CacheContents, size: u64| -> f64 {
-        let idx = jobs
-            .iter()
-            .position(|&(b, cc, s)| b == bench && cc == c && s == size)
-            .expect("configuration simulated");
-        results[idx]
-    };
-    for &size in &MDC_SIZES[..3] {
-        claim(
-            mpki(Benchmark::Canneal, CacheContents::ALL, size)
-                <= mpki(Benchmark::Canneal, CacheContents::COUNTERS_ONLY, size) + 1e-9,
-            &format!(
-                "canneal: caching all types no worse than counters-only at {}",
-                fmt_bytes(size)
-            ),
-        );
-    }
-    claim(
-        mpki(Benchmark::Libquantum, CacheContents::ALL, 16 << 10)
-            < mpki(
-                Benchmark::Libquantum,
-                CacheContents::COUNTERS_ONLY,
-                16 << 10,
-            ),
-        "libquantum: all types reduce MPKI significantly below 512KB",
-    );
-    // "the cache size needed for a given miss rate is smaller when
-    // including all metadata types": a 16x smaller all-types cache beats a
-    // counters-only cache.
-    claim(
-        mpki(Benchmark::Canneal, CacheContents::ALL, 64 << 10)
-            <= mpki(Benchmark::Canneal, CacheContents::COUNTERS_ONLY, 1 << 20),
-        "canneal: a 64KB all-types cache beats a 1MB counters-only cache",
-    );
-    // Monotonicity: more capacity never increases all-types MPKI much.
-    for &bench in &benches {
-        let series: Vec<f64> = MDC_SIZES
-            .iter()
-            .map(|&s| mpki(bench, CacheContents::ALL, s))
-            .collect();
-        claim(
-            series.windows(2).all(|w| w[1] <= w[0] * 1.05),
-            &format!("{bench}: all-types MPKI is (weakly) decreasing in cache size"),
-        );
-    }
-    ctx.finish();
+    let mut host = LocalHost::new(fig1::NAME);
+    fig1::drive(&mut host);
+    host.finish();
 }

@@ -1,114 +1,15 @@
-//! Figure 2: energy–delay² for every (LLC size × metadata cache size)
-//! split of the on-chip SRAM budget, normalized to a 2 MB-LLC system
-//! without secure memory; geometric mean over all benchmarks plus
-//! `canneal`.
+//! Thin wrapper: runs the `fig2` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::fig2` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
 //! Run: `cargo run --release -p maps-bench --bin fig2 [--check] [--tsv]`
 
-use maps_analysis::{fmt_bytes, geometric_mean, Table};
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, LLC_SIZES, MDC_SIZES, SEED};
-use maps_sim::SimConfig;
-use maps_workloads::Benchmark;
+use maps_bench::figures::fig2;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("fig2");
-    let accesses = n_accesses(150_000);
-    let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
-    let base = SimConfig::paper_default();
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    // Baseline: 2 MB LLC, no secure memory, per benchmark.
-    let baseline_reports = ctx.sweep(
-        "baselines",
-        &benches,
-        |b| b.name().to_string(),
-        |b| run_sim_cached(&SimConfig::insecure_baseline(), *b, SEED, accesses),
-    );
-    let baselines: Vec<f64> = baseline_reports.iter().map(|r| r.ed2()).collect();
-    for (bench, report) in benches.iter().zip(&baseline_reports) {
-        ctx.record_report(&format!("baseline.{}", bench.name()), report);
-    }
-
-    let mut jobs = Vec::new();
-    for &llc in &LLC_SIZES {
-        for &mdc in &MDC_SIZES {
-            for (bi, &bench) in benches.iter().enumerate() {
-                jobs.push((llc, mdc, bi, bench));
-            }
-        }
-    }
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |(llc, mdc, _bi, bench)| format!("llc{}/mdc{}/{}", llc >> 10, mdc >> 10, bench.name()),
-        |&(llc, mdc, _bi, bench)| {
-            let cfg = base.with_llc_bytes(llc).with_mdc(base.mdc.with_size(mdc));
-            run_sim_cached(&cfg, bench, SEED, accesses)
-        },
-    );
-    let results: Vec<f64> = reports.iter().map(|r| r.ed2()).collect();
-    for (&(llc, mdc, _, bench), report) in jobs.iter().zip(&reports) {
-        let label = format!("run.llc{}k.mdc{}k.{}", llc >> 10, mdc >> 10, bench.name());
-        ctx.record_report(&label, report);
-    }
-
-    // Normalize per benchmark, then aggregate.
-    let mut table = Table::new(["llc", "mdc", "total_budget", "ed2_geomean", "ed2_canneal"]);
-    let mut rows = Vec::new();
-    for &llc in &LLC_SIZES {
-        for &mdc in &MDC_SIZES {
-            let mut normalized = Vec::new();
-            let mut canneal_value = f64::NAN;
-            for (bi, &bench) in benches.iter().enumerate() {
-                let idx = jobs
-                    .iter()
-                    .position(|&(l, m, b, _)| l == llc && m == mdc && b == bi)
-                    .expect("configuration simulated");
-                let norm = results[idx] / baselines[bi];
-                if bench == Benchmark::Canneal {
-                    canneal_value = norm;
-                }
-                normalized.push(norm);
-            }
-            let geo = geometric_mean(&normalized);
-            rows.push((llc, mdc, geo, canneal_value));
-            table.row([
-                fmt_bytes(llc),
-                fmt_bytes(mdc),
-                fmt_bytes(llc + mdc),
-                format!("{geo:.3}"),
-                format!("{canneal_value:.3}"),
-            ]);
-        }
-    }
-    println!("# Figure 2: normalized ED^2 across LLC/metadata-cache budgets\n");
-    ctx.emit(&table);
-
-    let lookup = |llc: u64, mdc: u64| {
-        rows.iter()
-            .find(|&&(l, m, _, _)| l == llc && m == mdc)
-            .copied()
-            .expect("row exists")
-    };
-    // The paper's reading: for the average benchmark, spending a ~1MB
-    // budget mostly on LLC beats splitting it evenly; canneal flips.
-    let (_, _, avg_big_llc, canneal_big_llc) = lookup(1 << 20, 16 << 10);
-    let (_, _, avg_split, canneal_split) = lookup(512 << 10, 512 << 10);
-    claim(
-        avg_big_llc < avg_split,
-        "average: 1MB LLC + 16KB MDC beats 512KB LLC + 512KB MDC",
-    );
-    claim(
-        canneal_split < canneal_big_llc,
-        "canneal: 512KB LLC + 512KB MDC beats 1MB LLC + 16KB MDC",
-    );
-    // Secure memory always costs something relative to the insecure 2MB
-    // baseline at equal LLC.
-    let (_, _, secure_2mb, _) = lookup(2 << 20, 64 << 10);
-    claim(
-        secure_2mb > 1.0,
-        "secure memory adds ED^2 overhead at the reference LLC size",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(fig2::NAME);
+    fig2::drive(&mut host);
+    host.finish();
 }

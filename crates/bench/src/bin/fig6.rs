@@ -1,146 +1,15 @@
-//! Figure 6: metadata MPKI under pseudo-LRU, EVA, Belady MIN, and
-//! iterative MIN with a 64 KB metadata cache holding all metadata types.
-//!
-//! The paper's headline result — naively applied MIN (and even iterMIN) is
-//! frequently *worse* than pseudo-LRU because metadata miss costs are
-//! non-uniform and the access trace depends on cache contents — is checked
-//! in `--check` mode.
+//! Thin wrapper: runs the `fig6` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::fig6` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
 //! Run: `cargo run --release -p maps-bench --bin fig6 [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{captured_trace, claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_sim::itermin::{run_iter_min_on, run_min_on};
-use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
-use maps_workloads::Benchmark;
-
-#[derive(Clone, Copy, PartialEq)]
-enum PolicyUnderTest {
-    PseudoLru,
-    Eva,
-    Min,
-    IterMin,
-}
-
-impl PolicyUnderTest {
-    const ALL: [PolicyUnderTest; 4] = [
-        PolicyUnderTest::PseudoLru,
-        PolicyUnderTest::Eva,
-        PolicyUnderTest::Min,
-        PolicyUnderTest::IterMin,
-    ];
-
-    fn tag(self) -> &'static str {
-        match self {
-            PolicyUnderTest::PseudoLru => "plru",
-            PolicyUnderTest::Eva => "eva",
-            PolicyUnderTest::Min => "min",
-            PolicyUnderTest::IterMin => "itermin",
-        }
-    }
-}
+use maps_bench::figures::fig6;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("fig6");
-    let accesses = n_accesses(120_000);
-    let benches = Benchmark::memory_intensive();
-    let mut cfg = SimConfig::paper_default();
-    cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
-    // MIN replay requires the oracle's time base to match the recorded
-    // trace, so the whole window is measured for every policy.
-    cfg.warmup_fraction = 0.0;
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&cfg);
-
-    let mut jobs = Vec::new();
-    for &bench in &benches {
-        for policy in PolicyUnderTest::ALL {
-            jobs.push((bench, policy));
-        }
-    }
-    let cfg_ref = &cfg;
-    // All four policies per benchmark share one captured front end (the
-    // zero-warm-up capture the MIN oracles require).
-    let reports = ctx.sweep(
-        "sweep",
-        &jobs,
-        |&(bench, policy)| format!("{}/{}", bench.name(), policy.tag()),
-        |&(bench, policy)| match policy {
-            PolicyUnderTest::PseudoLru => run_sim_cached(cfg_ref, bench, SEED, accesses),
-            PolicyUnderTest::Eva => {
-                let c = cfg_ref.with_mdc(cfg_ref.mdc.with_policy(PolicyChoice::Eva));
-                run_sim_cached(&c, bench, SEED, accesses)
-            }
-            PolicyUnderTest::Min => {
-                run_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses))
-            }
-            PolicyUnderTest::IterMin => {
-                run_iter_min_on(cfg_ref, &captured_trace(cfg_ref, bench, SEED, accesses), 4).report
-            }
-        },
-    );
-    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
-
-    let mut table = Table::new(["benchmark", "pseudo-lru", "eva", "min", "itermin"]);
-    let mpki = |bench: Benchmark, policy: PolicyUnderTest| -> f64 {
-        let idx = jobs
-            .iter()
-            .position(|&(b, p)| b == bench && p == policy)
-            .expect("configuration simulated");
-        results[idx]
-    };
-    for &bench in &benches {
-        table.row([
-            bench.name().to_string(),
-            format!("{:.2}", mpki(bench, PolicyUnderTest::PseudoLru)),
-            format!("{:.2}", mpki(bench, PolicyUnderTest::Eva)),
-            format!("{:.2}", mpki(bench, PolicyUnderTest::Min)),
-            format!("{:.2}", mpki(bench, PolicyUnderTest::IterMin)),
-        ]);
-    }
-    println!("# Figure 6: metadata MPKI by eviction policy (64KB metadata cache)\n");
-    ctx.emit(&table);
-
-    // Section V claims.
-    // "For most benchmarks, neither MIN nor iterMIN perform better than
-    // pseudo-LRU and indeed do much worse."
-    let min_loses = benches
-        .iter()
-        .filter(|&&b| mpki(b, PolicyUnderTest::Min) > mpki(b, PolicyUnderTest::PseudoLru))
-        .count();
-    claim(
-        min_loses > benches.len() / 2,
-        "trace-fed MIN is worse than pseudo-LRU for most benchmarks",
-    );
-    let itermin_loses = benches
-        .iter()
-        .filter(|&&b| mpki(b, PolicyUnderTest::IterMin) > mpki(b, PolicyUnderTest::PseudoLru))
-        .count();
-    claim(
-        itermin_loses > benches.len() / 2,
-        "iterMIN's results are worse than pseudo-LRU for most benchmarks",
-    );
-    // "EVA does not perform as expected because metadata types have
-    // bimodal reuse distances" — its single histogram never dominates.
-    let eva_wins = benches
-        .iter()
-        .filter(|&&b| mpki(b, PolicyUnderTest::Eva) < mpki(b, PolicyUnderTest::PseudoLru) * 0.95)
-        .count();
-    claim(
-        eva_wins <= benches.len() / 3,
-        "EVA does not deliver the expected win over pseudo-LRU on metadata",
-    );
-    // The ranking of MIN vs iterMIN itself flips across benchmarks —
-    // another facet of "no one eviction policy worked for all".
-    let itermin_better_somewhere = benches
-        .iter()
-        .any(|&b| mpki(b, PolicyUnderTest::IterMin) < mpki(b, PolicyUnderTest::Min));
-    let min_better_somewhere = benches
-        .iter()
-        .any(|&b| mpki(b, PolicyUnderTest::Min) < mpki(b, PolicyUnderTest::IterMin));
-    claim(
-        itermin_better_somewhere && min_better_somewhere,
-        "the MIN/iterMIN ranking varies across benchmarks",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(fig6::NAME);
+    fig6::drive(&mut host);
+    host.finish();
 }

@@ -1,210 +1,15 @@
-//! Figure 7: ED² overhead of secure memory under four metadata cache
-//! partitioning schemes: (i) no partition, (ii) best static counter/hash
-//! split per application, (iii) the average best split across
-//! applications, and (iv) dynamic set-dueling. The best static split per
-//! benchmark is reported alongside (the paper annotates it below the
-//! x-axis).
+//! Thin wrapper: runs the `fig7` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::fig7` for the figure logic and
+//! `maps-farm` for the campaign path.
 //!
 //! Run: `cargo run --release -p maps-bench --bin fig7 [--check] [--tsv]`
 
-use maps_analysis::Table;
-use maps_bench::{claim, n_accesses, run_sim_cached, RunContext, SEED};
-use maps_cache::Partition;
-use maps_sim::{MdcConfig, PartitionMode, SimConfig};
-use maps_workloads::Benchmark;
+use maps_bench::figures::fig7;
+use maps_bench::LocalHost;
 
 fn main() {
-    let mut ctx = RunContext::new("fig7");
-    let accesses = n_accesses(150_000);
-    let benches = Benchmark::memory_intensive();
-    let mut base = SimConfig::paper_default();
-    base.mdc = MdcConfig::paper_default().with_size(64 << 10);
-    let ways = base.mdc.ways;
-    ctx.param_u64("accesses", accesses).param_u64("seed", SEED);
-    ctx.set_config(&base);
-
-    // Insecure baselines for normalization.
-    let baselines: Vec<f64> = ctx
-        .sweep(
-            "baselines",
-            &benches,
-            |b| b.name().to_string(),
-            |b| run_sim_cached(&SimConfig::insecure_baseline(), *b, SEED, accesses),
-        )
-        .iter()
-        .map(|r| r.ed2())
-        .collect();
-
-    // (a) No partition.
-    let base_ref = &base;
-    let none: Vec<f64> = ctx
-        .sweep(
-            "no-partition",
-            &benches,
-            |b| b.name().to_string(),
-            |b| run_sim_cached(base_ref, *b, SEED, accesses),
-        )
-        .iter()
-        .map(|r| r.ed2())
-        .collect();
-
-    // (b) Static sweep: every split for every benchmark.
-    let mut static_jobs = Vec::new();
-    for (bi, &bench) in benches.iter().enumerate() {
-        for split in Partition::all_splits(ways) {
-            static_jobs.push((bi, bench, split));
-        }
-    }
-    let static_results: Vec<f64> = ctx
-        .sweep(
-            "static-sweep",
-            &static_jobs,
-            |&(_bi, bench, split)| format!("{}/ctr{}", bench.name(), split.counter_way_count()),
-            |&(_bi, bench, split)| {
-                let mut cfg = base_ref.clone();
-                cfg.mdc.partition = PartitionMode::Static(split);
-                run_sim_cached(&cfg, bench, SEED, accesses)
-            },
-        )
-        .iter()
-        .map(|r| r.ed2())
-        .collect();
-    let mut best_split = vec![Partition::counter_ways(1); benches.len()];
-    let mut best_static = vec![f64::INFINITY; benches.len()];
-    for ((bi, _, split), ed2) in static_jobs.iter().zip(&static_results) {
-        if *ed2 < best_static[*bi] {
-            best_static[*bi] = *ed2;
-            best_split[*bi] = *split;
-        }
-    }
-
-    // (c) Average best split: the most common best split across apps.
-    let avg_ways = {
-        let sum: usize = best_split.iter().map(Partition::counter_way_count).sum();
-        (sum as f64 / best_split.len() as f64)
-            .round()
-            .clamp(1.0, (ways - 1) as f64) as usize
-    };
-    let avg_partition = Partition::counter_ways(avg_ways);
-    let avg_static: Vec<f64> = ctx
-        .sweep(
-            "avg-static",
-            &benches,
-            |b| b.name().to_string(),
-            |b| {
-                let mut cfg = base_ref.clone();
-                cfg.mdc.partition = PartitionMode::Static(avg_partition);
-                run_sim_cached(&cfg, *b, SEED, accesses)
-            },
-        )
-        .iter()
-        .map(|r| r.ed2())
-        .collect();
-
-    // (d) Dynamic set dueling between a counter-light and counter-heavy
-    // split.
-    let dynamic: Vec<f64> = ctx
-        .sweep(
-            "dynamic",
-            &benches,
-            |b| b.name().to_string(),
-            |b| {
-                let mut cfg = base_ref.clone();
-                cfg.mdc.partition = PartitionMode::Dynamic {
-                    a: Partition::counter_ways(2),
-                    b: Partition::counter_ways(6),
-                    leaders_per_side: 4,
-                };
-                run_sim_cached(&cfg, *b, SEED, accesses)
-            },
-        )
-        .iter()
-        .map(|r| r.ed2())
-        .collect();
-
-    let mut table = Table::new([
-        "benchmark",
-        "no_partition",
-        "best_static",
-        "avg_static",
-        "dynamic",
-        "best_split(ctr:hash)",
-    ]);
-    for (i, &bench) in benches.iter().enumerate() {
-        let n = baselines[i];
-        table.row([
-            bench.name().to_string(),
-            format!("{:.3}", none[i] / n),
-            format!("{:.3}", best_static[i] / n),
-            format!("{:.3}", avg_static[i] / n),
-            format!("{:.3}", dynamic[i] / n),
-            format!(
-                "{}:{}",
-                best_split[i].counter_way_count(),
-                ways - best_split[i].counter_way_count()
-            ),
-        ]);
-    }
-    println!("# Figure 7: ED^2 overhead under cache partitioning schemes (64KB MDC)\n");
-    println!(
-        "average best split: {avg_ways}:{} counter:hash ways\n",
-        ways - avg_ways
-    );
-    ctx.emit(&table);
-
-    // Section V-C claims.
-    let improved = benches
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| best_static[i] < none[i] * 0.995)
-        .count();
-    claim(
-        improved >= 1 && improved < benches.len(),
-        "the best static partition helps only a subset of benchmarks",
-    );
-    // "Results were surprising as dynamically partitioning the cache does
-    // not help": no benchmark should gain more than noise (2%) from it...
-    let dynamic_wins = benches
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| dynamic[i] < none[i] * 0.98)
-        .count();
-    claim(
-        dynamic_wins <= benches.len() / 4,
-        "dynamic partitioning does not meaningfully help most benchmarks",
-    );
-    // ..."In some cases, having the dynamic partition hurts the cache
-    // efficiency (see fft)" — in our reproduction the victim benchmark can
-    // differ (milc), but the hurt is reproduced.
-    let dynamic_hurts = benches
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| dynamic[i] > none[i] * 1.02)
-        .count();
-    claim(
-        dynamic_hurts >= 1,
-        "dynamic partitioning actively hurts at least one benchmark",
-    );
-    let fft = benches
-        .iter()
-        .position(|&b| b == Benchmark::Fft)
-        .expect("fft in set");
-    claim(
-        dynamic[fft] >= none[fft] * 0.98,
-        "fft: dynamic partitioning does not beat no-partition",
-    );
-    // "Applications requirements evolve … a static partition serves only
-    // to limit the cache capacity for each type": a split tuned for the
-    // average application must harm some benchmarks relative to no
-    // partition.
-    let harmed_by_avg = benches
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| avg_static[i] > none[i])
-        .count();
-    claim(
-        harmed_by_avg >= 1,
-        "the average-best static split harms some benchmarks versus no partition",
-    );
-    ctx.finish();
+    let mut host = LocalHost::new(fig7::NAME);
+    fig7::drive(&mut host);
+    host.finish();
 }

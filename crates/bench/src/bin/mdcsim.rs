@@ -183,19 +183,35 @@ fn run() -> Result<(), BenchError> {
         return Err(usage_err(format!("unknown argument {unknown:?}")));
     }
 
-    let mut workload: Box<dyn Workload> = match &replay_path {
-        Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| BenchError::io(path, e))?;
-            let trace = maps_trace::read_trace(file)
-                .map_err(|e| BenchError::Failed(format!("{path}: {e}")))?;
-            Box::new(ReplayWorkload::looping("replay", trace))
-        }
-        None => Benchmark::from_name(&bench_name)
-            .ok_or_else(|| usage_err(format!("unknown benchmark {bench_name:?}; try --list")))?
-            .build(seed),
-    };
+    // A profile run with no trace recording goes through the shared
+    // capture-key memo (`run_sim_cached`), so mdcsim derives its capture
+    // identity from the same `CaptureKey` helper as the figure drivers
+    // and the farm — bit-identical to the direct path by the
+    // replay-equivalence suite. Custom workloads (trace replay, trace
+    // recording) keep the direct simulator.
+    enum Drive {
+        Profile(Benchmark),
+        Custom(Box<dyn Workload>),
+    }
+
+    let mut drive: Drive =
+        match &replay_path {
+            Some(path) => {
+                let file = std::fs::File::open(path).map_err(|e| BenchError::io(path, e))?;
+                let trace = maps_trace::read_trace(file)
+                    .map_err(|e| BenchError::Failed(format!("{path}: {e}")))?;
+                Drive::Custom(Box::new(ReplayWorkload::looping("replay", trace)))
+            }
+            None => Drive::Profile(Benchmark::from_name(&bench_name).ok_or_else(|| {
+                usage_err(format!("unknown benchmark {bench_name:?}; try --list"))
+            })?),
+        };
 
     if let Some(path) = trace_out {
+        let mut workload: Box<dyn Workload> = match drive {
+            Drive::Profile(bench) => bench.build(seed),
+            Drive::Custom(w) => w,
+        };
         let trace: Vec<MemAccess> = (0..accesses).map(|_| workload.next_access()).collect();
         // Serialize in memory, then publish atomically: a failed or
         // interrupted write never leaves a torn trace file behind.
@@ -204,7 +220,7 @@ fn run() -> Result<(), BenchError> {
         maps_obs::write_atomic(std::path::Path::new(&path), &bytes)
             .map_err(|e| BenchError::io(&path, e))?;
         println!("wrote {} accesses to {path}", trace.len());
-        workload = Box::new(ReplayWorkload::new("recorded", trace));
+        drive = Drive::Custom(Box::new(ReplayWorkload::new("recorded", trace)));
     }
 
     let mut ctx = RunContext::new("mdcsim");
@@ -212,8 +228,15 @@ fn run() -> Result<(), BenchError> {
     ctx.param_str("bench", &bench_name);
     ctx.set_config(&cfg);
 
-    let mut sim = SecureSim::new(cfg, workload);
-    let report = ctx.phase("run", || sim.run(accesses));
+    let report = match drive {
+        Drive::Profile(bench) => ctx.phase("run", || {
+            maps_bench::run_sim_cached(&cfg, bench, seed, accesses)
+        }),
+        Drive::Custom(workload) => {
+            let mut sim = SecureSim::new(cfg, workload);
+            ctx.phase("run", || sim.run(accesses))
+        }
+    };
     ctx.record_report("run", &report);
     ctx.finish();
     println!("{report}");

@@ -151,16 +151,22 @@ impl RunContext {
     /// Opens the context for the named binary, stamping the start time and
     /// resolving the manifest/checkpoint/TSV paths from the command line.
     pub fn new(name: &str) -> Self {
+        Self::with_paths(name, manifest_path(name), ckpt_path(name), tsv_file())
+    }
+
+    /// Opens the context with explicit artifact paths instead of reading
+    /// the command line (farm figure hosts and test harnesses).
+    pub fn with_paths(name: &str, manifest: PathBuf, ckpt: PathBuf, tsv: Option<PathBuf>) -> Self {
         RunContext {
             manifest: Manifest::new(name),
             phases: Phases::new(),
             metrics: Metrics::new(),
             started: Instant::now(),
-            path: manifest_path(name),
-            ckpt_path: ckpt_path(name),
+            path: manifest,
+            ckpt_path: ckpt,
             ckpt: None,
             new_points: 0,
-            tsv_path: tsv_file(),
+            tsv_path: tsv,
             tsv: Vec::new(),
         }
     }
@@ -319,11 +325,31 @@ impl RunContext {
             .collect()
     }
 
+    /// Times a sweep phase whose points execute *elsewhere* (the farm's
+    /// shared queue): the phase is recorded exactly like
+    /// [`RunContext::sweep`] records it, but no checkpoint is touched —
+    /// the external executor owns crash-safety for its points.
+    pub fn sweep_via<F>(&mut self, phase: &str, jobs: Vec<crate::SimJob>, exec: F) -> Vec<SimReport>
+    where
+        F: FnOnce(Vec<crate::SimJob>) -> Vec<SimReport>,
+    {
+        let start = Instant::now();
+        let results = exec(jobs);
+        self.phases.add(phase, start.elapsed());
+        results
+    }
+
     /// Prints a table in the selected format (like the free [`crate::emit`])
     /// and, when `--tsv=<path>` was given, buffers its TSV form for the
     /// atomic file write in [`RunContext::finish`].
     pub fn emit(&mut self, table: &maps_analysis::Table) {
         crate::emit(table);
+        self.emit_quiet(table);
+    }
+
+    /// Buffers a table for the TSV artifact without printing it (farm
+    /// figure hosts, where ten figures share one stdout).
+    pub fn emit_quiet(&mut self, table: &maps_analysis::Table) {
         if self.tsv_path.is_some() {
             self.tsv.push(table.to_tsv());
         }

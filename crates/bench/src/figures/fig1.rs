@@ -1,0 +1,119 @@
+//! Figure 1: metadata MPKI vs. metadata cache size when caching
+//! (i) counters only, (ii) counters + hashes, (iii) all metadata types,
+//! for `canneal` and `libquantum`.
+
+use maps_analysis::{fmt_bytes, Table};
+use maps_sim::{CacheContents, SimConfig};
+use maps_workloads::Benchmark;
+
+use crate::{n_accesses, SimJob, SweepHost, MDC_SIZES, SEED};
+
+/// Artifact stem.
+pub const NAME: &str = "fig1";
+
+/// Drives the figure against any host.
+pub fn drive(host: &mut dyn SweepHost) {
+    let accesses = n_accesses(400_000);
+    let contents = [
+        CacheContents::COUNTERS_ONLY,
+        CacheContents::COUNTERS_AND_HASHES,
+        CacheContents::ALL,
+    ];
+    let benches = [Benchmark::Canneal, Benchmark::Libquantum];
+
+    let base = SimConfig::paper_default();
+    host.param_u64("accesses", accesses);
+    host.param_u64("seed", SEED);
+    host.set_config(&base);
+
+    let mut points = Vec::new();
+    let mut jobs = Vec::new();
+    for &bench in &benches {
+        for &contents_cfg in &contents {
+            for &size in &MDC_SIZES {
+                points.push((bench, contents_cfg, size));
+                jobs.push(SimJob::replay(
+                    format!(
+                        "{}/{}/mdc{}",
+                        bench.name(),
+                        contents_cfg.label(),
+                        size >> 10
+                    ),
+                    base.with_mdc(base.mdc.with_size(size).with_contents(contents_cfg)),
+                    bench,
+                    accesses,
+                ));
+            }
+        }
+    }
+    let reports = host.sweep("sweep", jobs);
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
+    for (&(bench, contents_cfg, size), report) in points.iter().zip(&reports) {
+        let label = format!(
+            "run.{}.{}.mdc{}k",
+            bench.name(),
+            contents_cfg.label(),
+            size >> 10
+        );
+        host.record_report(&label, report);
+    }
+
+    let mut table = Table::new(["benchmark", "contents", "mdc_size", "metadata_mpki"]);
+    for ((bench, contents_cfg, size), mpki) in points.iter().zip(&results) {
+        table.row([
+            bench.name().to_string(),
+            contents_cfg.label().to_string(),
+            fmt_bytes(*size),
+            format!("{mpki:.2}"),
+        ]);
+    }
+    host.note("# Figure 1: metadata MPKI vs. metadata cache size\n");
+    host.emit(&table);
+
+    // Qualitative claims from Section II-B.
+    let mpki = |bench: Benchmark, c: CacheContents, size: u64| -> f64 {
+        let idx = points
+            .iter()
+            .position(|&(b, cc, s)| b == bench && cc == c && s == size)
+            .expect("configuration simulated");
+        results[idx]
+    };
+    for &size in &MDC_SIZES[..3] {
+        host.claim(
+            mpki(Benchmark::Canneal, CacheContents::ALL, size)
+                <= mpki(Benchmark::Canneal, CacheContents::COUNTERS_ONLY, size) + 1e-9,
+            &format!(
+                "canneal: caching all types no worse than counters-only at {}",
+                fmt_bytes(size)
+            ),
+        );
+    }
+    host.claim(
+        mpki(Benchmark::Libquantum, CacheContents::ALL, 16 << 10)
+            < mpki(
+                Benchmark::Libquantum,
+                CacheContents::COUNTERS_ONLY,
+                16 << 10,
+            ),
+        "libquantum: all types reduce MPKI significantly below 512KB",
+    );
+    // "the cache size needed for a given miss rate is smaller when
+    // including all metadata types": a 16x smaller all-types cache beats a
+    // counters-only cache.
+    host.claim(
+        mpki(Benchmark::Canneal, CacheContents::ALL, 64 << 10)
+            <= mpki(Benchmark::Canneal, CacheContents::COUNTERS_ONLY, 1 << 20),
+        "canneal: a 64KB all-types cache beats a 1MB counters-only cache",
+    );
+    // Monotonicity: more capacity never increases all-types MPKI much.
+    for &bench in &benches {
+        let series: Vec<f64> = MDC_SIZES
+            .iter()
+            .map(|&s| mpki(bench, CacheContents::ALL, s))
+            .collect();
+        host.claim(
+            series.windows(2).all(|w| w[1] <= w[0] * 1.05),
+            &format!("{bench}: all-types MPKI is (weakly) decreasing in cache size"),
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 6: metadata MPKI under pseudo-LRU, EVA, Belady MIN, and
+//! iterative MIN with a 64 KB metadata cache holding all metadata types.
+//!
+//! The paper's headline result — naively applied MIN (and even iterMIN) is
+//! frequently *worse* than pseudo-LRU because metadata miss costs are
+//! non-uniform and the access trace depends on cache contents — is checked
+//! in `--check` mode.
+
+use maps_analysis::Table;
+use maps_sim::{MdcConfig, PolicyChoice, SimConfig};
+use maps_workloads::Benchmark;
+
+use crate::{n_accesses, JobKind, SimJob, SweepHost, SEED};
+
+/// Artifact stem.
+pub const NAME: &str = "fig6";
+
+#[derive(Clone, Copy, PartialEq)]
+enum PolicyUnderTest {
+    PseudoLru,
+    Eva,
+    Min,
+    IterMin,
+}
+
+impl PolicyUnderTest {
+    const ALL: [PolicyUnderTest; 4] = [
+        PolicyUnderTest::PseudoLru,
+        PolicyUnderTest::Eva,
+        PolicyUnderTest::Min,
+        PolicyUnderTest::IterMin,
+    ];
+
+    fn tag(self) -> &'static str {
+        match self {
+            PolicyUnderTest::PseudoLru => "plru",
+            PolicyUnderTest::Eva => "eva",
+            PolicyUnderTest::Min => "min",
+            PolicyUnderTest::IterMin => "itermin",
+        }
+    }
+}
+
+/// Drives the figure against any host.
+pub fn drive(host: &mut dyn SweepHost) {
+    let accesses = n_accesses(120_000);
+    let benches = Benchmark::memory_intensive();
+    let mut cfg = SimConfig::paper_default();
+    cfg.mdc = MdcConfig::paper_default().with_size(64 << 10);
+    // MIN replay requires the oracle's time base to match the recorded
+    // trace, so the whole window is measured for every policy.
+    cfg.warmup_fraction = 0.0;
+    host.param_u64("accesses", accesses);
+    host.param_u64("seed", SEED);
+    host.set_config(&cfg);
+
+    let mut points = Vec::new();
+    let mut jobs = Vec::new();
+    // All four policies per benchmark share one captured front end (the
+    // zero-warm-up capture the MIN oracles require).
+    for &bench in &benches {
+        for policy in PolicyUnderTest::ALL {
+            points.push((bench, policy));
+            let key = format!("{}/{}", bench.name(), policy.tag());
+            let mut job = match policy {
+                PolicyUnderTest::PseudoLru => SimJob::replay(key, cfg.clone(), bench, accesses),
+                PolicyUnderTest::Eva => SimJob::replay(
+                    key,
+                    cfg.with_mdc(cfg.mdc.with_policy(PolicyChoice::Eva)),
+                    bench,
+                    accesses,
+                ),
+                PolicyUnderTest::Min | PolicyUnderTest::IterMin => {
+                    SimJob::replay(key, cfg.clone(), bench, accesses)
+                }
+            };
+            job.kind = match policy {
+                PolicyUnderTest::Min => JobKind::Min,
+                PolicyUnderTest::IterMin => JobKind::IterMin { iterations: 4 },
+                _ => JobKind::Replay,
+            };
+            jobs.push(job);
+        }
+    }
+    let reports = host.sweep("sweep", jobs);
+    let results: Vec<f64> = reports.iter().map(|r| r.metadata_mpki()).collect();
+
+    let mut table = Table::new(["benchmark", "pseudo-lru", "eva", "min", "itermin"]);
+    let mpki = |bench: Benchmark, policy: PolicyUnderTest| -> f64 {
+        let idx = points
+            .iter()
+            .position(|&(b, p)| b == bench && p == policy)
+            .expect("configuration simulated");
+        results[idx]
+    };
+    for &bench in &benches {
+        table.row([
+            bench.name().to_string(),
+            format!("{:.2}", mpki(bench, PolicyUnderTest::PseudoLru)),
+            format!("{:.2}", mpki(bench, PolicyUnderTest::Eva)),
+            format!("{:.2}", mpki(bench, PolicyUnderTest::Min)),
+            format!("{:.2}", mpki(bench, PolicyUnderTest::IterMin)),
+        ]);
+    }
+    host.note("# Figure 6: metadata MPKI by eviction policy (64KB metadata cache)\n");
+    host.emit(&table);
+
+    // Section V claims.
+    // "For most benchmarks, neither MIN nor iterMIN perform better than
+    // pseudo-LRU and indeed do much worse."
+    let min_loses = benches
+        .iter()
+        .filter(|&&b| mpki(b, PolicyUnderTest::Min) > mpki(b, PolicyUnderTest::PseudoLru))
+        .count();
+    host.claim(
+        min_loses > benches.len() / 2,
+        "trace-fed MIN is worse than pseudo-LRU for most benchmarks",
+    );
+    let itermin_loses = benches
+        .iter()
+        .filter(|&&b| mpki(b, PolicyUnderTest::IterMin) > mpki(b, PolicyUnderTest::PseudoLru))
+        .count();
+    host.claim(
+        itermin_loses > benches.len() / 2,
+        "iterMIN's results are worse than pseudo-LRU for most benchmarks",
+    );
+    // "EVA does not perform as expected because metadata types have
+    // bimodal reuse distances" — its single histogram never dominates.
+    let eva_wins = benches
+        .iter()
+        .filter(|&&b| mpki(b, PolicyUnderTest::Eva) < mpki(b, PolicyUnderTest::PseudoLru) * 0.95)
+        .count();
+    host.claim(
+        eva_wins <= benches.len() / 3,
+        "EVA does not deliver the expected win over pseudo-LRU on metadata",
+    );
+    // The ranking of MIN vs iterMIN itself flips across benchmarks —
+    // another facet of "no one eviction policy worked for all".
+    let itermin_better_somewhere = benches
+        .iter()
+        .any(|&b| mpki(b, PolicyUnderTest::IterMin) < mpki(b, PolicyUnderTest::Min));
+    let min_better_somewhere = benches
+        .iter()
+        .any(|&b| mpki(b, PolicyUnderTest::Min) < mpki(b, PolicyUnderTest::IterMin));
+    host.claim(
+        itermin_better_somewhere && min_better_somewhere,
+        "the MIN/iterMIN ranking varies across benchmarks",
+    );
+}

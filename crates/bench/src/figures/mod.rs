@@ -1,0 +1,94 @@
+//! Host-agnostic figure drivers.
+//!
+//! Each module is the body of one pre-farm figure binary, lifted into a
+//! `drive(&mut dyn SweepHost)` function: it declares sweep points as
+//! [`SimJob`](crate::SimJob)s, consumes the reports, emits tables, and
+//! asserts the paper's qualitative claims. The thin `src/bin/figN.rs`
+//! wrappers run a driver against [`LocalHost`](crate::LocalHost); the
+//! `maps-farm` orchestrator runs any subset of them against its shared,
+//! deduplicated queue. Sweep phases and point keys are identical in both
+//! paths, which is what makes the farm's TSV/manifest artifacts
+//! byte-identical to the standalone binaries'.
+
+pub mod ablation_cost_aware;
+pub mod ablation_eva_types;
+pub mod ablation_partial_writes;
+pub mod ablation_sgx_vs_pi;
+pub mod ablation_speculation;
+pub mod fig1;
+pub mod fig1_extended;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+
+use crate::SweepHost;
+
+/// One registered figure driver.
+pub struct FigureDef {
+    /// Artifact stem (`results/<name>.tsv`, `<name>.manifest.json`).
+    pub name: &'static str,
+    /// Whether later phases derive their points from earlier results
+    /// (fig7's average-best split): plans for such figures are estimates.
+    pub dynamic: bool,
+    /// The driver entry point.
+    pub drive: fn(&mut dyn SweepHost),
+}
+
+/// Every figure the farm can run, sorted by name.
+pub const FIGURES: [FigureDef; 10] = [
+    FigureDef {
+        name: "ablation_cost_aware",
+        dynamic: false,
+        drive: ablation_cost_aware::drive,
+    },
+    FigureDef {
+        name: "ablation_eva_types",
+        dynamic: false,
+        drive: ablation_eva_types::drive,
+    },
+    FigureDef {
+        name: "ablation_partial_writes",
+        dynamic: false,
+        drive: ablation_partial_writes::drive,
+    },
+    FigureDef {
+        name: "ablation_sgx_vs_pi",
+        dynamic: false,
+        drive: ablation_sgx_vs_pi::drive,
+    },
+    FigureDef {
+        name: "ablation_speculation",
+        dynamic: false,
+        drive: ablation_speculation::drive,
+    },
+    FigureDef {
+        name: "fig1",
+        dynamic: false,
+        drive: fig1::drive,
+    },
+    FigureDef {
+        name: "fig1_extended",
+        dynamic: false,
+        drive: fig1_extended::drive,
+    },
+    FigureDef {
+        name: "fig2",
+        dynamic: false,
+        drive: fig2::drive,
+    },
+    FigureDef {
+        name: "fig6",
+        dynamic: false,
+        drive: fig6::drive,
+    },
+    FigureDef {
+        name: "fig7",
+        dynamic: true,
+        drive: fig7::drive,
+    },
+];
+
+/// Looks up a registered figure by name.
+pub fn figure(name: &str) -> Option<&'static FigureDef> {
+    FIGURES.iter().find(|f| f.name == name)
+}

@@ -1,0 +1,317 @@
+//! The sweep-host abstraction shared by the standalone figure binaries
+//! and the `maps-farm` orchestrator.
+//!
+//! Every figure lives in [`crate::figures`] as a `drive(&mut dyn
+//! SweepHost)` function that declares its sweep points as [`SimJob`]s and
+//! consumes the resulting [`SimReport`]s. *Where* those jobs execute is
+//! the host's business:
+//!
+//! * [`LocalHost`] wraps a [`RunContext`] — jobs run in-process through
+//!   the crash-safe checkpointed [`RunContext::sweep`], exactly as the
+//!   pre-farm binaries did. The thin `src/bin/figN.rs` wrappers use this.
+//! * [`PlanHost`] records the jobs without running anything and hands
+//!   back deterministic placeholder reports — `maps-farm plan` uses it to
+//!   enumerate and deduplicate a campaign.
+//! * `maps-farm run` provides its own host that routes jobs through the
+//!   shared cross-figure farm queue.
+//!
+//! Because all hosts funnel through one [`exec_job`] dispatcher and one
+//! key scheme, the farm's TSV/manifest artifacts are byte-identical to
+//! the standalone binaries' under `MAPS_DETERMINISTIC=1` (pinned by the
+//! farm e2e suite).
+
+use maps_sim::itermin::{run_iter_min_on, run_min_on};
+use maps_sim::{SimConfig, SimReport};
+use maps_workloads::Benchmark;
+
+use crate::context::RunContext;
+use crate::{captured_trace, run_sim_cached, CaptureKey};
+
+/// How a sweep point turns its configuration into a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Replay the captured front end through the metadata engine
+    /// (the overwhelmingly common case; [`run_sim_cached`]).
+    Replay,
+    /// Belady MIN fed the recorded trace (`run_min_on`).
+    Min,
+    /// Iterative MIN with a fixed iteration budget (`run_iter_min_on`).
+    IterMin {
+        /// Maximum refinement iterations.
+        iterations: usize,
+    },
+}
+
+impl JobKind {
+    /// Stable tag used in fingerprints and campaign manifests.
+    pub fn tag(&self) -> String {
+        match self {
+            JobKind::Replay => "replay".to_string(),
+            JobKind::Min => "min".to_string(),
+            JobKind::IterMin { iterations } => format!("itermin{iterations}"),
+        }
+    }
+}
+
+/// One sweep point: everything needed to simulate it anywhere.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Checkpoint key *within* the figure's phase (the `key_of` value of
+    /// the pre-farm binaries; the phase prefix is added by the host).
+    pub key: String,
+    /// Full simulation configuration for this point.
+    pub cfg: SimConfig,
+    /// Workload profile.
+    pub bench: Benchmark,
+    /// Workload seed.
+    pub seed: u64,
+    /// Core accesses to simulate.
+    pub accesses: u64,
+    /// Execution mode.
+    pub kind: JobKind,
+}
+
+impl SimJob {
+    /// A plain replay job (the common case).
+    pub fn replay(key: impl Into<String>, cfg: SimConfig, bench: Benchmark, accesses: u64) -> Self {
+        SimJob {
+            key: key.into(),
+            cfg,
+            bench,
+            seed: crate::SEED,
+            accesses,
+            kind: JobKind::Replay,
+        }
+    }
+
+    /// The capture-cache key this job's front end resolves to. Jobs
+    /// sharing it replay one recorded trace, across figures and
+    /// binaries alike.
+    pub fn capture_key(&self) -> CaptureKey {
+        CaptureKey::of(&self.cfg, self.bench, self.seed, self.accesses)
+    }
+
+    /// Canonical identity string: every field that can change the
+    /// simulated numbers, in a stable order. Farm fingerprints hash this
+    /// (together with the git revision).
+    pub fn identity(&self) -> String {
+        format!(
+            "cfg={};bench={};seed={};accesses={};kind={}",
+            self.cfg.to_json().to_pretty(),
+            self.bench.name(),
+            self.seed,
+            self.accesses,
+            self.kind.tag()
+        )
+    }
+}
+
+/// Executes one sweep point. Every host funnels through this dispatcher,
+/// so a job means the same thing locally and on the farm.
+pub fn exec_job(job: &SimJob) -> SimReport {
+    match job.kind {
+        JobKind::Replay => run_sim_cached(&job.cfg, job.bench, job.seed, job.accesses),
+        JobKind::Min => run_min_on(
+            &job.cfg,
+            &captured_trace(&job.cfg, job.bench, job.seed, job.accesses),
+        ),
+        JobKind::IterMin { iterations } => {
+            run_iter_min_on(
+                &job.cfg,
+                &captured_trace(&job.cfg, job.bench, job.seed, job.accesses),
+                iterations,
+            )
+            .report
+        }
+    }
+}
+
+/// The execution surface a figure driver sees. Implementations decide
+/// where jobs run and where tables/claims go; drivers stay host-agnostic.
+pub trait SweepHost {
+    /// Records an integer run parameter (manifest identity).
+    fn param_u64(&mut self, key: &str, value: u64);
+    /// Records a string run parameter (manifest identity).
+    fn param_str(&mut self, key: &str, value: &str);
+    /// Records the central simulation configuration (manifest identity).
+    fn set_config(&mut self, cfg: &SimConfig);
+    /// Runs (or schedules) a sweep phase; results arrive in job order.
+    fn sweep(&mut self, phase: &str, jobs: Vec<SimJob>) -> Vec<SimReport>;
+    /// Merges a report's counters under `{label}.*` (metrics-gated).
+    fn record_report(&mut self, label: &str, report: &SimReport);
+    /// Emits a result table.
+    fn emit(&mut self, table: &maps_analysis::Table);
+    /// Free-form narrative line (figure headers and annotations).
+    fn note(&mut self, text: &str);
+    /// Asserts a qualitative paper claim (in `--check` mode).
+    fn claim(&mut self, ok: bool, description: &str);
+}
+
+/// In-process host: the pre-farm execution path, one figure per process,
+/// checkpointed sweeps via [`RunContext::sweep`].
+pub struct LocalHost {
+    ctx: RunContext,
+}
+
+impl LocalHost {
+    /// Opens the host for the named figure, resolving manifest /
+    /// checkpoint / TSV paths from the command line like every figure
+    /// binary always has.
+    pub fn new(name: &str) -> Self {
+        LocalHost {
+            ctx: RunContext::new(name),
+        }
+    }
+
+    /// Opens the host with explicit artifact paths (test harnesses; the
+    /// farm e2e suite runs the standalone reference path through this).
+    pub fn with_paths(
+        name: &str,
+        manifest: std::path::PathBuf,
+        ckpt: std::path::PathBuf,
+        tsv: Option<std::path::PathBuf>,
+    ) -> Self {
+        LocalHost {
+            ctx: RunContext::with_paths(name, manifest, ckpt, tsv),
+        }
+    }
+
+    /// Writes the manifest/TSV artifacts and removes the checkpoint.
+    pub fn finish(self) {
+        self.ctx.finish();
+    }
+}
+
+impl SweepHost for LocalHost {
+    fn param_u64(&mut self, key: &str, value: u64) {
+        self.ctx.param_u64(key, value);
+    }
+
+    fn param_str(&mut self, key: &str, value: &str) {
+        self.ctx.param_str(key, value);
+    }
+
+    fn set_config(&mut self, cfg: &SimConfig) {
+        self.ctx.set_config(cfg);
+    }
+
+    fn sweep(&mut self, phase: &str, jobs: Vec<SimJob>) -> Vec<SimReport> {
+        self.ctx.sweep(phase, &jobs, |j| j.key.clone(), exec_job)
+    }
+
+    fn record_report(&mut self, label: &str, report: &SimReport) {
+        self.ctx.record_report(label, report);
+    }
+
+    fn emit(&mut self, table: &maps_analysis::Table) {
+        self.ctx.emit(table);
+    }
+
+    fn note(&mut self, text: &str) {
+        println!("{text}");
+    }
+
+    fn claim(&mut self, ok: bool, description: &str) {
+        crate::claim(ok, description);
+    }
+}
+
+/// Enumeration-only host: records every sweep without simulating, handing
+/// back deterministic placeholder reports so drivers complete. Claims and
+/// tables are discarded — a plan is about *which points exist*, not what
+/// they measure. Figures whose later phases depend on earlier results
+/// (fig7's average-best split) plan those phases against the placeholder
+/// values; their campaign point lists are estimates, marked `dynamic`.
+#[derive(Default)]
+pub struct PlanHost {
+    /// Every sweep the driver declared, in call order.
+    pub phases: Vec<(String, Vec<SimJob>)>,
+    /// Parameters recorded by the driver, in call order.
+    pub params: Vec<(String, String)>,
+}
+
+impl PlanHost {
+    /// An empty plan recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The placeholder report handed to drivers for every planned point.
+    pub fn placeholder_report() -> SimReport {
+        SimReport {
+            workload: "plan".to_string(),
+            instructions: 1,
+            cycles: 1,
+            hierarchy: Default::default(),
+            engine: Default::default(),
+            energy: maps_mem::EnergyDelay::new(),
+        }
+    }
+}
+
+impl SweepHost for PlanHost {
+    fn param_u64(&mut self, key: &str, value: u64) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    fn param_str(&mut self, key: &str, value: &str) {
+        self.params.push((key.to_string(), value.to_string()));
+    }
+
+    fn set_config(&mut self, _cfg: &SimConfig) {}
+
+    fn sweep(&mut self, phase: &str, jobs: Vec<SimJob>) -> Vec<SimReport> {
+        let n = jobs.len();
+        self.phases.push((phase.to_string(), jobs));
+        (0..n).map(|_| Self::placeholder_report()).collect()
+    }
+
+    fn record_report(&mut self, _label: &str, _report: &SimReport) {}
+
+    fn emit(&mut self, _table: &maps_analysis::Table) {}
+
+    fn note(&mut self, _text: &str) {}
+
+    fn claim(&mut self, _ok: bool, _description: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_identity_separates_kinds_and_configs() {
+        let cfg = SimConfig::paper_default();
+        let a = SimJob::replay("k", cfg.clone(), Benchmark::Gups, 1000);
+        let mut b = a.clone();
+        b.kind = JobKind::Min;
+        assert_ne!(a.identity(), b.identity());
+        let mut c = a.clone();
+        c.cfg = cfg.with_llc_bytes(cfg.llc_bytes * 2);
+        assert_ne!(a.identity(), c.identity());
+        // The key is presentation, not identity.
+        let mut d = a.clone();
+        d.key = "other".to_string();
+        assert_eq!(a.identity(), d.identity());
+    }
+
+    #[test]
+    fn exec_job_replay_matches_run_sim_cached() {
+        let cfg = SimConfig::paper_default();
+        let job = SimJob::replay("k", cfg.clone(), Benchmark::Gups, 2_000);
+        let direct = crate::run_sim(&cfg, Benchmark::Gups, crate::SEED, 2_000);
+        assert_eq!(exec_job(&job), direct);
+    }
+
+    #[test]
+    fn plan_host_records_phases_without_running() {
+        let mut plan = PlanHost::new();
+        let cfg = SimConfig::paper_default();
+        let jobs = vec![SimJob::replay("a", cfg.clone(), Benchmark::Gups, 100)];
+        let reports = plan.sweep("phase1", jobs);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0].0, "phase1");
+        assert_eq!(plan.phases[0].1[0].key, "a");
+    }
+}

@@ -14,7 +14,7 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use maps_sim::{CapturedTrace, FrontEndKey, ReplaySim, SecureSim, SimConfig, SimReport};
@@ -22,9 +22,12 @@ use maps_workloads::Benchmark;
 
 pub mod context;
 pub mod error;
+pub mod figures;
+pub mod host;
 
 pub use context::{deterministic_mode, metrics_enabled, RunContext};
 pub use error::{report_error, BenchError};
+pub use host::{exec_job, JobKind, LocalHost, PlanHost, SimJob, SweepHost};
 
 /// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
 pub fn n_accesses(default: u64) -> u64 {
@@ -72,13 +75,33 @@ pub fn run_sim(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> S
 }
 
 /// Front-end identity of one simulation run; all sweep points sharing it
-/// can replay one [`CapturedTrace`].
+/// can replay one [`CapturedTrace`]. This is *the* capture key: every
+/// consumer (figure binaries, `mdcsim`, the farm) derives it through
+/// [`CaptureKey::of`], so identical front-end configurations hit the same
+/// cache entry no matter which driver asks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TraceKey {
-    bench: Benchmark,
-    seed: u64,
-    accesses: u64,
-    front_end: FrontEndKey,
+pub struct CaptureKey {
+    /// Workload profile.
+    pub bench: Benchmark,
+    /// Workload seed.
+    pub seed: u64,
+    /// Core accesses recorded.
+    pub accesses: u64,
+    /// Front-end geometry (L1/L2/LLC + warm-up); back-end-only fields of
+    /// the configuration are deliberately excluded.
+    pub front_end: FrontEndKey,
+}
+
+impl CaptureKey {
+    /// The capture key a run with this configuration resolves to.
+    pub fn of(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> Self {
+        CaptureKey {
+            bench,
+            seed,
+            accesses,
+            front_end: FrontEndKey::of(cfg),
+        }
+    }
 }
 
 /// A per-key once-cell: workers needing the same capture block on the
@@ -87,7 +110,17 @@ type CaptureCell = Arc<OnceLock<Arc<CapturedTrace>>>;
 
 /// The process-wide capture memo. The outer map lock is only held for the
 /// entry lookup, never during a recording.
-static CAPTURES: OnceLock<Mutex<HashMap<TraceKey, CaptureCell>>> = OnceLock::new();
+static CAPTURES: OnceLock<Mutex<HashMap<CaptureKey, CaptureCell>>> = OnceLock::new();
+
+/// Number of front-end recordings actually performed by this process
+/// (capture-memo misses). Cache hits do not move it, so `requests -
+/// recordings` is the dedup win; the farm reports it per campaign.
+static CAPTURE_RECORDINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Total front-end recordings performed so far in this process.
+pub fn capture_recordings() -> u64 {
+    CAPTURE_RECORDINGS.load(Ordering::Relaxed)
+}
 
 /// Whether `MAPS_NO_CAPTURE` disables the capture/replay memo (used to
 /// measure the direct-path baseline; any value but `0` disables).
@@ -111,12 +144,7 @@ pub fn captured_trace(
     seed: u64,
     accesses: u64,
 ) -> Arc<CapturedTrace> {
-    let key = TraceKey {
-        bench,
-        seed,
-        accesses,
-        front_end: FrontEndKey::of(cfg),
-    };
+    let key = CaptureKey::of(cfg, bench, seed, accesses);
     let cell = {
         let mut map = CAPTURES
             .get_or_init(Default::default)
@@ -124,8 +152,11 @@ pub fn captured_trace(
             .expect("capture memo poisoned");
         map.entry(key).or_default().clone()
     };
-    cell.get_or_init(|| Arc::new(CapturedTrace::record(cfg, bench.build(seed), accesses)))
-        .clone()
+    cell.get_or_init(|| {
+        CAPTURE_RECORDINGS.fetch_add(1, Ordering::Relaxed);
+        Arc::new(CapturedTrace::record(cfg, bench.build(seed), accesses))
+    })
+    .clone()
 }
 
 /// Runs one simulation through the capture/replay memo: the front end
@@ -190,6 +221,18 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with(items, usize::MAX, f)
+}
+
+/// [`parallel_map`] with an explicit worker-count ceiling (the farm's
+/// `--workers N`). The effective count is still bounded by the machine's
+/// parallelism and the number of items; a ceiling of 0 means 1.
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, max_workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     let jobs: Vec<Slot<T>> = items
         .into_iter()
@@ -200,7 +243,8 @@ where
     let failure: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
     let workers = std::thread::available_parallelism()
         .map_or(4, |p| p.get())
-        .min(n.max(1));
+        .min(n.max(1))
+        .min(max_workers.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

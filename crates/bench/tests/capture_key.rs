@@ -1,0 +1,87 @@
+//! The shared capture-key regression suite: every execution path —
+//! figure drivers, `mdcsim`, the farm — derives its front-end capture
+//! identity from one helper ([`CaptureKey::of`]), so figures with
+//! identical front-end configurations hit the same cache entry instead of
+//! re-recording the trace.
+
+use std::sync::Arc;
+
+use maps_bench::figures::figure;
+use maps_bench::{captured_trace, CaptureKey, PlanHost, SimJob, SEED};
+use maps_sim::SimConfig;
+use maps_trace::DetHashSet;
+use maps_workloads::Benchmark;
+
+/// All capture keys a figure's plan resolves to.
+fn capture_keys(name: &str) -> DetHashSet<CaptureKey> {
+    let def = figure(name).expect("figure registered");
+    let mut plan = PlanHost::new();
+    (def.drive)(&mut plan);
+    plan.phases
+        .iter()
+        .flat_map(|(_, jobs)| jobs.iter().map(SimJob::capture_key))
+        .collect()
+}
+
+#[test]
+fn fig2_and_fig7_share_capture_cache_entries() {
+    let fig2 = capture_keys("fig2");
+    let fig7 = capture_keys("fig7");
+    let shared: Vec<&CaptureKey> = fig7.iter().filter(|k| fig2.contains(k)).collect();
+    assert!(
+        !shared.is_empty(),
+        "fig2 and fig7 front ends overlap (insecure baselines at least)"
+    );
+    // The insecure baselines coincide for every memory-intensive
+    // benchmark: both figures declare them with the same config helper.
+    for &bench in &Benchmark::memory_intensive() {
+        let accesses = maps_bench::n_accesses(150_000);
+        let key = CaptureKey::of(&SimConfig::insecure_baseline(), bench, SEED, accesses);
+        assert!(
+            fig2.contains(&key) && fig7.contains(&key),
+            "{bench}: insecure baseline key shared by both figures"
+        );
+    }
+}
+
+#[test]
+fn back_end_config_changes_do_not_split_the_capture() {
+    // Metadata-cache (back-end) fields must not affect the capture key:
+    // the front end never sees them.
+    let base = SimConfig::paper_default();
+    let mut mdc_tweaked = base.clone();
+    mdc_tweaked.mdc = base.mdc.with_size(base.mdc.size_bytes * 2);
+    let key_base = CaptureKey::of(&base, Benchmark::Gups, SEED, 400);
+    let key_tweaked = CaptureKey::of(&mdc_tweaked, Benchmark::Gups, SEED, 400);
+    assert_eq!(key_base, key_tweaked);
+
+    // And an LLC (front-end) change must split it.
+    let llc_tweaked = base.with_llc_bytes(base.llc_bytes / 2);
+    assert_ne!(
+        key_base,
+        CaptureKey::of(&llc_tweaked, Benchmark::Gups, SEED, 400)
+    );
+}
+
+#[test]
+fn identical_front_ends_replay_one_recorded_trace() {
+    let base = SimConfig::paper_default();
+    let mut mdc_tweaked = base.clone();
+    mdc_tweaked.mdc = base.mdc.with_size(base.mdc.size_bytes * 2);
+
+    let recordings_before = maps_bench::capture_recordings();
+    let a = captured_trace(&base, Benchmark::Gups, SEED, 400);
+    let after_first = maps_bench::capture_recordings();
+    let b = captured_trace(&mdc_tweaked, Benchmark::Gups, SEED, 400);
+    let after_second = maps_bench::capture_recordings();
+
+    assert!(Arc::ptr_eq(&a, &b), "one cache entry, shared by reference");
+    assert!(
+        after_first > recordings_before,
+        "the first request records the trace"
+    );
+    assert_eq!(
+        after_second, after_first,
+        "the second request is a pure cache hit"
+    );
+}

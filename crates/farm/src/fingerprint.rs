@@ -1,0 +1,51 @@
+//! Farm-wide sweep-point identity.
+//!
+//! A point's fingerprint hashes everything that can change its simulated
+//! numbers: the full [`maps_sim::SimConfig`], workload, seed, access
+//! count, execution kind (replay / MIN / iterative MIN), and the git
+//! revision of the simulator itself. Figures naming the same physical
+//! point therefore collide onto one fingerprint — the farm's
+//! deduplication key — while any change to the code or the configuration
+//! separates them, so a stale checkpoint can never be resumed into wrong
+//! results.
+
+use std::sync::OnceLock;
+
+use maps_bench::SimJob;
+use maps_obs::fingerprint64;
+
+/// The git revision baked into every fingerprint, memoized so a campaign
+/// spawns one `git describe` process instead of one per point.
+pub fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(maps_obs::git_describe)
+}
+
+/// The farm-wide identity of one sweep point.
+pub fn point_fingerprint(job: &SimJob) -> u64 {
+    fingerprint64(&format!("{}|git={}", job.identity(), git_rev()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_sim::SimConfig;
+    use maps_workloads::Benchmark;
+
+    #[test]
+    fn fingerprint_ignores_presentation_but_not_identity() {
+        let cfg = SimConfig::paper_default();
+        let a = SimJob::replay("fig2-name", cfg.clone(), Benchmark::Gups, 1000);
+        let mut renamed = a.clone();
+        renamed.key = "fig7-name".to_string();
+        assert_eq!(point_fingerprint(&a), point_fingerprint(&renamed));
+
+        let mut other_cfg = a.clone();
+        other_cfg.cfg = cfg.with_llc_bytes(cfg.llc_bytes * 2);
+        assert_ne!(point_fingerprint(&a), point_fingerprint(&other_cfg));
+
+        let mut other_seed = a.clone();
+        other_seed.seed += 1;
+        assert_ne!(point_fingerprint(&a), point_fingerprint(&other_seed));
+    }
+}

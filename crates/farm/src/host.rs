@@ -1,0 +1,90 @@
+//! The farm's [`SweepHost`]: figure drivers run unchanged, their sweep
+//! points detour through the shared campaign queue.
+//!
+//! Artifact handling reuses [`RunContext`] wholesale — parameters,
+//! config, phase timings, TSV buffering, and the manifest writer are the
+//! exact code path of the standalone binaries — so under
+//! `MAPS_DETERMINISTIC=1` the farm's per-figure TSV and manifest files
+//! are byte-identical to theirs. Only execution differs: phases go
+//! through [`RunContext::sweep_via`] (timed, but not checkpointed — the
+//! farm queue owns crash-safety), tables are buffered without printing
+//! (ten figures share one stdout), and narrative notes are dropped.
+
+use std::path::Path;
+
+use maps_bench::{RunContext, SimJob, SweepHost};
+use maps_sim::{SimConfig, SimReport};
+
+use crate::queue::Farm;
+
+/// Drives one figure against the shared farm queue.
+pub struct FarmHost<'a> {
+    ctx: RunContext,
+    farm: &'a Farm,
+    figure: String,
+}
+
+impl<'a> FarmHost<'a> {
+    /// Opens the host for one figure, placing `<figure>.tsv` and
+    /// `<figure>.manifest.json` in the campaign directory.
+    pub fn new(figure: &str, farm: &'a Farm, dir: &Path) -> Self {
+        let ctx = RunContext::with_paths(
+            figure,
+            dir.join(format!("{figure}.manifest.json")),
+            // Never created: the farm checkpoint owns point persistence.
+            dir.join(format!("{figure}.ckpt")),
+            Some(dir.join(format!("{figure}.tsv"))),
+        );
+        FarmHost {
+            ctx,
+            farm,
+            figure: figure.to_string(),
+        }
+    }
+
+    /// Writes the figure's TSV and manifest artifacts.
+    pub fn finish(self) {
+        self.ctx.finish();
+    }
+}
+
+impl SweepHost for FarmHost<'_> {
+    fn param_u64(&mut self, key: &str, value: u64) {
+        self.ctx.param_u64(key, value);
+    }
+
+    fn param_str(&mut self, key: &str, value: &str) {
+        self.ctx.param_str(key, value);
+    }
+
+    fn set_config(&mut self, cfg: &SimConfig) {
+        self.ctx.set_config(cfg);
+    }
+
+    fn sweep(&mut self, phase: &str, jobs: Vec<SimJob>) -> Vec<SimReport> {
+        let farm = self.farm;
+        let label = format!("{}/{phase}", self.figure);
+        self.ctx.sweep_via(phase, jobs, |jobs| {
+            match farm.run_labeled(&label, jobs) {
+                Ok(reports) => reports,
+                // Panic the figure thread; run_campaign catches it and
+                // reports the figure as failed without killing the rest.
+                Err(e) => panic!("{label}: {e}"),
+            }
+        })
+    }
+
+    fn record_report(&mut self, label: &str, report: &SimReport) {
+        self.ctx.record_report(label, report);
+    }
+
+    fn emit(&mut self, table: &maps_analysis::Table) {
+        self.ctx.emit_quiet(table);
+    }
+
+    fn note(&mut self, _text: &str) {}
+
+    fn claim(&mut self, ok: bool, description: &str) {
+        maps_bench::claim(ok, &format!("{}: {description}", self.figure));
+    }
+}

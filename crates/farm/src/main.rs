@@ -1,0 +1,187 @@
+//! `maps-farm` — plan, run, and watch whole-paper sweep campaigns.
+//!
+//! ```text
+//! USAGE: maps-farm <COMMAND> [OPTIONS]
+//!   plan   --dir <path> [--figures a,b,c | --all]
+//!          Enumerate + deduplicate the selected figures into
+//!          <dir>/campaign.json without simulating anything.
+//!   run    --dir <path> [--figures a,b,c | --all] [--workers N] [--check]
+//!          Execute the campaign: figure drivers on their own threads,
+//!          N workers draining the shared deduplicated queue. Resumes
+//!          from <dir>/campaign.ckpt after a kill; per-figure TSV and
+//!          manifest artifacts land in <dir>. --check asserts the paper
+//!          claims.
+//!   status --dir <path> [--watch]
+//!          Report progress from the campaign directory; --watch polls
+//!          until every figure completes.
+//! ```
+//!
+//! With no `--figures`, both `plan` and `run` cover every registered
+//! figure. Exit codes: 0 success, 1 failure, 2 usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use maps_bench::figures::{figure, FigureDef, FIGURES};
+use maps_farm::{campaign_status, run_campaign, write_plan, FarmError};
+
+const USAGE: &str = "maps-farm <plan|run|status> --dir <path> \
+[--figures a,b,c | --all] [--workers N] [--check] [--watch]";
+
+/// Default worker count: one per available core, as `parallel_map` uses.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            self.0.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, FarmError> {
+        let eq = format!("{name}=");
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            if i + 1 >= self.0.len() {
+                return Err(FarmError::Usage(format!("{name} requires a value")));
+            }
+            let v = self.0.remove(i + 1);
+            self.0.remove(i);
+            Ok(Some(v))
+        } else if let Some(i) = self.0.iter().position(|a| a.starts_with(&eq)) {
+            let v = self.0.remove(i)[eq.len()..].to_string();
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn reject_unknown(&self) -> Result<(), FarmError> {
+        match self.0.first() {
+            Some(unknown) => Err(FarmError::Usage(format!("unknown argument {unknown:?}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Resolves `--figures a,b,c` / `--all` (default: every figure).
+fn select_figures(args: &mut Args) -> Result<Vec<&'static FigureDef>, FarmError> {
+    let all = args.flag("--all");
+    let named = args.value("--figures")?;
+    match named {
+        Some(_) if all => Err(FarmError::Usage(
+            "--figures and --all are mutually exclusive".to_string(),
+        )),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .map(|name| {
+                figure(name).ok_or_else(|| {
+                    FarmError::Usage(format!(
+                        "unknown figure {name:?}; known: {}",
+                        FIGURES
+                            .iter()
+                            .map(|f| f.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })
+            })
+            .collect(),
+        None => Ok(FIGURES.iter().collect()),
+    }
+}
+
+fn campaign_dir(args: &mut Args) -> Result<PathBuf, FarmError> {
+    args.value("--dir")?
+        .map(PathBuf::from)
+        .ok_or_else(|| FarmError::Usage("--dir <path> is required".to_string()))
+}
+
+fn run() -> Result<(), FarmError> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err(FarmError::Usage("missing command".to_string()));
+    }
+    let command = raw.remove(0);
+    let mut args = Args(raw);
+
+    match command.as_str() {
+        "plan" => {
+            let dir = campaign_dir(&mut args)?;
+            let figures = select_figures(&mut args)?;
+            args.reject_unknown()?;
+            let plan = write_plan("campaign", &figures, &dir)?;
+            println!(
+                "planned {} figures: {} unique points ({} declared jobs, {} shared, {} capture keys)",
+                figures.len(),
+                plan.points.len(),
+                plan.total_jobs,
+                plan.deduplicated(),
+                plan.capture_keys,
+            );
+            println!("wrote {}", dir.join("campaign.json").display());
+            Ok(())
+        }
+        "run" => {
+            let dir = campaign_dir(&mut args)?;
+            let figures = select_figures(&mut args)?;
+            let workers = match args.value("--workers")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| FarmError::Usage(format!("bad --workers {v}")))?,
+                None => default_workers(),
+            };
+            // Read by maps_bench::check_mode() inside the claim path.
+            let _ = args.flag("--check");
+            args.reject_unknown()?;
+            let summary = run_campaign("campaign", &figures, &dir, workers)?;
+            println!(
+                "campaign complete: {} figures, {} computed, {} restored, {} deduplicated",
+                summary.figures.len(),
+                summary.stats.computed,
+                summary.stats.restored,
+                summary.stats.deduplicated,
+            );
+            Ok(())
+        }
+        "status" => {
+            let dir = campaign_dir(&mut args)?;
+            let watch = args.flag("--watch");
+            args.reject_unknown()?;
+            loop {
+                let status = campaign_status(&dir)?;
+                print!("{}", status.render());
+                if !watch || status.complete() {
+                    return Ok(());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        }
+        other => Err(FarmError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(FarmError::Usage(msg)) => {
+            eprintln!("maps-farm: {msg}");
+            eprintln!("USAGE: {USAGE}");
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("maps-farm: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

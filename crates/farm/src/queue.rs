@@ -1,0 +1,508 @@
+//! The shared campaign job queue.
+//!
+//! [`Farm`] owns every sweep point of a campaign, keyed by
+//! [`point_fingerprint`](crate::point_fingerprint). Figure drivers submit
+//! their phases from their own threads and block until the points
+//! resolve; a worker pool drains the queue. Submitting a fingerprint the
+//! farm already knows — queued, running, or done — never schedules a
+//! second simulation: the submitter simply waits on (or immediately
+//! receives) the one result.
+//!
+//! Every newly computed point is inserted into a schema-versioned
+//! [`Checkpoint`] under `pt/<fingerprint>` and saved atomically *before*
+//! waiters are woken, so a kill at any instant loses at most the points
+//! still in flight. Re-creating the farm with the same campaign identity
+//! restores finished points bit-exactly ([`maps_sim::SimReport`]'s JSON
+//! codec stores floats as raw IEEE-754 bits) and re-simulates only the
+//! rest. The fault-injection and watchdog knobs of
+//! [`maps_bench::RunContext::sweep`] apply here too:
+//! `MAPS_CRASH_AFTER_POINTS` exits 42 right after the n-th new point is
+//! checkpointed, and `MAPS_POINT_RETRIES` bounds per-point panic retries.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+use maps_bench::SimJob;
+use maps_obs::Checkpoint;
+use maps_sim::SimReport;
+use maps_trace::DetHashMap;
+
+use crate::point_fingerprint;
+use crate::FarmError;
+
+/// Where one fingerprint stands in the campaign.
+#[derive(Debug, Clone)]
+enum PointState {
+    /// Waiting in the queue.
+    Queued,
+    /// Claimed by a worker.
+    Running,
+    /// Finished; the report is shared with every submitter.
+    Done(Box<SimReport>),
+    /// Panicked past its retry budget.
+    Failed(String),
+}
+
+/// Campaign-level work accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Points simulated by this process.
+    pub computed: u64,
+    /// Points restored bit-exactly from the checkpoint.
+    pub restored: u64,
+    /// Submissions that mapped onto an already-known fingerprint.
+    pub deduplicated: u64,
+    /// Points that panicked past their retry budget.
+    pub failed: u64,
+}
+
+struct FarmInner {
+    states: DetHashMap<u64, PointState>,
+    queue: VecDeque<(u64, SimJob)>,
+    ckpt: Checkpoint,
+    stats: FarmStats,
+    new_points: u64,
+    closed: bool,
+}
+
+/// The shared, checkpointed campaign queue.
+pub struct Farm {
+    inner: Mutex<FarmInner>,
+    /// Signalled when work is queued or the farm closes (workers wait).
+    work: Condvar,
+    /// Signalled when a point resolves (submitters wait).
+    done: Condvar,
+    ckpt_path: PathBuf,
+    crash_after: Option<u64>,
+    retries: u32,
+}
+
+/// `MAPS_CRASH_AFTER_POINTS`: exit(42) after this many newly computed
+/// points have been checkpointed (fault-injection hook).
+fn crash_after_points() -> Option<u64> {
+    std::env::var("MAPS_CRASH_AFTER_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// `MAPS_POINT_RETRIES`: bounded retries for a panicking point.
+fn point_retries() -> u32 {
+    std::env::var("MAPS_POINT_RETRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Checkpoint slot for a fingerprint.
+fn ckpt_key(fingerprint: u64) -> String {
+    format!("pt/{fingerprint:016x}")
+}
+
+/// Best-effort text of a panic payload.
+pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Farm {
+    /// Opens the campaign queue, resuming from `ckpt_path` when a
+    /// checkpoint with the same campaign name and identity fingerprint
+    /// exists there (a mismatched or unreadable one is discarded — never
+    /// partially reused).
+    pub fn new(name: &str, identity_fingerprint: u64, ckpt_path: PathBuf) -> Self {
+        let ckpt = match Checkpoint::load(&ckpt_path) {
+            Ok(Some(c)) if c.name() == name && c.fingerprint() == identity_fingerprint => {
+                eprintln!(
+                    "[farm] resuming from {} ({} points)",
+                    ckpt_path.display(),
+                    c.len()
+                );
+                c
+            }
+            Ok(Some(c)) => {
+                eprintln!(
+                    "[farm] {} is for a different campaign (name '{}', fingerprint {:016x} != {identity_fingerprint:016x}); starting fresh",
+                    ckpt_path.display(),
+                    c.name(),
+                    c.fingerprint()
+                );
+                Checkpoint::new(name, identity_fingerprint)
+            }
+            Ok(None) => Checkpoint::new(name, identity_fingerprint),
+            Err(e) => {
+                eprintln!(
+                    "[farm] {} unreadable ({e}); starting fresh",
+                    ckpt_path.display()
+                );
+                Checkpoint::new(name, identity_fingerprint)
+            }
+        };
+        Farm {
+            inner: Mutex::new(FarmInner {
+                states: DetHashMap::default(),
+                queue: VecDeque::new(),
+                ckpt,
+                stats: FarmStats::default(),
+                new_points: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            ckpt_path,
+            crash_after: crash_after_points(),
+            retries: point_retries(),
+        }
+    }
+
+    /// Submits jobs for execution, returning their fingerprints in job
+    /// order. Fingerprints already known to the farm (from an earlier
+    /// submission or the checkpoint) are not scheduled again.
+    pub fn submit(&self, jobs: &[SimJob]) -> Vec<u64> {
+        let mut inner = self.lock();
+        let mut queued = 0usize;
+        let fps: Vec<u64> = jobs
+            .iter()
+            .map(|job| {
+                let fp = point_fingerprint(job);
+                if inner.states.contains_key(&fp) {
+                    inner.stats.deduplicated += 1;
+                    return fp;
+                }
+                let restored = inner
+                    .ckpt
+                    .get(&ckpt_key(fp))
+                    .and_then(|doc| SimReport::from_json(doc).ok());
+                match restored {
+                    Some(report) => {
+                        inner.states.insert(fp, PointState::Done(Box::new(report)));
+                        inner.stats.restored += 1;
+                    }
+                    None => {
+                        inner.states.insert(fp, PointState::Queued);
+                        inner.queue.push_back((fp, job.clone()));
+                        queued += 1;
+                    }
+                }
+                fp
+            })
+            .collect();
+        if queued > 0 {
+            self.work.notify_all();
+        }
+        // Submitters whose whole phase was restored/deduplicated must not
+        // block forever on a queue that never moves again.
+        self.done.notify_all();
+        fps
+    }
+
+    /// Blocks until every fingerprint resolves, returning the reports in
+    /// the given order.
+    ///
+    /// # Errors
+    ///
+    /// [`FarmError::Figure`] when any of the points failed past its retry
+    /// budget; the message names every failed point.
+    pub fn wait(&self, fingerprints: &[u64]) -> Result<Vec<SimReport>, FarmError> {
+        let mut inner = self.lock();
+        loop {
+            let pending = fingerprints.iter().any(|fp| {
+                matches!(
+                    inner.states.get(fp),
+                    Some(PointState::Queued | PointState::Running)
+                )
+            });
+            if !pending {
+                break;
+            }
+            inner = self.done.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+        let mut failures = Vec::new();
+        let reports: Vec<SimReport> = fingerprints
+            .iter()
+            .filter_map(|fp| match inner.states.get(fp) {
+                Some(PointState::Done(report)) => Some((**report).clone()),
+                Some(PointState::Failed(msg)) => {
+                    failures.push(format!("point {fp:016x}: {msg}"));
+                    None
+                }
+                _ => {
+                    failures.push(format!("point {fp:016x}: never submitted"));
+                    None
+                }
+            })
+            .collect();
+        if failures.is_empty() {
+            Ok(reports)
+        } else {
+            Err(FarmError::Figure(failures.join("; ")))
+        }
+    }
+
+    /// Submits a labelled batch and waits for it — the figure hosts'
+    /// one-call path, with a per-phase scheduling summary on stderr.
+    pub fn run_labeled(&self, label: &str, jobs: Vec<SimJob>) -> Result<Vec<SimReport>, FarmError> {
+        let before = self.stats();
+        let fps = self.submit(&jobs);
+        let after = self.stats();
+        eprintln!(
+            "[farm] {label}: {} points ({} restored, {} shared)",
+            jobs.len(),
+            after.restored - before.restored,
+            after.deduplicated - before.deduplicated,
+        );
+        self.wait(&fps)
+    }
+
+    /// Drains the queue until the farm is closed and empty. Run this from
+    /// each worker thread; `exec` does the actual simulation (injectable
+    /// so the scheduler is testable without a simulator).
+    pub fn worker_loop<F>(&self, exec: &F)
+    where
+        F: Fn(&SimJob) -> SimReport,
+    {
+        loop {
+            let (fp, job) = {
+                let mut inner = self.lock();
+                loop {
+                    if let Some(item) = inner.queue.pop_front() {
+                        inner.states.insert(item.0, PointState::Running);
+                        break item;
+                    }
+                    if inner.closed {
+                        return;
+                    }
+                    inner = self.work.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+
+            let mut attempt = 0u32;
+            let outcome = loop {
+                match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                    Ok(report) => break Ok(report),
+                    Err(payload) => {
+                        if attempt >= self.retries {
+                            break Err(panic_text(payload));
+                        }
+                        attempt += 1;
+                        eprintln!(
+                            "[farm] point '{}' panicked; retry {attempt}/{}",
+                            job.key, self.retries
+                        );
+                    }
+                }
+            };
+
+            let mut inner = self.lock();
+            match outcome {
+                Ok(report) => {
+                    inner.ckpt.insert(&ckpt_key(fp), report.to_json());
+                    if let Err(e) = inner.ckpt.save(&self.ckpt_path) {
+                        eprintln!(
+                            "[farm] checkpoint write failed ({}): {e}",
+                            self.ckpt_path.display()
+                        );
+                    }
+                    inner.stats.computed += 1;
+                    inner.new_points += 1;
+                    if self.crash_after == Some(inner.new_points) {
+                        // Fault-injection hook: die right after the
+                        // checkpoint hit disk, the worst moment short of
+                        // mid-write (covered by the atomic rename).
+                        eprintln!(
+                            "[farm] MAPS_CRASH_AFTER_POINTS={} reached; crashing",
+                            inner.new_points
+                        );
+                        std::process::exit(42);
+                    }
+                    let done = inner.stats.computed + inner.stats.restored;
+                    let known = inner.states.len();
+                    eprintln!("[farm] {done}/{known} {}", job.key);
+                    inner.states.insert(fp, PointState::Done(Box::new(report)));
+                }
+                Err(msg) => {
+                    eprintln!("[farm] point '{}' failed: {msg}", job.key);
+                    inner.stats.failed += 1;
+                    inner.states.insert(fp, PointState::Failed(msg));
+                }
+            }
+            drop(inner);
+            self.done.notify_all();
+        }
+    }
+
+    /// Closes the queue: workers drain what is left and exit. Call after
+    /// every figure driver has finished submitting.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.work.notify_all();
+    }
+
+    /// A snapshot of the campaign accounting.
+    pub fn stats(&self) -> FarmStats {
+        self.lock().stats
+    }
+
+    /// Removes the checkpoint — the campaign completed, nothing to
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure other than the file already being gone.
+    pub fn remove_checkpoint(&self) -> std::io::Result<()> {
+        match std::fs::remove_file(&self.ckpt_path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Locks the shared state, recovering from poisoning: state mutation
+    /// under the lock is total (no partial updates), so a panicking
+    /// worker leaves the structures consistent.
+    fn lock(&self) -> std::sync::MutexGuard<'_, FarmInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use maps_sim::SimConfig;
+    use maps_workloads::Benchmark;
+
+    fn tmp_ckpt(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("maps-farm-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("campaign.ckpt")
+    }
+
+    fn job(llc_shift: u64, bench: Benchmark) -> SimJob {
+        let cfg = SimConfig::paper_default();
+        let cfg = cfg.with_llc_bytes(cfg.llc_bytes << llc_shift);
+        SimJob::replay(format!("llc{llc_shift}/{}", bench.name()), cfg, bench, 64)
+    }
+
+    /// Cheap injected executor: a synthetic report derived from the job.
+    fn fake_exec(job: &SimJob) -> SimReport {
+        let mut report = maps_bench::PlanHost::placeholder_report();
+        report.workload = job.key.clone();
+        report.cycles = job.cfg.llc_bytes;
+        report
+    }
+
+    fn drain<R>(
+        farm: &Farm,
+        body: impl FnOnce() -> R + Send,
+        exec: &(dyn Fn(&SimJob) -> SimReport + Sync),
+    ) -> R
+    where
+        R: Send,
+    {
+        std::thread::scope(|s| {
+            let worker = s.spawn(move || farm.worker_loop(&|j: &SimJob| exec(j)));
+            let out = body();
+            farm.close();
+            worker.join().expect("worker");
+            out
+        })
+    }
+
+    #[test]
+    fn overlapping_submissions_execute_once() {
+        let ckpt = tmp_ckpt("dedup");
+        let farm = Farm::new("test", 1, ckpt.clone());
+        let executions = AtomicUsize::new(0);
+        let exec = |j: &SimJob| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            fake_exec(j)
+        };
+        let jobs = vec![job(0, Benchmark::Gups), job(1, Benchmark::Gups)];
+        let overlap = vec![job(1, Benchmark::Gups), job(0, Benchmark::Lbm)];
+        let (a, b) = drain(
+            &farm,
+            || {
+                let a = farm
+                    .run_labeled("first", jobs.clone())
+                    .expect("first batch");
+                let b = farm
+                    .run_labeled("second", overlap.clone())
+                    .expect("second batch");
+                (a, b)
+            },
+            &exec,
+        );
+        // Four submissions, three unique fingerprints.
+        assert_eq!(executions.load(Ordering::Relaxed), 3);
+        assert_eq!(a[1], b[0], "shared point yields the shared report");
+        let stats = farm.stats();
+        assert_eq!(stats.computed, 3);
+        assert_eq!(stats.deduplicated, 1);
+        farm.remove_checkpoint().expect("cleanup");
+    }
+
+    #[test]
+    fn checkpoint_restores_points_across_farms() {
+        let ckpt = tmp_ckpt("restore");
+        let jobs = vec![job(0, Benchmark::Gups), job(1, Benchmark::Lbm)];
+        let first = {
+            let farm = Farm::new("test", 7, ckpt.clone());
+            drain(
+                &farm,
+                || farm.run_labeled("batch", jobs.clone()).expect("batch"),
+                &fake_exec,
+            )
+        };
+        // Same identity: everything restores, nothing executes.
+        let farm = Farm::new("test", 7, ckpt.clone());
+        let executions = AtomicUsize::new(0);
+        let exec = |j: &SimJob| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            fake_exec(j)
+        };
+        let second = drain(
+            &farm,
+            || farm.run_labeled("batch", jobs.clone()).expect("batch"),
+            &exec,
+        );
+        assert_eq!(executions.load(Ordering::Relaxed), 0);
+        assert_eq!(first, second, "restored reports are bit-identical");
+        assert_eq!(farm.stats().restored, 2);
+        // Different identity: the stale checkpoint is discarded.
+        let fresh = Farm::new("test", 8, ckpt.clone());
+        drain(
+            &fresh,
+            || fresh.run_labeled("batch", jobs.clone()).expect("batch"),
+            &exec,
+        );
+        assert_eq!(executions.load(Ordering::Relaxed), 2);
+        fresh.remove_checkpoint().expect("cleanup");
+    }
+
+    #[test]
+    fn failed_points_surface_as_errors_not_hangs() {
+        let ckpt = tmp_ckpt("fail");
+        let farm = Farm::new("test", 3, ckpt.clone());
+        let exec = |j: &SimJob| -> SimReport {
+            if j.bench == Benchmark::Gups {
+                panic!("injected failure");
+            }
+            fake_exec(j)
+        };
+        let jobs = vec![job(0, Benchmark::Gups), job(0, Benchmark::Lbm)];
+        let result = drain(&farm, || farm.run_labeled("batch", jobs), &exec);
+        let err = result.expect_err("panicking point must fail the batch");
+        assert!(err.to_string().contains("injected failure"), "{err}");
+        assert_eq!(farm.stats().failed, 1);
+        assert_eq!(farm.stats().computed, 1, "healthy point still completes");
+        farm.remove_checkpoint().expect("cleanup");
+    }
+}

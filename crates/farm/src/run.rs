@@ -1,0 +1,131 @@
+//! Campaign execution: figure drivers on their own threads, a shared
+//! worker pool draining the farm queue.
+//!
+//! The run always re-plans in-process and rewrites `campaign.json` — the
+//! document on disk is advisory, execution never trusts a stale plan —
+//! then opens the campaign checkpoint keyed by the plan's identity
+//! fingerprint. One thread per selected figure drives its
+//! [`FarmHost`]; `--workers N` threads (each running
+//! [`Farm::worker_loop`]) execute the deduplicated points through
+//! [`maps_bench::exec_job`], sharing the process-wide front-end capture
+//! memo. A figure that fails (a point past its retry budget, a violated
+//! `--check` claim) is reported without killing the others; the
+//! checkpoint is removed only when every figure completed.
+
+use std::path::Path;
+
+use maps_bench::figures::FigureDef;
+use maps_bench::SimJob;
+
+use crate::campaign::{plan_campaign, CampaignPlan};
+use crate::host::FarmHost;
+use crate::queue::{panic_text, Farm, FarmStats};
+use crate::FarmError;
+
+/// What a completed campaign did.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The figures that ran, in selection order.
+    pub figures: Vec<String>,
+    /// Work accounting: computed vs. restored vs. deduplicated points.
+    pub stats: FarmStats,
+    /// Front-end traces recorded by this process (capture-memo misses).
+    pub capture_recordings: u64,
+}
+
+/// Plans and writes `campaign.json` without running anything.
+///
+/// # Errors
+///
+/// [`FarmError::Io`] when the campaign directory or document cannot be
+/// written.
+pub fn write_plan(
+    name: &str,
+    figures: &[&'static FigureDef],
+    dir: &Path,
+) -> Result<CampaignPlan, FarmError> {
+    std::fs::create_dir_all(dir).map_err(|e| FarmError::io(dir.display().to_string(), e))?;
+    let plan = plan_campaign(name, figures);
+    let path = dir.join("campaign.json");
+    maps_obs::write_atomic(&path, plan.to_json().to_pretty().as_bytes())
+        .map_err(|e| FarmError::io(path.display().to_string(), e))?;
+    Ok(plan)
+}
+
+/// Runs a campaign to completion. See the module docs for the thread
+/// topology.
+///
+/// # Errors
+///
+/// [`FarmError::Io`] when campaign artifacts cannot be written and
+/// [`FarmError::Figure`] when any figure failed (every failure is
+/// collected and named; surviving figures still complete).
+pub fn run_campaign(
+    name: &str,
+    figures: &[&'static FigureDef],
+    dir: &Path,
+    workers: usize,
+) -> Result<RunSummary, FarmError> {
+    let plan = write_plan(name, figures, dir)?;
+    eprintln!(
+        "[farm] campaign '{name}': {} figures, {} unique points ({} declared, {} shared), {} capture keys",
+        figures.len(),
+        plan.points.len(),
+        plan.total_jobs,
+        plan.deduplicated(),
+        plan.capture_keys,
+    );
+
+    let farm = Farm::new(name, plan.identity_fingerprint(), dir.join("campaign.ckpt"));
+    let worker_count = workers.max(1);
+    let result: Result<(), FarmError> = std::thread::scope(|s| {
+        let farm_ref = &farm;
+        // The pool blocks until the farm closes, so it gets a thread of
+        // its own; parallel_map_with supplies the lock-free fan-out.
+        let pool = s.spawn(move || {
+            maps_bench::parallel_map_with((0..worker_count).collect(), worker_count, |_| {
+                farm_ref.worker_loop(&|job: &SimJob| maps_bench::exec_job(job))
+            });
+        });
+        let drivers: Vec<_> = figures
+            .iter()
+            .map(|def| {
+                s.spawn(move || {
+                    let mut host = FarmHost::new(def.name, farm_ref, dir);
+                    (def.drive)(&mut host);
+                    host.finish();
+                })
+            })
+            .collect();
+        let mut failures = Vec::new();
+        for (def, driver) in figures.iter().zip(drivers) {
+            if let Err(payload) = driver.join() {
+                failures.push(format!("{}: {}", def.name, panic_text(payload)));
+            }
+        }
+        farm_ref.close();
+        if pool.join().is_err() {
+            failures.push("worker pool panicked".to_string());
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(FarmError::Figure(failures.join("; ")))
+        }
+    });
+    result?;
+
+    farm.remove_checkpoint()
+        .map_err(|e| FarmError::io(dir.join("campaign.ckpt").display().to_string(), e))?;
+    let stats = farm.stats();
+    let summary = RunSummary {
+        figures: figures.iter().map(|f| f.name.to_string()).collect(),
+        stats,
+        capture_recordings: maps_bench::capture_recordings(),
+    };
+    eprintln!(
+        "[farm] campaign complete: {} computed, {} restored, {} deduplicated, {} captures recorded",
+        stats.computed, stats.restored, stats.deduplicated, summary.capture_recordings,
+    );
+    Ok(summary)
+}

@@ -1,0 +1,152 @@
+//! End-to-end farm equivalence: a two-figure campaign executed by the
+//! `maps-farm` binary must produce TSV and manifest artifacts
+//! byte-identical to the standalone figure path, under
+//! `MAPS_DETERMINISTIC=1`.
+//!
+//! One `#[test]` function drives the whole scenario because it mutates
+//! process environment (`MAPS_ACCESSES`, `MAPS_DETERMINISTIC`) for the
+//! in-process standalone reference runs; the farm itself runs as a
+//! subprocess with the same environment passed explicitly.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use maps_bench::figures::figure;
+use maps_bench::LocalHost;
+
+const ACCESSES: &str = "1200";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("maps-farm-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Runs a figure driver through the standalone path ([`LocalHost`], the
+/// exact code the `fig2`/`fig7` binaries run) with artifacts in `dir`.
+fn run_standalone(name: &str, dir: &Path) {
+    let def = figure(name).expect("figure registered");
+    let mut host = LocalHost::with_paths(
+        name,
+        dir.join(format!("{name}.manifest.json")),
+        dir.join(format!("{name}.ckpt")),
+        Some(dir.join(format!("{name}.tsv"))),
+    );
+    (def.drive)(&mut host);
+    host.finish();
+}
+
+fn farm_cmd(dir: &Path, args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_maps-farm"));
+    cmd.args(args)
+        .arg("--dir")
+        .arg(dir)
+        .env("MAPS_ACCESSES", ACCESSES)
+        .env("MAPS_DETERMINISTIC", "1")
+        .env_remove("MAPS_CRASH_AFTER_POINTS");
+    cmd
+}
+
+#[test]
+fn farm_campaign_matches_standalone_figures_byte_for_byte() {
+    // The in-process standalone reference runs read these from the
+    // environment, exactly like the real binaries do.
+    std::env::set_var("MAPS_ACCESSES", ACCESSES);
+    std::env::set_var("MAPS_DETERMINISTIC", "1");
+
+    let standalone = tmp_dir("standalone");
+    run_standalone("fig2", &standalone);
+    run_standalone("fig7", &standalone);
+
+    // Plan first: the campaign document must enumerate both figures and
+    // actually share points between them.
+    let farm_dir = tmp_dir("farm");
+    let plan = farm_cmd(&farm_dir, &["plan", "--figures", "fig2,fig7"])
+        .output()
+        .expect("run maps-farm plan");
+    assert!(
+        plan.status.success(),
+        "plan failed: {}",
+        String::from_utf8_lossy(&plan.stderr)
+    );
+    let plan_doc = maps_farm::load_campaign(&farm_dir.join("campaign.json")).expect("plan written");
+    assert!(
+        (plan_doc.total_jobs as usize) > plan_doc.points.len(),
+        "fig2 and fig7 must share sweep points ({} declared, {} unique)",
+        plan_doc.total_jobs,
+        plan_doc.points.len()
+    );
+
+    // Run the campaign in parallel through the farm queue.
+    let run = farm_cmd(
+        &farm_dir,
+        &["run", "--figures", "fig2,fig7", "--workers", "4"],
+    )
+    .output()
+    .expect("run maps-farm run");
+    assert!(
+        run.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("deduplicated"),
+        "run summary reports dedup: {stderr}"
+    );
+    assert!(
+        !farm_dir.join("campaign.ckpt").exists(),
+        "completed campaign removes its checkpoint"
+    );
+
+    // The farm's artifacts are byte-identical to the standalone path's.
+    for name in ["fig2", "fig7"] {
+        for suffix in ["tsv", "manifest.json"] {
+            let farm_file = farm_dir.join(format!("{name}.{suffix}"));
+            let standalone_file = standalone.join(format!("{name}.{suffix}"));
+            assert_eq!(
+                read(&farm_file),
+                read(&standalone_file),
+                "{name}.{suffix}: farm and standalone artifacts differ"
+            );
+        }
+    }
+
+    // status on the finished campaign reads progress from the directory.
+    let status = farm_cmd(&farm_dir, &["status"])
+        .output()
+        .expect("run maps-farm status");
+    assert!(
+        status.status.success(),
+        "status failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        text.contains("figures complete: 2/2"),
+        "status reports completion: {text}"
+    );
+
+    std::fs::remove_dir_all(&standalone).ok();
+    std::fs::remove_dir_all(&farm_dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_maps-farm"))
+        .arg("frobnicate")
+        .output()
+        .expect("run maps-farm");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_maps-farm"))
+        .args(["run", "--dir", "/tmp/x", "--figures", "not-a-figure"])
+        .output()
+        .expect("run maps-farm");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown figure"));
+}

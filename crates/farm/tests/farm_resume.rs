@@ -1,0 +1,99 @@
+//! Kill-and-resume equivalence for the farm, reusing the
+//! `MAPS_CRASH_AFTER_POINTS` exit-42 fault-injection hook: a campaign
+//! killed mid-run and re-invoked must produce byte-identical artifacts
+//! while re-simulating only the missing points.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const ACCESSES: &str = "900";
+const CRASH_AFTER: u64 = 5;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("maps-farm-resume-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn farm_run(dir: &Path, crash_after: Option<u64>) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_maps-farm"));
+    cmd.args(["run", "--figures", "fig2", "--workers", "2", "--dir"])
+        .arg(dir)
+        .env("MAPS_ACCESSES", ACCESSES)
+        .env("MAPS_DETERMINISTIC", "1");
+    match crash_after {
+        Some(n) => cmd.env("MAPS_CRASH_AFTER_POINTS", n.to_string()),
+        None => cmd.env_remove("MAPS_CRASH_AFTER_POINTS"),
+    };
+    cmd.output().expect("run maps-farm")
+}
+
+#[test]
+fn killed_campaign_resumes_byte_identically() {
+    // Reference: one uninterrupted campaign.
+    let reference = tmp_dir("reference");
+    let clean = farm_run(&reference, None);
+    assert!(
+        clean.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    // Victim: crash right after the fifth newly computed point is
+    // checkpointed.
+    let victim = tmp_dir("victim");
+    let crashed = farm_run(&victim, Some(CRASH_AFTER));
+    assert_eq!(
+        crashed.status.code(),
+        Some(42),
+        "crash hook exits 42: {}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+    assert!(
+        victim.join("campaign.ckpt").exists(),
+        "checkpoint survives the kill"
+    );
+    assert!(
+        !victim.join("fig2.tsv").exists() && !victim.join("fig2.manifest.json").exists(),
+        "no figure artifacts exist before the figure completes"
+    );
+
+    // Resume: the re-invocation restores the checkpointed points and
+    // simulates only the rest.
+    let resumed = farm_run(&victim, None);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains(&format!(
+            "resuming from {}",
+            victim.join("campaign.ckpt").display()
+        )),
+        "resume announces the checkpoint: {stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("{CRASH_AFTER} restored")),
+        "exactly the checkpointed points are restored, not re-simulated: {stderr}"
+    );
+    assert!(
+        !victim.join("campaign.ckpt").exists(),
+        "completed campaign removes its checkpoint"
+    );
+
+    for suffix in ["tsv", "manifest.json"] {
+        let a = std::fs::read(victim.join(format!("fig2.{suffix}"))).expect("resumed artifact");
+        let b =
+            std::fs::read(reference.join(format!("fig2.{suffix}"))).expect("reference artifact");
+        assert_eq!(
+            a, b,
+            "fig2.{suffix}: resumed run differs from uninterrupted run"
+        );
+    }
+
+    std::fs::remove_dir_all(&reference).ok();
+    std::fs::remove_dir_all(&victim).ok();
+}

@@ -20,8 +20,9 @@ use crate::allowlist::Allowlist;
 use crate::lexer::{lex, Comment, Tok, TokKind};
 
 /// Crates whose iteration order / hashing must be reproducible: their
-/// state feeds replay equivalence and the differential oracle.
-const DET_CRATES: [&str; 8] = [
+/// state feeds replay equivalence, the differential oracle, and the
+/// farm's campaign plans (which must enumerate identically every run).
+const DET_CRATES: [&str; 9] = [
     "sim",
     "cache",
     "secure",
@@ -30,6 +31,7 @@ const DET_CRATES: [&str; 8] = [
     "trace",
     "workloads",
     "inject",
+    "farm",
 ];
 
 /// Crates allowed to read the wall clock (timers, manifests, harnesses).
@@ -46,19 +48,21 @@ const CLOCK_RNG_IDENTS: [&str; 5] = [
 
 /// Library decode/parse paths that must stay panic-free on malformed
 /// input (PANIC-001). Everything here returns typed errors instead.
-const PANIC_FREE_PATHS: [&str; 6] = [
+const PANIC_FREE_PATHS: [&str; 8] = [
     "crates/sim/src/capture.rs",
     "crates/sim/src/report.rs",
     "crates/obs/src/checkpoint.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/manifest.rs",
     "crates/trace/src/io.rs",
+    "crates/farm/src/campaign.rs",
+    "crates/farm/src/status.rs",
 ];
 
 /// Crates whose `src/` publishes result artifacts (TSVs, manifests,
 /// checkpoints): they may only reach the filesystem through the atomic
 /// temp-file + rename funnel (IO-001).
-const IO_FUNNEL_CRATES: [&str; 2] = ["bench", "obs"];
+const IO_FUNNEL_CRATES: [&str; 3] = ["bench", "obs", "farm"];
 
 /// The one file allowed to open output files directly: the atomic-write
 /// helper *is* the funnel. Hard-exempted here (not via lint.allow, which
@@ -397,8 +401,9 @@ fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
 /// IO-001: raw output-file writes in result-publishing crates.
 ///
 /// Flags `File::create` and `fs::write` token sequences in
-/// `crates/bench/src` and `crates/obs/src`, the crates that publish
-/// results (TSVs, manifests, checkpoints). Everything there must go
+/// `crates/bench/src`, `crates/obs/src`, and `crates/farm/src`, the
+/// crates that publish results (TSVs, manifests, campaign documents,
+/// checkpoints). Everything there must go
 /// through `maps_obs::write_atomic` so a crash or injected fault can
 /// never leave a torn result file for a reader — or a resumed run — to
 /// trust. The helper file itself is hard-exempt.
@@ -554,9 +559,11 @@ mod tests {
     fn det_rules_only_fire_in_scoped_crates() {
         let src = "use std::collections::HashMap;\n";
         assert!(!diags("crates/cache/src/x.rs", src).is_empty());
+        assert!(!diags("crates/farm/src/queue.rs", src).is_empty());
         assert!(diags("crates/analysis/src/x.rs", src).is_empty());
         assert!(diags("crates/bench/src/x.rs", src).is_empty());
         assert!(diags("crates/cache/tests/x.rs", src).is_empty());
+        assert!(diags("crates/farm/tests/x.rs", src).is_empty());
     }
 
     #[test]
@@ -631,6 +638,9 @@ mod tests {
         "#;
         let d = diags("crates/obs/src/json.rs", src);
         assert_eq!(d.len(), 2, "{d:?}");
+        // The farm's campaign/status decoders are held to the same bar.
+        assert_eq!(diags("crates/farm/src/campaign.rs", src).len(), 2);
+        assert_eq!(diags("crates/farm/src/status.rs", src).len(), 2);
         // Same file under a non-decode path: out of scope.
         assert!(diags("crates/obs/src/metrics.rs", src).is_empty());
     }
@@ -645,6 +655,7 @@ mod tests {
             assert_eq!(d[0].rule, "IO-001");
             assert!(d[0].message.contains("write_atomic"));
             assert_eq!(diags("crates/obs/src/x.rs", src).len(), 1);
+            assert_eq!(diags("crates/farm/src/x.rs", src).len(), 1);
         }
     }
 

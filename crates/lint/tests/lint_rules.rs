@@ -45,6 +45,22 @@ fn det001_is_silent_outside_deterministic_crates() {
 }
 
 #[test]
+fn det001_covers_the_farm_scheduler() {
+    // The farm's dedup map and campaign plans feed resumable scheduling:
+    // a default-hasher collection there would reorder plan enumeration.
+    let d = lint_source(
+        "crates/farm/src/fixture.rs",
+        &fixture("det001.rs"),
+        &Allowlist::empty(),
+    );
+    assert_eq!(
+        shape(&d),
+        vec![("DET-001", 5), ("DET-001", 8), ("DET-001", 8)],
+        "{d:#?}"
+    );
+}
+
+#[test]
 fn det002_fixture_flags_exactly_the_documented_lines() {
     let d = lint_source(
         "crates/mem/src/fixture.rs",
@@ -128,6 +144,18 @@ fn panic001_fixture_flags_exactly_the_documented_lines() {
 }
 
 #[test]
+fn panic001_covers_the_farm_decode_paths() {
+    for path in ["crates/farm/src/campaign.rs", "crates/farm/src/status.rs"] {
+        let d = lint_source(path, &fixture("panic001.rs"), &Allowlist::empty());
+        assert_eq!(
+            shape(&d),
+            vec![("PANIC-001", 9), ("PANIC-001", 10)],
+            "{path}: {d:#?}"
+        );
+    }
+}
+
+#[test]
 fn panic001_only_applies_to_decode_paths() {
     let d = lint_source(
         "crates/obs/src/metrics.rs",
@@ -146,6 +174,13 @@ fn io001_fixture_flags_exactly_the_documented_lines() {
     );
     assert_eq!(shape(&d), vec![("IO-001", 7), ("IO-001", 8)], "{d:#?}");
     assert!(d[0].message.contains("write_atomic"));
+    // The farm publishes campaign documents and checkpoints: same funnel.
+    let d = lint_source(
+        "crates/farm/src/fixture.rs",
+        &fixture("io001.rs"),
+        &Allowlist::empty(),
+    );
+    assert_eq!(shape(&d), vec![("IO-001", 7), ("IO-001", 8)], "{d:#?}");
 }
 
 #[test]

@@ -17,11 +17,14 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --release -- -D warnings
-run cargo build --release
+run cargo build --release --workspace
 run cargo run -q -p maps-lint --release
 run cargo test -q --workspace
 if [[ $quick -eq 0 ]]; then
     run cargo test -q --features heavy-tests
+    # Farm scheduling properties (fingerprint dedup, capture-cache
+    # differential) live behind the same opt-in feature.
+    run cargo test -q -p maps-farm --features heavy-tests
 fi
 
 # Claim checks on the two headline figures. fig1 is stable from 30k
@@ -29,6 +32,17 @@ fi
 # ~100k accesses to emerge from warm-up noise.
 run env MAPS_ACCESSES=30000 ./target/release/fig1 --check
 run env MAPS_ACCESSES=100000 ./target/release/fig2 --check
+
+# Farm campaign smoke: a deduplicated two-figure campaign through the
+# shared queue must emit a fig2 TSV byte-identical to the standalone
+# binary's (the full equivalence matrix runs in crates/farm/tests).
+farm_dir=$(mktemp -d)
+run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
+    ./target/release/maps-farm run --figures fig2,fig7 --workers 4 --dir "$farm_dir"
+run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
+    ./target/release/fig2 "--tsv=$farm_dir/fig2.standalone.tsv"
+run cmp "$farm_dir/fig2.tsv" "$farm_dir/fig2.standalone.tsv"
+rm -rf "$farm_dir"
 
 # Fault-injection smoke campaign: every seeded model fault (bit flips,
 # replays, overflow storms) detected and localized, every seeded
