@@ -16,7 +16,7 @@ use maps_mem::RowBufferDram;
 use maps_sim::{
     Hierarchy, MdcConfig, MemEvent, MetadataCache, MetadataEngine, RecordingObserver, SimConfig,
 };
-use maps_trace::{BlockKind, BLOCK_BYTES};
+use maps_trace::{BlockKind, TenantId, BLOCK_BYTES};
 use maps_workloads::Benchmark;
 
 /// One address in the merged memory stream.
@@ -52,11 +52,11 @@ fn reference_stream(bench: Benchmark, accesses: u64) -> Vec<Ref> {
         for event in &events {
             let mut rec = RecordingObserver::new();
             match event {
-                MemEvent::Read(b) => {
+                MemEvent::Read(b, _) => {
                     stream.push(Ref::Data(b.index() * BLOCK_BYTES));
                     engine.handle_read(*b, &mut rec);
                 }
-                MemEvent::Write(b) => {
+                MemEvent::Write(b, _) => {
                     stream.push(Ref::Data(b.index() * BLOCK_BYTES));
                     engine.handle_write(*b, &mut rec);
                 }
@@ -87,7 +87,12 @@ fn row_hit_rate(stream: &[Ref], mdc: Option<MdcConfig>, include_meta: bool) -> f
                 let reaches_dram = match &mut cache {
                     Some(cache) => {
                         !cache
-                            .access(addr / BLOCK_BYTES, BlockKind::Counter, false)
+                            .access(
+                                addr / BLOCK_BYTES,
+                                BlockKind::Counter,
+                                false,
+                                TenantId::HOST,
+                            )
                             .hit
                     }
                     None => true,

@@ -1,0 +1,15 @@
+//! Thin wrapper: runs the `fig_occupancy` figure driver in-process against
+//! [`maps_bench::LocalHost`] (checkpointed sweeps, manifest/TSV
+//! artifacts). See `maps_bench::figures::fig_occupancy` for the figure
+//! logic and `maps-farm` for the campaign path.
+//!
+//! Run: `cargo run --release -p maps-bench --bin fig_occupancy [--check] [--tsv]`
+
+use maps_bench::figures::fig_occupancy;
+use maps_bench::LocalHost;
+
+fn main() {
+    let mut host = LocalHost::new(fig_occupancy::NAME);
+    fig_occupancy::drive(&mut host);
+    host.finish();
+}

@@ -150,8 +150,10 @@ fn run() -> Result<(), BenchError> {
         let k: usize = v
             .parse()
             .map_err(|_| usage_err(format!("bad --partition {v}")))?;
-        let p = Partition::counter_ways(k);
-        p.validate(cfg.mdc.ways);
+        // Checked construction: an invalid split is a usage error (exit 2),
+        // not a panic (debug) or a silently starved way range (release).
+        let p = Partition::new(k, cfg.mdc.ways)
+            .map_err(|e| usage_err(format!("bad --partition {v}: {e}")))?;
         cfg.mdc.partition = PartitionMode::Static(p);
     }
     if args.flag("--partial-writes") {

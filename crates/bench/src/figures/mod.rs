@@ -20,6 +20,7 @@ pub mod fig1_extended;
 pub mod fig2;
 pub mod fig6;
 pub mod fig7;
+pub mod fig_occupancy;
 
 use crate::SweepHost;
 
@@ -35,7 +36,7 @@ pub struct FigureDef {
 }
 
 /// Every figure the farm can run, sorted by name.
-pub const FIGURES: [FigureDef; 10] = [
+pub const FIGURES: [FigureDef; 11] = [
     FigureDef {
         name: "ablation_cost_aware",
         dynamic: false,
@@ -85,6 +86,11 @@ pub const FIGURES: [FigureDef; 10] = [
         name: "fig7",
         dynamic: true,
         drive: fig7::drive,
+    },
+    FigureDef {
+        name: "fig_occupancy",
+        dynamic: false,
+        drive: fig_occupancy::drive,
     },
 ];
 

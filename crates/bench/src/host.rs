@@ -40,6 +40,14 @@ pub enum JobKind {
         /// Maximum refinement iterations.
         iterations: usize,
     },
+    /// Two-tenant occupancy-channel run ([`crate::run_occupancy`]): an
+    /// MDC-filling probe attacker sharded against a random victim of the
+    /// given footprint. The job's `bench` field is ignored — the workload
+    /// is synthesized from the configuration and this parameter.
+    Occupancy {
+        /// Victim working-set size in 4 KB pages.
+        victim_pages: u64,
+    },
 }
 
 impl JobKind {
@@ -49,6 +57,7 @@ impl JobKind {
             JobKind::Replay => "replay".to_string(),
             JobKind::Min => "min".to_string(),
             JobKind::IterMin { iterations } => format!("itermin{iterations}"),
+            JobKind::Occupancy { victim_pages } => format!("occupancy{victim_pages}"),
         }
     }
 }
@@ -81,6 +90,25 @@ impl SimJob {
             seed: crate::SEED,
             accesses,
             kind: JobKind::Replay,
+        }
+    }
+
+    /// An occupancy-channel job (`bench` is a placeholder; the workload is
+    /// the synthesized attacker/victim tenant mix).
+    pub fn occupancy(
+        key: impl Into<String>,
+        cfg: SimConfig,
+        victim_pages: u64,
+        seed: u64,
+        accesses: u64,
+    ) -> Self {
+        SimJob {
+            key: key.into(),
+            cfg,
+            bench: Benchmark::Gups,
+            seed,
+            accesses,
+            kind: JobKind::Occupancy { victim_pages },
         }
     }
 
@@ -122,6 +150,9 @@ pub fn exec_job(job: &SimJob) -> SimReport {
                 iterations,
             )
             .report
+        }
+        JobKind::Occupancy { victim_pages } => {
+            crate::run_occupancy(&job.cfg, job.seed, job.accesses, victim_pages)
         }
     }
 }
@@ -244,6 +275,7 @@ impl PlanHost {
             cycles: 1,
             hierarchy: Default::default(),
             engine: Default::default(),
+            tenants: Vec::new(),
             energy: maps_mem::EnergyDelay::new(),
         }
     }

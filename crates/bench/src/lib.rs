@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use maps_sim::{CapturedTrace, FrontEndKey, ReplaySim, SecureSim, SimConfig, SimReport};
-use maps_workloads::Benchmark;
+use maps_trace::PAGE_BYTES;
+use maps_workloads::{Benchmark, OccupancyProbe, RandomGen, TenantMix, TenantSchedule, Workload};
 
 pub mod context;
 pub mod error;
@@ -72,6 +73,37 @@ pub fn claim(ok: bool, description: &str) {
 /// Runs one simulation directly (no capture reuse).
 pub fn run_sim(cfg: &SimConfig, bench: Benchmark, seed: u64, accesses: u64) -> SimReport {
     SecureSim::new(cfg.clone(), bench.build(seed)).run(accesses)
+}
+
+/// Attacker tenant ID in occupancy-channel runs ([`run_occupancy`]).
+pub const OCCUPANCY_ATTACKER: u8 = 0;
+
+/// Victim tenant ID in occupancy-channel runs.
+pub const OCCUPANCY_VICTIM: u8 = 1;
+
+/// Runs the two-tenant occupancy-channel scenario: tenant 0 is an
+/// [`OccupancyProbe`] attacker whose probe set is sized to exactly fill
+/// the configured metadata cache (one counter block per probed page), and
+/// tenant 1 is a uniform-random victim over `victim_pages` pages. The two
+/// streams interleave core-sharded; the attacker's per-tenant metadata
+/// miss ratio in the report is the channel readout.
+///
+/// Runs direct (no capture memo): the capture cache is keyed on
+/// [`Benchmark`] profiles, which this synthesized mix is not.
+pub fn run_occupancy(cfg: &SimConfig, seed: u64, accesses: u64, victim_pages: u64) -> SimReport {
+    let probe_pages = (cfg.mdc.size_bytes / maps_trace::BLOCK_BYTES).max(1);
+    let attacker: Box<dyn Workload> = Box::new(OccupancyProbe::new(seed, probe_pages));
+    let victim: Box<dyn Workload> = Box::new(RandomGen::new(
+        "occ-victim",
+        seed ^ 0x007E_4A17,
+        victim_pages.max(1) * PAGE_BYTES,
+        0.3,
+        2,
+        0.0,
+        1,
+    ));
+    let mix = TenantMix::new(vec![attacker, victim], TenantSchedule::CoreSharded);
+    SecureSim::new(cfg.clone(), mix).run(accesses)
 }
 
 /// Front-end identity of one simulation run; all sweep points sharing it

@@ -194,6 +194,46 @@ impl<P: Policy> SetAssocCache<P> {
         write: bool,
         partition_override: Option<&Partition>,
     ) -> AccessResult {
+        let range = self.allowed_ways(kind, partition_override);
+        self.access_ranged(key, kind, write, range)
+    }
+
+    /// Accesses `key` with fills confined to the explicit way range
+    /// `[lo, hi)` — the per-tenant partitioning entry point. Hits are
+    /// range-unrestricted (a line filled by another requester still
+    /// hits), matching way-based cache partitioning in real hardware;
+    /// only the *fill* is confined.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the range is empty or escapes the
+    /// associativity.
+    #[inline]
+    pub fn access_in_ways(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        ways: (usize, usize),
+    ) -> AccessResult {
+        debug_assert!(
+            ways.0 < ways.1 && ways.1 <= self.cfg.ways(),
+            "way range ({}, {}) invalid for {} ways",
+            ways.0,
+            ways.1,
+            self.cfg.ways()
+        );
+        self.access_ranged(key, kind, write, ways)
+    }
+
+    #[inline]
+    fn access_ranged(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        range: (usize, usize),
+    ) -> AccessResult {
         let t = self.time;
         self.time += 1;
         self.policy.begin_access(t, key);
@@ -216,7 +256,7 @@ impl<P: Policy> SetAssocCache<P> {
         self.stats.record_access(kind, false);
         let mut new_line = Line::filled(key, kind, t);
         new_line.dirty = write;
-        let evicted = self.fill(set, new_line, partition_override, first_empty);
+        let evicted = self.fill(set, new_line, range, first_empty);
         AccessResult {
             hit: false,
             evicted,
@@ -248,6 +288,41 @@ impl<P: Policy> SetAssocCache<P> {
         slot: u8,
         partition_override: Option<&Partition>,
     ) -> Option<Line> {
+        let range = self.allowed_ways(kind, partition_override);
+        self.insert_placeholder_ranged(key, kind, slot, range)
+    }
+
+    /// [`SetAssocCache::insert_placeholder`] with the fill confined to
+    /// the explicit way range `[lo, hi)` (per-tenant partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already resident or `slot >= 8`; debug builds
+    /// also reject an empty or out-of-range way range.
+    pub fn insert_placeholder_in_ways(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        ways: (usize, usize),
+    ) -> Option<Line> {
+        debug_assert!(
+            ways.0 < ways.1 && ways.1 <= self.cfg.ways(),
+            "way range ({}, {}) invalid for {} ways",
+            ways.0,
+            ways.1,
+            self.cfg.ways()
+        );
+        self.insert_placeholder_ranged(key, kind, slot, ways)
+    }
+
+    fn insert_placeholder_ranged(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        range: (usize, usize),
+    ) -> Option<Line> {
         let set = self.cfg.set_of(key);
         let (hit_way, first_empty) = self.scan_set(set, key);
         assert!(
@@ -258,7 +333,7 @@ impl<P: Policy> SetAssocCache<P> {
         self.fill(
             set,
             Line::placeholder(key, kind, t, slot),
-            partition_override,
+            range,
             first_empty,
         )
     }
@@ -388,15 +463,15 @@ impl<P: Policy> SetAssocCache<P> {
 
     /// `first_empty` is the set's first empty way as returned by
     /// [`SetAssocCache::scan_set`] (reused when no partition narrows the
-    /// ways, so the fill path does not re-scan the tag row).
+    /// ways, so the fill path does not re-scan the tag row). The fill is
+    /// confined to the resolved way range `[lo, hi)`.
     fn fill(
         &mut self,
         set: usize,
         new_line: Line,
-        partition_override: Option<&Partition>,
+        (lo, hi): (usize, usize),
         first_empty: Option<usize>,
     ) -> Option<Line> {
-        let (lo, hi) = self.allowed_ways(new_line.kind, partition_override);
         let base = set * self.cfg.ways();
         debug_assert_ne!(
             new_line.key, EMPTY_TAG,

@@ -11,6 +11,12 @@
 //!   with future knowledge from a recorded trace.
 //! * [`partition`] — static way-partitioning between counters and hashes
 //!   plus the set-dueling machinery from Section V-C.
+//! * [`tenant`] — per-tenant way partitioning ([`TenantPartition`]) and
+//!   per-tenant stats/occupancy accounting ([`TenantStatsTable`]) for the
+//!   multi-tenant scenario layer.
+//! * [`randomized`] — a MIRAGE-style fully-associative randomized cache
+//!   ([`RandomizedCache`]) with keyed tag indexing and global-random
+//!   eviction, the alternative metadata-cache backend.
 //! * [`csopt`] — the Jeong–Dubois cost-sensitive optimal replacement search
 //!   (breadth-first over eviction choices with dominance pruning) discussed
 //!   in Section V-B.
@@ -35,7 +41,9 @@ pub mod line;
 pub mod partition;
 pub mod policy;
 pub mod psel;
+pub mod randomized;
 pub mod stats;
+pub mod tenant;
 
 pub use cache::{AccessResult, SetAssocCache};
 pub use config::CacheConfig;
@@ -44,4 +52,6 @@ pub use line::{Line, SetView};
 pub use partition::{DuelingController, Partition, PartitionError, SetRole};
 pub use policy::Policy;
 pub use psel::{PselCounter, PSEL_MAX};
+pub use randomized::{derive_keys, keyed_index, RandomizedCache, SKEWS};
 pub use stats::{CacheStats, KindStats};
+pub use tenant::{TenantPartition, TenantPartitionError, TenantStatsTable};

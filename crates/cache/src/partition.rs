@@ -273,6 +273,30 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_ways_for_stays_in_bounds_for_unvalidated_splits() {
+        // Release builds have no debug_assert; the clamp is the last
+        // line of defence. An unchecked degenerate split must still
+        // yield an in-bounds (possibly empty) range — never an
+        // out-of-bounds or inverted one — while the checked
+        // constructors (`Partition::new`, `try_validate`) keep every
+        // user-reachable path (mdcsim --partition, oracle artifact
+        // parsing) from constructing such a split in the first place.
+        for cw in [0usize, 8, 9, 1000] {
+            let p = Partition::counter_ways(cw);
+            for kind in [
+                BlockKind::Counter,
+                BlockKind::Hash,
+                BlockKind::Data,
+                BlockKind::Tree(0),
+            ] {
+                let (lo, hi) = p.ways_for(kind, 8);
+                assert!(lo <= hi && hi <= 8, "({lo},{hi}) escapes 8 ways");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one way")]
     fn dueling_controller_validates_partitions() {
         DuelingController::new(

@@ -1,0 +1,291 @@
+//! Per-tenant way partitioning and accounting.
+//!
+//! Production secure memory serves several mutually distrusting tenants
+//! through one metadata cache. This module carries the two pieces the
+//! multi-tenant scenarios need from the cache layer:
+//!
+//! * [`TenantPartition`] — an even static split of a set-associative
+//!   cache's ways among N tenants, generalizing the two-sided
+//!   counter/hash [`Partition`](crate::Partition) to a per-requester
+//!   dimension. Fills are confined to the requester's way range via
+//!   [`SetAssocCache::access_in_ways`](crate::SetAssocCache::access_in_ways);
+//!   hits are range-unrestricted (shared metadata such as upper tree
+//!   levels stays usable by everyone, exactly like way-based DRAM cache
+//!   partitioning in real parts).
+//! * [`TenantStatsTable`] — per-tenant [`CacheStats`] plus an occupancy
+//!   ledger. Attribution is by delta: the caller snapshots the cache's
+//!   global stats before an access and feeds the after-minus-before
+//!   difference to the requesting tenant, so the per-tenant counters sum
+//!   to the global ones for *any* interleaving, by construction.
+//!
+//! Everything here is deterministic and allocation-free on the access
+//! path except the owner map (one hash-map update per fill/eviction).
+
+use std::fmt;
+
+use maps_trace::det::DetHashMap;
+
+use crate::CacheStats;
+
+/// An invalid tenant split: every tenant must get at least one way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPartitionError {
+    /// Requested tenant count.
+    pub tenants: usize,
+    /// Cache associativity it was checked against.
+    pub ways: usize,
+}
+
+impl fmt::Display for TenantPartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tenant partition of {} tenant(s) over {} way(s) must give every tenant at least one way",
+            self.tenants, self.ways
+        )
+    }
+}
+
+impl std::error::Error for TenantPartitionError {}
+
+/// An even static split of `ways` among `tenants` requesters.
+///
+/// Tenant `i` owns the half-open way range returned by
+/// [`TenantPartition::ways_for`]; when `ways` is not a multiple of
+/// `tenants` the first `ways % tenants` tenants get one extra way.
+///
+/// # Examples
+///
+/// ```
+/// use maps_cache::TenantPartition;
+/// let p = TenantPartition::new(3, 8).unwrap();
+/// assert_eq!(p.ways_for(0, 8), (0, 3));
+/// assert_eq!(p.ways_for(1, 8), (3, 6));
+/// assert_eq!(p.ways_for(2, 8), (6, 8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantPartition {
+    tenants: usize,
+}
+
+impl TenantPartition {
+    /// A checked split: requires `1 <= tenants <= ways` so every tenant
+    /// owns at least one way.
+    ///
+    /// # Errors
+    ///
+    /// [`TenantPartitionError`] when a tenant would be starved.
+    pub fn new(tenants: usize, ways: usize) -> Result<Self, TenantPartitionError> {
+        if tenants >= 1 && tenants <= ways {
+            Ok(Self { tenants })
+        } else {
+            Err(TenantPartitionError { tenants, ways })
+        }
+    }
+
+    /// Number of tenants in the split.
+    pub const fn tenants(&self) -> usize {
+        self.tenants
+    }
+
+    /// Half-open way range `[lo, hi)` owned by `tenant` at associativity
+    /// `ways`. Tenant ids at or above the tenant count wrap (`id %
+    /// tenants`), so callers can pass raw ids without pre-clamping.
+    pub fn ways_for(&self, tenant: u8, ways: usize) -> (usize, usize) {
+        let t = (tenant as usize) % self.tenants;
+        let base = ways / self.tenants;
+        let rem = ways % self.tenants;
+        let lo = t * base + t.min(rem);
+        let hi = lo + base + usize::from(t < rem);
+        (lo, hi.min(ways))
+    }
+
+    /// Frame quota for the fully-associative randomized design: the even
+    /// share of `capacity` frames, never below one frame.
+    pub fn frame_quota(&self, capacity: usize) -> usize {
+        (capacity / self.tenants).max(1)
+    }
+}
+
+/// Per-tenant statistics and occupancy for one cache.
+///
+/// Grows on demand as tenant ids appear; tenants that never accessed the
+/// cache occupy no space and report zeroed stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStatsTable {
+    stats: Vec<CacheStats>,
+    occupancy: Vec<u64>,
+    /// Resident block key -> owning tenant, for occupancy attribution of
+    /// evictions (the evicted line does not carry its owner).
+    owner: DetHashMap<u64, u8>,
+}
+
+impl TenantStatsTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, tenant: u8) -> usize {
+        let t = tenant as usize;
+        if t >= self.stats.len() {
+            self.stats.resize(t + 1, CacheStats::default());
+            self.occupancy.resize(t + 1, 0);
+        }
+        t
+    }
+
+    /// Attributes a stats delta (after-minus-before around one access)
+    /// to `tenant`.
+    pub fn add_delta(&mut self, tenant: u8, delta: &CacheStats) {
+        let t = self.slot(tenant);
+        self.stats[t].accumulate(delta);
+    }
+
+    /// Records that `tenant` now owns the resident line `key`.
+    pub fn note_fill(&mut self, key: u64, tenant: u8) {
+        let t = self.slot(tenant);
+        if let Some(prev) = self.owner.insert(key, tenant) {
+            // A fill over a still-tracked key means the previous owner's
+            // line left the cache without `note_evict` (should not
+            // happen); keep the ledger consistent anyway.
+            let p = self.slot(prev);
+            self.occupancy[p] = self.occupancy[p].saturating_sub(1);
+        }
+        self.occupancy[t] += 1;
+    }
+
+    /// Records that the resident line `key` left the cache (eviction,
+    /// invalidation, or drain), returning its owner if it was tracked.
+    pub fn note_evict(&mut self, key: u64) -> Option<u8> {
+        let tenant = self.owner.remove(&key)?;
+        let t = self.slot(tenant);
+        self.occupancy[t] = self.occupancy[t].saturating_sub(1);
+        Some(tenant)
+    }
+
+    /// The owning tenant of a resident line, if tracked.
+    pub fn owner_of(&self, key: u64) -> Option<u8> {
+        self.owner.get(&key).copied()
+    }
+
+    /// Accumulated stats for `tenant` (zeroes if never seen).
+    pub fn stats(&self, tenant: u8) -> CacheStats {
+        self.stats.get(tenant as usize).copied().unwrap_or_default()
+    }
+
+    /// Current resident-line count owned by `tenant`.
+    pub fn occupancy(&self, tenant: u8) -> u64 {
+        self.occupancy.get(tenant as usize).copied().unwrap_or(0)
+    }
+
+    /// Tenant ids that have ever been attributed an access or a fill, in
+    /// ascending order.
+    pub fn tenants(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.stats.len() as u8).filter(move |&t| {
+            self.stats[t as usize].total().accesses != 0 || self.occupancy[t as usize] != 0
+        })
+    }
+
+    /// Sum of all per-tenant stats (equals the cache's global stats over
+    /// the same interval when every access was attributed).
+    pub fn combined(&self) -> CacheStats {
+        let mut sum = CacheStats::default();
+        for s in &self.stats {
+            sum.accumulate(s);
+        }
+        sum
+    }
+
+    /// Clears per-tenant counters (e.g. after warm-up) while keeping the
+    /// occupancy ledger, mirroring
+    /// [`SetAssocCache::reset_stats`](crate::SetAssocCache::reset_stats).
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_trace::BlockKind;
+
+    #[test]
+    fn even_split_covers_all_ways_disjointly() {
+        for tenants in 1..=8 {
+            let p = TenantPartition::new(tenants, 8).unwrap();
+            let mut covered = [false; 8];
+            for t in 0..tenants as u8 {
+                let (lo, hi) = p.ways_for(t, 8);
+                assert!(lo < hi, "tenant {t} starved");
+                for (w, c) in covered.iter_mut().enumerate().take(hi).skip(lo) {
+                    assert!(!*c, "way {w} double-assigned");
+                    *c = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "split {tenants} leaves gaps");
+        }
+    }
+
+    #[test]
+    fn uneven_remainder_goes_to_low_tenants() {
+        let p = TenantPartition::new(3, 8).unwrap();
+        assert_eq!(p.ways_for(0, 8), (0, 3));
+        assert_eq!(p.ways_for(1, 8), (3, 6));
+        assert_eq!(p.ways_for(2, 8), (6, 8));
+        // Out-of-range ids wrap instead of panicking or starving.
+        assert_eq!(p.ways_for(3, 8), p.ways_for(0, 8));
+    }
+
+    #[test]
+    fn starving_splits_are_rejected() {
+        assert!(TenantPartition::new(0, 8).is_err());
+        assert!(TenantPartition::new(9, 8).is_err());
+        let err = TenantPartition::new(16, 8).unwrap_err();
+        assert!(err.to_string().contains("at least one way"));
+    }
+
+    #[test]
+    fn frame_quota_never_zero() {
+        let p = TenantPartition::new(4, 8).unwrap();
+        assert_eq!(p.frame_quota(1024), 256);
+        assert_eq!(p.frame_quota(2), 1);
+    }
+
+    #[test]
+    fn delta_attribution_sums_to_global() {
+        let mut global = CacheStats::default();
+        let mut table = TenantStatsTable::new();
+        for i in 0..100u64 {
+            let tenant = (i % 3) as u8;
+            let before = global;
+            global.record_access(BlockKind::Counter, i % 2 == 0);
+            if i % 5 == 0 {
+                global.record_eviction(BlockKind::Counter, i % 10 == 0);
+            }
+            table.add_delta(tenant, &global.delta_since(&before));
+        }
+        assert_eq!(table.combined(), global);
+        assert_eq!(table.tenants().count(), 3);
+    }
+
+    #[test]
+    fn occupancy_ledger_tracks_fills_and_evictions() {
+        let mut table = TenantStatsTable::new();
+        table.note_fill(10, 1);
+        table.note_fill(11, 1);
+        table.note_fill(20, 2);
+        assert_eq!(table.occupancy(1), 2);
+        assert_eq!(table.occupancy(2), 1);
+        assert_eq!(table.owner_of(10), Some(1));
+        assert_eq!(table.note_evict(10), Some(1));
+        assert_eq!(table.occupancy(1), 1);
+        assert_eq!(table.note_evict(99), None);
+        // Reset keeps the occupancy ledger.
+        table.add_delta(1, &CacheStats::default());
+        table.reset_stats();
+        assert_eq!(table.occupancy(1), 1);
+    }
+}

@@ -16,9 +16,9 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn farm_run(dir: &Path, crash_after: Option<u64>) -> std::process::Output {
+fn farm_run_figure(dir: &Path, figure: &str, crash_after: Option<u64>) -> std::process::Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_maps-farm"));
-    cmd.args(["run", "--figures", "fig2", "--workers", "2", "--dir"])
+    cmd.args(["run", "--figures", figure, "--workers", "2", "--dir"])
         .arg(dir)
         .env("MAPS_ACCESSES", ACCESSES)
         .env("MAPS_DETERMINISTIC", "1");
@@ -27,6 +27,10 @@ fn farm_run(dir: &Path, crash_after: Option<u64>) -> std::process::Output {
         None => cmd.env_remove("MAPS_CRASH_AFTER_POINTS"),
     };
     cmd.output().expect("run maps-farm")
+}
+
+fn farm_run(dir: &Path, crash_after: Option<u64>) -> std::process::Output {
+    farm_run_figure(dir, "fig2", crash_after)
 }
 
 #[test]
@@ -91,6 +95,56 @@ fn killed_campaign_resumes_byte_identically() {
         assert_eq!(
             a, b,
             "fig2.{suffix}: resumed run differs from uninterrupted run"
+        );
+    }
+
+    std::fs::remove_dir_all(&reference).ok();
+    std::fs::remove_dir_all(&victim).ok();
+}
+
+#[test]
+fn killed_occupancy_campaign_resumes_byte_identically() {
+    // The occupancy figure runs through JobKind::Occupancy — a synthesized
+    // multi-tenant workload outside the capture memo — so its farm path
+    // (fingerprinting, checkpointing, resume) deserves its own smoke:
+    // crash after three points, resume, byte-compare to a clean run.
+    let reference = tmp_dir("occ-reference");
+    let clean = farm_run_figure(&reference, "fig_occupancy", None);
+    assert!(
+        clean.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+
+    let victim = tmp_dir("occ-victim");
+    let crashed = farm_run_figure(&victim, "fig_occupancy", Some(3));
+    assert_eq!(
+        crashed.status.code(),
+        Some(42),
+        "crash hook exits 42: {}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+
+    let resumed = farm_run_figure(&victim, "fig_occupancy", None);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("3 restored"),
+        "checkpointed occupancy points are restored, not re-simulated: {stderr}"
+    );
+
+    for suffix in ["tsv", "manifest.json"] {
+        let a = std::fs::read(victim.join(format!("fig_occupancy.{suffix}")))
+            .expect("resumed artifact");
+        let b = std::fs::read(reference.join(format!("fig_occupancy.{suffix}")))
+            .expect("reference artifact");
+        assert_eq!(
+            a, b,
+            "fig_occupancy.{suffix}: resumed run differs from uninterrupted run"
         );
     }
 

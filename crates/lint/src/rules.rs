@@ -47,14 +47,19 @@ const CLOCK_RNG_IDENTS: [&str; 5] = [
 ];
 
 /// Library decode/parse paths that must stay panic-free on malformed
-/// input (PANIC-001). Everything here returns typed errors instead.
-const PANIC_FREE_PATHS: [&str; 8] = [
+/// input, plus the tenant/randomized-MDC isolation modules whose checked
+/// constructors are the release-mode guard against starved partitions
+/// (PANIC-001). Everything here returns typed errors instead.
+const PANIC_FREE_PATHS: [&str; 11] = [
     "crates/sim/src/capture.rs",
     "crates/sim/src/report.rs",
     "crates/obs/src/checkpoint.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/manifest.rs",
     "crates/trace/src/io.rs",
+    "crates/trace/src/tenant.rs",
+    "crates/cache/src/randomized.rs",
+    "crates/cache/src/tenant.rs",
     "crates/farm/src/campaign.rs",
     "crates/farm/src/status.rs",
 ];

@@ -335,17 +335,42 @@ impl Parser<'_> {
                         b'n' => s.push('\n'),
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
-                        b'u' => {
-                            let code = self.hex4()?;
-                            // Surrogate pairs are not produced by our
-                            // writer; map lone surrogates to U+FFFD.
-                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                        }
+                        b'u' => s.push(self.unicode_escape()?),
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
                 _ => return Err(self.err("unterminated string")),
             }
+        }
+    }
+
+    /// Decodes the code units after a `\u` escape into a character,
+    /// pairing UTF-16 surrogates: a high surrogate must be followed by a
+    /// `\uDC00`–`\uDFFF` escape, and the two combine into one astral-plane
+    /// character. Lone or reversed surrogates are typed parse errors, not
+    /// replacement characters — externally-authored documents containing
+    /// `"😀"` must round-trip as 😀, not corrupt to two U+FFFD.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() != Some(b'\\') {
+                    return Err(self.err("unpaired high surrogate"));
+                }
+                self.pos += 1;
+                if self.peek() != Some(b'u') {
+                    return Err(self.err("unpaired high surrogate"));
+                }
+                self.pos += 1;
+                let low = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&low) {
+                    return Err(self.err("unpaired high surrogate"));
+                }
+                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"))
+            }
+            0xDC00..=0xDFFF => Err(self.err("lone low surrogate")),
+            _ => char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape")),
         }
     }
 
@@ -478,6 +503,94 @@ mod tests {
             "\"\\u12",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_characters() {
+        // 😀 is U+1F600 = \uD83D\uDE00 in UTF-16.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+        // Mixed case hex and surrounding text.
+        assert_eq!(
+            Json::parse("\"a\\uD83D\\uDE00b\"").unwrap(),
+            Json::Str("a😀b".into())
+        );
+        // Boundary pairs: U+10000 and U+10FFFF.
+        assert_eq!(
+            Json::parse("\"\\ud800\\udc00\"").unwrap(),
+            Json::Str("\u{10000}".into())
+        );
+        assert_eq!(
+            Json::parse("\"\\udbff\\udfff\"").unwrap(),
+            Json::Str("\u{10FFFF}".into())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors() {
+        for bad in [
+            "\"\\ud83d\"",        // high surrogate, string ends
+            "\"\\ud83d then\"",   // high surrogate, plain text follows
+            "\"\\ud83d\\n\"",     // high surrogate, non-\u escape follows
+            "\"\\ud83d\\ud83d\"", // two high surrogates
+            "\"\\ude00\"",        // low surrogate first
+            "\"\\ud83d\\u0041\"", // high surrogate + non-surrogate escape
+            "\"\\ud83d\\ude0",    // truncated low half
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(
+                err.message.contains("surrogate") || err.message.contains("\\u escape"),
+                "{bad:?} produced unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn astral_strings_round_trip_through_writer_and_parser() {
+        // The writer emits astral characters as raw UTF-8; the parser must
+        // accept both that form and the escaped surrogate-pair form.
+        let s = "emoji 😀 music 𝄞 flag 🏳️ plain ascii";
+        assert_eq!(round_trip(&Json::Str(s.into())), Json::Str(s.into()));
+    }
+
+    #[test]
+    fn unicode_escape_round_trip_fuzz() {
+        // Deterministic fuzz: random code points (including astral ones)
+        // built into strings, written, re-parsed, and compared — plus the
+        // same strings spelled entirely with explicit \u escapes. The
+        // crate is dependency-free, so the generator is a local SplitMix64.
+        let mut state = 0xD1CEu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..200 {
+            let len = (next() % 12) as usize;
+            let s: String = (0..len)
+                .map(|_| loop {
+                    if let Some(c) = char::from_u32((next() % 0x110000) as u32) {
+                        return c;
+                    }
+                })
+                .collect();
+            assert_eq!(round_trip(&Json::Str(s.clone())), Json::Str(s.clone()));
+            // Every character spelled as UTF-16 code-unit escapes, which
+            // exercises the surrogate-pair path for astral characters.
+            let mut escaped = String::from('"');
+            for c in s.chars() {
+                let mut units = [0u16; 2];
+                for u in c.encode_utf16(&mut units) {
+                    escaped.push_str(&format!("\\u{u:04x}"));
+                }
+            }
+            escaped.push('"');
+            assert_eq!(Json::parse(&escaped).unwrap(), Json::Str(s));
         }
     }
 

@@ -35,6 +35,10 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    /// Whether `sum` ever overflowed `u64` and clamped. Week-long farm
+    /// campaigns merge many per-run histograms; a clamped sum silently
+    /// under-reports unless flagged.
+    saturated: bool,
 }
 
 impl Default for Histogram {
@@ -52,6 +56,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            saturated: false,
         }
     }
 
@@ -73,7 +78,13 @@ impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.sum = match self.sum.checked_add(value) {
+            Some(s) => s,
+            None => {
+                self.saturated = true;
+                u64::MAX
+            }
+        };
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -83,9 +94,16 @@ impl Histogram {
         self.count
     }
 
-    /// Saturating sum of all samples.
+    /// Saturating sum of all samples; check [`Histogram::saturated`] before
+    /// trusting it in long aggregations.
     pub const fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Whether the sum ever overflowed and clamped to `u64::MAX`. Sticky:
+    /// merging a saturated histogram marks the destination saturated.
+    pub const fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Smallest sample (0 when empty).
@@ -131,7 +149,14 @@ impl Histogram {
             *b += o;
         }
         self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
+        self.sum = match self.sum.checked_add(other.sum) {
+            Some(s) => s,
+            None => {
+                self.saturated = true;
+                u64::MAX
+            }
+        };
+        self.saturated |= other.saturated;
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -148,6 +173,7 @@ impl Histogram {
         Json::Obj(vec![
             ("count".into(), Json::UInt(self.count)),
             ("sum".into(), Json::UInt(self.sum)),
+            ("saturated".into(), Json::Bool(self.saturated)),
             ("min".into(), Json::UInt(self.min())),
             ("max".into(), Json::UInt(self.max)),
             ("mean".into(), Json::Float(self.mean())),
@@ -369,6 +395,62 @@ mod tests {
         assert_eq!(a.bucket(3), 2); // 5 and 6
         assert_eq!(a.min(), 5);
         assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn saturated_sums_are_flagged_and_sticky() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert!(!h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(1);
+        assert!(h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(
+            h.to_json().get("saturated").map(|j| j == &Json::Bool(true)),
+            Some(true)
+        );
+        // A clean histogram stays unflagged and reports saturated: false.
+        let clean = Histogram::new();
+        assert!(!clean.saturated());
+        assert_eq!(
+            clean
+                .to_json()
+                .get("saturated")
+                .map(|j| j == &Json::Bool(false)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn hist_merge_propagates_saturation() {
+        // Merging two near-full sums overflows: the merged sum clamps and
+        // the flag is set even though neither input was saturated.
+        let mut m = Metrics::new();
+        let mut a = Histogram::new();
+        a.record(u64::MAX - 1);
+        let mut b = Histogram::new();
+        b.record(u64::MAX - 1);
+        m.hist_merge("wide", &a);
+        assert!(!m.histogram("wide").unwrap().saturated());
+        m.hist_merge("wide", &b);
+        let merged = m.histogram("wide").unwrap();
+        assert!(merged.saturated());
+        assert_eq!(merged.sum(), u64::MAX);
+        assert_eq!(merged.count(), 2);
+        // Sticky through further merges of clean histograms.
+        let mut c = Histogram::new();
+        c.record(7);
+        m.hist_merge("wide", &c);
+        assert!(m.histogram("wide").unwrap().saturated());
+        // And an already-saturated input marks a clean destination.
+        let mut d = Histogram::new();
+        d.record(u64::MAX);
+        d.record(u64::MAX);
+        assert!(d.saturated());
+        m.hist_merge("fresh", &c);
+        m.hist_merge("fresh", &d);
+        assert!(m.histogram("fresh").unwrap().saturated());
     }
 
     #[test]

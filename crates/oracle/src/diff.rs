@@ -20,12 +20,13 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use maps_cache::{Line, Partition};
+use maps_cache::{Line, Partition, TenantPartition};
 use maps_sim::{
-    CacheContents, MdcConfig, PartitionMode, PolicyChoice, RecordingObserver, SecureSim, SimConfig,
+    CacheContents, MdcConfig, MdcDesign, PartitionMode, PolicyChoice, RecordingObserver, SecureSim,
+    SimConfig,
 };
 use maps_trace::rng::SmallRng;
-use maps_trace::{AccessKind, BlockKind, MemAccess, MetaAccess, PhysAddr, BLOCK_BYTES};
+use maps_trace::{AccessKind, BlockKind, MemAccess, MetaAccess, PhysAddr, TenantId, BLOCK_BYTES};
 use maps_workloads::Workload;
 
 use crate::hierarchy::OracleSim;
@@ -53,17 +54,32 @@ impl TraceOp {
     }
 }
 
-/// Replays a fixed op list as a workload (icount 1 per access).
+/// Replays a fixed op list as a workload (icount 1 per access). With more
+/// than one tenant, accesses are attributed round-robin by position — a
+/// deterministic interleaving that exercises tenant attribution, per-tenant
+/// partitions, and randomized-backend quotas in lockstep.
 #[derive(Debug, Clone)]
 pub struct OpsWorkload {
     ops: Vec<TraceOp>,
     pos: usize,
     footprint: u64,
+    tenants: usize,
+    tenant: TenantId,
 }
 
 impl OpsWorkload {
     /// Wraps an op list; the footprint covers the highest touched block.
     pub fn new(ops: &[TraceOp]) -> Self {
+        Self::with_tenants(ops, 1)
+    }
+
+    /// Wraps an op list with accesses attributed round-robin across
+    /// `tenants` tenant IDs (`tenants == 1` means everything is HOST).
+    pub fn with_tenants(ops: &[TraceOp], tenants: usize) -> Self {
+        assert!(
+            (1..=usize::from(u8::MAX)).contains(&tenants),
+            "tenant count must fit a TenantId"
+        );
         let footprint = ops
             .iter()
             .map(|op| (op.block() + 1) * BLOCK_BYTES)
@@ -74,6 +90,8 @@ impl OpsWorkload {
             ops: ops.to_vec(),
             pos: 0,
             footprint,
+            tenants,
+            tenant: TenantId::HOST,
         }
     }
 }
@@ -82,6 +100,7 @@ impl Workload for OpsWorkload {
     fn next_access(&mut self) -> MemAccess {
         assert!(!self.ops.is_empty(), "stepping an empty op trace");
         let op = self.ops[self.pos % self.ops.len()];
+        self.tenant = TenantId((self.pos % self.tenants) as u8);
         self.pos += 1;
         let kind = if op.is_write() {
             AccessKind::Write
@@ -97,6 +116,10 @@ impl Workload for OpsWorkload {
 
     fn name(&self) -> &'static str {
         "ops-replay"
+    }
+
+    fn current_tenant(&self) -> TenantId {
+        self.tenant
     }
 }
 
@@ -115,6 +138,9 @@ pub struct DiffCase {
     pub cfg: SimConfig,
     /// The driving trace.
     pub ops: Vec<TraceOp>,
+    /// Tenants the ops are attributed to, round-robin by position
+    /// (`1` = everything runs as HOST, the classic single-tenant case).
+    pub tenants: usize,
 }
 
 /// A lockstep divergence.
@@ -175,12 +201,13 @@ pub fn scaled_len(base: usize) -> usize {
 }
 
 /// The MIN-oracle key trace for a case, derived deterministically: a
-/// true-LRU pre-run of the production simulator over the same ops records
-/// the metadata key stream MIN receives as future knowledge.
-pub fn derive_oracle_trace(cfg: &SimConfig, ops: &[TraceOp]) -> Vec<u64> {
+/// true-LRU pre-run of the production simulator over the same ops (with
+/// the same tenant interleaving) records the metadata key stream MIN
+/// receives as future knowledge.
+pub fn derive_oracle_trace(cfg: &SimConfig, ops: &[TraceOp], tenants: usize) -> Vec<u64> {
     let mut pre = cfg.clone();
     pre.mdc = pre.mdc.with_policy(PolicyChoice::TrueLru);
-    let mut sim = SecureSim::new(pre, OpsWorkload::new(ops));
+    let mut sim = SecureSim::new(pre, OpsWorkload::with_tenants(ops, tenants));
     let mut rec = RecordingObserver::new();
     for _ in 0..ops.len() {
         sim.step_observed(&mut rec);
@@ -190,13 +217,13 @@ pub fn derive_oracle_trace(cfg: &SimConfig, ops: &[TraceOp]) -> Vec<u64> {
 
 /// Replaces a `Min([])`/`TraceMin([])` sentinel policy with one fed the
 /// derived oracle trace; other policies pass through untouched.
-fn materialize_policy(cfg: &SimConfig, ops: &[TraceOp]) -> SimConfig {
+fn materialize_policy(cfg: &SimConfig, ops: &[TraceOp], tenants: usize) -> SimConfig {
     let needs_trace = matches!(&cfg.mdc.policy, PolicyChoice::Min(t) if t.is_empty())
         || matches!(&cfg.mdc.policy, PolicyChoice::TraceMin(t) if t.is_empty());
     if !needs_trace {
         return cfg.clone();
     }
-    let trace = derive_oracle_trace(cfg, ops);
+    let trace = derive_oracle_trace(cfg, ops, tenants);
     let mut out = cfg.clone();
     out.mdc.policy = match &cfg.mdc.policy {
         PolicyChoice::Min(_) => PolicyChoice::Min(trace),
@@ -290,9 +317,12 @@ fn compare_residents<W: Workload>(
 /// Returns the first [`DiffError`] observed; `Ok(())` means every
 /// per-access and end-of-run comparison held.
 pub fn run_lockstep(case: &DiffCase) -> Result<(), DiffError> {
-    let cfg = materialize_policy(&case.cfg, &case.ops);
-    let mut prod = SecureSim::new(cfg.clone(), OpsWorkload::new(&case.ops));
-    let mut orac = OracleSim::new(cfg, OpsWorkload::new(&case.ops));
+    let cfg = materialize_policy(&case.cfg, &case.ops, case.tenants);
+    let mut prod = SecureSim::new(
+        cfg.clone(),
+        OpsWorkload::with_tenants(&case.ops, case.tenants),
+    );
+    let mut orac = OracleSim::new(cfg, OpsWorkload::with_tenants(&case.ops, case.tenants));
     let mut root_prod = 0u64;
     let mut root_orac = 0u64;
 
@@ -517,6 +547,7 @@ fn partition_token(mode: &PartitionMode) -> String {
             b.counter_way_count(),
             leaders_per_side
         ),
+        PartitionMode::PerTenant { tenants } => format!("per-tenant:{tenants}"),
     }
 }
 
@@ -538,7 +569,32 @@ fn parse_partition(token: &str) -> Result<PartitionMode, String> {
             b: Partition::counter_ways(num()?),
             leaders_per_side: num()?,
         },
+        "per-tenant" => PartitionMode::PerTenant { tenants: num()? },
         other => return Err(format!("unknown partition {other:?}")),
+    })
+}
+
+fn design_token(design: &MdcDesign) -> String {
+    match design {
+        MdcDesign::SetAssoc => "set-assoc".to_string(),
+        MdcDesign::Randomized { seed } => format!("randomized:{seed}"),
+    }
+}
+
+fn parse_design(token: &str) -> Result<MdcDesign, String> {
+    let (name, param) = match token.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (token, None),
+    };
+    Ok(match name {
+        "set-assoc" => MdcDesign::SetAssoc,
+        "randomized" => MdcDesign::Randomized {
+            seed: param
+                .ok_or_else(|| "randomized design needs a seed".to_string())?
+                .parse()
+                .map_err(|e| format!("bad design seed: {e}"))?,
+        },
+        other => return Err(format!("unknown design {other:?}")),
     })
 }
 
@@ -587,10 +643,12 @@ pub fn dump_artifact(case: &DiffCase, err: &DiffError, dir: &Path) -> std::io::R
         contents_token(cfg.mdc.contents)
     ));
     text.push_str(&format!("policy = {}\n", policy_token(&cfg.mdc.policy)));
+    text.push_str(&format!("design = {}\n", design_token(&cfg.mdc.design)));
     text.push_str(&format!(
         "partition = {}\n",
         partition_token(&cfg.mdc.partition)
     ));
+    text.push_str(&format!("tenants = {}\n", case.tenants));
     text.push_str(&format!("partial_writes = {}\n", cfg.mdc.partial_writes));
     text.push_str(&format!("dram_latency = {}\n", cfg.dram.latency_cycles));
     text.push_str(&format!("hash_latency = {}\n", cfg.hash_latency));
@@ -620,6 +678,7 @@ pub fn parse_artifact(text: &str) -> Result<DiffCase, String> {
     let mut cfg = SimConfig::paper_default();
     let mut label = String::from("artifact");
     let mut seed = 0u64;
+    let mut tenants = 1usize;
     let mut ops = Vec::new();
     let mut in_ops = false;
     let parse_pair = |v: &str| -> Result<(u64, usize), String> {
@@ -673,7 +732,14 @@ pub fn parse_artifact(text: &str) -> Result<DiffCase, String> {
             }
             "contents" => cfg.mdc.contents = parse_contents(value)?,
             "policy" => cfg.mdc.policy = parse_policy(value)?,
+            "design" => cfg.mdc.design = parse_design(value)?,
             "partition" => cfg.mdc.partition = parse_partition(value)?,
+            "tenants" => {
+                tenants = value.parse().map_err(|e| format!("{e}"))?;
+                if !(1..=usize::from(u8::MAX)).contains(&tenants) {
+                    return Err(format!("tenant count {tenants} does not fit a TenantId"));
+                }
+            }
             "partial_writes" => {
                 cfg.mdc.partial_writes = value.parse().map_err(|e| format!("{e}"))?
             }
@@ -691,11 +757,38 @@ pub fn parse_artifact(text: &str) -> Result<DiffCase, String> {
     if !cfg.secure {
         cfg.mdc = MdcConfig::disabled();
     }
+    // `partition =` may appear before `mdc = bytes/ways` in the artifact,
+    // so the split can only be checked against the final associativity
+    // here. An invalid split must be a parse error: in release builds it
+    // would otherwise clamp into a starved/overlapping way range and the
+    // replayed case would silently diverge from the dumped one.
+    let check = |p: &Partition| -> Result<(), String> {
+        p.try_validate(cfg.mdc.ways)
+            .map_err(|e| format!("bad partition: {e}"))
+    };
+    match &cfg.mdc.partition {
+        PartitionMode::None => {}
+        PartitionMode::Static(p) => check(p)?,
+        PartitionMode::Dynamic { a, b, .. } => {
+            check(a)?;
+            check(b)?;
+        }
+        // A per-tenant way split must honor the same checked-construction
+        // rule (the randomized design enforces quotas instead, so any
+        // tenant count is valid there).
+        PartitionMode::PerTenant { tenants } => {
+            if matches!(cfg.mdc.design, MdcDesign::SetAssoc) {
+                TenantPartition::new(*tenants, cfg.mdc.ways)
+                    .map_err(|e| format!("bad partition: {e}"))?;
+            }
+        }
+    }
     Ok(DiffCase {
         label,
         seed,
         cfg,
         ops,
+        tenants,
     })
 }
 
@@ -762,6 +855,7 @@ mod tests {
             seed: 1,
             cfg: small_cfg(),
             ops: random_ops(1, 2048, 600, 40),
+            tenants: 1,
         };
         run_lockstep(&case).expect("production and oracle must agree");
     }
@@ -780,6 +874,7 @@ mod tests {
             seed: 9,
             cfg,
             ops: vec![TraceOp::Read(3), TraceOp::Write(5), TraceOp::Read(3)],
+            tenants: 1,
         };
         let err = DiffError {
             step: 0,
@@ -796,6 +891,28 @@ mod tests {
     }
 
     #[test]
+    fn artifact_with_invalid_partition_is_rejected() {
+        // Regression: parse_artifact used to rebuild partitions through
+        // the unchecked `Partition::counter_ways`, so a hand-edited or
+        // corrupted artifact with a starving split (k == ways or k == 0)
+        // replayed with a clamped way range instead of erroring. This
+        // must hold in release builds too, where `ways_for` only clamps.
+        let base = "mdc = 2048/8\npartition = static:8\nops:\nR 1\n";
+        let err = parse_artifact(base).unwrap_err();
+        assert!(err.contains("partition"), "unexpected error: {err}");
+        let zero = "mdc = 2048/8\npartition = static:0\nops:\nR 1\n";
+        assert!(parse_artifact(zero).is_err());
+        let dynamic = "mdc = 2048/8\npartition = dynamic:2:9:1\nops:\nR 1\n";
+        assert!(parse_artifact(dynamic).is_err());
+        // Header order must not matter: partition before mdc still
+        // validates against the final associativity.
+        let reordered = "partition = static:4\nmdc = 2048/4\nops:\nR 1\n";
+        assert!(parse_artifact(reordered).is_err());
+        let ok = "partition = static:4\nmdc = 2048/8\nops:\nR 1\n";
+        assert!(parse_artifact(ok).is_ok());
+    }
+
+    #[test]
     fn minimize_shrinks_synthetic_failure() {
         // A case whose cfg cannot fail lockstep; force failure by giving
         // the two sides different traces is impossible through the public
@@ -805,6 +922,7 @@ mod tests {
             seed: 3,
             cfg: small_cfg(),
             ops: random_ops(3, 1024, 120, 30),
+            tenants: 1,
         };
         let out = minimize(&case);
         assert_eq!(out.ops, case.ops, "passing cases must not shrink");
@@ -819,7 +937,65 @@ mod tests {
             seed: 4,
             cfg,
             ops: random_ops(4, 1024, 400, 35),
+            tenants: 1,
         };
         run_lockstep(&case).expect("MIN with derived trace must agree");
+    }
+
+    #[test]
+    fn randomized_design_passes_lockstep() {
+        let mut cfg = small_cfg();
+        cfg.mdc = cfg.mdc.with_design(MdcDesign::Randomized { seed: 0xA5 });
+        let case = DiffCase {
+            label: "randomized-smoke".into(),
+            seed: 5,
+            cfg,
+            ops: random_ops(5, 2048, 600, 40),
+            tenants: 1,
+        };
+        run_lockstep(&case).expect("randomized backend must agree with its spec");
+    }
+
+    #[test]
+    fn multi_tenant_artifact_roundtrips() {
+        let mut cfg = small_cfg();
+        cfg.mdc = cfg
+            .mdc
+            .with_design(MdcDesign::Randomized { seed: 31 })
+            .with_partition(PartitionMode::PerTenant { tenants: 3 });
+        let case = DiffCase {
+            label: "tenant-roundtrip".into(),
+            seed: 6,
+            cfg,
+            ops: vec![TraceOp::Write(1), TraceOp::Read(2)],
+            tenants: 3,
+        };
+        let err = DiffError {
+            step: 0,
+            what: "synthetic".into(),
+        };
+        let dir = std::env::temp_dir().join("maps-oracle-artifact-test-tenant");
+        let path = dump_artifact(&case, &err, &dir).unwrap();
+        let parsed = parse_artifact(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.cfg, case.cfg);
+        assert_eq!(parsed.tenants, case.tenants);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn artifact_with_starving_tenant_split_is_rejected() {
+        // Set-associative per-tenant splits obey checked construction:
+        // more tenants than ways would starve someone. The randomized
+        // design has no such limit (quotas, not way ranges).
+        let starving = "mdc = 2048/4\npartition = per-tenant:5\nops:\nR 1\n";
+        let err = parse_artifact(starving).unwrap_err();
+        assert!(err.contains("partition"), "unexpected error: {err}");
+        let ok = "mdc = 2048/4\npartition = per-tenant:4\ntenants = 4\nops:\nR 1\n";
+        assert_eq!(parse_artifact(ok).unwrap().tenants, 4);
+        let randomized =
+            "mdc = 2048/4\ndesign = randomized:7\npartition = per-tenant:5\nops:\nR 1\n";
+        assert!(parse_artifact(randomized).is_ok());
+        let bad_tenants = "tenants = 0\nops:\nR 1\n";
+        assert!(parse_artifact(bad_tenants).is_err());
     }
 }

@@ -14,7 +14,7 @@ use maps_secure::spec;
 use maps_secure::{CounterMode, SecureConfig, WriteOutcome};
 use maps_sim::{EngineStats, MdcConfig, MetaObserver};
 use maps_trace::det::DetHashMap;
-use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess, BLOCKS_PER_PAGE};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess, TenantId, BLOCKS_PER_PAGE};
 
 use crate::bmt::OracleBmt;
 use crate::cache::SpecMetadataCache;
@@ -188,22 +188,34 @@ impl OracleEngine {
         }
     }
 
-    /// Handles an LLC demand miss, returning the core-visible stall.
+    /// Handles an LLC demand miss, returning the core-visible stall
+    /// (attributed to [`TenantId::HOST`]).
     pub fn handle_read<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) -> u64 {
+        self.handle_read_from(data, TenantId::HOST, obs)
+    }
+
+    /// [`handle_read`](Self::handle_read) on behalf of `tenant`.
+    pub fn handle_read_from<O: MetaObserver + ?Sized>(
+        &mut self,
+        data: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) -> u64 {
         self.stats.reads += 1;
         self.stats.dram_data.reads += 1;
 
         let hash_hit = self.meta_read(
             spec::hash_block_of(&self.secure, data),
             BlockKind::Hash,
+            tenant,
             obs,
         );
         let counter = spec::counter_block_of(&self.secure, data);
-        let ctr_hit = self.meta_read(counter, BlockKind::Counter, obs);
+        let ctr_hit = self.meta_read(counter, BlockKind::Counter, tenant, obs);
         let walk_misses = if ctr_hit {
             0
         } else {
-            self.verify_counter(counter, obs)
+            self.verify_counter(counter, tenant, obs)
         };
 
         // Timing model restated from the production engine: decrypt is
@@ -226,8 +238,18 @@ impl OracleEngine {
         stall
     }
 
-    /// Handles an LLC dirty writeback.
+    /// Handles an LLC dirty writeback (attributed to [`TenantId::HOST`]).
     pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
+        self.handle_write_from(data, TenantId::HOST, obs);
+    }
+
+    /// [`handle_write`](Self::handle_write) on behalf of `tenant`.
+    pub fn handle_write_from<O: MetaObserver + ?Sized>(
+        &mut self,
+        data: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) {
         self.stats.writes += 1;
         self.stats.dram_data.writes += 1;
 
@@ -235,7 +257,7 @@ impl OracleEngine {
             WriteOutcome::PageOverflow { page } => {
                 self.bmt.update_page(&self.counters, page);
                 self.stats.page_overflows += 1;
-                self.reencrypt_page(page, obs);
+                self.reencrypt_page(page, tenant, obs);
             }
             WriteOutcome::Incremented => {
                 self.bmt.update_counter_block(
@@ -245,11 +267,11 @@ impl OracleEngine {
             }
         }
         let counter = spec::counter_block_of(&self.secure, data);
-        self.counter_write(counter, obs);
+        self.counter_write(counter, tenant, obs);
 
         let hash_block = spec::hash_block_of(&self.secure, data);
         let slot = spec::hash_slot_of(&self.secure, data);
-        self.meta_write_slot(hash_block, BlockKind::Hash, slot, obs);
+        self.meta_write_slot(hash_block, BlockKind::Hash, slot, tenant, obs);
     }
 
     /// Flushes the metadata cache, accounting final writebacks.
@@ -283,12 +305,13 @@ impl OracleEngine {
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
+        tenant: TenantId,
         obs: &mut O,
     ) -> bool {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
         match &mut self.mdc {
             Some(mdc) => {
-                let out = mdc.access(block.index(), kind, false);
+                let out = mdc.access(block.index(), kind, false, tenant);
                 self.stats.meta.record_access(kind, out.hit);
                 if out.hit {
                     if self.partial_writes && mdc.valid_mask(block.index()) != Some(0xFF) {
@@ -300,7 +323,7 @@ impl OracleEngine {
                 } else {
                     self.stats.dram_meta.reads += 1;
                     if let Some(victim) = out.evicted {
-                        self.process_eviction(victim, obs);
+                        self.process_eviction(victim, tenant, obs);
                     }
                     false
                 }
@@ -313,12 +336,17 @@ impl OracleEngine {
         }
     }
 
-    fn verify_counter<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) -> u64 {
+    fn verify_counter<O: MetaObserver + ?Sized>(
+        &mut self,
+        counter: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) -> u64 {
         self.stats.tree_walks += 1;
         let path = spec::tree_path_of_counter(&self.secure, counter);
         let mut misses = 0;
         for (level, node) in path.into_iter().enumerate() {
-            let hit = self.meta_read(node, BlockKind::Tree(level as u8), obs);
+            let hit = self.meta_read(node, BlockKind::Tree(level as u8), tenant, obs);
             if hit {
                 break;
             }
@@ -328,7 +356,12 @@ impl OracleEngine {
         misses
     }
 
-    fn counter_write<O: MetaObserver + ?Sized>(&mut self, counter: BlockAddr, obs: &mut O) {
+    fn counter_write<O: MetaObserver + ?Sized>(
+        &mut self,
+        counter: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) {
         obs.observe(&MetaAccess::new(
             counter,
             BlockKind::Counter,
@@ -336,14 +369,14 @@ impl OracleEngine {
         ));
         match &mut self.mdc {
             Some(mdc) if mdc.contents().counters => {
-                let out = mdc.access(counter.index(), BlockKind::Counter, true);
+                let out = mdc.access(counter.index(), BlockKind::Counter, true, tenant);
                 self.stats.meta.record_access(BlockKind::Counter, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction(victim, tenant, obs);
                 }
                 if !out.hit {
                     self.stats.dram_meta.reads += 1;
-                    self.verify_counter(counter, obs);
+                    self.verify_counter(counter, tenant, obs);
                 }
             }
             _ => {
@@ -353,7 +386,7 @@ impl OracleEngine {
                 let path = spec::tree_path_of_counter(&self.secure, counter);
                 let mut slot = spec::child_slot_of_counter(&self.secure, counter);
                 for (level, node) in path.into_iter().enumerate() {
-                    self.meta_write_slot(node, BlockKind::Tree(level as u8), slot, obs);
+                    self.meta_write_slot(node, BlockKind::Tree(level as u8), slot, tenant, obs);
                     slot = spec::child_slot_of_tree(&self.secure, node);
                 }
             }
@@ -365,12 +398,13 @@ impl OracleEngine {
         block: BlockAddr,
         kind: BlockKind,
         slot: u8,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
             Some(mdc) => {
-                let out = mdc.write_partial(block.index(), kind, slot);
+                let out = mdc.write_partial(block.index(), kind, slot, tenant);
                 if out.bypassed {
                     self.stats.meta.record_access(kind, false);
                     self.stats.dram_meta.reads += 1;
@@ -382,7 +416,7 @@ impl OracleEngine {
                     self.stats.dram_meta.reads += 1;
                 }
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction(victim, tenant, obs);
                 }
             }
             None => {
@@ -397,15 +431,16 @@ impl OracleEngine {
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
             Some(mdc) if mdc.contents().admits(kind) => {
-                let out = mdc.access(block.index(), kind, true);
+                let out = mdc.access(block.index(), kind, true, tenant);
                 self.stats.meta.record_access(kind, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction(victim, obs);
+                    self.process_eviction(victim, tenant, obs);
                 }
             }
             _ => {
@@ -415,7 +450,12 @@ impl OracleEngine {
         }
     }
 
-    fn process_eviction<O: MetaObserver + ?Sized>(&mut self, first: maps_cache::Line, obs: &mut O) {
+    fn process_eviction<O: MetaObserver + ?Sized>(
+        &mut self,
+        first: maps_cache::Line,
+        tenant: TenantId,
+        obs: &mut O,
+    ) {
         // LIFO work queue, freshly allocated (the production engine reuses
         // a buffer; the traversal order is the contract).
         let mut queue = vec![first];
@@ -454,7 +494,7 @@ impl OracleEngine {
                 AccessKind::Write,
             ));
             if let Some(mdc) = &mut self.mdc {
-                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
+                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot, tenant);
                 if out.bypassed {
                     self.stats.meta.record_access(BlockKind::Tree(level), false);
                     self.stats.dram_meta.reads += 1;
@@ -504,11 +544,16 @@ impl OracleEngine {
         }
     }
 
-    fn reencrypt_page<O: MetaObserver + ?Sized>(&mut self, page: u64, obs: &mut O) {
+    fn reencrypt_page<O: MetaObserver + ?Sized>(
+        &mut self,
+        page: u64,
+        tenant: TenantId,
+        obs: &mut O,
+    ) {
         self.stats.dram_data.reads += BLOCKS_PER_PAGE;
         self.stats.dram_data.writes += BLOCKS_PER_PAGE;
         for hb in spec::hash_blocks_of_page(&self.secure, page) {
-            self.meta_write_full(hb, BlockKind::Hash, obs);
+            self.meta_write_full(hb, BlockKind::Hash, tenant, obs);
         }
     }
 }

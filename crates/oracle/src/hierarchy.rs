@@ -3,7 +3,7 @@
 use maps_cache::policy::AnyPolicy;
 use maps_secure::SecureConfig;
 use maps_sim::{HierarchyStats, MemEvent, MetaObserver, SimConfig};
-use maps_trace::{AccessKind, BlockAddr, BlockKind, MemAccess};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MemAccess, TenantId};
 use maps_workloads::Workload;
 
 use crate::cache::SpecCache;
@@ -61,9 +61,22 @@ impl SpecHierarchy {
         self.stats = HierarchyStats::default();
     }
 
-    /// Runs one core access, appending memory events to `events` (cleared
-    /// first). Returns `true` on an LLC demand miss.
+    /// Runs one core access as [`TenantId::HOST`], appending memory events
+    /// to `events` (cleared first). Returns `true` on an LLC demand miss.
     pub fn access(&mut self, access: &MemAccess, events: &mut Vec<MemEvent>) -> bool {
+        self.access_from(access, TenantId::HOST, events)
+    }
+
+    /// Runs one core access on behalf of `tenant`, restating
+    /// `maps_sim::Hierarchy::access_from`: every emitted event — the demand
+    /// read and any writebacks its fills displace — is charged to the
+    /// requesting tenant (requester-pays attribution).
+    pub fn access_from(
+        &mut self,
+        access: &MemAccess,
+        tenant: TenantId,
+        events: &mut Vec<MemEvent>,
+    ) -> bool {
         events.clear();
         self.stats.accesses += 1;
         self.stats.instructions += u64::from(access.icount);
@@ -75,7 +88,7 @@ impl SpecHierarchy {
             .access_with(block.index(), BlockKind::Data, write, None);
         if let Some(victim) = r1.evicted {
             if victim.dirty {
-                self.writeback_to_l2(BlockAddr::new(victim.key), events);
+                self.writeback_to_l2(BlockAddr::new(victim.key), tenant, events);
             }
         }
         if r1.hit {
@@ -88,7 +101,7 @@ impl SpecHierarchy {
             .access_with(block.index(), BlockKind::Data, false, None);
         if let Some(victim) = r2.evicted {
             if victim.dirty {
-                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+                self.writeback_to_llc(BlockAddr::new(victim.key), tenant, events);
             }
         }
         if r2.hit {
@@ -102,36 +115,36 @@ impl SpecHierarchy {
         if let Some(victim) = r3.evicted {
             if victim.dirty {
                 self.stats.llc_writebacks += 1;
-                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+                events.push(MemEvent::Write(BlockAddr::new(victim.key), tenant));
             }
         }
         if r3.hit {
             return false;
         }
         self.stats.llc_demand_misses += 1;
-        events.push(MemEvent::Read(block));
+        events.push(MemEvent::Read(block, tenant));
         true
     }
 
-    fn writeback_to_l2(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+    fn writeback_to_l2(&mut self, block: BlockAddr, tenant: TenantId, events: &mut Vec<MemEvent>) {
         let r = self
             .l2
             .access_with(block.index(), BlockKind::Data, true, None);
         if let Some(victim) = r.evicted {
             if victim.dirty {
-                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+                self.writeback_to_llc(BlockAddr::new(victim.key), tenant, events);
             }
         }
     }
 
-    fn writeback_to_llc(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+    fn writeback_to_llc(&mut self, block: BlockAddr, tenant: TenantId, events: &mut Vec<MemEvent>) {
         let r = self
             .llc
             .access_with(block.index(), BlockKind::Data, true, None);
         if let Some(victim) = r.evicted {
             if victim.dirty {
                 self.stats.llc_writebacks += 1;
-                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+                events.push(MemEvent::Write(BlockAddr::new(victim.key), tenant));
             }
         }
     }
@@ -215,17 +228,20 @@ impl<W: Workload> OracleSim<W> {
     /// Executes one core access, feeding `obs` the metadata stream.
     pub fn step_observed<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
         let access = self.workload.next_access();
+        let tenant = self.workload.current_tenant();
         self.cycles += u64::from(access.icount);
         let mut events = Vec::new();
-        self.hierarchy.access(&access, &mut events);
+        self.hierarchy.access_from(&access, tenant, &mut events);
         for event in &events {
             match (event, &mut self.engine) {
-                (MemEvent::Write(block), Some(engine)) => engine.handle_write(*block, obs),
-                (MemEvent::Read(block), Some(engine)) => {
-                    self.cycles += engine.handle_read(*block, obs);
+                (MemEvent::Write(block, t), Some(engine)) => {
+                    engine.handle_write_from(*block, *t, obs)
                 }
-                (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
-                (MemEvent::Read(_), None) => {
+                (MemEvent::Read(block, t), Some(engine)) => {
+                    self.cycles += engine.handle_read_from(*block, *t, obs);
+                }
+                (MemEvent::Write(..), None) => self.insecure_dram.writes += 1,
+                (MemEvent::Read(..), None) => {
                     self.insecure_dram.reads += 1;
                     self.cycles += self.cfg.dram.latency_cycles;
                 }
@@ -250,7 +266,7 @@ mod tests {
         let mut h = SpecHierarchy::new(&SimConfig::paper_default());
         let mut ev = Vec::new();
         assert!(h.access(&acc(1, AccessKind::Read), &mut ev));
-        assert_eq!(ev, vec![MemEvent::Read(BlockAddr::new(1))]);
+        assert_eq!(ev, vec![MemEvent::Read(BlockAddr::new(1), TenantId::HOST)]);
         assert!(!h.access(&acc(1, AccessKind::Read), &mut ev));
         assert_eq!(h.stats().l1_misses, 1);
     }

@@ -9,8 +9,9 @@
 //! identical front end at every point.
 //!
 //! [`CapturedTrace`] records that front end once: the LLC miss/writeback
-//! event stream in a packed varint encoding (read/write bit + block-address
-//! delta + retired-instruction delta per event), the warm-up boundary, and
+//! event stream in a packed varint encoding (read/write bit + tenant-switch
+//! bit + block-address delta + retired-instruction delta per event, with a
+//! tenant id only where it changes), the warm-up boundary, and
 //! the measured-phase hierarchy statistics. [`ReplaySim`] then drives the
 //! metadata engine (or the insecure-baseline accounting) straight off the
 //! capture, reproducing the direct [`SecureSim`](crate::SecureSim) report
@@ -35,6 +36,7 @@
 //! assert_eq!(replayed, direct);
 //! ```
 
+use maps_trace::TenantId;
 use maps_workloads::Workload;
 
 use crate::engine::{MetaObserver, MetadataEngine, NullObserver};
@@ -94,7 +96,7 @@ pub enum DecodeError {
         /// Byte offset where the varint started.
         offset: usize,
     },
-    /// The file did not start with the `MAPSCAP1` magic.
+    /// The file did not start with the `MAPSCAP2` magic.
     BadMagic,
     /// The workload name was not valid UTF-8.
     BadWorkloadName {
@@ -192,7 +194,10 @@ pub struct CapturedTrace {
     accesses: u64,
     front_end: FrontEndKey,
     /// Varint-packed events: per event an icount delta, then
-    /// `(zigzag(block_delta) << 1) | write_bit`.
+    /// `(zigzag(block_delta) << 2) | (tenant_switch << 1) | write_bit`,
+    /// followed — only when the tenant-switch bit is set — by the new
+    /// tenant id. Streams start at tenant 0 ([`TenantId::HOST`]), so
+    /// single-tenant captures pay zero bytes for the tenant dimension.
     bytes: Vec<u8>,
     total_events: u64,
     /// Events before the warm-up boundary (statistics reset after them).
@@ -225,8 +230,9 @@ impl CapturedTrace {
         }
         for i in 0..accesses {
             let access = workload.next_access();
+            let tenant = workload.current_tenant();
             pending_icount += u64::from(access.icount);
-            hierarchy.access(&access, &mut events);
+            hierarchy.access_from(&access, tenant, &mut events);
             for event in &events {
                 builder.push(*event, std::mem::take(&mut pending_icount));
             }
@@ -250,6 +256,7 @@ impl CapturedTrace {
             bytes: &self.bytes,
             pos: 0,
             prev_block: 0,
+            tenant: 0,
             remaining: self.total_events,
         }
     }
@@ -305,7 +312,7 @@ impl CapturedTrace {
         self.bytes.len()
     }
 
-    /// Serializes the capture: `MAPSCAP1` magic, varint header fields,
+    /// Serializes the capture: `MAPSCAP2` magic, varint header fields,
     /// then the packed event stream. [`from_bytes`](Self::from_bytes)
     /// round-trips it exactly.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -424,7 +431,14 @@ impl CapturedTrace {
         let mut spos = 0usize;
         for _ in 0..total_events {
             read_varint(&stream, &mut spos)?; // icount delta
-            read_varint(&stream, &mut spos)?; // packed block delta + r/w bit
+                                              // Packed word: block delta + tenant-switch bit + r/w bit.
+            let word = read_varint(&stream, &mut spos)?;
+            if word & 0b10 != 0 {
+                let tenant = read_varint(&stream, &mut spos)?;
+                if tenant > u64::from(u8::MAX) {
+                    return Err(DecodeError::Header("tenant id exceeds u8"));
+                }
+            }
         }
         if spos != stream.len() {
             return Err(DecodeError::TrailingBytes {
@@ -459,8 +473,10 @@ impl CapturedTrace {
     }
 }
 
-/// Capture file magic: "MAPS capture, format 1".
-const CAPTURE_MAGIC: &[u8; 8] = b"MAPSCAP1";
+/// Capture file magic: "MAPS capture, format 2". Format 2 added the
+/// tenant-switch bit to the packed event word; format-1 files are rejected
+/// at the magic check rather than silently misdecoded.
+const CAPTURE_MAGIC: &[u8; 8] = b"MAPSCAP2";
 
 /// Incremental [`CapturedTrace`] assembly; [`CapturedTrace::record`] uses
 /// it internally and tests use it to round-trip hand-built streams.
@@ -472,6 +488,7 @@ pub struct TraceBuilder {
     accesses: u64,
     bytes: Vec<u8>,
     prev_block: i64,
+    prev_tenant: u8,
     total_events: u64,
     warmup_events: Option<u64>,
     hierarchy: HierarchyStats,
@@ -487,6 +504,7 @@ impl TraceBuilder {
             accesses: 0,
             bytes: Vec::new(),
             prev_block: 0,
+            prev_tenant: 0,
             total_events: 0,
             warmup_events: None,
             hierarchy: HierarchyStats::default(),
@@ -495,15 +513,23 @@ impl TraceBuilder {
 
     /// Appends one event with the instructions retired since the previous.
     pub fn push(&mut self, event: MemEvent, icount_delta: u64) {
-        let (block, write) = match event {
-            MemEvent::Read(b) => (b, 0u64),
-            MemEvent::Write(b) => (b, 1u64),
+        let (block, tenant, write) = match event {
+            MemEvent::Read(b, t) => (b, t, 0u64),
+            MemEvent::Write(b, t) => (b, t, 1u64),
         };
         let index = block.index() as i64;
         let delta = index.wrapping_sub(self.prev_block);
         self.prev_block = index;
+        let switch = u64::from(tenant.0 != self.prev_tenant);
         push_varint(&mut self.bytes, icount_delta);
-        push_varint(&mut self.bytes, (zigzag(delta) << 1) | write);
+        push_varint(
+            &mut self.bytes,
+            (zigzag(delta) << 2) | (switch << 1) | write,
+        );
+        if switch != 0 {
+            push_varint(&mut self.bytes, u64::from(tenant.0));
+            self.prev_tenant = tenant.0;
+        }
         self.total_events += 1;
     }
 
@@ -540,6 +566,7 @@ pub struct EventCursor<'a> {
     bytes: &'a [u8],
     pos: usize,
     prev_block: i64,
+    tenant: u8,
     remaining: u64,
 }
 
@@ -556,13 +583,17 @@ impl Iterator for EventCursor<'_> {
         // whole stream, so the trusted decoder applies here.
         let icount_delta = read_varint_trusted(self.bytes, &mut self.pos);
         let word = read_varint_trusted(self.bytes, &mut self.pos);
-        let delta = unzigzag(word >> 1);
+        if word & 0b10 != 0 {
+            self.tenant = read_varint_trusted(self.bytes, &mut self.pos) as u8;
+        }
+        let delta = unzigzag(word >> 2);
         self.prev_block = self.prev_block.wrapping_add(delta);
         let block = maps_trace::BlockAddr::new(self.prev_block as u64);
+        let tenant = TenantId(self.tenant);
         let event = if word & 1 == 1 {
-            MemEvent::Write(block)
+            MemEvent::Write(block, tenant)
         } else {
-            MemEvent::Read(block)
+            MemEvent::Read(block, tenant)
         };
         Some(CapturedEvent {
             event,
@@ -592,13 +623,17 @@ impl EventCursor<'_> {
             let delta_icount = read_varint_trusted(self.bytes, &mut self.pos);
             let word = read_varint_trusted(self.bytes, &mut self.pos);
             icount += delta_icount;
-            let delta = unzigzag(word >> 1);
+            if word & 0b10 != 0 {
+                self.tenant = read_varint_trusted(self.bytes, &mut self.pos) as u8;
+            }
+            let delta = unzigzag(word >> 2);
             self.prev_block = self.prev_block.wrapping_add(delta);
             let block = maps_trace::BlockAddr::new(self.prev_block as u64);
+            let tenant = TenantId(self.tenant);
             *slot = if word & 1 == 1 {
-                MemEvent::Write(block)
+                MemEvent::Write(block, tenant)
             } else {
-                MemEvent::Read(block)
+                MemEvent::Read(block, tenant)
             };
         }
         self.remaining -= n as u64;
@@ -723,7 +758,8 @@ impl<'a> ReplaySim<'a> {
         mut limit: u64,
         obs: &mut O,
     ) {
-        let mut buf = [MemEvent::Read(maps_trace::BlockAddr::new(0)); MAX_BATCH_EVENTS];
+        let mut buf =
+            [MemEvent::Read(maps_trace::BlockAddr::new(0), TenantId::HOST); MAX_BATCH_EVENTS];
         while limit > 0 {
             let want = limit.min(self.batch as u64) as usize;
             let (n, icount) = cursor.next_events(&mut buf[..want]);
@@ -739,8 +775,8 @@ impl<'a> ReplaySim<'a> {
                 None => {
                     for event in &buf[..n] {
                         match event {
-                            MemEvent::Write(_) => self.insecure_dram.writes += 1,
-                            MemEvent::Read(_) => {
+                            MemEvent::Write(..) => self.insecure_dram.writes += 1,
+                            MemEvent::Read(..) => {
                                 self.insecure_dram.reads += 1;
                                 self.cycles += self.cfg.dram.latency_cycles;
                             }
@@ -795,12 +831,12 @@ impl<'a> ReplaySim<'a> {
     fn apply<O: MetaObserver + ?Sized>(&mut self, ev: CapturedEvent, obs: &mut O) {
         self.cycles += ev.icount_delta;
         match (ev.event, &mut self.engine) {
-            (MemEvent::Write(block), Some(engine)) => engine.handle_write(block, obs),
-            (MemEvent::Read(block), Some(engine)) => {
-                self.cycles += engine.handle_read(block, obs);
+            (MemEvent::Write(block, t), Some(engine)) => engine.handle_write_from(block, t, obs),
+            (MemEvent::Read(block, t), Some(engine)) => {
+                self.cycles += engine.handle_read_from(block, t, obs);
             }
-            (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
-            (MemEvent::Read(_), None) => {
+            (MemEvent::Write(..), None) => self.insecure_dram.writes += 1,
+            (MemEvent::Read(..), None) => {
                 self.insecure_dram.reads += 1;
                 self.cycles += self.cfg.dram.latency_cycles;
             }
@@ -936,11 +972,12 @@ mod tests {
 
     #[test]
     fn builder_round_trips_events() {
+        use maps_trace::TenantId;
         let events = [
-            (MemEvent::Read(BlockAddr::new(100)), 7u64),
-            (MemEvent::Write(BlockAddr::new(2)), 0),
-            (MemEvent::Read(BlockAddr::new(1 << 40)), 129),
-            (MemEvent::Write(BlockAddr::new(1 << 40)), 1),
+            (MemEvent::Read(BlockAddr::new(100), TenantId::HOST), 7u64),
+            (MemEvent::Write(BlockAddr::new(2), TenantId(3)), 0),
+            (MemEvent::Read(BlockAddr::new(1 << 40), TenantId(3)), 129),
+            (MemEvent::Write(BlockAddr::new(1 << 40), TenantId(0)), 1),
         ];
         let mut b = TraceBuilder::new("t", 0, key());
         b.mark_warmup_end();
@@ -953,6 +990,70 @@ mod tests {
         let decoded: Vec<_> = trace.events().collect();
         for (got, &(event, icount_delta)) in decoded.iter().zip(&events) {
             assert_eq!((got.event, got.icount_delta), (event, icount_delta));
+        }
+        // Serialization must survive the tenant switches too.
+        let reloaded = CapturedTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(reloaded, trace);
+    }
+
+    #[test]
+    fn single_tenant_streams_pay_no_tenant_bytes() {
+        use maps_trace::TenantId;
+        let build = |tenant_run: &[TenantId]| {
+            let mut b = TraceBuilder::new("t", 0, key());
+            b.mark_warmup_end();
+            for (i, &t) in tenant_run.iter().enumerate() {
+                b.push(MemEvent::Read(BlockAddr::new(i as u64), t), 1);
+            }
+            b.finish(0)
+        };
+        let host_only = build(&[TenantId::HOST; 8]);
+        let alternating = build(&[
+            TenantId(0),
+            TenantId(1),
+            TenantId(0),
+            TenantId(1),
+            TenantId(0),
+            TenantId(1),
+            TenantId(0),
+            TenantId(1),
+        ]);
+        // Same block/icount stream; only the tenant ids differ. The
+        // single-tenant stream must not spend a single extra byte.
+        assert!(host_only.encoded_len() < alternating.encoded_len());
+        // One tenant-id byte per switch; the first event is already at the
+        // stream's initial tenant 0, so 7 of the 8 events switch.
+        assert_eq!(alternating.encoded_len() - host_only.encoded_len(), 7);
+    }
+
+    #[test]
+    fn batched_cursor_tracks_tenant_switches() {
+        use maps_trace::TenantId;
+        let mut b = TraceBuilder::new("t", 0, key());
+        b.mark_warmup_end();
+        let tenants = [0u8, 0, 2, 2, 1, 255, 255, 0];
+        for (i, &t) in tenants.iter().enumerate() {
+            b.push(
+                MemEvent::Write(BlockAddr::new(i as u64 * 17), TenantId(t)),
+                2,
+            );
+        }
+        let trace = b.finish(0);
+        // Decode with a batch that straddles the switches.
+        let mut cursor = trace.events();
+        let mut buf = [MemEvent::Read(BlockAddr::new(0), TenantId::HOST); 3];
+        let mut got = Vec::new();
+        loop {
+            let (n, _) = cursor.next_events(&mut buf);
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        let want: Vec<_> = trace.events().map(|e| e.event).collect();
+        assert_eq!(got, want);
+        for (ev, &t) in got.iter().zip(&tenants) {
+            assert_eq!(ev.tenant(), TenantId(t));
         }
     }
 
@@ -1116,7 +1217,10 @@ mod tests {
     #[test]
     fn single_byte_tampering_never_panics() {
         let mut b = TraceBuilder::new("t", 0, key());
-        b.push(MemEvent::Read(BlockAddr::new(1)), 0);
+        b.push(
+            MemEvent::Read(BlockAddr::new(1), maps_trace::TenantId(1)),
+            0,
+        );
         b.mark_warmup_end();
         let mut bytes = b.finish(0).to_bytes();
         for i in 0..bytes.len() {

@@ -135,7 +135,8 @@ impl PolicyChoice {
     }
 }
 
-/// Partitioning mode for the metadata cache (Figure 7).
+/// Partitioning mode for the metadata cache (Figure 7 and the
+/// multi-tenant scenarios).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionMode {
     /// No partition: all types compete for all ways.
@@ -151,6 +152,43 @@ pub enum PartitionMode {
         /// Leader sets per side.
         leaders_per_side: usize,
     },
+    /// Static per-tenant split: each tenant's fills are confined to an
+    /// even share of the ways (set-associative design) or to a frame
+    /// quota (randomized design). Hits stay range-unrestricted.
+    PerTenant {
+        /// Number of tenants sharing the cache.
+        tenants: usize,
+    },
+}
+
+/// Structural design of the metadata cache.
+///
+/// The paper's design is a conventional set-associative cache; the
+/// randomized alternative is a MIRAGE-style fully-associative cache with
+/// keyed tag indexing and global-random eviction, evaluated by the
+/// occupancy-channel scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdcDesign {
+    /// Conventional set-associative cache (the paper's design).
+    SetAssoc,
+    /// Fully-associative randomized cache
+    /// ([`RandomizedCache`](maps_cache::RandomizedCache)). Replacement
+    /// policy and counter/hash partitioning knobs are structural no-ops
+    /// under this design; `PerTenant` partitioning maps to a frame quota.
+    Randomized {
+        /// Seed keying the skew hashes and the eviction RNG.
+        seed: u64,
+    },
+}
+
+impl MdcDesign {
+    /// Display name used in manifests and figure rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MdcDesign::SetAssoc => "set-assoc",
+            MdcDesign::Randomized { .. } => "randomized",
+        }
+    }
 }
 
 /// Metadata cache configuration.
@@ -168,6 +206,8 @@ pub struct MdcConfig {
     pub partition: PartitionMode,
     /// Enable partial writes for hash/tree updates (Section IV-E).
     pub partial_writes: bool,
+    /// Structural design (set-associative vs randomized).
+    pub design: MdcDesign,
 }
 
 impl MdcConfig {
@@ -181,6 +221,7 @@ impl MdcConfig {
             policy: PolicyChoice::PseudoLru,
             partition: PartitionMode::None,
             partial_writes: false,
+            design: MdcDesign::SetAssoc,
         }
     }
 
@@ -212,6 +253,22 @@ impl MdcConfig {
     pub fn with_policy(&self, policy: PolicyChoice) -> Self {
         Self {
             policy,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different partitioning mode.
+    pub fn with_partition(&self, partition: PartitionMode) -> Self {
+        Self {
+            partition,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with a different structural design.
+    pub fn with_design(&self, design: MdcDesign) -> Self {
+        Self {
+            design,
             ..self.clone()
         }
     }
@@ -344,6 +401,17 @@ impl SimConfig {
                     Json::UInt(*leaders_per_side as u64),
                 ),
             ]),
+            PartitionMode::PerTenant { tenants } => Json::Obj(vec![
+                ("mode".into(), Json::Str("per-tenant".into())),
+                ("tenants".into(), Json::UInt(*tenants as u64)),
+            ]),
+        };
+        let design = match self.mdc.design {
+            MdcDesign::SetAssoc => Json::Obj(vec![("kind".into(), Json::Str("set-assoc".into()))]),
+            MdcDesign::Randomized { seed } => Json::Obj(vec![
+                ("kind".into(), Json::Str("randomized".into())),
+                ("seed".into(), Json::UInt(seed)),
+            ]),
         };
         let mdc = Json::Obj(vec![
             ("size_bytes".into(), Json::UInt(self.mdc.size_bytes)),
@@ -355,6 +423,7 @@ impl SimConfig {
             ("policy".into(), Json::Str(self.mdc.policy.name().into())),
             ("partition".into(), partition),
             ("partial_writes".into(), Json::Bool(self.mdc.partial_writes)),
+            ("design".into(), design),
         ]);
         let counter_mode = match self.counter_mode {
             CounterMode::SplitPi => "split-pi",
@@ -446,5 +515,27 @@ mod tests {
             mdc.get("partition").unwrap().get("mode").unwrap().as_str(),
             Some("none")
         );
+        assert_eq!(
+            mdc.get("design").unwrap().get("kind").unwrap().as_str(),
+            Some("set-assoc")
+        );
+    }
+
+    #[test]
+    fn design_and_tenant_partition_appear_in_json() {
+        let mut c = SimConfig::paper_default();
+        c.mdc = c
+            .mdc
+            .with_design(MdcDesign::Randomized { seed: 42 })
+            .with_partition(PartitionMode::PerTenant { tenants: 3 });
+        assert_eq!(c.mdc.design.name(), "randomized");
+        let parsed = maps_obs::Json::parse(&c.to_json().to_pretty()).unwrap();
+        let mdc = parsed.get("mdc").unwrap();
+        let design = mdc.get("design").unwrap();
+        assert_eq!(design.get("kind").unwrap().as_str(), Some("randomized"));
+        assert_eq!(design.get("seed").unwrap().as_u64(), Some(42));
+        let partition = mdc.get("partition").unwrap();
+        assert_eq!(partition.get("mode").unwrap().as_str(), Some("per-tenant"));
+        assert_eq!(partition.get("tenants").unwrap().as_u64(), Some(3));
     }
 }

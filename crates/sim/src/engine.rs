@@ -6,7 +6,7 @@
 use maps_cache::{CacheStats, Line};
 use maps_mem::DramCounters;
 use maps_secure::{CounterStore, Layout, SecureConfig, WriteOutcome};
-use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MetaAccess, TenantId};
 
 use crate::config::MdcConfig;
 use crate::hierarchy::MemEvent;
@@ -327,21 +327,46 @@ impl MetadataEngine {
 
     /// Handles an LLC demand miss for `data`, returning the core-visible
     /// stall in cycles (data fetch plus any serialized metadata work).
+    /// Attributed to [`TenantId::HOST`]; multi-tenant callers use
+    /// [`handle_read_from`](Self::handle_read_from).
     pub fn handle_read<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) -> u64 {
+        self.handle_read_from(data, TenantId::HOST, obs)
+    }
+
+    /// [`handle_read`](Self::handle_read) on behalf of `tenant`: every
+    /// metadata-cache access the read implies (including eviction
+    /// cascades it triggers) is booked to that tenant, requester-pays.
+    pub fn handle_read_from<O: MetaObserver + ?Sized>(
+        &mut self,
+        data: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) -> u64 {
         if self.mdc.is_some() {
-            self.read_event::<O, true>(data, obs)
+            self.read_event::<O, true>(data, tenant, obs)
         } else {
-            self.read_event::<O, false>(data, obs)
+            self.read_event::<O, false>(data, tenant, obs)
         }
     }
 
     /// Handles an LLC dirty writeback of `data` (off the critical path:
-    /// contributes traffic and energy, not stall).
+    /// contributes traffic and energy, not stall). Attributed to
+    /// [`TenantId::HOST`].
     pub fn handle_write<O: MetaObserver + ?Sized>(&mut self, data: BlockAddr, obs: &mut O) {
+        self.handle_write_from(data, TenantId::HOST, obs);
+    }
+
+    /// [`handle_write`](Self::handle_write) on behalf of `tenant`.
+    pub fn handle_write_from<O: MetaObserver + ?Sized>(
+        &mut self,
+        data: BlockAddr,
+        tenant: TenantId,
+        obs: &mut O,
+    ) {
         if self.mdc.is_some() {
-            self.write_event::<O, true>(data, obs);
+            self.write_event::<O, true>(data, tenant, obs);
         } else {
-            self.write_event::<O, false>(data, obs);
+            self.write_event::<O, false>(data, tenant, obs);
         }
     }
 
@@ -388,8 +413,8 @@ impl MetadataEngine {
                 prefetcher.prefetch(self, ahead);
             }
             match event {
-                MemEvent::Read(block) => stall += self.read_event::<O, HAS_MDC>(block, obs),
-                MemEvent::Write(block) => self.write_event::<O, HAS_MDC>(block, obs),
+                MemEvent::Read(block, t) => stall += self.read_event::<O, HAS_MDC>(block, t, obs),
+                MemEvent::Write(block, t) => self.write_event::<O, HAS_MDC>(block, t, obs),
             }
         }
         stall
@@ -404,7 +429,7 @@ impl MetadataEngine {
     #[inline]
     fn prefetch_event(&self, event: MemEvent) {
         let Some(mdc) = &self.mdc else { return };
-        let (MemEvent::Read(block) | MemEvent::Write(block)) = event;
+        let (MemEvent::Read(block, _) | MemEvent::Write(block, _)) = event;
         let counter = self.layout.counter_block_of(block);
         mdc.prefetch(counter.index());
         mdc.prefetch(self.layout.hash_block_of(block).index());
@@ -413,20 +438,25 @@ impl MetadataEngine {
     fn read_event<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         data: BlockAddr,
+        tenant: TenantId,
         obs: &mut O,
     ) -> u64 {
         debug_assert_eq!(HAS_MDC, self.mdc.is_some());
         self.stats.reads += 1;
         self.stats.dram_data.reads += 1;
 
-        let hash_hit =
-            self.meta_read::<O, HAS_MDC>(self.layout.hash_block_of(data), BlockKind::Hash, obs);
+        let hash_hit = self.meta_read::<O, HAS_MDC>(
+            self.layout.hash_block_of(data),
+            BlockKind::Hash,
+            tenant,
+            obs,
+        );
         let counter = self.layout.counter_block_of(data);
-        let ctr_hit = self.meta_read::<O, HAS_MDC>(counter, BlockKind::Counter, obs);
+        let ctr_hit = self.meta_read::<O, HAS_MDC>(counter, BlockKind::Counter, tenant, obs);
         let walk_misses = if ctr_hit {
             0
         } else {
-            self.verify_counter::<O, HAS_MDC>(counter, obs)
+            self.verify_counter::<O, HAS_MDC>(counter, tenant, obs)
         };
 
         let t_data = self.dram_latency;
@@ -457,6 +487,7 @@ impl MetadataEngine {
     fn write_event<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         data: BlockAddr,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         debug_assert_eq!(HAS_MDC, self.mdc.is_some());
@@ -467,15 +498,15 @@ impl MetadataEngine {
         //    per-block counter and force a page re-encryption).
         if let WriteOutcome::PageOverflow { page } = self.counters.record_write(data) {
             self.stats.page_overflows += 1;
-            self.reencrypt_page::<O, HAS_MDC>(page, obs);
+            self.reencrypt_page::<O, HAS_MDC>(page, tenant, obs);
         }
         let counter = self.layout.counter_block_of(data);
-        self.counter_write::<O, HAS_MDC>(counter, obs);
+        self.counter_write::<O, HAS_MDC>(counter, tenant, obs);
 
         // 2. Update the data hash (one 8 B slot of its hash block).
         let hash_block = self.layout.hash_block_of(data);
         let slot = self.layout.hash_slot_of(data);
-        self.meta_write_slot::<O, HAS_MDC>(hash_block, BlockKind::Hash, slot, obs);
+        self.meta_write_slot::<O, HAS_MDC>(hash_block, BlockKind::Hash, slot, tenant, obs);
     }
 
     /// Flushes the metadata cache, accounting final writebacks (tree
@@ -516,12 +547,13 @@ impl MetadataEngine {
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
+        tenant: TenantId,
         obs: &mut O,
     ) -> bool {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Read));
         match &mut self.mdc {
             Some(mdc) if HAS_MDC => {
-                let out = mdc.access(block.index(), kind, false);
+                let out = mdc.access(block.index(), kind, false, tenant);
                 self.stats.meta.record_access(kind, out.hit);
                 if out.hit {
                     // A partially-valid line must be completed from memory
@@ -535,7 +567,7 @@ impl MetadataEngine {
                 } else {
                     self.stats.dram_meta.reads += 1;
                     if let Some(victim) = out.evicted {
-                        self.process_eviction::<O, HAS_MDC>(victim, obs);
+                        self.process_eviction::<O, HAS_MDC>(victim, tenant, obs);
                     }
                     false
                 }
@@ -554,6 +586,7 @@ impl MetadataEngine {
     fn verify_counter<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         counter: BlockAddr,
+        tenant: TenantId,
         obs: &mut O,
     ) -> u64 {
         self.stats.tree_walks += 1;
@@ -565,7 +598,7 @@ impl MetadataEngine {
         let mut node = (levels > 0).then(|| self.layout.tree_leaf_of(counter));
         let mut level = 0u8;
         while let Some(n) = node {
-            let hit = self.meta_read::<O, HAS_MDC>(n, BlockKind::Tree(level), obs);
+            let hit = self.meta_read::<O, HAS_MDC>(n, BlockKind::Tree(level), tenant, obs);
             if hit {
                 break;
             }
@@ -582,6 +615,7 @@ impl MetadataEngine {
     fn counter_write<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         counter: BlockAddr,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(
@@ -591,17 +625,17 @@ impl MetadataEngine {
         ));
         match &mut self.mdc {
             Some(mdc) if HAS_MDC && mdc.contents().counters => {
-                let out = mdc.access(counter.index(), BlockKind::Counter, true);
+                let out = mdc.access(counter.index(), BlockKind::Counter, true, tenant);
                 self.stats.meta.record_access(BlockKind::Counter, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction::<O, HAS_MDC>(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, tenant, obs);
                 }
                 if !out.hit {
                     // Fetch and verify before incrementing; the updated
                     // counter now sits dirty in the cache and its tree
                     // update is deferred until eviction (lazy propagation).
                     self.stats.dram_meta.reads += 1;
-                    self.verify_counter::<O, HAS_MDC>(counter, obs);
+                    self.verify_counter::<O, HAS_MDC>(counter, tenant, obs);
                 }
             }
             _ => {
@@ -618,6 +652,7 @@ impl MetadataEngine {
                         node,
                         BlockKind::Tree(level as u8),
                         slot,
+                        tenant,
                         obs,
                     );
                     slot = self.layout.child_slot_of_tree(node);
@@ -632,12 +667,13 @@ impl MetadataEngine {
         block: BlockAddr,
         kind: BlockKind,
         slot: u8,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
             Some(mdc) if HAS_MDC => {
-                let out = mdc.write_partial(block.index(), kind, slot);
+                let out = mdc.write_partial(block.index(), kind, slot, tenant);
                 if out.bypassed {
                     self.stats.meta.record_access(kind, false);
                     self.stats.dram_meta.reads += 1;
@@ -650,7 +686,7 @@ impl MetadataEngine {
                     self.stats.dram_meta.reads += 1;
                 }
                 if let Some(victim) = out.evicted {
-                    self.process_eviction::<O, HAS_MDC>(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, tenant, obs);
                 }
             }
             _ => {
@@ -667,15 +703,16 @@ impl MetadataEngine {
         &mut self,
         block: BlockAddr,
         kind: BlockKind,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         obs.observe(&MetaAccess::new(block, kind, AccessKind::Write));
         match &mut self.mdc {
             Some(mdc) if HAS_MDC && mdc.contents().admits(kind) => {
-                let out = mdc.access(block.index(), kind, true);
+                let out = mdc.access(block.index(), kind, true, tenant);
                 self.stats.meta.record_access(kind, out.hit);
                 if let Some(victim) = out.evicted {
-                    self.process_eviction::<O, HAS_MDC>(victim, obs);
+                    self.process_eviction::<O, HAS_MDC>(victim, tenant, obs);
                 }
             }
             _ => {
@@ -691,6 +728,7 @@ impl MetadataEngine {
     fn process_eviction<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         first: Line,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         let mut queue = std::mem::take(&mut self.cascade_buf);
@@ -736,7 +774,7 @@ impl MetadataEngine {
                 AccessKind::Write,
             ));
             if let Some(mdc) = self.mdc.as_mut().filter(|_| HAS_MDC) {
-                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot);
+                let out = mdc.write_partial(node.index(), BlockKind::Tree(level), slot, tenant);
                 if out.bypassed {
                     self.stats.meta.record_access(BlockKind::Tree(level), false);
                     self.stats.dram_meta.reads += 1;
@@ -796,6 +834,7 @@ impl MetadataEngine {
     fn reencrypt_page<O: MetaObserver + ?Sized, const HAS_MDC: bool>(
         &mut self,
         page: u64,
+        tenant: TenantId,
         obs: &mut O,
     ) {
         self.stats.dram_data.reads += maps_trace::BLOCKS_PER_PAGE;
@@ -810,7 +849,7 @@ impl MetadataEngine {
             n += 1;
         }
         for &hb in &hash_blocks[..n] {
-            self.meta_write_full::<O, HAS_MDC>(hb, BlockKind::Hash, obs);
+            self.meta_write_full::<O, HAS_MDC>(hb, BlockKind::Hash, tenant, obs);
         }
     }
 }

@@ -2,17 +2,36 @@
 
 use maps_cache::policy::TrueLru;
 use maps_cache::{CacheConfig, SetAssocCache};
-use maps_trace::{AccessKind, BlockAddr, BlockKind, MemAccess};
+use maps_trace::{AccessKind, BlockAddr, BlockKind, MemAccess, TenantId};
 
 use crate::SimConfig;
 
-/// A memory-controller event produced by the hierarchy.
+/// A memory-controller event produced by the hierarchy, tagged with the
+/// tenant whose access produced it. Attribution is requester-pays: a
+/// writeback is charged to the tenant whose demand access (or flush)
+/// evicted the dirty line, not to the tenant that originally dirtied it —
+/// the same convention hardware QoS counters use, and the only one that
+/// needs no per-line owner state in the data hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemEvent {
     /// Demand fill of a data block (LLC read miss).
-    Read(BlockAddr),
+    Read(BlockAddr, TenantId),
     /// Writeback of a dirty data block (LLC eviction).
-    Write(BlockAddr),
+    Write(BlockAddr, TenantId),
+}
+
+impl MemEvent {
+    /// The block the event moves.
+    pub const fn block(&self) -> BlockAddr {
+        let (MemEvent::Read(b, _) | MemEvent::Write(b, _)) = *self;
+        b
+    }
+
+    /// The tenant charged for the event.
+    pub const fn tenant(&self) -> TenantId {
+        let (MemEvent::Read(_, t) | MemEvent::Write(_, t)) = *self;
+        t
+    }
 }
 
 /// Counters for the hierarchy.
@@ -75,7 +94,10 @@ impl HierarchyStats {
 /// let mut h = Hierarchy::new(&SimConfig::paper_default());
 /// let mut events = Vec::new();
 /// h.access(&MemAccess::new(PhysAddr::new(0), AccessKind::Read, 1), &mut events);
-/// assert_eq!(events, vec![MemEvent::Read(PhysAddr::new(0).block())]);
+/// assert_eq!(
+///     events,
+///     vec![MemEvent::Read(PhysAddr::new(0).block(), maps_trace::TenantId::HOST)]
+/// );
 /// ```
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
@@ -115,9 +137,23 @@ impl Hierarchy {
         self.stats = HierarchyStats::default();
     }
 
-    /// Runs one core access through the hierarchy, appending memory events
-    /// to `events` (cleared first). Returns `true` on an LLC demand miss.
+    /// Runs one core access through the hierarchy as [`TenantId::HOST`],
+    /// appending memory events to `events` (cleared first). Returns
+    /// `true` on an LLC demand miss.
     pub fn access(&mut self, access: &MemAccess, events: &mut Vec<MemEvent>) -> bool {
+        self.access_from(access, TenantId::HOST, events)
+    }
+
+    /// Runs one core access through the hierarchy on behalf of `tenant`,
+    /// appending memory events to `events` (cleared first). Returns
+    /// `true` on an LLC demand miss. Every emitted event is charged to
+    /// `tenant` (requester-pays, including victim writebacks).
+    pub fn access_from(
+        &mut self,
+        access: &MemAccess,
+        tenant: TenantId,
+        events: &mut Vec<MemEvent>,
+    ) -> bool {
         events.clear();
         self.stats.accesses += 1;
         self.stats.instructions += u64::from(access.icount);
@@ -127,7 +163,7 @@ impl Hierarchy {
         let r1 = self.l1.access(block.index(), BlockKind::Data, write);
         if let Some(victim) = r1.evicted {
             if victim.dirty {
-                self.writeback_to_l2(BlockAddr::new(victim.key), events);
+                self.writeback_to_l2(BlockAddr::new(victim.key), tenant, events);
             }
         }
         if r1.hit {
@@ -139,7 +175,7 @@ impl Hierarchy {
         let r2 = self.l2.access(block.index(), BlockKind::Data, false);
         if let Some(victim) = r2.evicted {
             if victim.dirty {
-                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+                self.writeback_to_llc(BlockAddr::new(victim.key), tenant, events);
             }
         }
         if r2.hit {
@@ -151,52 +187,53 @@ impl Hierarchy {
         if let Some(victim) = r3.evicted {
             if victim.dirty {
                 self.stats.llc_writebacks += 1;
-                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+                events.push(MemEvent::Write(BlockAddr::new(victim.key), tenant));
             }
         }
         if r3.hit {
             return false;
         }
         self.stats.llc_demand_misses += 1;
-        events.push(MemEvent::Read(block));
+        events.push(MemEvent::Read(block, tenant));
         true
     }
 
-    fn writeback_to_l2(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+    fn writeback_to_l2(&mut self, block: BlockAddr, tenant: TenantId, events: &mut Vec<MemEvent>) {
         let r = self.l2.access(block.index(), BlockKind::Data, true);
         if let Some(victim) = r.evicted {
             if victim.dirty {
-                self.writeback_to_llc(BlockAddr::new(victim.key), events);
+                self.writeback_to_llc(BlockAddr::new(victim.key), tenant, events);
             }
         }
     }
 
-    fn writeback_to_llc(&mut self, block: BlockAddr, events: &mut Vec<MemEvent>) {
+    fn writeback_to_llc(&mut self, block: BlockAddr, tenant: TenantId, events: &mut Vec<MemEvent>) {
         let r = self.llc.access(block.index(), BlockKind::Data, true);
         if let Some(victim) = r.evicted {
             if victim.dirty {
                 self.stats.llc_writebacks += 1;
-                events.push(MemEvent::Write(BlockAddr::new(victim.key)));
+                events.push(MemEvent::Write(BlockAddr::new(victim.key), tenant));
             }
         }
     }
 
     /// Flushes every dirty block in the hierarchy to memory, appending the
-    /// final writebacks to `events`. Used at end-of-simulation accounting.
+    /// final writebacks to `events`. Used at end-of-simulation accounting;
+    /// flush traffic is charged to [`TenantId::HOST`].
     pub fn flush(&mut self, events: &mut Vec<MemEvent>) {
         events.clear();
         // Push L1 dirty lines down through L2 into the LLC, then drain it.
         let l1_lines = self.l1.drain();
         for line in l1_lines.into_iter().filter(|l| l.dirty) {
-            self.writeback_to_l2(BlockAddr::new(line.key), events);
+            self.writeback_to_l2(BlockAddr::new(line.key), TenantId::HOST, events);
         }
         let l2_lines = self.l2.drain();
         for line in l2_lines.into_iter().filter(|l| l.dirty) {
-            self.writeback_to_llc(BlockAddr::new(line.key), events);
+            self.writeback_to_llc(BlockAddr::new(line.key), TenantId::HOST, events);
         }
         for line in self.llc.drain().into_iter().filter(|l| l.dirty) {
             self.stats.llc_writebacks += 1;
-            events.push(MemEvent::Write(BlockAddr::new(line.key)));
+            events.push(MemEvent::Write(BlockAddr::new(line.key), TenantId::HOST));
         }
     }
 }
@@ -215,7 +252,7 @@ mod tests {
         let mut h = Hierarchy::new(&SimConfig::paper_default());
         let mut ev = Vec::new();
         assert!(h.access(&acc(1, AccessKind::Read), &mut ev));
-        assert_eq!(ev, vec![MemEvent::Read(BlockAddr::new(1))]);
+        assert_eq!(ev, vec![MemEvent::Read(BlockAddr::new(1), TenantId::HOST)]);
         assert_eq!(h.stats().llc_demand_misses, 1);
     }
 
@@ -244,7 +281,7 @@ mod tests {
             h.access(&acc(i, AccessKind::Write), &mut ev);
             writes += ev
                 .iter()
-                .filter(|e| matches!(e, MemEvent::Write(_)))
+                .filter(|e| matches!(e, MemEvent::Write(..)))
                 .count();
         }
         assert!(writes > 5_000, "only {writes} writebacks observed");
@@ -265,13 +302,13 @@ mod tests {
         // Evict block 1 from every level by streaming conflicting blocks.
         for i in 2..200u64 {
             h.access(&acc(i, AccessKind::Read), &mut ev);
-            if ev.contains(&MemEvent::Write(BlockAddr::new(1))) {
+            if ev.contains(&MemEvent::Write(BlockAddr::new(1), TenantId::HOST)) {
                 return; // dirty block reached memory
             }
         }
         // If it never surfaced, flush must produce it.
         h.flush(&mut ev);
-        assert!(ev.contains(&MemEvent::Write(BlockAddr::new(1))));
+        assert!(ev.contains(&MemEvent::Write(BlockAddr::new(1), TenantId::HOST)));
     }
 
     #[test]
@@ -284,7 +321,7 @@ mod tests {
         h.flush(&mut ev);
         let writes = ev
             .iter()
-            .filter(|e| matches!(e, MemEvent::Write(_)))
+            .filter(|e| matches!(e, MemEvent::Write(..)))
             .count();
         assert_eq!(writes, 32);
     }

@@ -42,7 +42,7 @@ pub use capture::{
     CaptureLoadError, CapturedEvent, CapturedTrace, DecodeError, EventCursor, FrontEndKey,
     ReplaySim, TraceBuilder, DEFAULT_BATCH_EVENTS, MAX_BATCH_EVENTS,
 };
-pub use config::{CacheContents, MdcConfig, PartitionMode, PolicyChoice, SimConfig};
+pub use config::{CacheContents, MdcConfig, MdcDesign, PartitionMode, PolicyChoice, SimConfig};
 pub use engine::{
     BatchPrefetcher, EngineStats, MetaObserver, MetadataEngine, NoPrefetch, NullObserver,
     RecordingObserver, TagPrefetcher, PREFETCH_DISTANCE,
@@ -50,5 +50,5 @@ pub use engine::{
 pub use hierarchy::{Hierarchy, HierarchyStats, MemEvent};
 pub use mdcache::MetadataCache;
 pub use probe::MetricsProbe;
-pub use report::{ReportCodecError, SimReport, REPORT_SCHEMA_VERSION};
+pub use report::{ReportCodecError, SimReport, TenantMdcStats, REPORT_SCHEMA_VERSION};
 pub use sim::SecureSim;

@@ -1,10 +1,21 @@
 //! The unified metadata cache at the memory controller.
+//!
+//! Two structural designs sit behind one interface: the paper's
+//! set-associative cache and a MIRAGE-style fully-associative randomized
+//! cache ([`MdcDesign`]). Every policy knob, the differential oracle, and
+//! the fault campaigns drive both through the same entry points; accesses
+//! carry the requesting [`TenantId`] so per-tenant statistics and
+//! occupancy are attributed by stats delta (they sum to the global
+//! counters for any interleaving, by construction).
 
 use maps_cache::policy::AnyPolicy;
-use maps_cache::{CacheConfig, CacheStats, DuelingController, Line, SetAssocCache};
-use maps_trace::BlockKind;
+use maps_cache::{
+    CacheConfig, CacheStats, DuelingController, Line, RandomizedCache, SetAssocCache,
+    TenantPartition, TenantStatsTable,
+};
+use maps_trace::{BlockKind, TenantId};
 
-use crate::config::{CacheContents, MdcConfig, PartitionMode};
+use crate::config::{CacheContents, MdcConfig, MdcDesign, PartitionMode};
 
 /// Outcome of a metadata cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,65 +29,108 @@ pub struct MdOutcome {
     pub bypassed: bool,
 }
 
+/// The pluggable cache core behind the metadata-cache interface.
+#[derive(Debug)]
+enum Backend {
+    /// Set-associative (the paper's design).
+    Set(SetAssocCache<AnyPolicy>),
+    /// Fully-associative randomized (MIRAGE-style).
+    Rand(RandomizedCache),
+}
+
 /// A metadata cache holding (a configurable subset of) counters, hashes,
-/// and tree nodes, with optional way partitioning and set dueling.
+/// and tree nodes, with optional way partitioning, set dueling, and
+/// per-tenant accounting.
 ///
 /// # Examples
 ///
 /// ```
 /// use maps_sim::{MdcConfig, MetadataCache};
-/// use maps_trace::BlockKind;
+/// use maps_trace::{BlockKind, TenantId};
 ///
 /// let mut mdc = MetadataCache::new(&MdcConfig::paper_default()).unwrap();
-/// let miss = mdc.access(100, BlockKind::Counter, false);
+/// let miss = mdc.access(100, BlockKind::Counter, false, TenantId::HOST);
 /// assert!(!miss.hit);
-/// assert!(mdc.access(100, BlockKind::Counter, false).hit);
+/// assert!(mdc.access(100, BlockKind::Counter, false, TenantId::HOST).hit);
 /// ```
 #[derive(Debug)]
 pub struct MetadataCache {
-    cache: SetAssocCache<AnyPolicy>,
+    backend: Backend,
     contents: CacheContents,
     partial_writes: bool,
     dueling: Option<DuelingController>,
+    /// Per-tenant way split (set-associative design; the randomized
+    /// design enforces the equivalent frame quota internally).
+    tenant_split: Option<TenantPartition>,
+    ways: usize,
+    tenants: TenantStatsTable,
 }
 
 impl MetadataCache {
     /// Builds the cache, or `None` when the configuration disables it
     /// (zero capacity).
     ///
+    /// Under the randomized design, replacement policy and counter/hash
+    /// partitions (static or dueling) are structural no-ops — there are
+    /// no ways to partition and eviction is global-random by design;
+    /// [`PartitionMode::PerTenant`] maps to a per-tenant frame quota.
+    ///
     /// # Panics
     ///
-    /// Panics if a static partition is invalid for the associativity, or
-    /// if a dynamic partition requests more leader sets than exist.
+    /// Panics if a static partition is invalid for the associativity, if
+    /// a dynamic partition requests more leader sets than exist, or if a
+    /// per-tenant split would starve a tenant.
     pub fn new(cfg: &MdcConfig) -> Option<Self> {
         if cfg.size_bytes == 0 {
             return None;
         }
-        let geometry = CacheConfig::from_bytes(cfg.size_bytes, cfg.ways);
-        let mut cache = SetAssocCache::new(geometry, cfg.policy.build());
         let mut dueling = None;
-        match cfg.partition {
-            PartitionMode::None => {}
-            PartitionMode::Static(p) => cache.set_partition(Some(p)),
-            PartitionMode::Dynamic {
-                a,
-                b,
-                leaders_per_side,
-            } => {
-                dueling = Some(DuelingController::new(
-                    geometry.sets(),
-                    cfg.ways,
-                    leaders_per_side,
-                    a,
-                    b,
-                ));
+        let mut tenant_split = None;
+        let backend = match cfg.design {
+            MdcDesign::SetAssoc => {
+                let geometry = CacheConfig::from_bytes(cfg.size_bytes, cfg.ways);
+                let mut cache = SetAssocCache::new(geometry, cfg.policy.build());
+                match cfg.partition {
+                    PartitionMode::None => {}
+                    PartitionMode::Static(p) => cache.set_partition(Some(p)),
+                    PartitionMode::Dynamic {
+                        a,
+                        b,
+                        leaders_per_side,
+                    } => {
+                        dueling = Some(DuelingController::new(
+                            geometry.sets(),
+                            cfg.ways,
+                            leaders_per_side,
+                            a,
+                            b,
+                        ));
+                    }
+                    PartitionMode::PerTenant { tenants } => {
+                        tenant_split = Some(
+                            TenantPartition::new(tenants, cfg.ways)
+                                .expect("per-tenant split must give every tenant a way"),
+                        );
+                    }
+                }
+                Backend::Set(cache)
             }
-        }
+            MdcDesign::Randomized { seed } => {
+                let mut cache = RandomizedCache::new(cfg.size_bytes, cfg.ways, seed);
+                if let PartitionMode::PerTenant { tenants } = cfg.partition {
+                    cache.set_tenant_quota(tenants);
+                }
+                Backend::Rand(cache)
+            }
+        };
         Some(Self {
-            cache,
+            backend,
             contents: cfg.contents,
             partial_writes: cfg.partial_writes,
             dueling,
+            tenant_split,
+            ways: cfg.ways,
+            tenants: TenantStatsTable::new(),
         })
     }
 
@@ -92,38 +146,128 @@ impl MetadataCache {
 
     /// Accumulated statistics (bypassed kinds are counted as misses).
     pub fn stats(&self) -> &CacheStats {
-        self.cache.stats()
+        match &self.backend {
+            Backend::Set(c) => c.stats(),
+            Backend::Rand(c) => c.stats(),
+        }
     }
 
-    /// Resets statistics after warm-up.
+    /// Per-tenant statistics and occupancy. Attribution is requester-pays
+    /// by stats delta, so for any interleaving the per-tenant counters
+    /// sum to [`MetadataCache::stats`] over the same interval.
+    pub fn tenant_stats(&self) -> &TenantStatsTable {
+        &self.tenants
+    }
+
+    /// Resets statistics after warm-up (the per-tenant occupancy ledger
+    /// persists with the cache contents).
     pub fn reset_stats(&mut self) {
-        self.cache.reset_stats();
+        match &mut self.backend {
+            Backend::Set(c) => c.reset_stats(),
+            Backend::Rand(c) => c.reset_stats(),
+        }
+        self.tenants.reset_stats();
     }
 
-    /// Accesses a metadata block. Non-admitted kinds are probed for
-    /// statistics and bypass allocation.
+    /// Accesses a metadata block on behalf of `tenant`. Non-admitted
+    /// kinds are probed for statistics and bypass allocation.
     #[inline]
-    pub fn access(&mut self, key: u64, kind: BlockKind, write: bool) -> MdOutcome {
-        if !self.contents.admits(kind) {
-            let hit = self.cache.probe(key, kind);
+    pub fn access(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        tenant: TenantId,
+    ) -> MdOutcome {
+        let before = *self.stats();
+        let out = self.access_inner(key, kind, write, tenant);
+        self.attribute(key, tenant, &before, &out);
+        out
+    }
+
+    /// Write of a single 8 B sub-entry (hash or tree HMAC slot) on behalf
+    /// of `tenant`. With partial writes enabled, a miss inserts a
+    /// placeholder holding only `slot` and does not require a memory
+    /// fetch; the caller inspects `hit`/`bypassed` to decide on DRAM
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    #[inline]
+    pub fn write_partial(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        tenant: TenantId,
+    ) -> MdOutcome {
+        let before = *self.stats();
+        let out = self.write_partial_inner(key, kind, slot, tenant);
+        self.attribute(key, tenant, &before, &out);
+        out
+    }
+
+    /// Books one access's global-stats delta, fill, and eviction to the
+    /// requesting tenant.
+    fn attribute(&mut self, key: u64, tenant: TenantId, before: &CacheStats, out: &MdOutcome) {
+        let delta = self.stats().delta_since(before);
+        self.tenants.add_delta(tenant.0, &delta);
+        if let Some(victim) = &out.evicted {
+            self.tenants.note_evict(victim.key);
+        }
+        if !out.hit && !out.bypassed {
+            // Admitted misses always install (complete line or
+            // placeholder) in both backends.
+            self.tenants.note_fill(key, tenant.0);
+        }
+    }
+
+    fn access_inner(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        write: bool,
+        tenant: TenantId,
+    ) -> MdOutcome {
+        let Self {
+            backend,
+            dueling,
+            tenant_split,
+            ways,
+            contents,
+            ..
+        } = self;
+        if !contents.admits(kind) {
+            let hit = match backend {
+                Backend::Set(c) => c.probe(key, kind),
+                Backend::Rand(c) => c.probe(key, kind),
+            };
             return MdOutcome {
                 hit,
                 evicted: None,
                 bypassed: true,
             };
         }
-        let r = if self.dueling.is_some() {
-            let set = self.set_of(key);
-            let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
-            let r = self.cache.access_with(key, kind, write, partition.as_ref());
-            if !r.hit {
-                if let Some(d) = &mut self.dueling {
-                    d.record_miss(set);
+        let r = match backend {
+            Backend::Set(cache) => {
+                if let Some(split) = tenant_split {
+                    cache.access_in_ways(key, kind, write, split.ways_for(tenant.0, *ways))
+                } else if dueling.is_some() {
+                    let set = cache.config().set_of(key);
+                    let partition = dueling.as_ref().map(|d| d.partition_for(set));
+                    let r = cache.access_with(key, kind, write, partition.as_ref());
+                    if !r.hit {
+                        if let Some(d) = dueling {
+                            d.record_miss(set);
+                        }
+                    }
+                    r
+                } else {
+                    cache.access_with(key, kind, write, None)
                 }
             }
-            r
-        } else {
-            self.cache.access_with(key, kind, write, None)
+            Backend::Rand(cache) => cache.access(key, kind, write, tenant.0),
         };
         MdOutcome {
             hit: r.hit,
@@ -132,25 +276,29 @@ impl MetadataCache {
         }
     }
 
-    /// Write of a single 8 B sub-entry (hash or tree HMAC slot). With
-    /// partial writes enabled, a miss inserts a placeholder holding only
-    /// `slot` and does not require a memory fetch; the caller inspects
-    /// `hit`/`bypassed` to decide on DRAM traffic.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slot >= 8`.
-    #[inline]
-    pub fn write_partial(&mut self, key: u64, kind: BlockKind, slot: u8) -> MdOutcome {
+    fn write_partial_inner(
+        &mut self,
+        key: u64,
+        kind: BlockKind,
+        slot: u8,
+        tenant: TenantId,
+    ) -> MdOutcome {
         if !self.contents.admits(kind) {
-            let hit = self.cache.probe(key, kind);
+            let hit = match &mut self.backend {
+                Backend::Set(c) => c.probe(key, kind),
+                Backend::Rand(c) => c.probe(key, kind),
+            };
             return MdOutcome {
                 hit,
                 evicted: None,
                 bypassed: true,
             };
         }
-        if self.cache.access_mark_valid(key, kind, slot).is_some() {
+        let resident = match &mut self.backend {
+            Backend::Set(c) => c.access_mark_valid(key, kind, slot).is_some(),
+            Backend::Rand(c) => c.access_mark_valid(key, kind, slot).is_some(),
+        };
+        if resident {
             return MdOutcome {
                 hit: true,
                 evicted: None,
@@ -159,18 +307,40 @@ impl MetadataCache {
         }
         if !self.partial_writes {
             // Caller must fetch the block from memory; insert it complete.
-            return self.access(key, kind, true);
+            return self.access_inner(key, kind, true, tenant);
         }
-        let set = self.set_of(key);
-        let partition = self.dueling.as_ref().map(|d| d.partition_for(set));
+        let Self {
+            backend,
+            dueling,
+            tenant_split,
+            ways,
+            ..
+        } = self;
         // Record the miss in both cache stats and the dueling selector.
-        self.cache.probe(key, kind);
-        if let Some(d) = &mut self.dueling {
-            d.record_miss(set);
-        }
-        let evicted = self
-            .cache
-            .insert_placeholder(key, kind, slot, partition.as_ref());
+        let evicted = match backend {
+            Backend::Set(cache) => {
+                let set = cache.config().set_of(key);
+                let partition = dueling.as_ref().map(|d| d.partition_for(set));
+                cache.probe(key, kind);
+                if let Some(d) = dueling {
+                    d.record_miss(set);
+                }
+                if let Some(split) = tenant_split {
+                    cache.insert_placeholder_in_ways(
+                        key,
+                        kind,
+                        slot,
+                        split.ways_for(tenant.0, *ways),
+                    )
+                } else {
+                    cache.insert_placeholder(key, kind, slot, partition.as_ref())
+                }
+            }
+            Backend::Rand(cache) => {
+                cache.probe(key, kind);
+                cache.insert_placeholder(key, kind, slot, tenant.0)
+            }
+        };
         MdOutcome {
             hit: false,
             evicted,
@@ -180,54 +350,81 @@ impl MetadataCache {
 
     /// Whether `key` is resident.
     pub fn contains(&self, key: u64) -> bool {
-        self.cache.contains(key)
+        match &self.backend {
+            Backend::Set(c) => c.contains(key),
+            Backend::Rand(c) => c.contains(key),
+        }
     }
 
     /// Valid mask of a resident line, if any.
     pub fn valid_mask(&self, key: u64) -> Option<u8> {
-        self.cache.line(key).map(|l| l.valid_mask)
+        match &self.backend {
+            Backend::Set(c) => c.line(key).map(|l| l.valid_mask),
+            Backend::Rand(c) => c.line(key).map(|l| l.valid_mask),
+        }
     }
 
     /// Marks a resident line fully valid (after a completing fill read).
     pub fn complete_line(&mut self, key: u64) {
         for slot in 0..8 {
-            if self.cache.mark_valid(key, slot).is_none() {
+            let marked = match &mut self.backend {
+                Backend::Set(c) => c.mark_valid(key, slot),
+                Backend::Rand(c) => c.mark_valid(key, slot),
+            };
+            if marked.is_none() {
                 break;
             }
         }
     }
 
-    /// Drains all resident lines (end-of-run writeback accounting).
+    /// Drains all resident lines (end-of-run writeback accounting),
+    /// clearing the per-tenant occupancy ledger.
     pub fn drain(&mut self) -> Vec<Line> {
-        self.cache.drain()
+        let lines = match &mut self.backend {
+            Backend::Set(c) => c.drain(),
+            Backend::Rand(c) => c.drain(),
+        };
+        for line in &lines {
+            self.tenants.note_evict(line.key);
+        }
+        lines
     }
 
     /// Iterates over resident lines (for contents inspection, e.g. the
     /// per-set diversity analysis of Section V-C). Lines are materialized
-    /// from the cache's column store.
-    pub fn resident_lines(&self) -> impl Iterator<Item = Line> + '_ {
-        self.cache.resident_lines()
+    /// from the backend's column store.
+    pub fn resident_lines(&self) -> Box<dyn Iterator<Item = Line> + '_> {
+        match &self.backend {
+            Backend::Set(c) => Box::new(c.resident_lines()),
+            Backend::Rand(c) => Box::new(c.resident_lines()),
+        }
     }
 
     /// Prefetches the metadata-cache rows `key` would touch into the host
-    /// cache (a hint for the batched replay path; no architectural effect).
+    /// cache (a hint for the batched replay path; no architectural
+    /// effect). No-op under the randomized design, whose keyed-index rows
+    /// are not worth the hash arithmetic to predict.
     #[inline]
     pub fn prefetch(&self, key: u64) {
-        self.cache.prefetch_set(key);
+        if let Backend::Set(c) = &self.backend {
+            c.prefetch_set(key);
+        }
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.cache.occupancy()
+        match &self.backend {
+            Backend::Set(c) => c.occupancy(),
+            Backend::Rand(c) => c.occupancy(),
+        }
     }
 
     /// The inner cache's access counter (policy time base).
     pub fn time(&self) -> u64 {
-        self.cache.time()
-    }
-
-    fn set_of(&self, key: u64) -> usize {
-        self.cache.config().set_of(key)
+        match &self.backend {
+            Backend::Set(c) => c.time(),
+            Backend::Rand(c) => c.time(),
+        }
     }
 }
 
@@ -236,6 +433,8 @@ mod tests {
     use super::*;
     use crate::config::PolicyChoice;
     use maps_cache::Partition;
+
+    const T0: TenantId = TenantId::HOST;
 
     fn cfg() -> MdcConfig {
         MdcConfig::paper_default().with_size(4096)
@@ -250,7 +449,7 @@ mod tests {
     fn bypassed_kinds_probe_only() {
         let mut mdc =
             MetadataCache::new(&cfg().with_contents(CacheContents::COUNTERS_ONLY)).unwrap();
-        let out = mdc.access(7, BlockKind::Hash, false);
+        let out = mdc.access(7, BlockKind::Hash, false, T0);
         assert!(out.bypassed);
         assert!(!out.hit);
         assert!(!mdc.contains(7));
@@ -263,12 +462,12 @@ mod tests {
         let mut cfg = cfg();
         cfg.partial_writes = true;
         let mut mdc = MetadataCache::new(&cfg).unwrap();
-        let out = mdc.write_partial(9, BlockKind::Hash, 3);
+        let out = mdc.write_partial(9, BlockKind::Hash, 3, T0);
         assert!(!out.hit);
         assert!(!out.bypassed);
         assert_eq!(mdc.valid_mask(9), Some(0b1000));
         // A second write to another slot coalesces.
-        let out2 = mdc.write_partial(9, BlockKind::Hash, 4);
+        let out2 = mdc.write_partial(9, BlockKind::Hash, 4, T0);
         assert!(out2.hit);
         assert_eq!(mdc.valid_mask(9), Some(0b11000));
     }
@@ -276,7 +475,7 @@ mod tests {
     #[test]
     fn without_partial_writes_misses_insert_complete() {
         let mut mdc = MetadataCache::new(&cfg()).unwrap();
-        let out = mdc.write_partial(9, BlockKind::Hash, 3);
+        let out = mdc.write_partial(9, BlockKind::Hash, 3, T0);
         assert!(!out.hit);
         assert_eq!(mdc.valid_mask(9), Some(0xFF));
     }
@@ -286,7 +485,7 @@ mod tests {
         let mut cfg = cfg();
         cfg.partial_writes = true;
         let mut mdc = MetadataCache::new(&cfg).unwrap();
-        mdc.write_partial(9, BlockKind::Hash, 0);
+        mdc.write_partial(9, BlockKind::Hash, 0, T0);
         mdc.complete_line(9);
         assert_eq!(mdc.valid_mask(9), Some(0xFF));
     }
@@ -301,7 +500,7 @@ mod tests {
                                   // Fill one set with counters far beyond 4 ways: occupancy in that
                                   // set must cap at 4 counter lines.
         for i in 0..32u64 {
-            mdc.access(i * sets as u64, BlockKind::Counter, false);
+            mdc.access(i * sets as u64, BlockKind::Counter, false, T0);
         }
         assert_eq!(mdc.occupancy(), 4);
     }
@@ -316,9 +515,84 @@ mod tests {
         };
         let mut mdc = MetadataCache::new(&c).unwrap();
         for i in 0..1000u64 {
-            mdc.access(i, BlockKind::Counter, false);
-            mdc.access(10_000 + i, BlockKind::Hash, i % 3 == 0);
+            mdc.access(i, BlockKind::Counter, false, T0);
+            mdc.access(10_000 + i, BlockKind::Hash, i % 3 == 0, T0);
         }
         assert!(mdc.stats().total().accesses >= 2000);
+    }
+
+    #[test]
+    fn per_tenant_split_confines_fills_to_way_shares() {
+        let mut c = cfg();
+        c.partition = PartitionMode::PerTenant { tenants: 2 };
+        c.policy = PolicyChoice::TrueLru;
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        let sets = 4096 / 64 / 8; // 8 sets
+                                  // One tenant hammering a single set can occupy at most its 4-way
+                                  // share, leaving the other tenant's ways untouched.
+        for i in 0..32u64 {
+            mdc.access(i * sets as u64, BlockKind::Counter, false, TenantId(1));
+        }
+        assert_eq!(mdc.occupancy(), 4);
+        assert_eq!(mdc.tenant_stats().occupancy(1), 4);
+        assert_eq!(mdc.tenant_stats().occupancy(2), 0);
+        // The other tenant still fills its own share of the same set.
+        for i in 0..32u64 {
+            mdc.access(1 + i * sets as u64, BlockKind::Counter, false, TenantId(2));
+        }
+        assert_eq!(mdc.tenant_stats().occupancy(2), 4);
+    }
+
+    #[test]
+    fn randomized_backend_serves_the_same_interface() {
+        let mut c = cfg();
+        c.design = MdcDesign::Randomized { seed: 7 };
+        c.partial_writes = true;
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        assert!(!mdc.access(5, BlockKind::Counter, false, T0).hit);
+        assert!(mdc.access(5, BlockKind::Counter, false, T0).hit);
+        let out = mdc.write_partial(9, BlockKind::Hash, 3, T0);
+        assert!(!out.hit && !out.bypassed);
+        assert_eq!(mdc.valid_mask(9), Some(0b1000));
+        mdc.complete_line(9);
+        assert_eq!(mdc.valid_mask(9), Some(0xFF));
+        assert_eq!(mdc.occupancy(), 2);
+        assert_eq!(mdc.drain().len(), 2);
+        assert_eq!(mdc.occupancy(), 0);
+    }
+
+    #[test]
+    fn tenant_attribution_sums_to_global_and_tracks_occupancy() {
+        let mut c = cfg();
+        c.partition = PartitionMode::PerTenant { tenants: 2 };
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        for i in 0..500u64 {
+            let tenant = TenantId((i % 2) as u8);
+            mdc.access(i % 90, BlockKind::Counter, i % 3 == 0, tenant);
+        }
+        let combined = mdc.tenant_stats().combined();
+        assert_eq!(combined, *mdc.stats());
+        let occ: u64 = (0u8..2).map(|t| mdc.tenant_stats().occupancy(t)).sum();
+        assert_eq!(occ, mdc.occupancy() as u64);
+        // Drain clears the ledger.
+        mdc.drain();
+        assert_eq!(mdc.tenant_stats().occupancy(0), 0);
+        assert_eq!(mdc.tenant_stats().occupancy(1), 0);
+    }
+
+    #[test]
+    fn randomized_quota_confines_tenant_occupancy() {
+        let mut c = cfg(); // 64 frames
+        c.design = MdcDesign::Randomized { seed: 3 };
+        c.partition = PartitionMode::PerTenant { tenants: 2 };
+        let mut mdc = MetadataCache::new(&c).unwrap();
+        for i in 0..500u64 {
+            mdc.access(i, BlockKind::Counter, false, TenantId(0));
+        }
+        assert!(mdc.tenant_stats().occupancy(0) <= 32);
+        for i in 10_000..10_500u64 {
+            mdc.access(i, BlockKind::Counter, false, TenantId(1));
+        }
+        assert!(mdc.tenant_stats().occupancy(1) >= 30);
     }
 }

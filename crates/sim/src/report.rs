@@ -19,7 +19,8 @@ use crate::engine::EngineStats;
 use crate::hierarchy::HierarchyStats;
 
 /// Schema version of the serialized report. Bump on any field change.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// (v2 added the per-tenant metadata-cache breakdown.)
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Why a serialized report could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +127,33 @@ fn cache_stats_from_json(doc: &Json) -> Result<CacheStats, ReportCodecError> {
     Ok(CacheStats::from_buckets(buckets))
 }
 
+/// Per-tenant metadata-cache breakdown for one tenant that issued at
+/// least one access in the measured window (requester-pays attribution;
+/// the per-tenant rows sum to the global engine counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantMdcStats {
+    /// The tenant.
+    pub tenant: u8,
+    /// Metadata-cache accounting booked to this tenant.
+    pub meta: CacheStats,
+    /// Metadata-cache lines this tenant occupied at the end of the run
+    /// (before the final flush).
+    pub occupancy: u64,
+}
+
+impl TenantMdcStats {
+    /// Metadata miss ratio of this tenant's accesses — the observable a
+    /// cross-tenant occupancy probe measures.
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.meta.metadata_total();
+        if t.accesses == 0 {
+            0.0
+        } else {
+            t.misses as f64 / t.accesses as f64
+        }
+    }
+}
+
 /// Results of one simulation run (post-warm-up window).
 ///
 /// Equality is exact (every counter and energy term bitwise-equal), which
@@ -142,6 +170,10 @@ pub struct SimReport {
     pub hierarchy: HierarchyStats,
     /// Metadata-engine statistics.
     pub engine: EngineStats,
+    /// Per-tenant metadata-cache breakdown, ascending by tenant id.
+    /// Empty for single-tenant runs that never left [`maps_trace::TenantId::HOST`]
+    /// with the cache disabled, and for insecure runs.
+    pub tenants: Vec<TenantMdcStats>,
     /// Energy/delay accounting.
     pub energy: EnergyDelay,
 }
@@ -198,6 +230,11 @@ impl SimReport {
         }
     }
 
+    /// The per-tenant breakdown row for `tenant`, if it issued accesses.
+    pub fn tenant(&self, tenant: u8) -> Option<&TenantMdcStats> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+
     /// Serializes the report for checkpointing. Exact: integers keep all
     /// 64 bits and floats are stored as raw bit patterns, so
     /// `from_json(to_json(r)) == r` bitwise.
@@ -252,6 +289,18 @@ impl SimReport {
                 Json::UInt(self.energy.static_pj().to_bits()),
             ),
         ]);
+        let tenants = Json::Arr(
+            self.tenants
+                .iter()
+                .map(|t| {
+                    Json::Obj(vec![
+                        ("tenant".to_string(), Json::UInt(u64::from(t.tenant))),
+                        ("meta".to_string(), cache_stats_to_json(&t.meta)),
+                        ("occupancy".to_string(), Json::UInt(t.occupancy)),
+                    ])
+                })
+                .collect(),
+        );
         Json::Obj(vec![
             (
                 "schema_version".to_string(),
@@ -262,6 +311,7 @@ impl SimReport {
             ("cycles".to_string(), Json::UInt(self.cycles)),
             ("hierarchy".to_string(), hierarchy),
             ("engine".to_string(), engine),
+            ("tenants".to_string(), tenants),
             ("energy".to_string(), energy),
         ])
     }
@@ -313,6 +363,24 @@ impl SimReport {
             writes: get_u64(e, "writes")?,
             max_cascade_depth: get_u64(e, "max_cascade_depth")?,
         };
+        let Some(Json::Arr(rows)) = doc.get("tenants") else {
+            return Err(schema("missing or non-array 'tenants'"));
+        };
+        let mut tenants = Vec::with_capacity(rows.len());
+        for row in rows {
+            if !row.is_obj() {
+                return Err(schema("tenant row is not an object"));
+            }
+            let tenant = get_u64(row, "tenant")?;
+            if tenant > u64::from(u8::MAX) {
+                return Err(schema("tenant id out of range"));
+            }
+            tenants.push(TenantMdcStats {
+                tenant: tenant as u8,
+                meta: cache_stats_from_json(get_obj(row, "meta")?)?,
+                occupancy: get_u64(row, "occupancy")?,
+            });
+        }
         let en = get_obj(doc, "energy")?;
         let energy = EnergyDelay::from_parts(
             get_u64(en, "cycles")?,
@@ -326,6 +394,7 @@ impl SimReport {
             cycles: get_u64(doc, "cycles")?,
             hierarchy,
             engine,
+            tenants,
             energy,
         })
     }
@@ -345,6 +414,14 @@ impl SimReport {
             &format!("{prefix}.metadata_hit_ratio"),
             self.metadata_hit_ratio(),
         );
+        for t in &self.tenants {
+            let p = format!("{prefix}.tenant{}", t.tenant);
+            t.meta.export(&format!("{p}.meta"), sink);
+            if t.occupancy != 0 {
+                sink.counter_add(&format!("{p}.occupancy"), t.occupancy);
+            }
+            sink.gauge_set(&format!("{p}.miss_ratio"), t.miss_ratio());
+        }
     }
 }
 
@@ -390,6 +467,7 @@ mod tests {
             cycles: 2000,
             hierarchy: HierarchyStats::default(),
             engine,
+            tenants: Vec::new(),
             energy: EnergyDelay::new(),
         }
     }
@@ -422,6 +500,21 @@ mod tests {
         r.engine.dram_data.reads = 3;
         r.engine.tree_walks = 5;
         r.hierarchy.llc_demand_misses = 9;
+        let mut meta = CacheStats::default();
+        meta.record_access(maps_trace::BlockKind::Counter, true);
+        meta.record_access(maps_trace::BlockKind::Counter, false);
+        r.tenants = vec![
+            TenantMdcStats {
+                tenant: 0,
+                meta,
+                occupancy: 12,
+            },
+            TenantMdcStats {
+                tenant: 3,
+                meta: CacheStats::default(),
+                occupancy: 0,
+            },
+        ];
         r.energy.add_cycles(123);
         // Deliberately awkward floats: exact round-trip must survive
         // values with no short decimal representation.

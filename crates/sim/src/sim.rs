@@ -51,12 +51,31 @@ pub(crate) fn build_report(
         energy.add_static_pj(mdc.leakage_energy_pj(cycles));
     }
 
+    // Per-tenant breakdown: one row per tenant that touched the metadata
+    // cache, ascending by id (the table iterates in id order, so capture
+    // and direct paths serialize identical rows).
+    let tenants = engine
+        .and_then(MetadataEngine::mdc)
+        .map(|mdc| {
+            let table = mdc.tenant_stats();
+            table
+                .tenants()
+                .map(|t| crate::TenantMdcStats {
+                    tenant: t,
+                    meta: table.stats(t),
+                    occupancy: table.occupancy(t),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
     SimReport {
         workload: workload.to_string(),
         instructions: hierarchy.instructions,
         cycles,
         hierarchy: *hierarchy,
         engine: engine_stats,
+        tenants,
         energy,
     }
 }
@@ -181,19 +200,23 @@ impl<W: Workload> SecureSim<W> {
     /// Executes one core access.
     fn step<O: MetaObserver + ?Sized>(&mut self, obs: &mut O) {
         let access = self.workload.next_access();
+        let tenant = self.workload.current_tenant();
         self.cycles += u64::from(access.icount); // base CPI of 1
-        self.hierarchy.access(&access, &mut self.events);
+        self.hierarchy
+            .access_from(&access, tenant, &mut self.events);
         // Writebacks first (they are buffered off the critical path),
         // then the demand read contributes its stall.
         let events = std::mem::take(&mut self.events);
         for event in &events {
             match (event, &mut self.engine) {
-                (MemEvent::Write(block), Some(engine)) => engine.handle_write(*block, obs),
-                (MemEvent::Read(block), Some(engine)) => {
-                    self.cycles += engine.handle_read(*block, obs);
+                (MemEvent::Write(block, t), Some(engine)) => {
+                    engine.handle_write_from(*block, *t, obs)
                 }
-                (MemEvent::Write(_), None) => self.insecure_dram.writes += 1,
-                (MemEvent::Read(_), None) => {
+                (MemEvent::Read(block, t), Some(engine)) => {
+                    self.cycles += engine.handle_read_from(*block, *t, obs);
+                }
+                (MemEvent::Write(..), None) => self.insecure_dram.writes += 1,
+                (MemEvent::Read(..), None) => {
                     self.insecure_dram.reads += 1;
                     self.cycles += self.cfg.dram.latency_cycles;
                 }

@@ -23,6 +23,7 @@ pub mod kind;
 pub mod record;
 pub mod rng;
 pub mod stats;
+pub mod tenant;
 
 pub use addr::{BlockAddr, PageAddr, PhysAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, PAGE_BYTES};
 pub use det::{DetBuildHasher, DetHashMap, DetHashSet, DetHasher};
@@ -30,3 +31,4 @@ pub use io::{read_trace, write_trace, TraceIoError};
 pub use kind::{AccessKind, BlockKind, MetaGroup};
 pub use record::{MemAccess, MetaAccess};
 pub use stats::TraceStats;
+pub use tenant::TenantId;

@@ -1,0 +1,51 @@
+//! Tenant identity for multi-tenant scenarios.
+
+use std::fmt;
+
+/// Identifies the requester (VM, enclave, or the host itself) behind a
+/// memory event in multi-tenant scenarios.
+///
+/// A `u8` is plenty: the scenarios co-schedule at most a few dozen
+/// workloads, and one byte keeps [`MemEvent`](../maps_sim) `Copy`-cheap
+/// and the capture codec compact. Single-tenant simulations use
+/// [`TenantId::HOST`] everywhere, so the tenant dimension is invisible
+/// until a composer introduces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u8);
+
+impl TenantId {
+    /// The default single-tenant requester (id 0): the host workload in
+    /// every pre-tenant scenario, and the attacker/first tenant slot in
+    /// composed ones.
+    pub const HOST: TenantId = TenantId(0);
+
+    /// The raw id as an index into per-tenant tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for TenantId {
+    fn from(id: u8) -> Self {
+        TenantId(id)
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_is_the_default() {
+        assert_eq!(TenantId::default(), TenantId::HOST);
+        assert_eq!(TenantId::HOST.index(), 0);
+        assert_eq!(TenantId::from(3), TenantId(3));
+        assert_eq!(TenantId(7).to_string(), "t7");
+    }
+}

@@ -189,6 +189,58 @@ impl Workload for PartitionBoundaryGen {
     }
 }
 
+/// The attacker half of the metadata-cache occupancy channel: a cyclic
+/// one-block-per-page sweep over `probe_pages` pages. Each page owns one
+/// counter block, so the sweep touches `probe_pages` *distinct* counter
+/// lines per round — a probe set sized against the metadata cache. When a
+/// co-resident victim's working set inflates, it evicts probe lines, and
+/// the attacker reads its own miss ratio as a measure of the victim's
+/// footprint (the channel `fig_occupancy` quantifies).
+#[derive(Debug, Clone)]
+pub struct OccupancyProbe {
+    rng: SmallRng,
+    probe_pages: u64,
+    cursor: u64,
+}
+
+impl OccupancyProbe {
+    /// Creates the probe over `probe_pages` pages. Size it so the probe's
+    /// counter blocks just fill the metadata cache under test:
+    /// `mdc_bytes / 64` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe_pages` is 0.
+    pub fn new(seed: u64, probe_pages: u64) -> Self {
+        assert!(probe_pages > 0, "need at least one probe page");
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            probe_pages,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for OccupancyProbe {
+    fn next_access(&mut self) -> MemAccess {
+        let page = self.cursor % self.probe_pages;
+        self.cursor += 1;
+        // Vary the block within the page (same counter block either way)
+        // so the data hierarchy doesn't trivially absorb the sweep.
+        let slot = self.rng.gen_range(0..BLOCKS_PER_PAGE);
+        let block = page * BLOCKS_PER_PAGE + slot;
+        MemAccess::new(PhysAddr::new(block * BLOCK_BYTES), AccessKind::Read, 2)
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.probe_pages * PAGE_BYTES
+    }
+
+    fn name(&self) -> &'static str {
+        "occupancy_probe"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +257,20 @@ mod tests {
         within_footprint(&mut OverflowHeavyGen::new(1, 4, 2), 5000);
         within_footprint(&mut CascadeDeepGen::new(2, 64, 16), 5000);
         within_footprint(&mut PartitionBoundaryGen::new(3, 32, 200), 5000);
+        within_footprint(&mut OccupancyProbe::new(4, 16), 5000);
+    }
+
+    #[test]
+    fn occupancy_probe_sweeps_every_page_each_round() {
+        let mut p = OccupancyProbe::new(9, 16);
+        let pages: Vec<u64> = (0..32)
+            .map(|_| p.next_access().addr.block().page().index())
+            .collect();
+        // Cyclic: page i, then wrap. Every round covers all 16 probe pages
+        // in order, so every counter block is re-touched exactly once.
+        for (i, page) in pages.iter().enumerate() {
+            assert_eq!(*page, (i as u64) % 16, "sweep broken at {i}: {pages:?}");
+        }
     }
 
     #[test]

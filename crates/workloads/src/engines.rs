@@ -4,7 +4,7 @@
 //! [`crate::profiles`] instantiate them with per-benchmark parameters.
 
 use maps_trace::rng::SmallRng;
-use maps_trace::{AccessKind, MemAccess, PhysAddr, BLOCK_BYTES};
+use maps_trace::{AccessKind, MemAccess, PhysAddr, TenantId, BLOCK_BYTES};
 
 /// A synthetic workload producing an infinite memory-access stream.
 ///
@@ -20,6 +20,15 @@ pub trait Workload {
     fn name(&self) -> &'static str {
         "workload"
     }
+
+    /// Tenant behind the most recent [`next_access`](Self::next_access).
+    ///
+    /// Single-tenant generators keep the default [`TenantId::HOST`];
+    /// multi-tenant composers override it so the simulator can attribute
+    /// each access to the workload that issued it.
+    fn current_tenant(&self) -> TenantId {
+        TenantId::HOST
+    }
 }
 
 impl Workload for Box<dyn Workload> {
@@ -33,6 +42,10 @@ impl Workload for Box<dyn Workload> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn current_tenant(&self) -> TenantId {
+        (**self).current_tenant()
     }
 }
 

@@ -34,8 +34,8 @@ pub mod replay;
 /// import path for workload code.
 pub use maps_trace::rng;
 
-pub use adversarial::{CascadeDeepGen, OverflowHeavyGen, PartitionBoundaryGen};
-pub use compose::{MixWorkload, PhasedWorkload};
+pub use adversarial::{CascadeDeepGen, OccupancyProbe, OverflowHeavyGen, PartitionBoundaryGen};
+pub use compose::{MixWorkload, PhasedWorkload, TenantMix, TenantSchedule};
 pub use engines::{
     FftGen, HotColdGen, PointerChaseGen, RandomGen, StencilGen, StreamGen, TiledPassGen,
     TreeWalkGen, Workload,

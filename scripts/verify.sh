@@ -20,6 +20,9 @@ run cargo clippy --workspace --all-targets --release -- -D warnings
 run cargo build --release --workspace
 run cargo run -q -p maps-lint --release
 run cargo test -q --workspace
+# The debug-profile workspace run above skips #[cfg(not(debug_assertions))]
+# regression tests (release-mode partition clamping); run those here.
+run cargo test -q -p maps-cache --release release_
 if [[ $quick -eq 0 ]]; then
     run cargo test -q --features heavy-tests
     # Farm scheduling properties (fingerprint dedup, capture-cache
@@ -43,6 +46,27 @@ run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
     ./target/release/fig2 "--tsv=$farm_dir/fig2.standalone.tsv"
 run cmp "$farm_dir/fig2.tsv" "$farm_dir/fig2.standalone.tsv"
 rm -rf "$farm_dir"
+
+# Occupancy-channel smoke: a fig_occupancy campaign killed after three
+# checkpointed points (exit-42 crash hook) and re-invoked must produce
+# artifacts byte-identical to an uninterrupted run. JobKind::Occupancy
+# synthesizes its tenant mix outside the capture memo, so its farm path
+# gets its own gate (the full kill/resume matrix runs in
+# crates/farm/tests/farm_resume.rs).
+occ_ref=$(mktemp -d)
+occ_victim=$(mktemp -d)
+run env MAPS_ACCESSES=900 MAPS_DETERMINISTIC=1 \
+    ./target/release/maps-farm run --figures fig_occupancy --workers 2 --dir "$occ_ref"
+echo "==> crash fig_occupancy after 3 points (expect exit 42)"
+rc=0
+env MAPS_ACCESSES=900 MAPS_DETERMINISTIC=1 MAPS_CRASH_AFTER_POINTS=3 \
+    ./target/release/maps-farm run --figures fig_occupancy --workers 2 --dir "$occ_victim" || rc=$?
+[[ $rc -eq 42 ]] || { echo "expected crash-hook exit 42, got $rc"; exit 1; }
+run env MAPS_ACCESSES=900 MAPS_DETERMINISTIC=1 \
+    ./target/release/maps-farm run --figures fig_occupancy --workers 2 --dir "$occ_victim"
+run cmp "$occ_ref/fig_occupancy.tsv" "$occ_victim/fig_occupancy.tsv"
+run cmp "$occ_ref/fig_occupancy.manifest.json" "$occ_victim/fig_occupancy.manifest.json"
+rm -rf "$occ_ref" "$occ_victim"
 
 # Fault-injection smoke campaign: every seeded model fault (bit flips,
 # replays, overflow storms) detected and localized, every seeded

@@ -21,7 +21,8 @@ use maps_oracle::diff::{
 };
 use maps_secure::CounterMode;
 use maps_sim::{
-    CacheContents, CapturedTrace, MdcConfig, PartitionMode, PolicyChoice, ReplaySim, SimConfig,
+    CacheContents, CapturedTrace, MdcConfig, MdcDesign, PartitionMode, PolicyChoice, ReplaySim,
+    SimConfig,
 };
 use maps_workloads::{Benchmark, CascadeDeepGen, OverflowHeavyGen, PartitionBoundaryGen};
 
@@ -57,11 +58,22 @@ fn all_policies() -> Vec<PolicyChoice> {
 }
 
 fn run(label: &str, seed: u64, cfg: SimConfig, ops: Vec<maps_oracle::TraceOp>) {
+    run_tenants(label, seed, cfg, ops, 1);
+}
+
+fn run_tenants(
+    label: &str,
+    seed: u64,
+    cfg: SimConfig,
+    ops: Vec<maps_oracle::TraceOp>,
+    tenants: usize,
+) {
     let case = DiffCase {
         label: label.to_string(),
         seed,
         cfg,
         ops,
+        tenants,
     };
     if let Err(e) = check_case(&case) {
         panic!("{e}");
@@ -161,6 +173,108 @@ fn partition_modes() {
         0xD7A,
         cfg,
         random_ops(0xD7A, 2048, n, 40),
+    );
+}
+
+#[test]
+fn randomized_design_every_policy_and_mode() {
+    // The randomized fully-associative backend ignores the replacement
+    // policy, but the policy still shapes the surrounding config plumbing
+    // (MIN sentinel materialization included), so sweep the whole matrix:
+    // every policy × both counter modes against the naive spec.
+    let n = scaled_len(350);
+    for (i, policy) in all_policies().into_iter().enumerate() {
+        for (mode, tag) in [
+            (CounterMode::SplitPi, "pi"),
+            (CounterMode::SgxMonolithic, "sgx"),
+        ] {
+            let seed = 0x7A4D + (i as u64) * 2 + u64::from(mode == CounterMode::SgxMonolithic);
+            let mut cfg = base_cfg();
+            cfg.counter_mode = mode;
+            let label = format!("rand-{}-{}", policy.name(), tag);
+            cfg.mdc.policy = policy.clone();
+            cfg.mdc = cfg.mdc.with_design(MdcDesign::Randomized {
+                seed: 0x11CE + i as u64,
+            });
+            run(&label, seed, cfg, random_ops(seed, 2048, n, 40));
+        }
+    }
+}
+
+#[test]
+fn randomized_design_partial_writes_and_contents() {
+    let n = scaled_len(400);
+    let mut cfg = base_cfg();
+    cfg.mdc = cfg.mdc.with_design(MdcDesign::Randomized { seed: 0xBEE });
+    cfg.mdc.partial_writes = true;
+    run(
+        "rand-partial-writes",
+        0xB1,
+        cfg,
+        random_ops(0xB1, 2048, n, 50),
+    );
+    let mut cfg = base_cfg();
+    cfg.mdc = cfg.mdc.with_design(MdcDesign::Randomized { seed: 0xBEF });
+    cfg.mdc.contents = CacheContents::COUNTERS_ONLY;
+    run(
+        "rand-counters-only",
+        0xB2,
+        cfg,
+        random_ops(0xB2, 2048, n, 40),
+    );
+}
+
+#[test]
+fn multi_tenant_shared_and_partitioned() {
+    // Tenant attribution must not perturb simulated behavior in a shared
+    // cache, and per-tenant way splits / randomized quotas must agree
+    // with the spec under an interleaved multi-tenant stream.
+    let n = scaled_len(500);
+    run_tenants(
+        "tenants-shared",
+        0x7E0,
+        base_cfg(),
+        random_ops(0x7E0, 2048, n, 40),
+        3,
+    );
+
+    let mut cfg = base_cfg();
+    cfg.mdc = cfg
+        .mdc
+        .with_partition(PartitionMode::PerTenant { tenants: 2 });
+    run_tenants(
+        "tenants-split-setassoc",
+        0x7E1,
+        cfg,
+        random_ops(0x7E1, 2048, n, 40),
+        2,
+    );
+
+    let mut cfg = base_cfg();
+    cfg.mdc = cfg
+        .mdc
+        .with_design(MdcDesign::Randomized { seed: 0x9A })
+        .with_partition(PartitionMode::PerTenant { tenants: 2 });
+    run_tenants(
+        "tenants-quota-randomized",
+        0x7E2,
+        cfg,
+        random_ops(0x7E2, 2048, n, 40),
+        2,
+    );
+
+    // More tenants than the round-robin stream strictly needs: ids above
+    // the partition count still land somewhere legal via wrap-around.
+    let mut cfg = base_cfg();
+    cfg.mdc = cfg
+        .mdc
+        .with_partition(PartitionMode::PerTenant { tenants: 4 });
+    run_tenants(
+        "tenants-wraparound",
+        0x7E3,
+        cfg,
+        random_ops(0x7E3, 2048, n, 40),
+        7,
     );
 }
 

@@ -114,7 +114,7 @@ fn doubling_mdc_never_increases_misses_under_stack_policies() {
             cfg.mdc.policy = match &policy {
                 // Give MIN its future knowledge, derived for this geometry.
                 PolicyChoice::Min(_) => {
-                    PolicyChoice::Min(maps_oracle::diff::derive_oracle_trace(&cfg, &ops))
+                    PolicyChoice::Min(maps_oracle::diff::derive_oracle_trace(&cfg, &ops, 1))
                 }
                 other => other.clone(),
             };
