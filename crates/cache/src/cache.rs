@@ -297,8 +297,8 @@ impl<P: Policy> SetAssocCache<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `key` is already resident or `slot >= 8`; debug builds
-    /// also reject an empty or out-of-range way range.
+    /// Debug builds panic if `key` is already resident, `slot >= 8`, or
+    /// the way range is empty or out of range.
     pub fn insert_placeholder_in_ways(
         &mut self,
         key: u64,
@@ -325,7 +325,7 @@ impl<P: Policy> SetAssocCache<P> {
     ) -> Option<Line> {
         let set = self.cfg.set_of(key);
         let (hit_way, first_empty) = self.scan_set(set, key);
-        assert!(
+        debug_assert!(
             hit_way.is_none(),
             "placeholder insert for resident key {key}"
         );
@@ -344,11 +344,11 @@ impl<P: Policy> SetAssocCache<P> {
     /// `key` is not resident, in which case the caller falls back to the
     /// miss path.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slot >= 8`.
+    /// Debug builds panic if `slot >= 8`; release builds mask the slot's
+    /// bit into an 8-bit field regardless, so an out-of-range slot is a
+    /// silent no-op rather than a replay abort.
     pub fn access_mark_valid(&mut self, key: u64, kind: BlockKind, slot: u8) -> Option<u8> {
-        assert!(slot < 8, "sub-block slot {slot} out of range");
+        debug_assert!(slot < 8, "sub-block slot {slot} out of range");
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
         let t = self.time;
@@ -369,7 +369,7 @@ impl<P: Policy> SetAssocCache<P> {
     /// Marks additional valid sub-entries on a resident line (partial-write
     /// coalescing); returns the updated mask, or `None` if not resident.
     pub fn mark_valid(&mut self, key: u64, slot: u8) -> Option<u8> {
-        assert!(slot < 8, "sub-block slot {slot} out of range");
+        debug_assert!(slot < 8, "sub-block slot {slot} out of range");
         let set = self.cfg.set_of(key);
         let way = self.find_way(set, key)?;
         let m = &mut self.meta[set * self.cfg.ways() + way];

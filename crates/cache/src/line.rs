@@ -113,12 +113,16 @@ impl<'a> SetView<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the way is out of range or holds no line (victim
-    /// candidates always do).
+    /// Panics if the way is out of range. Victim candidates always hold a
+    /// line; an empty way is debug-checked and materializes as a zeroed
+    /// placeholder in release builds rather than aborting the replay.
     #[inline]
     pub fn line(&self, way: usize) -> Line {
         match self.inner {
-            ViewInner::Slice(lines) => lines[way].expect("candidate way must hold a line"),
+            ViewInner::Slice(lines) => {
+                debug_assert!(lines[way].is_some(), "candidate way must hold a line");
+                lines[way].unwrap_or(Line::filled(0, BlockKind::Data, 0))
+            }
             ViewInner::Soa {
                 tags,
                 meta,
@@ -153,13 +157,10 @@ impl Line {
     }
 
     /// Creates a partial-write placeholder containing only the sub-entry
-    /// at `slot` (0..8). The line is born dirty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `slot >= 8`.
+    /// at `slot` (0..8). The line is born dirty. Debug builds panic when
+    /// `slot >= 8`; release builds shift the bit out of the 8-bit mask.
     pub fn placeholder(key: u64, kind: BlockKind, time: u64, slot: u8) -> Self {
-        assert!(slot < 8, "sub-block slot {slot} out of range");
+        debug_assert!(slot < 8, "sub-block slot {slot} out of range");
         Self {
             key,
             kind,

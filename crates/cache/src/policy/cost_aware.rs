@@ -114,7 +114,11 @@ impl Policy for CostAware {
         lines: &SetView<'_>,
         now: u64,
     ) -> usize {
-        let mut best = candidates[0];
+        let Some(&first) = candidates.first() else {
+            debug_assert!(false, "candidate list must not be empty");
+            return 0;
+        };
+        let mut best = first;
         let mut best_score = f64::INFINITY;
         for &w in candidates {
             let line = lines.line(w);

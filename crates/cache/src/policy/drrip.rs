@@ -90,9 +90,9 @@ impl Policy for Drrip {
                 self.roles[2 * i * stride] = 0;
                 self.roles[(2 * i + 1) * stride] = 1;
             }
-        } else if sets >= 2 {
-            self.roles[0] = 0;
-            self.roles[1] = 1;
+        } else if let [a, b, ..] = self.roles.as_mut_slice() {
+            *a = 0;
+            *b = 1;
         }
     }
 

@@ -87,11 +87,13 @@ impl Eva {
         }
     }
 
-    /// Recomputes the EVA table from the histograms.
+    /// Recomputes the EVA table from the histograms. Runs on the hot path
+    /// (every `update_period` events), so the scratch tables live on the
+    /// stack — `BUCKETS + 1` doubles is ~2 KB per table.
     fn rebuild(&mut self) {
-        let mut lines_reaching = vec![0.0; BUCKETS + 1]; // S(a)
-        let mut hits_above = vec![0.0; BUCKETS + 1]; // H(a)
-        let mut lifetime_above = vec![0.0; BUCKETS + 1]; // sum (x-a+1)(h+e)(x)
+        let mut lines_reaching = [0.0f64; BUCKETS + 1]; // S(a)
+        let mut hits_above = [0.0f64; BUCKETS + 1]; // H(a)
+        let mut lifetime_above = [0.0f64; BUCKETS + 1]; // sum (x-a+1)(h+e)(x)
         for a in (0..BUCKETS).rev() {
             let ev = self.hits[a] + self.evictions[a];
             lines_reaching[a] = lines_reaching[a + 1] + ev;
@@ -100,13 +102,14 @@ impl Eva {
             // horizon moves down one bucket.
             lifetime_above[a] = lifetime_above[a + 1] + lines_reaching[a];
         }
-        let total_lines = lines_reaching[0];
-        let total_lifetime = lifetime_above[0];
+        let [total_lines, ..] = lines_reaching;
+        let [total_hits, ..] = hits_above;
+        let [total_lifetime, ..] = lifetime_above;
         if total_lines < 1.0 || total_lifetime <= 0.0 {
             return; // not enough history yet
         }
         // C: hits per unit of occupied lifetime.
-        let c = hits_above[0] / total_lifetime;
+        let c = total_hits / total_lifetime;
         for a in 0..BUCKETS {
             if lines_reaching[a] > 0.0 {
                 let p = hits_above[a] / lines_reaching[a];
@@ -186,7 +189,11 @@ impl Policy for Eva {
         _lines: &SetView<'_>,
         now: u64,
     ) -> usize {
-        let mut best = candidates[0];
+        let Some(&first) = candidates.first() else {
+            debug_assert!(false, "candidate list must not be empty");
+            return 0;
+        };
+        let mut best = first;
         let mut best_eva = f64::INFINITY;
         for &w in candidates {
             let rank = self.rank_of_age(self.lifetime_age(set, w, now));

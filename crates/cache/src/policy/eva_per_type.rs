@@ -93,23 +93,26 @@ impl EvaPerType {
     }
 
     /// Rebuilds every class's rank table with a shared opportunity cost.
+    /// Runs on the hot path (every `update_period` events), so the
+    /// per-class scratch tables live on the stack: `CLASSES` triples of
+    /// `BUCKETS + 1` doubles is ~25 KB, well under thread-stack budgets.
     fn rebuild(&mut self) {
         let mut total_hits = 0.0;
         let mut total_lifetime = 0.0;
-        let mut per_class: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::with_capacity(CLASSES);
-        for c in 0..CLASSES {
-            let mut lines_reaching = vec![0.0; BUCKETS + 1];
-            let mut hits_above = vec![0.0; BUCKETS + 1];
-            let mut lifetime_above = vec![0.0; BUCKETS + 1];
+        type Scratch = ([f64; BUCKETS + 1], [f64; BUCKETS + 1], [f64; BUCKETS + 1]);
+        let mut per_class: [Scratch; CLASSES] =
+            [([0.0; BUCKETS + 1], [0.0; BUCKETS + 1], [0.0; BUCKETS + 1]); CLASSES];
+        for (c, (lines_reaching, hits_above, lifetime_above)) in per_class.iter_mut().enumerate() {
             for a in (0..BUCKETS).rev() {
                 let ev = self.hits[c][a] + self.evictions[c][a];
                 lines_reaching[a] = lines_reaching[a + 1] + ev;
                 hits_above[a] = hits_above[a + 1] + self.hits[c][a];
                 lifetime_above[a] = lifetime_above[a + 1] + lines_reaching[a];
             }
-            total_hits += hits_above[0];
-            total_lifetime += lifetime_above[0];
-            per_class.push((lines_reaching, hits_above, lifetime_above));
+            let [class_hits, ..] = *hits_above;
+            let [class_lifetime, ..] = *lifetime_above;
+            total_hits += class_hits;
+            total_lifetime += class_lifetime;
         }
         if total_lifetime <= 0.0 || total_hits + total_lifetime < 1.0 {
             return; // not enough history yet
@@ -185,7 +188,11 @@ impl Policy for EvaPerType {
         lines: &SetView<'_>,
         now: u64,
     ) -> usize {
-        let mut best = candidates[0];
+        let Some(&first) = candidates.first() else {
+            debug_assert!(false, "candidate list must not be empty");
+            return 0;
+        };
+        let mut best = first;
         let mut best_rank = f64::INFINITY;
         for &w in candidates {
             let line = lines.line(w);

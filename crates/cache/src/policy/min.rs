@@ -97,7 +97,11 @@ impl Policy for MinOracle {
         lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
-        let mut best = candidates[0];
+        let Some(&first) = candidates.first() else {
+            debug_assert!(false, "candidate list must not be empty");
+            return 0;
+        };
+        let mut best = first;
         let mut farthest = 0u64;
         for &w in candidates {
             let line = lines.line(w);

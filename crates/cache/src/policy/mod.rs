@@ -96,14 +96,26 @@ pub trait Policy {
     }
 }
 
-/// Helper: candidate whose line minimizes a key function.
+/// Helper: candidate whose line minimizes a key function. First minimum
+/// wins (matching `Iterator::min_by_key`); an empty candidate list is
+/// debug-checked and falls back to way 0 rather than aborting the replay.
 pub(crate) fn argmin_by<F: FnMut(&Line) -> u64>(
     candidates: &[usize],
     lines: &SetView<'_>,
     mut score: F,
 ) -> usize {
-    *candidates
-        .iter()
-        .min_by_key(|&&w| score(&lines.line(w)))
-        .expect("candidate list must not be empty")
+    let Some((&first, rest)) = candidates.split_first() else {
+        debug_assert!(false, "candidate list must not be empty");
+        return 0;
+    };
+    let mut best = first;
+    let mut best_score = score(&lines.line(first));
+    for &w in rest {
+        let s = score(&lines.line(w));
+        if s < best_score {
+            best_score = s;
+            best = w;
+        }
+    }
+    best
 }

@@ -90,11 +90,11 @@ impl Policy for TreePlru {
     }
 
     fn init(&mut self, sets: usize, ways: usize) {
-        assert!(
+        debug_assert!(
             ways.is_power_of_two(),
             "tree-PLRU requires power-of-two ways, got {ways}"
         );
-        assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
+        debug_assert!(ways <= 64, "tree-PLRU supports at most 64 ways");
         self.ways = ways;
         self.bits = vec![0; sets];
         let masks: Vec<(u64, u64)> = (0..ways).map(|w| self.path_masks(w)).collect();

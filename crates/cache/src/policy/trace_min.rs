@@ -91,7 +91,11 @@ impl Policy for TraceMin {
         _lines: &SetView<'_>,
         _now: u64,
     ) -> usize {
-        let mut best = candidates[0];
+        let Some(&first) = candidates.first() else {
+            debug_assert!(false, "candidate list must not be empty");
+            return 0;
+        };
+        let mut best = first;
         let mut farthest = 0u64;
         for &w in candidates {
             let next = self.line_next[set * self.ways + w];

@@ -270,9 +270,7 @@ impl RandomizedCache {
     /// `slot`. Misses only; the caller must have established
     /// non-residency.
     ///
-    /// # Panics
-    ///
-    /// Panics if `key` is already resident or `slot >= 8`.
+    /// Debug builds panic if `key` is already resident or `slot >= 8`.
     pub fn insert_placeholder(
         &mut self,
         key: u64,
@@ -280,7 +278,7 @@ impl RandomizedCache {
         slot: u8,
         tenant: u8,
     ) -> Option<Line> {
-        assert!(
+        debug_assert!(
             self.locate(key).is_none(),
             "placeholder insert for resident key {key}"
         );
@@ -292,11 +290,9 @@ impl RandomizedCache {
     /// the updated mask, or `None` (no state change) when `key` is not
     /// resident.
     ///
-    /// # Panics
-    ///
-    /// Panics if `slot >= 8`.
+    /// Debug builds panic if `slot >= 8`.
     pub fn access_mark_valid(&mut self, key: u64, kind: BlockKind, slot: u8) -> Option<u8> {
-        assert!(slot < 8, "sub-block slot {slot} out of range");
+        debug_assert!(slot < 8, "sub-block slot {slot} out of range");
         let (_, frame) = self.locate(key)?;
         let t = self.time;
         self.time += 1;
@@ -310,7 +306,7 @@ impl RandomizedCache {
     /// Marks an additional valid sub-entry on a resident line; returns
     /// the updated mask, or `None` if not resident.
     pub fn mark_valid(&mut self, key: u64, slot: u8) -> Option<u8> {
-        assert!(slot < 8, "sub-block slot {slot} out of range");
+        debug_assert!(slot < 8, "sub-block slot {slot} out of range");
         let (_, frame) = self.locate(key)?;
         let m = &mut self.fmeta[frame];
         m.valid_mask |= 1 << slot;
@@ -427,15 +423,17 @@ impl RandomizedCache {
                 }
             }
         }
-        let slot = if empties.iter().all(|&e| e == 0) {
+        let [empties_left, empties_right] = empties;
+        let [first_left, first_right] = first_empty;
+        let slot = if empties_left == 0 && empties_right == 0 {
             let r = self.rng.gen_range(0..SKEWS * self.ways);
             let s = bases[r / self.ways] + (r % self.ways);
             victim = Some(self.evict_frame(self.tag_frames[s] as usize));
             s
-        } else if empties[1] > empties[0] {
-            first_empty[1]
+        } else if empties_right > empties_left {
+            first_right
         } else {
-            first_empty[0]
+            first_left
         };
 
         if victim.is_none() {
@@ -481,18 +479,23 @@ impl RandomizedCache {
     fn evict_own_frame(&mut self, tenant: u8) -> Line {
         let count = self.tenant_occupancy(tenant);
         debug_assert!(count > 0, "quota eviction for a tenant with no frames");
-        let r = self.rng.gen_range(0..count);
+        let r = self.rng.gen_range(0..count.max(1));
         let mut seen = 0u64;
+        let mut chosen = None;
         for f in 0..self.capacity {
             if self.fkeys[f] != EMPTY_TAG && self.fowner[f] == tenant {
+                chosen = Some(f);
                 if seen == r {
-                    return self.evict_frame(f);
+                    break;
                 }
                 seen += 1;
             }
         }
-        // Unreachable: counts[] tracks exactly the live frames per owner.
-        unreachable!("tenant occupancy ledger out of sync")
+        // counts[] tracks exactly the live frames per owner, so the scan
+        // always lands on the r-th owned frame; a desynced ledger is
+        // debug-checked and falls back to frame 0 instead of aborting.
+        debug_assert!(chosen.is_some(), "tenant occupancy ledger out of sync");
+        self.evict_frame(chosen.unwrap_or(0))
     }
 }
 

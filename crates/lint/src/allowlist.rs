@@ -12,8 +12,11 @@
 //! An entry suppresses findings of `rule` in `path` (exact, repo-relative,
 //! forward slashes). `max=N` caps how many findings the entry may absorb
 //! (mandatory for SAFE-001 so new unsafe blocks cannot hide behind an old
-//! entry); entries that suppress nothing are themselves reported
-//! (`ALLOW-001`), so the file cannot rot.
+//! entry); `chain=SUBSTR` (whitespace-free) restricts the entry to
+//! reachability findings whose call chain contains `SUBSTR`, so a
+//! suppression for one path through the graph cannot hide a new one;
+//! entries that suppress nothing are themselves reported (`ALLOW-001`),
+//! so the file cannot rot.
 
 use std::cell::Cell;
 use std::fmt;
@@ -27,6 +30,9 @@ pub struct AllowEntry {
     pub path: String,
     /// Maximum findings this entry may absorb (`None` = unlimited).
     pub max: Option<u32>,
+    /// Call-chain substring the finding must contain (`None` = any).
+    /// Entries with a chain requirement only match reachability findings.
+    pub chain: Option<String>,
     /// Justification text from the trailing comment.
     pub justification: String,
     /// 1-based line in the allowlist file (for diagnostics).
@@ -85,6 +91,7 @@ impl Allowlist {
                 message: "entry is missing a path".to_string(),
             })?;
             let mut max = None;
+            let mut chain = None;
             for opt in parts {
                 match opt.split_once('=') {
                     Some(("max", v)) => {
@@ -92,6 +99,15 @@ impl Allowlist {
                             line: line_no,
                             message: format!("bad max value {v:?}"),
                         })?);
+                    }
+                    Some(("chain", v)) => {
+                        if v.is_empty() {
+                            return Err(AllowlistError {
+                                line: line_no,
+                                message: "empty chain= value".to_string(),
+                            });
+                        }
+                        chain = Some(v.to_string());
                     }
                     _ => {
                         return Err(AllowlistError {
@@ -111,6 +127,7 @@ impl Allowlist {
                 rule: rule.to_string(),
                 path: path.to_string(),
                 max,
+                chain,
                 justification: comment.to_string(),
                 line: line_no,
                 used: Cell::new(0),
@@ -119,15 +136,28 @@ impl Allowlist {
         Ok(Self { entries })
     }
 
-    /// Tries to absorb one finding of `rule` in `path`. Returns `true`
-    /// (and consumes one unit of the entry's budget) when an entry with
-    /// remaining budget matches.
+    /// Tries to absorb one finding of `rule` in `path` with no call chain
+    /// (per-file token rules). `chain=` entries never match here.
     pub fn absorb(&self, rule: &str, path: &str) -> bool {
+        self.absorb_chain(rule, path, "")
+    }
+
+    /// Tries to absorb one finding of `rule` in `path` whose rendered
+    /// call chain is `chain`. Returns `true` (and consumes one unit of
+    /// the matching entry's budget) when an entry with remaining budget
+    /// matches; entries carrying a `chain=` requirement only match when
+    /// the finding's chain contains the substring.
+    pub fn absorb_chain(&self, rule: &str, path: &str, chain: &str) -> bool {
         for e in &self.entries {
             if e.rule == rule && e.path == path {
+                if let Some(want) = &e.chain {
+                    if !chain.contains(want.as_str()) {
+                        continue;
+                    }
+                }
                 if let Some(max) = e.max {
                     if e.used.get() >= max {
-                        return false;
+                        continue;
                     }
                 }
                 e.used.set(e.used.get() + 1);

@@ -1,11 +1,14 @@
 //! A comment- and string-aware token scanner for Rust source.
 //!
 //! This is deliberately *not* a parser: the lint rules only need to see
-//! identifiers, punctuation, and literals with their line numbers, with
-//! comment and string contents kept out of the token stream (so a
-//! `HashMap` mentioned in a doc comment or a `".unwrap()"` inside a string
-//! literal can never trigger a rule). Comments are retained separately
-//! because SAFE-001 checks for adjacent `// SAFETY:` annotations.
+//! identifiers, punctuation, and literals with their line numbers.
+//! Comment contents are kept out of the token stream and string literals
+//! keep their own token kind (so a `HashMap` mentioned in a doc comment
+//! or a `".unwrap()"` inside a string literal can never trigger an
+//! identifier rule). Comments are retained separately because SAFE-001
+//! checks for adjacent `// SAFETY:` annotations; string contents are
+//! retained on the `Str` token because SCHEMA-001 cross-checks codec key
+//! names against struct fields.
 //!
 //! Handled syntax: line and (nested) block comments, string literals with
 //! escapes, raw strings (`r"…"`, `r#"…"#`), byte and C strings (`b"…"`,
@@ -20,7 +23,10 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character.
     Punct,
-    /// String literal of any flavour (contents dropped).
+    /// String literal of any flavour (contents retained in `text` so
+    /// SCHEMA-001 can cross-check codec key names; no *rule* treats a
+    /// `Str` token as code, so string contents still cannot trigger the
+    /// identifier-matching rules).
     Str,
     /// Char or byte-char literal.
     Char,
@@ -35,8 +41,10 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Token text (empty for string literals; the rules never inspect
-    /// string contents).
+    /// Token text. For `Str` tokens this is the literal's *contents*
+    /// (escapes left as written, delimiters stripped); identifier rules
+    /// only match `Ident` tokens, so this can never leak a string into a
+    /// code rule.
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
@@ -165,10 +173,13 @@ impl Lexer<'_> {
         });
     }
 
-    /// A `"…"` string with backslash escapes; contents are dropped.
+    /// A `"…"` string with backslash escapes; contents are retained
+    /// (escape sequences kept as written — key-name literals in codecs
+    /// never need them).
     fn string(&mut self) {
         let line = self.line;
         self.i += 1;
+        let start = self.i;
         while self.i < self.b.len() {
             match self.b[self.i] {
                 b'\\' => self.i += 2,
@@ -176,16 +187,17 @@ impl Lexer<'_> {
                     self.line += 1;
                     self.i += 1;
                 }
-                b'"' => {
-                    self.i += 1;
-                    break;
-                }
+                b'"' => break,
                 _ => self.i += 1,
             }
         }
+        let end = self.i.min(self.b.len());
+        if self.peek(0) == Some(b'"') {
+            self.i += 1;
+        }
         self.out.toks.push(Tok {
             kind: TokKind::Str,
-            text: String::new(),
+            text: String::from_utf8_lossy(&self.b[start..end]).into_owned(),
             line,
         });
     }
@@ -201,6 +213,8 @@ impl Lexer<'_> {
             self.i += 1;
         }
         self.i += 1; // the opening quote
+        let start = self.i;
+        let mut end = self.b.len();
         'scan: while self.i < self.b.len() {
             match self.b[self.i] {
                 b'\n' => {
@@ -209,6 +223,7 @@ impl Lexer<'_> {
                 }
                 b'"' => {
                     if (1..=hashes).all(|k| self.peek(k) == Some(b'#')) {
+                        end = self.i;
                         self.i += 1 + hashes;
                         break 'scan;
                     }
@@ -219,7 +234,7 @@ impl Lexer<'_> {
         }
         self.out.toks.push(Tok {
             kind: TokKind::Str,
-            text: String::new(),
+            text: String::from_utf8_lossy(&self.b[start..end]).into_owned(),
             line,
         });
     }

@@ -3,14 +3,30 @@
 //! The repo's headline guarantees — bit-identical capture/replay, a
 //! lockstep differential oracle, zero-cost `NullSink`/`NullObserver`
 //! instrumentation — rest on *source-level* invariants that no compiler
-//! pass enforces. This crate checks them mechanically: a dependency-free,
-//! comment/string-aware token scanner ([`lexer`]) feeds a numbered rule
-//! set ([`rules`]), deliberate exceptions live in a checked-in allowlist
-//! ([`allowlist`]), and `scripts/lint.sh` / the `lint-invariants` CI job
-//! fail the build on any new finding. See DESIGN.md §10 for the rule
-//! catalogue and rationale.
+//! pass enforces. This crate checks them mechanically in two layers:
+//!
+//! 1. **Per-file token rules** ([`rules`]): a dependency-free,
+//!    comment/string-aware token scanner ([`lexer`]) feeds the numbered
+//!    DET/PERF/SAFE/PANIC/IO rule set. Files are lexed and scanned in
+//!    parallel via `maps_bench::parallel_map`; allowlist budgets are
+//!    applied in a sequential post-pass so `max=` consumption stays
+//!    deterministic.
+//! 2. **Workspace reachability rules** ([`graph`]): a lightweight item
+//!    model ([`items`]) — fns, impls, trait impls, `use` renames — feeds
+//!    a heuristic call graph, on which PANIC-002/ALLOC-001 (hot-path
+//!    panic/allocation freedom), DET-003 (transitive ambient-state
+//!    taint), and SCHEMA-001 (codec field drift) are evaluated, each
+//!    diagnostic carrying its root→sink call chain.
+//!
+//! Deliberate exceptions live in a checked-in allowlist ([`allowlist`]),
+//! and `scripts/lint.sh` / the `lint-invariants` CI job fail the build on
+//! any new finding. See DESIGN.md §10 for the token rule catalogue and
+//! §15 for the call-graph model and reachability rules.
 
 pub mod allowlist;
+pub mod explain;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
@@ -35,6 +51,8 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of functions indexed into the call graph.
+    pub fns_indexed: usize,
     /// Findings absorbed by allowlist entries.
     pub absorbed: u32,
 }
@@ -45,14 +63,20 @@ impl Report {
         self.diagnostics.is_empty()
     }
 
-    /// Machine-readable form (schema: `{version, files_scanned, absorbed,
-    /// violations: [{rule, file, line, message}]}`).
+    /// Machine-readable form (schema: `{version, files_scanned,
+    /// fns_indexed, absorbed, violations: [{rule, file, line, message,
+    /// chain}]}`; `chain` is the root→sink call path for reachability
+    /// rules, empty for token rules).
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("version".to_string(), Json::UInt(1)),
+            ("version".to_string(), Json::UInt(2)),
             (
                 "files_scanned".to_string(),
                 Json::UInt(self.files_scanned as u64),
+            ),
+            (
+                "fns_indexed".to_string(),
+                Json::UInt(self.fns_indexed as u64),
             ),
             ("absorbed".to_string(), Json::UInt(u64::from(self.absorbed))),
             (
@@ -66,6 +90,12 @@ impl Report {
                                 ("file".to_string(), Json::Str(d.file.clone())),
                                 ("line".to_string(), Json::UInt(u64::from(d.line))),
                                 ("message".to_string(), Json::Str(d.message.clone())),
+                                (
+                                    "chain".to_string(),
+                                    Json::Arr(
+                                        d.chain.iter().map(|c| Json::Str(c.clone())).collect(),
+                                    ),
+                                ),
                             ])
                         })
                         .collect(),
@@ -130,15 +160,55 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
     // itself to its own determinism bar.
     files.sort();
 
-    let mut diagnostics = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let src = std::fs::read_to_string(path).map_err(|e| LintError::Io {
+        let text = std::fs::read_to_string(path).map_err(|e| LintError::Io {
             path: path.clone(),
             source: e,
         })?;
-        let rel = rel_unix_path(root, path);
-        diagnostics.extend(lint_source(&rel, &src, &allow));
+        sources.push(SourceFile {
+            path: rel_unix_path(root, path),
+            text,
+        });
     }
+    Ok(lint_files(sources, &allow))
+}
+
+/// One in-memory source file for [`lint_files`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes (drives rule scoping).
+    pub path: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// Lints a set of in-memory sources: the full v2 pass — parallel per-file
+/// token rules, then the workspace call-graph rules, then ALLOW-001 —
+/// exactly as [`lint_workspace`] runs it on disk. Public so the mutation
+/// gate tests can re-lint the real workspace with seeded regressions
+/// without touching the checkout.
+pub fn lint_files(sources: Vec<SourceFile>, allow: &Allowlist) -> Report {
+    let files_scanned = sources.len();
+    // Lex + token rules + item extraction are embarrassingly parallel;
+    // `parallel_map` preserves input order, so the sequential absorption
+    // pass below consumes `max=` budgets identically to a serial run.
+    let per_file = maps_bench::parallel_map(sources, |f| {
+        let lexed = lexer::lex(&f.text);
+        let regions = rules::test_regions(&lexed.toks);
+        let raw = rules::lint_tokens(&f.path, &lexed, &regions);
+        let model = items::parse_items(&f.path, &lexed.toks, &regions);
+        (raw, model)
+    });
+    let mut diagnostics = Vec::new();
+    let mut models = Vec::with_capacity(per_file.len());
+    for (raw, model) in per_file {
+        diagnostics.extend(rules::absorb(raw, allow));
+        models.push(model);
+    }
+    let ws = graph::Workspace::build(models);
+    let fns_indexed = ws.len();
+    diagnostics.extend(rules::absorb(graph::graph_rules(&ws), allow));
     for e in allow.unused() {
         diagnostics.push(Diagnostic {
             rule: "ALLOW-001",
@@ -149,15 +219,17 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
                  remove it",
                 e.rule, e.path
             ),
+            chain: Vec::new(),
         });
     }
     diagnostics
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(Report {
+    Report {
         diagnostics,
-        files_scanned: files.len(),
+        files_scanned,
+        fns_indexed,
         absorbed: allow.absorbed(),
-    })
+    }
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
@@ -289,13 +361,18 @@ mod tests {
         );
         let report = lint_workspace(&root).unwrap();
         let doc = Json::parse(&report.to_json().to_pretty()).unwrap();
-        assert_eq!(doc.get("version").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(2));
+        assert!(doc.get("fns_indexed").unwrap().as_u64().is_some());
         let Json::Arr(v) = doc.get("violations").unwrap() else {
             panic!("violations must be an array");
         };
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].get("rule").unwrap().as_str(), Some("DET-001"));
         assert!(v[0].get("line").unwrap().as_u64().is_some());
+        assert!(
+            matches!(v[0].get("chain"), Some(Json::Arr(c)) if c.is_empty()),
+            "token-rule chain must be an empty array"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 }

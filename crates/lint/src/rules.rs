@@ -17,12 +17,12 @@
 //! evidence the tests produce.
 
 use crate::allowlist::Allowlist;
-use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
 
 /// Crates whose iteration order / hashing must be reproducible: their
 /// state feeds replay equivalence, the differential oracle, and the
 /// farm's campaign plans (which must enumerate identically every run).
-const DET_CRATES: [&str; 9] = [
+pub(crate) const DET_CRATES: [&str; 9] = [
     "sim",
     "cache",
     "secure",
@@ -35,16 +35,9 @@ const DET_CRATES: [&str; 9] = [
 ];
 
 /// Crates allowed to read the wall clock (timers, manifests, harnesses).
-const CLOCK_EXEMPT_CRATES: [&str; 2] = ["obs", "bench"];
+pub(crate) const CLOCK_EXEMPT_CRATES: [&str; 2] = ["obs", "bench"];
 
-/// Identifiers that reach for wall-clock time or ambient randomness.
-const CLOCK_RNG_IDENTS: [&str; 5] = [
-    "Instant",
-    "SystemTime",
-    "thread_rng",
-    "from_entropy",
-    "RandomState",
-];
+pub(crate) use crate::items::CLOCK_RNG_IDENTS;
 
 /// Library decode/parse paths that must stay panic-free on malformed
 /// input, plus the tenant/randomized-MDC isolation modules whose checked
@@ -88,6 +81,17 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// For reachability rules (PANIC-002/ALLOC-001/DET-003): the call
+    /// chain from a hot-path root to the offending function, as
+    /// `Owner::name` strings. Empty for per-file token rules.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Render the chain as ` → `-joined text (empty string when none).
+    pub fn chain_text(&self) -> String {
+        self.chain.join(" → ")
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -96,27 +100,66 @@ impl std::fmt::Display for Diagnostic {
             f,
             "{} {}:{}: {}",
             self.rule, self.file, self.line, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    via {}", self.chain_text())?;
+        }
+        Ok(())
     }
+}
+
+/// A finding before allowlist absorption. SAFE-001's missing-comment
+/// finding is never absorbable (an allowlist entry registers the site but
+/// cannot waive the SAFETY annotation); everything else absorbs under its
+/// rule + path (+ chain, for reachability rules).
+#[derive(Debug)]
+pub(crate) struct RawDiag {
+    /// The finding.
+    pub diag: Diagnostic,
+    /// Whether an allowlist entry may absorb it.
+    pub absorbable: bool,
 }
 
 /// Lints one file's source text. `path` must be repo-relative with forward
 /// slashes (it drives rule scoping); `allow` absorbs deliberate findings.
+/// Runs the per-file token rules only — the reachability rules need the
+/// whole workspace and live in [`crate::lint_files`].
 pub fn lint_source(path: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
     let lexed = lex(src);
+    let regions = test_regions(&lexed.toks);
+    absorb(lint_tokens(path, &lexed, &regions), allow)
+}
+
+/// Applies the allowlist to raw findings, preserving emission order (which
+/// fixes which finding consumes a `max=` budget unit).
+pub(crate) fn absorb(raw: Vec<RawDiag>, allow: &Allowlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for r in raw {
+        if r.absorbable && allow.absorb_chain(r.diag.rule, &r.diag.file, &r.diag.chain_text()) {
+            continue;
+        }
+        out.push(r.diag);
+    }
+    out
+}
+
+/// Runs every per-file token rule over one lexed file, without allowlist
+/// absorption (the caller applies it sequentially so `max=` budgets stay
+/// deterministic under the parallel file pass).
+pub(crate) fn lint_tokens(path: &str, lexed: &Lexed, regions: &[(usize, usize)]) -> Vec<RawDiag> {
     let ctx = FileCtx {
         path,
         toks: &lexed.toks,
         comments: &lexed.comments,
-        test_regions: test_regions(&lexed.toks),
+        test_regions: regions,
     };
     let mut diags = Vec::new();
-    det_001(&ctx, allow, &mut diags);
-    det_002(&ctx, allow, &mut diags);
-    perf_001(&ctx, allow, &mut diags);
-    safe_001(&ctx, allow, &mut diags);
-    panic_001(&ctx, allow, &mut diags);
-    io_001(&ctx, allow, &mut diags);
+    det_001(&ctx, &mut diags);
+    det_002(&ctx, &mut diags);
+    perf_001(&ctx, &mut diags);
+    safe_001(&ctx, &mut diags);
+    panic_001(&ctx, &mut diags);
+    io_001(&ctx, &mut diags);
     diags
 }
 
@@ -125,7 +168,7 @@ struct FileCtx<'a> {
     toks: &'a [Tok],
     comments: &'a [Comment],
     /// Token-index ranges (inclusive) of `#[cfg(test)]` / `#[test]` items.
-    test_regions: Vec<(usize, usize)>,
+    test_regions: &'a [(usize, usize)],
 }
 
 impl FileCtx<'_> {
@@ -162,7 +205,7 @@ impl FileCtx<'_> {
 }
 
 /// DET-001: default-hasher collections in deterministic crates.
-fn det_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn det_001(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     if !ctx.in_crate_src() || !ctx.crate_name().is_some_and(|c| DET_CRATES.contains(&c)) {
         return;
     }
@@ -170,25 +213,28 @@ fn det_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
         if t.kind == TokKind::Ident
             && (t.text == "HashMap" || t.text == "HashSet")
             && !ctx.in_test(i)
-            && !allow.absorb("DET-001", ctx.path)
         {
-            out.push(Diagnostic {
-                rule: "DET-001",
-                file: ctx.path.to_string(),
-                line: t.line,
-                message: format!(
-                    "default-hasher `{}` in a deterministic crate: iteration order varies \
-                     per process and breaks replay/differential equivalence; use \
-                     `maps_trace::det::{{DetHashMap, DetHashSet}}` or a BTree map",
-                    t.text
-                ),
+            out.push(RawDiag {
+                absorbable: true,
+                diag: Diagnostic {
+                    rule: "DET-001",
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "default-hasher `{}` in a deterministic crate: iteration order varies \
+                         per process and breaks replay/differential equivalence; use \
+                         `maps_trace::det::{{DetHashMap, DetHashSet}}` or a BTree map",
+                        t.text
+                    ),
+                    chain: Vec::new(),
+                },
             });
         }
     }
 }
 
 /// DET-002: wall clock / ambient randomness outside obs+bench.
-fn det_002(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn det_002(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     let in_scope = match ctx.crate_name() {
         Some(c) => ctx.in_crate_src() && !CLOCK_EXEMPT_CRATES.contains(&c),
         // The root `maps` facade crate is sim-facing too.
@@ -201,18 +247,21 @@ fn det_002(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
         if t.kind == TokKind::Ident
             && CLOCK_RNG_IDENTS.contains(&t.text.as_str())
             && !ctx.in_test(i)
-            && !allow.absorb("DET-002", ctx.path)
         {
-            out.push(Diagnostic {
-                rule: "DET-002",
-                file: ctx.path.to_string(),
-                line: t.line,
-                message: format!(
-                    "`{}` outside maps-obs/maps-bench: simulation results must be a pure \
-                     function of config+seed; thread timing state through maps-obs or \
-                     use the vendored SplitMix64 PRNG",
-                    t.text
-                ),
+            out.push(RawDiag {
+                absorbable: true,
+                diag: Diagnostic {
+                    rule: "DET-002",
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` outside maps-obs/maps-bench: simulation results must be a pure \
+                         function of config+seed; thread timing state through maps-obs or \
+                         use the vendored SplitMix64 PRNG",
+                        t.text
+                    ),
+                    chain: Vec::new(),
+                },
             });
         }
     }
@@ -221,7 +270,7 @@ fn det_002(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
 /// PERF-001: sink/observer/batch-prefetcher impl methods must carry
 /// `#[inline]` — the batched replay hot loop calls the prefetcher once
 /// per event, so a non-inlined impl reintroduces per-event call overhead.
-fn perf_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn perf_001(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     if !ctx.in_crate_src() {
         return;
     }
@@ -290,16 +339,20 @@ fn perf_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
                     .map(|t| t.text.as_str())
                     .unwrap_or("?")
                     .to_string();
-                if !has_inline && !allow.absorb("PERF-001", ctx.path) {
-                    out.push(Diagnostic {
-                        rule: "PERF-001",
-                        file: ctx.path.to_string(),
-                        line: toks[j].line,
-                        message: format!(
-                            "`fn {name}` in an `impl {trait_name} for …` block lacks \
-                             `#[inline]`: the disabled-path zero-cost guarantee relies on \
-                             every sink/observer method monomorphizing away"
-                        ),
+                if !has_inline {
+                    out.push(RawDiag {
+                        absorbable: true,
+                        diag: Diagnostic {
+                            rule: "PERF-001",
+                            file: ctx.path.to_string(),
+                            line: toks[j].line,
+                            message: format!(
+                                "`fn {name}` in an `impl {trait_name} for …` block lacks \
+                                 `#[inline]`: the disabled-path zero-cost guarantee relies on \
+                                 every sink/observer method monomorphizing away"
+                            ),
+                            chain: Vec::new(),
+                        },
                     });
                 }
                 has_inline = false;
@@ -330,7 +383,7 @@ fn skip_angles(ctx: &FileCtx, open: usize) -> usize {
 }
 
 /// SAFE-001: `unsafe` needs an allowlist entry and an adjacent SAFETY note.
-fn safe_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn safe_001(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     for t in ctx.toks.iter() {
         if !(t.kind == TokKind::Ident && t.text == "unsafe") {
             continue;
@@ -341,30 +394,38 @@ fn safe_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
                 && c.end_line + SAFETY_COMMENT_REACH >= t.line
         });
         if !commented {
-            out.push(Diagnostic {
-                rule: "SAFE-001",
-                file: ctx.path.to_string(),
-                line: t.line,
-                message: "`unsafe` without an adjacent `// SAFETY:` comment (within 3 \
-                          lines above) stating the invariant that makes it sound"
-                    .to_string(),
+            // Never absorbable: an allowlist entry registers the site but
+            // cannot waive the SAFETY annotation.
+            out.push(RawDiag {
+                absorbable: false,
+                diag: Diagnostic {
+                    rule: "SAFE-001",
+                    file: ctx.path.to_string(),
+                    line: t.line,
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment (within 3 \
+                              lines above) stating the invariant that makes it sound"
+                        .to_string(),
+                    chain: Vec::new(),
+                },
             });
         }
-        if !allow.absorb("SAFE-001", ctx.path) {
-            out.push(Diagnostic {
+        out.push(RawDiag {
+            absorbable: true,
+            diag: Diagnostic {
                 rule: "SAFE-001",
                 file: ctx.path.to_string(),
                 line: t.line,
                 message: "`unsafe` outside the audited allowlist: register the site in \
                           lint.allow (SAFE-001, with max= and a justification) after review"
                     .to_string(),
-            });
-        }
+                chain: Vec::new(),
+            },
+        });
     }
 }
 
 /// PANIC-001: `.unwrap()` / `.expect("…")` in decode/parse paths.
-fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn panic_001(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     if !PANIC_FREE_PATHS.contains(&ctx.path) {
         return;
     }
@@ -384,20 +445,24 @@ fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
         } else {
             false
         };
-        if flagged && !allow.absorb("PANIC-001", ctx.path) {
-            out.push(Diagnostic {
-                rule: "PANIC-001",
-                file: ctx.path.to_string(),
-                line: toks[i + 1].line,
-                message: format!(
-                    "`.{}` in a decode/parse path: malformed input must surface as a \
-                     typed error (`DecodeError`/`JsonParseError`/`TraceIoError`), not a panic",
-                    if ctx.ident_at(i + 1, "unwrap") {
-                        "unwrap()"
-                    } else {
-                        "expect(\"…\")"
-                    }
-                ),
+        if flagged {
+            out.push(RawDiag {
+                absorbable: true,
+                diag: Diagnostic {
+                    rule: "PANIC-001",
+                    file: ctx.path.to_string(),
+                    line: toks[i + 1].line,
+                    message: format!(
+                        "`.{}` in a decode/parse path: malformed input must surface as a \
+                         typed error (`DecodeError`/`JsonParseError`/`TraceIoError`), not a panic",
+                        if ctx.ident_at(i + 1, "unwrap") {
+                            "unwrap()"
+                        } else {
+                            "expect(\"…\")"
+                        }
+                    ),
+                    chain: Vec::new(),
+                },
             });
         }
     }
@@ -412,7 +477,7 @@ fn panic_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
 /// through `maps_obs::write_atomic` so a crash or injected fault can
 /// never leave a torn result file for a reader — or a resumed run — to
 /// trust. The helper file itself is hard-exempt.
-fn io_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
+fn io_001(ctx: &FileCtx, out: &mut Vec<RawDiag>) {
     if ctx.path == IO_FUNNEL_HELPER
         || !ctx.in_crate_src()
         || !ctx
@@ -430,28 +495,32 @@ fn io_001(ctx: &FileCtx, allow: &Allowlist, out: &mut Vec<Diagnostic>) {
             && ctx.punct_at(i + 1, ':')
             && ctx.punct_at(i + 2, ':')
             && ctx.ident_at(i + 3, "write");
-        if (raw_create || raw_write) && !ctx.in_test(i) && !allow.absorb("IO-001", ctx.path) {
-            out.push(Diagnostic {
-                rule: "IO-001",
-                file: ctx.path.to_string(),
-                line: ctx.toks[i].line,
-                message: format!(
-                    "raw `{}` in a result-publishing crate: route the write through \
-                     `maps_obs::write_atomic` (temp file + rename) so a crash or injected \
-                     fault can never leave a torn result file",
-                    if raw_create {
-                        "File::create"
-                    } else {
-                        "fs::write"
-                    }
-                ),
+        if (raw_create || raw_write) && !ctx.in_test(i) {
+            out.push(RawDiag {
+                absorbable: true,
+                diag: Diagnostic {
+                    rule: "IO-001",
+                    file: ctx.path.to_string(),
+                    line: ctx.toks[i].line,
+                    message: format!(
+                        "raw `{}` in a result-publishing crate: route the write through \
+                         `maps_obs::write_atomic` (temp file + rename) so a crash or injected \
+                         fault can never leave a torn result file",
+                        if raw_create {
+                            "File::create"
+                        } else {
+                            "fs::write"
+                        }
+                    ),
+                    chain: Vec::new(),
+                },
             });
         }
     }
 }
 
 /// Finds token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
-fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {

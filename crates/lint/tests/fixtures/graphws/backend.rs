@@ -1,0 +1,17 @@
+//! Graph fixture: MDC backend dispatching into `dyn Policy`.
+use crate::policy::Policy;
+
+pub struct SetAssocCache {
+    policy: Box<dyn Policy>,
+}
+
+impl SetAssocCache {
+    pub fn scan_set(&mut self, key: u64) -> u64 {
+        self.policy.choose(key)
+    }
+
+    pub fn tag_of(k: u64) -> u64 {
+        assert!(k < 1 << 48, "tag overflow");
+        k >> 6
+    }
+}

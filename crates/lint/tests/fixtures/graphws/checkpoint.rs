@@ -1,0 +1,22 @@
+//! Graph fixture: watched codec with one drifted field (`tenants` is
+//! neither written by `to_json` nor read by `from_json`; `cursor` is
+//! covered by the `cursor_pos` prefix key).
+pub struct Checkpoint {
+    pub seed: u64,
+    pub cursor: u64,
+    pub tenants: u64,
+}
+
+impl Checkpoint {
+    pub fn to_json(&self) -> u64 {
+        let keys = ("seed", "cursor_pos");
+        let _ = keys;
+        7
+    }
+
+    pub fn from_json(doc: u64) -> u64 {
+        let keys = ("seed", "cursor");
+        let _ = keys;
+        doc
+    }
+}

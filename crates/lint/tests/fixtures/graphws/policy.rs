@@ -1,0 +1,23 @@
+//! Graph fixture: the policy trait and a panicking impl.
+pub trait Policy {
+    fn choose(&mut self, key: u64) -> u64;
+}
+
+pub struct Lru;
+
+impl Policy for Lru {
+    fn choose(&mut self, key: u64) -> u64 {
+        key.checked_add(1).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_set() {
+        let x: Option<u64> = None;
+        let _ = x.unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! Graph fixture: a `scan_set` name collision the mention gate filters.
+//! `DebugProbe` is named nowhere in kernel.rs/backend.rs, so the kernel's
+//! `.scan_set(…)` call must not resolve here.
+pub struct DebugProbe;
+
+impl DebugProbe {
+    pub fn scan_set(&mut self, key: u64) -> u64 {
+        let label = format!("probe:{key}");
+        label.len() as u64 + key.checked_mul(2).unwrap()
+    }
+}

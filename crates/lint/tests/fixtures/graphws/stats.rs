@@ -1,0 +1,12 @@
+//! Graph fixture: deterministic crate laundering time via an obs helper.
+use crate::timer::PhaseTimer;
+
+pub struct Stats {
+    timer: PhaseTimer,
+}
+
+impl Stats {
+    pub fn snapshot(&mut self) -> u64 {
+        self.timer.mark()
+    }
+}

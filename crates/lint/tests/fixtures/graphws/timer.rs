@@ -1,0 +1,13 @@
+//! Graph fixture: exempt-crate helper that reads the wall clock.
+pub struct PhaseTimer {
+    last: u64,
+}
+
+impl PhaseTimer {
+    pub fn mark(&mut self) -> u64 {
+        let t = Instant::now();
+        let _ = t;
+        self.last += 1;
+        self.last
+    }
+}

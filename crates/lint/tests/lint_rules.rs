@@ -227,6 +227,12 @@ fn workspace_is_clean_under_the_checked_in_allowlist() {
         report.absorbed > 0,
         "the checked-in allowlist should be absorbing the audited unsafe sites"
     );
+    assert!(
+        report.fns_indexed > 500,
+        "call graph indexed only {} fn(s) — the v2 reachability rules \
+         (PANIC-002/ALLOC-001/DET-003) would be vacuously green",
+        report.fns_indexed
+    );
 }
 
 fn workspace_root() -> PathBuf {

@@ -161,26 +161,20 @@ impl Layout {
         self.metadata_blocks() as f64 / self.data_blocks as f64
     }
 
-    /// Counter block protecting a data block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the data block lies outside the protected region.
+    /// Counter block protecting a data block. Debug builds panic when the
+    /// data block lies outside the protected region.
     pub fn counter_block_of(&self, data: BlockAddr) -> BlockAddr {
-        assert!(
+        debug_assert!(
             data.index() < self.data_blocks,
             "data block {data} outside protected memory"
         );
         BlockAddr::new(self.counter_base + self.div_per_ctr(data.index()))
     }
 
-    /// Hash block holding the HMAC of a data block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the data block lies outside the protected region.
+    /// Hash block holding the HMAC of a data block. Debug builds panic
+    /// when the data block lies outside the protected region.
     pub fn hash_block_of(&self, data: BlockAddr) -> BlockAddr {
-        assert!(
+        debug_assert!(
             data.index() < self.data_blocks,
             "data block {data} outside protected memory"
         );
@@ -193,24 +187,19 @@ impl Layout {
         (data.index() % 8) as u8
     }
 
-    /// Leaf tree node protecting a counter block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `counter` is not a counter block, or if the tree is empty
-    /// (memory so small the root directly covers the counters).
+    /// Leaf tree node protecting a counter block. Debug builds panic when
+    /// `counter` is not a counter block or the tree is empty (memory so
+    /// small the root directly covers the counters); release builds fall
+    /// back to a zero leaf base rather than aborting the walk.
     pub fn tree_leaf_of(&self, counter: BlockAddr) -> BlockAddr {
         let off = self.counter_offset(counter);
-        assert!(!self.tree_bases.is_empty(), "no in-memory tree levels");
-        BlockAddr::new(self.tree_bases[0] + self.div_arity(off))
+        debug_assert!(!self.tree_bases.is_empty(), "no in-memory tree levels");
+        let base = self.tree_bases.first().copied().unwrap_or(0);
+        BlockAddr::new(base + self.div_arity(off))
     }
 
     /// Parent of an in-memory tree node, or `None` when the parent is the
-    /// on-chip root.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a tree node.
+    /// on-chip root. Debug builds panic when `node` is not a tree node.
     pub fn tree_parent(&self, node: BlockAddr) -> Option<BlockAddr> {
         let (level, off) = self.tree_position(node);
         let parent_level = level + 1;
@@ -294,11 +283,8 @@ impl Layout {
         self.mod_arity(self.counter_offset(counter)) as u8
     }
 
-    /// Slot (0..8) of a tree node's HMAC within its parent node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a tree node.
+    /// Slot (0..8) of a tree node's HMAC within its parent node. Debug
+    /// builds panic when `node` is not a tree node.
     pub fn child_slot_of_tree(&self, node: BlockAddr) -> u8 {
         let (_, off) = self.tree_position(node);
         self.mod_arity(off) as u8
@@ -313,18 +299,16 @@ impl Layout {
 
     fn counter_offset(&self, counter: BlockAddr) -> u64 {
         let i = counter.index();
-        assert!(
+        debug_assert!(
             (self.counter_base..self.counter_base + self.counter_blocks).contains(&i),
             "{counter} is not a counter block"
         );
-        i - self.counter_base
+        i.saturating_sub(self.counter_base)
     }
 
-    /// `(level, offset within level)` of a tree node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `block` is not a tree node.
+    /// `(level, offset within level)` of a tree node. Debug builds panic
+    /// when `block` is not a tree node; release builds answer with the
+    /// leaf-level origin rather than aborting the walk.
     pub fn tree_position(&self, block: BlockAddr) -> (usize, u64) {
         let i = block.index();
         for (level, (&base, &size)) in self.tree_bases.iter().zip(&self.tree_sizes).enumerate() {
@@ -332,7 +316,8 @@ impl Layout {
                 return (level, i - base);
             }
         }
-        panic!("{block} is not a tree node");
+        debug_assert!(false, "{block} is not a tree node");
+        (0, 0)
     }
 }
 

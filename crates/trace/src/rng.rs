@@ -82,25 +82,25 @@ impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
 
 /// Ranges [`SmallRng::gen_range`] accepts: `lo..hi` and `lo..=hi`.
 pub trait SampleRange<T> {
-    /// Inclusive bounds `(lo, hi)` of the range.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the range is empty.
+    /// Inclusive bounds `(lo, hi)` of the range. An empty range is
+    /// debug-checked; release builds collapse it to the single value at
+    /// `lo` rather than aborting the replay.
     fn bounds(&self) -> (u64, u64);
 }
 
 impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
     fn bounds(&self) -> (u64, u64) {
-        assert!(self.start < self.end, "cannot sample an empty range");
-        (self.start.to_u64(), self.end.to_u64() - 1)
+        debug_assert!(self.start < self.end, "cannot sample an empty range");
+        let lo = self.start.to_u64();
+        (lo, self.end.to_u64().saturating_sub(1).max(lo))
     }
 }
 
 impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
     fn bounds(&self) -> (u64, u64) {
-        assert!(self.start() <= self.end(), "cannot sample an empty range");
-        (self.start().to_u64(), self.end().to_u64())
+        debug_assert!(self.start() <= self.end(), "cannot sample an empty range");
+        let lo = self.start().to_u64();
+        (lo, self.end().to_u64().max(lo))
     }
 }
 
@@ -124,11 +124,8 @@ impl SmallRng {
         self.inner.next_u64()
     }
 
-    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`).
-    ///
-    /// # Panics
-    ///
-    /// Panics when the range is empty.
+    /// Samples uniformly from `range` (`lo..hi` or `lo..=hi`). An empty
+    /// range is debug-checked and yields its lower bound in release.
     pub fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
         let (lo, hi) = range.bounds();
         let span = hi - lo; // inclusive span - 1; span == u64::MAX covers all
@@ -148,27 +145,21 @@ impl SmallRng {
         }
     }
 
-    /// Returns `true` with probability `p`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `p` is outside `[0, 1]`.
+    /// Returns `true` with probability `p`. Debug builds panic when `p`
+    /// is outside `[0, 1]`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        debug_assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
         // 53-bit uniform in [0, 1), exact for the probabilities used here.
         let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         u < p
     }
 
-    /// Returns `true` with probability `numerator / denominator`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `denominator` is 0 or the ratio exceeds 1.
+    /// Returns `true` with probability `numerator / denominator`. Debug
+    /// builds panic when `denominator` is 0 or the ratio exceeds 1.
     pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
-        assert!(denominator > 0, "denominator must be positive");
-        assert!(numerator <= denominator, "ratio above 1");
-        self.gen_range(0u32..denominator) < numerator
+        debug_assert!(denominator > 0, "denominator must be positive");
+        debug_assert!(numerator <= denominator, "ratio above 1");
+        self.gen_range(0u32..denominator.max(1)) < numerator
     }
 }
 

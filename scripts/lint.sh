@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Run the workspace invariant linter (maps-lint) over the repository.
 #
-# Usage: scripts/lint.sh [--json]
-#   --json  machine-readable report on stdout
+# Usage: scripts/lint.sh [--json] [--explain RULE]
+#   --json          machine-readable report on stdout (violations carry
+#                   their root->sink call chains)
+#   --explain RULE  print one rule's rationale + example and exit
 #
-# Exit codes: 0 clean, 1 findings, 2 could not run.
+# Exit codes: 0 clean, 1 findings, 2 could not run (incl. unknown rule).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
