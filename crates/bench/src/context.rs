@@ -31,7 +31,10 @@
 //! * `MAPS_DETERMINISTIC=1` — strip volatile manifest fields (creation
 //!   time, wall/phase seconds) so repeated runs are byte-identical.
 //! * `MAPS_POINT_RETRIES=<n>` — retry a panicking sweep point up to `n`
-//!   times before aborting the run (default 1 retry).
+//!   times before aborting the run (default 1 retry). Retries back off
+//!   under the shared [`crate::RetryPolicy`] — seeded exponential delay
+//!   with key-derived jitter, the same schedule `maps-farmd` uses to
+//!   requeue points from crashed workers.
 //! * `MAPS_POINT_TIMEOUT_SECS=<n>` — watchdog: if any sweep point runs
 //!   longer than `n` seconds the process exits with status 3, leaving the
 //!   checkpoint intact so a re-invocation retries only the stuck point.
@@ -72,14 +75,6 @@ fn crash_after_points() -> Option<u64> {
     std::env::var("MAPS_CRASH_AFTER_POINTS")
         .ok()
         .and_then(|v| v.parse().ok())
-}
-
-/// `MAPS_POINT_RETRIES`: bounded retries for a panicking sweep point.
-fn point_retries() -> u32 {
-    std::env::var("MAPS_POINT_RETRIES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
 }
 
 /// `MAPS_POINT_TIMEOUT_SECS`: watchdog budget per sweep point.
@@ -289,11 +284,11 @@ impl RunContext {
 
         let shared = Mutex::new((ckpt, self.new_points));
         let crash_after = crash_after_points();
-        let retries = point_retries();
+        let policy = crate::RetryPolicy::from_env(crate::SEED);
         let watchdog = Watchdog::start(point_timeout());
         let computed: Vec<SimReport> = crate::parallel_map(missing.clone(), |i| {
             let guard = watchdog.guard(&keys[i]);
-            let report = run_point(&run, &jobs[i], &keys[i], retries);
+            let report = run_point(&run, &jobs[i], &keys[i], &policy);
             drop(guard);
             let (ckpt, new_points) = &mut *shared.lock().expect("sweep checkpoint poisoned");
             ckpt.insert(&keys[i], report.to_json());
@@ -405,10 +400,11 @@ impl RunContext {
     }
 }
 
-/// Runs one sweep point, retrying panics up to `retries` extra attempts
-/// and re-raising the final payload (which [`crate::parallel_map`] then
+/// Runs one sweep point under the shared retry policy: panics consume the
+/// bounded attempt budget with seeded exponential backoff between tries,
+/// and the final payload is re-raised (which [`crate::parallel_map`] then
 /// reports with the job index).
-fn run_point<T, F>(run: &F, job: &T, key: &str, retries: u32) -> SimReport
+fn run_point<T, F>(run: &F, job: &T, key: &str, policy: &crate::RetryPolicy) -> SimReport
 where
     F: Fn(&T) -> SimReport,
 {
@@ -417,11 +413,16 @@ where
         match catch_unwind(AssertUnwindSafe(|| run(job))) {
             Ok(report) => return report,
             Err(payload) => {
-                if attempt >= retries {
+                if attempt >= policy.budget() {
                     resume_unwind(payload);
                 }
                 attempt += 1;
-                eprintln!("[sweep] point '{key}' panicked; retry {attempt}/{retries}");
+                eprintln!(
+                    "[sweep] point '{key}' panicked; retry {attempt}/{} after {:?}",
+                    policy.budget(),
+                    policy.delay(key, attempt)
+                );
+                policy.back_off(key, attempt);
             }
         }
     }
@@ -672,6 +673,12 @@ mod tests {
     #[test]
     fn run_point_retries_then_succeeds() {
         let attempts = std::sync::atomic::AtomicUsize::new(0);
+        let policy = crate::RetryPolicy::new(
+            2,
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+            crate::SEED,
+        );
         let report = run_point(
             &|_: &u64| {
                 if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
@@ -681,7 +688,7 @@ mod tests {
             },
             &11u64,
             "pts/seed11",
-            2,
+            &policy,
         );
         assert_eq!(attempts.load(Ordering::Relaxed), 2);
         assert_eq!(report, tiny_report(11));

@@ -25,10 +25,14 @@ pub mod context;
 pub mod error;
 pub mod figures;
 pub mod host;
+pub mod retry;
+pub mod wire;
 
 pub use context::{deterministic_mode, metrics_enabled, RunContext};
 pub use error::{report_error, BenchError};
 pub use host::{exec_job, JobKind, LocalHost, PlanHost, SimJob, SweepHost};
+pub use retry::RetryPolicy;
+pub use wire::{job_from_json, job_to_json, WireError};
 
 /// Number of core accesses per run: `MAPS_ACCESSES` or the given default.
 pub fn n_accesses(default: u64) -> u64 {

@@ -1,0 +1,555 @@
+//! Faithful [`SimJob`] wire codec for the farm daemon's worker protocol.
+//!
+//! [`SimConfig::to_json`] is a *manifest* encoding — deliberately lossy
+//! (policy by display name, DRAM latency only) because manifests describe
+//! runs to humans and diff tools. A daemon shipping jobs to worker
+//! processes needs the opposite guarantee: the worker must reconstruct
+//! the configuration *exactly*, or the supervision proof (farmd artifacts
+//! byte-identical to `LocalHost`) is dead on arrival. This module is that
+//! codec: every outcome-bearing field round-trips, floats travel as raw
+//! IEEE-754 bits (`f64::to_bits`, the `SimReport` discipline), and every
+//! malformed document decodes to a typed [`WireError`] — never a panic —
+//! because the daemon feeds this decoder bytes that crossed a socket.
+//!
+//! The one deliberate hole: [`PolicyChoice::Min`]/[`PolicyChoice::TraceMin`]
+//! carry a recorded oracle trace that can run to millions of entries.
+//! Farm jobs never embed them — [`JobKind::Min`]/[`JobKind::IterMin`]
+//! jobs build their oracle *inside* [`crate::exec_job`] from the captured
+//! trace — so the codec rejects them at encode time with a typed error
+//! instead of shipping megabytes of oracle per frame.
+
+use maps_obs::Json;
+use maps_sim::{CacheContents, MdcConfig, MdcDesign, PartitionMode, PolicyChoice, SimConfig};
+use maps_workloads::Benchmark;
+
+use crate::host::{JobKind, SimJob};
+
+/// Why a job document could not be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but malformed; the payload says why.
+    Invalid {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The value cannot travel by design (MIN oracle traces).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Missing(field) => write!(f, "job document is missing '{field}'"),
+            WireError::Invalid { field, why } => write!(f, "job field '{field}' invalid: {why}"),
+            WireError::Unsupported(what) => write!(f, "not wire-encodable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn get<'a>(obj: &'a Json, field: &'static str) -> Result<&'a Json, WireError> {
+    obj.get(field).ok_or(WireError::Missing(field))
+}
+
+fn get_u64(obj: &Json, field: &'static str) -> Result<u64, WireError> {
+    get(obj, field)?.as_u64().ok_or(WireError::Invalid {
+        field,
+        why: "expected an unsigned integer".into(),
+    })
+}
+
+fn get_usize(obj: &Json, field: &'static str) -> Result<usize, WireError> {
+    usize::try_from(get_u64(obj, field)?).map_err(|_| WireError::Invalid {
+        field,
+        why: "does not fit in usize".into(),
+    })
+}
+
+fn get_bool(obj: &Json, field: &'static str) -> Result<bool, WireError> {
+    match get(obj, field)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(WireError::Invalid {
+            field,
+            why: "expected a boolean".into(),
+        }),
+    }
+}
+
+fn get_str<'a>(obj: &'a Json, field: &'static str) -> Result<&'a str, WireError> {
+    get(obj, field)?.as_str().ok_or(WireError::Invalid {
+        field,
+        why: "expected a string".into(),
+    })
+}
+
+/// Floats travel as raw IEEE-754 bits so text round-trips are exact.
+fn get_f64_bits(obj: &Json, field: &'static str) -> Result<f64, WireError> {
+    Ok(f64::from_bits(get_u64(obj, field)?))
+}
+
+fn f64_bits(v: f64) -> Json {
+    Json::UInt(v.to_bits())
+}
+
+fn policy_to_json(policy: &PolicyChoice) -> Result<Json, WireError> {
+    let mut fields = vec![("name".to_string(), Json::Str(policy.name().into()))];
+    match policy {
+        PolicyChoice::Random(seed) => fields.push(("seed".into(), Json::UInt(*seed))),
+        PolicyChoice::CostAware(cost) => fields.push(("cost".into(), Json::UInt(*cost))),
+        PolicyChoice::Min(_) | PolicyChoice::TraceMin(_) => {
+            return Err(WireError::Unsupported(format!(
+                "policy '{}' embeds an oracle trace; MIN points ship as JobKind::Min and \
+                 rebuild the oracle worker-side",
+                policy.name()
+            )))
+        }
+        _ => {}
+    }
+    Ok(Json::Obj(fields))
+}
+
+fn policy_from_json(doc: &Json) -> Result<PolicyChoice, WireError> {
+    let name = get_str(doc, "name")?;
+    Ok(match name {
+        "pseudo-lru" => PolicyChoice::PseudoLru,
+        "true-lru" => PolicyChoice::TrueLru,
+        "fifo" => PolicyChoice::Fifo,
+        "random" => PolicyChoice::Random(get_u64(doc, "seed")?),
+        "srrip" => PolicyChoice::Srrip,
+        "eva" => PolicyChoice::Eva,
+        "cost-aware" => PolicyChoice::CostAware(get_u64(doc, "cost")?),
+        "drrip" => PolicyChoice::Drrip,
+        "eva-per-type" => PolicyChoice::EvaPerType,
+        other => {
+            return Err(WireError::Invalid {
+                field: "cfg.mdc.policy.name",
+                why: format!("unknown or non-wire policy '{other}'"),
+            })
+        }
+    })
+}
+
+fn partition_to_json(partition: &PartitionMode) -> Json {
+    match partition {
+        PartitionMode::None => Json::Obj(vec![("mode".into(), Json::Str("none".into()))]),
+        PartitionMode::Static(p) => Json::Obj(vec![
+            ("mode".into(), Json::Str("static".into())),
+            (
+                "counter_ways".into(),
+                Json::UInt(p.counter_way_count() as u64),
+            ),
+        ]),
+        PartitionMode::Dynamic {
+            a,
+            b,
+            leaders_per_side,
+        } => Json::Obj(vec![
+            ("mode".into(), Json::Str("dynamic".into())),
+            (
+                "a_counter_ways".into(),
+                Json::UInt(a.counter_way_count() as u64),
+            ),
+            (
+                "b_counter_ways".into(),
+                Json::UInt(b.counter_way_count() as u64),
+            ),
+            (
+                "leaders_per_side".into(),
+                Json::UInt(*leaders_per_side as u64),
+            ),
+        ]),
+        PartitionMode::PerTenant { tenants } => Json::Obj(vec![
+            ("mode".into(), Json::Str("per-tenant".into())),
+            ("tenants".into(), Json::UInt(*tenants as u64)),
+        ]),
+    }
+}
+
+/// Rebuilds a [`maps_cache::Partition`] from its counter-way count; the
+/// total way count comes from the surrounding `mdc.ways`.
+fn partition_ways(
+    counter_ways: usize,
+    ways: usize,
+    field: &'static str,
+) -> Result<maps_cache::Partition, WireError> {
+    maps_cache::Partition::new(counter_ways, ways).map_err(|e| WireError::Invalid {
+        field,
+        why: e.to_string(),
+    })
+}
+
+fn partition_from_json(doc: &Json, ways: usize) -> Result<PartitionMode, WireError> {
+    Ok(match get_str(doc, "mode")? {
+        "none" => PartitionMode::None,
+        "static" => PartitionMode::Static(partition_ways(
+            get_usize(doc, "counter_ways")?,
+            ways,
+            "cfg.mdc.partition.counter_ways",
+        )?),
+        "dynamic" => PartitionMode::Dynamic {
+            a: partition_ways(
+                get_usize(doc, "a_counter_ways")?,
+                ways,
+                "cfg.mdc.partition.a_counter_ways",
+            )?,
+            b: partition_ways(
+                get_usize(doc, "b_counter_ways")?,
+                ways,
+                "cfg.mdc.partition.b_counter_ways",
+            )?,
+            leaders_per_side: get_usize(doc, "leaders_per_side")?,
+        },
+        "per-tenant" => PartitionMode::PerTenant {
+            tenants: get_usize(doc, "tenants")?,
+        },
+        other => {
+            return Err(WireError::Invalid {
+                field: "cfg.mdc.partition.mode",
+                why: format!("unknown mode '{other}'"),
+            })
+        }
+    })
+}
+
+fn design_to_json(design: &MdcDesign) -> Json {
+    match design {
+        MdcDesign::SetAssoc => Json::Obj(vec![("kind".into(), Json::Str("set-assoc".into()))]),
+        MdcDesign::Randomized { seed } => Json::Obj(vec![
+            ("kind".into(), Json::Str("randomized".into())),
+            ("seed".into(), Json::UInt(*seed)),
+        ]),
+    }
+}
+
+fn design_from_json(doc: &Json) -> Result<MdcDesign, WireError> {
+    Ok(match get_str(doc, "kind")? {
+        "set-assoc" => MdcDesign::SetAssoc,
+        "randomized" => MdcDesign::Randomized {
+            seed: get_u64(doc, "seed")?,
+        },
+        other => {
+            return Err(WireError::Invalid {
+                field: "cfg.mdc.design.kind",
+                why: format!("unknown kind '{other}'"),
+            })
+        }
+    })
+}
+
+/// Encodes a configuration losslessly (unlike the manifest encoding).
+fn config_to_json(cfg: &SimConfig) -> Result<Json, WireError> {
+    let contents = Json::Obj(vec![
+        ("counters".into(), Json::Bool(cfg.mdc.contents.counters)),
+        ("hashes".into(), Json::Bool(cfg.mdc.contents.hashes)),
+        ("tree".into(), Json::Bool(cfg.mdc.contents.tree)),
+    ]);
+    let mdc = Json::Obj(vec![
+        ("size_bytes".into(), Json::UInt(cfg.mdc.size_bytes)),
+        ("ways".into(), Json::UInt(cfg.mdc.ways as u64)),
+        ("contents".into(), contents),
+        ("policy".into(), policy_to_json(&cfg.mdc.policy)?),
+        ("partition".into(), partition_to_json(&cfg.mdc.partition)),
+        ("partial_writes".into(), Json::Bool(cfg.mdc.partial_writes)),
+        ("design".into(), design_to_json(&cfg.mdc.design)),
+    ]);
+    let counter_mode = match cfg.counter_mode {
+        maps_secure::CounterMode::SplitPi => "split-pi",
+        maps_secure::CounterMode::SgxMonolithic => "sgx-monolithic",
+    };
+    let dram = Json::Obj(vec![
+        ("latency_cycles".into(), Json::UInt(cfg.dram.latency_cycles)),
+        (
+            "energy_per_bit_pj_bits".into(),
+            f64_bits(cfg.dram.energy_per_bit_pj),
+        ),
+        (
+            "background_pj_per_cycle_bits".into(),
+            f64_bits(cfg.dram.background_pj_per_cycle),
+        ),
+    ]);
+    Ok(Json::Obj(vec![
+        ("l1_bytes".into(), Json::UInt(cfg.l1_bytes)),
+        ("l1_ways".into(), Json::UInt(cfg.l1_ways as u64)),
+        ("l2_bytes".into(), Json::UInt(cfg.l2_bytes)),
+        ("l2_ways".into(), Json::UInt(cfg.l2_ways as u64)),
+        ("llc_bytes".into(), Json::UInt(cfg.llc_bytes)),
+        ("llc_ways".into(), Json::UInt(cfg.llc_ways as u64)),
+        ("memory_bytes".into(), Json::UInt(cfg.memory_bytes)),
+        ("counter_mode".into(), Json::Str(counter_mode.into())),
+        ("mdc".into(), mdc),
+        ("dram".into(), dram),
+        ("hash_latency".into(), Json::UInt(cfg.hash_latency)),
+        ("speculation".into(), Json::Bool(cfg.speculation)),
+        (
+            "speculation_window".into(),
+            Json::UInt(cfg.speculation_window),
+        ),
+        ("secure".into(), Json::Bool(cfg.secure)),
+        ("warmup_fraction_bits".into(), f64_bits(cfg.warmup_fraction)),
+    ]))
+}
+
+fn config_from_json(doc: &Json) -> Result<SimConfig, WireError> {
+    let mdc_doc = get(doc, "mdc")?;
+    let contents_doc = get(mdc_doc, "contents")?;
+    let contents = CacheContents {
+        counters: get_bool(contents_doc, "counters")?,
+        hashes: get_bool(contents_doc, "hashes")?,
+        tree: get_bool(contents_doc, "tree")?,
+    };
+    let ways = get_usize(mdc_doc, "ways")?;
+    let mdc = MdcConfig {
+        size_bytes: get_u64(mdc_doc, "size_bytes")?,
+        ways,
+        contents,
+        policy: policy_from_json(get(mdc_doc, "policy")?)?,
+        partition: partition_from_json(get(mdc_doc, "partition")?, ways)?,
+        partial_writes: get_bool(mdc_doc, "partial_writes")?,
+        design: design_from_json(get(mdc_doc, "design")?)?,
+    };
+    let counter_mode = match get_str(doc, "counter_mode")? {
+        "split-pi" => maps_secure::CounterMode::SplitPi,
+        "sgx-monolithic" => maps_secure::CounterMode::SgxMonolithic,
+        other => {
+            return Err(WireError::Invalid {
+                field: "cfg.counter_mode",
+                why: format!("unknown mode '{other}'"),
+            })
+        }
+    };
+    let dram_doc = get(doc, "dram")?;
+    let dram = maps_mem::DramModel {
+        latency_cycles: get_u64(dram_doc, "latency_cycles")?,
+        energy_per_bit_pj: get_f64_bits(dram_doc, "energy_per_bit_pj_bits")?,
+        background_pj_per_cycle: get_f64_bits(dram_doc, "background_pj_per_cycle_bits")?,
+    };
+    Ok(SimConfig {
+        l1_bytes: get_u64(doc, "l1_bytes")?,
+        l1_ways: get_usize(doc, "l1_ways")?,
+        l2_bytes: get_u64(doc, "l2_bytes")?,
+        l2_ways: get_usize(doc, "l2_ways")?,
+        llc_bytes: get_u64(doc, "llc_bytes")?,
+        llc_ways: get_usize(doc, "llc_ways")?,
+        memory_bytes: get_u64(doc, "memory_bytes")?,
+        counter_mode,
+        mdc,
+        dram,
+        hash_latency: get_u64(doc, "hash_latency")?,
+        speculation: get_bool(doc, "speculation")?,
+        speculation_window: get_u64(doc, "speculation_window")?,
+        secure: get_bool(doc, "secure")?,
+        warmup_fraction: get_f64_bits(doc, "warmup_fraction_bits")?,
+    })
+}
+
+fn kind_to_json(kind: &JobKind) -> Json {
+    match kind {
+        JobKind::Replay => Json::Obj(vec![("tag".into(), Json::Str("replay".into()))]),
+        JobKind::Min => Json::Obj(vec![("tag".into(), Json::Str("min".into()))]),
+        JobKind::IterMin { iterations } => Json::Obj(vec![
+            ("tag".into(), Json::Str("iter-min".into())),
+            ("iterations".into(), Json::UInt(*iterations as u64)),
+        ]),
+        JobKind::Occupancy { victim_pages } => Json::Obj(vec![
+            ("tag".into(), Json::Str("occupancy".into())),
+            ("victim_pages".into(), Json::UInt(*victim_pages)),
+        ]),
+    }
+}
+
+fn kind_from_json(doc: &Json) -> Result<JobKind, WireError> {
+    Ok(match get_str(doc, "tag")? {
+        "replay" => JobKind::Replay,
+        "min" => JobKind::Min,
+        "iter-min" => JobKind::IterMin {
+            iterations: get_usize(doc, "iterations")?,
+        },
+        "occupancy" => JobKind::Occupancy {
+            victim_pages: get_u64(doc, "victim_pages")?,
+        },
+        other => {
+            return Err(WireError::Invalid {
+                field: "kind.tag",
+                why: format!("unknown tag '{other}'"),
+            })
+        }
+    })
+}
+
+/// Encodes a job for the worker wire. Lossless for every job the farm
+/// plans; [`PolicyChoice::Min`]/[`PolicyChoice::TraceMin`] configurations
+/// are rejected with [`WireError::Unsupported`].
+///
+/// # Errors
+///
+/// [`WireError::Unsupported`] for oracle-bearing policies.
+pub fn job_to_json(job: &SimJob) -> Result<Json, WireError> {
+    Ok(Json::Obj(vec![
+        ("key".into(), Json::Str(job.key.clone())),
+        ("bench".into(), Json::Str(job.bench.name().into())),
+        ("seed".into(), Json::UInt(job.seed)),
+        ("accesses".into(), Json::UInt(job.accesses)),
+        ("kind".into(), kind_to_json(&job.kind)),
+        ("cfg".into(), config_to_json(&job.cfg)?),
+    ]))
+}
+
+/// Decodes a job from the worker wire. Total: every malformed document —
+/// wrong types, missing fields, unknown names, invalid partitions — is a
+/// typed [`WireError`], never a panic.
+///
+/// # Errors
+///
+/// See [`WireError`].
+pub fn job_from_json(doc: &Json) -> Result<SimJob, WireError> {
+    let bench_name = get_str(doc, "bench")?;
+    let bench = Benchmark::from_name(bench_name).ok_or_else(|| WireError::Invalid {
+        field: "bench",
+        why: format!("unknown benchmark '{bench_name}'"),
+    })?;
+    Ok(SimJob {
+        key: get_str(doc, "key")?.to_string(),
+        cfg: config_from_json(get(doc, "cfg")?)?,
+        bench,
+        seed: get_u64(doc, "seed")?,
+        accesses: get_u64(doc, "accesses")?,
+        kind: kind_from_json(get(doc, "kind")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maps_cache::Partition;
+
+    fn exotic_config() -> SimConfig {
+        let mut cfg = SimConfig::paper_default();
+        cfg.mdc = cfg
+            .mdc
+            .with_policy(PolicyChoice::Random(0xDEAD_BEEF))
+            .with_partition(PartitionMode::Dynamic {
+                a: Partition::new(2, 8).unwrap(),
+                b: Partition::new(6, 8).unwrap(),
+                leaders_per_side: 4,
+            })
+            .with_design(MdcDesign::Randomized { seed: 77 });
+        cfg.mdc.partial_writes = true;
+        cfg.counter_mode = maps_secure::CounterMode::SgxMonolithic;
+        cfg.dram.energy_per_bit_pj = 151.25;
+        cfg.warmup_fraction = 0.137;
+        cfg.speculation_window = u64::MAX;
+        cfg
+    }
+
+    fn round_trip(job: &SimJob) -> SimJob {
+        // Through *text*, not just the Json tree: the wire carries bytes.
+        let text = job_to_json(job).expect("encodable").to_pretty();
+        job_from_json(&Json::parse(&text).expect("parses")).expect("decodable")
+    }
+
+    #[test]
+    fn exotic_job_round_trips_exactly() {
+        let job = SimJob {
+            key: "llc=2097152/mdc=65536".into(),
+            cfg: exotic_config(),
+            bench: Benchmark::Mcf,
+            seed: crate::SEED ^ 3,
+            accesses: 123_456,
+            kind: JobKind::Occupancy { victim_pages: 640 },
+        };
+        let back = round_trip(&job);
+        assert_eq!(back.key, job.key);
+        assert_eq!(back.cfg, job.cfg);
+        assert_eq!(back.bench, job.bench);
+        assert_eq!(back.seed, job.seed);
+        assert_eq!(back.accesses, job.accesses);
+        assert_eq!(back.kind.tag(), job.kind.tag());
+        // Same identity string ⇒ same point fingerprint ⇒ same checkpoint
+        // slot on both sides of the wire.
+        assert_eq!(back.identity(), job.identity());
+    }
+
+    #[test]
+    fn every_job_kind_round_trips() {
+        for kind in [
+            JobKind::Replay,
+            JobKind::Min,
+            JobKind::IterMin { iterations: 5 },
+            JobKind::Occupancy { victim_pages: 64 },
+        ] {
+            let job = SimJob {
+                key: format!("kind-{}", kind.tag()),
+                cfg: SimConfig::paper_default(),
+                bench: Benchmark::Gups,
+                seed: 1,
+                accesses: 100,
+                kind,
+            };
+            assert_eq!(round_trip(&job).identity(), job.identity());
+        }
+    }
+
+    #[test]
+    fn oracle_policies_are_rejected_at_encode() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.mdc = cfg.mdc.with_policy(PolicyChoice::Min(vec![1, 2, 3]));
+        let job = SimJob::replay("min", cfg, Benchmark::Gups, 100);
+        assert!(matches!(job_to_json(&job), Err(WireError::Unsupported(_))));
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        let job = SimJob::replay("ok", SimConfig::paper_default(), Benchmark::Gups, 100);
+        let good = job_to_json(&job).unwrap();
+
+        assert_eq!(
+            job_from_json(&Json::Null).unwrap_err(),
+            WireError::Missing("bench")
+        );
+
+        // Wrong type in a scalar field.
+        let mut doc = good.clone();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "seed" {
+                    *v = Json::Str("not a number".into());
+                }
+            }
+        }
+        assert!(matches!(
+            job_from_json(&doc),
+            Err(WireError::Invalid { field: "seed", .. })
+        ));
+
+        // Unknown benchmark.
+        let mut doc = good.clone();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "bench" {
+                    *v = Json::Str("quake4".into());
+                }
+            }
+        }
+        assert!(matches!(
+            job_from_json(&doc),
+            Err(WireError::Invalid { field: "bench", .. })
+        ));
+    }
+
+    #[test]
+    fn floats_survive_the_text_round_trip_bit_exactly() {
+        let mut cfg = SimConfig::paper_default();
+        cfg.warmup_fraction = 0.1f64.next_up();
+        let job = SimJob::replay("f", cfg.clone(), Benchmark::Gups, 10);
+        let back = round_trip(&job);
+        assert_eq!(
+            back.cfg.warmup_fraction.to_bits(),
+            cfg.warmup_fraction.to_bits()
+        );
+    }
+}

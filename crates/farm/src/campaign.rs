@@ -22,6 +22,7 @@ use maps_obs::{fingerprint64, Json};
 use maps_trace::DetHashSet;
 
 use crate::fingerprint::{git_rev, point_fingerprint};
+use crate::supervision::Supervision;
 use crate::FarmError;
 
 /// Current campaign document schema version. Bump on any breaking field
@@ -261,6 +262,8 @@ pub struct CampaignDoc {
     pub total_jobs: u64,
     /// Distinct front-end capture keys.
     pub capture_keys: u64,
+    /// Daemon supervision counters, when a `maps-farmd` run wrote them.
+    pub supervision: Option<Supervision>,
 }
 
 /// Loads and validates a campaign document.
@@ -389,6 +392,7 @@ pub fn load_campaign(path: &Path) -> Result<CampaignDoc, FarmError> {
         points,
         total_jobs,
         capture_keys,
+        supervision: doc.get("supervision").and_then(Supervision::from_json),
     })
 }
 

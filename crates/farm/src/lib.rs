@@ -32,21 +32,31 @@
 //! `MAPS_DETERMINISTIC=1` — pinned by the farm e2e suite.
 
 pub mod campaign;
+pub mod client;
+pub mod daemon;
 pub mod fingerprint;
 pub mod host;
+pub mod proto;
 pub mod queue;
 pub mod run;
 pub mod status;
+pub mod supervision;
+pub mod worker;
 
 pub use campaign::{
     load_campaign, plan_campaign, CampaignDoc, CampaignPlan, PlannedFigure, PlannedPoint,
     CAMPAIGN_SCHEMA_VERSION,
 };
+pub use client::StreamOutcome;
+pub use daemon::{serve, DaemonConfig};
 pub use fingerprint::{git_rev, point_fingerprint};
 pub use host::FarmHost;
+pub use proto::{Frame, FrameReader, ProtoError, PROTO_VERSION};
 pub use queue::{Farm, FarmStats};
 pub use run::{run_campaign, write_plan, RunSummary};
 pub use status::{campaign_status, CampaignStatus};
+pub use supervision::Supervision;
+pub use worker::run_worker;
 
 /// Why a farm operation failed. Every fallible path in the crate returns
 /// this instead of panicking (PANIC-001): bad CLI usage, unreadable or

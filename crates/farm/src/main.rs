@@ -14,6 +14,18 @@
 //!   status --dir <path> [--watch]
 //!          Report progress from the campaign directory; --watch polls
 //!          until every figure completes.
+//!   submit --socket <path> --dir <path> [--figures a,b,c | --all]
+//!          [--campaign name] [--accesses N] [--workers N]
+//!          Hand the campaign to a running maps-farmd and follow its
+//!          event stream; the campaign keeps running if this client
+//!          disconnects.
+//!   attach --socket <path> [--campaign name] [--since N]
+//!          (Re-)join a detached campaign's event stream from sequence
+//!          number N (default: from the start), reconnecting across
+//!          connection loss without losing events.
+//!   status --socket <path> [--campaign name]
+//!          Ask the daemon for a live status snapshot instead of reading
+//!          the directory.
 //! ```
 //!
 //! With no `--figures`, both `plan` and `run` cover every registered
@@ -25,8 +37,9 @@ use std::process::ExitCode;
 use maps_bench::figures::{figure, FigureDef, FIGURES};
 use maps_farm::{campaign_status, run_campaign, write_plan, FarmError};
 
-const USAGE: &str = "maps-farm <plan|run|status> --dir <path> \
-[--figures a,b,c | --all] [--workers N] [--check] [--watch]";
+const USAGE: &str = "maps-farm <plan|run|status|submit|attach> --dir <path> \
+[--figures a,b,c | --all] [--workers N] [--check] [--watch] \
+[--socket <path>] [--campaign name] [--accesses N] [--since N]";
 
 /// Default worker count: one per available core, as `parallel_map` uses.
 fn default_workers() -> usize {
@@ -107,6 +120,16 @@ fn campaign_dir(args: &mut Args) -> Result<PathBuf, FarmError> {
         .ok_or_else(|| FarmError::Usage("--dir <path> is required".to_string()))
 }
 
+fn daemon_socket(args: &mut Args) -> Result<PathBuf, FarmError> {
+    args.value("--socket")?
+        .map(PathBuf::from)
+        .ok_or_else(|| FarmError::Usage("--socket <path> is required".to_string()))
+}
+
+fn default_campaign() -> String {
+    "campaign".to_string()
+}
+
 fn run() -> Result<(), FarmError> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -155,6 +178,17 @@ fn run() -> Result<(), FarmError> {
             Ok(())
         }
         "status" => {
+            if let Some(socket) = args.value("--socket")? {
+                let campaign = args.value("--campaign")?.unwrap_or_else(default_campaign);
+                args.reject_unknown()?;
+                let outcome = maps_farm::client::status(&PathBuf::from(socket), &campaign)?;
+                print!("{}", outcome.message);
+                return if outcome.ok {
+                    Ok(())
+                } else {
+                    Err(FarmError::Figure(outcome.message))
+                };
+            }
             let dir = campaign_dir(&mut args)?;
             let watch = args.flag("--watch");
             args.reject_unknown()?;
@@ -165,6 +199,56 @@ fn run() -> Result<(), FarmError> {
                     return Ok(());
                 }
                 std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        }
+        "submit" => {
+            let socket = daemon_socket(&mut args)?;
+            let dir = campaign_dir(&mut args)?;
+            let campaign = args.value("--campaign")?.unwrap_or_else(default_campaign);
+            // Figure selection is validated daemon-side too; resolving
+            // here gives bad names a usage error before any connection.
+            let figures: Vec<String> = select_figures(&mut args)?
+                .iter()
+                .map(|def| def.name.to_string())
+                .collect();
+            let accesses = match args.value("--accesses")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| FarmError::Usage(format!("bad --accesses {v}")))?,
+                None => 0,
+            };
+            let workers = match args.value("--workers")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| FarmError::Usage(format!("bad --workers {v}")))?,
+                None => 0,
+            };
+            args.reject_unknown()?;
+            let outcome =
+                maps_farm::client::submit(&socket, &campaign, &dir, &figures, accesses, workers)?;
+            println!("{}", outcome.message);
+            if outcome.ok {
+                Ok(())
+            } else {
+                Err(FarmError::Figure(outcome.message))
+            }
+        }
+        "attach" => {
+            let socket = daemon_socket(&mut args)?;
+            let campaign = args.value("--campaign")?.unwrap_or_else(default_campaign);
+            let since = match args.value("--since")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| FarmError::Usage(format!("bad --since {v}")))?,
+                None => 0,
+            };
+            args.reject_unknown()?;
+            let outcome = maps_farm::client::attach(&socket, &campaign, since)?;
+            println!("{}", outcome.message);
+            if outcome.ok {
+                Ok(())
+            } else {
+                Err(FarmError::Figure(outcome.message))
             }
         }
         other => Err(FarmError::Usage(format!("unknown command {other:?}"))),

@@ -24,7 +24,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
 
-use maps_bench::SimJob;
+use maps_bench::{RetryPolicy, SimJob};
 use maps_obs::Checkpoint;
 use maps_sim::SimReport;
 use maps_trace::DetHashMap;
@@ -54,13 +54,16 @@ pub struct FarmStats {
     pub restored: u64,
     /// Submissions that mapped onto an already-known fingerprint.
     pub deduplicated: u64,
-    /// Points that panicked past their retry budget.
+    /// Points that failed past their retry budget (quarantined).
     pub failed: u64,
+    /// Failed attempts that were retried under the backoff policy.
+    pub retries: u64,
 }
 
 struct FarmInner {
     states: DetHashMap<u64, PointState>,
     queue: VecDeque<(u64, SimJob)>,
+    attempts: DetHashMap<u64, u32>,
     ckpt: Checkpoint,
     stats: FarmStats,
     new_points: u64,
@@ -76,7 +79,7 @@ pub struct Farm {
     done: Condvar,
     ckpt_path: PathBuf,
     crash_after: Option<u64>,
-    retries: u32,
+    policy: RetryPolicy,
 }
 
 /// `MAPS_CRASH_AFTER_POINTS`: exit(42) after this many newly computed
@@ -85,14 +88,6 @@ fn crash_after_points() -> Option<u64> {
     std::env::var("MAPS_CRASH_AFTER_POINTS")
         .ok()
         .and_then(|v| v.parse().ok())
-}
-
-/// `MAPS_POINT_RETRIES`: bounded retries for a panicking point.
-fn point_retries() -> u32 {
-    std::env::var("MAPS_POINT_RETRIES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
 }
 
 /// Checkpoint slot for a fingerprint.
@@ -148,6 +143,7 @@ impl Farm {
             inner: Mutex::new(FarmInner {
                 states: DetHashMap::default(),
                 queue: VecDeque::new(),
+                attempts: DetHashMap::default(),
                 ckpt,
                 stats: FarmStats::default(),
                 new_points: 0,
@@ -157,8 +153,14 @@ impl Farm {
             done: Condvar::new(),
             ckpt_path,
             crash_after: crash_after_points(),
-            retries: point_retries(),
+            policy: RetryPolicy::from_env(maps_bench::SEED),
         }
+    }
+
+    /// The retry schedule governing this farm's points (shared with the
+    /// daemon's requeue path).
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     /// Submits jobs for execution, returning their fingerprints in job
@@ -260,80 +262,155 @@ impl Farm {
         self.wait(&fps)
     }
 
+    /// Blocks until a point is available (returning it claimed as
+    /// `Running`) or the farm is closed and drained (`None`). This is the
+    /// claim half of the external-executor interface: `maps-farmd` pulls
+    /// jobs here and resolves them with [`Farm::complete`] /
+    /// [`Farm::fail_attempt`] / [`Farm::requeue`] after running them in a
+    /// worker *process*; the in-process [`Farm::worker_loop`] composes the
+    /// same four primitives.
+    pub fn next_job(&self) -> Option<(u64, SimJob)> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                inner.states.insert(item.0, PointState::Running);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.work.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Resolves a claimed point: checkpoints the report atomically, *then*
+    /// publishes it and wakes waiters — a kill between the two re-runs
+    /// nothing on resume.
+    pub fn complete(&self, fingerprint: u64, key: &str, report: SimReport) {
+        let mut inner = self.lock();
+        inner.ckpt.insert(&ckpt_key(fingerprint), report.to_json());
+        if let Err(e) = inner.ckpt.save(&self.ckpt_path) {
+            eprintln!(
+                "[farm] checkpoint write failed ({}): {e}",
+                self.ckpt_path.display()
+            );
+        }
+        inner.stats.computed += 1;
+        inner.new_points += 1;
+        if self.crash_after == Some(inner.new_points) {
+            // Fault-injection hook: die right after the checkpoint hit
+            // disk, the worst moment short of mid-write (covered by the
+            // atomic rename).
+            eprintln!(
+                "[farm] MAPS_CRASH_AFTER_POINTS={} reached; crashing",
+                inner.new_points
+            );
+            std::process::exit(42);
+        }
+        let done = inner.stats.computed + inner.stats.restored;
+        let known = inner.states.len();
+        eprintln!("[farm] {done}/{known} {key}");
+        inner
+            .states
+            .insert(fingerprint, PointState::Done(Box::new(report)));
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Records a failed attempt on a claimed point. Within the retry
+    /// budget the point stays claimed and the attempt number is returned —
+    /// the caller backs off ([`RetryPolicy::back_off`]) and then
+    /// [`Farm::requeue`]s it. Past the budget the point is quarantined as
+    /// `Failed` (waiters get a typed error, the campaign continues) and
+    /// `None` is returned.
+    pub fn fail_attempt(&self, fingerprint: u64, key: &str, msg: &str) -> Option<u32> {
+        let mut inner = self.lock();
+        let attempts = inner.attempts.entry(fingerprint).or_insert(0);
+        *attempts += 1;
+        let attempt = *attempts;
+        if self.policy.allows(attempt) {
+            inner.stats.retries += 1;
+            eprintln!(
+                "[farm] point '{key}' failed (attempt {attempt}/{}); will retry: {msg}",
+                self.policy.budget() + 1
+            );
+            Some(attempt)
+        } else {
+            eprintln!("[farm] point '{key}' quarantined after {attempt} attempts: {msg}");
+            inner.stats.failed += 1;
+            inner
+                .states
+                .insert(fingerprint, PointState::Failed(msg.to_string()));
+            drop(inner);
+            self.done.notify_all();
+            None
+        }
+    }
+
+    /// Returns a claimed point to the queue (after a retryable failure).
+    pub fn requeue(&self, fingerprint: u64, job: SimJob) {
+        let mut inner = self.lock();
+        inner.states.insert(fingerprint, PointState::Queued);
+        inner.queue.push_back((fingerprint, job));
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Quarantines every still-queued point with `msg` and wakes waiters.
+    /// The daemon's last resort when its whole worker pool has degraded
+    /// away: figure drivers get a typed failure instead of a deadlock.
+    pub fn fail_pending(&self, msg: &str) {
+        let mut inner = self.lock();
+        while let Some((fp, job)) = inner.queue.pop_front() {
+            eprintln!("[farm] point '{}' abandoned: {msg}", job.key);
+            inner.stats.failed += 1;
+            inner.states.insert(fp, PointState::Failed(msg.to_string()));
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Every quarantined point as `(fingerprint, attempts, error)`, sorted
+    /// by fingerprint — the daemon's failure report reads this after the
+    /// campaign settles.
+    pub fn failures(&self) -> Vec<(u64, u32, String)> {
+        let inner = self.lock();
+        let mut out: Vec<(u64, u32, String)> = inner
+            .states
+            .iter()
+            .filter_map(|(fp, state)| match state {
+                PointState::Failed(msg) => Some((
+                    *fp,
+                    inner.attempts.get(fp).copied().unwrap_or(0),
+                    msg.clone(),
+                )),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|(fp, _, _)| *fp);
+        out
+    }
+
     /// Drains the queue until the farm is closed and empty. Run this from
     /// each worker thread; `exec` does the actual simulation (injectable
-    /// so the scheduler is testable without a simulator).
+    /// so the scheduler is testable without a simulator). Panicking points
+    /// retry under the shared seeded-backoff [`RetryPolicy`] and are
+    /// quarantined when the budget runs out.
     pub fn worker_loop<F>(&self, exec: &F)
     where
         F: Fn(&SimJob) -> SimReport,
     {
-        loop {
-            let (fp, job) = {
-                let mut inner = self.lock();
-                loop {
-                    if let Some(item) = inner.queue.pop_front() {
-                        inner.states.insert(item.0, PointState::Running);
-                        break item;
+        while let Some((fp, job)) = self.next_job() {
+            match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
+                Ok(report) => self.complete(fp, &job.key, report),
+                Err(payload) => {
+                    let msg = panic_text(payload);
+                    if let Some(attempt) = self.fail_attempt(fp, &job.key, &msg) {
+                        self.policy.back_off(&job.key, attempt);
+                        self.requeue(fp, job);
                     }
-                    if inner.closed {
-                        return;
-                    }
-                    inner = self.work.wait(inner).unwrap_or_else(|p| p.into_inner());
-                }
-            };
-
-            let mut attempt = 0u32;
-            let outcome = loop {
-                match catch_unwind(AssertUnwindSafe(|| exec(&job))) {
-                    Ok(report) => break Ok(report),
-                    Err(payload) => {
-                        if attempt >= self.retries {
-                            break Err(panic_text(payload));
-                        }
-                        attempt += 1;
-                        eprintln!(
-                            "[farm] point '{}' panicked; retry {attempt}/{}",
-                            job.key, self.retries
-                        );
-                    }
-                }
-            };
-
-            let mut inner = self.lock();
-            match outcome {
-                Ok(report) => {
-                    inner.ckpt.insert(&ckpt_key(fp), report.to_json());
-                    if let Err(e) = inner.ckpt.save(&self.ckpt_path) {
-                        eprintln!(
-                            "[farm] checkpoint write failed ({}): {e}",
-                            self.ckpt_path.display()
-                        );
-                    }
-                    inner.stats.computed += 1;
-                    inner.new_points += 1;
-                    if self.crash_after == Some(inner.new_points) {
-                        // Fault-injection hook: die right after the
-                        // checkpoint hit disk, the worst moment short of
-                        // mid-write (covered by the atomic rename).
-                        eprintln!(
-                            "[farm] MAPS_CRASH_AFTER_POINTS={} reached; crashing",
-                            inner.new_points
-                        );
-                        std::process::exit(42);
-                    }
-                    let done = inner.stats.computed + inner.stats.restored;
-                    let known = inner.states.len();
-                    eprintln!("[farm] {done}/{known} {}", job.key);
-                    inner.states.insert(fp, PointState::Done(Box::new(report)));
-                }
-                Err(msg) => {
-                    eprintln!("[farm] point '{}' failed: {msg}", job.key);
-                    inner.stats.failed += 1;
-                    inner.states.insert(fp, PointState::Failed(msg));
                 }
             }
-            drop(inner);
-            self.done.notify_all();
         }
     }
 

@@ -76,6 +76,17 @@ impl CampaignStatus {
                 }
             }
         }
+        if let Some(sup) = &self.doc.supervision {
+            out.push_str(&format!(
+                "supervision: {} worker respawns, {} retries, {} quarantined, \
+                 {} heartbeat misses, {} client reconnects\n",
+                sup.respawns,
+                sup.retries,
+                sup.quarantined,
+                sup.heartbeat_misses,
+                sup.client_reconnects,
+            ));
+        }
         out
     }
 }

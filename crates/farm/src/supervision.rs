@@ -1,0 +1,81 @@
+//! Supervision counters: how much crash-isolation machinery fired.
+//!
+//! A `maps-farmd` campaign appends this block to `campaign.json` when it
+//! settles, and `maps-farm status` renders it. The block is advisory —
+//! absent for in-process (`maps-farm run`) campaigns and ignored when
+//! malformed — but its field set is drift-guarded by SCHEMA-001.
+
+use maps_obs::Json;
+
+/// Counters a daemon run exports into `campaign.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Supervision {
+    /// Worker processes killed and replaced (death, torn frame, stall).
+    pub respawns: u64,
+    /// Failed point attempts retried under the backoff policy.
+    pub retries: u64,
+    /// Points quarantined past their retry budget (see `failures.json`).
+    pub quarantined: u64,
+    /// Heartbeat deadlines that expired on a claimed point.
+    pub heartbeat_misses: u64,
+    /// Clients that re-attached to the live event stream.
+    pub client_reconnects: u64,
+}
+
+impl Supervision {
+    /// Encodes the counter block.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("respawns".to_string(), Json::UInt(self.respawns)),
+            ("retries".to_string(), Json::UInt(self.retries)),
+            ("quarantined".to_string(), Json::UInt(self.quarantined)),
+            (
+                "heartbeat_misses".to_string(),
+                Json::UInt(self.heartbeat_misses),
+            ),
+            (
+                "client_reconnects".to_string(),
+                Json::UInt(self.client_reconnects),
+            ),
+        ])
+    }
+
+    /// Decodes a counter block; `None` for anything mistyped (the block
+    /// is advisory — a malformed one is ignored, not fatal).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        Some(Supervision {
+            respawns: doc.get("respawns")?.as_u64()?,
+            retries: doc.get("retries")?.as_u64()?,
+            quarantined: doc.get("quarantined")?.as_u64()?,
+            heartbeat_misses: doc.get("heartbeat_misses")?.as_u64()?,
+            client_reconnects: doc.get("client_reconnects")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_and_reject_mistyped_blocks() {
+        let sup = Supervision {
+            respawns: 3,
+            retries: 7,
+            quarantined: 1,
+            heartbeat_misses: 2,
+            client_reconnects: 4,
+        };
+        assert_eq!(Supervision::from_json(&sup.to_json()), Some(sup));
+        assert_eq!(Supervision::from_json(&Json::Null), None);
+        let Json::Obj(mut fields) = sup.to_json() else {
+            panic!("supervision encodes as an object");
+        };
+        fields.retain(|(k, _)| k != "retries");
+        assert_eq!(
+            Supervision::from_json(&Json::Obj(fields)),
+            None,
+            "a dropped counter is a decode miss, not a default"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The `maps-farmd --worker` process loop.
+//!
+//! A worker is one crash-isolated executor: it reads [`Frame::Job`]s off
+//! stdin, runs them through [`maps_bench::exec_job`], and answers with
+//! [`Frame::JobResult`] (or [`Frame::JobError`] when the simulation
+//! panicked — the point failed but the process is still healthy). While a
+//! job runs, a background thread shares the stdout lock to emit
+//! [`Frame::Heartbeat`]s, so the supervising daemon can tell a slow
+//! simulation from a wedged process and SIGKILL only the latter.
+//!
+//! Fault hooks (for the inject plane and the e2e suite; all read once at
+//! startup). Positions are matched against the supervisor-assigned
+//! per-slot job sequence (the low 32 bits of the job id), which is
+//! monotonic *across* respawns — every fault is process-terminal, so a
+//! per-process count could only ever reach the smallest threshold. With
+//! sequence positions, one campaign can be made to hit several distinct
+//! fault classes per worker slot, each exactly once:
+//!
+//! * `MAPS_FARMD_FAULT_KILL_AT=k` — SIGKILL itself before the job with
+//!   slot sequence k (an uncatchable death mid-protocol; the daemon sees
+//!   a dead pipe).
+//! * `MAPS_FARMD_FAULT_STALL_AT=k` — stop heartbeating and sleep forever
+//!   at slot sequence k (the daemon's heartbeat deadline must fire).
+//! * `MAPS_FARMD_FAULT_TORN_AT=k` — write half a frame instead of the
+//!   result for slot sequence k, then die (the daemon's frame decoder
+//!   must return a typed error, never tear its own state).
+//! * `MAPS_FARMD_FAULT_PANIC_KEY=s` — answer `JobError` for every job
+//!   whose key contains `s` (drives a point past its retry budget into
+//!   quarantine while the rest of the campaign completes).
+
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::proto::{send, Frame, FrameReader};
+use crate::queue::panic_text;
+
+/// How often a busy worker proves it is alive.
+fn heartbeat_interval() -> Duration {
+    let ms = std::env::var("MAPS_FARMD_HEARTBEAT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn fault_at(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Locks shared stdout and writes one frame; `false` means the daemon is
+/// gone and the worker should exit.
+fn send_locked(out: &Mutex<std::io::Stdout>, frame: &Frame) -> bool {
+    let mut stdout = out.lock().unwrap_or_else(|p| p.into_inner());
+    send(&mut *stdout, frame).is_ok()
+}
+
+/// Runs the worker loop over stdin/stdout until the daemon closes the
+/// pipe or sends [`Frame::Exit`]. Returns the process exit code.
+pub fn run_worker() -> u8 {
+    let kill_at = fault_at("MAPS_FARMD_FAULT_KILL_AT");
+    let stall_at = fault_at("MAPS_FARMD_FAULT_STALL_AT");
+    let torn_at = fault_at("MAPS_FARMD_FAULT_TORN_AT");
+    let panic_key = std::env::var("MAPS_FARMD_FAULT_PANIC_KEY").ok();
+
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let mut reader = FrameReader::new(std::io::stdin());
+
+    loop {
+        let frame = match reader.next_frame() {
+            Ok(Some(frame)) => frame,
+            // Clean EOF: the daemon exited or dropped this worker.
+            Ok(None) => return 0,
+            Err(e) => {
+                eprintln!(
+                    "[worker {}] protocol error on stdin: {e}",
+                    std::process::id()
+                );
+                return 3;
+            }
+        };
+        let (id, job) = match frame {
+            Frame::Job { id, job } => (id, job),
+            Frame::Exit => return 0,
+            other => {
+                eprintln!(
+                    "[worker {}] ignoring unexpected frame {other:?}",
+                    std::process::id()
+                );
+                continue;
+            }
+        };
+        // The supervisor's per-slot job sequence: survives respawns, so
+        // distinct fault positions land in distinct worker lives.
+        let seq = id & 0xffff_ffff;
+
+        if kill_at == Some(seq) {
+            kill_self_hard();
+        }
+        if stall_at == Some(seq) {
+            // Wedge silently: no heartbeats, no result, no exit.
+            eprintln!("[worker {}] injected stall", std::process::id());
+            loop {
+                std::thread::sleep(Duration::from_secs(60));
+            }
+        }
+        if let Some(key) = panic_key.as_deref() {
+            if job.key.contains(key) {
+                let sent = send_locked(
+                    &out,
+                    &Frame::JobError {
+                        id,
+                        message: format!("injected fault: poisoned point '{}'", job.key),
+                    },
+                );
+                if !sent {
+                    return 0;
+                }
+                continue;
+            }
+        }
+
+        let outcome = with_heartbeats(&out, id, || {
+            catch_unwind(AssertUnwindSafe(|| maps_bench::exec_job(&job)))
+        });
+
+        if torn_at == Some(seq) {
+            // Half a frame: magic plus a length that promises far more
+            // payload than follows, then death mid-write.
+            let mut stdout = out.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = stdout.write_all(&maps_obs::FRAME_MAGIC);
+            let _ = stdout.write_all(&4096u32.to_le_bytes());
+            let _ = stdout.write_all(b"{\"to");
+            let _ = stdout.flush();
+            eprintln!("[worker {}] injected torn frame", std::process::id());
+            return 7;
+        }
+
+        let reply = match outcome {
+            Ok(report) => Frame::JobResult {
+                id,
+                report: Box::new(report),
+            },
+            Err(payload) => Frame::JobError {
+                id,
+                message: panic_text(payload),
+            },
+        };
+        if !send_locked(&out, &reply) {
+            return 0;
+        }
+    }
+}
+
+/// Runs `body` while a background thread heartbeats `id` on the shared
+/// stdout, stopping the heartbeats before returning.
+fn with_heartbeats<R>(out: &Arc<Mutex<std::io::Stdout>>, id: u64, body: impl FnOnce() -> R) -> R {
+    let (stop_tx, stop_rx) = channel::<()>();
+    let beat_out = Arc::clone(out);
+    let interval = heartbeat_interval();
+    let beats = std::thread::spawn(move || loop {
+        match stop_rx.recv_timeout(interval) {
+            // The job finished (or the sender was dropped): stop beating.
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                if !send_locked(&beat_out, &Frame::Heartbeat { id }) {
+                    return;
+                }
+            }
+        }
+    });
+    let result = body();
+    let _ = stop_tx.send(());
+    let _ = beats.join();
+    result
+}
+
+/// Delivers a real SIGKILL to this process (uncatchable, mid-anything),
+/// falling back to an abort if no `kill` binary exists.
+fn kill_self_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // SIGKILL delivery can race past the status() return; make sure we
+    // never continue into the protocol half-dead.
+    std::process::abort();
+}

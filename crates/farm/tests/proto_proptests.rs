@@ -1,0 +1,263 @@
+//! Wire-protocol properties for the `maps-farmd` frame codec.
+//!
+//! * Every frame type round-trips bit-exactly through encode → decode →
+//!   re-encode (byte equality of the two encodings).
+//! * Every strict prefix of a valid frame is a *typed* error (or a clean
+//!   end-of-stream at offset 0) — never a panic, never a bogus frame.
+//! * Garbage bytes, oversized length prefixes, and trailing garbage after
+//!   a valid frame all decode to typed errors.
+//!
+//! These run ungated (no `heavy-tests` feature): the codec never touches
+//! the simulator, so the whole suite is milliseconds.
+
+use maps_bench::{PlanHost, SimJob};
+use maps_farm::proto::send;
+use maps_farm::{Frame, FrameReader, ProtoError};
+use maps_obs::{FrameError, FRAME_MAGIC, MAX_FRAME_BYTES};
+use maps_sim::SimConfig;
+use maps_workloads::Benchmark;
+use proptest::prelude::*;
+
+/// Number of [`Frame`] variants [`frame_of`] can construct. Keep in lock
+/// step with the `match` inside `frame_of` and with the codec itself.
+const FRAME_VARIANTS: u64 = 12;
+
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    send(&mut buf, frame).expect("frame encodes");
+    buf
+}
+
+fn decode_one(bytes: &[u8]) -> Result<Option<Frame>, ProtoError> {
+    FrameReader::new(bytes).next_frame()
+}
+
+/// Deterministic printable-ASCII string derived from `seed` — the range
+/// 0x20..=0x7e includes `"` and `\`, stressing the JSON string escaping
+/// underneath the codec.
+fn text(mut seed: u64, len: usize) -> String {
+    let mut out = String::with_capacity(len);
+    for _ in 0..len {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push(char::from(0x20 + ((seed >> 33) % 95) as u8));
+    }
+    out
+}
+
+fn job_of(seed: u64, len: usize) -> SimJob {
+    let cfg = SimConfig::paper_default();
+    let shift = seed % 3;
+    let bench = Benchmark::ALL[(seed >> 8) as usize % Benchmark::ALL.len()];
+    SimJob::replay(
+        text(seed ^ 0xA5A5, 1 + len % 24),
+        cfg.with_llc_bytes(cfg.llc_bytes >> shift),
+        bench,
+        1 + (seed >> 16) % 10_000,
+    )
+}
+
+/// Constructs one of the [`FRAME_VARIANTS`] frame shapes, with all string
+/// and numeric payloads derived deterministically from `seed`/`len`.
+fn frame_of(variant: u64, seed: u64, len: usize) -> Frame {
+    match variant % FRAME_VARIANTS {
+        0 => Frame::Submit {
+            campaign: text(seed, len),
+            dir: text(seed ^ 1, len),
+            figures: (0..len % 4).map(|i| text(seed ^ (i as u64), 4)).collect(),
+            accesses: seed.rotate_left(7),
+            workers: seed.rotate_left(13),
+        },
+        1 => Frame::Attach {
+            campaign: text(seed, len),
+            since: seed.rotate_left(21),
+        },
+        2 => Frame::Status {
+            campaign: text(seed, len),
+        },
+        3 => Frame::Accepted {
+            campaign: text(seed, len),
+            resumed: seed & 1 == 1,
+        },
+        4 => Frame::Event {
+            seq: seed.rotate_left(3),
+            what: text(seed ^ 2, len),
+            detail: text(seed ^ 3, len),
+        },
+        5 => Frame::Done {
+            ok: seed & 1 == 0,
+            message: text(seed, len),
+        },
+        6 => Frame::Reject {
+            message: text(seed, len),
+        },
+        7 => Frame::Job {
+            id: seed,
+            job: Box::new(job_of(seed, len)),
+        },
+        8 => {
+            let mut report = PlanHost::placeholder_report();
+            report.workload = text(seed, len);
+            report.cycles = seed.rotate_left(31);
+            Frame::JobResult {
+                id: seed,
+                report: Box::new(report),
+            }
+        }
+        9 => Frame::JobError {
+            id: seed,
+            message: text(seed, len),
+        },
+        10 => Frame::Heartbeat { id: seed },
+        _ => Frame::Exit,
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_frame_round_trips_bit_exactly(
+        spec in (0u64..FRAME_VARIANTS, any::<u64>(), 0usize..32),
+    ) {
+        let (variant, seed, len) = spec;
+        let frame = frame_of(variant, seed, len);
+        let first = encode(&frame);
+        let decoded = decode_one(&first)
+            .expect("valid frame decodes")
+            .expect("one frame present");
+        prop_assert_eq!(&encode(&decoded), &first, "re-encoding drifted");
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error(
+        spec in (0u64..FRAME_VARIANTS, any::<u64>(), 0usize..32, any::<u64>()),
+    ) {
+        let (variant, seed, len, cut_pick) = spec;
+        let full = encode(&frame_of(variant, seed, len));
+        // 0..len: always a strict prefix (every frame is at least 8 bytes).
+        let cut = (cut_pick % full.len() as u64) as usize;
+        match decode_one(&full[..cut]) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Err(ProtoError::Frame(_)) => {}
+            other => prop_assert!(false, "prefix of {cut} bytes gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_decode_to_a_frame(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let starts_with_magic = bytes.len() >= 4 && bytes[..4] == FRAME_MAGIC;
+        match decode_one(&bytes) {
+            Ok(Some(_)) => prop_assert!(
+                starts_with_magic,
+                "random bytes without the magic decoded to a frame"
+            ),
+            Ok(None) => prop_assert!(bytes.is_empty()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation(
+        spec in (1u32..=1024, 0u64..FRAME_VARIANTS, any::<u64>()),
+    ) {
+        let (extra, variant, seed) = spec;
+        let declared = MAX_FRAME_BYTES + extra;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&FRAME_MAGIC);
+        bytes.extend_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&encode(&frame_of(variant, seed, 8))); // never reached
+        match decode_one(&bytes) {
+            Err(ProtoError::Frame(FrameError::Oversized { declared: got })) => {
+                prop_assert_eq!(got, declared);
+            }
+            other => prop_assert!(false, "oversized length gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_valid_frame_is_typed(
+        spec in (0u64..FRAME_VARIANTS, any::<u64>(), 0usize..32),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (variant, seed, len) = spec;
+        let mut bytes = encode(&frame_of(variant, seed, len));
+        bytes.extend_from_slice(&garbage);
+        let mut reader = FrameReader::new(&bytes[..]);
+        reader
+            .next_frame()
+            .expect("leading frame decodes")
+            .expect("one frame present");
+        if let Ok(Some(_)) = reader.next_frame() {
+            prop_assert!(
+                garbage.len() >= 4 && garbage[..4] == FRAME_MAGIC,
+                "garbage without the magic decoded to a second frame"
+            );
+        }
+    }
+}
+
+/// Proptest sampling aside, pin that *each* frame variant round-trips —
+/// a new variant missing from [`frame_of`] still gets covered here.
+#[test]
+fn every_frame_variant_is_covered() {
+    let job = SimJob::replay(
+        "llc=2097152",
+        SimConfig::paper_default(),
+        Benchmark::Mcf,
+        5_000,
+    );
+    let frames = vec![
+        Frame::Submit {
+            campaign: "c".into(),
+            dir: "/tmp/c".into(),
+            figures: vec!["fig2".into()],
+            accesses: 1200,
+            workers: 2,
+        },
+        Frame::Attach {
+            campaign: "c".into(),
+            since: 9,
+        },
+        Frame::Status {
+            campaign: "c".into(),
+        },
+        Frame::Accepted {
+            campaign: "c".into(),
+            resumed: true,
+        },
+        Frame::Event {
+            seq: 1,
+            what: "point-done".into(),
+            detail: "k".into(),
+        },
+        Frame::Done {
+            ok: true,
+            message: "done".into(),
+        },
+        Frame::Reject {
+            message: "no".into(),
+        },
+        Frame::Job {
+            id: 1,
+            job: Box::new(job),
+        },
+        Frame::JobResult {
+            id: 1,
+            report: Box::new(PlanHost::placeholder_report()),
+        },
+        Frame::JobError {
+            id: 1,
+            message: "boom".into(),
+        },
+        Frame::Heartbeat { id: 1 },
+        Frame::Exit,
+    ];
+    assert_eq!(frames.len() as u64, FRAME_VARIANTS, "variant list drifted");
+    for frame in &frames {
+        let bytes = encode(frame);
+        let decoded = decode_one(&bytes).expect("decodes").expect("frame present");
+        assert_eq!(encode(&decoded), bytes, "variant drifted: {frame:?}");
+    }
+}

@@ -11,6 +11,7 @@ use maps_sim::{CapturedTrace, SecureSim, SimConfig};
 use maps_trace::rng::SmallRng;
 use maps_workloads::Benchmark;
 
+use crate::farmd::{run_farmd_trial, FarmdFaultClass, FarmdOutcome};
 use crate::infra::{Artifact, InfraFaultClass, InfraOutcome};
 use crate::model::{run_model_trial, ModelFaultClass};
 
@@ -23,6 +24,8 @@ pub struct CampaignSpec {
     pub model_trials_per_class: u32,
     /// Infrastructure-fault trials per class.
     pub infra_trials_per_class: u32,
+    /// Daemon-protocol fault trials per class.
+    pub farmd_trials_per_class: u32,
     /// Protected-memory size of each model-trial arena.
     pub mem_bytes: u64,
     /// Accesses recorded into the capture/report artifacts.
@@ -34,6 +37,7 @@ pub const SMOKE: CampaignSpec = CampaignSpec {
     name: "smoke",
     model_trials_per_class: 6,
     infra_trials_per_class: 12,
+    farmd_trials_per_class: 12,
     // Two in-memory tree levels under split counters, so tree flips
     // exercise both a leaf and an internal node even in the smoke run.
     mem_bytes: 1 << 20,
@@ -45,6 +49,7 @@ pub const FULL: CampaignSpec = CampaignSpec {
     name: "full",
     model_trials_per_class: 48,
     infra_trials_per_class: 80,
+    farmd_trials_per_class: 80,
     mem_bytes: 1 << 22,
     artifact_accesses: 10_000,
 };
@@ -88,6 +93,25 @@ pub struct InfraClassReport {
     pub panics: u32,
 }
 
+/// Aggregate verdicts for one daemon-protocol fault class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmdClassReport {
+    /// Class name.
+    pub class: &'static str,
+    /// Trials run.
+    pub trials: u32,
+    /// Decoder rejected the faulted stream with a typed error.
+    pub rejected: u32,
+    /// Decoder saw a clean EOF at a frame boundary (disconnects only).
+    pub clean_eof: u32,
+    /// Decoder produced a frame from faulted bytes (always forbidden).
+    pub silent: u32,
+    /// Decoder panicked (always forbidden).
+    pub panics: u32,
+    /// Trials whose outcome matched the class's expectation.
+    pub acceptable: u32,
+}
+
 /// The full campaign result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
@@ -99,14 +123,17 @@ pub struct CampaignReport {
     pub model: Vec<ModelClassReport>,
     /// Per-class infrastructure-fault verdicts.
     pub infra: Vec<InfraClassReport>,
+    /// Per-class daemon-protocol fault verdicts.
+    pub farmd: Vec<FarmdClassReport>,
     /// Deterministic fold over every trial outcome.
     pub fingerprint: u64,
 }
 
 impl CampaignReport {
     /// The campaign's pass criteria: 100% detection *and* localization
-    /// for every model class, zero panics everywhere, and zero silent
-    /// acceptances of torn files.
+    /// for every model class, zero panics everywhere, zero silent
+    /// acceptances of torn files, and every daemon-protocol trial
+    /// landing on its class's expected outcome.
     pub fn passed(&self) -> bool {
         self.model
             .iter()
@@ -118,6 +145,7 @@ impl CampaignReport {
                             .iter()
                             .any(|f| f.name() == c.class && f.is_torn()))
             })
+            && self.farmd.iter().all(|c| c.acceptable == c.trials)
     }
 
     /// Machine-readable form.
@@ -148,6 +176,24 @@ impl CampaignReport {
                 ])
             })
             .collect();
+        let farmd = self
+            .farmd
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("class".to_string(), Json::Str(c.class.to_string())),
+                    ("trials".to_string(), Json::UInt(u64::from(c.trials))),
+                    ("rejected".to_string(), Json::UInt(u64::from(c.rejected))),
+                    ("clean_eof".to_string(), Json::UInt(u64::from(c.clean_eof))),
+                    ("silent".to_string(), Json::UInt(u64::from(c.silent))),
+                    ("panics".to_string(), Json::UInt(u64::from(c.panics))),
+                    (
+                        "acceptable".to_string(),
+                        Json::UInt(u64::from(c.acceptable)),
+                    ),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
             ("schema_version".to_string(), Json::UInt(1)),
             ("campaign".to_string(), Json::Str(self.campaign.to_string())),
@@ -156,6 +202,7 @@ impl CampaignReport {
             ("passed".to_string(), Json::Bool(self.passed())),
             ("model".to_string(), Json::Arr(model)),
             ("infra".to_string(), Json::Arr(infra)),
+            ("farmd".to_string(), Json::Arr(farmd)),
         ])
     }
 }
@@ -181,6 +228,17 @@ impl std::fmt::Display for CampaignReport {
                 f,
                 "  {:<16} {:>3}/{:>3}/{:>3}/{:>3} of {:>3}",
                 c.class, c.rejected, c.intact, c.silent, c.panics, c.trials
+            )?;
+        }
+        writeln!(
+            f,
+            "farmd faults (rejected/clean-eof/silent/panics of trials):"
+        )?;
+        for c in &self.farmd {
+            writeln!(
+                f,
+                "  {:<16} {:>3}/{:>3}/{:>3}/{:>3} of {:>3}",
+                c.class, c.rejected, c.clean_eof, c.silent, c.panics, c.trials
             )?;
         }
         write!(
@@ -282,11 +340,37 @@ pub fn run_campaign(spec: &CampaignSpec, seed: u64) -> CampaignReport {
         infra.push(report);
     }
 
+    let mut farmd = Vec::new();
+    for class in FarmdFaultClass::ALL {
+        let mut report = FarmdClassReport {
+            class: class.name(),
+            trials: spec.farmd_trials_per_class,
+            rejected: 0,
+            clean_eof: 0,
+            silent: 0,
+            panics: 0,
+            acceptable: 0,
+        };
+        for _ in 0..spec.farmd_trials_per_class {
+            let out = run_farmd_trial(class, &mut rng);
+            match out.outcome {
+                FarmdOutcome::RejectedTyped => report.rejected += 1,
+                FarmdOutcome::CleanEof => report.clean_eof += 1,
+                FarmdOutcome::SilentCorruption => report.silent += 1,
+                FarmdOutcome::Panicked => report.panics += 1,
+            }
+            report.acceptable += u32::from(out.acceptable());
+            fingerprint = mix(fingerprint ^ out.code);
+        }
+        farmd.push(report);
+    }
+
     CampaignReport {
         campaign: spec.name,
         seed,
         model,
         infra,
+        farmd,
         fingerprint,
     }
 }
@@ -317,6 +401,15 @@ mod tests {
         }
         for c in &r.infra {
             assert_eq!(c.panics, 0, "{}: consumer panicked", c.class);
+        }
+        for c in &r.farmd {
+            assert_eq!(c.acceptable, c.trials, "{}: unexpected outcomes", c.class);
+            assert_eq!(c.panics, 0, "{}: decoder panicked", c.class);
+            assert_eq!(
+                c.silent, 0,
+                "{}: decoder mis-decoded faulted bytes",
+                c.class
+            );
         }
     }
 

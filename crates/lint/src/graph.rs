@@ -28,12 +28,16 @@ use crate::rules::{RawDiag, CLOCK_EXEMPT_CRATES};
 use crate::Diagnostic;
 
 /// Hot-path roots for PANIC-002: the batched replay kernel, both MDC
-/// backends' lookup paths, and (via [`POLICY_TRAIT`]) every replacement
-/// policy callback.
-const PANIC_ROOTS: [(&str, &str); 3] = [
+/// backends' lookup paths, (via [`POLICY_TRAIT`]) every replacement
+/// policy callback, and the daemon's two always-on loops — the frame
+/// decoder fed by untrusted peers and the worker supervisor that must
+/// survive every crash it is supervising.
+const PANIC_ROOTS: [(&str, &str); 5] = [
     ("MetadataEngine", "handle_batch_with"),
     ("SetAssocCache", "scan_set"),
     ("RandomizedCache", "access"),
+    ("FrameReader", "next_frame"),
+    ("Supervisor", "supervise"),
 ];
 
 /// Every fn inside an `impl Policy for …` block (or a `Policy` default
@@ -70,7 +74,7 @@ const DET3_CRATES: [&str; 7] = [
 /// key set. A field `f` is covered by a key `k` when `k == f` or `k`
 /// starts with `f_` (so `wall` ↔ `wall_seconds` and the bit-exact
 /// `*_bits` float keys match their fields).
-const WATCHED_CODECS: [(&str, &str, &str); 7] = [
+const WATCHED_CODECS: [(&str, &str, &str); 8] = [
     (
         "SimReport",
         "crates/sim/src/report.rs",
@@ -105,6 +109,11 @@ const WATCHED_CODECS: [(&str, &str, &str); 7] = [
         "CampaignPlan",
         "crates/farm/src/campaign.rs",
         "crates/farm/src/campaign.rs",
+    ),
+    (
+        "Supervision",
+        "crates/farm/src/supervision.rs",
+        "crates/farm/src/supervision.rs",
     ),
 ];
 

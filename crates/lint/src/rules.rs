@@ -43,18 +43,22 @@ pub(crate) use crate::items::CLOCK_RNG_IDENTS;
 /// input, plus the tenant/randomized-MDC isolation modules whose checked
 /// constructors are the release-mode guard against starved partitions
 /// (PANIC-001). Everything here returns typed errors instead.
-const PANIC_FREE_PATHS: [&str; 11] = [
+const PANIC_FREE_PATHS: [&str; 15] = [
     "crates/sim/src/capture.rs",
     "crates/sim/src/report.rs",
     "crates/obs/src/checkpoint.rs",
+    "crates/obs/src/frame.rs",
     "crates/obs/src/json.rs",
     "crates/obs/src/manifest.rs",
     "crates/trace/src/io.rs",
     "crates/trace/src/tenant.rs",
     "crates/cache/src/randomized.rs",
     "crates/cache/src/tenant.rs",
+    "crates/bench/src/wire.rs",
     "crates/farm/src/campaign.rs",
+    "crates/farm/src/proto.rs",
     "crates/farm/src/status.rs",
+    "crates/farm/src/supervision.rs",
 ];
 
 /// Crates whose `src/` publishes result artifacts (TSVs, manifests,

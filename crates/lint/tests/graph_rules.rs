@@ -209,6 +209,82 @@ fn seeded_hot_path_unwrap_is_caught_by_panic_002() {
 }
 
 #[test]
+fn seeded_frame_decoder_unwrap_is_caught_by_panic_002() {
+    let proto = real_source("crates/farm/src/proto.rs");
+    let base = lint_files(vec![proto.clone()], &Allowlist::empty());
+    assert!(base.is_clean(), "{:#?}", base.diagnostics);
+
+    // Mutation: an unwrap as the first statement of the frame decoder —
+    // a malformed frame off the socket must stay a typed error.
+    let mut mutated = proto;
+    let at = mutated.text.find("fn next_frame").unwrap();
+    let brace = at + mutated.text[at..].find('{').unwrap() + 1;
+    mutated.text.insert_str(
+        brace,
+        "\n        let _seeded: Option<u64> = None;\n        let _ = _seeded.unwrap();\n",
+    );
+    let report = lint_files(vec![mutated], &Allowlist::empty());
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "PANIC-002" && d.file == "crates/farm/src/proto.rs")
+        .unwrap_or_else(|| panic!("mutation not caught: {:#?}", report.diagnostics));
+    assert_eq!(
+        hit.chain.first().map(String::as_str),
+        Some("FrameReader::next_frame")
+    );
+}
+
+#[test]
+fn seeded_supervisor_unwrap_is_caught_by_panic_002() {
+    let daemon = real_source("crates/farm/src/daemon.rs");
+    let base = lint_files(vec![daemon.clone()], &Allowlist::empty());
+    assert!(base.is_clean(), "{:#?}", base.diagnostics);
+
+    // Mutation: an unwrap at the top of the supervision loop — a dead
+    // worker must be respawned, never allowed to crash the daemon.
+    let mut mutated = daemon;
+    let at = mutated.text.find("fn supervise").unwrap();
+    let brace = at + mutated.text[at..].find('{').unwrap() + 1;
+    mutated.text.insert_str(
+        brace,
+        "\n        let _seeded: Option<u64> = None;\n        let _ = _seeded.unwrap();\n",
+    );
+    let report = lint_files(vec![mutated], &Allowlist::empty());
+    let hit = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "PANIC-002" && d.file == "crates/farm/src/daemon.rs")
+        .unwrap_or_else(|| panic!("mutation not caught: {:#?}", report.diagnostics));
+    assert_eq!(
+        hit.chain.first().map(String::as_str),
+        Some("Supervisor::supervise")
+    );
+}
+
+#[test]
+fn seeded_supervision_key_rename_is_caught_by_schema_001() {
+    let clean = real_source("crates/farm/src/supervision.rs");
+    assert!(clean.text.contains("\"respawns\""), "anchor key moved");
+    let base = lint_files(vec![clean.clone()], &Allowlist::empty());
+    assert!(base.is_clean(), "{:#?}", base.diagnostics);
+
+    // Mutation: the counters block writes/reads `relaunches` while the
+    // struct still says `respawns` — campaign.json drift SCHEMA-001 owns.
+    let mut mutated = clean;
+    mutated.text = mutated.text.replace("\"respawns\"", "\"relaunches\"");
+    let report = lint_files(vec![mutated], &Allowlist::empty());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "SCHEMA-001" && d.message.contains("`respawns`")),
+        "mutation not caught: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn seeded_codec_key_rename_is_caught_by_schema_001() {
     let clean = real_source("crates/sim/src/report.rs");
     assert!(clean.text.contains("\"tenants\""), "anchor key moved");

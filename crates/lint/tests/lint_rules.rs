@@ -156,6 +156,27 @@ fn panic001_covers_the_farm_decode_paths() {
 }
 
 #[test]
+fn panic001_covers_the_farmd_protocol_paths() {
+    // The daemon's wire stack (frame transport, job codec, control
+    // protocol, supervision counters) parses bytes off sockets from
+    // crash-prone peers: a panic there takes down the whole daemon
+    // instead of quarantining one worker.
+    for path in [
+        "crates/obs/src/frame.rs",
+        "crates/bench/src/wire.rs",
+        "crates/farm/src/proto.rs",
+        "crates/farm/src/supervision.rs",
+    ] {
+        let d = lint_source(path, &fixture("panic001.rs"), &Allowlist::empty());
+        assert_eq!(
+            shape(&d),
+            vec![("PANIC-001", 9), ("PANIC-001", 10)],
+            "{path}: {d:#?}"
+        );
+    }
+}
+
+#[test]
 fn panic001_only_applies_to_decode_paths() {
     let d = lint_source(
         "crates/obs/src/metrics.rs",

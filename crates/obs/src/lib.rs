@@ -49,6 +49,7 @@
 
 pub mod atomic;
 pub mod checkpoint;
+pub mod frame;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -58,6 +59,7 @@ pub mod timer;
 
 pub use atomic::write_atomic;
 pub use checkpoint::{fingerprint64, Checkpoint, CheckpointError, CHECKPOINT_SCHEMA_VERSION};
+pub use frame::{read_frame, write_frame, FrameError, FRAME_MAGIC, MAX_FRAME_BYTES};
 pub use json::{Json, JsonParseError};
 pub use manifest::{git_describe, validate_manifest, Manifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{Histogram, Metrics};

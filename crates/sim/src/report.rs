@@ -116,12 +116,13 @@ fn cache_stats_from_json(doc: &Json) -> Result<CacheStats, ReportCodecError> {
                 .as_u64()
                 .ok_or_else(|| schema("bucket counter is not an unsigned integer"))?;
         }
+        let [accesses, hits, misses, evictions, writebacks] = vals;
         *out = KindStats {
-            accesses: vals[0],
-            hits: vals[1],
-            misses: vals[2],
-            evictions: vals[3],
-            writebacks: vals[4],
+            accesses,
+            hits,
+            misses,
+            evictions,
+            writebacks,
         };
     }
     Ok(CacheStats::from_buckets(buckets))

@@ -47,6 +47,32 @@ run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
 run cmp "$farm_dir/fig2.tsv" "$farm_dir/fig2.standalone.tsv"
 rm -rf "$farm_dir"
 
+# Supervised daemon smoke: the same fig2 campaign submitted to
+# maps-farmd over its Unix socket, with every worker slot SIGKILLing
+# itself once at a seeded job position. The daemon must respawn the
+# workers, finish the campaign, and publish a fig2 TSV byte-identical
+# to the standalone binary's (the full fault matrix — stalls, torn
+# frames, quarantine, daemon crash/resume, client reattach — runs in
+# crates/farm/tests/farmd_e2e.rs).
+farmd_dir=$(mktemp -d)
+farmd_sock="$farmd_dir/farmd.sock"
+echo "==> maps-farmd --socket $farmd_sock (workers SIGKILL at job 7)"
+env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 MAPS_FARMD_FAULT_KILL_AT=7 \
+    ./target/release/maps-farmd --socket "$farmd_sock" &
+farmd_pid=$!
+for _ in $(seq 100); do [[ -S "$farmd_sock" ]] && break; sleep 0.1; done
+run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
+    ./target/release/maps-farm submit --socket "$farmd_sock" \
+    --dir "$farmd_dir" --campaign verify-smoke --figures fig2 --workers 4
+run env MAPS_ACCESSES=20000 MAPS_DETERMINISTIC=1 \
+    ./target/release/fig2 "--tsv=$farmd_dir/fig2.standalone.tsv"
+run cmp "$farmd_dir/fig2.tsv" "$farmd_dir/fig2.standalone.tsv"
+run ./target/release/maps-farm status --socket "$farmd_sock" \
+    --campaign verify-smoke
+kill "$farmd_pid" 2>/dev/null || true
+wait "$farmd_pid" 2>/dev/null || true
+rm -rf "$farmd_dir"
+
 # Occupancy-channel smoke: a fig_occupancy campaign killed after three
 # checkpointed points (exit-42 crash hook) and re-invoked must produce
 # artifacts byte-identical to an uninterrupted run. JobKind::Occupancy
